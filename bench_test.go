@@ -1,0 +1,347 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§6), plus ablations of the design choices DESIGN.md calls out. The
+// testing.B iteration count is used to repeat the measurement; the numbers
+// that matter are the custom metrics (Mb/s, cycles/packet, ...) reported
+// per benchmark, which correspond directly to the paper's axes.
+package twindrivers_test
+
+import (
+	"io"
+	"testing"
+
+	"twindrivers"
+	"twindrivers/internal/asm"
+	"twindrivers/internal/core"
+	"twindrivers/internal/cost"
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/e1000"
+	"twindrivers/internal/kernel"
+	"twindrivers/internal/netbench"
+	"twindrivers/internal/netpath"
+	"twindrivers/internal/rewrite"
+	"twindrivers/internal/trace"
+	"twindrivers/internal/webbench"
+)
+
+// measureOnce runs one netbench measurement and reports its metrics.
+func measureOnce(b *testing.B, kind netpath.Kind, dir netbench.Direction, nNICs int, tcfg core.TwinConfig) *netbench.Result {
+	b.Helper()
+	r, err := netbench.Run(kind, dir, netbench.Params{
+		NumNICs: nNICs, Measure: 256, Twin: tcfg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// benchConfigs runs all four configurations in one direction, reporting
+// the figure's bars as metrics (config names embedded in sub-benchmarks).
+func benchConfigs(b *testing.B, dir netbench.Direction, nNICs int) {
+	for _, kind := range netpath.Kinds() {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			var last *netbench.Result
+			for i := 0; i < b.N; i++ {
+				last = measureOnce(b, kind, dir, nNICs, core.TwinConfig{})
+			}
+			b.ReportMetric(last.ThroughputMbps, "Mb/s")
+			b.ReportMetric(last.CyclesPerPacket, "cycles/pkt")
+			b.ReportMetric(100*last.CPUUtil, "%CPU")
+		})
+	}
+}
+
+// --- Figures 5 and 6: netperf throughput, 5 NICs --------------------------
+
+func BenchmarkFig5TransmitThroughput(b *testing.B) {
+	benchConfigs(b, netbench.TX, cost.NumNICs)
+}
+
+func BenchmarkFig6ReceiveThroughput(b *testing.B) {
+	benchConfigs(b, netbench.RX, cost.NumNICs)
+}
+
+// --- Figures 7 and 8: cycles/packet profiles, single NIC ------------------
+
+func benchBreakdown(b *testing.B, dir netbench.Direction) {
+	for _, kind := range netpath.Kinds() {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			var last *netbench.Result
+			for i := 0; i < b.N; i++ {
+				last = measureOnce(b, kind, dir, 1, core.TwinConfig{})
+			}
+			b.ReportMetric(last.CyclesPerPacket, "cycles/pkt")
+			b.ReportMetric(last.Breakdown[cycles.CompDom0], "dom0")
+			b.ReportMetric(last.Breakdown[cycles.CompDomU], "domU")
+			b.ReportMetric(last.Breakdown[cycles.CompXen], "xen")
+			b.ReportMetric(last.Breakdown[cycles.CompDriver], "e1000")
+		})
+	}
+}
+
+func BenchmarkFig7TransmitCycleBreakdown(b *testing.B) {
+	benchBreakdown(b, netbench.TX)
+}
+
+func BenchmarkFig8ReceiveCycleBreakdown(b *testing.B) {
+	benchBreakdown(b, netbench.RX)
+}
+
+// --- Figure 9: web server workload ----------------------------------------
+
+func BenchmarkFig9WebServerThroughput(b *testing.B) {
+	for _, kind := range netpath.Kinds() {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			var last *webbench.Curve
+			for i := 0; i < b.N; i++ {
+				c, err := webbench.Run(kind, webbench.Params{Measure: 96, Step: 2000})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = c
+			}
+			b.ReportMetric(last.PeakMbps, "peakMb/s")
+			b.ReportMetric(last.CapacityReqs, "req/s")
+		})
+	}
+}
+
+// --- Figure 10: cost of upcalls --------------------------------------------
+
+func BenchmarkFig10UpcallCost(b *testing.B) {
+	removal := twindrivers.Fig10RemovalOrder()
+	for k := 0; k <= len(removal); k++ {
+		k := k
+		name := "upcalled-0"
+		if k > 0 {
+			name = "upcalled-" + removal[k-1]
+		}
+		b.Run(name, func(b *testing.B) {
+			removed := map[string]bool{}
+			for _, n := range removal[:k] {
+				removed[n] = true
+			}
+			var sup []string
+			for _, n := range core.DefaultHvSupport() {
+				if !removed[n] {
+					sup = append(sup, n)
+				}
+			}
+			var last *netbench.Result
+			for i := 0; i < b.N; i++ {
+				last = measureOnce(b, netpath.Twin, netbench.TX, cost.NumNICs,
+					core.TwinConfig{HvSupport: sup})
+			}
+			b.ReportMetric(last.ThroughputMbps, "Mb/s")
+			b.ReportMetric(last.UpcallsPerPacket, "upcalls/pkt")
+		})
+	}
+}
+
+// --- Table 1: fast-path support routine trace -------------------------------
+
+func BenchmarkTable1FastPathRoutines(b *testing.B) {
+	var last *trace.Table1
+	for i := 0; i < b.N; i++ {
+		t, err := trace.Run(128)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.ReportMetric(float64(len(last.FastPath)), "fastpath-routines")
+	b.ReportMetric(float64(len(last.AllRoutines)), "driver-imports")
+	b.ReportMetric(float64(last.KernelSymbols), "kernel-symbols")
+}
+
+// --- Ablations ---------------------------------------------------------------
+
+// BenchmarkAblationLiveness compares the liveness-guided rewrite against
+// forced spilling (the paper's footnote 3: liveness analysis avoids
+// spilling "most of the time").
+func BenchmarkAblationLiveness(b *testing.B) {
+	for _, forced := range []bool{false, true} {
+		name := "liveness"
+		if forced {
+			name = "force-spill"
+		}
+		forced := forced
+		b.Run(name, func(b *testing.B) {
+			var last *netbench.Result
+			for i := 0; i < b.N; i++ {
+				last = measureOnce(b, netpath.Twin, netbench.TX, 1, core.TwinConfig{
+					Rewrite: rewrite.Options{ForceSpill: forced},
+				})
+			}
+			b.ReportMetric(last.Breakdown[cycles.CompDriver], "driver-cycles/pkt")
+			b.ReportMetric(last.CyclesPerPacket, "cycles/pkt")
+		})
+	}
+}
+
+// BenchmarkAblationStackChecks measures the §4.5.1 extension: bounds checks
+// on variable-offset stack accesses.
+func BenchmarkAblationStackChecks(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "plain"
+		if on {
+			name = "stack-checks"
+		}
+		on := on
+		b.Run(name, func(b *testing.B) {
+			var last *netbench.Result
+			for i := 0; i < b.N; i++ {
+				last = measureOnce(b, netpath.Twin, netbench.TX, 1, core.TwinConfig{
+					Rewrite: rewrite.Options{CheckStack: on},
+				})
+			}
+			b.ReportMetric(last.Breakdown[cycles.CompDriver], "driver-cycles/pkt")
+		})
+	}
+}
+
+// BenchmarkAblationStlbSize sweeps the software translation table size:
+// small tables raise the hash-collision rate, sending hot pages through
+// the slow path (the paper fixed 4096 entries / 16 MB; this shows why).
+func BenchmarkAblationStlbSize(b *testing.B) {
+	for _, entries := range []int{16, 64, 256, 1024, 4096} {
+		entries := entries
+		b.Run(sizeName(entries), func(b *testing.B) {
+			var last *netbench.Result
+			var refills float64
+			for i := 0; i < b.N; i++ {
+				p, err := netpath.New(netpath.Twin, 1, core.TwinConfig{STLBEntries: entries})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// RX: the interrupt path's register page collides with the
+				// adapter page in small tables.
+				r, err := netbench.Measure(p, netbench.RX, netbench.Params{NumNICs: 1, Measure: 256})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+				refills = float64(p.T.SV.ChainRefills) / 256
+			}
+			b.ReportMetric(last.CyclesPerPacket, "cycles/pkt")
+			b.ReportMetric(refills, "chain-refills/pkt")
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1024:
+		return "entries-" + string(rune('0'+n/1024)) + "k"
+	default:
+		d := []byte{}
+		for v := n; v > 0; v /= 10 {
+			d = append([]byte{byte('0' + v%10)}, d...)
+		}
+		return "entries-" + string(d)
+	}
+}
+
+// BenchmarkAblationShadowStack measures the return-address shadow stack.
+func BenchmarkAblationShadowStack(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "plain"
+		if on {
+			name = "shadow-stack"
+		}
+		on := on
+		b.Run(name, func(b *testing.B) {
+			var last *netbench.Result
+			for i := 0; i < b.N; i++ {
+				last = measureOnce(b, netpath.Twin, netbench.TX, 1, core.TwinConfig{
+					ShadowStack: on,
+				})
+			}
+			b.ReportMetric(last.CyclesPerPacket, "cycles/pkt")
+		})
+	}
+}
+
+// --- Microbenchmarks of the mechanisms ---------------------------------------
+
+// BenchmarkRewriteDriver measures the rewriter itself over the full e1000
+// driver (derivation is offline, but its speed still matters for module
+// load time).
+func BenchmarkRewriteDriver(b *testing.B) {
+	u, err := asm.AssembleWithEquates(e1000.Source, kernel.Equates())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rewrite.Rewrite(u, rewrite.Options{RejectPrivileged: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssembleDriver measures the assembler front end.
+func BenchmarkAssembleDriver(b *testing.B) {
+	eq := kernel.Equates()
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.AssembleWithEquates(e1000.Source, eq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTwinTransmit measures one guest transmit through the derived
+// driver (the simulator's hot loop).
+func BenchmarkTwinTransmit(b *testing.B) {
+	m, tw, err := core.NewTwinMachine(1, core.TwinConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := m.Devs[0]
+	d.NIC.OnTransmit = func([]byte) {}
+	m.HV.Switch(m.DomU)
+	frame := core.EthernetFrame([6]byte{1, 1, 1, 1, 1, 1}, d.NIC.MAC, 0x0800, make([]byte, cost.MTU-14))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tw.GuestTransmit(d, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNativeTransmit is the same for the original driver in dom0.
+func BenchmarkNativeTransmit(b *testing.B) {
+	m, err := core.NewMachine(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := m.Devs[0]
+	d.NIC.OnTransmit = func([]byte) {}
+	frame := core.EthernetFrame([6]byte{1, 1, 1, 1, 1, 1}, d.NIC.MAC, 0x0800, make([]byte, cost.MTU-14))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		skb, err := m.NewTxSkb(d, frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.DevQueueXmit(d, skb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentPipeline runs the complete quick evaluation end to end
+// (everything cmd/twinbench -quick does).
+func BenchmarkExperimentPipeline(b *testing.B) {
+	if testing.Short() {
+		b.Skip("long")
+	}
+	for i := 0; i < b.N; i++ {
+		if err := twindrivers.RunExperiment(io.Discard, "all", true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Command twinbench regenerates the evaluation of the TwinDrivers paper:
+// every table and figure of §6, measured on the simulated machine.
+//
+// Usage:
+//
+//	twinbench -experiment all          # everything, paper-scale packet counts
+//	twinbench -experiment fig5 -quick  # one experiment, fewer packets
+//	twinbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twindrivers"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id (table1, fig5..fig10, effort, all)")
+	quick := flag.Bool("quick", false, "fewer packets per measurement")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range twindrivers.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if err := twindrivers.RunExperiment(os.Stdout, *experiment, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "twinbench:", err)
+		os.Exit(1)
+	}
+}

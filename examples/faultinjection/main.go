@@ -1,0 +1,139 @@
+// faultinjection: the safety story of §4.5. Three buggy "drivers" are
+// derived and run in the hypervisor:
+//
+//  1. a wild heap write aimed at hypervisor memory — SVM aborts it on the
+//     first access (§4.1);
+//  2. an infinite loop — the VINO-style watchdog budget cuts it off
+//     (§4.5.2);
+//  3. a corrupted function pointer — the indirect-call translation plus
+//     the function-entry check catch it (§5.1.2).
+//
+// After each abort, dom0 and its VM driver instance keep working: the
+// hypervisor tears down only the derived instance. Finally, a DMA attack
+// is shown blocked by the optional IOMMU (§4.5).
+//
+//	go run ./examples/faultinjection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twindrivers"
+	"twindrivers/internal/kernel"
+	"twindrivers/internal/mem"
+	"twindrivers/internal/nic"
+)
+
+type machine = twindrivers.Machine
+type nicdev = twindrivers.NICDev
+type twin = twindrivers.Twin
+
+func scenario(name string, corrupt func(m *machine, d *nicdev) error,
+	trigger func(tw *twin, m *machine, d *nicdev) error) {
+	m, tw, err := twindrivers.NewTwinMachine(1, twindrivers.TwinConfig{Watchdog: 200_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := m.Devs[0]
+	d.NIC.OnTransmit = func([]byte) {}
+	m.HV.Switch(m.DomU)
+
+	// A clean packet first: the derived driver works.
+	frame := twindrivers.EthernetFrame([6]byte{1, 1, 1, 1, 1, 1}, d.NIC.MAC, 0x0800, make([]byte, 256))
+	if err := tw.GuestTransmit(d, frame); err != nil {
+		log.Fatalf("%s: clean transmit failed: %v", name, err)
+	}
+
+	// Inject the bug into the shared driver state.
+	if err := corrupt(m, d); err != nil {
+		log.Fatal(err)
+	}
+
+	// The next invocation faults; the hypervisor contains it.
+	if trigger == nil {
+		trigger = func(tw *twin, m *machine, d *nicdev) error {
+			return tw.GuestTransmit(d, frame)
+		}
+	}
+	err = trigger(tw, m, d)
+	fmt.Printf("%-28s -> %v\n", name, err)
+	fmt.Printf("%-28s    driver dead=%v, fault log: %v\n", "", tw.Dead, tw.FaultLog)
+
+	// dom0 survives: the VM instance still answers management calls.
+	if _, err := m.CallDriver("e1000_get_stats", d.Netdev); err != nil {
+		log.Fatalf("%s: dom0 VM instance damaged: %v", name, err)
+	}
+	fmt.Printf("%-28s    dom0 VM instance still alive (get_stats OK)\n\n", "")
+}
+
+func main() {
+	scenario("wild write to hypervisor", func(m *machine, d *nicdev) error {
+		// Point netdev->priv at hypervisor memory: the driver's next
+		// dereference goes through SVM and is denied.
+		return m.Dom0.AS.Store(d.Netdev+kernel.NdPriv, 4, 0xF1000040)
+	}, nil)
+
+	scenario("runaway recursion (contained)", func(m *machine, d *nicdev) error {
+		// Point the RX cleaner function pointer back at the interrupt
+		// handler: intr -> clean_rx(=intr) -> ... The indirect-call
+		// translation happily follows it (it IS a valid driver entry);
+		// the watchdog instruction budget or the stack guard cuts the
+		// runaway off.
+		priv, _ := m.Dom0.AS.Load(d.Netdev+kernel.NdPriv, 4)
+		intr, _ := m.VMImage.FuncEntry("e1000_intr")
+		return m.Dom0.AS.Store(priv+52, 4, intr) // AD_CLEAN_RX
+	}, func(tw *twin, m *machine, d *nicdev) error {
+		rx := twindrivers.EthernetFrame(d.NIC.MAC, [6]byte{9, 9, 9, 9, 9, 9}, 0x0800, make([]byte, 128))
+		if !d.NIC.Inject(rx) {
+			return fmt.Errorf("inject failed")
+		}
+		return tw.HandleIRQ(d)
+	})
+
+	scenario("corrupt function pointer", func(m *machine, d *nicdev) error {
+		// adapter->clean_rx is driver data; a buggy driver scribbles a
+		// bogus value over it. The rewritten indirect call range-checks
+		// the target and the CPU's function-entry validation faults.
+		priv, _ := m.Dom0.AS.Load(d.Netdev+kernel.NdPriv, 4)
+		return m.Dom0.AS.Store(priv+52, 4, 0x1234) // AD_CLEAN_RX
+	}, func(tw *twin, m *machine, d *nicdev) error {
+		rx := twindrivers.EthernetFrame(d.NIC.MAC, [6]byte{9, 9, 9, 9, 9, 9}, 0x0800, make([]byte, 128))
+		if !d.NIC.Inject(rx) {
+			return fmt.Errorf("inject failed")
+		}
+		return tw.HandleIRQ(d)
+	})
+
+	// DMA attack vs IOMMU: a malicious descriptor aims DMA at hypervisor
+	// frames. Without an IOMMU this is the residual hole the paper
+	// acknowledges; with one, the transfer is blocked.
+	m, tw, err := twindrivers.NewTwinMachine(1, twindrivers.TwinConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := m.Devs[0]
+	d.NIC.IOMMU = &nic.IOMMU{Allowed: map[mem.Owner]bool{mem.OwnerDom0: true, 1: true}}
+	d.NIC.OnTransmit = func([]byte) {}
+	m.HV.Switch(m.DomU)
+	frame := twindrivers.EthernetFrame([6]byte{1, 1, 1, 1, 1, 1}, d.NIC.MAC, 0x0800, make([]byte, 256))
+	if err := tw.GuestTransmit(d, frame); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s -> legitimate DMA passes the IOMMU\n", "IOMMU enabled")
+	// Forge a TX descriptor pointing at a hypervisor-owned frame.
+	hvFrame := m.HV.Phys.AllocFrame(mem.OwnerHypervisor)
+	priv, _ := m.Dom0.AS.Load(d.Netdev+kernel.NdPriv, 4)
+	txd, _ := m.Dom0.AS.Load(priv+8, 4)   // AD_TXD
+	tail, _ := m.Dom0.AS.Load(priv+20, 4) // AD_TX_TAIL
+	desc := txd + tail*16
+	m.Dom0.AS.Store(desc, 4, hvFrame*mem.PageSize) // buffer addr = hypervisor frame
+	m.Dom0.AS.Store(desc+8, 2, 64)                 // length
+	m.Dom0.AS.Store(desc+11, 1, 0x09)              // EOP|RS
+	regs, _ := m.Dom0.AS.Load(d.Netdev+kernel.NdBase, 4)
+	m.Dom0.AS.Store(regs+nic.RegTDT, 4, (tail+1)%256) // ring the doorbell
+	if d.NIC.IOMMU.Violations == 0 {
+		log.Fatal("IOMMU did not catch the DMA attack")
+	}
+	fmt.Printf("%-28s -> DMA attack blocked: %s\n", "", d.NIC.DMAViolation)
+}

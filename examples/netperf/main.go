@@ -1,0 +1,23 @@
+// netperf: the streaming microbenchmark of §6.2 across all four system
+// configurations — Figures 5 through 8 live.
+//
+//	go run ./examples/netperf [-quick]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"twindrivers"
+)
+
+func main() {
+	quick := flag.Bool("quick", true, "fewer packets per measurement")
+	flag.Parse()
+	for _, id := range []string{"fig5", "fig6", "fig7", "fig8"} {
+		if err := twindrivers.RunExperiment(os.Stdout, id, *quick); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// upcalls: the cost-of-upcalls sweep of §6.4 — Figure 10 live. Fast-path
+// support routines are converted back to upcalls one at a time; each
+// upcall costs two synchronous domain switches per driver invocation and
+// throughput collapses accordingly.
+//
+//	go run ./examples/upcalls
+package main
+
+import (
+	"log"
+	"os"
+
+	"twindrivers"
+)
+
+func main() {
+	if err := twindrivers.RunExperiment(os.Stdout, "fig10", true); err != nil {
+		log.Fatal(err)
+	}
+}

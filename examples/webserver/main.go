@@ -1,0 +1,18 @@
+// webserver: the knot/httperf/SPECweb99 workload of §6.3 — Figure 9 live,
+// with the ASCII rendition of the throughput-vs-request-rate curves.
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"log"
+	"os"
+
+	"twindrivers"
+)
+
+func main() {
+	if err := twindrivers.RunExperiment(os.Stdout, "fig9", true); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickParserNeverPanics feeds the assembler byte noise and mutated
+// fragments of valid source: it must return (unit, nil) or (nil, error),
+// never panic, and a successful parse must survive layout or fail it
+// cleanly.
+func TestQuickParserNeverPanics(t *testing.T) {
+	fragments := []string{
+		"\t.text\n", "f:\n", "\tmovl\t%eax, %ebx\n", "\tret\n",
+		"\t.data\n", "x:\n", "\t.long 1\n", "\trep; movsl\n",
+		"\tcall *%eax\n", "\tjne .L1\n", ".L1:\n", "\t.equ A, 5\n",
+		"\tpushl A(%esi,%ebx,4)\n", "\t.space 8\n", "# comment\n",
+		"\t.globl f\n", "\tmovzbl (%ecx), %edx\n",
+	}
+	alphabet := "abcdefgh%$(),.:;*#\t\n 0123456789+-"
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		n := r.Intn(30)
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				// Random noise line.
+				ln := r.Intn(20)
+				for j := 0; j < ln; j++ {
+					b.WriteByte(alphabet[r.Intn(len(alphabet))])
+				}
+				b.WriteByte('\n')
+			} else {
+				frag := fragments[r.Intn(len(fragments))]
+				// Occasionally mutate a byte.
+				if r.Intn(4) == 0 && len(frag) > 2 {
+					bs := []byte(frag)
+					bs[r.Intn(len(bs)-1)] = alphabet[r.Intn(len(alphabet))]
+					frag = string(bs)
+				}
+				b.WriteString(frag)
+			}
+		}
+		u, err := Assemble(b.String())
+		if err != nil {
+			return true
+		}
+		// Parsed units must lay out or fail cleanly too.
+		_, _ = Layout("fuzz", u, 0x100000, 0x200000, func(string) (uint32, bool) {
+			return 0xE0000000, true
+		})
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLayoutDataAlignmentProperty: all data symbols respect their declared
+// alignment and never overlap.
+func TestLayoutDataAlignmentProperty(t *testing.T) {
+	fn := func(sizes []uint8, aligns []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(aligns) == 0 {
+			aligns = []uint8{2}
+		}
+		var b strings.Builder
+		b.WriteString("f:\n\tret\n\t.data\n")
+		n := len(sizes)
+		if n > 12 {
+			n = 12
+		}
+		for i := 0; i < n; i++ {
+			al := uint32(1) << (aligns[i%len(aligns)] % 5) // 1..16
+			b.WriteString("\t.align " + itoa(int(al)) + "\n")
+			b.WriteString("d" + itoa(i) + ":\n\t.space " + itoa(int(sizes[i])%97+1) + "\n")
+		}
+		u, err := Assemble(b.String())
+		if err != nil {
+			t.Logf("assemble: %v", err)
+			return false
+		}
+		im, err := Layout("t", u, 0x1000, 0x20000, nil)
+		if err != nil {
+			t.Logf("layout: %v", err)
+			return false
+		}
+		prevEnd := uint32(0)
+		for i := 0; i < n; i++ {
+			name := "d" + itoa(i)
+			a, ok := im.DataSymbol(name)
+			if !ok {
+				return false
+			}
+			al := uint32(1) << (aligns[i%len(aligns)] % 5)
+			if a%al != 0 {
+				t.Logf("%s at %#x not %d-aligned", name, a, al)
+				return false
+			}
+			if a < prevEnd {
+				t.Logf("%s overlaps previous symbol", name)
+				return false
+			}
+			sz, _ := im.DataSymbolSize(name)
+			prevEnd = a + sz
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var d []byte
+	for v > 0 {
+		d = append([]byte{byte('0' + v%10)}, d...)
+		v /= 10
+	}
+	return string(d)
+}

@@ -1,0 +1,269 @@
+// Package asm implements the assembler for the simulated machine: a parser
+// for an AT&T-style dialect, a structural representation of assembly units
+// (functions + data), a printer that round-trips through the parser, and a
+// layout/link step that produces an executable image at a chosen base
+// address.
+//
+// TwinDrivers performs its rewriting at the assembler level ("conceptually
+// equivalent to binary rewriting, although working at the assembly level
+// significantly simplifies parsing and code generation", §5.1 of the paper);
+// this package is the substrate both the original driver and the rewriter
+// operate on. The same Unit can be laid out twice — once for the VM driver
+// instance in dom0 and once for the hypervisor instance — which is what
+// makes VM→hypervisor code addresses differ by a constant offset (§5.1.2).
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"twindrivers/internal/isa"
+)
+
+// Unit is a parsed assembly translation unit.
+type Unit struct {
+	Funcs   []*Func
+	Datas   []*Data
+	Globals map[string]bool  // .globl symbols
+	Externs map[string]bool  // .extern symbols (documentational; undefined syms resolve via the linker anyway)
+	Equates map[string]int32 // .equ constants (already folded into operands)
+}
+
+// Func is a function: a named entry label followed by instructions.
+// Labels beginning with '.' are local to the function; any other label in
+// the text section starts a new function.
+type Func struct {
+	Name   string
+	Insts  []isa.Inst
+	Labels map[string]int // local label -> instruction index; includes Name -> 0
+}
+
+// Data is one named datum in the data or bss section.
+type Data struct {
+	Name    string
+	Section string // "data" or "bss"
+	Bytes   []byte // initial contents; bss contents are all zero
+	Align   uint32 // required alignment (power of two, >= 1)
+}
+
+// NewUnit returns an empty unit.
+func NewUnit() *Unit {
+	return &Unit{
+		Globals: make(map[string]bool),
+		Externs: make(map[string]bool),
+		Equates: make(map[string]int32),
+	}
+}
+
+// Func returns the function with the given name, or nil.
+func (u *Unit) Func(name string) *Func {
+	for _, f := range u.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Data returns the datum with the given name, or nil.
+func (u *Unit) Data(name string) *Data {
+	for _, d := range u.Datas {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// DefinedSymbols returns the set of all symbols defined by the unit
+// (functions, local labels excluded, data).
+func (u *Unit) DefinedSymbols() map[string]bool {
+	syms := make(map[string]bool)
+	for _, f := range u.Funcs {
+		syms[f.Name] = true
+	}
+	for _, d := range u.Datas {
+		syms[d.Name] = true
+	}
+	return syms
+}
+
+// UndefinedSymbols returns, sorted, every symbol referenced by instructions
+// (branch targets and operand symbols) that the unit does not define. These
+// are the imports the loader must resolve — for a driver, the kernel
+// support routines and imported kernel data.
+func (u *Unit) UndefinedSymbols() []string {
+	defined := u.DefinedSymbols()
+	seen := make(map[string]bool)
+	addOperand := func(f *Func, o isa.Operand) {
+		if o.Sym != "" && !defined[o.Sym] {
+			if _, local := f.Labels[o.Sym]; !local {
+				seen[o.Sym] = true
+			}
+		}
+	}
+	for _, f := range u.Funcs {
+		for i := range f.Insts {
+			in := &f.Insts[i]
+			if in.Target != "" && !defined[in.Target] {
+				if _, local := f.Labels[in.Target]; !local {
+					seen[in.Target] = true
+				}
+			}
+			addOperand(f, in.Src)
+			addOperand(f, in.Dst)
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the unit. The rewriter transforms a clone so
+// the original stays available for the VM instance comparison paths.
+func (u *Unit) Clone() *Unit {
+	c := NewUnit()
+	for k, v := range u.Globals {
+		c.Globals[k] = v
+	}
+	for k, v := range u.Externs {
+		c.Externs[k] = v
+	}
+	for k, v := range u.Equates {
+		c.Equates[k] = v
+	}
+	for _, f := range u.Funcs {
+		nf := &Func{Name: f.Name, Insts: append([]isa.Inst(nil), f.Insts...), Labels: make(map[string]int, len(f.Labels))}
+		for k, v := range f.Labels {
+			nf.Labels[k] = v
+		}
+		c.Funcs = append(c.Funcs, nf)
+	}
+	for _, d := range u.Datas {
+		nd := &Data{Name: d.Name, Section: d.Section, Bytes: append([]byte(nil), d.Bytes...), Align: d.Align}
+		c.Datas = append(c.Datas, nd)
+	}
+	return c
+}
+
+// InstCount returns the total instruction count across all functions.
+func (u *Unit) InstCount() int {
+	n := 0
+	for _, f := range u.Funcs {
+		n += len(f.Insts)
+	}
+	return n
+}
+
+// Print renders the unit in the dialect accepted by Assemble. The
+// round-trip Assemble(Print(u)) == u (up to label aliasing) is
+// property-tested.
+func (u *Unit) Print() string {
+	var b strings.Builder
+	if len(u.Equates) > 0 {
+		keys := make([]string, 0, len(u.Equates))
+		for k := range u.Equates {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "\t.equ\t%s, %d\n", k, u.Equates[k])
+		}
+		b.WriteByte('\n')
+	}
+	for _, e := range sortedKeys(u.Externs) {
+		fmt.Fprintf(&b, "\t.extern\t%s\n", e)
+	}
+	b.WriteString("\t.text\n")
+	for _, f := range u.Funcs {
+		if u.Globals[f.Name] {
+			fmt.Fprintf(&b, "\t.globl\t%s\n", f.Name)
+		}
+		fmt.Fprintf(&b, "%s:\n", f.Name)
+		// Emit label aliases that share an index with the primary label.
+		for i := range f.Insts {
+			in := f.Insts[i]
+			for _, alias := range f.aliasesAt(i) {
+				if alias != in.Label && alias != f.Name {
+					fmt.Fprintf(&b, "%s:\n", alias)
+				}
+			}
+			b.WriteString(in.String())
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+	for _, section := range []string{"data", "bss"} {
+		any := false
+		for _, d := range u.Datas {
+			if d.Section != section {
+				continue
+			}
+			if !any {
+				fmt.Fprintf(&b, "\t.%s\n", section)
+				any = true
+			}
+			if u.Globals[d.Name] {
+				fmt.Fprintf(&b, "\t.globl\t%s\n", d.Name)
+			}
+			if d.Align > 1 {
+				fmt.Fprintf(&b, "\t.align\t%d\n", d.Align)
+			}
+			fmt.Fprintf(&b, "%s:\n", d.Name)
+			printDataBytes(&b, d)
+		}
+	}
+	return b.String()
+}
+
+// aliasesAt returns the labels (other than the instruction's own) mapping
+// to instruction index i.
+func (f *Func) aliasesAt(i int) []string {
+	var out []string
+	for name, idx := range f.Labels {
+		if idx == i && name != f.Name {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func printDataBytes(b *strings.Builder, d *Data) {
+	if d.Section == "bss" || allZero(d.Bytes) {
+		fmt.Fprintf(b, "\t.space\t%d\n", len(d.Bytes))
+		return
+	}
+	// Emit as .long words where possible, .byte for the tail.
+	i := 0
+	for ; i+4 <= len(d.Bytes); i += 4 {
+		v := uint32(d.Bytes[i]) | uint32(d.Bytes[i+1])<<8 | uint32(d.Bytes[i+2])<<16 | uint32(d.Bytes[i+3])<<24
+		fmt.Fprintf(b, "\t.long\t%d\n", int32(v))
+	}
+	for ; i < len(d.Bytes); i++ {
+		fmt.Fprintf(b, "\t.byte\t%d\n", d.Bytes[i])
+	}
+}
+
+func allZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedKeys returns map keys in sorted order.
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,19 @@
+package core
+
+import (
+	_ "embed"
+	"strings"
+)
+
+// hvSupportSource embeds this package's hypervisor support-routine
+// implementation so the engineering-effort experiment (§6.5 of the paper:
+// "851 lines of commented C code") can report our equivalent.
+//
+//go:embed hvsupport.go
+var hvSupportSource string
+
+// HvSupportLines returns the size, in source lines, of the hypervisor's
+// support routine implementation.
+func HvSupportLines() int {
+	return strings.Count(hvSupportSource, "\n") + 1
+}

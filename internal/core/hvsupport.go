@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+
+	"twindrivers/internal/cost"
+	"twindrivers/internal/cpu"
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/kernel"
+	"twindrivers/internal/mem"
+	"twindrivers/internal/xen"
+)
+
+// This file is the hypervisor's reimplementation of the performance-
+// critical support routines — the counterpart of the paper's 851 lines of
+// commented C (§6.5). Every access to driver data goes through the stlb
+// explicitly ("the support routines which are implemented in the hypervisor
+// make use of the stlb translation table explicitly while accessing driver
+// data in dom0 address space", §4.3); buffers come from the preallocated
+// dom0 pool guarded by the refcount trick.
+
+// hvLoad reads a 32-bit word of dom0 memory through SVM translation.
+func (t *Twin) hvLoad(c *cpu.CPU, addr uint32) (uint32, error) {
+	ta, err := t.SV.Translate(c.Meter, addr)
+	if err != nil {
+		return 0, err
+	}
+	c.Meter.MemAccess(ta)
+	return t.M.HV.HVSpace.Load(ta, 4)
+}
+
+// hvLoadSize reads size bytes of dom0 memory through SVM translation.
+func (t *Twin) hvLoadSize(c *cpu.CPU, addr, size uint32) (uint32, error) {
+	ta, err := t.SV.Translate(c.Meter, addr)
+	if err != nil {
+		return 0, err
+	}
+	c.Meter.MemAccess(ta)
+	return t.M.HV.HVSpace.Load(ta, size)
+}
+
+// hvStore writes a 32-bit word of dom0 memory through SVM translation.
+func (t *Twin) hvStore(c *cpu.CPU, addr, val uint32) error {
+	ta, err := t.SV.Translate(c.Meter, addr)
+	if err != nil {
+		return err
+	}
+	c.Meter.MemAccess(ta)
+	return t.M.HV.HVSpace.Store(ta, 4, val)
+}
+
+// hvSupportImpl returns the native hypervisor implementation of a Table-1
+// routine. The boolean is false for routines the hypervisor does not know
+// how to implement.
+func hvSupportImpl(t *Twin, name string) (cpu.Extern, bool) {
+	var fn func(c *cpu.CPU) (uint32, error)
+	switch name {
+	case "netdev_alloc_skb":
+		fn = func(c *cpu.CPU) (uint32, error) {
+			c.Meter.AddTo(cycles.CompXen, cost.SkbAlloc)
+			skb, ok := t.poolGet()
+			if !ok {
+				return 0, nil // allocation failure: the driver copes
+			}
+			if err := t.hvStore(c, skb+kernel.SkbDev, c.Arg(0)); err != nil {
+				return 0, err
+			}
+			return skb, nil
+		}
+	case "dev_kfree_skb_any":
+		fn = func(c *cpu.CPU) (uint32, error) {
+			c.Meter.AddTo(cycles.CompXen, cost.SkbFree)
+			skb := c.Arg(0)
+			pool, err := t.hvLoad(c, skb+kernel.SkbPool)
+			if err != nil {
+				return 0, err
+			}
+			if pool != 0 {
+				t.poolPut(skb)
+			} else {
+				// A dom0-allocated skb (e.g. from the initial RX fill):
+				// hand it back to the dom0 slab.
+				t.M.K.FreeSkb(skb)
+			}
+			return 0, nil
+		}
+	case "netif_rx":
+		fn = func(c *cpu.CPU) (uint32, error) {
+			c.Meter.AddTo(cycles.CompXen, cost.HvDemux)
+			skb := c.Arg(0)
+			// Demultiplex on the destination MAC (§5.3). eth_type_trans
+			// already pulled the header: it starts 14 bytes before data.
+			data, err := t.hvLoad(c, skb+kernel.SkbData)
+			if err != nil {
+				return 0, err
+			}
+			var mac [6]byte
+			for i := uint32(0); i < 6; i++ {
+				b, err := t.hvLoadSize(c, data-14+i, 1)
+				if err != nil {
+					return 0, err
+				}
+				mac[i] = byte(b)
+			}
+			dom, ok := t.macToDom[mac]
+			if !ok {
+				dom = t.M.DomU.ID // default guest
+			}
+			t.rxQueues[dom] = append(t.rxQueues[dom], skb)
+			return 0, nil
+		}
+	case "dma_map_single":
+		fn = func(c *cpu.CPU) (uint32, error) {
+			c.Meter.AddTo(cycles.CompXen, cost.DmaMap)
+			vaddr := c.Arg(1)
+			// "the hypervisor implementation of the DMA mapping functions
+			// return the correct guest machine page addresses" (§5.3):
+			// resolve through dom0's page tables.
+			pa, ok := t.M.Dom0.AS.Translate(vaddr)
+			if !ok {
+				return 0, fmt.Errorf("core: hv dma_map_single of unmapped %#x", vaddr)
+			}
+			return pa, nil
+		}
+	case "dma_map_page":
+		fn = func(c *cpu.CPU) (uint32, error) {
+			c.Meter.AddTo(cycles.CompXen, cost.DmaMap)
+			page, off := c.Arg(1), c.Arg(2)
+			// "the hypervisor implementation of the DMA mapping functions
+			// return the correct guest machine page addresses" (§5.3):
+			// chained fragments may be guest pages, which live below the
+			// dom0 kernel split. Try the invoking context first, then the
+			// physical-to-machine view of every guest.
+			if page >= xen.Dom0KernelBase {
+				pa, ok := t.M.Dom0.AS.Translate(page + off)
+				if !ok {
+					return 0, fmt.Errorf("core: hv dma_map_page of unmapped %#x", page+off)
+				}
+				return pa, nil
+			}
+			if pa, ok := t.M.HV.Current.AS.Translate(page + off); ok {
+				return pa, nil
+			}
+			for _, d := range t.M.HV.Domains {
+				if d.ID == t.M.Dom0.ID {
+					continue
+				}
+				if pa, ok := d.AS.Translate(page + off); ok {
+					return pa, nil
+				}
+			}
+			return 0, fmt.Errorf("core: hv dma_map_page of unmapped guest page %#x", page+off)
+		}
+	case "dma_unmap_single", "dma_unmap_page":
+		fn = func(c *cpu.CPU) (uint32, error) {
+			c.Meter.AddTo(cycles.CompXen, cost.DmaUnmap)
+			return 0, nil
+		}
+	case "spin_trylock":
+		fn = func(c *cpu.CPU) (uint32, error) {
+			c.Meter.AddTo(cycles.CompXen, cost.SpinLock)
+			lock := c.Arg(0)
+			v, err := t.hvLoad(c, lock)
+			if err != nil {
+				return 0, err
+			}
+			if v != 0 {
+				return 0, nil
+			}
+			// The shared atomic word in dom0 memory synchronises the two
+			// instances (§4.4).
+			if err := t.hvStore(c, lock, 1); err != nil {
+				return 0, err
+			}
+			return 1, nil
+		}
+	case "spin_unlock_irqrestore":
+		fn = func(c *cpu.CPU) (uint32, error) {
+			c.Meter.AddTo(cycles.CompXen, cost.SpinUnlock)
+			return 0, t.hvStore(c, c.Arg(0), 0)
+		}
+	case "eth_type_trans":
+		fn = func(c *cpu.CPU) (uint32, error) {
+			c.Meter.AddTo(cycles.CompXen, cost.EthTypeTrans)
+			skb, dev := c.Arg(0), c.Arg(1)
+			data, err := t.hvLoad(c, skb+kernel.SkbData)
+			if err != nil {
+				return 0, err
+			}
+			proto, err := t.hvLoadSize(c, data+12, 2)
+			if err != nil {
+				return 0, err
+			}
+			proto = (proto>>8 | proto<<8) & 0xFFFF
+			ln, err := t.hvLoad(c, skb+kernel.SkbLen)
+			if err != nil {
+				return 0, err
+			}
+			if err := t.hvStore(c, skb+kernel.SkbData, data+14); err != nil {
+				return 0, err
+			}
+			if err := t.hvStore(c, skb+kernel.SkbLen, ln-14); err != nil {
+				return 0, err
+			}
+			if err := t.hvStore(c, skb+kernel.SkbProtocol, proto); err != nil {
+				return 0, err
+			}
+			if err := t.hvStore(c, skb+kernel.SkbDev, dev); err != nil {
+				return 0, err
+			}
+			return proto, nil
+		}
+	default:
+		return nil, false
+	}
+	return func(c *cpu.CPU) (uint32, error) {
+		t.HvCalls[name]++
+		return fn(c)
+	}, true
+}
+
+var _ = mem.PageSize // referenced by documentation examples

@@ -1,0 +1,207 @@
+// Package core implements the TwinDrivers framework itself: the machine
+// builder that brings up dom0 with the VM driver instance, and the twin
+// loader that derives, loads and contains the hypervisor driver instance
+// (§4 and §5 of the paper).
+package core
+
+import (
+	"fmt"
+
+	"twindrivers/internal/asm"
+	"twindrivers/internal/cpu"
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/e1000"
+	"twindrivers/internal/isa"
+	"twindrivers/internal/kernel"
+	"twindrivers/internal/mem"
+	"twindrivers/internal/nic"
+	"twindrivers/internal/xen"
+)
+
+// NICDev couples a simulated NIC with its dom0-side identity.
+type NICDev struct {
+	NIC      *nic.NIC
+	Netdev   uint32 // dom0 address of the net_device
+	MMIOPhys uint32 // physical address of the register BAR
+	IRQ      uint32
+}
+
+// Machine is a complete simulated host: hypervisor, dom0 (with kernel and
+// the VM driver instance), one guest domain, and NICs. All four measured
+// configurations of the paper are built over this type.
+type Machine struct {
+	HV   *xen.Hypervisor
+	Dom0 *xen.Domain
+	DomU *xen.Domain
+	K    *kernel.Kernel
+	CPU  *cpu.CPU
+
+	Devs []*NICDev
+
+	// Unit is the assembled driver (original form).
+	Unit *asm.Unit
+	// VMImage is the loaded VM driver instance (original in the native
+	// machine; the identity-stlb rewritten binary once twinned).
+	VMImage *asm.Image
+
+	dom0StackTop uint32
+}
+
+// newBase builds the host without any driver loaded: hypervisor, domains,
+// kernel, dom0 stack and NIC hardware.
+func newBase(nNICs int) (*Machine, error) {
+	hv := xen.New()
+	dom0 := hv.CreateDomain(mem.OwnerDom0, "dom0")
+	domU := hv.CreateDomain(1, "domU")
+	k := kernel.New(hv, dom0)
+
+	m := &Machine{HV: hv, Dom0: dom0, DomU: domU, K: k, CPU: hv.CPU}
+
+	// dom0 kernel stack for driver execution.
+	stack := k.Alloc(16 * mem.PageSize)
+	m.dom0StackTop = stack + 16*mem.PageSize
+
+	u, err := asm.AssembleWithEquates(e1000.Source, kernel.Equates())
+	if err != nil {
+		return nil, fmt.Errorf("core: assemble driver: %w", err)
+	}
+	m.Unit = u
+
+	for i := 0; i < nNICs; i++ {
+		dev := nic.New(fmt.Sprintf("eth%d", i), hv.Phys, byte(i+1))
+		firstFrame := hv.Phys.ClaimMMIO(mem.OwnerDom0, nic.MMIOPages, dev)
+		nd := k.AllocNetdev(e1000.AdapterSize)
+		// Station address into netdev->mac before probe programs it.
+		for b := 0; b < 6; b++ {
+			if err := dom0.AS.Store(nd+kernel.NdMac+uint32(b), 1, uint32(dev.MAC[b])); err != nil {
+				return nil, err
+			}
+		}
+		d := &NICDev{NIC: dev, Netdev: nd, MMIOPhys: firstFrame * mem.PageSize, IRQ: uint32(16 + i)}
+		m.Devs = append(m.Devs, d)
+	}
+	return m, nil
+}
+
+// probeAll runs the VM driver instance's probe and open for every NIC.
+func (m *Machine) probeAll() error {
+	for i, d := range m.Devs {
+		if _, err := m.CallDriver(e1000.FnProbe, d.Netdev, d.MMIOPhys, d.IRQ); err != nil {
+			return fmt.Errorf("core: probe eth%d: %w", i, err)
+		}
+		if _, err := m.CallDriver(e1000.FnOpen, d.Netdev); err != nil {
+			return fmt.Errorf("core: open eth%d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// NewMachine builds a host with n NICs and the *original* driver loaded and
+// initialised in dom0 — the "native Linux" and "dom0" configurations.
+func NewMachine(nNICs int) (*Machine, error) {
+	m, err := newBase(nNICs)
+	if err != nil {
+		return nil, err
+	}
+	im, err := asm.Layout("e1000-vm", m.Unit, xen.Dom0DriverCode, xen.Dom0DriverData, m.K.Resolver())
+	if err != nil {
+		return nil, fmt.Errorf("core: load driver: %w", err)
+	}
+	if err := m.mapDriverData(im); err != nil {
+		return nil, err
+	}
+	m.VMImage = im
+	m.HV.CPU.AddImage(im)
+	if err := m.probeAll(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// mapDriverData maps and initialises a driver image's data segment into
+// dom0 (the module loader's job).
+func (m *Machine) mapDriverData(im *asm.Image) error {
+	size := im.DataEnd - im.DataBase
+	pages := int(size/mem.PageSize) + 1
+	frames := m.HV.Phys.AllocFrames(m.Dom0.ID, pages)
+	m.Dom0.AS.MapRange(im.DataBase, frames, pages)
+	return m.Dom0.AS.WriteBytes(im.DataBase, im.DataInit())
+}
+
+// CallDriver invokes a VM driver entry point by name, in dom0 context on
+// the dom0 kernel stack, attributing cycles to the driver bucket.
+func (m *Machine) CallDriver(fn string, args ...uint32) (uint32, error) {
+	entry, ok := m.VMImage.FuncEntry(fn)
+	if !ok {
+		return 0, fmt.Errorf("core: no driver entry %q", fn)
+	}
+	m.HV.Switch(m.Dom0)
+	saved := m.CPU.Regs[isa.ESP]
+	m.CPU.Regs[isa.ESP] = m.dom0StackTop
+	m.CPU.Meter.PushComponent(cycles.CompDriver)
+	ret, err := m.CPU.Call(entry, args...)
+	m.CPU.Meter.PopComponent()
+	m.CPU.Regs[isa.ESP] = saved
+	return ret, err
+}
+
+// DevQueueXmit is the kernel's dev_queue_xmit: invoke the device's
+// hard_start_xmit function pointer with an sk_buff, in dom0 context.
+func (m *Machine) DevQueueXmit(d *NICDev, skb uint32) (uint32, error) {
+	fp, err := m.Dom0.AS.Load(d.Netdev+kernel.NdXmit, 4)
+	if err != nil {
+		return 0, err
+	}
+	m.HV.Switch(m.Dom0)
+	saved := m.CPU.Regs[isa.ESP]
+	m.CPU.Regs[isa.ESP] = m.dom0StackTop
+	m.CPU.Meter.PushComponent(cycles.CompDriver)
+	ret, cerr := m.CPU.Call(fp, skb, d.Netdev)
+	m.CPU.Meter.PopComponent()
+	m.CPU.Regs[isa.ESP] = saved
+	return ret, cerr
+}
+
+// HandleIRQ services a NIC interrupt through the dom0 kernel (the native
+// Linux / plain-Xen interrupt path: the caller accounts any domain switch).
+func (m *Machine) HandleIRQ(d *NICDev) error {
+	m.HV.Switch(m.Dom0)
+	saved := m.CPU.Regs[isa.ESP]
+	m.CPU.Regs[isa.ESP] = m.dom0StackTop
+	err := m.K.DispatchIRQ(m.CPU, d.IRQ)
+	m.CPU.Regs[isa.ESP] = saved
+	return err
+}
+
+// RunTimers fires due dom0 timers (driver watchdog) on the dom0 stack.
+func (m *Machine) RunTimers() error {
+	m.HV.Switch(m.Dom0)
+	saved := m.CPU.Regs[isa.ESP]
+	m.CPU.Regs[isa.ESP] = m.dom0StackTop
+	err := m.K.RunTimers(m.CPU)
+	m.CPU.Regs[isa.ESP] = saved
+	return err
+}
+
+// NewTxSkb builds an sk_buff carrying payload, ready for DevQueueXmit.
+func (m *Machine) NewTxSkb(d *NICDev, payload []byte) (uint32, error) {
+	skb := m.K.AllocSkb(d.Netdev)
+	if err := m.K.SkbPut(skb, payload); err != nil {
+		return 0, err
+	}
+	return skb, nil
+}
+
+// EthernetFrame builds a minimal frame: dst MAC, src MAC, ethertype,
+// payload padded to at least 60 bytes.
+func EthernetFrame(dst [6]byte, src [6]byte, ethertype uint16, payload []byte) []byte {
+	f := make([]byte, 14, 14+len(payload))
+	copy(f[0:6], dst[:])
+	copy(f[6:12], src[:])
+	f[12], f[13] = byte(ethertype>>8), byte(ethertype)
+	f = append(f, payload...)
+	for len(f) < 60 {
+		f = append(f, 0)
+	}
+	return f
+}

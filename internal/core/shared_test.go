@@ -1,0 +1,276 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"twindrivers/internal/cost"
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/e1000"
+	"twindrivers/internal/kernel"
+	"twindrivers/internal/mem"
+)
+
+// adapter offsets mirrored from the driver source (guarded by
+// TestDriverSourceDocumentsAdapterLayout in internal/e1000).
+const (
+	adLock = 48
+)
+
+// TestSynchronizationSharedSpinlock is §4.4 of the paper: "these
+// synchronization operations continue to work correctly for the hypervisor
+// driver instance since they operate on atomic synchronization variables
+// which are also shared between the hypervisor and VM driver." The VM
+// instance (dom0) takes the adapter lock; the hypervisor instance's
+// transmit must then fail its trylock and report busy — on the SAME lock
+// word in dom0 memory.
+func TestSynchronizationSharedSpinlock(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	capture(d)
+	priv, _ := m.Dom0.AS.Load(d.Netdev+kernel.NdPriv, 4)
+	lock := priv + adLock
+
+	// dom0 (conceptually: the VM instance's config path) holds the lock.
+	if err := m.Dom0.AS.Store(lock, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.HV.Switch(m.DomU)
+	frame := EthernetFrame([6]byte{1, 1, 1, 1, 1, 1}, d.NIC.MAC, 0x0800, payload(400, 1))
+	err = tw.GuestTransmit(d, frame)
+	if err != ErrTxBusy {
+		t.Fatalf("hypervisor instance ignored the held lock: %v", err)
+	}
+	// Release in dom0; the hypervisor instance proceeds.
+	if err := m.Dom0.AS.Store(lock, 4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.GuestTransmit(d, frame); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	// And the hypervisor instance's unlock is visible to dom0.
+	if v, _ := m.Dom0.AS.Load(lock, 4); v != 0 {
+		t.Error("lock word not released through the shared data instance")
+	}
+}
+
+// TestVMInstanceRunsALittleSlower is §5.1.2: the VM driver instance runs
+// the same rewritten binary over an identity stlb and "continues to use
+// its original data addresses and functions correctly as before, except
+// that it runs a little slower."
+func TestVMInstanceRunsALittleSlower(t *testing.T) {
+	measure := func(m *Machine) float64 {
+		d := m.Devs[0]
+		capture(d)
+		frame := EthernetFrame([6]byte{1, 1, 1, 1, 1, 1}, d.NIC.MAC, 0x0800, payload(1000, 1))
+		for i := 0; i < 8; i++ {
+			skb, _ := m.NewTxSkb(d, frame)
+			if _, err := m.DevQueueXmit(d, skb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.CPU.Meter.Reset()
+		const reps = 40
+		for i := 0; i < reps; i++ {
+			skb, _ := m.NewTxSkb(d, frame)
+			if _, err := m.DevQueueXmit(d, skb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(m.CPU.Meter.Get(cycles.CompDriver)) / reps
+	}
+
+	orig, err := NewMachine(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native := measure(orig)
+
+	tm, _, err := NewTwinMachine(1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmInstance := measure(tm) // DevQueueXmit drives the VM instance
+
+	ratio := vmInstance / native
+	t.Logf("driver cycles/packet: original=%.0f rewritten-identity=%.0f (x%.2f)", native, vmInstance, ratio)
+	if ratio <= 1.1 {
+		t.Errorf("VM instance not slower (x%.2f); the identity stlb costs something", ratio)
+	}
+	if ratio > 4 {
+		t.Errorf("VM instance catastrophically slower (x%.2f)", ratio)
+	}
+	// Functionally identical: both transmitted everything (verified by
+	// DevQueueXmit returning 0 above).
+}
+
+// TestMultiGuestDemux: received packets route to the guest registered for
+// their destination MAC (§5.3: "demultiplexes the received packets based
+// on the destination MAC address").
+func TestMultiGuestDemux(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	domV := m.HV.CreateDomain(2, "domV")
+	macU := [6]byte{0x02, 0, 0, 0, 0, 0xAA}
+	macV := [6]byte{0x02, 0, 0, 0, 0, 0xBB}
+	tw.RegisterGuestMAC(macU, m.DomU.ID)
+	tw.RegisterGuestMAC(macV, domV.ID)
+
+	m.HV.Switch(m.DomU)
+	fu := EthernetFrame(macU, [6]byte{1, 1, 1, 1, 1, 1}, 0x0800, payload(300, 1))
+	fv := EthernetFrame(macV, [6]byte{1, 1, 1, 1, 1, 2}, 0x0800, payload(300, 2))
+	for _, f := range [][]byte{fu, fv, fu} {
+		if !d.NIC.Inject(f) {
+			t.Fatal("inject")
+		}
+		if err := tw.HandleIRQ(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tw.PendingRx(m.DomU.ID) != 2 || tw.PendingRx(domV.ID) != 1 {
+		t.Fatalf("demux: domU=%d domV=%d", tw.PendingRx(m.DomU.ID), tw.PendingRx(domV.ID))
+	}
+	pu, err := tw.DeliverPending(m.DomU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := tw.DeliverPending(domV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pu) != 2 || !bytes.Equal(pu[0], fu) {
+		t.Error("domU packets wrong")
+	}
+	if len(pv) != 1 || !bytes.Equal(pv[0], fv) {
+		t.Error("domV packets wrong")
+	}
+}
+
+// TestPoolExhaustionIsTransient: draining the hypervisor's preallocated
+// buffer pool produces ErrTxBusy, not corruption; completions replenish.
+func TestPoolExhaustionIsTransient(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, TwinConfig{PoolSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	// Do NOT wire OnTransmit draining: hold completions by disabling TCTL
+	// so descriptors pend... simpler: fill the ring faster than reaping by
+	// queueing to a NIC whose transmit engine is disabled.
+	regs, _ := m.Dom0.AS.Load(d.Netdev+kernel.NdBase, 4)
+	if err := m.Dom0.AS.Store(regs+0x400, 4, 0); err != nil { // TCTL off
+		t.Fatal(err)
+	}
+	m.HV.Switch(m.DomU)
+	frame := EthernetFrame([6]byte{1, 1, 1, 1, 1, 1}, d.NIC.MAC, 0x0800, payload(200, 1))
+	busy := false
+	for i := 0; i < 16; i++ {
+		if err := tw.GuestTransmit(d, frame); err == ErrTxBusy {
+			busy = true
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !busy {
+		t.Fatal("pool never exhausted with TCTL off")
+	}
+	// Re-enable and kick the engine, then recover through the real path:
+	// the next interrupt runs the driver, whose clean_tx frees the pool
+	// buffers parked on completed descriptors.
+	if err := m.Dom0.AS.Store(regs+0x400, 4, 2); err != nil { // TCTL_EN
+		t.Fatal(err)
+	}
+	priv, _ := m.Dom0.AS.Load(d.Netdev+kernel.NdPriv, 4)
+	tail, _ := m.Dom0.AS.Load(priv+20, 4) // AD_TX_TAIL
+	m.Dom0.AS.Store(regs+0x3818, 4, tail) // rewrite TDT: drain the backlog
+	rx := EthernetFrame(d.NIC.MAC, [6]byte{3, 3, 3, 3, 3, 3}, 0x0800, payload(100, 9))
+	if !d.NIC.Inject(rx) {
+		t.Fatal("inject")
+	}
+	if err := tw.HandleIRQ(d); err != nil { // ICR has TXDW|RXT0: reaps TX
+		t.Fatal(err)
+	}
+	if _, err := tw.DeliverPending(m.DomU); err != nil {
+		t.Fatal(err)
+	}
+	if tw.PoolFree() == 0 {
+		t.Fatal("interrupt path did not replenish the pool")
+	}
+	if err := tw.GuestTransmit(d, frame); err != nil {
+		t.Fatalf("pool did not recover: %v (free=%d)", err, tw.PoolFree())
+	}
+}
+
+// TestMapWindowCoversWorkload: the paper's stlb maps "up to 16MB of dom0
+// virtual memory"; our window is larger but finite. A receive burst that
+// touches many distinct pool buffers stays within it.
+func TestMapWindowCoversWorkload(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	m.HV.Switch(m.DomU)
+	for i := 0; i < 300; i++ {
+		rx := EthernetFrame(d.NIC.MAC, [6]byte{9, 9, 9, 9, 9, byte(i)}, 0x0800, payload(cost.MTU-14, byte(i)))
+		if !d.NIC.Inject(rx) {
+			t.Fatal("inject")
+		}
+		if err := tw.HandleIRQ(d); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tw.DeliverPending(m.DomU); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Mapped pages stay bounded (buffers are recycled, not leaked).
+	if n := tw.SV.MappedPages(); n > 2048 {
+		t.Errorf("SVM mapped %d pages (8 MB+) for a recycled workload", n)
+	}
+}
+
+// TestManagementOpsViaVMInstance: ethtool-style operations keep running in
+// dom0 against the shared data while the hypervisor instance does I/O
+// (§3.1: "avoids the need to port existing user-space tools").
+func TestManagementOpsViaVMInstance(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	capture(d)
+	m.HV.Switch(m.DomU)
+	frame := EthernetFrame([6]byte{1, 1, 1, 1, 1, 1}, d.NIC.MAC, 0x0800, payload(600, 1))
+	if err := tw.GuestTransmit(d, frame); err != nil {
+		t.Fatal(err)
+	}
+	// set_mac via the VM instance reprograms the NIC the hypervisor
+	// instance is using.
+	macBuf := m.K.Alloc(8)
+	newMac := []byte{0x02, 0xDE, 0xAD, 0xBE, 0xEF, 0x01}
+	if err := m.Dom0.AS.WriteBytes(macBuf, newMac); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.CallDriver(e1000.FnSetMac, d.Netdev, macBuf); err != nil {
+		t.Fatalf("set_mac: %v", err)
+	}
+	if !bytes.Equal(d.NIC.MAC[:], newMac) {
+		t.Errorf("NIC MAC = %x", d.NIC.MAC)
+	}
+	// ethtool get_link still works.
+	if v, err := m.CallDriver(e1000.FnEthtoolGetLink, d.Netdev); err != nil || v != 1 {
+		t.Errorf("get_link = %d, %v", v, err)
+	}
+	// And the hypervisor instance still transmits afterwards.
+	if err := tw.GuestTransmit(d, frame); err != nil {
+		t.Fatalf("transmit after management op: %v", err)
+	}
+	_ = mem.PageSize
+}

@@ -1,0 +1,581 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"twindrivers/internal/asm"
+	"twindrivers/internal/cost"
+	"twindrivers/internal/cpu"
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/e1000"
+	"twindrivers/internal/isa"
+	"twindrivers/internal/kernel"
+	"twindrivers/internal/mem"
+	"twindrivers/internal/rewrite"
+	"twindrivers/internal/svm"
+	"twindrivers/internal/upcall"
+	"twindrivers/internal/xen"
+)
+
+// DefaultHvSupport is Table 1 of the paper: the support routines called
+// during error-free execution of the e1000 transmit and receive paths,
+// implemented natively in the hypervisor.
+func DefaultHvSupport() []string {
+	return []string{
+		"netdev_alloc_skb",
+		"dev_kfree_skb_any",
+		"netif_rx",
+		"dma_map_single",
+		"dma_map_page",
+		"dma_unmap_single",
+		"dma_unmap_page",
+		"spin_trylock",
+		"spin_unlock_irqrestore",
+		"eth_type_trans",
+	}
+}
+
+// TwinConfig parameterises the derivation.
+type TwinConfig struct {
+	// HvSupport names the support routines implemented natively in the
+	// hypervisor; every other imported routine becomes an upcall stub.
+	// Nil means DefaultHvSupport (all ten fast-path routines; zero
+	// upcalls per invocation, the leftmost bar of Figure 10).
+	HvSupport []string
+
+	// Watchdog is the instruction budget per hypervisor-driver invocation
+	// (VINO-style containment, §4.5.2). 0 means 2,000,000.
+	Watchdog uint64
+
+	// Rewrite options; RejectPrivileged is forced on.
+	Rewrite rewrite.Options
+
+	// PoolSize is the number of preallocated dom0 sk_buffs reserved for
+	// the hypervisor (§4.3's buffer pool). 0 means 1024.
+	PoolSize int
+
+	// ShadowStack enables return-address checking during hypervisor
+	// driver execution (§4.5.1 extension).
+	ShadowStack bool
+
+	// STLBEntries sizes the software translation table (0 = the paper's
+	// 4096). Smaller tables collide more — the stlb-size ablation.
+	STLBEntries int
+}
+
+// ErrDriverDead reports that the hypervisor instance was aborted and torn
+// down after a containment fault.
+var ErrDriverDead = errors.New("core: hypervisor driver instance is dead")
+
+// ErrTxBusy reports a transient transmit-ring-full condition.
+var ErrTxBusy = errors.New("core: transmit ring busy")
+
+// Twin is the loaded TwinDrivers runtime: both instances live, single data
+// copy in dom0.
+type Twin struct {
+	M *Machine
+
+	// SV is the hypervisor instance's translating SVM; IdentSV the VM
+	// instance's identity SVM.
+	SV      *svm.SVM
+	IdentSV *svm.SVM
+
+	// HVImage is the derived driver loaded in the hypervisor.
+	HVImage *asm.Image
+
+	// RewriteStats describes the derivation.
+	RewriteStats *rewrite.Stats
+
+	// Upcalls manages stubs for non-hypervisor-implemented routines.
+	Upcalls *upcall.Manager
+
+	// HvCalls counts invocations of the hypervisor's native support
+	// routines by name.
+	HvCalls map[string]uint64
+
+	// Dead is set after a containment fault; FaultLog records them.
+	Dead     bool
+	FaultLog []string
+
+	cfg        TwinConfig
+	hvSupport  map[string]bool
+	xmitEntry  uint32
+	intrEntry  uint32
+	stackTop   uint32
+	guardLo    uint32
+	guardHi    uint32
+	pool       []uint32          // free pooled skbs
+	fragBuf    map[uint32]uint32 // pooled skb -> preallocated frag buffer
+	rxQueues   map[mem.Owner][]uint32
+	macToDom   map[[6]byte]mem.Owner
+	pendingIRQ []*NICDev // deferred while dom0 masks virtual interrupts
+	guestTxBuf uint32    // guest-side bounce buffer for GuestTransmit
+}
+
+// NewTwinMachine builds a machine whose driver is twinned from the start:
+// the same rewritten binary serves as the VM instance in dom0 (identity
+// stlb) and as the hypervisor instance (translating stlb) — §5.1.2.
+func NewTwinMachine(nNICs int, cfg TwinConfig) (*Machine, *Twin, error) {
+	m, err := newBase(nNICs)
+	if err != nil {
+		return nil, nil, err
+	}
+	t, err := loadTwin(m, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Initialisation runs through the VM instance, exactly as in the
+	// paper ("we first load the VM driver into the dom0 kernel where it
+	// performs the initialization", §3.1).
+	if err := m.probeAll(); err != nil {
+		return nil, nil, err
+	}
+	return m, t, nil
+}
+
+func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
+	if cfg.Watchdog == 0 {
+		cfg.Watchdog = 2_000_000
+	}
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = 1024
+	}
+	if cfg.HvSupport == nil {
+		cfg.HvSupport = DefaultHvSupport()
+	}
+	cfg.Rewrite.RejectPrivileged = true
+	if cfg.STLBEntries == 0 {
+		cfg.STLBEntries = svm.NumEntries
+	}
+	cfg.Rewrite.STLBEntries = cfg.STLBEntries
+
+	t := &Twin{
+		M:         m,
+		HvCalls:   make(map[string]uint64),
+		cfg:       cfg,
+		hvSupport: make(map[string]bool),
+		fragBuf:   make(map[uint32]uint32),
+		rxQueues:  make(map[mem.Owner][]uint32),
+		macToDom:  make(map[[6]byte]mem.Owner),
+	}
+	for _, n := range cfg.HvSupport {
+		if !m.K.IsSupportRoutine(n) {
+			return nil, fmt.Errorf("core: unknown hypervisor support routine %q", n)
+		}
+		t.hvSupport[n] = true
+	}
+
+	ru, stats, err := rewrite.Rewrite(m.Unit, cfg.Rewrite)
+	if err != nil {
+		return nil, fmt.Errorf("core: derive driver: %w", err)
+	}
+	t.RewriteStats = stats
+
+	hv, k := m.HV, m.K
+
+	// --- VM instance: rewritten binary, identity stlb, in dom0 ----------
+	tableBytes := uint32(cfg.STLBEntries * svm.EntrySize)
+	idTable := k.Alloc(tableBytes)
+	idSv, err := svm.NewSized(hv, m.Dom0, m.Dom0.AS, idTable, cfg.STLBEntries, true)
+	if err != nil {
+		return nil, err
+	}
+	t.IdentSV = idSv
+	idSlow := hv.BindGate("__svm_slowpath.vm", func(c *cpu.CPU) (uint32, error) {
+		return idSv.SlowPath(c.Meter, c.Arg(0))
+	})
+	idGlobals := k.Alloc(32) // code_lo/hi/delta zero: no adjustment
+	stackViol := hv.BindGate("__svm_stack_violation", func(c *cpu.CPU) (uint32, error) {
+		return 0, &cpu.Fault{Kind: cpu.FaultProtection, Msg: "stack bounds violation"}
+	})
+
+	vmResolve := func(sym string) (uint32, bool) {
+		switch sym {
+		case rewrite.SymSTLB:
+			return idTable, true
+		case rewrite.SymSlowPath:
+			return idSlow, true
+		case rewrite.SymStackViolation:
+			return stackViol, true
+		case rewrite.SymCodeLo, rewrite.SymCodeHi, rewrite.SymCodeDelta:
+			return idGlobals + 0, true // all read as zero
+		case rewrite.SymScratch:
+			return idGlobals + 12, true
+		case rewrite.SymStackLo:
+			return idGlobals + 16, true
+		case rewrite.SymStackHi:
+			return idGlobals + 20, true
+		}
+		return k.Resolver()(sym)
+	}
+	vmIm, err := asm.Layout("e1000-vm", ru, xen.Dom0DriverCode, xen.Dom0DriverData, vmResolve)
+	if err != nil {
+		return nil, fmt.Errorf("core: load VM instance: %w", err)
+	}
+	if err := m.mapDriverData(vmIm); err != nil {
+		return nil, err
+	}
+	m.VMImage = vmIm
+	hv.CPU.AddImage(vmIm)
+
+	// --- Hypervisor instance: translating stlb, upcall stubs -------------
+	hvTable := hv.AllocHVPages(int(tableBytes+mem.PageSize-1) / mem.PageSize)
+	sv, err := svm.NewSized(hv, m.Dom0, hv.HVSpace, hvTable, cfg.STLBEntries, false)
+	if err != nil {
+		return nil, err
+	}
+	t.SV = sv
+	hvSlow := hv.BindGate("__svm_slowpath.hv", func(c *cpu.CPU) (uint32, error) {
+		return sv.SlowPath(c.Meter, c.Arg(0))
+	})
+	hvGlobals := hv.AllocHVPages(1)
+	top, lo, hi := hv.AllocStack(16)
+	t.stackTop, t.guardLo, t.guardHi = top, lo, hi
+
+	t.Upcalls = upcall.New(hv, m.Dom0)
+
+	// Call-import resolution: hypervisor implementation, else upcall stub.
+	stubAddrs := make(map[string]uint32)
+	implAddrs := make(map[string]uint32)
+	for _, sym := range ru.UndefinedSymbols() {
+		if !k.IsSupportRoutine(sym) {
+			continue
+		}
+		name := sym
+		if t.hvSupport[name] {
+			fn, ok := hvSupportImpl(t, name)
+			if !ok {
+				return nil, fmt.Errorf("core: no hypervisor implementation of %q", name)
+			}
+			implAddrs[name] = hv.BindGate("hv."+name, fn)
+			continue
+		}
+		impl, ok := k.Extern(name)
+		if !ok {
+			return nil, fmt.Errorf("core: no dom0 implementation of %q", name)
+		}
+		stubAddrs[name] = hv.BindGate("stub."+name, t.Upcalls.MakeStub(name, impl))
+	}
+
+	hvResolve := func(sym string) (uint32, bool) {
+		switch sym {
+		case rewrite.SymSTLB:
+			return hvTable, true
+		case rewrite.SymSlowPath:
+			return hvSlow, true
+		case rewrite.SymStackViolation:
+			return stackViol, true
+		case rewrite.SymCodeLo:
+			return hvGlobals + 0, true
+		case rewrite.SymCodeHi:
+			return hvGlobals + 4, true
+		case rewrite.SymCodeDelta:
+			return hvGlobals + 8, true
+		case rewrite.SymScratch:
+			return hvGlobals + 12, true
+		case rewrite.SymStackLo:
+			return hvGlobals + 16, true
+		case rewrite.SymStackHi:
+			return hvGlobals + 20, true
+		}
+		if a, ok := implAddrs[sym]; ok {
+			return a, true
+		}
+		if a, ok := stubAddrs[sym]; ok {
+			return a, true
+		}
+		// Kernel data imports (jiffies) resolve to their dom0 addresses,
+		// reached through SVM at run time (§5.2).
+		if a, ok := k.Resolver()(sym); ok {
+			return a, true
+		}
+		return 0, false
+	}
+	// Data at the same dom0 base: one copy of driver data (§3.2).
+	hvIm, err := asm.Layout("e1000-hv", ru, xen.HVDriverCode, xen.Dom0DriverData, hvResolve)
+	if err != nil {
+		return nil, fmt.Errorf("core: load hypervisor instance: %w", err)
+	}
+	t.HVImage = hvIm
+	hv.CPU.AddImage(hvIm)
+
+	// Twin globals for the hypervisor instance: the VM instance's code
+	// range and the constant code delta.
+	for _, w := range []struct {
+		off uint32
+		val uint32
+	}{
+		{0, vmIm.CodeBase},
+		{4, vmIm.CodeEnd},
+		{8, xen.HVDriverCode - xen.Dom0DriverCode},
+		{16, lo},
+		{20, hi},
+	} {
+		if err := hv.HVSpace.Store(hvGlobals+w.off, 4, w.val); err != nil {
+			return nil, err
+		}
+	}
+
+	var ok bool
+	if t.xmitEntry, ok = hvIm.FuncEntry(e1000.FnXmit); !ok {
+		return nil, fmt.Errorf("core: derived driver lacks %s", e1000.FnXmit)
+	}
+	if t.intrEntry, ok = hvIm.FuncEntry(e1000.FnIntr); !ok {
+		return nil, fmt.Errorf("core: derived driver lacks %s", e1000.FnIntr)
+	}
+
+	// Preallocated dom0 buffer pool with the refcount trick (§4.3).
+	for i := 0; i < cfg.PoolSize; i++ {
+		skb := k.AllocSkb(0)
+		k.Dom.AS.Store(skb+kernel.SkbPool, 4, 1)
+		k.Dom.AS.Store(skb+kernel.SkbRefcnt, 4, 1)
+		t.fragBuf[skb] = k.Alloc(kernel.SkbBufSize)
+		t.pool = append(t.pool, skb)
+	}
+
+	// Default guest routing: every NIC MAC delivers to domU.
+	for _, d := range m.Devs {
+		t.macToDom[d.NIC.MAC] = m.DomU.ID
+	}
+	// Guest-side transmit buffer (stands in for the guest's own packet
+	// pages; the paravirtual driver hands their addresses down).
+	t.guestTxBuf = hv.AllocHeap(m.DomU, 2*mem.PageSize)
+	return t, nil
+}
+
+// RegisterGuestMAC routes received packets with the given destination MAC
+// to a domain.
+func (t *Twin) RegisterGuestMAC(mac [6]byte, dom mem.Owner) {
+	t.macToDom[mac] = dom
+}
+
+// PoolFree reports the number of free pooled sk_buffs.
+func (t *Twin) PoolFree() int { return len(t.pool) }
+
+// poolGet pops a pooled skb and reinitialises it.
+func (t *Twin) poolGet() (uint32, bool) {
+	n := len(t.pool)
+	if n == 0 {
+		return 0, false
+	}
+	skb := t.pool[n-1]
+	t.pool = t.pool[:n-1]
+	as := t.M.Dom0.AS
+	head, _ := as.Load(skb+kernel.SkbHead, 4)
+	as.Store(skb+kernel.SkbData, 4, head)
+	as.Store(skb+kernel.SkbLen, 4, 0)
+	as.Store(skb+kernel.SkbNrFrags, 4, 0)
+	as.Store(skb+kernel.SkbNext, 4, 0)
+	as.Store(skb+kernel.SkbRefcnt, 4, 1)
+	as.Store(skb+kernel.SkbPool, 4, 1)
+	return skb, true
+}
+
+func (t *Twin) poolPut(skb uint32) { t.pool = append(t.pool, skb) }
+
+// invokeHV runs a derived-driver entry point in the *current* domain
+// context — no address-space switch, the core performance property — on
+// the guard-paged hypervisor stack, under the watchdog budget. A fault
+// aborts and tears down the instance (containment).
+func (t *Twin) invokeHV(entry uint32, args ...uint32) (uint32, error) {
+	if t.Dead {
+		return 0, ErrDriverDead
+	}
+	c := t.M.CPU
+	savedSP := c.Regs[isa.ESP]
+	savedBudget := c.Budget
+	savedShadow := c.ShadowStack
+	c.Regs[isa.ESP] = t.stackTop
+	c.GuardLow, c.GuardHigh = t.guardLo, t.guardHi
+	c.Budget = t.cfg.Watchdog
+	c.ShadowStack = t.cfg.ShadowStack
+	c.Meter.PushComponent(cycles.CompDriver)
+
+	ret, err := c.Call(entry, args...)
+
+	c.Meter.PopComponent()
+	c.Regs[isa.ESP] = savedSP
+	c.GuardLow, c.GuardHigh = 0, 0
+	c.Budget = savedBudget
+	c.ShadowStack = savedShadow
+
+	if err != nil {
+		t.abort(err)
+		return 0, fmt.Errorf("%w: %v", ErrDriverDead, err)
+	}
+	return ret, nil
+}
+
+// abort implements containment: the faulting hypervisor instance is marked
+// dead and unloaded; dom0 and its VM instance are untouched.
+func (t *Twin) abort(cause error) {
+	t.Dead = true
+	t.FaultLog = append(t.FaultLog, cause.Error())
+	t.M.CPU.RemoveImage(t.HVImage)
+}
+
+// GuestTransmit sends a guest packet through the hypervisor driver: the
+// paravirtual driver's hypercall path (§5.3). The frame is staged in guest
+// memory; the hypervisor copies only the header (up to the first 96 bytes)
+// into a pooled dom0 sk_buff and chains the rest of the *guest* packet via
+// the sk_buff's page fragment pointers — the zero-copy transmit that makes
+// the hypervisor DMA helpers return "the correct guest machine page
+// addresses".
+func (t *Twin) GuestTransmit(d *NICDev, frame []byte) error {
+	if t.Dead {
+		return ErrDriverDead
+	}
+	// Stage the packet in guest memory (the guest stack's copy is priced
+	// by the caller as part of its kernel path).
+	if err := t.M.DomU.AS.WriteBytes(t.guestTxBuf, frame); err != nil {
+		return err
+	}
+	return t.GuestTransmitAt(d, t.guestTxBuf, len(frame))
+}
+
+// GuestTransmitAt transmits n bytes already staged at a guest virtual
+// address.
+func (t *Twin) GuestTransmitAt(d *NICDev, guestAddr uint32, n int) error {
+	if t.Dead {
+		return ErrDriverDead
+	}
+	hv := t.M.HV
+	hv.ChargeHypercall()
+
+	skb, ok := t.poolGet()
+	if !ok {
+		return ErrTxBusy
+	}
+	meter := hv.Meter
+	as := t.M.Dom0.AS
+
+	hdr := n
+	if hdr > 96 {
+		hdr = 96
+	}
+	// Header copy into the pooled skb (persistently mapped into the
+	// hypervisor), guest pages chained for the body.
+	head, _ := as.Load(skb+kernel.SkbHead, 4)
+	ta, err := t.SV.Translate(meter, head)
+	if err != nil {
+		return err
+	}
+	meter.AddTo(cycles.CompXen, uint64(hdr)*cost.HvCopyPerByte)
+	meter.TouchLines(ta, hdr)
+	if err := mem.Copy(hv.HVSpace, ta, t.M.DomU.AS, guestAddr, hdr); err != nil {
+		return err
+	}
+	as.Store(skb+kernel.SkbLen, 4, uint32(n))
+	if n > hdr {
+		as.Store(skb+kernel.SkbNrFrags, 4, 1)
+		as.Store(skb+kernel.SkbFragPage, 4, guestAddr)
+		as.Store(skb+kernel.SkbFragOff, 4, uint32(hdr))
+		as.Store(skb+kernel.SkbFragSize, 4, uint32(n-hdr))
+	} else {
+		as.Store(skb+kernel.SkbNrFrags, 4, 0)
+	}
+
+	ret, err := t.invokeHV(t.xmitEntry, skb, d.Netdev)
+	if err != nil {
+		return err
+	}
+	if ret != 0 {
+		t.poolPut(skb)
+		return ErrTxBusy
+	}
+	return nil
+}
+
+// HandleIRQ services a NIC interrupt with the hypervisor driver instance,
+// directly in the current domain context. If dom0 has masked its virtual
+// interrupt flag, the invocation is deferred to a softirq (§4.4).
+func (t *Twin) HandleIRQ(d *NICDev) error {
+	if t.Dead {
+		return ErrDriverDead
+	}
+	if t.M.Dom0.VirtIRQMasked {
+		t.pendingIRQ = append(t.pendingIRQ, d)
+		return nil
+	}
+	t.M.HV.Meter.AddTo(cycles.CompXen, cost.IrqOverhead)
+	_, err := t.invokeHV(t.intrEntry, d.IRQ, d.Netdev)
+	return err
+}
+
+// RunSoftirq services interrupts deferred while dom0 masked its virtual
+// interrupt flag.
+func (t *Twin) RunSoftirq() error {
+	if t.M.Dom0.VirtIRQMasked {
+		return nil
+	}
+	pend := t.pendingIRQ
+	t.pendingIRQ = nil
+	for _, d := range pend {
+		t.M.HV.Meter.AddTo(cycles.CompXen, cost.IrqOverhead)
+		if _, err := t.invokeHV(t.intrEntry, d.IRQ, d.Netdev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PendingRx reports queued-but-undelivered packets for a domain.
+func (t *Twin) PendingRx(dom mem.Owner) int { return len(t.rxQueues[dom]) }
+
+// DeliverPending copies every queued received packet into guest buffers
+// (the hypervisor's per-packet copy that dominates its receive overhead in
+// Figure 8) and raises one virtual interrupt. It returns the packets.
+func (t *Twin) DeliverPending(dom *xen.Domain) ([][]byte, error) {
+	q := t.rxQueues[dom.ID]
+	if len(q) == 0 {
+		return nil, nil
+	}
+	t.rxQueues[dom.ID] = nil
+	meter := t.M.HV.Meter
+	var out [][]byte
+	for _, skb := range q {
+		as := t.M.Dom0.AS
+		data, _ := as.Load(skb+kernel.SkbData, 4)
+		ln, _ := as.Load(skb+kernel.SkbLen, 4)
+		// eth_type_trans pulled the 14-byte header; the guest receives
+		// the full frame.
+		start := data - 14
+		total := int(ln) + 14
+		ta, err := t.SV.Translate(meter, start)
+		if err != nil {
+			return nil, err
+		}
+		meter.AddTo(cycles.CompXen, uint64(total)*cost.HvCopyPerByte)
+		meter.TouchLines(ta, total)
+		pkt, err := t.M.Dom0.AS.ReadBytes(start, total)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkt)
+		t.poolFreeOrKernel(skb)
+	}
+	t.M.HV.SendEvent(dom)
+	t.M.HV.DeliverVirtIRQ(dom)
+	return out, nil
+}
+
+// poolFreeOrKernel returns an skb to the hypervisor pool or to the dom0
+// slab, depending on provenance.
+func (t *Twin) poolFreeOrKernel(skb uint32) {
+	as := t.M.Dom0.AS
+	if v, _ := as.Load(skb+kernel.SkbPool, 4); v != 0 {
+		t.poolPut(skb)
+		return
+	}
+	t.M.K.FreeSkb(skb)
+}
+
+// VMInstanceEntry exposes the VM instance entry for a named function
+// (management operations keep running in dom0, §3.1).
+func (t *Twin) VMInstanceEntry(fn string) (uint32, bool) {
+	return t.M.VMImage.FuncEntry(fn)
+}
+
+// UpcallsPerformed returns the total upcall count.
+func (t *Twin) UpcallsPerformed() uint64 { return t.Upcalls.Count }

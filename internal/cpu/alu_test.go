@@ -1,0 +1,175 @@
+package cpu
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// runALU executes "movl $a, %eax; <op>l $b, %eax" and returns eax plus the
+// setcc-decoded flags.
+func runALU(t *testing.T, op string, a, b uint32) (res uint32, zf, sf, cf, of bool) {
+	t.Helper()
+	src := fmt.Sprintf(`
+f:
+	movl	$%d, %%eax
+	%sl	$%d, %%eax
+	setb	flags
+	sete	flags+1
+	sets	flags+2
+	movl	%%eax, result
+	movl	result, %%eax
+	ret
+	.data
+flags:
+	.long	0
+result:
+	.long	0
+`, int32(a), op, int32(b))
+	c, im := testEnv(t, src)
+	entry, _ := im.FuncEntry("f")
+	v, err := c.Call(entry)
+	if err != nil {
+		t.Fatalf("%s %#x,%#x: %v", op, a, b, err)
+	}
+	fb, _ := c.AS.Load(0x200000, 4)
+	// The setcc instructions ran AFTER the ALU op and read its flags
+	// (setb/sete/sets do not write flags; the stores are plain movs).
+	return v, fb&0x100 != 0, fb&0x10000 != 0, fb&0x1 != 0, false
+}
+
+// reference computes the expected result and flags in Go.
+func reference(op string, a, b uint32) (res uint32, zf, sf, cf bool) {
+	switch op {
+	case "add":
+		r64 := uint64(a) + uint64(b)
+		res = uint32(r64)
+		cf = r64 > 0xFFFFFFFF
+	case "sub":
+		res = a - b
+		cf = a < b
+	case "and":
+		res = a & b
+	case "or":
+		res = a | b
+	case "xor":
+		res = a ^ b
+	}
+	zf = res == 0
+	sf = res&0x80000000 != 0
+	return
+}
+
+func TestALUAgainstReference(t *testing.T) {
+	ops := []string{"add", "sub", "and", "or", "xor"}
+	cases := [][2]uint32{
+		{0, 0}, {1, 1}, {0xFFFFFFFF, 1}, {0x80000000, 0x80000000},
+		{0x7FFFFFFF, 1}, {123456, 654321}, {0xFFFF0000, 0x0000FFFF},
+	}
+	for _, op := range ops {
+		for _, c := range cases {
+			got, zf, sf, cf, _ := runALU(t, op, c[0], c[1])
+			want, wzf, wsf, wcf := reference(op, c[0], c[1])
+			if got != want {
+				t.Errorf("%s(%#x,%#x) = %#x, want %#x", op, c[0], c[1], got, want)
+			}
+			if zf != wzf || sf != wsf {
+				t.Errorf("%s(%#x,%#x): ZF=%v SF=%v, want %v %v", op, c[0], c[1], zf, sf, wzf, wsf)
+			}
+			if (op == "add" || op == "sub") && cf != wcf {
+				t.Errorf("%s(%#x,%#x): CF=%v, want %v", op, c[0], c[1], cf, wcf)
+			}
+		}
+	}
+}
+
+// Property: simulated ALU matches the Go reference on random inputs.
+func TestQuickALUReference(t *testing.T) {
+	ops := []string{"add", "sub", "and", "or", "xor"}
+	fn := func(a, b uint32, opSel uint8) bool {
+		op := ops[int(opSel)%len(ops)]
+		got, zf, sf, cf, _ := runALU(t, op, a, b)
+		want, wzf, wsf, wcf := reference(op, a, b)
+		if got != want || zf != wzf || sf != wsf {
+			return false
+		}
+		if (op == "add" || op == "sub") && cf != wcf {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShiftSemantics pins down shift behaviour (counts masked to 31,
+// SAR sign extension) against Go references.
+func TestShiftSemantics(t *testing.T) {
+	cases := []struct {
+		op   string
+		v    uint32
+		cnt  uint32
+		want uint32
+	}{
+		{"shl", 1, 4, 16},
+		{"shl", 0x80000000, 1, 0},
+		{"shr", 0x80000000, 31, 1},
+		{"shr", 0xFF, 4, 0xF},
+		{"sar", 0x80000000, 31, 0xFFFFFFFF},
+		{"sar", 0xFFFFFFF0, 2, 0xFFFFFFFC},
+		{"sar", 0x40, 3, 8},
+		{"shl", 7, 32, 7}, // count masked to 0: unchanged
+		{"shr", 7, 33, 3}, // count masked to 1
+	}
+	for _, c := range cases {
+		src := fmt.Sprintf(`
+f:
+	movl	$%d, %%eax
+	%sl	$%d, %%eax
+	ret
+`, int32(c.v), c.op, int32(c.cnt))
+		cp, im := testEnv(t, src)
+		entry, _ := im.FuncEntry("f")
+		got, err := cp.Call(entry)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if got != c.want {
+			t.Errorf("%s %#x by %d = %#x, want %#x", c.op, c.v, c.cnt, got, c.want)
+		}
+	}
+}
+
+// TestMulDivSemantics checks the widening multiply and divide pairs.
+func TestMulDivSemantics(t *testing.T) {
+	src := `
+f:
+	movl	$0x10000, %eax
+	movl	$0x10000, %ecx
+	mull	%ecx              # edx:eax = 2^32
+	movl	%edx, %eax        # high word
+	ret
+`
+	c, im := testEnv(t, src)
+	entry, _ := im.FuncEntry("f")
+	v, err := c.Call(entry)
+	if err != nil || v != 1 {
+		t.Errorf("mul high = %d, %v", v, err)
+	}
+
+	src2 := `
+g:
+	movl	$1, %edx
+	movl	$4, %eax          # edx:eax = 2^32 + 4
+	movl	$2, %ecx
+	divl	%ecx              # q = 2^31 + 2, r = 0
+	ret
+`
+	c2, im2 := testEnv(t, src2)
+	e2, _ := im2.FuncEntry("g")
+	v2, err := c2.Call(e2)
+	if err != nil || v2 != 0x80000002 {
+		t.Errorf("div quotient = %#x, %v", v2, err)
+	}
+}

@@ -1,0 +1,129 @@
+package cycles
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAttribution(t *testing.T) {
+	m := NewMeter()
+	m.SetComponent(CompDom0)
+	m.Add(100)
+	m.PushComponent(CompXen)
+	m.Add(7)
+	m.PopComponent()
+	m.Add(3)
+	if m.Get(CompDom0) != 103 || m.Get(CompXen) != 7 {
+		t.Errorf("buckets: %s", m)
+	}
+	if m.Total() != 110 {
+		t.Errorf("total = %d", m.Total())
+	}
+	m.AddTo(CompDriver, 5)
+	if m.Get(CompDriver) != 5 {
+		t.Error("AddTo failed")
+	}
+}
+
+func TestPushPopNesting(t *testing.T) {
+	m := NewMeter()
+	m.SetComponent(CompDomU)
+	m.PushComponent(CompXen)
+	m.PushComponent(CompDom0)
+	if m.Component() != CompDom0 {
+		t.Error("push failed")
+	}
+	m.PopComponent()
+	if m.Component() != CompXen {
+		t.Error("pop failed")
+	}
+	m.PopComponent()
+	if m.Component() != CompDomU {
+		t.Error("pop to base failed")
+	}
+	m.PopComponent() // underflow is a no-op
+	if m.Component() != CompDomU {
+		t.Error("underflow changed component")
+	}
+}
+
+func TestTLBAndCacheWarmth(t *testing.T) {
+	m := NewMeter()
+	first := m.MemAccess(0x10000)
+	second := m.MemAccess(0x10004) // same line, same page
+	if second >= first {
+		t.Errorf("warm access (%d) should be cheaper than cold (%d)", second, first)
+	}
+	if m.TLBMisses != 1 || m.L1Misses != 1 {
+		t.Errorf("misses: tlb=%d l1=%d", m.TLBMisses, m.L1Misses)
+	}
+	// New line, same page: L1 miss only.
+	third := m.MemAccess(0x10040)
+	if third != CostL1Miss {
+		t.Errorf("new line cost = %d, want %d", third, CostL1Miss)
+	}
+	// Flush: both cold again.
+	m.FlushHW()
+	fourth := m.MemAccess(0x10000)
+	if fourth != first {
+		t.Errorf("post-flush cost = %d, want %d", fourth, first)
+	}
+}
+
+func TestIFetchWarmth(t *testing.T) {
+	m := NewMeter()
+	cold := m.IFetch(0x100000)
+	warm := m.IFetch(0x100008) // same line
+	if cold == 0 || warm != 0 {
+		t.Errorf("ifetch cold=%d warm=%d", cold, warm)
+	}
+	if m.L1IMisses != 1 {
+		t.Errorf("L1I misses = %d", m.L1IMisses)
+	}
+}
+
+func TestTouchLines(t *testing.T) {
+	m := NewMeter()
+	cost := m.TouchLines(0x20000, 1500)
+	// 1500 bytes = 24 lines; all cold.
+	if m.L1Misses != 24 {
+		t.Errorf("L1 misses = %d, want 24", m.L1Misses)
+	}
+	if cost == 0 {
+		t.Error("no cost charged")
+	}
+}
+
+func TestResetKeepsWarmth(t *testing.T) {
+	m := NewMeter()
+	m.MemAccess(0x30000)
+	m.Reset()
+	if m.Total() != 0 {
+		t.Error("reset did not clear buckets")
+	}
+	c := m.MemAccess(0x30000)
+	if c != CostL1Hit {
+		t.Errorf("warmth lost across reset: cost = %d", c)
+	}
+}
+
+// Property: repeated access to the same address is never dearer than the
+// first, and total equals the sum of per-component buckets.
+func TestQuickWarmthMonotone(t *testing.T) {
+	fn := func(addr uint32) bool {
+		m := NewMeter()
+		c1 := m.MemAccess(addr)
+		c2 := m.MemAccess(addr)
+		if c2 > c1 {
+			return false
+		}
+		var sum uint64
+		for _, v := range m.Breakdown() {
+			sum += v
+		}
+		return sum == m.Total()
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

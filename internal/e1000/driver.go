@@ -1,0 +1,1074 @@
+// Package e1000 contains the guest-OS network driver of the reproduction:
+// an Intel e1000-class driver written in the simulated machine's assembly,
+// structured after the Linux 2.6.18 e1000 driver the paper twins.
+//
+// The driver is ordinary guest-kernel code: it ioremaps the register BAR,
+// allocates descriptor rings with dma_alloc_coherent, fills the RX ring
+// with sk_buffs, transmits by stamping descriptors and bumping TDT, reaps
+// TX completions from the transmit path (TXDW interrupts masked), and
+// processes RX completions through eth_type_trans and netif_rx — with a
+// copybreak path that rep-movs small packets into fresh buffers, putting a
+// string instruction on the fast path (§5.1.1 of the paper). A watchdog
+// timer handles link state and hardware statistics (the VM-instance-only
+// work of §3.1), and ethtool-style entry points cover configuration. The
+// interrupt handler reaches its RX cleaner through a function pointer in
+// the adapter structure — the indirect call through driver data that
+// §5.1.2 translates.
+//
+// TwinDrivers never sees this source specially: the rewriter transforms it
+// like any compiled driver. Strict cdecl is observed (no live values in
+// caller-saved registers across calls), as compiler output would.
+package e1000
+
+// Ring and copybreak geometry (mirrored by equates in Source).
+const (
+	TxRing    = 256
+	RxRing    = 256
+	Copybreak = 256
+)
+
+// Entry point names exported by the driver.
+const (
+	FnProbe          = "e1000_probe"
+	FnOpen           = "e1000_open"
+	FnClose          = "e1000_close"
+	FnXmit           = "e1000_xmit_frame"
+	FnIntr           = "e1000_intr"
+	FnCleanRx        = "e1000_clean_rx"
+	FnCleanTx        = "e1000_clean_tx"
+	FnWatchdog       = "e1000_watchdog"
+	FnGetStats       = "e1000_get_stats"
+	FnSetMac         = "e1000_set_mac"
+	FnChangeMtu      = "e1000_change_mtu"
+	FnEthtoolGetLink = "e1000_ethtool_get_link"
+)
+
+// Source is the driver, in the dialect of internal/asm. Structure offsets
+// come from kernel.Equates() plus the ADAPTER (AD_*) equates defined here.
+const Source = `
+# e1000-class network driver for the simulated machine.
+# cdecl; callee saves ebx/esi/edi/ebp; args at 8(%ebp), 12(%ebp), ...
+
+	.equ	TX_RING, 256
+	.equ	RX_RING, 256
+	.equ	COPYBREAK, 256
+
+# Adapter private structure (lives in netdev->priv).
+	.equ	AD_NETDEV, 0
+	.equ	AD_REGS, 4
+	.equ	AD_TXD, 8          # TX descriptor ring vaddr
+	.equ	AD_TXD_DMA, 12
+	.equ	AD_TX_HEAD, 16     # next descriptor to reap
+	.equ	AD_TX_TAIL, 20     # next descriptor to use
+	.equ	AD_TXBI, 24        # TX buffer_info (8 bytes/entry: skb, dma)
+	.equ	AD_RXD, 28
+	.equ	AD_RXD_DMA, 32
+	.equ	AD_RX_HEAD, 36     # next descriptor to clean
+	.equ	AD_RX_TAIL, 40     # last descriptor handed to hw (RDT)
+	.equ	AD_RXBI, 44
+	.equ	AD_LOCK, 48
+	.equ	AD_CLEAN_RX, 52    # RX cleaner function pointer (indirect call)
+	.equ	AD_WDT, 56         # watchdog timer_list: 56..67
+	.equ	AD_GPTC, 68        # accumulated hardware stats
+	.equ	AD_GPRC, 72
+	.equ	AD_MPC, 76
+	.equ	AD_CRCERRS, 80
+	.equ	AD_LAST_TX_HEAD, 84
+	.equ	AD_IRQ, 88
+	.equ	AD_SIZE, 96
+
+	.text
+
+# ---------------------------------------------------------------------------
+# e1000_probe(netdev, mmio_phys, irq)
+# ---------------------------------------------------------------------------
+	.globl	e1000_probe
+e1000_probe:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	8(%ebp), %esi          # esi = netdev
+	movl	ND_PRIV(%esi), %ebx    # ebx = adapter
+	movl	%esi, AD_NETDEV(%ebx)
+
+	movl	16(%ebp), %eax         # irq
+	movl	%eax, AD_IRQ(%ebx)
+	movl	%eax, ND_IRQ(%esi)
+
+	pushl	$131072                # map the register BAR (128 KiB)
+	pushl	12(%ebp)
+	call	ioremap
+	addl	$8, %esp
+	movl	%eax, AD_REGS(%ebx)
+	movl	%eax, ND_BASE(%esi)
+
+	movl	AD_REGS(%ebx), %edi    # reset the function
+	movl	$CTRL_RST, %eax
+	movl	%eax, E1000_CTRL(%edi)
+
+	leal	AD_TXD_DMA(%ebx), %eax # TX descriptor ring
+	pushl	%eax
+	pushl	$4096
+	call	dma_alloc_coherent
+	addl	$8, %esp
+	movl	%eax, AD_TXD(%ebx)
+
+	leal	AD_RXD_DMA(%ebx), %eax # RX descriptor ring
+	pushl	%eax
+	pushl	$4096
+	call	dma_alloc_coherent
+	addl	$8, %esp
+	movl	%eax, AD_RXD(%ebx)
+
+	pushl	$2048                  # buffer_info arrays
+	call	kzalloc
+	addl	$4, %esp
+	movl	%eax, AD_TXBI(%ebx)
+	pushl	$2048
+	call	kzalloc
+	addl	$4, %esp
+	movl	%eax, AD_RXBI(%ebx)
+
+	xorl	%eax, %eax
+	movl	%eax, AD_TX_HEAD(%ebx)
+	movl	%eax, AD_TX_TAIL(%ebx)
+	movl	%eax, AD_RX_HEAD(%ebx)
+	movl	%eax, AD_RX_TAIL(%ebx)
+	movl	%eax, AD_LAST_TX_HEAD(%ebx)
+
+	leal	AD_LOCK(%ebx), %eax
+	pushl	%eax
+	call	spin_lock_init
+	addl	$4, %esp
+
+	movl	$e1000_xmit_frame, %eax    # entry points
+	movl	%eax, ND_XMIT(%esi)
+	movl	$e1000_clean_rx, %eax
+	movl	%eax, AD_CLEAN_RX(%ebx)
+
+	movl	AD_REGS(%ebx), %edi    # station address from netdev->mac
+	movl	ND_MAC(%esi), %eax
+	movl	%eax, E1000_RAL(%edi)
+	movzwl	ND_MAC+4(%esi), %eax
+	movl	%eax, E1000_RAH(%edi)
+
+	leal	AD_WDT(%ebx), %eax     # watchdog timer
+	pushl	%eax
+	call	init_timer
+	addl	$4, %esp
+	movl	$e1000_watchdog, %eax
+	movl	%eax, AD_WDT+TIMER_FN(%ebx)
+	movl	%esi, AD_WDT+TIMER_DATA(%ebx)
+
+	pushl	%esi
+	call	register_netdev
+	addl	$4, %esp
+
+	xorl	%eax, %eax
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# e1000_open(netdev)
+# ---------------------------------------------------------------------------
+	.globl	e1000_open
+e1000_open:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	8(%ebp), %esi          # netdev
+	movl	ND_PRIV(%esi), %ebx    # adapter
+	movl	AD_REGS(%ebx), %edi    # regs
+
+	pushl	%esi                   # dev_id
+	pushl	$0                     # name
+	pushl	$0                     # flags
+	movl	$e1000_intr, %eax
+	pushl	%eax                   # handler
+	pushl	AD_IRQ(%ebx)           # irq
+	call	request_irq
+	addl	$20, %esp
+
+	movl	AD_TXD_DMA(%ebx), %eax # transmit ring registers
+	movl	%eax, E1000_TDBAL(%edi)
+	movl	$4096, %eax
+	movl	%eax, E1000_TDLEN(%edi)
+	xorl	%eax, %eax
+	movl	%eax, E1000_TDH(%edi)
+	movl	%eax, E1000_TDT(%edi)
+
+	movl	AD_RXD_DMA(%ebx), %eax # receive ring registers
+	movl	%eax, E1000_RDBAL(%edi)
+	movl	$4096, %eax
+	movl	%eax, E1000_RDLEN(%edi)
+	xorl	%eax, %eax
+	movl	%eax, E1000_RDH(%edi)
+	movl	%eax, E1000_RDT(%edi)
+
+	pushl	%ebx
+	call	e1000_alloc_rx_buffers
+	addl	$4, %esp
+
+	movl	$TCTL_EN, %eax         # enable MAC engines
+	movl	%eax, E1000_TCTL(%edi)
+	movl	$RCTL_EN, %eax
+	movl	%eax, E1000_RCTL(%edi)
+	movl	$INT_RXT0+INT_LSC, %eax # unmask RX; TXDW reaped from xmit
+	movl	%eax, E1000_IMS(%edi)
+
+	pushl	%esi
+	call	netif_start_queue
+	addl	$4, %esp
+
+	movl	jiffies, %eax          # arm the watchdog
+	addl	$2, %eax
+	pushl	%eax
+	leal	AD_WDT(%ebx), %eax
+	pushl	%eax
+	call	mod_timer
+	addl	$8, %esp
+
+	xorl	%eax, %eax
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# e1000_alloc_rx_buffers(adapter)
+# ---------------------------------------------------------------------------
+	.globl	e1000_alloc_rx_buffers
+e1000_alloc_rx_buffers:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	8(%ebp), %ebx          # adapter
+	movl	AD_RX_TAIL(%ebx), %esi # index to fill
+.Lrx_fill:
+	movl	%esi, %eax             # stop one short of the cleaner index
+	incl	%eax
+	andl	$RX_RING-1, %eax
+	cmpl	AD_RX_HEAD(%ebx), %eax
+	je	.Lrx_fill_done
+
+	pushl	$SKB_BUF_SIZE          # skb = netdev_alloc_skb(dev, bufsize)
+	pushl	AD_NETDEV(%ebx)
+	call	netdev_alloc_skb
+	addl	$8, %esp
+	testl	%eax, %eax
+	je	.Lrx_fill_done         # allocation failure: retry later
+	movl	%eax, %edi             # edi = skb
+
+	pushl	$1                     # dma = dma_map_single(dev, data, sz, FROM)
+	pushl	$SKB_BUF_SIZE
+	pushl	SKB_DATA(%edi)
+	pushl	AD_NETDEV(%ebx)
+	call	dma_map_single
+	addl	$16, %esp
+	movl	%eax, SKB_DMA(%edi)
+
+	movl	AD_RXBI(%ebx), %ecx    # buffer_info[i] = {skb, dma}
+	movl	%edi, (%ecx,%esi,8)
+	movl	%eax, 4(%ecx,%esi,8)
+
+	movl	AD_RXD(%ebx), %ecx     # descriptor: address, clear status
+	movl	%esi, %edx
+	shll	$4, %edx
+	addl	%edx, %ecx
+	movl	%eax, (%ecx)
+	xorl	%eax, %eax
+	movl	%eax, 4(%ecx)
+	movl	%eax, 8(%ecx)
+	movl	%eax, 12(%ecx)
+
+	incl	%esi
+	andl	$RX_RING-1, %esi
+	jmp	.Lrx_fill
+.Lrx_fill_done:
+	movl	%esi, AD_RX_TAIL(%ebx)
+	movl	AD_REGS(%ebx), %ecx
+	movl	%esi, E1000_RDT(%ecx)
+
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# e1000_xmit_frame(skb, netdev) -> 0 ok, 1 busy
+# Locals: -4 linear_len, -8 dma, -12 skb
+# ---------------------------------------------------------------------------
+	.globl	e1000_xmit_frame
+e1000_xmit_frame:
+	pushl	%ebp
+	movl	%esp, %ebp
+	subl	$12, %esp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	12(%ebp), %esi         # netdev
+	movl	ND_PRIV(%esi), %ebx    # adapter
+
+	leal	AD_LOCK(%ebx), %eax
+	pushl	%eax
+	call	spin_trylock
+	addl	$4, %esp
+	testl	%eax, %eax
+	je	.Ltx_busy
+
+	pushl	%ebx                   # reap finished descriptors first
+	call	e1000_clean_tx
+	addl	$4, %esp
+
+	movl	AD_TX_TAIL(%ebx), %edi # ring space: up to 2 descriptors
+	movl	%edi, %eax
+	addl	$2, %eax
+	andl	$TX_RING-1, %eax
+	cmpl	AD_TX_HEAD(%ebx), %eax
+	jne	.Ltx_room
+	orl	$1, ND_FLAGS(%esi)     # netif_stop_queue (kernel inline)
+	leal	AD_LOCK(%ebx), %eax
+	pushl	$0
+	pushl	%eax
+	call	spin_unlock_irqrestore
+	addl	$8, %esp
+.Ltx_busy:
+	movl	$1, %eax
+	jmp	.Ltx_out
+
+.Ltx_room:
+	movl	8(%ebp), %edx          # skb
+	movl	%edx, -12(%ebp)
+	movl	SKB_LEN(%edx), %ecx    # linear length = len - frag
+	movl	SKB_NR_FRAGS(%edx), %eax
+	testl	%eax, %eax
+	je	.Ltx_lin
+	subl	SKB_FRAG_SIZE(%edx), %ecx
+.Ltx_lin:
+	movl	%ecx, -4(%ebp)
+
+	pushl	8(%ebp)                # checksum-offload / TSO context setup
+	call	e1000_tx_csum_setup
+	addl	$4, %esp
+	movl	-4(%ebp), %ecx         # reload linear len and skb (caller-saved)
+	movl	-12(%ebp), %edx
+
+	pushl	$0                     # dma_map_single(dev, data, linlen, TO)
+	pushl	%ecx
+	pushl	SKB_DATA(%edx)
+	pushl	%esi
+	call	dma_map_single
+	addl	$16, %esp
+	movl	%eax, -8(%ebp)
+
+	movl	AD_TXD(%ebx), %edx     # stamp the linear descriptor
+	movl	%edi, %ecx
+	shll	$4, %ecx
+	addl	%ecx, %edx
+	movl	-8(%ebp), %eax
+	movl	%eax, (%edx)           # buffer address
+	xorl	%eax, %eax
+	movl	%eax, 4(%edx)
+	movl	-4(%ebp), %eax
+	movw	%eax, 8(%edx)           # length
+	movb	$0, 10(%edx)           # cso
+	movl	-12(%ebp), %ecx
+	movl	SKB_NR_FRAGS(%ecx), %eax
+	testl	%eax, %eax
+	jne	.Ltx_cmd_frag
+	movb	$TXD_CMD_EOP+TXD_CMD_RS, 11(%edx)
+	jmp	.Ltx_cmd_done
+.Ltx_cmd_frag:
+	movb	$TXD_CMD_RS, 11(%edx)
+.Ltx_cmd_done:
+	movb	$0, 12(%edx)           # status
+	movb	$0, 13(%edx)
+	movw	$0, 14(%edx)
+
+	movl	AD_TXBI(%ebx), %ecx    # buffer_info: skb rides the LAST desc
+	movl	-8(%ebp), %eax
+	movl	%eax, 4(%ecx,%edi,8)
+	movl	-12(%ebp), %edx
+	movl	SKB_NR_FRAGS(%edx), %eax
+	testl	%eax, %eax
+	jne	.Ltx_bi_defer
+	movl	%edx, (%ecx,%edi,8)
+	jmp	.Ltx_bi_done
+.Ltx_bi_defer:
+	movl	$0, (%ecx,%edi,8)
+.Ltx_bi_done:
+	incl	%edi
+	andl	$TX_RING-1, %edi
+
+	movl	-12(%ebp), %edx        # fragment descriptor, if any
+	movl	SKB_NR_FRAGS(%edx), %eax
+	testl	%eax, %eax
+	je	.Ltx_no_frag
+
+	pushl	$0                     # dma_map_page(dev, page, off, size, TO)
+	pushl	SKB_FRAG_SIZE(%edx)
+	pushl	SKB_FRAG_OFF(%edx)
+	pushl	SKB_FRAG_PAGE(%edx)
+	pushl	%esi
+	call	dma_map_page
+	addl	$20, %esp
+	movl	%eax, -8(%ebp)
+
+	movl	AD_TXD(%ebx), %edx
+	movl	%edi, %ecx
+	shll	$4, %ecx
+	addl	%ecx, %edx
+	movl	-8(%ebp), %eax
+	movl	%eax, (%edx)
+	xorl	%eax, %eax
+	movl	%eax, 4(%edx)
+	movl	-12(%ebp), %ecx
+	movl	SKB_FRAG_SIZE(%ecx), %eax
+	movw	%eax, 8(%edx)
+	movb	$0, 10(%edx)
+	movb	$TXD_CMD_EOP+TXD_CMD_RS, 11(%edx)
+	movb	$0, 12(%edx)
+	movb	$0, 13(%edx)
+	movw	$0, 14(%edx)
+
+	movl	AD_TXBI(%ebx), %ecx
+	movl	-12(%ebp), %eax
+	movl	%eax, (%ecx,%edi,8)
+	movl	-8(%ebp), %eax
+	movl	%eax, 4(%ecx,%edi,8)
+	incl	%edi
+	andl	$TX_RING-1, %edi
+.Ltx_no_frag:
+
+	movl	-12(%ebp), %edx        # stats
+	movl	SKB_LEN(%edx), %eax
+	addl	%eax, ND_TX_BYTES(%esi)
+	incl	ND_TX_PACKETS(%esi)
+
+	movl	%edi, AD_TX_TAIL(%ebx) # publish the tail to hardware
+	movl	AD_REGS(%ebx), %ecx
+	movl	%edi, E1000_TDT(%ecx)
+
+	leal	AD_LOCK(%ebx), %eax
+	pushl	$0
+	pushl	%eax
+	call	spin_unlock_irqrestore
+	addl	$8, %esp
+
+	xorl	%eax, %eax
+.Ltx_out:
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	movl	%ebp, %esp
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# e1000_tx_csum_setup(skb)
+# Models the transmit-side work the production driver performs per packet
+# beyond ring stamping: protocol dispatch (ethertype/IP proto), TCP/UDP
+# pseudo-header checksum folding for the offload context descriptor, and
+# the TSO decision chain. Predominantly register arithmetic, as in the
+# original (the compiler keeps the folding in registers).
+# ---------------------------------------------------------------------------
+	.globl	e1000_tx_csum_setup
+e1000_tx_csum_setup:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+
+	movl	8(%ebp), %esi          # skb
+	movl	SKB_DATA(%esi), %ecx
+	movzwl	12(%ecx), %eax         # ethertype (big-endian on the wire)
+	movl	%eax, %edx
+	shrl	$8, %eax
+	shll	$8, %edx
+	orl	%edx, %eax
+	andl	$0xffff, %eax
+	cmpl	$0x0800, %eax          # IPv4?
+	jne	.Lcs_no_offload
+
+	movzbl	14(%ecx), %edx         # IHL nibble
+	andl	$15, %edx
+	shll	$2, %edx               # IP header length
+	movzbl	23(%ecx), %ebx         # IP protocol
+	movl	SKB_LEN(%esi), %eax
+	subl	%edx, %eax
+	subl	$14, %eax              # L4 length for the pseudo header
+
+	# Pseudo-header checksum fold: the context descriptor wants the
+	# partial sum; the driver folds it in registers.
+	addl	%ebx, %eax
+	movl	$40, %ecx
+.Lcs_round:
+	movl	%eax, %edx
+	shll	$5, %edx
+	xorl	%edx, %eax
+	movl	%eax, %edx
+	shrl	$7, %edx
+	addl	%edx, %eax
+	addl	%ebx, %eax
+	movl	%eax, %edx
+	shll	$3, %edx
+	subl	%edx, %eax
+	decl	%ecx
+	jne	.Lcs_round
+
+	# TSO decision chain: segment only large TCP packets.
+	cmpl	$6, %ebx               # TCP?
+	jne	.Lcs_not_tso
+	movl	8(%ebp), %esi
+	movl	SKB_LEN(%esi), %edx
+	cmpl	$1500, %edx
+	jbe	.Lcs_not_tso
+	andl	$0x7fff, %eax
+.Lcs_not_tso:
+	andl	$0xffff, %eax
+	jmp	.Lcs_out
+.Lcs_no_offload:
+	xorl	%eax, %eax
+.Lcs_out:
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# e1000_rx_checksum(skb)
+# Models the receive-side checksum verification the production driver does
+# per packet (descriptor status decode + sum fold).
+# ---------------------------------------------------------------------------
+	.globl	e1000_rx_checksum
+e1000_rx_checksum:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+
+	movl	8(%ebp), %edx          # skb
+	movl	SKB_LEN(%edx), %eax
+	movl	SKB_PROTOCOL(%edx), %ebx
+	addl	%ebx, %eax
+	movl	$40, %ecx
+.Lrcs_round:
+	movl	%eax, %edx
+	shll	$4, %edx
+	xorl	%edx, %eax
+	movl	%eax, %edx
+	shrl	$5, %edx
+	addl	%edx, %eax
+	decl	%ecx
+	jne	.Lrcs_round
+	andl	$0xffff, %eax
+
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# e1000_clean_tx(adapter)
+# ---------------------------------------------------------------------------
+	.globl	e1000_clean_tx
+e1000_clean_tx:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	8(%ebp), %ebx          # adapter
+	movl	AD_TX_HEAD(%ebx), %esi
+.Ltxc_loop:
+	cmpl	AD_TX_TAIL(%ebx), %esi
+	je	.Ltxc_done
+	movl	AD_TXD(%ebx), %edx
+	movl	%esi, %eax
+	shll	$4, %eax
+	addl	%eax, %edx
+	movzbl	12(%edx), %eax
+	testl	$DESC_DD, %eax
+	je	.Ltxc_done
+
+	movl	AD_TXBI(%ebx), %ecx
+	movl	(%ecx,%esi,8), %edi    # skb (zero on non-final frag descs)
+
+	pushl	$0                     # dma_unmap_single(dev, dma, 0, TO)
+	pushl	$0
+	pushl	4(%ecx,%esi,8)
+	pushl	AD_NETDEV(%ebx)
+	call	dma_unmap_single
+	addl	$16, %esp
+
+	testl	%edi, %edi
+	je	.Ltxc_no_skb
+	pushl	%edi
+	call	dev_kfree_skb_any
+	addl	$4, %esp
+.Ltxc_no_skb:
+	movl	AD_TXD(%ebx), %edx     # clear status
+	movl	%esi, %eax
+	shll	$4, %eax
+	addl	%eax, %edx
+	movb	$0, 12(%edx)
+
+	incl	%esi
+	andl	$TX_RING-1, %esi
+	jmp	.Ltxc_loop
+.Ltxc_done:
+	movl	%esi, AD_TX_HEAD(%ebx)
+
+	# Wake the queue if it was stopped (netif_queue_stopped and
+	# netif_wake_queue are kernel inlines, not imported symbols).
+	movl	AD_NETDEV(%ebx), %edx
+	movl	ND_FLAGS(%edx), %eax
+	testl	$1, %eax
+	je	.Ltxc_out
+	andl	$-2, ND_FLAGS(%edx)
+.Ltxc_out:
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# e1000_intr(irq, dev_id) -> 1 handled, 0 none
+# ---------------------------------------------------------------------------
+	.globl	e1000_intr
+e1000_intr:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	12(%ebp), %esi         # netdev (dev_id)
+	movl	ND_PRIV(%esi), %ebx    # adapter
+	movl	AD_REGS(%ebx), %ecx
+	movl	E1000_ICR(%ecx), %eax  # read-to-clear
+	testl	%eax, %eax
+	je	.Lintr_none
+	movl	%eax, %edi             # keep the cause across calls
+
+	testl	$INT_RXT0, %edi
+	je	.Lintr_no_rx
+	pushl	%ebx
+	call	*AD_CLEAN_RX(%ebx)     # indirect through driver data (§5.1.2)
+	addl	$4, %esp
+.Lintr_no_rx:
+
+	testl	$INT_TXDW, %edi
+	je	.Lintr_no_tx
+	leal	AD_LOCK(%ebx), %eax
+	pushl	%eax
+	call	spin_trylock
+	addl	$4, %esp
+	testl	%eax, %eax
+	je	.Lintr_no_tx
+	pushl	%ebx
+	call	e1000_clean_tx
+	addl	$4, %esp
+	leal	AD_LOCK(%ebx), %eax
+	pushl	$0
+	pushl	%eax
+	call	spin_unlock_irqrestore
+	addl	$8, %esp
+.Lintr_no_tx:
+	movl	$1, %eax
+	jmp	.Lintr_out
+.Lintr_none:
+	xorl	%eax, %eax
+.Lintr_out:
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# e1000_clean_rx(adapter)
+# Locals: -4 len, -8 orig skb, -12 new skb
+# ---------------------------------------------------------------------------
+	.globl	e1000_clean_rx
+e1000_clean_rx:
+	pushl	%ebp
+	movl	%esp, %ebp
+	subl	$12, %esp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	8(%ebp), %ebx          # adapter
+	movl	AD_RX_HEAD(%ebx), %esi
+.Lrxc_loop:
+	movl	AD_RXD(%ebx), %edx
+	movl	%esi, %eax
+	shll	$4, %eax
+	addl	%eax, %edx
+	movzbl	12(%edx), %eax
+	testl	$DESC_DD, %eax
+	je	.Lrxc_done
+
+	movzwl	8(%edx), %eax          # packet length
+	movl	%eax, -4(%ebp)
+	movl	AD_RXBI(%ebx), %ecx
+	movl	(%ecx,%esi,8), %eax    # original skb
+	movl	%eax, -8(%ebp)
+
+	movl	-4(%ebp), %eax         # copybreak?
+	cmpl	$COPYBREAK, %eax
+	ja	.Lrxc_big
+
+	# --- copybreak: copy the small packet into a fresh skb and recycle
+	# the original buffer in place (no unmap/remap). ---
+	pushl	$SKB_BUF_SIZE
+	pushl	AD_NETDEV(%ebx)
+	call	netdev_alloc_skb
+	addl	$8, %esp
+	testl	%eax, %eax
+	je	.Lrxc_big              # allocation failed: take the big path
+	movl	%eax, -12(%ebp)        # nskb
+
+	pushl	%esi                   # rep movsb clobbers esi/edi/ecx
+	movl	-8(%ebp), %eax
+	movl	SKB_DATA(%eax), %esi
+	movl	-12(%ebp), %eax
+	movl	SKB_DATA(%eax), %edi
+	movl	-4(%ebp), %ecx
+	rep; movsb
+	popl	%esi
+
+	movl	-12(%ebp), %edx
+	movl	-4(%ebp), %eax
+	movl	%eax, SKB_LEN(%edx)
+
+	pushl	AD_NETDEV(%ebx)        # deliver the copy
+	pushl	%edx
+	call	eth_type_trans
+	addl	$8, %esp
+	pushl	-12(%ebp)
+	call	e1000_rx_checksum
+	addl	$4, %esp
+	pushl	-12(%ebp)
+	call	netif_rx
+	addl	$4, %esp
+
+	# Recycle the original buffer into the tail (first unfilled) slot.
+	movl	AD_RX_TAIL(%ebx), %edi
+	movl	AD_RXBI(%ebx), %ecx
+	movl	(%ecx,%esi,8), %eax    # original skb
+	movl	%eax, (%ecx,%edi,8)
+	movl	4(%ecx,%esi,8), %eax   # original dma
+	movl	%eax, 4(%ecx,%edi,8)
+	movl	AD_RXD(%ebx), %edx
+	movl	%edi, %ecx
+	shll	$4, %ecx
+	addl	%ecx, %edx
+	movl	%eax, (%edx)
+	xorl	%eax, %eax
+	movl	%eax, 4(%edx)
+	movl	%eax, 8(%edx)
+	movl	%eax, 12(%edx)
+	jmp	.Lrxc_adv
+
+.Lrxc_big:
+	movl	AD_RXBI(%ebx), %ecx    # unmap the full-size buffer
+	pushl	$1
+	pushl	$SKB_BUF_SIZE
+	pushl	4(%ecx,%esi,8)
+	pushl	AD_NETDEV(%ebx)
+	call	dma_unmap_single
+	addl	$16, %esp
+
+	movl	-8(%ebp), %edx         # set length, deliver
+	movl	-4(%ebp), %eax
+	movl	%eax, SKB_LEN(%edx)
+	pushl	AD_NETDEV(%ebx)
+	pushl	%edx
+	call	eth_type_trans
+	addl	$8, %esp
+	pushl	-8(%ebp)
+	call	e1000_rx_checksum
+	addl	$4, %esp
+	pushl	-8(%ebp)
+	call	netif_rx
+	addl	$4, %esp
+
+	pushl	$SKB_BUF_SIZE          # refill the descriptor
+	pushl	AD_NETDEV(%ebx)
+	call	netdev_alloc_skb
+	addl	$8, %esp
+	testl	%eax, %eax
+	je	.Lrxc_nomem
+	movl	%eax, -12(%ebp)
+
+	movl	-12(%ebp), %edx
+	pushl	$1
+	pushl	$SKB_BUF_SIZE
+	pushl	SKB_DATA(%edx)
+	pushl	AD_NETDEV(%ebx)
+	call	dma_map_single
+	addl	$16, %esp
+
+	# Install the fresh buffer in the tail (first unfilled) slot.
+	movl	AD_RX_TAIL(%ebx), %edi
+	movl	AD_RXBI(%ebx), %ecx    # eax = dma handle
+	movl	%eax, 4(%ecx,%edi,8)
+	movl	-12(%ebp), %edx
+	movl	%edx, (%ecx,%edi,8)
+
+	movl	AD_RXD(%ebx), %edx
+	movl	%edi, %ecx
+	shll	$4, %ecx
+	addl	%ecx, %edx
+	movl	%eax, (%edx)
+	xorl	%eax, %eax
+	movl	%eax, 4(%edx)
+	movl	%eax, 8(%edx)
+	movl	%eax, 12(%edx)
+	jmp	.Lrxc_adv
+
+.Lrxc_nomem:
+	movl	AD_NETDEV(%ebx), %edx  # buffer hole: count an rx error and
+	incl	ND_RX_ERRORS(%edx)     # leave the window one short
+	movl	AD_NETDEV(%ebx), %edx  # stats still count the delivery
+	incl	ND_RX_PACKETS(%edx)
+	movl	-4(%ebp), %eax
+	addl	%eax, ND_RX_BYTES(%edx)
+	incl	%esi
+	andl	$RX_RING-1, %esi
+	jmp	.Lrxc_loop
+
+.Lrxc_adv:
+	movl	AD_NETDEV(%ebx), %edx  # stats
+	incl	ND_RX_PACKETS(%edx)
+	movl	-4(%ebp), %eax
+	addl	%eax, ND_RX_BYTES(%edx)
+
+	incl	%esi                   # advance head; extend the hw window
+	andl	$RX_RING-1, %esi
+	movl	AD_RX_TAIL(%ebx), %eax
+	incl	%eax
+	andl	$RX_RING-1, %eax
+	movl	%eax, AD_RX_TAIL(%ebx)
+	movl	AD_REGS(%ebx), %ecx
+	movl	%eax, E1000_RDT(%ecx)
+	jmp	.Lrxc_loop
+
+.Lrxc_done:
+	movl	%esi, AD_RX_HEAD(%ebx)
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	movl	%ebp, %esp
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# e1000_watchdog(netdev)  — VM-instance-only periodic work (§3.1):
+# link supervision, hardware statistics harvest, TX hang detection.
+# ---------------------------------------------------------------------------
+	.globl	e1000_watchdog
+e1000_watchdog:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+
+	movl	8(%ebp), %esi          # netdev
+	movl	ND_PRIV(%esi), %ebx
+
+	movl	AD_REGS(%ebx), %ecx    # link state
+	movl	E1000_STATUS(%ecx), %eax
+	testl	$STATUS_LU, %eax
+	jne	.Lwd_link_up
+	pushl	%esi
+	call	netif_carrier_off
+	addl	$4, %esp
+	jmp	.Lwd_stats
+.Lwd_link_up:
+	pushl	%esi
+	call	netif_carrier_on
+	addl	$4, %esp
+
+.Lwd_stats:
+	movl	AD_REGS(%ebx), %ecx    # harvest hardware counters
+	movl	E1000_GPTC(%ecx), %eax
+	addl	%eax, AD_GPTC(%ebx)
+	movl	E1000_GPRC(%ecx), %eax
+	addl	%eax, AD_GPRC(%ebx)
+	movl	E1000_MPC(%ecx), %eax
+	addl	%eax, AD_MPC(%ebx)
+	movl	E1000_CRCERRS(%ecx), %eax
+	addl	%eax, AD_CRCERRS(%ebx)
+
+	movl	AD_TX_HEAD(%ebx), %eax # TX hang detection
+	cmpl	AD_TX_TAIL(%ebx), %eax
+	je	.Lwd_no_hang
+	cmpl	AD_LAST_TX_HEAD(%ebx), %eax
+	jne	.Lwd_no_hang
+	incl	ND_TX_ERRORS(%esi)
+.Lwd_no_hang:
+	movl	AD_TX_HEAD(%ebx), %eax
+	movl	%eax, AD_LAST_TX_HEAD(%ebx)
+
+	movl	jiffies, %eax          # re-arm
+	addl	$2, %eax
+	pushl	%eax
+	leal	AD_WDT(%ebx), %eax
+	pushl	%eax
+	call	mod_timer
+	addl	$8, %esp
+
+	xorl	%eax, %eax
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# Configuration / management entry points (VM instance only).
+# ---------------------------------------------------------------------------
+	.globl	e1000_get_stats
+e1000_get_stats:
+	movl	4(%esp), %eax
+	addl	$ND_TX_PACKETS, %eax
+	ret
+
+	.globl	e1000_set_mac
+e1000_set_mac:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+
+	movl	8(%ebp), %esi          # netdev
+	movl	ND_PRIV(%esi), %ebx
+	movl	12(%ebp), %edx         # new MAC pointer
+	movl	(%edx), %eax
+	movl	%eax, ND_MAC(%esi)
+	movzwl	4(%edx), %eax
+	movw	%eax, ND_MAC+4(%esi)
+
+	movl	AD_REGS(%ebx), %ecx
+	movl	ND_MAC(%esi), %eax
+	movl	%eax, E1000_RAL(%ecx)
+	movzwl	ND_MAC+4(%esi), %eax
+	movl	%eax, E1000_RAH(%ecx)
+
+	xorl	%eax, %eax
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+	.globl	e1000_change_mtu
+e1000_change_mtu:
+	movl	8(%esp), %eax          # new mtu
+	cmpl	$68, %eax
+	jb	.Lmtu_bad
+	cmpl	$1500, %eax
+	ja	.Lmtu_bad
+	movl	4(%esp), %ecx
+	movl	%eax, ND_MTU(%ecx)
+	xorl	%eax, %eax
+	ret
+.Lmtu_bad:
+	movl	$-22, %eax             # -EINVAL
+	ret
+
+	.globl	e1000_ethtool_get_link
+e1000_ethtool_get_link:
+	movl	4(%esp), %ecx          # netdev
+	movl	ND_PRIV(%ecx), %ecx
+	movl	AD_REGS(%ecx), %ecx
+	movl	E1000_STATUS(%ecx), %eax
+	andl	$STATUS_LU, %eax
+	shrl	$1, %eax
+	ret
+
+# ---------------------------------------------------------------------------
+# e1000_close(netdev)
+# ---------------------------------------------------------------------------
+	.globl	e1000_close
+e1000_close:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	8(%ebp), %esi
+	movl	ND_PRIV(%esi), %ebx
+
+	pushl	%esi
+	call	netif_stop_queue
+	addl	$4, %esp
+
+	movl	AD_REGS(%ebx), %ecx    # quiesce the hardware
+	movl	$0xffffffff, %eax
+	movl	%eax, E1000_IMC(%ecx)
+	xorl	%eax, %eax
+	movl	%eax, E1000_RCTL(%ecx)
+	movl	%eax, E1000_TCTL(%ecx)
+
+	pushl	%esi                   # release the interrupt
+	pushl	AD_IRQ(%ebx)
+	call	free_irq
+	addl	$8, %esp
+
+	leal	AD_WDT(%ebx), %eax
+	pushl	%eax
+	call	del_timer_sync
+	addl	$4, %esp
+
+	xorl	%esi, %esi             # free RX buffers
+.Lcl_loop:
+	cmpl	$RX_RING, %esi
+	je	.Lcl_done
+	movl	AD_RXBI(%ebx), %ecx
+	movl	(%ecx,%esi,8), %edi
+	testl	%edi, %edi
+	je	.Lcl_next
+	pushl	$1
+	pushl	$SKB_BUF_SIZE
+	pushl	4(%ecx,%esi,8)
+	pushl	AD_NETDEV(%ebx)
+	call	dma_unmap_single
+	addl	$16, %esp
+	pushl	%edi
+	call	dev_kfree_skb_any
+	addl	$4, %esp
+	movl	AD_RXBI(%ebx), %ecx
+	movl	$0, (%ecx,%esi,8)
+.Lcl_next:
+	incl	%esi
+	jmp	.Lcl_loop
+.Lcl_done:
+	xorl	%eax, %eax
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+`
+
+// AdapterSize is the byte size of the driver's private adapter structure
+// (must cover AD_SIZE in Source).
+const AdapterSize = 96

@@ -1,0 +1,152 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegByName(t *testing.T) {
+	for r := EAX; r < NumRegs; r++ {
+		got, ok := RegByName(r.String())
+		if !ok || got != r {
+			t.Errorf("RegByName(%q) = %v, %v", r.String(), got, ok)
+		}
+	}
+	if _, ok := RegByName("r15"); ok {
+		t.Error("RegByName accepted unknown register")
+	}
+}
+
+func TestCondNegate(t *testing.T) {
+	for c := E; c < NumConds; c++ {
+		n := c.Negate()
+		if n == CondNone {
+			t.Errorf("cond %v has no negation", c)
+			continue
+		}
+		if n.Negate() != c {
+			t.Errorf("negate(negate(%v)) = %v", c, n.Negate())
+		}
+	}
+}
+
+func TestCondByNameSynonyms(t *testing.T) {
+	cases := map[string]Cond{
+		"e": E, "z": E, "ne": NE, "nz": NE,
+		"b": B, "c": B, "nae": B,
+		"ae": AE, "nc": AE, "nb": AE,
+		"be": BE, "na": BE, "a": A, "nbe": A,
+		"l": L, "nge": L, "ge": GE, "nl": GE,
+		"le": LE, "ng": LE, "g": G, "nle": G,
+		"s": S, "ns": NS,
+	}
+	for name, want := range cases {
+		got, ok := CondByName(name)
+		if !ok || got != want {
+			t.Errorf("CondByName(%q) = %v, %v; want %v", name, got, ok, want)
+		}
+	}
+}
+
+func TestStackRelative(t *testing.T) {
+	cases := []struct {
+		op   Operand
+		want bool
+	}{
+		{MemOp(8, EBP), true},
+		{MemOp(-4, ESP), true},
+		{MemOp(0, EAX), false},
+		{MemOpIdx(0, EBX, ESI, 4), false},
+		{RegOp(ESP), false}, // not a memory operand
+		{MemOpIdx(0, ESP, EAX, 1), true},
+	}
+	for _, c := range cases {
+		if got := c.op.StackRelative(); got != c.want {
+			t.Errorf("StackRelative(%v) = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestMemOperandClassification(t *testing.T) {
+	load := Inst{Op: MOV, Size: 4, Src: MemOp(0, EAX), Dst: RegOp(EBX)}
+	if !load.ReadsMem() || load.WritesMem() {
+		t.Errorf("load: ReadsMem=%v WritesMem=%v", load.ReadsMem(), load.WritesMem())
+	}
+	store := Inst{Op: MOV, Size: 4, Src: RegOp(EBX), Dst: MemOp(0, EAX)}
+	if store.ReadsMem() || !store.WritesMem() {
+		t.Errorf("store: ReadsMem=%v WritesMem=%v", store.ReadsMem(), store.WritesMem())
+	}
+	rmw := Inst{Op: ADD, Size: 4, Src: RegOp(EBX), Dst: MemOp(0, EAX)}
+	if !rmw.ReadsMem() || !rmw.WritesMem() {
+		t.Errorf("rmw: ReadsMem=%v WritesMem=%v", rmw.ReadsMem(), rmw.WritesMem())
+	}
+	lea := Inst{Op: LEA, Size: 4, Src: MemOp(12, EAX), Dst: RegOp(EBX)}
+	if lea.ReadsMem() || lea.WritesMem() {
+		t.Errorf("lea: ReadsMem=%v WritesMem=%v", lea.ReadsMem(), lea.WritesMem())
+	}
+	cmpm := Inst{Op: CMP, Size: 4, Src: RegOp(EBX), Dst: MemOp(0, EAX)}
+	if !cmpm.ReadsMem() || cmpm.WritesMem() {
+		t.Errorf("cmp-mem: ReadsMem=%v WritesMem=%v", cmpm.ReadsMem(), cmpm.WritesMem())
+	}
+}
+
+func TestFlagsClassification(t *testing.T) {
+	if !(Inst{Op: ADD}).WritesFlags() {
+		t.Error("ADD should write flags")
+	}
+	if (Inst{Op: MOV}).WritesFlags() {
+		t.Error("MOV should not write flags")
+	}
+	if !(Inst{Op: JCC, Cond: E}).ReadsFlags() {
+		t.Error("JCC should read flags")
+	}
+	if !(Inst{Op: ADC}).ReadsFlags() {
+		t.Error("ADC should read flags")
+	}
+	if (Inst{Op: CMPS, Rep: RepNone}).ReadsFlags() {
+		t.Error("plain CMPS does not read incoming flags")
+	}
+	if !(Inst{Op: CMPS, Rep: RepE}).ReadsFlags() {
+		t.Error("repe CMPS reads flags (loop condition)")
+	}
+}
+
+func TestPrivileged(t *testing.T) {
+	for _, op := range []Op{HLT, CLI, STI, IN, OUT} {
+		if !op.Privileged() {
+			t.Errorf("%v should be privileged", op)
+		}
+	}
+	for _, op := range []Op{MOV, ADD, CALL, RET, MOVS, INT} {
+		if op.Privileged() {
+			t.Errorf("%v should not be privileged", op)
+		}
+	}
+}
+
+func TestUsesReg(t *testing.T) {
+	o := MemOpIdx(4, EAX, EBX, 2)
+	if !o.UsesReg(EAX) || !o.UsesReg(EBX) || o.UsesReg(ECX) {
+		t.Errorf("UsesReg wrong for %v", o)
+	}
+	r := RegOp(ESI)
+	if !r.UsesReg(ESI) || r.UsesReg(EDI) {
+		t.Errorf("UsesReg wrong for %v", r)
+	}
+}
+
+// Property: EffScale never returns 0 and Negate is an involution on all
+// conditions generated randomly.
+func TestQuickScaleAndNegate(t *testing.T) {
+	f := func(scale uint8, c uint8) bool {
+		o := Operand{Kind: KindMem, Scale: scale % 9}
+		if o.EffScale() == 0 {
+			return false
+		}
+		cond := Cond(c%uint8(NumConds-1)) + 1 // skip CondNone
+		return cond.Negate().Negate() == cond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

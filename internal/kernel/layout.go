@@ -1,0 +1,108 @@
+package kernel
+
+import "twindrivers/internal/nic"
+
+// Simulated-memory structure layouts. These constants are the single
+// source of truth: Go code indexes structures with them AND they are
+// injected into driver assembly as .equ constants (Equates), so the driver
+// and the kernel cannot disagree about offsets.
+
+// sk_buff layout (simplified from struct sk_buff; 64 bytes).
+const (
+	SkbNext     = 0  // next skb in a queue
+	SkbDev      = 4  // owning net_device
+	SkbData     = 8  // current data pointer
+	SkbLen      = 12 // data length
+	SkbHead     = 16 // start of the buffer
+	SkbEnd      = 20 // end of the buffer
+	SkbProtocol = 24 // ethernet protocol (set by eth_type_trans)
+	SkbTruesize = 28
+	SkbNrFrags  = 32 // number of page fragments (0 or 1 here)
+	SkbFragPage = 36 // fragment page address (dom0 virtual)
+	SkbFragOff  = 40 // offset within the fragment page
+	SkbFragSize = 44 // fragment length
+	SkbDma      = 48 // stashed DMA handle (driver-private use)
+	SkbRefcnt   = 52 // reference count (the pool "refcount trick", §4.3)
+	SkbPool     = 56 // nonzero for hypervisor-pool skbs
+	SkbSize     = 64 // size of the structure
+
+	// SkbBufSize is the byte size of the linear data buffer allocated
+	// behind each sk_buff.
+	SkbBufSize = 2048
+)
+
+// net_device layout (simplified from struct net_device; 64 bytes).
+const (
+	NdBase      = 0  // ioremapped MMIO base (dom0 virtual)
+	NdIrq       = 4  // interrupt number
+	NdFlags     = 8  // bit 0: queue stopped
+	NdXmit      = 12 // hard_start_xmit function pointer
+	NdPriv      = 16 // driver private area pointer
+	NdTxPackets = 20 // stats
+	NdTxBytes   = 24
+	NdRxPackets = 28
+	NdRxBytes   = 32
+	NdTxErrors  = 36
+	NdRxErrors  = 40
+	NdMac       = 44 // 6 bytes of station address
+	NdMtu       = 52
+	NdWatchdog  = 56 // driver watchdog timer address (convenience slot)
+	NdSize      = 64
+)
+
+// Timer layout (simplified struct timer_list).
+const (
+	TimerFn      = 0 // callback function pointer
+	TimerData    = 4 // callback argument
+	TimerExpires = 8 // expiry in jiffies
+	TimerSize    = 12
+)
+
+// Flags in NdFlags.
+const (
+	NdFlagQueueStopped = 1 << 0
+	NdFlagUp           = 1 << 1
+)
+
+// Equates exposes every layout constant (and the NIC register map) to
+// driver assembly.
+func Equates() map[string]int32 {
+	return map[string]int32{
+		"SKB_NEXT": SkbNext, "SKB_DEV": SkbDev, "SKB_DATA": SkbData,
+		"SKB_LEN": SkbLen, "SKB_HEAD": SkbHead, "SKB_END": SkbEnd,
+		"SKB_PROTOCOL": SkbProtocol, "SKB_TRUESIZE": SkbTruesize,
+		"SKB_NR_FRAGS": SkbNrFrags, "SKB_FRAG_PAGE": SkbFragPage,
+		"SKB_FRAG_OFF": SkbFragOff, "SKB_FRAG_SIZE": SkbFragSize,
+		"SKB_DMA": SkbDma, "SKB_REFCNT": SkbRefcnt, "SKB_POOL": SkbPool,
+		"SKB_SIZE": SkbSize, "SKB_BUF_SIZE": SkbBufSize,
+
+		"ND_BASE": NdBase, "ND_IRQ": NdIrq, "ND_FLAGS": NdFlags,
+		"ND_XMIT": NdXmit, "ND_PRIV": NdPriv,
+		"ND_TX_PACKETS": NdTxPackets, "ND_TX_BYTES": NdTxBytes,
+		"ND_RX_PACKETS": NdRxPackets, "ND_RX_BYTES": NdRxBytes,
+		"ND_TX_ERRORS": NdTxErrors, "ND_RX_ERRORS": NdRxErrors,
+		"ND_MAC": NdMac, "ND_MTU": NdMtu, "ND_WATCHDOG": NdWatchdog,
+		"ND_SIZE": NdSize,
+
+		"TIMER_FN": TimerFn, "TIMER_DATA": TimerData,
+		"TIMER_EXPIRES": TimerExpires, "TIMER_SIZE": TimerSize,
+
+		"E1000_CTRL": nic.RegCTRL, "E1000_STATUS": nic.RegSTATUS,
+		"E1000_ICR": nic.RegICR, "E1000_IMS": nic.RegIMS, "E1000_IMC": nic.RegIMC,
+		"E1000_RCTL": nic.RegRCTL, "E1000_TCTL": nic.RegTCTL,
+		"E1000_RDBAL": nic.RegRDBAL, "E1000_RDLEN": nic.RegRDLEN,
+		"E1000_RDH": nic.RegRDH, "E1000_RDT": nic.RegRDT,
+		"E1000_TDBAL": nic.RegTDBAL, "E1000_TDLEN": nic.RegTDLEN,
+		"E1000_TDH": nic.RegTDH, "E1000_TDT": nic.RegTDT,
+		"E1000_GPRC": nic.RegGPRC, "E1000_GPTC": nic.RegGPTC,
+		"E1000_MPC": nic.RegMPC, "E1000_CRCERRS": nic.RegCRCERRS,
+		"E1000_RAL": nic.RegRAL, "E1000_RAH": nic.RegRAH,
+
+		"DESC_SIZE":   nic.DescSize,
+		"TXD_CMD_EOP": nic.TxCmdEOP, "TXD_CMD_RS": nic.TxCmdRS,
+		"DESC_DD": nic.DescDD, "RXD_ST_EOP": nic.RxStEOP,
+		"RCTL_EN": nic.RctlEN, "TCTL_EN": nic.TctlEN,
+		"STATUS_LU": nic.StatusLU, "CTRL_RST": nic.CtrlRST,
+		"INT_TXDW": nic.IntTXDW, "INT_RXT0": nic.IntRXT0, "INT_LSC": nic.IntLSC,
+	}
+}

@@ -1,0 +1,335 @@
+// Package mem models the physical and virtual memory of the simulated
+// machine: a physical frame pool with per-frame ownership, per-domain page
+// tables (address spaces), and memory-mapped I/O regions.
+//
+// Frame ownership is what TwinDrivers' SVM slow path checks when the
+// hypervisor driver touches a page for the first time: "if the access is
+// permitted (i.e., the memory page belongs to dom0 address space)" (§4.1).
+// Address spaces support a shared global region — the hypervisor mapping
+// present in every guest context — which is what lets the hypervisor driver
+// run without an address-space switch.
+package mem
+
+import "fmt"
+
+// PageSize is the size of a page/frame in bytes.
+const PageSize = 4096
+
+// PageMask masks the offset within a page.
+const PageMask = PageSize - 1
+
+// Owner identifies the owner of a physical frame. By convention the
+// hypervisor is OwnerHypervisor, dom0 is 0, and guests are positive.
+type Owner int
+
+// Reserved owners.
+const (
+	OwnerNone       Owner = -2
+	OwnerHypervisor Owner = -1
+	OwnerDom0       Owner = 0
+)
+
+// MMIO is implemented by devices that claim physical frames. Accesses to
+// such frames bypass RAM and are routed to the device. Offsets are relative
+// to the start of the claimed region.
+type MMIO interface {
+	MMIORead(off uint32, size uint32) uint32
+	MMIOWrite(off uint32, size uint32, val uint32)
+}
+
+// Physical is the machine's physical memory: a frame pool plus MMIO
+// routing.
+type Physical struct {
+	frames    map[uint32]*[PageSize]byte // frame number -> storage
+	owners    map[uint32]Owner
+	mmio      map[uint32]mmioEntry // frame number -> device
+	nextFrame uint32
+}
+
+type mmioEntry struct {
+	dev  MMIO
+	base uint32 // first frame of the device's region
+}
+
+// NewPhysical returns an empty physical memory.
+func NewPhysical() *Physical {
+	return &Physical{
+		frames:    make(map[uint32]*[PageSize]byte),
+		owners:    make(map[uint32]Owner),
+		mmio:      make(map[uint32]mmioEntry),
+		nextFrame: 1, // frame 0 stays unused so a zero PTE is never valid
+	}
+}
+
+// AllocFrame allocates a fresh zeroed frame owned by owner.
+func (p *Physical) AllocFrame(owner Owner) uint32 {
+	f := p.nextFrame
+	p.nextFrame++
+	p.frames[f] = new([PageSize]byte)
+	p.owners[f] = owner
+	return f
+}
+
+// AllocFrames allocates n physically contiguous frames.
+func (p *Physical) AllocFrames(owner Owner, n int) uint32 {
+	first := p.nextFrame
+	for i := 0; i < n; i++ {
+		p.AllocFrame(owner)
+	}
+	return first
+}
+
+// ClaimMMIO reserves n contiguous frames for a device and routes accesses
+// to it. Returns the first frame number.
+func (p *Physical) ClaimMMIO(owner Owner, n int, dev MMIO) uint32 {
+	first := p.nextFrame
+	for i := 0; i < n; i++ {
+		f := p.nextFrame
+		p.nextFrame++
+		p.owners[f] = owner
+		p.mmio[f] = mmioEntry{dev: dev, base: first}
+	}
+	return first
+}
+
+// FrameOwner returns the owner of a frame, or OwnerNone if unallocated.
+func (p *Physical) FrameOwner(f uint32) Owner {
+	if o, ok := p.owners[f]; ok {
+		return o
+	}
+	return OwnerNone
+}
+
+// SetFrameOwner transfers frame ownership (grant-table style page transfer).
+func (p *Physical) SetFrameOwner(f uint32, o Owner) {
+	if _, ok := p.owners[f]; ok {
+		p.owners[f] = o
+	}
+}
+
+// IsMMIO reports whether a frame is device-mapped.
+func (p *Physical) IsMMIO(f uint32) bool {
+	_, ok := p.mmio[f]
+	return ok
+}
+
+// FrameData returns the RAM storage of a frame (nil for MMIO/unallocated).
+func (p *Physical) FrameData(f uint32) *[PageSize]byte { return p.frames[f] }
+
+// readPhys reads size (1/2/4) bytes at physical address pa. The access must
+// not cross a frame boundary.
+func (p *Physical) readPhys(pa uint32, size uint32) (uint32, error) {
+	f, off := pa/PageSize, pa&PageMask
+	if e, ok := p.mmio[f]; ok {
+		return e.dev.MMIORead((f-e.base)*PageSize+off, size), nil
+	}
+	fr := p.frames[f]
+	if fr == nil {
+		return 0, fmt.Errorf("mem: physical read of unallocated frame %#x", f)
+	}
+	var v uint32
+	for i := uint32(0); i < size; i++ {
+		v |= uint32(fr[off+i]) << (8 * i)
+	}
+	return v, nil
+}
+
+func (p *Physical) writePhys(pa uint32, size uint32, val uint32) error {
+	f, off := pa/PageSize, pa&PageMask
+	if e, ok := p.mmio[f]; ok {
+		e.dev.MMIOWrite((f-e.base)*PageSize+off, size, val)
+		return nil
+	}
+	fr := p.frames[f]
+	if fr == nil {
+		return fmt.Errorf("mem: physical write of unallocated frame %#x", f)
+	}
+	for i := uint32(0); i < size; i++ {
+		fr[off+i] = byte(val >> (8 * i))
+	}
+	return nil
+}
+
+// PageFault reports a failed virtual memory access.
+type PageFault struct {
+	Space string
+	Addr  uint32
+	Write bool
+}
+
+func (e *PageFault) Error() string {
+	kind := "read"
+	if e.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("mem: page fault: %s of %#08x in %s", kind, e.Addr, e.Space)
+}
+
+// AddressSpace is a virtual address space: a page table over Physical, with
+// an optional shared global space consulted for pages the local table does
+// not map (the hypervisor region present in every guest context).
+type AddressSpace struct {
+	Name   string
+	Phys   *Physical
+	Global *AddressSpace // nil for the hypervisor space itself
+
+	pt map[uint32]uint32 // vpage -> frame
+}
+
+// NewAddressSpace returns an empty address space over phys.
+func NewAddressSpace(name string, phys *Physical, global *AddressSpace) *AddressSpace {
+	return &AddressSpace{Name: name, Phys: phys, Global: global, pt: make(map[uint32]uint32)}
+}
+
+// Map installs vpage -> frame.
+func (as *AddressSpace) Map(vpage, frame uint32) {
+	as.pt[vpage] = frame
+}
+
+// MapRange maps n consecutive pages starting at vaddr to consecutive frames
+// starting at frame.
+func (as *AddressSpace) MapRange(vaddr, frame uint32, n int) {
+	vp := vaddr / PageSize
+	for i := uint32(0); i < uint32(n); i++ {
+		as.Map(vp+i, frame+i)
+	}
+}
+
+// Unmap removes a mapping.
+func (as *AddressSpace) Unmap(vpage uint32) {
+	delete(as.pt, vpage)
+}
+
+// Lookup translates a virtual page to a frame, consulting the global space.
+func (as *AddressSpace) Lookup(vpage uint32) (uint32, bool) {
+	if f, ok := as.pt[vpage]; ok {
+		return f, true
+	}
+	if as.Global != nil {
+		return as.Global.Lookup(vpage)
+	}
+	return 0, false
+}
+
+// LookupLocal translates only through the local table (no global chaining).
+func (as *AddressSpace) LookupLocal(vpage uint32) (uint32, bool) {
+	f, ok := as.pt[vpage]
+	return f, ok
+}
+
+// Translate converts a virtual address to a physical address.
+func (as *AddressSpace) Translate(vaddr uint32) (uint32, bool) {
+	f, ok := as.Lookup(vaddr / PageSize)
+	if !ok {
+		return 0, false
+	}
+	return f*PageSize + vaddr&PageMask, true
+}
+
+// Load reads size (1/2/4) bytes at vaddr, handling page-straddling accesses
+// (the ISA permits unaligned access, which is why SVM maps two consecutive
+// pages per stlb miss).
+func (as *AddressSpace) Load(vaddr uint32, size uint32) (uint32, error) {
+	if (vaddr&PageMask)+size <= PageSize {
+		pa, ok := as.Translate(vaddr)
+		if !ok {
+			return 0, &PageFault{Space: as.Name, Addr: vaddr}
+		}
+		return as.Phys.readPhys(pa, size)
+	}
+	var v uint32
+	for i := uint32(0); i < size; i++ {
+		b, err := as.Load(vaddr+i, 1)
+		if err != nil {
+			return 0, err
+		}
+		v |= b << (8 * i)
+	}
+	return v, nil
+}
+
+// Store writes size (1/2/4) bytes at vaddr.
+func (as *AddressSpace) Store(vaddr uint32, size uint32, val uint32) error {
+	if (vaddr&PageMask)+size <= PageSize {
+		pa, ok := as.Translate(vaddr)
+		if !ok {
+			return &PageFault{Space: as.Name, Addr: vaddr, Write: true}
+		}
+		return as.Phys.writePhys(pa, size, val)
+	}
+	for i := uint32(0); i < size; i++ {
+		if err := as.Store(vaddr+i, 1, val>>(8*i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes starting at vaddr into a fresh slice.
+func (as *AddressSpace) ReadBytes(vaddr uint32, n int) ([]byte, error) {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		b, err := as.Load(vaddr+uint32(i), 1)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = byte(b)
+	}
+	return out, nil
+}
+
+// WriteBytes copies b into memory at vaddr.
+func (as *AddressSpace) WriteBytes(vaddr uint32, b []byte) error {
+	for i, x := range b {
+		if err := as.Store(vaddr+uint32(i), 1, uint32(x)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Copy moves n bytes from (srcAS, src) to (dstAS, dst). The hypervisor uses
+// this shape when moving packet payloads between guest buffers and dom0
+// sk_buffs.
+func Copy(dstAS *AddressSpace, dst uint32, srcAS *AddressSpace, src uint32, n int) error {
+	// Page-chunked copy through physical frames for efficiency.
+	for n > 0 {
+		chunk := PageSize - int(src&PageMask)
+		if c := PageSize - int(dst&PageMask); c < chunk {
+			chunk = c
+		}
+		if chunk > n {
+			chunk = n
+		}
+		spa, ok := srcAS.Translate(src)
+		if !ok {
+			return &PageFault{Space: srcAS.Name, Addr: src}
+		}
+		dpa, ok := dstAS.Translate(dst)
+		if !ok {
+			return &PageFault{Space: dstAS.Name, Addr: dst, Write: true}
+		}
+		sf, df := srcAS.Phys.FrameData(spa/PageSize), dstAS.Phys.FrameData(dpa/PageSize)
+		if sf == nil || df == nil {
+			// MMIO or unallocated: fall back to byte loop.
+			for i := 0; i < chunk; i++ {
+				v, err := srcAS.Load(src+uint32(i), 1)
+				if err != nil {
+					return err
+				}
+				if err := dstAS.Store(dst+uint32(i), 1, v); err != nil {
+					return err
+				}
+			}
+		} else {
+			copy(df[dpa&PageMask:uint32(dpa&PageMask)+uint32(chunk)], sf[spa&PageMask:uint32(spa&PageMask)+uint32(chunk)])
+		}
+		src += uint32(chunk)
+		dst += uint32(chunk)
+		n -= chunk
+	}
+	return nil
+}
+
+// MappedPages returns the number of locally mapped pages.
+func (as *AddressSpace) MappedPages() int { return len(as.pt) }

@@ -1,0 +1,230 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAndOwnership(t *testing.T) {
+	p := NewPhysical()
+	f0 := p.AllocFrame(OwnerDom0)
+	f1 := p.AllocFrame(OwnerHypervisor)
+	f2 := p.AllocFrame(Owner(3))
+	if p.FrameOwner(f0) != OwnerDom0 || p.FrameOwner(f1) != OwnerHypervisor || p.FrameOwner(f2) != Owner(3) {
+		t.Error("frame owners wrong")
+	}
+	if p.FrameOwner(9999) != OwnerNone {
+		t.Error("unallocated frame should have OwnerNone")
+	}
+	p.SetFrameOwner(f0, Owner(5))
+	if p.FrameOwner(f0) != Owner(5) {
+		t.Error("SetFrameOwner failed")
+	}
+}
+
+func TestContiguousAlloc(t *testing.T) {
+	p := NewPhysical()
+	first := p.AllocFrames(OwnerDom0, 8)
+	for i := uint32(0); i < 8; i++ {
+		if p.FrameOwner(first+i) != OwnerDom0 {
+			t.Fatalf("frame %d not allocated", first+i)
+		}
+	}
+}
+
+func TestLoadStoreSizes(t *testing.T) {
+	p := NewPhysical()
+	as := NewAddressSpace("t", p, nil)
+	f := p.AllocFrame(OwnerDom0)
+	as.Map(0x10, f) // vaddr 0x10000
+
+	if err := as.Store(0x10000, 4, 0xAABBCCDD); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		off, size, want uint32
+	}{
+		{0, 4, 0xAABBCCDD}, {0, 2, 0xCCDD}, {2, 2, 0xAABB},
+		{0, 1, 0xDD}, {1, 1, 0xCC}, {3, 1, 0xAA},
+	} {
+		v, err := as.Load(0x10000+c.off, c.size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != c.want {
+			t.Errorf("load(+%d, %d) = %#x, want %#x", c.off, c.size, v, c.want)
+		}
+	}
+}
+
+func TestPageStraddlingAccess(t *testing.T) {
+	p := NewPhysical()
+	as := NewAddressSpace("t", p, nil)
+	f := p.AllocFrames(OwnerDom0, 2)
+	as.MapRange(0x10000, f, 2)
+	// Write a dword across the page boundary.
+	addr := uint32(0x10000 + PageSize - 2)
+	if err := as.Store(addr, 4, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	v, err := as.Load(addr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0x11223344 {
+		t.Errorf("straddle = %#x", v)
+	}
+	// Bytes landed on both frames.
+	lo, _ := as.Load(0x10000+PageSize-1, 1)
+	hi, _ := as.Load(0x10000+PageSize, 1)
+	if lo != 0x33 || hi != 0x22 {
+		t.Errorf("split bytes: %#x %#x", lo, hi)
+	}
+}
+
+func TestPageFaultDetail(t *testing.T) {
+	p := NewPhysical()
+	as := NewAddressSpace("guest", p, nil)
+	_, err := as.Load(0xDEAD0000, 4)
+	pf, ok := err.(*PageFault)
+	if !ok || pf.Addr != 0xDEAD0000 || pf.Space != "guest" || pf.Write {
+		t.Errorf("fault = %+v", err)
+	}
+	err = as.Store(0xBEEF0000, 4, 1)
+	pf, ok = err.(*PageFault)
+	if !ok || !pf.Write {
+		t.Errorf("write fault = %+v", err)
+	}
+}
+
+func TestGlobalSpaceChaining(t *testing.T) {
+	p := NewPhysical()
+	hv := NewAddressSpace("xen", p, nil)
+	guest := NewAddressSpace("domU", p, hv)
+
+	hf := p.AllocFrame(OwnerHypervisor)
+	hv.Map(0xF0000, hf) // hypervisor page, visible everywhere
+	gf := p.AllocFrame(Owner(1))
+	guest.Map(0x100, gf)
+
+	if err := hv.Store(0xF0000000, 4, 42); err != nil {
+		t.Fatal(err)
+	}
+	// Visible through the guest space without a local mapping.
+	v, err := guest.Load(0xF0000000, 4)
+	if err != nil || v != 42 {
+		t.Errorf("global mapping through guest: %v %v", v, err)
+	}
+	// Guest-local pages are not visible in other spaces.
+	other := NewAddressSpace("domV", p, hv)
+	if _, err := other.Load(0x100000, 4); err == nil {
+		t.Error("guest-local page leaked into another space")
+	}
+	// Local mapping shadows global.
+	sf := p.AllocFrame(Owner(1))
+	guest.Map(0xF0000, sf)
+	if err := guest.Store(0xF0000000, 4, 7); err != nil {
+		t.Fatal(err)
+	}
+	hvv, _ := hv.Load(0xF0000000, 4)
+	if hvv != 42 {
+		t.Error("local mapping failed to shadow global")
+	}
+}
+
+func TestMMIORouting(t *testing.T) {
+	p := NewPhysical()
+	dev := &recordingMMIO{}
+	first := p.ClaimMMIO(OwnerDom0, 2, dev)
+	as := NewAddressSpace("t", p, nil)
+	as.MapRange(0x40000, first, 2)
+
+	if err := as.Store(0x40010, 4, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	if len(dev.writes) != 1 || dev.writes[0] != [3]uint32{0x10, 4, 0x1234} {
+		t.Errorf("writes = %v", dev.writes)
+	}
+	// Second page routes with region-relative offset.
+	if err := as.Store(0x40000+PageSize+8, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	if dev.writes[1][0] != PageSize+8 {
+		t.Errorf("second page offset = %#x", dev.writes[1][0])
+	}
+	dev.readVal = 0x99
+	v, err := as.Load(0x40020, 4)
+	if err != nil || v != 0x99 {
+		t.Errorf("mmio read = %#x, %v", v, err)
+	}
+	if !p.IsMMIO(first) || p.IsMMIO(first+2) {
+		t.Error("IsMMIO wrong")
+	}
+}
+
+type recordingMMIO struct {
+	writes  [][3]uint32
+	readVal uint32
+}
+
+func (r *recordingMMIO) MMIORead(off, size uint32) uint32 { return r.readVal }
+func (r *recordingMMIO) MMIOWrite(off, size, val uint32) {
+	r.writes = append(r.writes, [3]uint32{off, size, val})
+}
+
+func TestCopyBetweenSpaces(t *testing.T) {
+	p := NewPhysical()
+	a := NewAddressSpace("a", p, nil)
+	b := NewAddressSpace("b", p, nil)
+	fa := p.AllocFrames(Owner(1), 2)
+	fb := p.AllocFrames(Owner(2), 2)
+	a.MapRange(0x10000, fa, 2)
+	b.MapRange(0x20000, fb, 2)
+
+	payload := make([]byte, 3000) // crosses a page in both spaces
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if err := a.WriteBytes(0x10800, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := Copy(b, 0x20100, a, 0x10800, len(payload)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadBytes(0x20100, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("copy corrupted data")
+	}
+}
+
+// Property: for any offset/size combination within a two-page window,
+// store-then-load round-trips the value.
+func TestQuickLoadStoreRoundTrip(t *testing.T) {
+	p := NewPhysical()
+	as := NewAddressSpace("t", p, nil)
+	f := p.AllocFrames(OwnerDom0, 2)
+	as.MapRange(0x10000, f, 2)
+	fn := func(off uint16, sz uint8, val uint32) bool {
+		size := uint32(1 << (sz % 3)) // 1, 2, 4
+		addr := 0x10000 + uint32(off)%(2*PageSize-4)
+		if err := as.Store(addr, size, val); err != nil {
+			return false
+		}
+		v, err := as.Load(addr, size)
+		if err != nil {
+			return false
+		}
+		mask := uint32(0xFFFFFFFF)
+		if size < 4 {
+			mask = 1<<(8*size) - 1
+		}
+		return v == val&mask
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package netbench is the netperf-like streaming microbenchmark of §6.2:
+// it saturates a configuration with MTU-sized packets in one direction,
+// measures per-packet cycles with the dom0/domU/Xen/e1000 attribution of
+// Figures 7 and 8, and converts them to the achievable aggregate
+// throughput and CPU utilisation of Figures 5 and 6.
+package netbench
+
+import (
+	"fmt"
+
+	"twindrivers/internal/core"
+	"twindrivers/internal/cost"
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/netpath"
+)
+
+// Direction selects transmit or receive.
+type Direction int
+
+// Directions.
+const (
+	TX Direction = iota
+	RX
+)
+
+func (d Direction) String() string {
+	if d == TX {
+		return "transmit"
+	}
+	return "receive"
+}
+
+// Result is one measurement.
+type Result struct {
+	Config    string
+	Direction Direction
+	NumNICs   int
+	Packets   int
+
+	// CyclesPerPacket is the measured total, Breakdown its attribution.
+	CyclesPerPacket float64
+	Breakdown       map[cycles.Component]float64
+
+	// ThroughputMbps is the achievable aggregate throughput given the
+	// cycle cost, capped by the NICs' line rate; CPUUtil is the fraction
+	// of the CPU needed to sustain it.
+	ThroughputMbps float64
+	CPUUtil        float64
+
+	// SwitchesPerPacket and UpcallsPerPacket expose the transition rates
+	// behind the numbers.
+	SwitchesPerPacket float64
+	UpcallsPerPacket  float64
+}
+
+// Params configures a run.
+type Params struct {
+	NumNICs    int // 5 for Figures 5/6, 1 for the Figure 7/8 profiles
+	PacketSize int // cost.MTU unless overridden
+	Warmup     int // packets before measurement (default 64)
+	Measure    int // measured packets (default 512)
+	Twin       core.TwinConfig
+
+	// FlushPerPacket flushes the hardware model before every packet,
+	// modelling workloads that interleave many connections (each packet
+	// finds the caches trashed by other connections' work) — used by the
+	// web benchmark.
+	FlushPerPacket bool
+}
+
+func (p *Params) defaults() {
+	if p.NumNICs == 0 {
+		p.NumNICs = 1
+	}
+	if p.PacketSize == 0 {
+		p.PacketSize = cost.MTU
+	}
+	if p.Warmup == 0 {
+		p.Warmup = 64
+	}
+	if p.Measure == 0 {
+		p.Measure = 512
+	}
+}
+
+// Run measures one configuration in one direction.
+func Run(kind netpath.Kind, dir Direction, prm Params) (*Result, error) {
+	prm.defaults()
+	p, err := netpath.New(kind, prm.NumNICs, prm.Twin)
+	if err != nil {
+		return nil, err
+	}
+	return Measure(p, dir, prm)
+}
+
+// Measure runs the benchmark over an existing path (callers can pre-warm
+// or reuse machines).
+func Measure(p *netpath.Path, dir Direction, prm Params) (*Result, error) {
+	prm.defaults()
+	step := func(i int) error {
+		if prm.FlushPerPacket {
+			p.Meter().FlushHW()
+		}
+		if dir == TX {
+			return p.SendOne(i, prm.PacketSize)
+		}
+		return p.ReceiveOne(i, prm.PacketSize)
+	}
+	for i := 0; i < prm.Warmup; i++ {
+		if err := step(i); err != nil {
+			return nil, fmt.Errorf("netbench: warmup packet %d: %w", i, err)
+		}
+	}
+	p.ResetMeasurement()
+	upcalls0 := uint64(0)
+	if p.T != nil {
+		upcalls0 = p.T.UpcallsPerformed()
+	}
+	for i := 0; i < prm.Measure; i++ {
+		if err := step(i); err != nil {
+			return nil, fmt.Errorf("netbench: packet %d: %w", i, err)
+		}
+	}
+
+	meter := p.Meter()
+	n := float64(prm.Measure)
+	res := &Result{
+		Config:          p.Kind.String(),
+		Direction:       dir,
+		NumNICs:         prm.NumNICs,
+		Packets:         prm.Measure,
+		CyclesPerPacket: float64(meter.Total()) / n,
+		Breakdown:       make(map[cycles.Component]float64),
+	}
+	for comp, c := range meter.Breakdown() {
+		res.Breakdown[comp] = float64(c) / n
+	}
+	res.SwitchesPerPacket = float64(p.M.HV.Switches) / n
+	if p.T != nil {
+		res.UpcallsPerPacket = float64(p.T.UpcallsPerformed()-upcalls0) / n
+	}
+	res.ThroughputMbps, res.CPUUtil = Throughput(res.CyclesPerPacket, prm.NumNICs, prm.PacketSize)
+	return res, nil
+}
+
+// Throughput converts a per-packet cycle cost into achievable throughput
+// (Mb/s) and the CPU utilisation at that throughput: the CPU can push
+// CPUHz/cpp packets per second; the wire can carry lineRate·n.
+func Throughput(cpp float64, nNICs, pktSize int) (mbps, util float64) {
+	if cpp <= 0 {
+		return 0, 0
+	}
+	bitsPerPkt := float64(pktSize) * 8
+	cpuPktsPerSec := float64(cost.CPUHz) / cpp
+	linePktsPerSec := cost.NICLineRateMbps * float64(nNICs) * 1e6 / bitsPerPkt
+	if cpuPktsPerSec <= linePktsPerSec {
+		return cpuPktsPerSec * bitsPerPkt / 1e6, 1.0
+	}
+	return cost.NICLineRateMbps * float64(nNICs), linePktsPerSec * cpp / float64(cost.CPUHz)
+}

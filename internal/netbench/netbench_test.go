@@ -1,0 +1,218 @@
+package netbench
+
+import (
+	"testing"
+
+	"twindrivers/internal/core"
+	"twindrivers/internal/cost"
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/netpath"
+)
+
+// paperCpp holds the single-NIC per-packet cycle profiles of Figures 7/8.
+var paperCpp = map[string]map[Direction]float64{
+	"Linux":     {TX: 7126, RX: 11166},
+	"dom0":      {TX: 8310, RX: 14308},
+	"domU-twin": {TX: 9972, RX: 20089},
+	"domU":      {TX: 21159, RX: 35905},
+}
+
+func runAll(t *testing.T, dir Direction, nNICs, measure int) map[string]*Result {
+	t.Helper()
+	out := make(map[string]*Result)
+	for _, kind := range netpath.Kinds() {
+		r, err := Run(kind, dir, Params{NumNICs: nNICs, Measure: measure})
+		if err != nil {
+			t.Fatalf("%v %v: %v", kind, dir, err)
+		}
+		out[r.Config] = r
+	}
+	return out
+}
+
+// within reports |got-want|/want <= tol.
+func within(got, want, tol float64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*want
+}
+
+// TestShapeCyclesPerPacket checks every configuration's per-packet cost
+// against the paper's profile within a generous tolerance, plus the strict
+// ordering Linux < dom0 < twin < domU.
+func TestShapeCyclesPerPacket(t *testing.T) {
+	for _, dir := range []Direction{TX, RX} {
+		res := runAll(t, dir, 1, 256)
+		for cfg, r := range res {
+			want := paperCpp[cfg][dir]
+			if !within(r.CyclesPerPacket, want, 0.20) {
+				t.Errorf("%s %v: cpp=%.0f, paper %.0f (>20%% off)", cfg, dir, r.CyclesPerPacket, want)
+			}
+		}
+		order := []string{"Linux", "dom0", "domU-twin", "domU"}
+		for i := 0; i < len(order)-1; i++ {
+			if res[order[i]].CyclesPerPacket >= res[order[i+1]].CyclesPerPacket {
+				t.Errorf("%v ordering violated: %s (%.0f) >= %s (%.0f)", dir,
+					order[i], res[order[i]].CyclesPerPacket,
+					order[i+1], res[order[i+1]].CyclesPerPacket)
+			}
+		}
+	}
+}
+
+// TestShapeThroughputImprovement checks the paper's headline: TwinDrivers
+// improves guest throughput by ≈2.4x (TX) and ≈2.1x (RX) over the
+// unoptimized guest, reaching roughly two thirds of native.
+func TestShapeThroughputImprovement(t *testing.T) {
+	for _, dir := range []Direction{TX, RX} {
+		res := runAll(t, dir, cost.NumNICs, 256)
+		twin, domU, linux := res["domU-twin"], res["domU"], res["Linux"]
+		factor := twin.ThroughputMbps / domU.ThroughputMbps
+		wantFactor := 2.41
+		if dir == RX {
+			wantFactor = 2.17
+		}
+		if !within(factor, wantFactor, 0.25) {
+			t.Errorf("%v improvement factor = %.2fx, paper %.2fx", dir, factor, wantFactor)
+		}
+		// CPU-scaled fraction of native (the paper's 64-67%).
+		nativeScaled := linux.ThroughputMbps / linux.CPUUtil
+		frac := twin.ThroughputMbps / twin.CPUUtil / nativeScaled
+		if frac < 0.50 || frac > 0.85 {
+			t.Errorf("%v twin fraction of native = %.0f%%, paper 64-67%%", dir, 100*frac)
+		}
+	}
+}
+
+// TestShapeBreakdown checks the structural claims of Figures 7/8: where
+// the cycles go.
+func TestShapeBreakdown(t *testing.T) {
+	// TX: the unoptimized guest spends more in dom0 than the twin spends
+	// in the hypervisor; the twin has NO dom0 involvement per packet.
+	txDomU, err := Run(netpath.DomU, TX, Params{NumNICs: 1, Measure: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	txTwin, err := Run(netpath.Twin, TX, Params{NumNICs: 1, Measure: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if txTwin.Breakdown[cycles.CompDom0] != 0 {
+		t.Errorf("twin TX charges dom0: %.0f cycles/pkt", txTwin.Breakdown[cycles.CompDom0])
+	}
+	if txDomU.Breakdown[cycles.CompDom0] < 4000 {
+		t.Errorf("domU TX dom0 bucket = %.0f, expected the netback/bridge cost", txDomU.Breakdown[cycles.CompDom0])
+	}
+	if txDomU.SwitchesPerPacket < 1.5 {
+		t.Errorf("domU TX switches/pkt = %.2f, expected ~2", txDomU.SwitchesPerPacket)
+	}
+	if txTwin.SwitchesPerPacket != 0 {
+		t.Errorf("twin TX switches/pkt = %.2f, want 0", txTwin.SwitchesPerPacket)
+	}
+	// The rewritten driver costs 2-3x the native driver.
+	txLinux, err := Run(netpath.Linux, TX, Params{NumNICs: 1, Measure: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := txTwin.Breakdown[cycles.CompDriver] / txLinux.Breakdown[cycles.CompDriver]
+	if ratio < 1.8 || ratio > 3.5 {
+		t.Errorf("rewritten/native driver = %.2fx, paper reports 2-3x", ratio)
+	}
+	// RX: the twin's hypervisor bucket is dominated by the guest copy.
+	rxTwin, err := Run(netpath.Twin, RX, Params{NumNICs: 1, Measure: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyCost := float64(cost.MTU+14) * cost.HvCopyPerByte
+	if rxTwin.Breakdown[cycles.CompXen] < copyCost {
+		t.Errorf("twin RX xen bucket (%.0f) below the copy cost (%.0f)", rxTwin.Breakdown[cycles.CompXen], copyCost)
+	}
+}
+
+// TestUpcallSweep reproduces the mechanism behind Figure 10: every
+// fast-path routine converted to an upcall costs two domain switches per
+// driver invocation and collapses throughput.
+func TestUpcallSweep(t *testing.T) {
+	full, err := Run(netpath.Twin, TX, Params{NumNICs: cost.NumNICs, Measure: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.UpcallsPerPacket != 0 {
+		t.Fatalf("full support set still upcalls: %.2f/pkt", full.UpcallsPerPacket)
+	}
+	// Drop one per-invocation routine (spin_trylock): at least one upcall
+	// per packet.
+	sup := []string{}
+	for _, s := range core.DefaultHvSupport() {
+		if s != "spin_trylock" {
+			sup = append(sup, s)
+		}
+	}
+	one, err := Run(netpath.Twin, TX, Params{
+		NumNICs: cost.NumNICs, Measure: 128,
+		Twin: core.TwinConfig{HvSupport: sup},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.UpcallsPerPacket < 1 {
+		t.Fatalf("upcalls/pkt = %.2f, want >= 1", one.UpcallsPerPacket)
+	}
+	// The paper: one upcall per invocation drops transmit from 3902 to
+	// 1638 Mb/s — better than a 2x collapse.
+	if one.ThroughputMbps > 0.6*full.ThroughputMbps {
+		t.Errorf("one upcall: %.0f Mb/s vs full %.0f — collapse too small",
+			one.ThroughputMbps, full.ThroughputMbps)
+	}
+	if one.SwitchesPerPacket < 2 {
+		t.Errorf("switches/pkt with one upcall = %.2f, want >= 2", one.SwitchesPerPacket)
+	}
+}
+
+// TestThroughputFunction checks the cycle→throughput conversion.
+func TestThroughputFunction(t *testing.T) {
+	// CPU-limited: 30000 cycles/packet can push 100k pkts/s = 1200 Mb/s.
+	mbps, util := Throughput(30000, 5, cost.MTU)
+	if util != 1.0 {
+		t.Errorf("util = %v", util)
+	}
+	if !within(mbps, 1200, 0.01) {
+		t.Errorf("mbps = %v", mbps)
+	}
+	// Line-limited: 1000 cycles/packet saturates 5 NICs below full CPU.
+	mbps, util = Throughput(1000, 5, cost.MTU)
+	if mbps != cost.NICLineRateMbps*5 {
+		t.Errorf("line-limited mbps = %v", mbps)
+	}
+	if util >= 1.0 || util <= 0 {
+		t.Errorf("line-limited util = %v", util)
+	}
+}
+
+// TestPacketIntegrityAllConfigs moves distinct payloads through every
+// configuration in both directions and verifies byte counts.
+func TestPacketIntegrityAllConfigs(t *testing.T) {
+	for _, kind := range netpath.Kinds() {
+		p, err := netpath.New(kind, 1, core.TwinConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 40; i++ {
+			if err := p.SendOne(0, 400+i); err != nil {
+				t.Fatalf("%v send %d: %v", kind, i, err)
+			}
+			if err := p.ReceiveOne(0, 400+i); err != nil {
+				t.Fatalf("%v recv %d: %v", kind, i, err)
+			}
+		}
+		if p.TxCount != 40 || p.RxCount != 40 {
+			t.Errorf("%v: tx=%d rx=%d", kind, p.TxCount, p.RxCount)
+		}
+		tx, rx, missed := p.M.Devs[0].NIC.Counters()
+		if tx != 40+0 || rx != 40 || missed != 0 {
+			t.Errorf("%v: NIC counters tx=%d rx=%d missed=%d", kind, tx, rx, missed)
+		}
+	}
+}

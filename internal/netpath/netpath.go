@@ -1,0 +1,341 @@
+// Package netpath wires the four measured system configurations of the
+// paper's evaluation (§6) end to end:
+//
+//	Linux      — the driver runs natively; no hypervisor charges.
+//	dom0       — the same, plus the residual paravirtualization cost of
+//	             running the driver domain on Xen.
+//	domU       — the unoptimized Xen guest path of Figure 1: netfront ring
+//	             + grant operations in the guest, a domain switch, netback
+//	             + bridge + the driver in dom0, and back.
+//	domU-twin  — the TwinDrivers path of Figure 2: a hypercall from the
+//	             guest straight into the derived hypervisor driver.
+//
+// Every configuration moves real packet bytes through the real simulated
+// driver and NIC; the TCP/IP stack, netfront/netback plumbing and residual
+// virtualization costs are priced from internal/cost. Per-packet cycles
+// fall out of the cycle meter with the dom0/domU/Xen/e1000 attribution of
+// Figures 7 and 8.
+package netpath
+
+import (
+	"fmt"
+
+	"twindrivers/internal/core"
+	"twindrivers/internal/cost"
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/kernel"
+	"twindrivers/internal/mem"
+)
+
+// Kind selects a configuration.
+type Kind int
+
+// The four configurations, in the order the paper's figures list them.
+const (
+	DomU Kind = iota
+	Twin
+	Dom0
+	Linux
+)
+
+// Kinds lists all configurations in figure order.
+func Kinds() []Kind { return []Kind{DomU, Twin, Dom0, Linux} }
+
+// String names the configuration as in the figures.
+func (k Kind) String() string {
+	switch k {
+	case Linux:
+		return "Linux"
+	case Dom0:
+		return "dom0"
+	case DomU:
+		return "domU"
+	case Twin:
+		return "domU-twin"
+	}
+	return "?"
+}
+
+// Path is one configuration brought up with n NICs.
+type Path struct {
+	Kind Kind
+	M    *core.Machine
+	T    *core.Twin // nil except for Twin
+
+	// TxCount / RxCount tally packets that completed the full path.
+	TxCount uint64
+	RxCount uint64
+
+	guestPage uint32 // domU-owned page used as the guest-side buffer
+	rxSeq     byte
+}
+
+// New builds a configuration. TwinConfig applies only to Kind Twin; pass
+// the zero value for defaults.
+func New(kind Kind, nNICs int, tcfg core.TwinConfig) (*Path, error) {
+	p := &Path{Kind: kind}
+	var err error
+	switch kind {
+	case Twin:
+		p.M, p.T, err = core.NewTwinMachine(nNICs, tcfg)
+	default:
+		p.M, err = core.NewMachine(nNICs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// A guest page for the unoptimized path's grant copies.
+	p.guestPage = p.M.HV.AllocHeap(p.M.DomU, 2*mem.PageSize)
+	return p, nil
+}
+
+// Meter exposes the machine's cycle meter.
+func (p *Path) Meter() *cycles.Meter { return p.M.CPU.Meter }
+
+// ResetMeasurement clears cycle buckets and transition statistics but keeps
+// all warm state (measurement epochs begin after warm-up).
+func (p *Path) ResetMeasurement() {
+	p.Meter().Reset()
+	p.M.HV.ResetStats()
+	p.TxCount, p.RxCount = 0, 0
+}
+
+// frame builds a data frame of the given total size addressed appropriately
+// for the path direction.
+func (p *Path) frame(d *core.NICDev, size int, rx bool) []byte {
+	p.rxSeq++
+	payload := make([]byte, size-14)
+	for i := 0; i < len(payload); i += 97 {
+		payload[i] = p.rxSeq + byte(i)
+	}
+	if rx {
+		return core.EthernetFrame(d.NIC.MAC, [6]byte{0, 0x50, 0x56, 1, 2, p.rxSeq}, 0x0800, payload)
+	}
+	return core.EthernetFrame([6]byte{0, 0x50, 0x56, 9, 9, p.rxSeq}, d.NIC.MAC, 0x0800, payload)
+}
+
+// SendOne pushes one size-byte packet out through NIC index i.
+func (p *Path) SendOne(i int, size int) error {
+	d := p.M.Devs[i%len(p.M.Devs)]
+	frame := p.frame(d, size, false)
+	var err error
+	switch p.Kind {
+	case Linux:
+		err = p.sendDom0(d, frame, false)
+	case Dom0:
+		err = p.sendDom0(d, frame, true)
+	case DomU:
+		err = p.sendDomU(d, frame)
+	case Twin:
+		err = p.sendTwin(d, frame)
+	}
+	if err == nil {
+		p.TxCount++
+	}
+	return err
+}
+
+// ReceiveOne injects one size-byte packet into NIC index i and runs the
+// full receive path.
+func (p *Path) ReceiveOne(i int, size int) error {
+	d := p.M.Devs[i%len(p.M.Devs)]
+	frame := p.frame(d, size, true)
+	var err error
+	switch p.Kind {
+	case Linux:
+		err = p.recvDom0(d, frame, false)
+	case Dom0:
+		err = p.recvDom0(d, frame, true)
+	case DomU:
+		err = p.recvDomU(d, frame)
+	case Twin:
+		err = p.recvTwin(d, frame)
+	}
+	if err == nil {
+		p.RxCount++
+	}
+	return err
+}
+
+// --- Linux / dom0 -------------------------------------------------------
+
+func (p *Path) sendDom0(d *core.NICDev, frame []byte, virt bool) error {
+	m := p.M
+	meter := p.Meter()
+	m.HV.Switch(m.Dom0)
+	// Socket write + TCP/IP + qdisc, including the user→skb copy.
+	meter.AddTo(cycles.CompDom0, cost.TxKernelFixed+uint64(len(frame))*cost.TxKernelPerByte)
+	skb, err := m.NewTxSkb(d, frame)
+	if err != nil {
+		return err
+	}
+	if virt {
+		meter.AddTo(cycles.CompXen, cost.Dom0VirtPerPacketTx)
+	}
+	ret, err := m.DevQueueXmit(d, skb)
+	if err != nil {
+		return err
+	}
+	if ret != 0 {
+		return fmt.Errorf("netpath: tx ring busy")
+	}
+	return nil
+}
+
+func (p *Path) recvDom0(d *core.NICDev, frame []byte, virt bool) error {
+	m := p.M
+	meter := p.Meter()
+	if !d.NIC.Inject(frame) {
+		return fmt.Errorf("netpath: rx overrun")
+	}
+	if virt {
+		meter.AddTo(cycles.CompXen, cost.Dom0VirtPerPacketRx)
+	}
+	if err := m.HandleIRQ(d); err != nil {
+		return err
+	}
+	// Protocol stack and socket delivery for everything the driver queued.
+	for {
+		skb, ok := m.K.PopBacklog()
+		if !ok {
+			break
+		}
+		ln, _ := m.Dom0.AS.Load(skb+kernel.SkbLen, 4)
+		meter.AddTo(cycles.CompDom0, cost.RxKernelFixed+uint64(ln)*cost.RxKernelPerByte)
+		m.K.FreeSkb(skb)
+	}
+	return nil
+}
+
+// --- Unoptimized Xen guest (netfront → netback → bridge → driver) --------
+
+func (p *Path) sendDomU(d *core.NICDev, frame []byte) error {
+	m := p.M
+	hv := m.HV
+	meter := p.Meter()
+
+	// Guest kernel + netfront: build the packet in guest memory, issue a
+	// grant, put a request on the I/O channel, kick the event channel.
+	hv.Switch(m.DomU)
+	meter.AddTo(cycles.CompDomU, cost.TxKernelFixed+uint64(len(frame))*cost.TxKernelPerByte)
+	if err := m.DomU.AS.WriteBytes(p.guestPage, frame); err != nil {
+		return err
+	}
+	meter.AddTo(cycles.CompDomU, cost.NetfrontPerPacket)
+	gframe, _ := hv.FrameOf(m.DomU, p.guestPage)
+	ref := hv.GrantCreate(m.DomU, gframe, m.Dom0)
+	hv.SendEvent(m.Dom0)
+
+	// Synchronous switch into the driver domain.
+	hv.Switch(m.Dom0)
+	hv.DeliverVirtIRQ(m.Dom0)
+
+	// Netback: grant map/unmap bookkeeping, then the payload into a dom0
+	// sk_buff, then bridge it to the physical device.
+	meter.AddTo(cycles.CompDom0, cost.NetbackPerPacket+cost.TxNetbackOverhead)
+	skb := m.K.AllocSkb(d.Netdev)
+	data, _ := m.Dom0.AS.Load(skb+kernel.SkbData, 4)
+	if err := hv.GrantCopy(ref, m.Dom0.AS, data, m.DomU.AS, p.guestPage, len(frame)); err != nil {
+		return err
+	}
+	if err := m.Dom0.AS.Store(skb+kernel.SkbLen, 4, uint32(len(frame))); err != nil {
+		return err
+	}
+	hv.GrantEnd(ref)
+	meter.AddTo(cycles.CompDom0, cost.BridgePerPacket)
+
+	ret, err := m.DevQueueXmit(d, skb)
+	if err != nil {
+		return err
+	}
+	if ret != 0 {
+		return fmt.Errorf("netpath: tx ring busy")
+	}
+
+	// Completion: notify the guest and switch back.
+	hv.SendEvent(m.DomU)
+	hv.Switch(m.DomU)
+	hv.DeliverVirtIRQ(m.DomU)
+	meter.AddTo(cycles.CompDomU, cost.NetfrontPerPacket/2) // response processing
+	return nil
+}
+
+func (p *Path) recvDomU(d *core.NICDev, frame []byte) error {
+	m := p.M
+	hv := m.HV
+	meter := p.Meter()
+
+	if !d.NIC.Inject(frame) {
+		return fmt.Errorf("netpath: rx overrun")
+	}
+	// The physical interrupt lands in the hypervisor, which switches to
+	// the driver domain.
+	meter.AddTo(cycles.CompXen, cost.IrqOverhead)
+	if err := m.HandleIRQ(d); err != nil { // switches to dom0 internally
+		return err
+	}
+	// Netback: for each packet the driver delivered, issue a grant and
+	// copy it into guest memory, then notify the guest.
+	n := 0
+	for {
+		skb, ok := m.K.PopBacklog()
+		if !ok {
+			break
+		}
+		meter.AddTo(cycles.CompDom0, cost.NetbackPerPacket+cost.BridgePerPacket+cost.RxNetbackOverhead)
+		meter.AddTo(cycles.CompXen, cost.RxFlipXen)
+		data, _ := m.Dom0.AS.Load(skb+kernel.SkbData, 4)
+		ln, _ := m.Dom0.AS.Load(skb+kernel.SkbLen, 4)
+		gframe, _ := hv.FrameOf(m.DomU, p.guestPage)
+		ref := hv.GrantCreate(m.Dom0, gframe, m.DomU)
+		if err := hv.GrantCopy(ref, m.DomU.AS, p.guestPage, m.Dom0.AS, data, int(ln)); err != nil {
+			return err
+		}
+		hv.GrantEnd(ref)
+		m.K.FreeSkb(skb)
+		n++
+	}
+	hv.SendEvent(m.DomU)
+	hv.Switch(m.DomU)
+	hv.DeliverVirtIRQ(m.DomU)
+	// Netfront response processing + guest stack.
+	for i := 0; i < n; i++ {
+		meter.AddTo(cycles.CompDomU, cost.NetfrontPerPacket)
+		meter.AddTo(cycles.CompDomU, cost.RxKernelFixed+uint64(len(frame))*cost.RxKernelPerByte)
+	}
+	return nil
+}
+
+// --- TwinDrivers ----------------------------------------------------------
+
+func (p *Path) sendTwin(d *core.NICDev, frame []byte) error {
+	m := p.M
+	meter := p.Meter()
+	m.HV.Switch(m.DomU)
+	// Guest kernel stack down to the paravirtual driver.
+	meter.AddTo(cycles.CompDomU, cost.TxKernelFixed+uint64(len(frame))*cost.TxKernelPerByte)
+	return p.T.GuestTransmit(d, frame)
+}
+
+func (p *Path) recvTwin(d *core.NICDev, frame []byte) error {
+	m := p.M
+	meter := p.Meter()
+	m.HV.Switch(m.DomU)
+	if !d.NIC.Inject(frame) {
+		return fmt.Errorf("netpath: rx overrun")
+	}
+	// The interrupt runs the hypervisor driver directly in guest context.
+	if err := p.T.HandleIRQ(d); err != nil {
+		return err
+	}
+	pkts, err := p.T.DeliverPending(m.DomU)
+	if err != nil {
+		return err
+	}
+	// Guest paravirtual driver + stack for each delivered packet.
+	for range pkts {
+		meter.AddTo(cycles.CompDomU, cost.PvDriverRx)
+		meter.AddTo(cycles.CompDomU, cost.RxKernelFixed+uint64(len(frame))*cost.RxKernelPerByte)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package netpath
+
+import (
+	"testing"
+
+	"twindrivers/internal/core"
+	"twindrivers/internal/cost"
+	"twindrivers/internal/cycles"
+)
+
+func TestKindNames(t *testing.T) {
+	want := map[Kind]string{Linux: "Linux", Dom0: "dom0", DomU: "domU", Twin: "domU-twin"}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d = %q", k, k.String())
+		}
+	}
+	if len(Kinds()) != 4 {
+		t.Error("Kinds() incomplete")
+	}
+}
+
+func TestLinuxChargesNoVirt(t *testing.T) {
+	p, err := New(Linux, 1, core.TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := p.SendOne(0, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.ResetMeasurement()
+	if err := p.SendOne(0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Meter().Get(cycles.CompXen); v != 0 {
+		t.Errorf("native Linux charged %d Xen cycles", v)
+	}
+	if v := p.Meter().Get(cycles.CompDomU); v != 0 {
+		t.Errorf("native Linux charged %d domU cycles", v)
+	}
+}
+
+func TestDom0ChargesVirtOverhead(t *testing.T) {
+	p, err := New(Dom0, 1, core.TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		p.SendOne(0, 1000)
+	}
+	p.ResetMeasurement()
+	if err := p.SendOne(0, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if v := p.Meter().Get(cycles.CompXen); v != cost.Dom0VirtPerPacketTx {
+		t.Errorf("dom0 Xen charge = %d, want %d", v, cost.Dom0VirtPerPacketTx)
+	}
+}
+
+func TestDomUPathMovesRealBytes(t *testing.T) {
+	p, err := New(DomU, 1, core.TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.M.Devs[0]
+	var wire [][]byte
+	d.NIC.OnTransmit = func(pkt []byte) { wire = append(wire, append([]byte(nil), pkt...)) }
+	if err := p.SendOne(0, 777); err != nil {
+		t.Fatal(err)
+	}
+	if len(wire) != 1 || len(wire[0]) != 777 {
+		t.Fatalf("wire: %d packets", len(wire))
+	}
+	// The payload went guest page -> grant copy -> dom0 skb -> DMA: check
+	// the pattern survived.
+	if wire[0][14] == 0 && wire[0][14+97] == 0 {
+		t.Error("payload pattern lost")
+	}
+	// Grant machinery was exercised.
+	if p.M.HV.GrantOps == 0 {
+		t.Error("no grant operations on the domU path")
+	}
+}
+
+func TestDomUSwitchesTwicePerPacket(t *testing.T) {
+	p, err := New(DomU, 1, core.TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		p.SendOne(0, 500)
+	}
+	p.ResetMeasurement()
+	for i := 0; i < 10; i++ {
+		if err := p.SendOne(0, 500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := float64(p.M.HV.Switches) / 10; got != 2 {
+		t.Errorf("switches per packet = %.1f", got)
+	}
+}
+
+func TestTwinPathZeroSwitches(t *testing.T) {
+	p, err := New(Twin, 1, core.TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		p.SendOne(0, 500)
+		p.ReceiveOne(0, 500)
+	}
+	p.ResetMeasurement()
+	for i := 0; i < 10; i++ {
+		if err := p.SendOne(0, 500); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.ReceiveOne(0, 500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.M.HV.Switches != 0 {
+		t.Errorf("twin path switched %d times", p.M.HV.Switches)
+	}
+	if p.T.UpcallsPerformed() != 0 {
+		t.Errorf("twin path made %d upcalls", p.T.UpcallsPerformed())
+	}
+}
+
+func TestReceiveDeliversToGuestStack(t *testing.T) {
+	for _, kind := range Kinds() {
+		p, err := New(kind, 1, core.TwinConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if err := p.ReceiveOne(0, 900); err != nil {
+				t.Fatalf("%v: %v", kind, err)
+			}
+		}
+		if p.RxCount != 5 {
+			t.Errorf("%v: rx = %d", kind, p.RxCount)
+		}
+	}
+}
+
+func TestMultiNICRoundRobin(t *testing.T) {
+	p, err := New(Linux, 3, core.TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	for i, d := range p.M.Devs {
+		i := i
+		d.NIC.OnTransmit = func([]byte) { counts[i]++ }
+	}
+	for i := 0; i < 9; i++ {
+		if err := p.SendOne(i, 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, c := range counts {
+		if c != 3 {
+			t.Errorf("NIC %d sent %d", i, c)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package report renders the reproduced tables and figures as text: the
+// bar values of Figures 5-8 and 10 as aligned tables, the Figure 9 series
+// as an ASCII chart, and Table 1 as the paper prints it.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/netbench"
+	"twindrivers/internal/trace"
+	"twindrivers/internal/webbench"
+)
+
+// Throughput renders a Figure 5/6-style table.
+func Throughput(w io.Writer, title string, results []*netbench.Result, paper map[string]float64) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-12s %14s %8s %14s\n", "config", "throughput", "CPU", "paper")
+	for _, r := range results {
+		p := "-"
+		if v, ok := paper[r.Config]; ok {
+			p = fmt.Sprintf("%8.0f Mb/s", v)
+		}
+		fmt.Fprintf(w, "%-12s %9.0f Mb/s %7.0f%% %14s\n",
+			r.Config, r.ThroughputMbps, 100*r.CPUUtil, p)
+	}
+	fmt.Fprintln(w)
+}
+
+// Breakdown renders a Figure 7/8-style cycles-per-packet table with the
+// four attribution buckets.
+func Breakdown(w io.Writer, title string, results []*netbench.Result, paper map[string]float64) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-12s %9s %8s %8s %8s %8s %9s\n",
+		"config", "cyc/pkt", "dom0", "domU", "Xen", "e1000", "paper")
+	for _, r := range results {
+		p := "-"
+		if v, ok := paper[r.Config]; ok {
+			p = fmt.Sprintf("%9.0f", v)
+		}
+		fmt.Fprintf(w, "%-12s %9.0f %8.0f %8.0f %8.0f %8.0f %9s\n",
+			r.Config, r.CyclesPerPacket,
+			r.Breakdown[cycles.CompDom0], r.Breakdown[cycles.CompDomU],
+			r.Breakdown[cycles.CompXen], r.Breakdown[cycles.CompDriver], p)
+	}
+	fmt.Fprintln(w)
+}
+
+// UpcallSweep renders Figure 10: transmit throughput as a function of the
+// number of upcalls per driver invocation.
+func UpcallSweep(w io.Writer, results []*netbench.Result) {
+	title := "Figure 10: transmit throughput vs upcalls per driver invocation"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%8s %14s %10s %10s\n", "upcalls", "throughput", "cyc/pkt", "sw/pkt")
+	for _, r := range results {
+		fmt.Fprintf(w, "%8.0f %9.0f Mb/s %10.0f %10.1f\n",
+			r.UpcallsPerPacket, r.ThroughputMbps, r.CyclesPerPacket, r.SwitchesPerPacket)
+	}
+	fmt.Fprintln(w)
+}
+
+// WebCurves renders Figure 9 as an ASCII chart plus a peak table.
+func WebCurves(w io.Writer, curves []*webbench.Curve, paper map[string]float64) {
+	title := "Figure 9: web server throughput vs request rate"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+
+	// Peak table first.
+	fmt.Fprintf(w, "%-12s %11s %12s %12s\n", "config", "peak", "capacity", "paper peak")
+	for _, c := range curves {
+		p := "-"
+		if v, ok := paper[c.Config]; ok {
+			p = fmt.Sprintf("%7.0f Mb/s", v)
+		}
+		fmt.Fprintf(w, "%-12s %6.0f Mb/s %6.0f req/s %12s\n", c.Config, c.PeakMbps, c.CapacityReqs, p)
+	}
+	fmt.Fprintln(w)
+
+	// ASCII chart: rows = throughput bands, columns = request rate.
+	const height = 16
+	maxM := 0.0
+	for _, c := range curves {
+		for _, pt := range c.Points {
+			if pt.Mbps > maxM {
+				maxM = pt.Mbps
+			}
+		}
+	}
+	if maxM == 0 {
+		return
+	}
+	marks := map[string]byte{"Linux": 'L', "dom0": 'D', "domU-twin": 'T', "domU": 'U'}
+	cols := len(curves[0].Points)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	for _, c := range curves {
+		m := marks[c.Config]
+		for x, pt := range c.Points {
+			y := int(pt.Mbps / maxM * float64(height-1))
+			row := height - 1 - y
+			if grid[row][x] == ' ' {
+				grid[row][x] = m
+			}
+		}
+	}
+	for i, row := range grid {
+		label := "      "
+		if i == 0 {
+			label = fmt.Sprintf("%5.0f ", maxM)
+		} else if i == height-1 {
+			label = "    0 "
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "      +%s\n", strings.Repeat("-", cols))
+	fmt.Fprintf(w, "       0 ... %d req/s   (L=Linux D=dom0 T=domU-twin U=domU)\n\n",
+		curves[0].Points[cols-1].RequestRate)
+}
+
+// Table1 renders the fast-path support routine table.
+func Table1(w io.Writer, t *trace.Table1) {
+	title := "Table 1: support routines on the error-free transmit/receive path"
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	desc := trace.Descriptions()
+	fmt.Fprintf(w, "%-26s %-40s %10s\n", "routine", "description", "calls")
+	for _, rc := range t.FastPath {
+		d := desc[strings.TrimSuffix(rc.Name, " (upcall)")]
+		fmt.Fprintf(w, "%-26s %-40s %10d\n", rc.Name, d, rc.Calls)
+	}
+	fmt.Fprintf(w, "\nFast-path routines: %d of %d imported support routines\n",
+		len(t.FastPath), len(t.AllRoutines))
+	fmt.Fprintf(w, "(kernel support table: %d symbols; paper: 10 of 97)\n\n", t.KernelSymbols)
+}
+
+// KeyValue renders a sorted key/value block (rewrite statistics etc.).
+func KeyValue(w io.Writer, title string, kv map[string]string) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%-32s %s\n", k, kv[k])
+	}
+	fmt.Fprintln(w)
+}

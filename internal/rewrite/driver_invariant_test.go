@@ -1,0 +1,31 @@
+package rewrite
+
+import (
+	"testing"
+
+	"twindrivers/internal/asm"
+	"twindrivers/internal/e1000"
+	"twindrivers/internal/kernel"
+)
+
+// TestOutputInvariantFullDriver applies the static safety invariant to the
+// real e1000-class driver: after rewriting, no untranslated non-stack
+// memory access survives anywhere in its fifteen functions.
+func TestOutputInvariantFullDriver(t *testing.T) {
+	u, err := asm.AssembleWithEquates(e1000.Source, kernel.Equates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []Options{
+		{RejectPrivileged: true},
+		{RejectPrivileged: true, ForceSpill: true},
+		{RejectPrivileged: true, CheckStack: true},
+		{RejectPrivileged: true, STLBEntries: 64},
+	} {
+		out, _, err := Rewrite(u, opt)
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		checkOutputInvariant(t, out)
+	}
+}

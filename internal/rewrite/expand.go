@@ -1,0 +1,308 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"twindrivers/internal/isa"
+)
+
+// expandIndirect rewrites `call *target` / `jmp *target` (§5.1.2): the
+// target, a VM-driver code address when it points into the driver, is
+// adjusted by the constant VM→hypervisor code delta. Targets outside the
+// driver's code range (kernel routines resolved into the binary, already-
+// correct addresses in the identity instance) pass through unadjusted; the
+// CPU's function-entry validation backstops anything else.
+func (rw *funcRewriter) expandIndirect(i int, in isa.Inst) error {
+	e := rw.body
+	isJmp := in.Op == isa.JMP
+	flagSave := isJmp && rw.needFlagSave(i, &in) // calls clobber flags anyway
+
+	// How many scratch registers do we need? One to hold/adjust the
+	// target; translating a heap-memory operand needs two.
+	m := in.Src
+	heapMem := m.Kind == isa.KindMem && !m.StackRelative()
+	want := 1
+	if heapMem {
+		want = 2
+	}
+	plan := rw.planScratch(i, &in, want, 0)
+
+	for _, r := range plan.spills {
+		e.emit(pushr(r))
+	}
+	if flagSave {
+		e.emit(isa.Inst{Op: isa.PUSHF})
+	}
+
+	// Load the target value into plan.s2 (want==2) or plan.s1 (want==1).
+	hold := plan.s1
+	switch {
+	case m.Kind == isa.KindReg:
+		e.emit(mov(m, isa.RegOp(hold)))
+	case m.StackRelative():
+		e.emit(mov(m, isa.RegOp(hold)))
+	default:
+		rw.emitTranslate(m, plan)
+		e.emit(mov(isa.MemOp(0, plan.s2), isa.RegOp(plan.s2)))
+		hold = plan.s2
+	}
+
+	// Range check + delta adjust.
+	rw.seq++
+	nj := fmt.Sprintf(".Lnj_%d", rw.seq)
+	e.emit(binop(isa.CMP, globalMem(SymCodeLo), isa.RegOp(hold)))
+	e.emit(jcc(isa.B, nj))
+	e.emit(binop(isa.CMP, globalMem(SymCodeHi), isa.RegOp(hold)))
+	e.emit(jcc(isa.AE, nj))
+	e.emit(binop(isa.ADD, globalMem(SymCodeDelta), isa.RegOp(hold)))
+	e.at(nj)
+
+	if len(plan.spills) == 0 && !flagSave {
+		e.emit(isa.Inst{Op: in.Op, Indirect: true, Src: isa.RegOp(hold)})
+		return nil
+	}
+	// Register-starved (or flag-carrying jmp): park the target in the
+	// instance's scratch slot, restore state, transfer through the slot.
+	e.emit(mov(isa.RegOp(hold), globalMem(SymScratch)))
+	if flagSave {
+		e.emit(isa.Inst{Op: isa.POPF})
+	}
+	for j := len(plan.spills) - 1; j >= 0; j-- {
+		e.emit(popr(plan.spills[j]))
+	}
+	e.emit(isa.Inst{Op: in.Op, Indirect: true, Src: globalMem(SymScratch)})
+	return nil
+}
+
+// expandString dispatches string-instruction rewriting (§5.1.1).
+func (rw *funcRewriter) expandString(i int, in isa.Inst) error {
+	if in.Rep == isa.RepNone {
+		return rw.expandStringSingle(i, in)
+	}
+	return rw.expandStringLoop(i, in)
+}
+
+// shiftFor returns the element-size shift (log2) for a string op.
+func shiftFor(size uint32) int32 {
+	switch size {
+	case 2:
+		return 1
+	case 4:
+		return 2
+	}
+	return 0
+}
+
+// expandStringSingle rewrites a non-REP string instruction: translate the
+// implicit pointer(s), perform the element access through the mapping, and
+// advance the original pointers with flag-preserving LEAs.
+func (rw *funcRewriter) expandStringSingle(i int, in isa.Inst) error {
+	e := rw.body
+	size := in.EffSize()
+	sz := int32(size)
+	// LODS defines EAX without reading it; keep it out of the scratch set
+	// anyway since the op writes it.
+	exclude := RegSet(0)
+	if in.Op == isa.LODS {
+		exclude = exclude.With(isa.EAX)
+	}
+	plan := rw.planScratch(i, &in, 3, exclude)
+	if in.Op == isa.MOVS || in.Op == isa.CMPS {
+		// Two translations with an element carried across the second: the
+		// holder must be distinct from both translation scratch registers.
+		rw.forceThird(&plan, &in, exclude)
+	}
+	flagSave := rw.needFlagSave(i, &in)
+	if flagSave {
+		rw.stats.FlagSaveSites++
+	}
+	for _, r := range plan.spills {
+		e.emit(pushr(r))
+	}
+	if flagSave {
+		e.emit(isa.Inst{Op: isa.PUSHF})
+	}
+	// Translations use only s1/s2 (two-scratch form) so that s3 can carry
+	// an element across them.
+	transPlan := scratchPlan{s1: plan.s1, s2: plan.s2, s3: isa.RegNone}
+	s2 := plan.s2
+	s3 := plan.s3
+	szOp := func(op isa.Op, src, dst isa.Operand) isa.Inst {
+		return isa.Inst{Op: op, Size: uint8(size), Src: src, Dst: dst}
+	}
+	advance := func(r isa.Reg) { e.emit(lea(isa.MemOp(sz, r), r)) }
+
+	switch in.Op {
+	case isa.MOVS:
+		rw.emitTranslate(isa.MemOp(0, isa.ESI), transPlan)
+		e.emit(szOp(isa.MOV, isa.MemOp(0, s2), isa.RegOp(s3)))
+		rw.emitTranslate(isa.MemOp(0, isa.EDI), transPlan)
+		e.emit(szOp(isa.MOV, isa.RegOp(s3), isa.MemOp(0, s2)))
+		advance(isa.ESI)
+		advance(isa.EDI)
+	case isa.CMPS:
+		rw.emitTranslate(isa.MemOp(0, isa.ESI), transPlan)
+		e.emit(szOp(isa.MOV, isa.MemOp(0, s2), isa.RegOp(s3)))
+		rw.emitTranslate(isa.MemOp(0, isa.EDI), transPlan)
+		e.emit(szOp(isa.CMP, isa.MemOp(0, s2), isa.RegOp(s3))) // flags = [esi] - [edi]
+		advance(isa.ESI)
+		advance(isa.EDI)
+	case isa.SCAS:
+		rw.emitTranslate(isa.MemOp(0, isa.EDI), transPlan)
+		e.emit(szOp(isa.CMP, isa.MemOp(0, s2), isa.RegOp(isa.EAX))) // flags = eax - [edi]
+		advance(isa.EDI)
+	case isa.STOS:
+		rw.emitTranslate(isa.MemOp(0, isa.EDI), transPlan)
+		e.emit(szOp(isa.MOV, isa.RegOp(isa.EAX), isa.MemOp(0, s2)))
+		advance(isa.EDI)
+	case isa.LODS:
+		rw.emitTranslate(isa.MemOp(0, isa.ESI), transPlan)
+		e.emit(szOp(isa.MOV, isa.MemOp(0, s2), isa.RegOp(isa.EAX)))
+		advance(isa.ESI)
+	}
+	if flagSave {
+		e.emit(isa.Inst{Op: isa.POPF})
+	}
+	for j := len(plan.spills) - 1; j >= 0; j-- {
+		e.emit(popr(plan.spills[j]))
+	}
+	return nil
+}
+
+// expandStringLoop rewrites REP MOVS/STOS/LODS into a loop over page-sized
+// chunks: "we generate code that loops over the entire string in chunks of
+// page length, and use the string instruction on the individual string
+// chunks that are guaranteed to lie within a single page" (§5.1.1). A
+// chunk whose last element straddles the page boundary is safe because the
+// slow path maps two consecutive pages per miss.
+func (rw *funcRewriter) expandStringLoop(i int, in isa.Inst) error {
+	e := rw.body
+	size := in.EffSize()
+	shift := shiftFor(size)
+
+	exclude := RegSet(0)
+	if in.Op == isa.LODS {
+		exclude = exclude.With(isa.EAX)
+	}
+	plan := rw.planScratch(i, &in, 3, exclude)
+	rw.forceThird(&plan, &in, exclude) // the loop needs a chunk register
+	s1, s2, s3 := plan.s1, plan.s2, plan.s3
+	transPlan := scratchPlan{s1: s1, s2: s2, s3: isa.RegNone}
+
+	flagSave := rw.needFlagSave(i, &in)
+	if flagSave {
+		rw.stats.FlagSaveSites++
+	}
+	rw.seq++
+	top := fmt.Sprintf(".Lstr_top_%d", rw.seq)
+	done := fmt.Sprintf(".Lstr_done_%d", rw.seq)
+
+	for _, r := range plan.spills {
+		e.emit(pushr(r))
+	}
+	if flagSave {
+		e.emit(isa.Inst{Op: isa.PUSHF})
+	}
+
+	// chunkBytes computes into dst the bytes remaining to the end of the
+	// page containing *ptr: 4096 - (ptr & 4095), in [1, 4096].
+	chunkBytes := func(ptr, dst isa.Reg) {
+		e.emit(mov(isa.RegOp(ptr), isa.RegOp(dst)))
+		e.emit(binop(isa.AND, isa.ImmOp(4095), isa.RegOp(dst)))
+		e.emit(isa.Inst{Op: isa.NEG, Size: 4, Dst: isa.RegOp(dst)})
+		e.emit(binop(isa.ADD, isa.ImmOp(4096), isa.RegOp(dst)))
+	}
+
+	e.at(top)
+	e.emit(binop(isa.TEST, isa.RegOp(isa.ECX), isa.RegOp(isa.ECX)))
+	e.emit(jcc(isa.E, done))
+
+	// s3 = chunk length in elements.
+	switch in.Op {
+	case isa.MOVS:
+		chunkBytes(isa.ESI, s3)
+		chunkBytes(isa.EDI, s1)
+		rw.seq++
+		minL := fmt.Sprintf(".Lstr_min_%d", rw.seq)
+		e.emit(binop(isa.CMP, isa.RegOp(s1), isa.RegOp(s3)))
+		e.emit(jcc(isa.BE, minL))
+		e.emit(mov(isa.RegOp(s1), isa.RegOp(s3)))
+		e.at(minL)
+	case isa.STOS:
+		chunkBytes(isa.EDI, s3)
+	case isa.LODS:
+		chunkBytes(isa.ESI, s3)
+	}
+	if shift > 0 {
+		e.emit(isa.Inst{Op: isa.SHR, Size: 4, Src: isa.ImmOp(shift), Dst: isa.RegOp(s3)})
+		rw.seq++
+		nz := fmt.Sprintf(".Lstr_nz_%d", rw.seq)
+		e.emit(jcc(isa.NE, nz))
+		// Fewer bytes than one element remain on the page: the element
+		// straddles; the two-page mapping makes a 1-element chunk safe.
+		e.emit(mov(isa.ImmOp(1), isa.RegOp(s3)))
+		e.at(nz)
+	}
+	rw.seq++
+	cl := fmt.Sprintf(".Lstr_cl_%d", rw.seq)
+	e.emit(binop(isa.CMP, isa.RegOp(isa.ECX), isa.RegOp(s3)))
+	e.emit(jcc(isa.BE, cl))
+	e.emit(mov(isa.RegOp(isa.ECX), isa.RegOp(s3)))
+	e.at(cl)
+
+	// Translate pointers, swap in, run the chunk, swap out, advance.
+	switch in.Op {
+	case isa.MOVS:
+		rw.emitTranslate(isa.MemOp(0, isa.ESI), transPlan)
+		e.emit(pushr(isa.ESI))
+		e.emit(mov(isa.RegOp(s2), isa.RegOp(isa.ESI)))
+		rw.emitTranslate(isa.MemOp(0, isa.EDI), transPlan)
+		e.emit(pushr(isa.EDI))
+		e.emit(mov(isa.RegOp(s2), isa.RegOp(isa.EDI)))
+		e.emit(pushr(isa.ECX))
+		e.emit(mov(isa.RegOp(s3), isa.RegOp(isa.ECX)))
+		e.emit(isa.Inst{Op: isa.MOVS, Size: uint8(size), Rep: isa.RepPlain})
+		e.emit(popr(isa.ECX))
+		e.emit(popr(isa.EDI))
+		e.emit(popr(isa.ESI))
+		e.emit(lea(isa.MemOpIdx(0, isa.ESI, s3, uint8(size)), isa.ESI))
+		e.emit(lea(isa.MemOpIdx(0, isa.EDI, s3, uint8(size)), isa.EDI))
+	case isa.STOS:
+		rw.emitTranslate(isa.MemOp(0, isa.EDI), transPlan)
+		e.emit(pushr(isa.EDI))
+		e.emit(mov(isa.RegOp(s2), isa.RegOp(isa.EDI)))
+		e.emit(pushr(isa.ECX))
+		e.emit(mov(isa.RegOp(s3), isa.RegOp(isa.ECX)))
+		e.emit(isa.Inst{Op: isa.STOS, Size: uint8(size), Rep: isa.RepPlain})
+		e.emit(popr(isa.ECX))
+		e.emit(popr(isa.EDI))
+		e.emit(lea(isa.MemOpIdx(0, isa.EDI, s3, uint8(size)), isa.EDI))
+	case isa.LODS:
+		rw.emitTranslate(isa.MemOp(0, isa.ESI), transPlan)
+		e.emit(pushr(isa.ESI))
+		e.emit(mov(isa.RegOp(s2), isa.RegOp(isa.ESI)))
+		e.emit(pushr(isa.ECX))
+		e.emit(mov(isa.RegOp(s3), isa.RegOp(isa.ECX)))
+		e.emit(isa.Inst{Op: isa.LODS, Size: uint8(size), Rep: isa.RepPlain})
+		e.emit(popr(isa.ECX))
+		e.emit(popr(isa.ESI))
+		e.emit(lea(isa.MemOpIdx(0, isa.ESI, s3, uint8(size)), isa.ESI))
+	}
+	e.emit(binop(isa.SUB, isa.RegOp(s3), isa.RegOp(isa.ECX)))
+	e.emit(jmp(top))
+
+	e.at(done)
+	if flagSave {
+		e.emit(isa.Inst{Op: isa.POPF})
+	}
+	for j := len(plan.spills) - 1; j >= 0; j-- {
+		e.emit(popr(plan.spills[j]))
+	}
+	if flagSave || len(plan.spills) > 0 {
+		return nil
+	}
+	// Ensure the `done` label lands on an instruction even with nothing
+	// to restore.
+	e.emit(isa.Inst{Op: isa.NOP})
+	return nil
+}

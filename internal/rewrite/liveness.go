@@ -1,0 +1,268 @@
+// Package rewrite implements TwinDrivers' assembler-level binary rewriting
+// (§5.1 of the paper): it transforms a guest-OS driver unit into a unit
+// whose every non-stack memory access goes through the SVM fast path of
+// Figure 4, whose string instructions loop over page-sized chunks
+// (§5.1.1), and whose indirect calls translate VM code addresses to
+// hypervisor code addresses (§5.1.2).
+//
+// Register liveness analysis chooses dead registers as translation scratch
+// ("we avoid the cost of spilling registers most of the time by doing a
+// register liveness analysis to determine the set of free registers
+// available at each instruction", footnote 3); when fewer are free the
+// rewriter falls back to a two-scratch sequence and finally to spilling.
+package rewrite
+
+import (
+	"twindrivers/internal/asm"
+	"twindrivers/internal/isa"
+)
+
+// RegSet is a bitmask over the eight GPRs plus the flags.
+type RegSet uint16
+
+// FlagsBit marks the condition flags in a RegSet.
+const FlagsBit RegSet = 1 << 8
+
+// AllRegs has every register (not flags) set.
+const AllRegs RegSet = (1 << isa.NumRegs) - 1
+
+// Has reports whether r is in the set.
+func (s RegSet) Has(r isa.Reg) bool { return s&(1<<r) != 0 }
+
+// HasFlags reports whether the flags are live.
+func (s RegSet) HasFlags() bool { return s&FlagsBit != 0 }
+
+// With returns s plus r.
+func (s RegSet) With(r isa.Reg) RegSet { return s | 1<<r }
+
+// Without returns s minus r.
+func (s RegSet) Without(r isa.Reg) RegSet { return s &^ (1 << r) }
+
+// retLive is the live-out set at a function return: the return value, the
+// callee-saved registers the caller expects preserved, and the stack
+// pointer. Flags are dead across returns (cdecl).
+var retLive = RegSet(0).
+	With(isa.EAX).With(isa.EBX).With(isa.ESI).With(isa.EDI).
+	With(isa.EBP).With(isa.ESP)
+
+// callerSaved are clobbered by a call (and therefore dead immediately
+// before one, unless they carry its — stack-passed — arguments).
+var callerSaved = RegSet(0).With(isa.EAX).With(isa.ECX).With(isa.EDX)
+
+// operandUses adds the registers an operand reads.
+func operandUses(o *isa.Operand, s RegSet) RegSet {
+	switch o.Kind {
+	case isa.KindReg:
+		s = s.With(o.Reg)
+	case isa.KindMem:
+		if o.Base != isa.RegNone {
+			s = s.With(o.Base)
+		}
+		if o.Index != isa.RegNone {
+			s = s.With(o.Index)
+		}
+	}
+	return s
+}
+
+// UseDef computes the (use, def) register sets of one instruction,
+// including the flags pseudo-register.
+func UseDef(in *isa.Inst) (use, def RegSet) {
+	// Explicit operands.
+	switch in.Op {
+	case isa.LEA:
+		use = operandUses(&in.Src, use)
+		def = def.With(in.Dst.Reg)
+	case isa.MOV, isa.MOVZX, isa.MOVSX, isa.SETCC:
+		use = operandUses(&in.Src, use)
+		if in.Dst.Kind == isa.KindReg {
+			// Sub-word register writes merge with the old value.
+			if in.Op == isa.MOV && in.EffSize() < 4 || in.Op == isa.SETCC {
+				use = use.With(in.Dst.Reg)
+			}
+			def = def.With(in.Dst.Reg)
+		} else {
+			use = operandUses(&in.Dst, use)
+		}
+	case isa.ADD, isa.SUB, isa.ADC, isa.SBB, isa.AND, isa.OR, isa.XOR,
+		isa.SHL, isa.SHR, isa.SAR, isa.IMUL:
+		use = operandUses(&in.Src, use)
+		use = operandUses(&in.Dst, use) // read-modify-write
+		if in.Dst.Kind == isa.KindReg {
+			def = def.With(in.Dst.Reg)
+		}
+	case isa.CMP, isa.TEST:
+		use = operandUses(&in.Src, use)
+		use = operandUses(&in.Dst, use)
+	case isa.INC, isa.DEC, isa.NEG, isa.NOT:
+		use = operandUses(&in.Dst, use)
+		if in.Dst.Kind == isa.KindReg {
+			def = def.With(in.Dst.Reg)
+		}
+	case isa.XCHG:
+		use = operandUses(&in.Src, use)
+		use = operandUses(&in.Dst, use)
+		if in.Src.Kind == isa.KindReg {
+			def = def.With(in.Src.Reg)
+		}
+		if in.Dst.Kind == isa.KindReg {
+			def = def.With(in.Dst.Reg)
+		}
+	case isa.MUL:
+		use = operandUses(&in.Dst, use).With(isa.EAX)
+		def = def.With(isa.EAX).With(isa.EDX)
+	case isa.DIV:
+		use = operandUses(&in.Dst, use).With(isa.EAX).With(isa.EDX)
+		def = def.With(isa.EAX).With(isa.EDX)
+	case isa.PUSH:
+		use = operandUses(&in.Src, use).With(isa.ESP)
+		def = def.With(isa.ESP)
+	case isa.POP:
+		use = use.With(isa.ESP)
+		if in.Dst.Kind == isa.KindReg {
+			def = def.With(in.Dst.Reg)
+		} else {
+			use = operandUses(&in.Dst, use)
+		}
+		def = def.With(isa.ESP)
+	case isa.PUSHF, isa.POPF:
+		use = use.With(isa.ESP)
+		def = def.With(isa.ESP)
+	case isa.CALL:
+		if in.Indirect {
+			use = operandUses(&in.Src, use)
+		}
+		use = use.With(isa.ESP)
+		def = def | callerSaved
+		def = def.With(isa.ESP)
+	case isa.JMP:
+		if in.Indirect {
+			use = operandUses(&in.Src, use)
+		}
+	case isa.INT:
+		// Hypercalls may read any register; be conservative.
+		use = use | AllRegs
+		def = def | callerSaved
+	case isa.MOVS:
+		use = use.With(isa.ESI).With(isa.EDI)
+		def = def.With(isa.ESI).With(isa.EDI)
+	case isa.STOS:
+		use = use.With(isa.EDI).With(isa.EAX)
+		def = def.With(isa.EDI)
+	case isa.LODS:
+		use = use.With(isa.ESI)
+		def = def.With(isa.ESI).With(isa.EAX)
+	case isa.CMPS:
+		use = use.With(isa.ESI).With(isa.EDI)
+		def = def.With(isa.ESI).With(isa.EDI)
+	case isa.SCAS:
+		use = use.With(isa.EDI).With(isa.EAX)
+		def = def.With(isa.EDI)
+	}
+	if in.IsString() && in.Rep != isa.RepNone {
+		use = use.With(isa.ECX)
+		def = def.With(isa.ECX)
+	}
+	if in.ReadsFlags() {
+		use |= FlagsBit
+	}
+	if in.WritesFlags() {
+		def |= FlagsBit
+	}
+	return use, def
+}
+
+// Live holds per-instruction liveness.
+type Live struct {
+	In, Out []RegSet
+}
+
+// Liveness runs backwards dataflow over a function's CFG.
+//
+// Conservatisms: an indirect jump is treated as an exit with everything
+// live (jump tables could land anywhere in the function); a direct jump to
+// a symbol that is not a local label (a tail call) is an exit with the
+// return-live set.
+func Liveness(f *asm.Func) *Live {
+	n := len(f.Insts)
+	lv := &Live{In: make([]RegSet, n), Out: make([]RegSet, n)}
+
+	succs := make([][]int, n)
+	exitLive := make([]RegSet, n) // extra live-out for exit edges
+	for i := range f.Insts {
+		in := &f.Insts[i]
+		switch in.Op {
+		case isa.RET:
+			exitLive[i] = retLive
+		case isa.JMP:
+			if in.Indirect {
+				exitLive[i] = AllRegs | FlagsBit
+			} else if t, ok := f.Labels[in.Target]; ok {
+				succs[i] = []int{t}
+			} else {
+				exitLive[i] = retLive // tail call
+			}
+		case isa.JCC:
+			if t, ok := f.Labels[in.Target]; ok {
+				succs[i] = []int{t}
+			}
+			if i+1 < n {
+				succs[i] = append(succs[i], i+1)
+			}
+		default:
+			if i+1 < n {
+				succs[i] = []int{i + 1}
+			} else {
+				exitLive[i] = retLive // falls off the end (shouldn't happen)
+			}
+		}
+	}
+
+	use := make([]RegSet, n)
+	def := make([]RegSet, n)
+	for i := range f.Insts {
+		use[i], def[i] = UseDef(&f.Insts[i])
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			out := exitLive[i]
+			for _, s := range succs[i] {
+				out |= lv.In[s]
+			}
+			in := use[i] | (out &^ def[i])
+			if out != lv.Out[i] || in != lv.In[i] {
+				lv.Out[i], lv.In[i] = out, in
+				changed = true
+			}
+		}
+	}
+	// ESP is always live: it anchors the (exempt) stack.
+	for i := range lv.In {
+		lv.In[i] = lv.In[i].With(isa.ESP)
+		lv.Out[i] = lv.Out[i].With(isa.ESP)
+	}
+	return lv
+}
+
+// FreeRegs returns the registers usable as scratch at instruction i: not
+// ESP or EBP, not read by the instruction, and not live after it (the
+// instruction's own pure definitions are fine to clobber beforehand).
+func FreeRegs(f *asm.Func, lv *Live, i int) []isa.Reg {
+	in := &f.Insts[i]
+	use, def := UseDef(in)
+	// A register that is live-out solely because this instruction defines
+	// it can serve as scratch before the final (defining) instruction.
+	busy := use | (lv.Out[i] &^ (def &^ use))
+	var out []isa.Reg
+	for r := isa.EAX; r < isa.NumRegs; r++ {
+		if r == isa.ESP || r == isa.EBP {
+			continue
+		}
+		if !busy.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

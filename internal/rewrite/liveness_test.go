@@ -1,0 +1,179 @@
+package rewrite
+
+import (
+	"testing"
+
+	"twindrivers/internal/asm"
+	"twindrivers/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *asm.Unit {
+	t.Helper()
+	u, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return u
+}
+
+func TestUseDefBasic(t *testing.T) {
+	cases := []struct {
+		src     string
+		useWant RegSet
+		defWant RegSet
+	}{
+		{"movl %eax, %ebx", RegSet(0).With(isa.EAX), RegSet(0).With(isa.EBX)},
+		{"movl (%eax), %ebx", RegSet(0).With(isa.EAX), RegSet(0).With(isa.EBX)},
+		{"movl %ebx, (%eax,%ecx,4)", RegSet(0).With(isa.EAX).With(isa.EBX).With(isa.ECX), 0},
+		{"addl %eax, %ebx", RegSet(0).With(isa.EAX).With(isa.EBX), RegSet(0).With(isa.EBX) | FlagsBit},
+		{"cmpl %eax, %ebx", RegSet(0).With(isa.EAX).With(isa.EBX), FlagsBit},
+		{"leal 4(%eax), %ebx", RegSet(0).With(isa.EAX), RegSet(0).With(isa.EBX)},
+		{"pushl %eax", RegSet(0).With(isa.EAX).With(isa.ESP), RegSet(0).With(isa.ESP)},
+		{"popl %eax", RegSet(0).With(isa.ESP), RegSet(0).With(isa.EAX).With(isa.ESP)},
+		{"mull %ecx", RegSet(0).With(isa.EAX).With(isa.ECX), RegSet(0).With(isa.EAX).With(isa.EDX) | FlagsBit},
+		{"movb %al_placeholder, %ebx", 0, 0}, // replaced below
+	}
+	cases = cases[:len(cases)-1]
+	for _, c := range cases {
+		u := mustAssemble(t, "f:\n\t"+c.src+"\n\tret\n")
+		in := &u.Funcs[0].Insts[0]
+		use, def := UseDef(in)
+		if use != c.useWant || def != c.defWant {
+			t.Errorf("%s: use=%012b def=%012b, want use=%012b def=%012b", c.src, use, def, c.useWant, c.defWant)
+		}
+	}
+}
+
+func TestUseDefSubWordRegWriteIsRMW(t *testing.T) {
+	u := mustAssemble(t, "f:\n\tmovb $1, %ebx\n\tret\n")
+	use, def := UseDef(&u.Funcs[0].Insts[0])
+	if !use.Has(isa.EBX) || !def.Has(isa.EBX) {
+		t.Errorf("sub-word reg write: use=%v def=%v (upper bits merge!)", use.Has(isa.EBX), def.Has(isa.EBX))
+	}
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	u := mustAssemble(t, `
+f:
+	movl	$1, %eax
+	movl	$2, %ecx
+	addl	%ecx, %eax
+	ret
+`)
+	lv := Liveness(u.Funcs[0])
+	// ecx is live between its def (1) and use (2), dead before.
+	if lv.In[0].Has(isa.ECX) {
+		t.Error("ecx live before its definition")
+	}
+	if !lv.Out[1].Has(isa.ECX) || !lv.In[2].Has(isa.ECX) {
+		t.Error("ecx not live across def->use")
+	}
+	// eax is live out of the add (return value).
+	if !lv.Out[2].Has(isa.EAX) {
+		t.Error("eax (return value) not live at ret")
+	}
+	// edx is dead everywhere.
+	for i := range lv.In {
+		if lv.In[i].Has(isa.EDX) {
+			t.Errorf("edx live at %d", i)
+		}
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	u := mustAssemble(t, `
+f:
+	movl	$10, %ecx
+	xorl	%eax, %eax
+.Ltop:
+	addl	%ecx, %eax
+	decl	%ecx
+	jne	.Ltop
+	ret
+`)
+	lv := Liveness(u.Funcs[0])
+	// ecx live around the back edge: live-in at .Ltop (index 2) and
+	// live-out of the jne (index 4).
+	if !lv.In[2].Has(isa.ECX) || !lv.Out[4].Has(isa.ECX) {
+		t.Error("loop-carried ecx not live on back edge")
+	}
+	// Flags live between decl and jne.
+	if !lv.Out[3].HasFlags() {
+		t.Error("flags not live between decl and jne")
+	}
+}
+
+func TestLivenessCallClobbers(t *testing.T) {
+	u := mustAssemble(t, `
+f:
+	movl	$7, %ecx
+	call	g
+	movl	%ecx, %eax
+	ret
+g:
+	ret
+`)
+	lv := Liveness(u.Funcs[0])
+	// The call clobbers caller-saved registers, so ecx (though read after
+	// the call — a bug in this program) is dead going in: its post-call
+	// value comes from the call, not from instruction 0.
+	if lv.In[1].Has(isa.ECX) {
+		t.Error("ecx live into call though the call clobbers it")
+	}
+	if lv.In[1].Has(isa.EAX) {
+		t.Error("eax live into call though call defines it")
+	}
+	// ecx IS live out of the call (used at 2).
+	if !lv.Out[1].Has(isa.ECX) {
+		t.Error("ecx not live out of call")
+	}
+}
+
+func TestFreeRegsScratchSelection(t *testing.T) {
+	u := mustAssemble(t, `
+f:
+	movl	(%eax), %ebx
+	addl	%ebx, %esi
+	movl	%esi, %eax
+	ret
+`)
+	lv := Liveness(u.Funcs[0])
+	free := FreeRegs(u.Funcs[0], lv, 0)
+	freeSet := RegSet(0)
+	for _, r := range free {
+		freeSet = freeSet.With(r)
+	}
+	// eax is the base (used); esi is live (used at 1); ebx is the pure
+	// destination — usable as scratch; ecx/edx dead.
+	if freeSet.Has(isa.EAX) {
+		t.Error("eax (base) offered as scratch")
+	}
+	if freeSet.Has(isa.ESI) {
+		t.Error("esi (live) offered as scratch")
+	}
+	if !freeSet.Has(isa.ECX) || !freeSet.Has(isa.EDX) {
+		t.Error("dead ecx/edx not offered")
+	}
+	if !freeSet.Has(isa.EBX) {
+		t.Error("pure destination ebx not offered as scratch")
+	}
+	if freeSet.Has(isa.ESP) || freeSet.Has(isa.EBP) {
+		t.Error("frame registers offered as scratch")
+	}
+}
+
+func TestLivenessIndirectJmpConservative(t *testing.T) {
+	u := mustAssemble(t, `
+f:
+	movl	(%eax), %ebx
+	jmp	*%ebx
+`)
+	lv := Liveness(u.Funcs[0])
+	// Everything is live at an indirect jump.
+	if lv.Out[1] != (AllRegs | FlagsBit).With(isa.ESP) {
+		t.Errorf("indirect jmp live-out = %012b", lv.Out[1])
+	}
+	if len(FreeRegs(u.Funcs[0], lv, 1)) != 0 {
+		t.Error("scratch registers offered at all-live point")
+	}
+}

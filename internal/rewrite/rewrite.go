@@ -1,0 +1,659 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"twindrivers/internal/asm"
+	"twindrivers/internal/isa"
+)
+
+// Symbols the rewritten code imports; the TwinDrivers loader resolves them
+// per instance (hypervisor table for the hypervisor instance, an
+// identity-filled dom0 table for the VM instance — §5.1.2).
+const (
+	// SymSTLB is the software translation table (Figure 4's "stlb").
+	SymSTLB = "__twin_stlb"
+
+	// SymSlowPath is the native slow-path routine: cdecl, one argument
+	// (the faulting dom0 address), returns the translated address or
+	// aborts the driver on a protection violation.
+	SymSlowPath = "__svm_slowpath"
+
+	// SymCodeLo/SymCodeHi bound the VM driver instance's code addresses;
+	// SymCodeDelta is added to indirect-call targets inside that range to
+	// reach the corresponding hypervisor-instance routine (the
+	// constant-offset translation enabled by running the same rewritten
+	// binary in both instances).
+	SymCodeLo    = "__twin_code_lo"
+	SymCodeHi    = "__twin_code_hi"
+	SymCodeDelta = "__twin_code_delta"
+
+	// SymScratch is a per-instance one-word scratch slot used by
+	// register-starved indirect control transfers.
+	SymScratch = "__twin_scratch"
+
+	// SymStackLo/SymStackHi bound the instance's stack for the optional
+	// variable-offset stack access checks (§4.5.1); SymStackViolation is
+	// the native abort routine those checks call.
+	SymStackLo        = "__twin_stack_lo"
+	SymStackHi        = "__twin_stack_hi"
+	SymStackViolation = "__svm_stack_violation"
+)
+
+// Options control the rewriting.
+type Options struct {
+	// RejectPrivileged fails the rewrite if the driver contains privileged
+	// instructions (static scan, §4.5.2). On for hypervisor derivation.
+	RejectPrivileged bool
+
+	// CheckStack inserts bounds checks on variable-offset stack-relative
+	// accesses (§4.5.1). Constant offsets within ±StackCheckWindow of the
+	// frame registers are statically accepted.
+	CheckStack bool
+
+	// StackCheckWindow is the statically-safe constant-offset range.
+	StackCheckWindow int32
+
+	// ForceSpill disables liveness-guided scratch selection and always
+	// spills (the ablation for the paper's footnote 3).
+	ForceSpill bool
+
+	// STLBEntries sizes the software translation table the generated fast
+	// path indexes (power of two; 0 means the paper's 4096). Smaller
+	// tables raise the hash-collision rate — the stlb-size ablation.
+	STLBEntries int
+}
+
+// indexMask returns the AND mask the fast path applies to the address to
+// derive the stlb entry offset: (entries-1) << 12.
+func (o *Options) indexMask() int32 {
+	e := o.STLBEntries
+	if e == 0 {
+		e = 4096
+	}
+	return int32((e - 1) << 12)
+}
+
+// Stats describes what the rewriter did; the paper reports ~25% of driver
+// instructions referencing memory (§4.1).
+type Stats struct {
+	Funcs           int
+	InputInsts      int
+	OutputInsts     int
+	MemRewritten    int // data-memory instructions given SVM sequences
+	StackExempt     int // stack-relative accesses left untranslated
+	StringExpanded  int // string instructions expanded to chunk loops
+	IndirectCalls   int // indirect calls/jumps given code translation
+	SpillSites      int // sites that had to spill for scratch
+	TwoScratchSites int // sites using the 2-scratch variant
+	FlagSaveSites   int // sites wrapped in pushf/popf
+	StackChecks     int // variable-offset stack checks inserted
+}
+
+// MemRefFraction returns the fraction of input instructions that were
+// rewritten for memory access (the paper's ~25% statistic).
+func (s *Stats) MemRefFraction() float64 {
+	if s.InputInsts == 0 {
+		return 0
+	}
+	return float64(s.MemRewritten+s.StringExpanded) / float64(s.InputInsts)
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf(
+		"funcs=%d insts %d->%d (x%.2f) mem=%d (%.1f%%) stack-exempt=%d strings=%d indirect=%d spills=%d two-scratch=%d flag-saves=%d stack-checks=%d",
+		s.Funcs, s.InputInsts, s.OutputInsts,
+		float64(s.OutputInsts)/float64(max(1, s.InputInsts)),
+		s.MemRewritten, 100*s.MemRefFraction(), s.StackExempt, s.StringExpanded,
+		s.IndirectCalls, s.SpillSites, s.TwoScratchSites, s.FlagSaveSites, s.StackChecks)
+}
+
+// Rewrite derives the hypervisor-driver unit from a VM-driver unit. The
+// input is not modified. The output unit imports the Sym* symbols above in
+// addition to the input's imports.
+func Rewrite(u *asm.Unit, opt Options) (*asm.Unit, *Stats, error) {
+	if opt.StackCheckWindow == 0 {
+		opt.StackCheckWindow = 4096
+	}
+	if opt.STLBEntries == 0 {
+		opt.STLBEntries = 4096
+	}
+	if opt.STLBEntries&(opt.STLBEntries-1) != 0 {
+		return nil, nil, fmt.Errorf("rewrite: STLBEntries %d is not a power of two", opt.STLBEntries)
+	}
+	out := u.Clone()
+	stats := &Stats{}
+	for fi, f := range out.Funcs {
+		nf, err := rewriteFunc(f, opt, stats)
+		if err != nil {
+			return nil, nil, fmt.Errorf("rewrite: %s: %w", f.Name, err)
+		}
+		out.Funcs[fi] = nf
+	}
+	// The scratch slot is an import (loader-provided, per instance), not a
+	// data symbol of the driver: the hypervisor instance must find it in
+	// hypervisor space, not in dom0 driver data.
+	out.Externs[SymSTLB] = true
+	out.Externs[SymSlowPath] = true
+	return out, stats, nil
+}
+
+// emitter accumulates rewritten instructions with label bookkeeping.
+type emitter struct {
+	insts   []isa.Inst
+	labels  map[string]int
+	pending []string
+}
+
+func newEmitter() *emitter {
+	return &emitter{labels: make(map[string]int)}
+}
+
+// at attaches a label to the next emitted instruction.
+func (e *emitter) at(label string) { e.pending = append(e.pending, label) }
+
+func (e *emitter) emit(in isa.Inst) {
+	if len(e.pending) > 0 {
+		in.Label = e.pending[0]
+		for _, l := range e.pending {
+			e.labels[l] = len(e.insts)
+		}
+		e.pending = e.pending[:0]
+	}
+	e.insts = append(e.insts, in)
+}
+
+// Convenience constructors for the generated code.
+func mov(src, dst isa.Operand) isa.Inst { return isa.Inst{Op: isa.MOV, Size: 4, Src: src, Dst: dst} }
+func lea(m isa.Operand, r isa.Reg) isa.Inst {
+	return isa.Inst{Op: isa.LEA, Size: 4, Src: m, Dst: isa.RegOp(r)}
+}
+func binop(op isa.Op, src, dst isa.Operand) isa.Inst {
+	return isa.Inst{Op: op, Size: 4, Src: src, Dst: dst}
+}
+func pushr(r isa.Reg) isa.Inst { return isa.Inst{Op: isa.PUSH, Size: 4, Src: isa.RegOp(r)} }
+func popr(r isa.Reg) isa.Inst  { return isa.Inst{Op: isa.POP, Size: 4, Dst: isa.RegOp(r)} }
+func jcc(c isa.Cond, target string) isa.Inst {
+	return isa.Inst{Op: isa.JCC, Cond: c, Target: target}
+}
+func jmp(target string) isa.Inst { return isa.Inst{Op: isa.JMP, Target: target} }
+
+// stlbEntry returns the memory operand __twin_stlb+off(%idx).
+func stlbEntry(idx isa.Reg, off int32) isa.Operand {
+	return isa.Operand{Kind: isa.KindMem, Base: idx, Index: isa.RegNone, Scale: 1, Disp: off, Sym: SymSTLB}
+}
+
+// globalMem returns the absolute memory operand for one of the rewriter's
+// own globals.
+func globalMem(sym string) isa.Operand {
+	return isa.Operand{Kind: isa.KindMem, Base: isa.RegNone, Index: isa.RegNone, Scale: 1, Sym: sym}
+}
+
+// funcRewriter rewrites one function.
+type funcRewriter struct {
+	f     *asm.Func
+	lv    *Live
+	opt   Options
+	stats *Stats
+	body  *emitter
+	slow  *emitter // slow-path blocks, appended after the body
+	seq   int
+}
+
+func rewriteFunc(f *asm.Func, opt Options, stats *Stats) (*asm.Func, error) {
+	rw := &funcRewriter{
+		f: f, lv: Liveness(f), opt: opt, stats: stats,
+		body: newEmitter(), slow: newEmitter(),
+	}
+	stats.Funcs++
+	stats.InputInsts += len(f.Insts)
+
+	// Map original label -> original index, inverted to attach labels when
+	// we reach their instruction.
+	labelsAt := make(map[int][]string)
+	for name, idx := range f.Labels {
+		if name != f.Name {
+			labelsAt[idx] = append(labelsAt[idx], name)
+		}
+	}
+
+	for i := range f.Insts {
+		for _, l := range labelsAt[i] {
+			rw.body.at(l)
+		}
+		if err := rw.inst(i); err != nil {
+			return nil, err
+		}
+	}
+	if len(rw.body.pending) > 0 {
+		return nil, fmt.Errorf("labels %v dangle at end of function", rw.body.pending)
+	}
+
+	// Assemble body + slow blocks into the new function.
+	nf := &asm.Func{Name: f.Name, Labels: make(map[string]int)}
+	nf.Insts = append(nf.Insts, rw.body.insts...)
+	base := len(nf.Insts)
+	nf.Insts = append(nf.Insts, rw.slow.insts...)
+	for l, idx := range rw.body.labels {
+		nf.Labels[l] = idx
+	}
+	for l, idx := range rw.slow.labels {
+		nf.Labels[l] = base + idx
+	}
+	nf.Labels[f.Name] = 0
+	stats.OutputInsts += len(nf.Insts)
+	return nf, nil
+}
+
+// inst rewrites one original instruction.
+func (rw *funcRewriter) inst(i int) error {
+	in := rw.f.Insts[i] // copy
+
+	if rw.opt.RejectPrivileged && in.Op.Privileged() {
+		return fmt.Errorf("privileged instruction %q at line %d (static scan, §4.5.2)", in.Op, in.Line)
+	}
+
+	if in.IsString() {
+		if in.Rep != isa.RepNone && (in.Op == isa.CMPS || in.Op == isa.SCAS) {
+			return fmt.Errorf("rep %s at line %d: flag-carrying repeated compares are not rewritable", in.Op, in.Line)
+		}
+		rw.stats.StringExpanded++
+		return rw.expandString(i, in)
+	}
+
+	if (in.Op == isa.CALL || in.Op == isa.JMP) && in.Indirect {
+		rw.stats.IndirectCalls++
+		return rw.expandIndirect(i, in)
+	}
+
+	if m, ok := in.MemOperand(); ok && in.Op != isa.LEA && in.Op != isa.NOP {
+		if m.StackRelative() {
+			rw.stats.StackExempt++
+			if rw.opt.CheckStack && m.Index != isa.RegNone {
+				rw.emitStackCheck(i, in, *m)
+				rw.stats.StackChecks++
+			}
+			rw.body.emit(in)
+			return nil
+		}
+		if rw.refsOwnGlobal(m) {
+			rw.body.emit(in) // rewriter-owned global: trusted direct access
+			return nil
+		}
+		rw.stats.MemRewritten++
+		return rw.expandMem(i, in, *m)
+	}
+
+	rw.body.emit(in)
+	return nil
+}
+
+// refsOwnGlobal reports whether a memory operand references one of the
+// rewriter's injected symbols (only possible when re-rewriting; normal
+// driver code never names them).
+func (rw *funcRewriter) refsOwnGlobal(m *isa.Operand) bool {
+	switch m.Sym {
+	case SymSTLB, SymCodeLo, SymCodeHi, SymCodeDelta, SymScratch, SymStackLo, SymStackHi:
+		return true
+	}
+	return false
+}
+
+// scratchPlan decides the translation variant for site i: which registers
+// serve as scratch and which must be spilled first. exclude lists
+// registers that must additionally stay untouched.
+type scratchPlan struct {
+	s1, s2, s3 isa.Reg // s3 == RegNone for the two-scratch variant
+	spills     []isa.Reg
+	use3       bool
+}
+
+func (rw *funcRewriter) planScratch(i int, in *isa.Inst, want int, exclude RegSet) scratchPlan {
+	var free []isa.Reg
+	if !rw.opt.ForceSpill {
+		for _, r := range FreeRegs(rw.f, rw.lv, i) {
+			if !exclude.Has(r) {
+				free = append(free, r)
+			}
+		}
+	}
+	use, def := UseDef(in)
+	pure := def &^ use // written but never read: free scratch even without liveness
+	var plan scratchPlan
+	isTaken := func(r isa.Reg) bool {
+		if r == plan.s1 || r == plan.s2 || r == plan.s3 {
+			return true
+		}
+		for _, s := range plan.spills {
+			if s == r {
+				return true
+			}
+		}
+		return false
+	}
+	take := func() isa.Reg {
+		if len(free) > 0 {
+			r := free[0]
+			free = free[1:]
+			return r
+		}
+		// The instruction's pure definitions can be clobbered beforehand
+		// without liveness knowledge — and must NOT be spill-restored, or
+		// the restore would wipe the instruction's own result.
+		for r := isa.EAX; r < isa.NumRegs; r++ {
+			if r == isa.ESP || r == isa.EBP || exclude.Has(r) || isTaken(r) {
+				continue
+			}
+			if pure.Has(r) {
+				return r
+			}
+		}
+		// Spill: any register not read or written by the instruction.
+		for r := isa.EAX; r < isa.NumRegs; r++ {
+			if r == isa.ESP || r == isa.EBP || use.Has(r) || pure.Has(r) ||
+				exclude.Has(r) || isTaken(r) {
+				continue
+			}
+			plan.spills = append(plan.spills, r)
+			return r
+		}
+		return isa.RegNone // impossible for well-formed instructions
+	}
+	plan.s1, plan.s2, plan.s3 = isa.RegNone, isa.RegNone, isa.RegNone
+	plan.s1 = take()
+	if want >= 2 {
+		plan.s2 = take()
+	}
+	if want >= 3 {
+		if len(free) > 0 {
+			plan.s3 = free[0]
+			free = free[1:]
+			plan.use3 = true
+		} else {
+			// Register-starved: the 2-scratch variant costs one extra LEA,
+			// which beats spilling a third register (two memory ops).
+			plan.use3 = false
+		}
+	}
+	if len(plan.spills) > 0 {
+		rw.stats.SpillSites++
+	}
+	if !plan.use3 && want >= 3 {
+		rw.stats.TwoScratchSites++
+	}
+	return plan
+}
+
+// forceThird guarantees plan has a distinct third scratch register,
+// spilling one if liveness offered none. String expansions need a value
+// or chunk register that survives both pointer translations.
+func (rw *funcRewriter) forceThird(plan *scratchPlan, in *isa.Inst, exclude RegSet) {
+	if plan.use3 {
+		return
+	}
+	use, _ := UseDef(in)
+	for r := isa.EAX; r < isa.NumRegs; r++ {
+		if r == isa.ESP || r == isa.EBP || use.Has(r) || exclude.Has(r) ||
+			r == plan.s1 || r == plan.s2 {
+			continue
+		}
+		already := false
+		for _, s := range plan.spills {
+			if s == r {
+				already = true
+			}
+		}
+		if already {
+			continue
+		}
+		plan.spills = append(plan.spills, r)
+		plan.s3, plan.use3 = r, true
+		rw.stats.SpillSites++
+		return
+	}
+}
+
+// needFlagSave reports whether site i must preserve flags around the
+// translation sequence: the instruction consumes incoming flags (ADC/SBB)
+// or flags are live across it and it does not redefine them.
+func (rw *funcRewriter) needFlagSave(i int, in *isa.Inst) bool {
+	if in.ReadsFlags() {
+		return true
+	}
+	return rw.lv.Out[i].HasFlags() && !in.WritesFlags()
+}
+
+// emitTranslate emits the SVM fast path for memory operand m, leaving the
+// translated address in plan.s2. The three-scratch form is Figure 4 of the
+// paper verbatim; the two-scratch form trades one extra LEA for a register.
+// The slow path block is emitted out of line; it calls __svm_slowpath,
+// which aborts the driver on violations.
+func (rw *funcRewriter) emitTranslate(m isa.Operand, plan scratchPlan) {
+	rw.seq++
+	slowL := fmt.Sprintf(".Lsvm_slow_%d", rw.seq)
+	resL := fmt.Sprintf(".Lsvm_res_%d", rw.seq)
+	s1, s2 := plan.s1, plan.s2
+	e := rw.body
+
+	idxMask := rw.opt.indexMask()
+	if plan.use3 {
+		s3 := plan.s3
+		e.emit(lea(m, s1))                                                            // 1. leal M, %s1
+		e.emit(mov(isa.RegOp(s1), isa.RegOp(s2)))                                     // 2. movl %s1, %s2
+		e.emit(binop(isa.AND, isa.ImmOp(-0x1000), isa.RegOp(s1)))                     // 3. andl $0xfffff000, %s1
+		e.emit(mov(isa.RegOp(s1), isa.RegOp(s3)))                                     // 4. movl %s1, %s3
+		e.emit(binop(isa.AND, isa.ImmOp(idxMask), isa.RegOp(s1)))                     // 5. andl $0xfff000, %s1
+		e.emit(isa.Inst{Op: isa.SHR, Size: 4, Src: isa.ImmOp(9), Dst: isa.RegOp(s1)}) // 6. shrl $9, %s1
+		e.emit(binop(isa.CMP, stlbEntry(s1, 0), isa.RegOp(s3)))                       // 7. cmpl stlb(%s1), %s3
+		e.emit(jcc(isa.NE, slowL))                                                    // 8. jne slow
+		e.emit(binop(isa.XOR, stlbEntry(s1, 4), isa.RegOp(s2)))                       // 9. xorl 4+stlb(%s1), %s2
+	} else {
+		e.emit(lea(m, s2))
+		e.emit(mov(isa.RegOp(s2), isa.RegOp(s1)))
+		e.emit(binop(isa.AND, isa.ImmOp(idxMask), isa.RegOp(s1)))
+		e.emit(isa.Inst{Op: isa.SHR, Size: 4, Src: isa.ImmOp(9), Dst: isa.RegOp(s1)})
+		e.emit(binop(isa.AND, isa.ImmOp(-0x1000), isa.RegOp(s2)))
+		e.emit(binop(isa.CMP, stlbEntry(s1, 0), isa.RegOp(s2)))
+		e.emit(jcc(isa.NE, slowL))
+		e.emit(lea(m, s2)) // recompute the full address
+		e.emit(binop(isa.XOR, stlbEntry(s1, 4), isa.RegOp(s2)))
+	}
+	e.at(resL)
+
+	// Out-of-line slow path: recover the full address, call the native
+	// slow path preserving live caller-saved registers, leave the
+	// translation in s2, resume.
+	sl := rw.slow
+	sl.at(slowL)
+	sl.emit(lea(m, s2)) // full dom0 address (operand registers are intact)
+	saved := []isa.Reg{}
+	for _, r := range []isa.Reg{isa.EAX, isa.ECX, isa.EDX} {
+		if r != s1 && r != s2 && r != plan.s3 {
+			saved = append(saved, r)
+			sl.emit(pushr(r))
+		}
+	}
+	sl.emit(pushr(s2))
+	sl.emit(isa.Inst{Op: isa.CALL, Target: SymSlowPath})
+	sl.emit(lea(isa.MemOp(4, isa.ESP), isa.ESP)) // pop the argument, flags untouched
+	if s2 != isa.EAX {
+		sl.emit(mov(isa.RegOp(isa.EAX), isa.RegOp(s2)))
+	}
+	for j := len(saved) - 1; j >= 0; j-- {
+		sl.emit(popr(saved[j]))
+	}
+	sl.emit(jmp(resL))
+}
+
+// replaceMem returns in with its memory operand rewritten to (%s2).
+func replaceMem(in isa.Inst, s2 isa.Reg) isa.Inst {
+	t := isa.MemOp(0, s2)
+	if in.Src.Kind == isa.KindMem {
+		in.Src = t
+	} else {
+		in.Dst = t
+	}
+	return in
+}
+
+// expandMem rewrites a data-memory-referencing instruction.
+func (rw *funcRewriter) expandMem(i int, in isa.Inst, m isa.Operand) error {
+	switch in.Op {
+	case isa.PUSH:
+		return rw.expandPushMem(i, in, m)
+	case isa.POP:
+		return rw.expandPopMem(i, in, m)
+	}
+
+	plan := rw.planScratch(i, &in, 3, 0)
+	flagSave := rw.needFlagSave(i, &in)
+	if flagSave {
+		rw.stats.FlagSaveSites++
+	}
+
+	for _, r := range plan.spills {
+		rw.body.emit(pushr(r))
+	}
+	if flagSave {
+		rw.body.emit(isa.Inst{Op: isa.PUSHF})
+	}
+	rw.emitTranslate(m, plan)
+	if flagSave {
+		rw.body.emit(isa.Inst{Op: isa.POPF})
+	}
+	rw.body.emit(replaceMem(in, plan.s2))
+	for j := len(plan.spills) - 1; j >= 0; j-- {
+		rw.body.emit(popr(plan.spills[j]))
+	}
+	return nil
+}
+
+// expandPushMem rewrites `push M` (read M through SVM, then push). With
+// spills the pushed slot is reserved first so the stack picture the callee
+// or subsequent code sees is exactly the original one.
+func (rw *funcRewriter) expandPushMem(i int, in isa.Inst, m isa.Operand) error {
+	plan := rw.planScratch(i, &in, 2, 0)
+	flagSave := rw.needFlagSave(i, &in)
+	if flagSave {
+		rw.stats.FlagSaveSites++
+	}
+	e := rw.body
+	if len(plan.spills) == 0 {
+		if flagSave {
+			e.emit(isa.Inst{Op: isa.PUSHF})
+		}
+		rw.emitTranslate(m, plan)
+		e.emit(mov(isa.MemOp(0, plan.s2), isa.RegOp(plan.s2)))
+		if flagSave {
+			e.emit(isa.Inst{Op: isa.POPF})
+		}
+		e.emit(pushr(plan.s2))
+		return nil
+	}
+	// Spilled form: [slot][spills...][flags]
+	e.emit(lea(isa.MemOp(-4, isa.ESP), isa.ESP)) // reserve result slot
+	for _, r := range plan.spills {
+		e.emit(pushr(r))
+	}
+	if flagSave {
+		e.emit(isa.Inst{Op: isa.PUSHF})
+	}
+	rw.emitTranslate(m, plan)
+	e.emit(mov(isa.MemOp(0, plan.s2), isa.RegOp(plan.s2)))
+	slotOff := int32(4 * len(plan.spills))
+	if flagSave {
+		slotOff += 4
+	}
+	e.emit(mov(isa.RegOp(plan.s2), isa.MemOp(slotOff, isa.ESP)))
+	if flagSave {
+		e.emit(isa.Inst{Op: isa.POPF})
+	}
+	for j := len(plan.spills) - 1; j >= 0; j-- {
+		e.emit(popr(plan.spills[j]))
+	}
+	return nil
+}
+
+// expandPopMem rewrites `pop M` (pop the stack top, store through SVM).
+func (rw *funcRewriter) expandPopMem(i int, in isa.Inst, m isa.Operand) error {
+	plan := rw.planScratch(i, &in, 2, 0)
+	flagSave := rw.needFlagSave(i, &in)
+	if flagSave {
+		rw.stats.FlagSaveSites++
+	}
+	e := rw.body
+	if len(plan.spills) == 0 {
+		if flagSave {
+			e.emit(isa.Inst{Op: isa.PUSHF})
+		}
+		rw.emitTranslate(m, plan)
+		if flagSave {
+			e.emit(isa.Inst{Op: isa.POPF})
+		}
+		e.emit(popr(plan.s1)) // the value (translation left the stack balanced)
+		e.emit(mov(isa.RegOp(plan.s1), isa.MemOp(0, plan.s2)))
+		return nil
+	}
+	// Spilled form: stack is [value][spills...][flags].
+	for _, r := range plan.spills {
+		e.emit(pushr(r))
+	}
+	if flagSave {
+		e.emit(isa.Inst{Op: isa.PUSHF})
+	}
+	rw.emitTranslate(m, plan)
+	valOff := int32(4 * len(plan.spills))
+	if flagSave {
+		valOff += 4
+	}
+	e.emit(mov(isa.MemOp(valOff, isa.ESP), isa.RegOp(plan.s1)))
+	e.emit(mov(isa.RegOp(plan.s1), isa.MemOp(0, plan.s2)))
+	if flagSave {
+		e.emit(isa.Inst{Op: isa.POPF})
+	}
+	for j := len(plan.spills) - 1; j >= 0; j-- {
+		e.emit(popr(plan.spills[j]))
+	}
+	e.emit(lea(isa.MemOp(4, isa.ESP), isa.ESP)) // consume the popped slot
+	return nil
+}
+
+// emitStackCheck bounds a variable-offset stack access (CheckStack mode):
+// the effective address must lie within [__twin_stack_lo, __twin_stack_hi).
+func (rw *funcRewriter) emitStackCheck(i int, in isa.Inst, m isa.Operand) {
+	rw.seq++
+	okL := fmt.Sprintf(".Lstk_ok_%d", rw.seq)
+	plan := rw.planScratch(i, &in, 1, 0)
+	e := rw.body
+	flagSave := rw.needFlagSave(i, &in)
+	for _, r := range plan.spills {
+		e.emit(pushr(r))
+	}
+	if flagSave {
+		e.emit(isa.Inst{Op: isa.PUSHF})
+	}
+	s := plan.s1
+	e.emit(lea(m, s))
+	e.emit(binop(isa.CMP, globalMem(SymStackLo), isa.RegOp(s)))
+	e.emit(jcc(isa.B, ".Lstk_bad_"+fmt.Sprint(rw.seq)))
+	e.emit(binop(isa.CMP, globalMem(SymStackHi), isa.RegOp(s)))
+	e.emit(jcc(isa.AE, ".Lstk_bad_"+fmt.Sprint(rw.seq)))
+	e.at(okL)
+	if flagSave {
+		e.emit(isa.Inst{Op: isa.POPF})
+	}
+	for j := len(plan.spills) - 1; j >= 0; j-- {
+		e.emit(popr(plan.spills[j]))
+	}
+	sl := rw.slow
+	sl.at(".Lstk_bad_" + fmt.Sprint(rw.seq))
+	sl.emit(isa.Inst{Op: isa.CALL, Target: SymStackViolation})
+	sl.emit(jmp(okL)) // unreachable: the violation routine aborts
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,322 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"twindrivers/internal/asm"
+	"twindrivers/internal/isa"
+)
+
+func rewriteSrc(t *testing.T, src string, opt Options) (*asm.Unit, *Stats) {
+	t.Helper()
+	u := mustAssemble(t, src)
+	out, stats, err := Rewrite(u, opt)
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	// The output must re-assemble from its own printed form (it is an
+	// ordinary unit).
+	if _, err := asm.Assemble(out.Print()); err != nil {
+		t.Fatalf("rewritten unit does not re-assemble: %v\n%s", err, out.Print())
+	}
+	return out, stats
+}
+
+func TestRewriteLoadUsesFigure4Shape(t *testing.T) {
+	out, stats := rewriteSrc(t, `
+f:
+	movl	(%esi), %eax
+	ret
+`, Options{})
+	f := out.Func("f")
+	// Expected: 9 translation instructions + the load = 10 on the fast
+	// path (the paper's "ten instructions"), plus ret, plus the slow-path
+	// block.
+	var fast []isa.Op
+	for _, in := range f.Insts {
+		fast = append(fast, in.Op)
+	}
+	wantPrefix := []isa.Op{isa.LEA, isa.MOV, isa.AND, isa.MOV, isa.AND, isa.SHR, isa.CMP, isa.JCC, isa.XOR, isa.MOV, isa.RET}
+	for i, w := range wantPrefix {
+		if i >= len(fast) || fast[i] != w {
+			t.Fatalf("fast path op[%d] = %v, want %v\n%s", i, fast[i], w, out.Print())
+		}
+	}
+	if stats.MemRewritten != 1 {
+		t.Errorf("MemRewritten = %d", stats.MemRewritten)
+	}
+	// Slow path block references the slow-path symbol.
+	if !strings.Contains(out.Print(), SymSlowPath) {
+		t.Error("no slow path call emitted")
+	}
+	// The stlb symbol is referenced.
+	if !strings.Contains(out.Print(), SymSTLB) {
+		t.Error("no stlb reference emitted")
+	}
+}
+
+func TestRewriteStackExempt(t *testing.T) {
+	out, stats := rewriteSrc(t, `
+f:
+	pushl	%ebp
+	movl	%esp, %ebp
+	movl	8(%ebp), %eax
+	movl	-4(%ebp), %ecx
+	movl	4(%esp), %edx
+	movl	%eax, -8(%ebp)
+	popl	%ebp
+	ret
+`, Options{})
+	if stats.MemRewritten != 0 {
+		t.Errorf("stack accesses were rewritten: %d", stats.MemRewritten)
+	}
+	if stats.StackExempt != 4 {
+		t.Errorf("StackExempt = %d, want 4", stats.StackExempt)
+	}
+	// Output identical length to input (no expansion).
+	if stats.OutputInsts != stats.InputInsts {
+		t.Errorf("insts %d -> %d; stack-only function should be unchanged", stats.InputInsts, stats.OutputInsts)
+	}
+	_ = out
+}
+
+func TestRewriteLeaNotTranslated(t *testing.T) {
+	_, stats := rewriteSrc(t, `
+f:
+	leal	8(%esi,%ebx,4), %eax
+	ret
+`, Options{})
+	if stats.MemRewritten != 0 {
+		t.Error("lea must not be translated (no memory access)")
+	}
+}
+
+func TestRewritePreservesLabelsAndBranches(t *testing.T) {
+	out, _ := rewriteSrc(t, `
+f:
+	movl	$8, %ecx
+.Ltop:
+	movl	(%esi), %eax
+	addl	$4, %esi
+	decl	%ecx
+	jne	.Ltop
+	ret
+`, Options{})
+	f := out.Func("f")
+	idx, ok := f.Labels[".Ltop"]
+	if !ok {
+		t.Fatal(".Ltop lost")
+	}
+	// .Ltop must point at the first instruction of the rewritten load (the
+	// lea of the translation sequence).
+	if f.Insts[idx].Op != isa.LEA {
+		t.Errorf(".Ltop lands on %v, want LEA", f.Insts[idx].Op)
+	}
+}
+
+func TestRewritePrivilegedScan(t *testing.T) {
+	u := mustAssemble(t, "f:\n\tcli\n\tret\n")
+	_, _, err := Rewrite(u, Options{RejectPrivileged: true})
+	if err == nil || !strings.Contains(err.Error(), "privileged") {
+		t.Errorf("err = %v, want privileged rejection", err)
+	}
+	// Without the scan it passes through.
+	if _, _, err := Rewrite(u, Options{}); err != nil {
+		t.Errorf("unexpected: %v", err)
+	}
+}
+
+func TestRewriteRepCmpsRejected(t *testing.T) {
+	u := mustAssemble(t, "f:\n\trepe; cmpsl\n\tret\n")
+	_, _, err := Rewrite(u, Options{})
+	if err == nil || !strings.Contains(err.Error(), "cmps") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRewriteStringLoop(t *testing.T) {
+	out, stats := rewriteSrc(t, `
+memcpy32:
+	movl	4(%esp), %edi
+	movl	8(%esp), %esi
+	movl	12(%esp), %ecx
+	rep; movsl
+	ret
+`, Options{})
+	if stats.StringExpanded != 1 {
+		t.Fatalf("StringExpanded = %d", stats.StringExpanded)
+	}
+	text := out.Print()
+	// The expansion contains a chunk loop and two translations.
+	if !strings.Contains(text, ".Lstr_top_") {
+		t.Error("no chunk loop emitted")
+	}
+	if c := strings.Count(text, SymSlowPath); c < 2 {
+		t.Errorf("expected >=2 slow-path calls (src+dst), got %d", c)
+	}
+}
+
+func TestRewriteIndirectCall(t *testing.T) {
+	out, stats := rewriteSrc(t, `
+f:
+	movl	(%ebx), %eax
+	call	*%eax
+	ret
+`, Options{})
+	if stats.IndirectCalls != 1 {
+		t.Fatalf("IndirectCalls = %d", stats.IndirectCalls)
+	}
+	text := out.Print()
+	for _, sym := range []string{SymCodeLo, SymCodeHi, SymCodeDelta} {
+		if !strings.Contains(text, sym) {
+			t.Errorf("missing %s in:\n%s", sym, text)
+		}
+	}
+}
+
+func TestRewriteIndirectCallViaMemory(t *testing.T) {
+	out, _ := rewriteSrc(t, `
+f:
+	call	*12(%ebx)
+	ret
+`, Options{})
+	text := out.Print()
+	// The function-pointer load itself must be translated.
+	if !strings.Contains(text, SymSTLB) {
+		t.Error("fp load not translated")
+	}
+}
+
+func TestRewritePushPopMem(t *testing.T) {
+	out, stats := rewriteSrc(t, `
+f:
+	pushl	(%esi)
+	popl	4(%esi)
+	ret
+`, Options{})
+	if stats.MemRewritten != 2 {
+		t.Fatalf("MemRewritten = %d", stats.MemRewritten)
+	}
+	_ = out
+}
+
+func TestRewriteForceSpill(t *testing.T) {
+	_, plain := rewriteSrc(t, `
+f:
+	movl	(%esi), %eax
+	movl	4(%esi), %ebx
+	ret
+`, Options{})
+	_, spilled := rewriteSrc(t, `
+f:
+	movl	(%esi), %eax
+	movl	4(%esi), %ebx
+	ret
+`, Options{ForceSpill: true})
+	if plain.SpillSites != 0 {
+		t.Errorf("liveness-guided rewrite spilled %d times", plain.SpillSites)
+	}
+	if spilled.SpillSites != 2 {
+		t.Errorf("force-spill SpillSites = %d, want 2", spilled.SpillSites)
+	}
+	if spilled.OutputInsts <= plain.OutputInsts {
+		t.Error("spilling should cost extra instructions")
+	}
+}
+
+func TestRewriteFlagSaveWhenFlagsLive(t *testing.T) {
+	// The cmp's flags must survive the translated store to memory.
+	_, stats := rewriteSrc(t, `
+f:
+	cmpl	$5, %eax
+	movl	%ecx, (%esi)
+	je	.Leq
+	movl	$0, %eax
+	ret
+.Leq:
+	movl	$1, %eax
+	ret
+`, Options{})
+	if stats.FlagSaveSites != 1 {
+		t.Errorf("FlagSaveSites = %d, want 1", stats.FlagSaveSites)
+	}
+}
+
+func TestRewriteNoFlagSaveWhenInstWritesFlags(t *testing.T) {
+	_, stats := rewriteSrc(t, `
+f:
+	addl	%ecx, (%esi)
+	je	.Leq
+	ret
+.Leq:
+	ret
+`, Options{})
+	if stats.FlagSaveSites != 0 {
+		t.Errorf("FlagSaveSites = %d; the add itself defines the flags", stats.FlagSaveSites)
+	}
+}
+
+func TestRewriteAdcReadsFlags(t *testing.T) {
+	// adc consumes CF: translation must preserve incoming flags.
+	_, stats := rewriteSrc(t, `
+f:
+	addl	%eax, %ebx
+	adcl	%ecx, (%esi)
+	ret
+`, Options{})
+	if stats.FlagSaveSites != 1 {
+		t.Errorf("FlagSaveSites = %d, want 1 (adc reads CF)", stats.FlagSaveSites)
+	}
+}
+
+func TestRewriteStackCheckOption(t *testing.T) {
+	_, stats := rewriteSrc(t, `
+f:
+	movl	8(%ebp), %eax
+	movl	-64(%ebp,%ecx,4), %edx
+	ret
+`, Options{CheckStack: true})
+	if stats.StackChecks != 1 {
+		t.Errorf("StackChecks = %d, want 1 (only the variable-offset access)", stats.StackChecks)
+	}
+}
+
+func TestRewriteMemFractionRealistic(t *testing.T) {
+	// A mixed function: the memory-reference fraction feeds the paper's
+	// ~25% statistic; here 4 of 12 instructions touch data memory.
+	_, stats := rewriteSrc(t, `
+f:
+	pushl	%ebp
+	movl	%esp, %ebp
+	movl	8(%ebp), %esi
+	movl	(%esi), %eax
+	addl	4(%esi), %eax
+	xorl	%ecx, %ecx
+	incl	%ecx
+	movl	%eax, 8(%esi)
+	movl	%ecx, 12(%esi)
+	movl	%ebp, %esp
+	popl	%ebp
+	ret
+`, Options{})
+	got := stats.MemRefFraction()
+	if got < 0.25 || got > 0.45 {
+		t.Errorf("mem fraction = %.2f", got)
+	}
+}
+
+func TestRewriteSkipsOwnGlobals(t *testing.T) {
+	// Re-rewriting rewritten code must not re-translate the stlb table
+	// accesses (trusted, hypervisor-space) — only ordinary memory
+	// operands. out1 has exactly one such operand: the translated load
+	// itself, (%s2).
+	out1, _ := rewriteSrc(t, "f:\n\tmovl (%esi), %eax\n\tret\n", Options{})
+	_, stats2, err := Rewrite(out1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.MemRewritten != 1 {
+		t.Errorf("re-rewrite translated %d operands, want 1 (stlb accesses must be skipped)", stats2.MemRewritten)
+	}
+}

@@ -1,0 +1,230 @@
+// Package svm implements the Software Virtual Memory runtime of
+// TwinDrivers (§4.1 of the paper): the software translation table (stlb)
+// that rewritten driver code consults inline, and the slow path that
+// validates first-touch accesses, maps dom0 pages into the hypervisor, and
+// fills the table.
+//
+// The stlb is a 4096-entry direct-indexed hash table living in simulated
+// memory. Each 8-byte entry holds
+//
+//	+0  tag     : dom0 virtual page base address (addr & 0xfffff000)
+//	+4  xordiff : tag XOR hypervisor-mapped page base address
+//
+// so the rewritten fast path (Figure 4) computes the translated address as
+// addr XOR xordiff — one table load after the tag compare. Invalid entries
+// carry an all-ones tag, which can never equal a page base.
+//
+// On a miss the slow path checks the hash-chain backing store (collisions),
+// then — for a first touch — verifies the page belongs to the driver
+// domain, maps *two consecutive* dom0 pages into the hypervisor window
+// (unaligned accesses may straddle a page), and refills the entry. An
+// access to any other address is a protection violation that aborts the
+// driver: this is the memory-safety property of the whole system.
+package svm
+
+import (
+	"twindrivers/internal/cpu"
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/mem"
+	"twindrivers/internal/xen"
+)
+
+// Table geometry. The paper: "we use an stlb hashtable with 4096 entries,
+// mapping up to 16MB of dom0 virtual memory". The size is configurable for
+// the stlb-size ablation; the rewriter's generated index mask must match.
+const (
+	NumEntries = 4096
+	EntrySize  = 8
+	TableBytes = NumEntries * EntrySize
+
+	// IndexShift derives the entry byte offset from an address:
+	// offset = (addr & ((entries-1)<<12)) >> 9 — the low bits of the page
+	// number, times 8. Mirrored by the rewriter (Figure 4, lines 5-6).
+	IndexShift = 9
+
+	invalidTag = 0xFFFFFFFF
+)
+
+// Slow-path cycle prices (charged to the component that is executing —
+// normally the driver bucket, since SVM overhead is driver overhead in the
+// paper's profiles).
+const (
+	costChainHit  = 45  // hash-chain lookup on collision refill
+	costFirstMap  = 380 // permission check + two page mappings + fill
+	costViolation = 120 // detection before abort
+)
+
+// SVM is one software-virtual-memory instance: the hypervisor driver gets
+// a translating instance; the VM driver instance in dom0 gets an identity
+// instance ("the stlb table for the VM driver instance is filled with
+// identity mappings", §5.1.2).
+type SVM struct {
+	HV  *xen.Hypervisor
+	Dom *xen.Domain // the domain whose memory the driver may touch (dom0)
+
+	// TableAddr is the simulated-memory address of the stlb table (in the
+	// hypervisor region for the hypervisor instance, in dom0's kernel heap
+	// for the identity instance).
+	TableAddr uint32
+
+	// TableSpace is the address space used to manipulate the table.
+	TableSpace *mem.AddressSpace
+
+	// Identity makes Fill map every page to itself without permission
+	// checks (the VM instance runs at dom0's own trust level).
+	Identity bool
+
+	// Entries is the table size (a power of two).
+	Entries int
+
+	// chains backs the hash table: vpn -> hypervisor page base. Entries
+	// evicted from the table by collisions survive here and are refilled
+	// cheaply.
+	chains map[uint32]uint32
+
+	// Statistics.
+	FirstTouches uint64
+	ChainRefills uint64
+	Violations   uint64
+}
+
+// New creates an SVM instance with the paper's 4096-entry table at
+// tableAddr inside space (the caller must have reserved TableBytes).
+func New(hv *xen.Hypervisor, dom *xen.Domain, space *mem.AddressSpace, tableAddr uint32, identity bool) (*SVM, error) {
+	return NewSized(hv, dom, space, tableAddr, NumEntries, identity)
+}
+
+// NewSized creates an SVM instance with a custom table size (power of two;
+// the caller must have reserved entries*EntrySize bytes and must rewrite
+// the driver with a matching index mask).
+func NewSized(hv *xen.Hypervisor, dom *xen.Domain, space *mem.AddressSpace, tableAddr uint32, entries int, identity bool) (*SVM, error) {
+	s := &SVM{
+		HV: hv, Dom: dom,
+		TableAddr: tableAddr, TableSpace: space,
+		Identity: identity,
+		Entries:  entries,
+		chains:   make(map[uint32]uint32),
+	}
+	for i := uint32(0); i < uint32(entries); i++ {
+		if err := space.Store(tableAddr+i*EntrySize, 4, invalidTag); err != nil {
+			return nil, err
+		}
+		if err := space.Store(tableAddr+i*EntrySize+4, 4, 0); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// entryOffset returns the byte offset of the stlb entry for addr.
+func (s *SVM) entryOffset(addr uint32) uint32 {
+	mask := uint32(s.Entries-1) << 12
+	return (addr & mask) >> IndexShift
+}
+
+// fillEntry installs tag/xordiff for addr -> hvPage.
+func (s *SVM) fillEntry(addr, hvPage uint32) error {
+	off := s.entryOffset(addr)
+	tag := addr &^ uint32(mem.PageMask)
+	if err := s.TableSpace.Store(s.TableAddr+off, 4, tag); err != nil {
+		return err
+	}
+	return s.TableSpace.Store(s.TableAddr+off+4, 4, tag^hvPage)
+}
+
+// SlowPath translates a dom0 virtual address on an stlb fast-path miss.
+// It returns the translated address (hypervisor mapping for a translating
+// instance; the address itself for an identity instance). Illegal accesses
+// return a FaultProtection — the abort demanded by §4.1.
+func (s *SVM) SlowPath(meter *cycles.Meter, addr uint32) (uint32, error) {
+	vpn := addr / mem.PageSize
+
+	if s.Identity {
+		meter.Add(costChainHit)
+		if err := s.fillEntry(addr, addr&^uint32(mem.PageMask)); err != nil {
+			return 0, err
+		}
+		s.chains[vpn] = addr &^ uint32(mem.PageMask)
+		return addr, nil
+	}
+
+	if hvPage, ok := s.chains[vpn]; ok {
+		// Hash collision evicted the entry; refill from the chain.
+		s.ChainRefills++
+		meter.Add(costChainHit)
+		if err := s.fillEntry(addr, hvPage); err != nil {
+			return 0, err
+		}
+		return hvPage | (addr & mem.PageMask), nil
+	}
+
+	// First touch: permission check, then map two consecutive pages.
+	frame, ok := s.Dom.AS.LookupLocal(vpn)
+	if !ok || s.HV.Phys.FrameOwner(frame) != s.Dom.ID {
+		s.Violations++
+		meter.Add(costViolation)
+		return 0, &cpu.Fault{
+			Kind: cpu.FaultProtection,
+			Addr: addr,
+			Msg:  "SVM: access outside " + s.Dom.Name + " address space",
+		}
+	}
+	s.FirstTouches++
+	meter.Add(costFirstMap)
+
+	hvPage, err := s.HV.MapIntoHV(frame)
+	if err != nil {
+		return 0, err
+	}
+	// Second consecutive page, if dom0 maps one it owns; otherwise the
+	// window keeps a hole and a straddling access faults (matching the
+	// real system, where the second map would also fail).
+	if f2, ok := s.Dom.AS.LookupLocal(vpn + 1); ok && s.HV.Phys.FrameOwner(f2) == s.Dom.ID {
+		if _, err := s.HV.MapIntoHV(f2); err != nil {
+			return 0, err
+		}
+	} else {
+		if _, err := s.HV.MapIntoHV(0); err != nil { // burn the slot to keep pairs consecutive
+			return 0, err
+		}
+		s.HV.HVSpace.Unmap((hvPage + mem.PageSize) / mem.PageSize)
+	}
+	s.chains[vpn] = hvPage
+	if err := s.fillEntry(addr, hvPage); err != nil {
+		return 0, err
+	}
+	return hvPage | (addr & mem.PageMask), nil
+}
+
+// Translate is the explicit-translation entry point used by the
+// hypervisor's native support routines ("the support routines ... make use
+// of the stlb translation table explicitly while accessing driver data in
+// dom0 address space", §4.3). It consults the chain map first (the warm
+// case) and falls back to the slow path.
+func (s *SVM) Translate(meter *cycles.Meter, addr uint32) (uint32, error) {
+	if s.Identity {
+		return addr, nil
+	}
+	if hvPage, ok := s.chains[addr/mem.PageSize]; ok {
+		return hvPage | (addr & mem.PageMask), nil
+	}
+	return s.SlowPath(meter, addr)
+}
+
+// MappedPages returns how many dom0 pages are currently mapped.
+func (s *SVM) MappedPages() int { return len(s.chains) }
+
+// LookupSim reads the stlb entry for addr out of simulated memory,
+// returning (tag, xordiff). Test helper and debugging aid.
+func (s *SVM) LookupSim(addr uint32) (uint32, uint32, error) {
+	off := s.entryOffset(addr)
+	tag, err := s.TableSpace.Load(s.TableAddr+off, 4)
+	if err != nil {
+		return 0, 0, err
+	}
+	xd, err := s.TableSpace.Load(s.TableAddr+off+4, 4)
+	if err != nil {
+		return 0, 0, err
+	}
+	return tag, xd, nil
+}

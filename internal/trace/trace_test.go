@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestTable1FastPathIsSubsetOfTen(t *testing.T) {
+	tb, err := Run(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten := Descriptions()
+	for _, rc := range tb.FastPath {
+		if _, ok := ten[rc.Name]; !ok {
+			t.Errorf("fast-path routine %q is not in Table 1", rc.Name)
+		}
+		if rc.Calls == 0 {
+			t.Errorf("routine %q listed with zero calls", rc.Name)
+		}
+	}
+	// The paper's headline: a small fraction of the full support set.
+	if len(tb.FastPath) < 6 || len(tb.FastPath) > 10 {
+		t.Errorf("fast path uses %d routines, paper: 10", len(tb.FastPath))
+	}
+	if len(tb.AllRoutines) <= len(tb.FastPath) {
+		t.Errorf("driver imports %d routines, fast path %d — no reduction",
+			len(tb.AllRoutines), len(tb.FastPath))
+	}
+	if tb.KernelSymbols < 60 {
+		t.Errorf("kernel table = %d symbols", tb.KernelSymbols)
+	}
+	// Sorted by call count, descending.
+	for i := 1; i < len(tb.FastPath); i++ {
+		if tb.FastPath[i].Calls > tb.FastPath[i-1].Calls {
+			t.Error("fast path not sorted by calls")
+		}
+	}
+}
+
+func TestDescriptionsCoverTableOne(t *testing.T) {
+	d := Descriptions()
+	if len(d) != 10 {
+		t.Errorf("descriptions = %d, want the paper's 10", len(d))
+	}
+}

@@ -1,0 +1,75 @@
+// Package upcall implements the hypervisor→dom0 upcall mechanism of §4.2:
+// a synchronous, cross-address-space function invocation. When the derived
+// hypervisor driver calls a support routine the hypervisor does not
+// implement, the call lands in a stub which saves the parameters, switches
+// to the upcall stack, performs a synchronous domain switch to dom0 (if the
+// driver was invoked from a guest context), delivers a virtual interrupt to
+// the registered dom0 upcall handler, runs the support routine in dom0, and
+// returns through a hypercall — finally switching back to the original
+// domain.
+//
+// Because the driver data lives in dom0 and the register/stack parameters
+// are reproduced exactly, the support routine cannot tell it was invoked
+// from the hypervisor (the heap/stack/register environment argument of the
+// paper). The cost — two domain switches plus delivery — is what Figure 10
+// measures.
+package upcall
+
+import (
+	"twindrivers/internal/cost"
+	"twindrivers/internal/cpu"
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/xen"
+)
+
+// Manager creates upcall stubs and tracks their cost.
+type Manager struct {
+	HV   *xen.Hypervisor
+	Dom0 *xen.Domain
+
+	// Count is the total number of upcalls performed.
+	Count uint64
+
+	// PerName tallies upcalls by routine name.
+	PerName map[string]uint64
+}
+
+// New returns a manager targeting dom0.
+func New(hv *xen.Hypervisor, dom0 *xen.Domain) *Manager {
+	return &Manager{HV: hv, Dom0: dom0, PerName: make(map[string]uint64)}
+}
+
+// MakeStub builds the hypervisor-side stub for one support routine. invoke
+// runs the dom0-side implementation (with the CPU positioned on the
+// caller's cdecl frame, so Arg(i) reads the original parameters).
+func (m *Manager) MakeStub(name string, invoke func(c *cpu.CPU) (uint32, error)) cpu.Extern {
+	return func(c *cpu.CPU) (uint32, error) {
+		m.Count++
+		m.PerName[name]++
+
+		meter := c.Meter
+		// Stub: parameter save + switch to the upcall stack.
+		meter.AddTo(cycles.CompXen, cost.UpcallStub)
+
+		// Synchronous switch to dom0 if the driver runs in a guest context.
+		from := m.HV.Current
+		m.HV.Switch(m.Dom0)
+
+		// Virtual interrupt delivery + dom0 handler prologue.
+		m.HV.SendEvent(m.Dom0)
+		m.HV.DeliverVirtIRQ(m.Dom0)
+		meter.AddTo(cycles.CompDom0, cost.UpcallHandler)
+
+		// The support routine itself executes in dom0 (its own cycle price
+		// is charged by the kernel gate).
+		ret, err := invoke(c)
+		if err != nil {
+			return 0, err
+		}
+
+		// Return hypercall and switch back to the original context.
+		m.HV.ChargeHypercall()
+		m.HV.Switch(from)
+		return ret, nil
+	}
+}

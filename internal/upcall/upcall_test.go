@@ -1,0 +1,132 @@
+package upcall
+
+import (
+	"testing"
+
+	"twindrivers/internal/cost"
+	"twindrivers/internal/cpu"
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/isa"
+	"twindrivers/internal/mem"
+	"twindrivers/internal/xen"
+)
+
+func setup(t *testing.T) (*xen.Hypervisor, *xen.Domain, *xen.Domain, *Manager) {
+	t.Helper()
+	hv := xen.New()
+	dom0 := hv.CreateDomain(mem.OwnerDom0, "dom0")
+	domU := hv.CreateDomain(1, "domU")
+	top, _, _ := hv.AllocStack(4)
+	hv.CPU.Regs[isa.ESP] = top
+	return hv, dom0, domU, New(hv, dom0)
+}
+
+func TestUpcallFromGuestContext(t *testing.T) {
+	hv, dom0, domU, m := setup(t)
+	ranIn := ""
+	stub := m.MakeStub("some_routine", func(c *cpu.CPU) (uint32, error) {
+		ranIn = hv.Current.Name
+		return c.Arg(0) + 1, nil
+	})
+	gate := hv.BindGate("stub.some_routine", stub)
+
+	hv.Switch(domU)
+	sw := hv.Switches
+	ev := hv.Events
+	v, err := hv.CPU.Call(gate, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Errorf("return = %d", v)
+	}
+	// The routine ran in dom0...
+	if ranIn != "dom0" {
+		t.Errorf("ran in %q", ranIn)
+	}
+	// ...and control returned to the guest: two switches total.
+	if hv.Current != domU {
+		t.Error("not switched back")
+	}
+	if hv.Switches-sw != 2 {
+		t.Errorf("switches = %d, want 2", hv.Switches-sw)
+	}
+	// A synchronous virtual interrupt was sent and consumed.
+	if hv.Events-ev != 1 || dom0.PendingEvents != 0 {
+		t.Errorf("events = %d pending = %d", hv.Events-ev, dom0.PendingEvents)
+	}
+	if m.Count != 1 || m.PerName["some_routine"] != 1 {
+		t.Errorf("counting wrong: %d %v", m.Count, m.PerName)
+	}
+}
+
+func TestUpcallFromDom0ContextNoSwitch(t *testing.T) {
+	hv, dom0, _, m := setup(t)
+	stub := m.MakeStub("r", func(c *cpu.CPU) (uint32, error) { return 7, nil })
+	gate := hv.BindGate("stub.r", stub)
+	hv.Switch(dom0)
+	sw := hv.Switches
+	if _, err := hv.CPU.Call(gate); err != nil {
+		t.Fatal(err)
+	}
+	if hv.Switches != sw {
+		t.Error("upcall from dom0 context should not switch")
+	}
+}
+
+func TestUpcallCharges(t *testing.T) {
+	hv, _, domU, m := setup(t)
+	stub := m.MakeStub("r", func(c *cpu.CPU) (uint32, error) { return 0, nil })
+	gate := hv.BindGate("stub.r", stub)
+	hv.Switch(domU)
+	hv.Meter.Reset()
+	hv.ResetStats()
+	if _, err := hv.CPU.Call(gate); err != nil {
+		t.Fatal(err)
+	}
+	xenCyc := hv.Meter.Get(cycles.CompXen)
+	// At least: stub + 2 switches + event + virq + return hypercall.
+	minimum := uint64(cost.UpcallStub + 2*cost.DomainSwitchDirect +
+		cost.EventChannelSend + cost.VirtIRQDeliver + cost.Hypercall)
+	if xenCyc < minimum {
+		t.Errorf("xen charge = %d, want >= %d", xenCyc, minimum)
+	}
+	if hv.Meter.Get(cycles.CompDom0) < cost.UpcallHandler {
+		t.Error("dom0 handler cost missing")
+	}
+	// The hardware model went cold twice: the upcall's hidden cost.
+	if hv.Meter.Flushes < 2 {
+		t.Errorf("flushes = %d", hv.Meter.Flushes)
+	}
+}
+
+func TestUpcallArgumentsReachRoutine(t *testing.T) {
+	// The dom0 routine reads its cdecl arguments exactly as if called
+	// locally — the "identical environment" requirement of §4.2.
+	hv, _, domU, m := setup(t)
+	var got [3]uint32
+	stub := m.MakeStub("r", func(c *cpu.CPU) (uint32, error) {
+		got = [3]uint32{c.Arg(0), c.Arg(1), c.Arg(2)}
+		return 0, nil
+	})
+	gate := hv.BindGate("stub.r", stub)
+	hv.Switch(domU)
+	if _, err := hv.CPU.Call(gate, 0xA, 0xB, 0xC); err != nil {
+		t.Fatal(err)
+	}
+	if got != [3]uint32{0xA, 0xB, 0xC} {
+		t.Errorf("args = %x", got)
+	}
+}
+
+func TestUpcallErrorPropagates(t *testing.T) {
+	hv, _, domU, m := setup(t)
+	boom := &cpu.Fault{Kind: cpu.FaultProtection, Msg: "routine exploded"}
+	stub := m.MakeStub("r", func(c *cpu.CPU) (uint32, error) { return 0, boom })
+	gate := hv.BindGate("stub.r", stub)
+	hv.Switch(domU)
+	_, err := hv.CPU.Call(gate)
+	if !cpu.IsFault(err, cpu.FaultProtection) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package webbench reproduces the web server workload of §6.3 / Figure 9:
+// a knot-like static web server in the measured configuration, serving a
+// SPECweb99 static fileset to httperf-style open-loop clients.
+//
+// The model derives each configuration's per-request cycle cost from
+// *measured* per-packet costs (netbench runs over the same simulated
+// machine, with a cache flush per packet to reflect the interleaving of
+// thousands of concurrent connections), the SPECweb99 file-size
+// distribution, and a fixed per-request server cost (accept, HTTP parse,
+// sendfile setup, teardown). Requests are then offered at increasing rates;
+// achieved throughput saturates at the server's capacity, with the gentle
+// overload decay httperf observes when responses start missing the client
+// timeout.
+package webbench
+
+import (
+	"fmt"
+
+	"twindrivers/internal/core"
+	"twindrivers/internal/cost"
+	"twindrivers/internal/netbench"
+	"twindrivers/internal/netpath"
+)
+
+// SPECweb99 static content classes: within class c the nine file sizes
+// step through 0.1..0.9 of the class decade (1 KB, 10 KB, 100 KB, 1 MB);
+// classWeight follows the benchmark's access mix across the classes.
+var classWeight = [4]float64{0.35, 0.50, 0.14, 0.01}
+
+// mssBytes is the TCP payload per full data packet.
+const mssBytes = cost.MTU - 40
+
+// FilesetStats describes the SPECweb99-like fileset.
+type FilesetStats struct {
+	MeanFileBytes   float64
+	MeanDataPackets float64 // E[ceil(size/mss)]
+}
+
+// Fileset computes the exact distribution statistics (nine files per
+// class, sizes i*0.1*decade for i = 1..9, as in SPECweb99).
+func Fileset() FilesetStats {
+	var s FilesetStats
+	for c := 0; c < 4; c++ {
+		decade := 1024.0
+		for d := 0; d < c; d++ {
+			decade *= 10
+		}
+		for i := 1; i <= 9; i++ {
+			size := float64(i) * 0.1 * decade
+			w := classWeight[c] / 9
+			s.MeanFileBytes += w * size
+			pkts := int(size+mssBytes-1) / mssBytes
+			if pkts < 1 {
+				pkts = 1
+			}
+			s.MeanDataPackets += w * float64(pkts)
+		}
+	}
+	return s
+}
+
+// Point is one sample of the throughput curve.
+type Point struct {
+	RequestRate int     // offered requests/second
+	Mbps        float64 // achieved response throughput
+}
+
+// Curve is one configuration's Figure 9 series.
+type Curve struct {
+	Config            string
+	CyclesPerReq      float64
+	CapacityReqs      float64 // requests/second at CPU saturation
+	PeakMbps          float64
+	Points            []Point
+	TxMtuCpp          float64 // measured inputs, for the record
+	TxCtlCpp          float64
+	RxCtlCpp          float64
+	DataPacketsPerReq float64
+}
+
+// Params configures the sweep.
+type Params struct {
+	MaxRate int // default 20000 req/s (the paper's x-axis)
+	Step    int // default 1000
+	NumNICs int // default 5
+	Measure int // packets per cpp measurement (default 192)
+	Twin    core.TwinConfig
+}
+
+func (p *Params) defaults() {
+	if p.MaxRate == 0 {
+		p.MaxRate = 20000
+	}
+	if p.Step == 0 {
+		p.Step = 1000
+	}
+	if p.NumNICs == 0 {
+		p.NumNICs = cost.NumNICs
+	}
+	if p.Measure == 0 {
+		p.Measure = 192
+	}
+}
+
+// Run produces the curve for one configuration.
+func Run(kind netpath.Kind, prm Params) (*Curve, error) {
+	prm.defaults()
+	fs := Fileset()
+
+	// Measure the configuration's per-packet costs under connection
+	// interleaving (cold caches between packets).
+	measure := func(dir netbench.Direction, size int) (float64, error) {
+		r, err := netbench.Run(kind, dir, netbench.Params{
+			NumNICs: prm.NumNICs, PacketSize: size,
+			Measure: prm.Measure, Twin: prm.Twin,
+			FlushPerPacket: true,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return r.CyclesPerPacket, nil
+	}
+	txMtu, err := measure(netbench.TX, cost.MTU)
+	if err != nil {
+		return nil, fmt.Errorf("webbench: %w", err)
+	}
+	txCtl, err := measure(netbench.TX, 64)
+	if err != nil {
+		return nil, err
+	}
+	rxCtl, err := measure(netbench.RX, 64)
+	if err != nil {
+		return nil, err
+	}
+
+	// Packet budget per request: handshake (SYN in, SYN/ACK out, ACK in),
+	// HTTP request in, response data out, one client ACK in per two data
+	// packets, FIN exchange (in + out).
+	dataPkts := fs.MeanDataPackets
+	txCtlPkts := 2.0                 // SYN/ACK, FIN
+	rxPkts := 3.0 + dataPkts/2 + 1.0 // SYN, request, ACKs, FIN
+
+	cpr := float64(cost.WebRequestFixed) +
+		dataPkts*txMtu + txCtlPkts*txCtl + rxPkts*rxCtl
+	capacity := float64(cost.CPUHz) / cpr
+
+	// Response bits on the wire per request (headers ≈ 250 bytes).
+	respBits := (fs.MeanFileBytes + 250) * 8
+	lineMbps := cost.NICLineRateMbps * float64(prm.NumNICs)
+
+	c := &Curve{
+		Config:            kind.String(),
+		CyclesPerReq:      cpr,
+		CapacityReqs:      capacity,
+		TxMtuCpp:          txMtu,
+		TxCtlCpp:          txCtl,
+		RxCtlCpp:          rxCtl,
+		DataPacketsPerReq: dataPkts,
+	}
+	for rate := prm.Step; rate <= prm.MaxRate; rate += prm.Step {
+		achieved := float64(rate)
+		if achieved > capacity {
+			// Open-loop overload: the server completes work at capacity,
+			// but queueing pushes responses past the httperf timeout; the
+			// discarded fraction grows with overload.
+			over := (float64(rate) - capacity) / capacity
+			decay := 1.0 / (1.0 + 0.18*over)
+			achieved = capacity * decay
+		}
+		mbps := achieved * respBits / 1e6
+		if mbps > lineMbps {
+			mbps = lineMbps
+		}
+		if mbps > c.PeakMbps {
+			c.PeakMbps = mbps
+		}
+		c.Points = append(c.Points, Point{RequestRate: rate, Mbps: mbps})
+	}
+	return c, nil
+}
+
+// RunAll produces all four curves in figure order.
+func RunAll(prm Params) ([]*Curve, error) {
+	var out []*Curve
+	for _, k := range netpath.Kinds() {
+		c, err := Run(k, prm)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

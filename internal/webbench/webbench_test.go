@@ -1,0 +1,96 @@
+package webbench
+
+import (
+	"math"
+	"testing"
+
+	"twindrivers/internal/netpath"
+)
+
+func TestFilesetDistribution(t *testing.T) {
+	fs := Fileset()
+	// SPECweb99 static mix: mean ≈ 14.7 KB, ≈ 10-11 full data packets.
+	if fs.MeanFileBytes < 13_000 || fs.MeanFileBytes > 17_000 {
+		t.Errorf("mean file size = %.0f bytes", fs.MeanFileBytes)
+	}
+	if fs.MeanDataPackets < 9 || fs.MeanDataPackets > 12 {
+		t.Errorf("mean data packets = %.2f", fs.MeanDataPackets)
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	curves, err := RunAll(Params{Measure: 96, Step: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := map[string]float64{}
+	for _, c := range curves {
+		peak[c.Config] = c.PeakMbps
+		// Monotone rise to the peak, then a plateau/gentle decline.
+		sawPeak := false
+		for i := 1; i < len(c.Points); i++ {
+			prev, cur := c.Points[i-1].Mbps, c.Points[i].Mbps
+			if cur >= prev-1e-9 {
+				continue
+			}
+			sawPeak = true
+			if cur < 0.5*c.PeakMbps {
+				t.Errorf("%s collapses too hard at %d req/s: %.0f of peak %.0f",
+					c.Config, c.Points[i].RequestRate, cur, c.PeakMbps)
+			}
+		}
+		_ = sawPeak
+		// Before saturation, achieved tracks offered exactly.
+		first := c.Points[0]
+		want := float64(first.RequestRate) * (Fileset().MeanFileBytes + 250) * 8 / 1e6
+		if first.Mbps > 0 && math.Abs(first.Mbps-want)/want > 0.01 &&
+			float64(first.RequestRate) < c.CapacityReqs {
+			t.Errorf("%s under-saturation point wrong: %.1f vs offered %.1f", c.Config, first.Mbps, want)
+		}
+	}
+	// Figure 9 ordering: Linux > dom0 > twin > domU.
+	order := []string{"Linux", "dom0", "domU-twin", "domU"}
+	for i := 0; i < len(order)-1; i++ {
+		if peak[order[i]] <= peak[order[i+1]] {
+			t.Errorf("peak ordering violated: %s (%.0f) <= %s (%.0f)",
+				order[i], peak[order[i]], order[i+1], peak[order[i+1]])
+		}
+	}
+	// Paper peaks: 855 / 712 / 572 / 269. Our model preserves the
+	// ordering and the ~2x twin-over-domU win, with a compressed bottom
+	// end (see EXPERIMENTS.md); assert the bands.
+	if !between(peak["Linux"], 700, 1000) {
+		t.Errorf("Linux peak = %.0f, paper 855", peak["Linux"])
+	}
+	if !between(peak["dom0"], 600, 900) {
+		t.Errorf("dom0 peak = %.0f, paper 712", peak["dom0"])
+	}
+	if !between(peak["domU-twin"], 480, 800) {
+		t.Errorf("twin peak = %.0f, paper 572", peak["domU-twin"])
+	}
+	if peak["domU"] > 0.72*peak["Linux"] {
+		t.Errorf("domU peak = %.0f (%.0f%% of Linux), paper 31%%",
+			peak["domU"], 100*peak["domU"]/peak["Linux"])
+	}
+	// The headline: twin is a >1.4x improvement over the unoptimized
+	// guest for the web workload ("more than factor of 2" in the paper;
+	// our domU floor is higher — documented deviation).
+	if peak["domU-twin"] < 1.4*peak["domU"] {
+		t.Errorf("twin/domU = %.2f", peak["domU-twin"]/peak["domU"])
+	}
+}
+
+func TestSingleConfigRun(t *testing.T) {
+	c, err := Run(netpath.Twin, Params{Measure: 64, Step: 4000, MaxRate: 16000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Points) != 4 {
+		t.Errorf("points = %d", len(c.Points))
+	}
+	if c.CapacityReqs <= 0 || c.CyclesPerReq <= 0 {
+		t.Error("missing capacity computation")
+	}
+}
+
+func between(v, lo, hi float64) bool { return v >= lo && v <= hi }

@@ -1,0 +1,298 @@
+// Package xen models the hypervisor: domains and their address spaces, the
+// globally-mapped hypervisor region, domain switches (with their emergent
+// TLB/cache cost), hypercalls, event channels, grant tables, and the
+// hypervisor-side memory allocators used by the SVM mapping window and the
+// derived driver's guard-paged stack.
+//
+// The model is synchronous: "scheduling" a domain means switching to it and
+// running its work inline, which is exactly how the netperf-style
+// measurement loops drive the system. What matters for the reproduction is
+// that every transition charges the prices from internal/cost and flushes
+// the hardware model, so paths with more transitions (the unoptimized Xen
+// I/O path) pay proportionally more — the effect TwinDrivers removes.
+package xen
+
+import (
+	"fmt"
+
+	"twindrivers/internal/cost"
+	"twindrivers/internal/cpu"
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/mem"
+)
+
+// Virtual address map of the machine. The hypervisor owns the top of every
+// address space (as real Xen does); guest kernels live in the conventional
+// Linux split.
+const (
+	// Dom0KernelBase is where the dom0 kernel heap/data region starts.
+	Dom0KernelBase = 0xC0000000
+
+	// Dom0DriverCode is the load address of the VM driver instance's code.
+	Dom0DriverCode = 0xC8000000
+
+	// Dom0DriverData is the load address of the VM driver instance's data.
+	Dom0DriverData = 0xC8800000
+
+	// GuestKernelBase is where guest (domU) kernel heap regions start —
+	// deliberately disjoint from dom0's so that a virtual address names
+	// its owning domain unambiguously (the hypervisor DMA helpers rely on
+	// this when resolving chained guest pages).
+	GuestKernelBase = 0xB0000000
+
+	// HypervisorBase is the bottom of the globally-mapped hypervisor hole.
+	HypervisorBase = 0xF0000000
+
+	// HVDriverCode is the load address of the derived hypervisor driver.
+	HVDriverCode = 0xF1000000
+
+	// HVDriverData is the load address of the hypervisor driver loader's
+	// private data (stlb table, code-delta global, stacks).
+	HVDriverData = 0xF1800000
+
+	// HVMapWindow is the window where SVM maps dom0 pages into the
+	// hypervisor; sized generously above the stlb's 16 MB working set.
+	HVMapWindow     = 0xF4000000
+	HVMapWindowSize = 64 << 20
+
+	// NativeGateBase is the address range where native (Go-implemented)
+	// routines are bound: kernel support routines, hypervisor support
+	// routines, upcall stubs, and the SVM slow path.
+	NativeGateBase = 0xFE000000
+)
+
+// Domain is a virtual machine (dom0 or a guest).
+type Domain struct {
+	ID   mem.Owner
+	Name string
+	AS   *mem.AddressSpace
+
+	// VirtIRQMasked is the domain's virtual interrupt flag. The dom0
+	// kernel masks it instead of the real CPU flag; the hypervisor must
+	// respect it before invoking the derived driver's interrupt handler
+	// (§4.4 of the paper).
+	VirtIRQMasked bool
+
+	// PendingEvents counts undelivered event-channel notifications.
+	PendingEvents int
+
+	heapNext uint32 // bump pointer for AllocHeap
+	heapEnd  uint32
+}
+
+// Hypervisor is the machine-wide monitor.
+type Hypervisor struct {
+	Phys    *mem.Physical
+	HVSpace *mem.AddressSpace // the globally-mapped hypervisor region
+	CPU     *cpu.CPU
+	Meter   *cycles.Meter
+
+	Domains map[mem.Owner]*Domain
+	Current *Domain
+
+	// Statistics.
+	Switches   uint64
+	Hypercalls uint64
+	Events     uint64
+	GrantOps   uint64
+
+	hvHeapNext uint32
+	mapNext    uint32
+	nextGate   uint32
+	grants     map[uint32]*grantEntry
+	nextGrant  uint32
+}
+
+type grantEntry struct {
+	frame   uint32
+	from    mem.Owner
+	to      mem.Owner
+	mapped  bool
+	mapVasp *mem.AddressSpace
+	mapPage uint32
+}
+
+// New builds a hypervisor over fresh physical memory.
+func New() *Hypervisor {
+	phys := mem.NewPhysical()
+	meter := cycles.NewMeter()
+	hv := &Hypervisor{
+		Phys:       phys,
+		Meter:      meter,
+		Domains:    make(map[mem.Owner]*Domain),
+		hvHeapNext: HVDriverData,
+		mapNext:    HVMapWindow,
+		nextGate:   NativeGateBase,
+		grants:     make(map[uint32]*grantEntry),
+		nextGrant:  1,
+	}
+	hv.HVSpace = mem.NewAddressSpace("xen", phys, nil)
+	hv.CPU = cpu.New(hv.HVSpace, meter)
+	return hv
+}
+
+// CreateDomain creates a domain whose address space chains to the
+// hypervisor's global mappings.
+func (hv *Hypervisor) CreateDomain(id mem.Owner, name string) *Domain {
+	d := &Domain{
+		ID:   id,
+		Name: name,
+		AS:   mem.NewAddressSpace(name, hv.Phys, hv.HVSpace),
+	}
+	hv.Domains[id] = d
+	if hv.Current == nil {
+		hv.Current = d
+		hv.CPU.AS = d.AS
+	}
+	return d
+}
+
+// Switch transfers execution to domain d, charging the direct switch price
+// and flushing the hardware model (the induced TLB/cache refill cost is
+// what makes frequent switching expensive). Switching to the current
+// domain is free.
+func (hv *Hypervisor) Switch(d *Domain) {
+	if hv.Current == d {
+		return
+	}
+	hv.Switches++
+	hv.Meter.AddTo(cycles.CompXen, cost.DomainSwitchDirect)
+	hv.Meter.FlushHW()
+	hv.Current = d
+	hv.CPU.AS = d.AS
+}
+
+// ChargeHypercall accounts one hypercall transition.
+func (hv *Hypervisor) ChargeHypercall() {
+	hv.Hypercalls++
+	hv.Meter.AddTo(cycles.CompXen, cost.Hypercall)
+}
+
+// SendEvent raises an event-channel notification towards d.
+func (hv *Hypervisor) SendEvent(d *Domain) {
+	hv.Events++
+	d.PendingEvents++
+	hv.Meter.AddTo(cycles.CompXen, cost.EventChannelSend)
+}
+
+// DeliverVirtIRQ delivers a pending virtual interrupt to d (the domain must
+// be current; respects nothing — masking policy is the caller's business).
+func (hv *Hypervisor) DeliverVirtIRQ(d *Domain) {
+	if d.PendingEvents > 0 {
+		d.PendingEvents--
+	}
+	hv.Meter.AddTo(cycles.CompXen, cost.VirtIRQDeliver)
+}
+
+// AllocHVPages allocates n hypervisor-owned pages in the global region and
+// returns their base virtual address.
+func (hv *Hypervisor) AllocHVPages(n int) uint32 {
+	base := hv.hvHeapNext
+	frames := hv.Phys.AllocFrames(mem.OwnerHypervisor, n)
+	hv.HVSpace.MapRange(base, frames, n)
+	hv.hvHeapNext += uint32(n) * mem.PageSize
+	return base
+}
+
+// AllocStack allocates a hypervisor stack of n usable pages delimited by
+// unmapped guard pages and returns (top, low, high): top is the initial
+// stack pointer, [low, high) the valid range for the CPU's stack guard.
+func (hv *Hypervisor) AllocStack(n int) (top, low, high uint32) {
+	base := hv.hvHeapNext
+	hv.hvHeapNext += mem.PageSize // low guard page: left unmapped
+	frames := hv.Phys.AllocFrames(mem.OwnerHypervisor, n)
+	hv.HVSpace.MapRange(hv.hvHeapNext, frames, n)
+	low = hv.hvHeapNext
+	hv.hvHeapNext += uint32(n) * mem.PageSize
+	high = hv.hvHeapNext
+	hv.hvHeapNext += mem.PageSize // high guard page
+	_ = base
+	return high, low, high
+}
+
+// MapIntoHV maps an existing physical frame at a fresh page in the SVM
+// mapping window and returns the hypervisor virtual page address.
+func (hv *Hypervisor) MapIntoHV(frame uint32) (uint32, error) {
+	if hv.mapNext >= HVMapWindow+HVMapWindowSize {
+		return 0, fmt.Errorf("xen: SVM mapping window exhausted")
+	}
+	va := hv.mapNext
+	hv.mapNext += mem.PageSize
+	hv.HVSpace.Map(va/mem.PageSize, frame)
+	return va, nil
+}
+
+// BindGate registers a native routine under a fresh gate address and
+// returns that address (used for kernel symbols, hypervisor support
+// routines, upcall stubs and the SVM slow path).
+func (hv *Hypervisor) BindGate(name string, fn cpu.Extern) uint32 {
+	addr := hv.nextGate
+	hv.nextGate += 8
+	hv.CPU.BindExtern(addr, name, fn)
+	return addr
+}
+
+// AllocHeap allocates n bytes (4-byte aligned) from a domain's kernel heap,
+// growing it page by page. Returns the virtual address.
+func (hv *Hypervisor) AllocHeap(d *Domain, n uint32) uint32 {
+	if d.heapNext == 0 {
+		base := uint32(Dom0KernelBase)
+		if d.ID != mem.OwnerDom0 {
+			base = GuestKernelBase
+		}
+		d.heapNext = base
+		d.heapEnd = base
+	}
+	n = (n + 3) &^ 3
+	for d.heapEnd-d.heapNext < n {
+		f := hv.Phys.AllocFrame(d.ID)
+		d.AS.Map(d.heapEnd/mem.PageSize, f)
+		d.heapEnd += mem.PageSize
+	}
+	a := d.heapNext
+	d.heapNext += n
+	return a
+}
+
+// GrantCreate issues a grant reference allowing `to` access to one of
+// from's frames.
+func (hv *Hypervisor) GrantCreate(from *Domain, frame uint32, to *Domain) uint32 {
+	hv.GrantOps++
+	hv.Meter.AddTo(cycles.CompXen, cost.GrantTableOp)
+	ref := hv.nextGrant
+	hv.nextGrant++
+	hv.grants[ref] = &grantEntry{frame: frame, from: from.ID, to: to.ID}
+	return ref
+}
+
+// GrantCopy copies n bytes between address spaces under a grant reference,
+// charging the per-byte grant-copy price.
+func (hv *Hypervisor) GrantCopy(ref uint32, dstAS *mem.AddressSpace, dst uint32, srcAS *mem.AddressSpace, src uint32, n int) error {
+	g, ok := hv.grants[ref]
+	if !ok {
+		return fmt.Errorf("xen: bad grant reference %d", ref)
+	}
+	_ = g
+	hv.GrantOps++
+	hv.Meter.AddTo(cycles.CompXen, cost.GrantTableOp)
+	hv.Meter.AddTo(cycles.CompXen, uint64(n)*cost.GrantCopyPerByte)
+	hv.Meter.TouchLines(dst, n)
+	return mem.Copy(dstAS, dst, srcAS, src, n)
+}
+
+// GrantEnd revokes a grant reference.
+func (hv *Hypervisor) GrantEnd(ref uint32) {
+	hv.GrantOps++
+	hv.Meter.AddTo(cycles.CompXen, cost.GrantTableOp)
+	delete(hv.grants, ref)
+}
+
+// FrameOf resolves the physical frame backing vaddr in domain d.
+func (hv *Hypervisor) FrameOf(d *Domain, vaddr uint32) (uint32, bool) {
+	return d.AS.Lookup(vaddr / mem.PageSize)
+}
+
+// ResetStats zeroes the transition counters (measurement epochs).
+func (hv *Hypervisor) ResetStats() {
+	hv.Switches, hv.Hypercalls, hv.Events, hv.GrantOps = 0, 0, 0, 0
+}

@@ -1,0 +1,220 @@
+package xen
+
+import (
+	"testing"
+
+	"twindrivers/internal/cost"
+	"twindrivers/internal/cpu"
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/isa"
+	"twindrivers/internal/mem"
+)
+
+func TestDomainCreationAndGlobalMapping(t *testing.T) {
+	hv := New()
+	dom0 := hv.CreateDomain(mem.OwnerDom0, "dom0")
+	domU := hv.CreateDomain(1, "domU")
+	if hv.Current != dom0 {
+		t.Error("first domain not current")
+	}
+	// Hypervisor pages are visible from every domain.
+	va := hv.AllocHVPages(1)
+	if err := hv.HVSpace.Store(va, 4, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*Domain{dom0, domU} {
+		v, err := d.AS.Load(va, 4)
+		if err != nil || v != 0x1234 {
+			t.Errorf("%s: hv page read = %#x, %v", d.Name, v, err)
+		}
+	}
+}
+
+func TestSwitchChargesAndFlushes(t *testing.T) {
+	hv := New()
+	dom0 := hv.CreateDomain(mem.OwnerDom0, "dom0")
+	domU := hv.CreateDomain(1, "domU")
+
+	// Warm the hardware model.
+	hv.Meter.MemAccess(0x1000)
+	hv.Meter.MemAccess(0x1000)
+	base := hv.Meter.Get(cycles.CompXen)
+
+	hv.Switch(domU)
+	if hv.Switches != 1 {
+		t.Errorf("switches = %d", hv.Switches)
+	}
+	if got := hv.Meter.Get(cycles.CompXen) - base; got != cost.DomainSwitchDirect {
+		t.Errorf("switch charge = %d", got)
+	}
+	// The TLB is cold after the switch.
+	if c := hv.Meter.MemAccess(0x1000); c < cycles.CostTLBMiss {
+		t.Errorf("post-switch access cost = %d, want a TLB miss", c)
+	}
+	// Switching to the current domain is free.
+	hv.Switch(domU)
+	if hv.Switches != 1 {
+		t.Error("self-switch counted")
+	}
+	hv.Switch(dom0)
+	if hv.CPU.AS != dom0.AS {
+		t.Error("CPU address space not switched")
+	}
+}
+
+func TestHeapAllocatorPerDomain(t *testing.T) {
+	hv := New()
+	dom0 := hv.CreateDomain(mem.OwnerDom0, "dom0")
+	domU := hv.CreateDomain(1, "domU")
+
+	a := hv.AllocHeap(dom0, 100)
+	b := hv.AllocHeap(dom0, 100)
+	if a < Dom0KernelBase || b != a+100 {
+		t.Errorf("dom0 heap: %#x %#x", a, b)
+	}
+	g := hv.AllocHeap(domU, 64)
+	if g < GuestKernelBase || g >= Dom0KernelBase {
+		t.Errorf("guest heap at %#x, want the guest range", g)
+	}
+	// Allocations are usable memory owned by the right domain.
+	if err := dom0.AS.Store(a, 4, 7); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := dom0.AS.Lookup(a / mem.PageSize)
+	if hv.Phys.FrameOwner(f) != dom0.ID {
+		t.Error("dom0 heap frame not dom0-owned")
+	}
+	gf, _ := domU.AS.Lookup(g / mem.PageSize)
+	if hv.Phys.FrameOwner(gf) != domU.ID {
+		t.Error("guest heap frame not guest-owned")
+	}
+	// Cross-domain isolation: dom0's heap address is not mapped in domU.
+	if _, err := domU.AS.Load(a, 4); err == nil {
+		t.Error("dom0 heap visible from domU")
+	}
+}
+
+func TestAllocStackGuards(t *testing.T) {
+	hv := New()
+	top, lo, hi := hv.AllocStack(4)
+	if top != hi || hi-lo != 4*mem.PageSize {
+		t.Errorf("stack geometry: top=%#x lo=%#x hi=%#x", top, lo, hi)
+	}
+	// Usable range works; guard pages fault.
+	if err := hv.HVSpace.Store(lo, 4, 1); err != nil {
+		t.Errorf("stack page unusable: %v", err)
+	}
+	if err := hv.HVSpace.Store(lo-4, 4, 1); err == nil {
+		t.Error("low guard page mapped")
+	}
+	if err := hv.HVSpace.Store(hi, 4, 1); err == nil {
+		t.Error("high guard page mapped")
+	}
+}
+
+func TestMapIntoHVWindow(t *testing.T) {
+	hv := New()
+	dom0 := hv.CreateDomain(mem.OwnerDom0, "dom0")
+	a := hv.AllocHeap(dom0, mem.PageSize)
+	if err := dom0.AS.Store(a, 4, 0xFEED); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := dom0.AS.Lookup(a / mem.PageSize)
+	va, err := hv.MapIntoHV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va < HVMapWindow {
+		t.Errorf("mapping at %#x", va)
+	}
+	v, err := hv.HVSpace.Load(va+(a&mem.PageMask), 4)
+	if err != nil || v != 0xFEED {
+		t.Errorf("through-window read = %#x, %v", v, err)
+	}
+	// Consecutive calls give consecutive windows (SVM's two-page pairs).
+	va2, _ := hv.MapIntoHV(f)
+	if va2 != va+mem.PageSize {
+		t.Errorf("windows not consecutive: %#x then %#x", va, va2)
+	}
+}
+
+func TestGrantLifecycle(t *testing.T) {
+	hv := New()
+	dom0 := hv.CreateDomain(mem.OwnerDom0, "dom0")
+	domU := hv.CreateDomain(1, "domU")
+
+	src := hv.AllocHeap(domU, mem.PageSize)
+	dst := hv.AllocHeap(dom0, mem.PageSize)
+	payload := []byte("granted bytes")
+	if err := domU.AS.WriteBytes(src, payload); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := domU.AS.Lookup(src / mem.PageSize)
+	ref := hv.GrantCreate(domU, f, dom0)
+	ops := hv.GrantOps
+	if err := hv.GrantCopy(ref, dom0.AS, dst, domU.AS, src, len(payload)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dom0.AS.ReadBytes(dst, len(payload))
+	if string(got) != string(payload) {
+		t.Error("grant copy corrupted data")
+	}
+	if hv.GrantOps != ops+1 {
+		t.Errorf("grant ops = %d", hv.GrantOps)
+	}
+	hv.GrantEnd(ref)
+	if err := hv.GrantCopy(ref, dom0.AS, dst, domU.AS, src, 4); err == nil {
+		t.Error("revoked grant still usable")
+	}
+}
+
+func TestEventsAndVirtIRQs(t *testing.T) {
+	hv := New()
+	dom0 := hv.CreateDomain(mem.OwnerDom0, "dom0")
+	hv.SendEvent(dom0)
+	hv.SendEvent(dom0)
+	if dom0.PendingEvents != 2 || hv.Events != 2 {
+		t.Errorf("pending = %d events = %d", dom0.PendingEvents, hv.Events)
+	}
+	hv.DeliverVirtIRQ(dom0)
+	if dom0.PendingEvents != 1 {
+		t.Error("delivery did not consume a pending event")
+	}
+}
+
+func TestBindGateDispatch(t *testing.T) {
+	hv := New()
+	hv.CreateDomain(mem.OwnerDom0, "dom0")
+	called := 0
+	addr := hv.BindGate("probe_gate", func(c *cpu.CPU) (uint32, error) {
+		called++
+		return 42, nil
+	})
+	if addr < NativeGateBase {
+		t.Errorf("gate at %#x", addr)
+	}
+	name, ok := hv.CPU.ExternAt(addr)
+	if !ok || name != "probe_gate" {
+		t.Errorf("gate name = %q, %v", name, ok)
+	}
+	// Gates are callable through the CPU (needs a stack).
+	top, _, _ := hv.AllocStack(2)
+	hv.CPU.Regs[isa.ESP] = top
+	v, err := hv.CPU.Call(addr)
+	if err != nil || v != 42 || called != 1 {
+		t.Errorf("gate call = %d, %v (called %d)", v, err, called)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	hv := New()
+	d0 := hv.CreateDomain(mem.OwnerDom0, "dom0")
+	d1 := hv.CreateDomain(1, "domU")
+	hv.Switch(d1)
+	hv.Switch(d0)
+	hv.ChargeHypercall()
+	hv.ResetStats()
+	if hv.Switches != 0 || hv.Hypercalls != 0 {
+		t.Error("stats not reset")
+	}
+}

@@ -1,0 +1,83 @@
+// Package twindrivers is a reproduction of "TwinDrivers: Semi-Automatic
+// Derivation of Fast and Safe Hypervisor Network Drivers from Guest OS
+// Drivers" (Menon, Schubert, Zwaenepoel — ASPLOS 2009), built over a
+// simulated x86-like machine.
+//
+// The package re-exports the system's public surface:
+//
+//   - NewMachine / NewTwinMachine bring up a simulated host (hypervisor,
+//     dom0 with its kernel and the e1000-class driver, a guest domain,
+//     NICs) — natively, or twinned with the derived hypervisor driver.
+//   - Rewrite runs the TwinDrivers binary rewriter over driver assembly.
+//   - The experiment runners regenerate every table and figure of the
+//     paper's evaluation (see Experiments).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results against the paper.
+package twindrivers
+
+import (
+	"twindrivers/internal/asm"
+	"twindrivers/internal/core"
+	"twindrivers/internal/e1000"
+	"twindrivers/internal/kernel"
+	"twindrivers/internal/rewrite"
+)
+
+// Machine is a simulated host; see core.Machine.
+type Machine = core.Machine
+
+// Twin is the loaded TwinDrivers runtime; see core.Twin.
+type Twin = core.Twin
+
+// TwinConfig parameterises driver derivation; see core.TwinConfig.
+type TwinConfig = core.TwinConfig
+
+// RewriteOptions control the binary rewriter; see rewrite.Options.
+type RewriteOptions = rewrite.Options
+
+// RewriteStats describe a derivation; see rewrite.Stats.
+type RewriteStats = rewrite.Stats
+
+// NICDev couples a NIC with its dom0 identity; see core.NICDev.
+type NICDev = core.NICDev
+
+// NewMachine builds a host with n NICs and the original driver running in
+// dom0 (the native-Linux / dom0 configurations).
+func NewMachine(nNICs int) (*Machine, error) { return core.NewMachine(nNICs) }
+
+// NewTwinMachine builds a host whose driver is twinned: the rewritten
+// binary runs as the VM instance in dom0 (identity stlb) and as the
+// derived instance in the hypervisor (translating stlb).
+func NewTwinMachine(nNICs int, cfg TwinConfig) (*Machine, *Twin, error) {
+	return core.NewTwinMachine(nNICs, cfg)
+}
+
+// DefaultHvSupport returns Table 1: the ten support routines implemented
+// natively in the hypervisor.
+func DefaultHvSupport() []string { return core.DefaultHvSupport() }
+
+// DriverSource is the guest-OS e1000-class driver, in the simulated
+// machine's assembly dialect.
+const DriverSource = e1000.Source
+
+// Rewrite derives hypervisor-driver assembly from guest-driver assembly,
+// returning the rewritten text and statistics. Kernel structure-layout
+// equates are injected automatically.
+func Rewrite(src string, opt RewriteOptions) (string, *RewriteStats, error) {
+	u, err := asm.AssembleWithEquates(src, kernel.Equates())
+	if err != nil {
+		return "", nil, err
+	}
+	ru, stats, err := rewrite.Rewrite(u, opt)
+	if err != nil {
+		return "", nil, err
+	}
+	return ru.Print(), stats, nil
+}
+
+// EthernetFrame builds a test frame (dst, src, ethertype, payload) padded
+// to the Ethernet minimum.
+func EthernetFrame(dst, src [6]byte, ethertype uint16, payload []byte) []byte {
+	return core.EthernetFrame(dst, src, ethertype, payload)
+}
