@@ -7,6 +7,7 @@ package twindrivers_test
 
 import (
 	"io"
+	"strconv"
 	"testing"
 
 	"twindrivers"
@@ -138,6 +139,35 @@ func BenchmarkFig10UpcallCost(b *testing.B) {
 			b.ReportMetric(last.ThroughputMbps, "Mb/s")
 			b.ReportMetric(last.UpcallsPerPacket, "upcalls/pkt")
 		})
+	}
+}
+
+// --- Batch sweep: batched hypercall I/O --------------------------------------
+
+// BenchmarkBatchSweep measures the domU-twin path at each batch size in
+// both directions (single NIC): the cycles saved per packet come from
+// amortizing the hypercall (TX) and the interrupt + notification machinery
+// (RX) over the shared descriptor ring.
+func BenchmarkBatchSweep(b *testing.B) {
+	for _, dir := range []netbench.Direction{netbench.TX, netbench.RX} {
+		for _, batch := range twindrivers.BatchSizes() {
+			dir, batch := dir, batch
+			b.Run(dir.String()+"/batch-"+strconv.Itoa(batch), func(b *testing.B) {
+				var last *netbench.Result
+				for i := 0; i < b.N; i++ {
+					r, err := netbench.Run(netpath.Twin, dir, netbench.Params{
+						NumNICs: 1, Measure: 256, Batch: batch,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = r
+				}
+				b.ReportMetric(last.CyclesPerPacket, "cycles/pkt")
+				b.ReportMetric(last.HypercallsPerPacket, "hc/pkt")
+				b.ReportMetric(last.ThroughputMbps, "Mb/s")
+			})
+		}
 	}
 }
 

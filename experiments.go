@@ -127,6 +127,35 @@ func runFig10(w io.Writer, quick bool) error {
 	return nil
 }
 
+// BatchSizes is the batch-size sweep of the batched-hypercall experiment:
+// 1 is the paper's per-packet path (the baseline every figure uses), the
+// larger sizes amortize the boundary crossing and, on receive, the
+// interrupt and notification machinery over the batch.
+func BatchSizes() []int { return []int{1, 8, 32} }
+
+// runBatchSweep measures the domU-twin path at each batch size in both
+// directions (single NIC, the Figure 7/8 profile setup), showing where the
+// amortization lands in the four-bucket attribution.
+func runBatchSweep(w io.Writer, quick bool) error {
+	for _, dir := range []netbench.Direction{netbench.TX, netbench.RX} {
+		var results []*netbench.Result
+		for _, batch := range BatchSizes() {
+			r, err := netbench.Run(netpath.Twin, dir, netbench.Params{
+				NumNICs: 1, Measure: packets(quick), Batch: batch,
+			})
+			if err != nil {
+				return fmt.Errorf("batch=%d %s: %w", batch, dir, err)
+			}
+			results = append(results, r)
+		}
+		report.BatchSweep(w, fmt.Sprintf("Batch sweep: domU-twin %s cycles/packet vs batch size", dir), results)
+	}
+	fmt.Fprintf(w, "batch=1 is the per-packet hypercall path of Figures 7/8 (unchanged);\n")
+	fmt.Fprintf(w, "larger batches amortize the hypercall (TX) and the interrupt +\n")
+	fmt.Fprintf(w, "notification machinery (RX) across the shared descriptor ring.\n\n")
+	return nil
+}
+
 func runFig9(w io.Writer, quick bool) error {
 	prm := webbench.Params{}
 	if quick {
@@ -185,6 +214,7 @@ func Experiments() []Experiment {
 		}},
 		{"fig9", "Figure 9: web server workload", runFig9},
 		{"fig10", "Figure 10: cost of upcalls", runFig10},
+		{"batch", "Batch sweep: batched hypercall I/O (beyond the paper)", runBatchSweep},
 		{"effort", "Section 6.5: engineering effort", runEffort},
 	}
 }

@@ -1,0 +1,3 @@
+module twindrivers
+
+go 1.22

@@ -111,6 +111,16 @@ type Twin struct {
 	macToDom   map[[6]byte]mem.Owner
 	pendingIRQ []*NICDev // deferred while dom0 masks virtual interrupts
 	guestTxBuf uint32    // guest-side bounce buffer for GuestTransmit
+
+	// Batched I/O state: the shared guest↔hypervisor transmit descriptor
+	// ring and its per-slot guest staging buffers (see twinbatch.go).
+	txRing  *mem.Ring
+	txSlots []uint32
+
+	// Coalescer batches guest notifications and upcall IRQ deliveries to
+	// one per batch window; outside a window it degenerates to the
+	// per-packet delivery.
+	Coalescer *upcall.Coalescer
 }
 
 // NewTwinMachine builds a machine whose driver is twinned from the start:
@@ -341,6 +351,19 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 	// Guest-side transmit buffer (stands in for the guest's own packet
 	// pages; the paravirtual driver hands their addresses down).
 	t.guestTxBuf = hv.AllocHeap(m.DomU, 2*mem.PageSize)
+
+	// Batched-path state: guest notifications and upcall IRQs coalesce to
+	// one per batch window; the shared transmit ring and its staging
+	// buffers carry whole batches across the boundary per hypercall.
+	t.Coalescer = upcall.NewCoalescer(hv)
+	t.Upcalls.Coalesce = t.Coalescer
+	ringBase := hv.AllocHeap(m.DomU, mem.RingBytes(TxRingSlots))
+	if t.txRing, err = mem.InitRing(m.DomU.AS, ringBase, TxRingSlots); err != nil {
+		return nil, err
+	}
+	for i := 0; i < TxRingSlots; i++ {
+		t.txSlots = append(t.txSlots, hv.AllocHeap(m.DomU, TxSlotBytes))
+	}
 	return t, nil
 }
 
@@ -440,9 +463,17 @@ func (t *Twin) GuestTransmitAt(d *NICDev, guestAddr uint32, n int) error {
 	if t.Dead {
 		return ErrDriverDead
 	}
-	hv := t.M.HV
-	hv.ChargeHypercall()
+	t.M.HV.ChargeHypercall()
+	return t.xmitOne(d, guestAddr, n)
+}
 
+// xmitOne is the hypervisor-side transmit work for one staged frame: header
+// copy into a pooled dom0 sk_buff, guest pages chained for the body, one
+// derived-driver invocation. The boundary crossing itself (the hypercall
+// charge) is the caller's — per frame on the hypercall path, per batch on
+// the ring path.
+func (t *Twin) xmitOne(d *NICDev, guestAddr uint32, n int) error {
+	hv := t.M.HV
 	skb, ok := t.poolGet()
 	if !ok {
 		return ErrTxBusy
@@ -527,11 +558,24 @@ func (t *Twin) PendingRx(dom mem.Owner) int { return len(t.rxQueues[dom]) }
 // (the hypervisor's per-packet copy that dominates its receive overhead in
 // Figure 8) and raises one virtual interrupt. It returns the packets.
 func (t *Twin) DeliverPending(dom *xen.Domain) ([][]byte, error) {
+	return t.DeliverPendingBatch(dom, 0)
+}
+
+// DeliverPendingBatch delivers at most max queued packets (0 means all),
+// raising a single coalesced guest notification for the whole batch.
+func (t *Twin) DeliverPendingBatch(dom *xen.Domain, max int) ([][]byte, error) {
 	q := t.rxQueues[dom.ID]
 	if len(q) == 0 {
 		return nil, nil
 	}
-	t.rxQueues[dom.ID] = nil
+	if max > 0 && len(q) > max {
+		rest := make([]uint32, len(q)-max)
+		copy(rest, q[max:])
+		t.rxQueues[dom.ID] = rest
+		q = q[:max]
+	} else {
+		t.rxQueues[dom.ID] = nil
+	}
 	meter := t.M.HV.Meter
 	var out [][]byte
 	for _, skb := range q {
@@ -555,8 +599,7 @@ func (t *Twin) DeliverPending(dom *xen.Domain) ([][]byte, error) {
 		out = append(out, pkt)
 		t.poolFreeOrKernel(skb)
 	}
-	t.M.HV.SendEvent(dom)
-	t.M.HV.DeliverVirtIRQ(dom)
+	t.Coalescer.Deliver(dom)
 	return out, nil
 }
 

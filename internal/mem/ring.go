@@ -1,0 +1,155 @@
+package mem
+
+import "fmt"
+
+// Ring is a single-producer/single-consumer descriptor ring living in
+// simulated memory, shared between a guest and the hypervisor. The guest
+// stages packet descriptors (address, length) into the ring and crosses the
+// virtualization boundary once per batch; the hypervisor drains it without
+// any further transitions. This is the batched-hypercall analogue of the
+// netfront/netback I/O channel: the ring contents are ordinary memory, so
+// both sides can view it through their own address spaces mapping the same
+// frames.
+//
+// Memory layout at Base (all 32-bit little-endian words):
+//
+//	+0   capacity (number of descriptor slots, power of two)
+//	+4   head     (consumer index, free-running)
+//	+8   tail     (producer index, free-running)
+//	+12  reserved
+//	+16  descriptors[capacity] of {addr u32, len u32}
+//
+// Head and tail are free-running counters; slot = index & (capacity-1),
+// which is why the capacity must be a power of two.
+type Ring struct {
+	AS   *AddressSpace
+	Base uint32
+
+	capacity uint32
+}
+
+const (
+	ringHdrBytes  = 16
+	ringDescBytes = 8
+
+	ringOffCap  = 0
+	ringOffHead = 4
+	ringOffTail = 8
+)
+
+// ErrRingFull reports a Push onto a ring with no free slots.
+var ErrRingFull = fmt.Errorf("mem: descriptor ring full")
+
+// RingBytes returns the memory footprint of a ring with the given slot
+// count.
+func RingBytes(capacity int) uint32 {
+	return ringHdrBytes + uint32(capacity)*ringDescBytes
+}
+
+// InitRing formats a ring of the given capacity (a power of two) at base in
+// as and returns a view of it.
+func InitRing(as *AddressSpace, base uint32, capacity int) (*Ring, error) {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("mem: ring capacity %d is not a power of two", capacity)
+	}
+	r := &Ring{AS: as, Base: base, capacity: uint32(capacity)}
+	if err := as.Store(base+ringOffCap, 4, uint32(capacity)); err != nil {
+		return nil, err
+	}
+	return r, r.Reset()
+}
+
+// AttachRing opens a view of an already-formatted ring at base — the other
+// side of the boundary attaching through its own address space.
+func AttachRing(as *AddressSpace, base uint32) (*Ring, error) {
+	capacity, err := as.Load(base+ringOffCap, 4)
+	if err != nil {
+		return nil, err
+	}
+	if capacity == 0 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("mem: no ring at %#x (capacity word %d)", base, capacity)
+	}
+	return &Ring{AS: as, Base: base, capacity: capacity}, nil
+}
+
+// Cap returns the slot count.
+func (r *Ring) Cap() int { return int(r.capacity) }
+
+// Len returns the number of staged, unconsumed descriptors.
+func (r *Ring) Len() (int, error) {
+	head, err := r.AS.Load(r.Base+ringOffHead, 4)
+	if err != nil {
+		return 0, err
+	}
+	tail, err := r.AS.Load(r.Base+ringOffTail, 4)
+	if err != nil {
+		return 0, err
+	}
+	return int(tail - head), nil
+}
+
+// Free returns the number of free slots.
+func (r *Ring) Free() (int, error) {
+	n, err := r.Len()
+	if err != nil {
+		return 0, err
+	}
+	return int(r.capacity) - n, nil
+}
+
+// Push stages one descriptor; ErrRingFull if no slot is free.
+func (r *Ring) Push(addr, n uint32) error {
+	free, err := r.Free()
+	if err != nil {
+		return err
+	}
+	if free == 0 {
+		return ErrRingFull
+	}
+	tail, err := r.AS.Load(r.Base+ringOffTail, 4)
+	if err != nil {
+		return err
+	}
+	slot := r.Base + ringHdrBytes + (tail&(r.capacity-1))*ringDescBytes
+	if err := r.AS.Store(slot, 4, addr); err != nil {
+		return err
+	}
+	if err := r.AS.Store(slot+4, 4, n); err != nil {
+		return err
+	}
+	return r.AS.Store(r.Base+ringOffTail, 4, tail+1)
+}
+
+// Pop consumes the oldest descriptor; ok is false on an empty ring.
+func (r *Ring) Pop() (addr, n uint32, ok bool, err error) {
+	ln, err := r.Len()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if ln == 0 {
+		return 0, 0, false, nil
+	}
+	head, err := r.AS.Load(r.Base+ringOffHead, 4)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	slot := r.Base + ringHdrBytes + (head&(r.capacity-1))*ringDescBytes
+	if addr, err = r.AS.Load(slot, 4); err != nil {
+		return 0, 0, false, err
+	}
+	if n, err = r.AS.Load(slot+4, 4); err != nil {
+		return 0, 0, false, err
+	}
+	if err = r.AS.Store(r.Base+ringOffHead, 4, head+1); err != nil {
+		return 0, 0, false, err
+	}
+	return addr, n, true, nil
+}
+
+// Reset discards all staged descriptors.
+func (r *Ring) Reset() error {
+	if err := r.AS.Store(r.Base+ringOffHead, 4, 0); err != nil {
+		return err
+	}
+	return r.AS.Store(r.Base+ringOffTail, 4, 0)
+}

@@ -1,0 +1,141 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+func ringSetup(t *testing.T, capacity int) (*Physical, *AddressSpace, *Ring) {
+	t.Helper()
+	phys := NewPhysical()
+	as := NewAddressSpace("guest", phys, nil)
+	frames := phys.AllocFrames(1, 2)
+	as.MapRange(0x10000, frames, 2)
+	r, err := InitRing(as, 0x10000, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return phys, as, r
+}
+
+func TestRingPushPop(t *testing.T) {
+	_, _, r := ringSetup(t, 8)
+	for i := uint32(0); i < 5; i++ {
+		if err := r.Push(0x1000+i, 100+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := r.Len(); n != 5 {
+		t.Fatalf("Len = %d, want 5", n)
+	}
+	for i := uint32(0); i < 5; i++ {
+		addr, n, ok, err := r.Pop()
+		if err != nil || !ok {
+			t.Fatalf("Pop %d: ok=%v err=%v", i, ok, err)
+		}
+		if addr != 0x1000+i || n != 100+i {
+			t.Errorf("Pop %d = (%#x, %d), want (%#x, %d)", i, addr, n, 0x1000+i, 100+i)
+		}
+	}
+	if _, _, ok, _ := r.Pop(); ok {
+		t.Error("Pop on empty ring reported ok")
+	}
+}
+
+func TestRingFullAndWrap(t *testing.T) {
+	_, _, r := ringSetup(t, 4)
+	// Fill, drain, refill repeatedly so the free-running indices wrap
+	// through the slot array several times.
+	for round := 0; round < 10; round++ {
+		for i := uint32(0); i < 4; i++ {
+			if err := r.Push(uint32(round)<<8|i, i); err != nil {
+				t.Fatalf("round %d push %d: %v", round, i, err)
+			}
+		}
+		if err := r.Push(0xdead, 0); !errors.Is(err, ErrRingFull) {
+			t.Fatalf("round %d: push on full ring = %v, want ErrRingFull", round, err)
+		}
+		for i := uint32(0); i < 4; i++ {
+			addr, _, ok, err := r.Pop()
+			if err != nil || !ok {
+				t.Fatalf("round %d pop %d: ok=%v err=%v", round, i, ok, err)
+			}
+			if addr != uint32(round)<<8|i {
+				t.Errorf("round %d pop %d = %#x", round, i, addr)
+			}
+		}
+	}
+}
+
+func TestRingCapacityMustBePowerOfTwo(t *testing.T) {
+	phys := NewPhysical()
+	as := NewAddressSpace("g", phys, nil)
+	as.MapRange(0, phys.AllocFrames(1, 1), 1)
+	for _, bad := range []int{0, -1, 3, 12, 100} {
+		if _, err := InitRing(as, 0, bad); err == nil {
+			t.Errorf("InitRing(capacity=%d) succeeded", bad)
+		}
+	}
+}
+
+func TestRingAttachSharedView(t *testing.T) {
+	// The producer formats the ring through one address space; the
+	// consumer attaches through a second address space mapping the same
+	// frames at a different virtual base — the guest↔hypervisor shape.
+	phys := NewPhysical()
+	guest := NewAddressSpace("guest", phys, nil)
+	hvas := NewAddressSpace("xen", phys, nil)
+	frames := phys.AllocFrames(1, 1)
+	guest.MapRange(0xB0000000, frames, 1)
+	hvas.MapRange(0xF4000000, frames, 1)
+
+	prod, err := InitRing(guest, 0xB0000000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := AttachRing(hvas, 0xF4000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cons.Cap() != 8 {
+		t.Fatalf("attached Cap = %d", cons.Cap())
+	}
+	if err := prod.Push(0x1234, 60); err != nil {
+		t.Fatal(err)
+	}
+	addr, n, ok, err := cons.Pop()
+	if err != nil || !ok || addr != 0x1234 || n != 60 {
+		t.Fatalf("consumer Pop = (%#x, %d, %v, %v)", addr, n, ok, err)
+	}
+	// And the producer observes the consumption.
+	if free, _ := prod.Free(); free != 8 {
+		t.Errorf("producer Free = %d, want 8", free)
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	_, _, r := ringSetup(t, 8)
+	for i := 0; i < 3; i++ {
+		if err := r.Push(1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := r.Len(); n != 0 {
+		t.Errorf("Len after Reset = %d", n)
+	}
+}
+
+func TestRingAttachRejectsGarbage(t *testing.T) {
+	phys := NewPhysical()
+	as := NewAddressSpace("g", phys, nil)
+	as.MapRange(0, phys.AllocFrames(1, 1), 1)
+	if err := as.Store(0, 4, 12); err != nil { // not a power of two
+		t.Fatal(err)
+	}
+	if _, err := AttachRing(as, 0); err == nil {
+		t.Error("AttachRing on garbage succeeded")
+	}
+}

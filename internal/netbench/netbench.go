@@ -37,6 +37,10 @@ type Result struct {
 	NumNICs   int
 	Packets   int
 
+	// Batch is the number of frames crossing the virtualization boundary
+	// per transition on the domU-twin path (1 = the per-packet path).
+	Batch int
+
 	// CyclesPerPacket is the measured total, Breakdown its attribution.
 	CyclesPerPacket float64
 	Breakdown       map[cycles.Component]float64
@@ -47,10 +51,11 @@ type Result struct {
 	ThroughputMbps float64
 	CPUUtil        float64
 
-	// SwitchesPerPacket and UpcallsPerPacket expose the transition rates
-	// behind the numbers.
-	SwitchesPerPacket float64
-	UpcallsPerPacket  float64
+	// SwitchesPerPacket, UpcallsPerPacket and HypercallsPerPacket expose
+	// the transition rates behind the numbers.
+	SwitchesPerPacket   float64
+	UpcallsPerPacket    float64
+	HypercallsPerPacket float64
 }
 
 // Params configures a run.
@@ -59,6 +64,7 @@ type Params struct {
 	PacketSize int // cost.MTU unless overridden
 	Warmup     int // packets before measurement (default 64)
 	Measure    int // measured packets (default 512)
+	Batch      int // frames per boundary crossing, Twin path (default 1)
 	Twin       core.TwinConfig
 
 	// FlushPerPacket flushes the hardware model before every packet,
@@ -81,6 +87,9 @@ func (p *Params) defaults() {
 	if p.Measure == 0 {
 		p.Measure = 512
 	}
+	if p.Batch == 0 {
+		p.Batch = 1
+	}
 }
 
 // Run measures one configuration in one direction.
@@ -97,29 +106,48 @@ func Run(kind netpath.Kind, dir Direction, prm Params) (*Result, error) {
 // or reuse machines).
 func Measure(p *netpath.Path, dir Direction, prm Params) (*Result, error) {
 	prm.defaults()
-	step := func(i int) error {
+	p.BatchSize = prm.Batch
+	// step moves up to prm.Batch packets; with Batch 1 it is exactly the
+	// per-packet loop (FlushPerPacket then flushes before every packet,
+	// with larger batches before every burst).
+	step := func(i, want int) error {
 		if prm.FlushPerPacket {
 			p.Meter().FlushHW()
 		}
+		var done int
+		var err error
 		if dir == TX {
-			return p.SendOne(i, prm.PacketSize)
+			done, err = p.SendBurst(i, prm.PacketSize, want)
+		} else {
+			done, err = p.ReceiveBurst(i, prm.PacketSize, want)
 		}
-		return p.ReceiveOne(i, prm.PacketSize)
+		if err == nil && done != want {
+			err = fmt.Errorf("short burst: %d of %d", done, want)
+		}
+		return err
 	}
-	for i := 0; i < prm.Warmup; i++ {
-		if err := step(i); err != nil {
-			return nil, fmt.Errorf("netbench: warmup packet %d: %w", i, err)
+	run := func(total int, phase string) error {
+		for i := 0; i < total; i += prm.Batch {
+			want := prm.Batch
+			if total-i < want {
+				want = total - i
+			}
+			if err := step(i, want); err != nil {
+				return fmt.Errorf("netbench: %s packet %d: %w", phase, i, err)
+			}
 		}
+		return nil
+	}
+	if err := run(prm.Warmup, "warmup"); err != nil {
+		return nil, err
 	}
 	p.ResetMeasurement()
 	upcalls0 := uint64(0)
 	if p.T != nil {
 		upcalls0 = p.T.UpcallsPerformed()
 	}
-	for i := 0; i < prm.Measure; i++ {
-		if err := step(i); err != nil {
-			return nil, fmt.Errorf("netbench: packet %d: %w", i, err)
-		}
+	if err := run(prm.Measure, "measure"); err != nil {
+		return nil, err
 	}
 
 	meter := p.Meter()
@@ -129,6 +157,7 @@ func Measure(p *netpath.Path, dir Direction, prm Params) (*Result, error) {
 		Direction:       dir,
 		NumNICs:         prm.NumNICs,
 		Packets:         prm.Measure,
+		Batch:           prm.Batch,
 		CyclesPerPacket: float64(meter.Total()) / n,
 		Breakdown:       make(map[cycles.Component]float64),
 	}
@@ -136,6 +165,7 @@ func Measure(p *netpath.Path, dir Direction, prm Params) (*Result, error) {
 		res.Breakdown[comp] = float64(c) / n
 	}
 	res.SwitchesPerPacket = float64(p.M.HV.Switches) / n
+	res.HypercallsPerPacket = float64(p.M.HV.Hypercalls) / n
 	if p.T != nil {
 		res.UpcallsPerPacket = float64(p.T.UpcallsPerformed()-upcalls0) / n
 	}

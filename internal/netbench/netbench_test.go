@@ -216,3 +216,56 @@ func TestPacketIntegrityAllConfigs(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchSweepMonotonic: on the Twin path, cycles/packet must be
+// monotonically non-increasing in the batch size — the whole point of
+// batching the boundary crossing — in both directions, and the batch=1
+// measurement must be identical to a run with the per-packet default.
+func TestBatchSweepMonotonic(t *testing.T) {
+	for _, dir := range []Direction{TX, RX} {
+		base, err := Run(netpath.Twin, dir, Params{NumNICs: 1, Measure: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := base
+		for _, batch := range []int{1, 2, 4, 8, 16, 32} {
+			r, err := Run(netpath.Twin, dir, Params{NumNICs: 1, Measure: 128, Batch: batch})
+			if err != nil {
+				t.Fatalf("%v batch=%d: %v", dir, batch, err)
+			}
+			if batch == 1 && r.CyclesPerPacket != base.CyclesPerPacket {
+				t.Errorf("%v: batch=1 %.2f cyc/pkt != per-packet default %.2f",
+					dir, r.CyclesPerPacket, base.CyclesPerPacket)
+			}
+			if r.CyclesPerPacket > prev.CyclesPerPacket {
+				t.Errorf("%v: batch=%d %.2f cyc/pkt > batch=%d %.2f (not monotone)",
+					dir, batch, r.CyclesPerPacket, prev.Batch, prev.CyclesPerPacket)
+			}
+			prev = r
+		}
+	}
+}
+
+// TestBatchAmortizesHypercalls: the transmit path's hypercall rate must
+// fall as 1/batch, and batch=32 must be measurably cheaper than batch=1.
+func TestBatchAmortizesHypercalls(t *testing.T) {
+	r1, err := Run(netpath.Twin, TX, Params{NumNICs: 1, Measure: 128, Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r32, err := Run(netpath.Twin, TX, Params{NumNICs: 1, Measure: 128, Batch: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.HypercallsPerPacket != 1 {
+		t.Errorf("batch=1 hypercalls/pkt = %.2f, want 1", r1.HypercallsPerPacket)
+	}
+	if r32.HypercallsPerPacket > 1.0/32+0.001 {
+		t.Errorf("batch=32 hypercalls/pkt = %.3f, want 1/32", r32.HypercallsPerPacket)
+	}
+	saved := r1.CyclesPerPacket - r32.CyclesPerPacket
+	// At minimum the amortized hypercall itself.
+	if saved < float64(cost.Hypercall)*0.9*31/32 {
+		t.Errorf("batch=32 saves only %.0f cycles/pkt over batch=1", saved)
+	}
+}

@@ -167,3 +167,104 @@ func TestMultiNICRoundRobin(t *testing.T) {
 		}
 	}
 }
+
+func TestSendBurstBatchOneMatchesPerPacket(t *testing.T) {
+	run := func(batched bool) uint64 {
+		p, err := New(Twin, 1, core.TwinConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 16; i++ {
+			if err := p.SendOne(i, 1000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.ResetMeasurement()
+		if batched {
+			p.BatchSize = 1
+			if n, err := p.SendBurst(0, 1000, 16); err != nil || n != 16 {
+				t.Fatalf("burst: n=%d err=%v", n, err)
+			}
+		} else {
+			for i := 0; i < 16; i++ {
+				if err := p.SendOne(i, 1000); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return p.Meter().Total()
+	}
+	per, burst := run(false), run(true)
+	if per != burst {
+		t.Errorf("batch-1 burst = %d cycles, per-packet = %d", burst, per)
+	}
+}
+
+func TestTwinBurstMovesAllPackets(t *testing.T) {
+	p, err := New(Twin, 1, core.TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.BatchSize = 8
+	if n, err := p.SendBurst(0, 1200, 20); err != nil || n != 20 {
+		t.Fatalf("send burst: n=%d err=%v", n, err)
+	}
+	if p.TxCount != 20 {
+		t.Errorf("TxCount = %d", p.TxCount)
+	}
+	if n, err := p.ReceiveBurst(0, 1200, 20); err != nil || n != 20 {
+		t.Fatalf("receive burst: n=%d err=%v", n, err)
+	}
+	if p.RxCount != 20 {
+		t.Errorf("RxCount = %d", p.RxCount)
+	}
+}
+
+func TestTwinBurstCheaperPerPacket(t *testing.T) {
+	measure := func(batch int) (tx, rx float64) {
+		p, err := New(Twin, 1, core.TwinConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.BatchSize = batch
+		const n = 64
+		if _, err := p.SendBurst(0, 1000, n); err != nil {
+			t.Fatal(err)
+		}
+		p.ResetMeasurement()
+		if _, err := p.SendBurst(0, 1000, n); err != nil {
+			t.Fatal(err)
+		}
+		tx = float64(p.Meter().Total()) / n
+		p.ResetMeasurement()
+		if _, err := p.ReceiveBurst(0, 1000, n); err != nil {
+			t.Fatal(err)
+		}
+		rx = float64(p.Meter().Total()) / n
+		return tx, rx
+	}
+	tx1, rx1 := measure(1)
+	tx32, rx32 := measure(32)
+	if tx32 >= tx1 {
+		t.Errorf("tx batch=32 %.0f cyc/pkt, batch=1 %.0f: no amortization", tx32, tx1)
+	}
+	if rx32 >= rx1 {
+		t.Errorf("rx batch=32 %.0f cyc/pkt, batch=1 %.0f: no amortization", rx32, rx1)
+	}
+}
+
+func TestNonTwinKindsIgnoreBatchSize(t *testing.T) {
+	for _, kind := range []Kind{Linux, Dom0, DomU} {
+		p, err := New(kind, 1, core.TwinConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.BatchSize = 16
+		if n, err := p.SendBurst(0, 800, 4); err != nil || n != 4 {
+			t.Fatalf("%s: n=%d err=%v", kind, n, err)
+		}
+		if p.TxCount != 4 {
+			t.Errorf("%s: TxCount = %d", kind, p.TxCount)
+		}
+	}
+}

@@ -49,6 +49,23 @@ func Breakdown(w io.Writer, title string, results []*netbench.Result, paper map[
 	fmt.Fprintln(w)
 }
 
+// BatchSweep renders the batched-hypercall sweep: domU-twin cycles/packet
+// (with the four-bucket attribution) and transition rates as a function of
+// the batch size.
+func BatchSweep(w io.Writer, title string, results []*netbench.Result) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%6s %9s %8s %8s %8s %8s %8s %8s %14s\n",
+		"batch", "cyc/pkt", "dom0", "domU", "Xen", "e1000", "hc/pkt", "sw/pkt", "throughput")
+	for _, r := range results {
+		fmt.Fprintf(w, "%6d %9.0f %8.0f %8.0f %8.0f %8.0f %8.2f %8.2f %9.0f Mb/s\n",
+			r.Batch, r.CyclesPerPacket,
+			r.Breakdown[cycles.CompDom0], r.Breakdown[cycles.CompDomU],
+			r.Breakdown[cycles.CompXen], r.Breakdown[cycles.CompDriver],
+			r.HypercallsPerPacket, r.SwitchesPerPacket, r.ThroughputMbps)
+	}
+	fmt.Fprintln(w)
+}
+
 // UpcallSweep renders Figure 10: transmit throughput as a function of the
 // number of upcalls per driver invocation.
 func UpcallSweep(w io.Writer, results []*netbench.Result) {

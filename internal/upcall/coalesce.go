@@ -1,0 +1,63 @@
+package upcall
+
+import (
+	"twindrivers/internal/xen"
+)
+
+// Coalescer batches virtual-interrupt notifications across a window. The
+// per-packet path notifies a domain (event-channel send + virtual interrupt
+// delivery) once per frame; under batched I/O one notification per batch is
+// enough — the guest's interrupt handler drains everything that arrived.
+// While a window is open, the first Deliver to a domain performs the real
+// notification and later ones are absorbed; with no window open Deliver is
+// exactly the per-packet notification, so batch-size-1 behaviour is
+// unchanged.
+type Coalescer struct {
+	HV *xen.Hypervisor
+
+	// Delivered counts notifications actually performed; Coalesced counts
+	// notifications absorbed by an open window.
+	Delivered uint64
+	Coalesced uint64
+
+	depth     int
+	signalled map[*xen.Domain]bool
+}
+
+// NewCoalescer returns a coalescer with no window open.
+func NewCoalescer(hv *xen.Hypervisor) *Coalescer {
+	return &Coalescer{HV: hv, signalled: make(map[*xen.Domain]bool)}
+}
+
+// Begin opens a coalescing window. Windows nest: the outermost Begin/End
+// pair delimits the batch.
+func (c *Coalescer) Begin() {
+	if c.depth == 0 {
+		for d := range c.signalled {
+			delete(c.signalled, d)
+		}
+	}
+	c.depth++
+}
+
+// End closes the innermost window.
+func (c *Coalescer) End() {
+	if c.depth > 0 {
+		c.depth--
+	}
+}
+
+// Deliver notifies a domain: event-channel send plus virtual interrupt
+// delivery, at most once per domain per window.
+func (c *Coalescer) Deliver(d *xen.Domain) {
+	if c.depth > 0 {
+		if c.signalled[d] {
+			c.Coalesced++
+			return
+		}
+		c.signalled[d] = true
+	}
+	c.Delivered++
+	c.HV.SendEvent(d)
+	c.HV.DeliverVirtIRQ(d)
+}

@@ -32,6 +32,12 @@ type Manager struct {
 
 	// PerName tallies upcalls by routine name.
 	PerName map[string]uint64
+
+	// Coalesce, when non-nil, batches the virtual-interrupt deliveries of
+	// consecutive upcalls inside an open window (one notification per
+	// batch, not per upcall). Nil or no open window reproduces the
+	// per-upcall delivery exactly.
+	Coalesce *Coalescer
 }
 
 // New returns a manager targeting dom0.
@@ -56,8 +62,12 @@ func (m *Manager) MakeStub(name string, invoke func(c *cpu.CPU) (uint32, error))
 		m.HV.Switch(m.Dom0)
 
 		// Virtual interrupt delivery + dom0 handler prologue.
-		m.HV.SendEvent(m.Dom0)
-		m.HV.DeliverVirtIRQ(m.Dom0)
+		if m.Coalesce != nil {
+			m.Coalesce.Deliver(m.Dom0)
+		} else {
+			m.HV.SendEvent(m.Dom0)
+			m.HV.DeliverVirtIRQ(m.Dom0)
+		}
 		meter.AddTo(cycles.CompDom0, cost.UpcallHandler)
 
 		// The support routine itself executes in dom0 (its own cycle price
