@@ -171,6 +171,36 @@ func BenchmarkBatchSweep(b *testing.B) {
 	}
 }
 
+// --- Multi-guest sweep: per-guest rings + round-robin service ----------------
+
+// BenchmarkMultiGuestSweep measures the domU-twin path at 1/2/4/8 guests in
+// both directions (single NIC): every guest owns a transmit ring, one
+// boundary crossing services all rings round-robin, and the per-guest
+// cycles/packet stays flat while hypercalls/packet falls with the fan-out.
+func BenchmarkMultiGuestSweep(b *testing.B) {
+	for _, dir := range []netbench.Direction{netbench.TX, netbench.RX} {
+		for _, guests := range twindrivers.MultiGuestCounts() {
+			dir, guests := dir, guests
+			b.Run(dir.String()+"/guests-"+strconv.Itoa(guests), func(b *testing.B) {
+				var last *netbench.MultiGuestResult
+				for i := 0; i < b.N; i++ {
+					r, err := netbench.RunMultiGuest(dir, guests, netbench.Params{
+						NumNICs: 1, Measure: 128, Batch: twindrivers.MultiGuestBatch,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = r
+				}
+				b.ReportMetric(last.CyclesPerPacket, "cycles/pkt")
+				b.ReportMetric(last.PerGuest[0].CyclesPerPacket, "guest-cycles/pkt")
+				b.ReportMetric(last.HypercallsPerPacket, "hc/pkt")
+				b.ReportMetric(last.SwitchesPerPacket, "sw/pkt")
+			})
+		}
+	}
+}
+
 // --- Table 1: fast-path support routine trace -------------------------------
 
 func BenchmarkTable1FastPathRoutines(b *testing.B) {
@@ -326,7 +356,7 @@ func BenchmarkAssembleDriver(b *testing.B) {
 // BenchmarkTwinTransmit measures one guest transmit through the derived
 // driver (the simulator's hot loop).
 func BenchmarkTwinTransmit(b *testing.B) {
-	m, tw, err := core.NewTwinMachine(1, core.TwinConfig{})
+	m, tw, err := core.NewTwinMachine(1, 1, core.TwinConfig{})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment id (table1, fig5..fig10, batch, effort, all)")
+	experiment := flag.String("experiment", "all", "experiment id (table1, fig5..fig10, batch, multiguest, effort, all)")
 	quick := flag.Bool("quick", false, "fewer packets per measurement")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()

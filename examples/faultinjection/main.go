@@ -31,7 +31,7 @@ type twin = twindrivers.Twin
 
 func scenario(name string, corrupt func(m *machine, d *nicdev) error,
 	trigger func(tw *twin, m *machine, d *nicdev) error) {
-	m, tw, err := twindrivers.NewTwinMachine(1, twindrivers.TwinConfig{Watchdog: 200_000})
+	m, tw, err := twindrivers.NewTwinMachine(1, 1, twindrivers.TwinConfig{Watchdog: 200_000})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func main() {
 	// DMA attack vs IOMMU: a malicious descriptor aims DMA at hypervisor
 	// frames. Without an IOMMU this is the residual hole the paper
 	// acknowledges; with one, the transfer is blocked.
-	m, tw, err := twindrivers.NewTwinMachine(1, twindrivers.TwinConfig{})
+	m, tw, err := twindrivers.NewTwinMachine(1, 1, twindrivers.TwinConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}

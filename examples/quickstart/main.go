@@ -23,7 +23,7 @@ func main() {
 
 	// 2. A full twinned machine: the VM instance initialises the NIC in
 	// dom0; the derived instance handles the fast path in the hypervisor.
-	m, tw, err := twindrivers.NewTwinMachine(1, twindrivers.TwinConfig{})
+	m, tw, err := twindrivers.NewTwinMachine(1, 1, twindrivers.TwinConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -156,6 +156,46 @@ func runBatchSweep(w io.Writer, quick bool) error {
 	return nil
 }
 
+// MultiGuestCounts is the guest-count sweep of the multiguest experiment:
+// 1 guest is the baseline every figure uses; the larger counts share the
+// NIC through per-guest transmit rings drained round-robin under one
+// boundary crossing per service round.
+func MultiGuestCounts() []int { return []int{1, 2, 4, 8} }
+
+// MultiGuestBatch is the per-guest frames-per-round of the sweep, sized so
+// eight guests' receive rounds still fit the NIC's descriptor ring.
+const MultiGuestBatch = 16
+
+// runMultiGuestSweep measures the domU-twin path at each guest count in
+// both directions (single NIC): the headline is that the per-guest
+// cycles/packet stays essentially flat as guests multiply, because the
+// ring-service fan-out amortizes the boundary crossing across guests.
+func runMultiGuestSweep(w io.Writer, quick bool) error {
+	perGuestPackets := packets(quick) / 2
+	for _, dir := range []netbench.Direction{netbench.TX, netbench.RX} {
+		var results []*netbench.MultiGuestResult
+		for _, g := range MultiGuestCounts() {
+			r, err := netbench.RunMultiGuest(dir, g, netbench.Params{
+				NumNICs: 1, Measure: perGuestPackets, Batch: MultiGuestBatch,
+			})
+			if err != nil {
+				return fmt.Errorf("multiguest guests=%d %s: %w", g, dir, err)
+			}
+			results = append(results, r)
+		}
+		report.MultiGuestSweep(w, fmt.Sprintf("Multi-guest sweep: domU-twin %s cycles/packet vs guest count", dir), results)
+		single, four := results[0], results[2]
+		fmt.Fprintf(w, "per-guest cycles/packet at 4 guests: %.0f vs %.0f single-guest (%+.1f%%)\n\n",
+			four.PerGuest[0].CyclesPerPacket, single.CyclesPerPacket,
+			100*(four.PerGuest[0].CyclesPerPacket-single.CyclesPerPacket)/single.CyclesPerPacket)
+	}
+	fmt.Fprintf(w, "each guest stages %d-frame bursts in its own transmit ring; one\n", MultiGuestBatch)
+	fmt.Fprintf(w, "ServiceRings crossing drains all guests round-robin, so the hypercall\n")
+	fmt.Fprintf(w, "amortizes across guests (hc/pkt falls as 1/guests) and per-guest cost\n")
+	fmt.Fprintf(w, "stays flat — the fan-out the paper's in-context execution enables.\n\n")
+	return nil
+}
+
 func runFig9(w io.Writer, quick bool) error {
 	prm := webbench.Params{}
 	if quick {
@@ -180,7 +220,7 @@ func runTable1(w io.Writer, quick bool) error {
 }
 
 func runEffort(w io.Writer, _ bool) error {
-	_, tw, err := core.NewTwinMachine(1, core.TwinConfig{})
+	_, tw, err := core.NewTwinMachine(1, 1, core.TwinConfig{})
 	if err != nil {
 		return err
 	}
@@ -215,6 +255,7 @@ func Experiments() []Experiment {
 		{"fig9", "Figure 9: web server workload", runFig9},
 		{"fig10", "Figure 10: cost of upcalls", runFig10},
 		{"batch", "Batch sweep: batched hypercall I/O (beyond the paper)", runBatchSweep},
+		{"multiguest", "Multi-guest sweep: per-guest rings + round-robin service (beyond the paper)", runMultiGuestSweep},
 		{"effort", "Section 6.5: engineering effort", runEffort},
 	}
 }

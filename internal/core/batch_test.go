@@ -16,7 +16,7 @@ func batchFrames(d *NICDev, n, size int) [][]byte {
 }
 
 func TestBatchTransmitDeliversAllFramesInOrder(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestBatchTransmitDeliversAllFramesInOrder(t *testing.T) {
 // per-packet GuestTransmit, so all existing per-packet results stay valid.
 func TestBatchOfOneIsCycleIdentical(t *testing.T) {
 	run := func(batched bool) (total uint64, perComp string, hypercalls, events uint64) {
-		m, tw, err := NewTwinMachine(1, TwinConfig{})
+		m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +88,7 @@ func TestBatchOfOneIsCycleIdentical(t *testing.T) {
 }
 
 func TestBatchLargerThanRingIsChunked(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestBatchLargerThanRingIsChunked(t *testing.T) {
 }
 
 func TestBatchRejectsOversizedFrame(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestBatchRejectsOversizedFrame(t *testing.T) {
 }
 
 func TestBatchPartialOnPoolExhaustion(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,13 +158,13 @@ func TestBatchPartialOnPoolExhaustion(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		tw.poolPut(m.K.AllocSkb(0))
 	}
-	if ln, _ := tw.txRing.Len(); ln != 0 {
+	if ln, _ := tw.guestIO[m.DomU.ID].ring.Len(); ln != 0 {
 		t.Fatalf("ring still holds %d stale descriptors", ln)
 	}
 }
 
 func TestBatchReceiveSingleIRQDrainsAll(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestBatchReceiveSingleIRQDrainsAll(t *testing.T) {
 }
 
 func TestDeliverPendingBatchBoundsTheBatch(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestDeliverPendingBatchBoundsTheBatch(t *testing.T) {
 }
 
 func TestBatchCoalescesNotificationsInsideWindow(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +277,7 @@ func TestBatchUpcallIRQCoalescing(t *testing.T) {
 			sup = append(sup, n)
 		}
 	}
-	m, tw, err := NewTwinMachine(1, TwinConfig{HvSupport: sup})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{HvSupport: sup})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -272,7 +272,7 @@ func TestNativeClose(t *testing.T) {
 // --- Twin machine: derived driver in the hypervisor ----------------------
 
 func TestTwinBringup(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestTwinBringup(t *testing.T) {
 }
 
 func TestTwinGuestTransmit(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +330,7 @@ func TestTwinGuestTransmit(t *testing.T) {
 }
 
 func TestTwinGuestTransmitMany(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +350,7 @@ func TestTwinGuestTransmitMany(t *testing.T) {
 }
 
 func TestTwinReceive(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +381,7 @@ func TestTwinReceive(t *testing.T) {
 }
 
 func TestTwinReceiveBurst(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +412,7 @@ func TestTwinSharedDataBothInstances(t *testing.T) {
 	// The two instances share one copy of driver data: transmit stats
 	// accumulated by the hypervisor instance are visible to the VM
 	// instance's get_stats entry point running in dom0.
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -448,7 +448,7 @@ func TestTwinUpcalls(t *testing.T) {
 			sup = append(sup, s)
 		}
 	}
-	m, tw, err := NewTwinMachine(1, TwinConfig{HvSupport: sup})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{HvSupport: sup})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -481,7 +481,7 @@ func TestTwinContainmentWildWrite(t *testing.T) {
 	// Corrupt the shared adapter state so the hypervisor driver
 	// dereferences a hypervisor address: SVM must abort it; dom0 and the
 	// VM instance survive.
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -517,7 +517,7 @@ func TestTwinWatchdogTimeout(t *testing.T) {
 	// instruction budget (§4.5.2 / VINO-style containment). Simulate by
 	// corrupting the TX ring state so clean_tx spins... simpler: set an
 	// absurdly low budget so a normal invocation trips it.
-	m, tw, err := NewTwinMachine(1, TwinConfig{Watchdog: 50})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{Watchdog: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -537,7 +537,7 @@ func TestTwinTable1FastPathSet(t *testing.T) {
 	// With the full Table-1 set implemented, error-free TX+RX make zero
 	// upcalls, and every routine the driver touches on the fast path is
 	// one of the ten.
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -579,7 +579,7 @@ func TestTwinTable1FastPathSet(t *testing.T) {
 }
 
 func TestTwinVirtIRQMaskDefersIntr(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -635,7 +635,7 @@ func TestTwinRewrittenDriverSlowdown(t *testing.T) {
 	nativeDrv := mn.CPU.Meter.Get("e1000") / reps
 
 	// Twin driver cycles for one TX.
-	mt, tw, err := NewTwinMachine(1, TwinConfig{})
+	mt, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -667,7 +667,7 @@ func TestTwinSmallStlbStillCorrect(t *testing.T) {
 	// shares a slot with the adapter page) but must stay correct: the
 	// chain backing store refills evicted entries.
 	run := func(entries int) (*Twin, [][]byte) {
-		m, tw, err := NewTwinMachine(1, TwinConfig{STLBEntries: entries})
+		m, tw, err := NewTwinMachine(1, 1, TwinConfig{STLBEntries: entries})
 		if err != nil {
 			t.Fatal(err)
 		}

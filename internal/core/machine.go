@@ -27,14 +27,19 @@ type NICDev struct {
 }
 
 // Machine is a complete simulated host: hypervisor, dom0 (with kernel and
-// the VM driver instance), one guest domain, and NICs. All four measured
-// configurations of the paper are built over this type.
+// the VM driver instance), one or more guest domains, and NICs. All four
+// measured configurations of the paper are built over this type.
 type Machine struct {
 	HV   *xen.Hypervisor
 	Dom0 *xen.Domain
-	DomU *xen.Domain
+	DomU *xen.Domain // the first guest, Guests[0]
 	K    *kernel.Kernel
 	CPU  *cpu.CPU
+
+	// Guests lists every guest domain, in creation order. Each guest gets
+	// a disjoint kernel heap region (xen.GuestHeapStride apart) so any
+	// guest virtual address resolves to exactly one owning domain.
+	Guests []*xen.Domain
 
 	Devs []*NICDev
 
@@ -47,15 +52,30 @@ type Machine struct {
 	dom0StackTop uint32
 }
 
-// newBase builds the host without any driver loaded: hypervisor, domains,
-// kernel, dom0 stack and NIC hardware.
-func newBase(nNICs int) (*Machine, error) {
+// newBase builds the host without any driver loaded: hypervisor, domains
+// (dom0 plus nGuests guest domains), kernel, dom0 stack and NIC hardware.
+func newBase(nNICs, nGuests int) (*Machine, error) {
+	if nGuests < 1 {
+		nGuests = 1
+	}
+	if nGuests > xen.MaxGuests {
+		return nil, fmt.Errorf("core: %d guests exceed the %d-guest heap layout", nGuests, xen.MaxGuests)
+	}
 	hv := xen.New()
 	dom0 := hv.CreateDomain(mem.OwnerDom0, "dom0")
-	domU := hv.CreateDomain(1, "domU")
+	m := &Machine{HV: hv, Dom0: dom0, CPU: hv.CPU}
+	for i := 0; i < nGuests; i++ {
+		name := "domU"
+		if i > 0 {
+			name = fmt.Sprintf("domU%d", i+1)
+		}
+		g := hv.CreateDomain(mem.Owner(1+i), name)
+		g.HeapBase = xen.GuestKernelBase + uint32(i)*xen.GuestHeapStride
+		m.Guests = append(m.Guests, g)
+	}
+	m.DomU = m.Guests[0]
 	k := kernel.New(hv, dom0)
-
-	m := &Machine{HV: hv, Dom0: dom0, DomU: domU, K: k, CPU: hv.CPU}
+	m.K = k
 
 	// dom0 kernel stack for driver execution.
 	stack := k.Alloc(16 * mem.PageSize)
@@ -99,7 +119,7 @@ func (m *Machine) probeAll() error {
 // NewMachine builds a host with n NICs and the *original* driver loaded and
 // initialised in dom0 — the "native Linux" and "dom0" configurations.
 func NewMachine(nNICs int) (*Machine, error) {
-	m, err := newBase(nNICs)
+	m, err := newBase(nNICs, 1)
 	if err != nil {
 		return nil, err
 	}

@@ -25,7 +25,7 @@ const (
 // transmit must then fail its trylock and report busy — on the SAME lock
 // word in dom0 memory.
 func TestSynchronizationSharedSpinlock(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestVMInstanceRunsALittleSlower(t *testing.T) {
 	}
 	native := measure(orig)
 
-	tm, _, err := NewTwinMachine(1, TwinConfig{})
+	tm, _, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestVMInstanceRunsALittleSlower(t *testing.T) {
 // their destination MAC (§5.3: "demultiplexes the received packets based
 // on the destination MAC address").
 func TestMultiGuestDemux(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestMultiGuestDemux(t *testing.T) {
 // TestPoolExhaustionIsTransient: draining the hypervisor's preallocated
 // buffer pool produces ErrTxBusy, not corruption; completions replenish.
 func TestPoolExhaustionIsTransient(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{PoolSize: 8})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{PoolSize: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestPoolExhaustionIsTransient(t *testing.T) {
 // virtual memory"; our window is larger but finite. A receive burst that
 // touches many distinct pool buffers stays within it.
 func TestMapWindowCoversWorkload(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestMapWindowCoversWorkload(t *testing.T) {
 // dom0 against the shared data while the hypervisor instance does I/O
 // (§3.1: "avoids the need to port existing user-space tools").
 func TestManagementOpsViaVMInstance(t *testing.T) {
-	m, tw, err := NewTwinMachine(1, TwinConfig{})
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

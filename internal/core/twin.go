@@ -110,12 +110,11 @@ type Twin struct {
 	rxQueues   map[mem.Owner][]uint32
 	macToDom   map[[6]byte]mem.Owner
 	pendingIRQ []*NICDev // deferred while dom0 masks virtual interrupts
-	guestTxBuf uint32    // guest-side bounce buffer for GuestTransmit
 
-	// Batched I/O state: the shared guest↔hypervisor transmit descriptor
-	// ring and its per-slot guest staging buffers (see twinbatch.go).
-	txRing  *mem.Ring
-	txSlots []uint32
+	// guestIO holds each guest's transmit-side I/O state, keyed by the
+	// owning domain; guestOrder fixes the round-robin service order.
+	guestIO    map[mem.Owner]*guestIO
+	guestOrder []mem.Owner
 
 	// Coalescer batches guest notifications and upcall IRQ deliveries to
 	// one per batch window; outside a window it degenerates to the
@@ -123,11 +122,26 @@ type Twin struct {
 	Coalescer *upcall.Coalescer
 }
 
+// guestIO is one guest's transmit-side I/O state: the bounce buffer the
+// per-packet hypercall path stages frames in, and the guest's own shared
+// transmit descriptor ring with its per-slot staging buffers for the
+// batched path (see twinbatch.go). Every guest gets its own instance so N
+// guests can stage concurrently and the ring-service loop can drain them
+// round-robin under one boundary crossing.
+type guestIO struct {
+	dom    *xen.Domain
+	bounce uint32 // guest-side bounce buffer for GuestTransmit
+	ring   *mem.Ring
+	slots  []uint32 // per-slot guest staging buffers
+}
+
 // NewTwinMachine builds a machine whose driver is twinned from the start:
 // the same rewritten binary serves as the VM instance in dom0 (identity
 // stlb) and as the hypervisor instance (translating stlb) — §5.1.2.
-func NewTwinMachine(nNICs int, cfg TwinConfig) (*Machine, *Twin, error) {
-	m, err := newBase(nNICs)
+// nGuests guest domains share the NIC through the derived driver; each
+// gets its own transmit ring, staging slots and bounce buffer.
+func NewTwinMachine(nNICs, nGuests int, cfg TwinConfig) (*Machine, *Twin, error) {
+	m, err := newBase(nNICs, nGuests)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -344,27 +358,44 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 		t.pool = append(t.pool, skb)
 	}
 
-	// Default guest routing: every NIC MAC delivers to domU.
+	// Default guest routing: every NIC MAC delivers to the first guest.
 	for _, d := range m.Devs {
 		t.macToDom[d.NIC.MAC] = m.DomU.ID
 	}
-	// Guest-side transmit buffer (stands in for the guest's own packet
-	// pages; the paravirtual driver hands their addresses down).
-	t.guestTxBuf = hv.AllocHeap(m.DomU, 2*mem.PageSize)
 
-	// Batched-path state: guest notifications and upcall IRQs coalesce to
-	// one per batch window; the shared transmit ring and its staging
-	// buffers carry whole batches across the boundary per hypercall.
+	// Per-guest I/O state: guest notifications and upcall IRQs coalesce to
+	// one per batch window; each guest's transmit ring and staging buffers
+	// carry whole batches across the boundary per crossing.
 	t.Coalescer = upcall.NewCoalescer(hv)
 	t.Upcalls.Coalesce = t.Coalescer
-	ringBase := hv.AllocHeap(m.DomU, mem.RingBytes(TxRingSlots))
-	if t.txRing, err = mem.InitRing(m.DomU.AS, ringBase, TxRingSlots); err != nil {
-		return nil, err
-	}
-	for i := 0; i < TxRingSlots; i++ {
-		t.txSlots = append(t.txSlots, hv.AllocHeap(m.DomU, TxSlotBytes))
+	t.guestIO = make(map[mem.Owner]*guestIO)
+	for _, g := range m.Guests {
+		io := &guestIO{dom: g}
+		// Guest-side transmit bounce buffer (stands in for the guest's own
+		// packet pages; the paravirtual driver hands their addresses down).
+		io.bounce = hv.AllocHeap(g, 2*mem.PageSize)
+		ringBase := hv.AllocHeap(g, mem.RingBytes(TxRingSlots))
+		if io.ring, err = mem.InitRing(g.AS, ringBase, TxRingSlots); err != nil {
+			return nil, err
+		}
+		for i := 0; i < TxRingSlots; i++ {
+			io.slots = append(io.slots, hv.AllocHeap(g, TxSlotBytes))
+		}
+		t.guestIO[g.ID] = io
+		t.guestOrder = append(t.guestOrder, g.ID)
 	}
 	return t, nil
+}
+
+// ioCurrent resolves the guest I/O state of the domain currently running —
+// the derived driver executes "in whatever guest context is current" — and
+// falls back to the first guest when the current domain is not a guest
+// (dom0 issuing a transmit on a guest's behalf).
+func (t *Twin) ioCurrent() *guestIO {
+	if g, ok := t.guestIO[t.M.HV.Current.ID]; ok {
+		return g
+	}
+	return t.guestIO[t.M.DomU.ID]
 }
 
 // RegisterGuestMAC routes received packets with the given destination MAC
@@ -449,30 +480,33 @@ func (t *Twin) GuestTransmit(d *NICDev, frame []byte) error {
 	if t.Dead {
 		return ErrDriverDead
 	}
+	g := t.ioCurrent()
 	// Stage the packet in guest memory (the guest stack's copy is priced
 	// by the caller as part of its kernel path).
-	if err := t.M.DomU.AS.WriteBytes(t.guestTxBuf, frame); err != nil {
+	if err := g.dom.AS.WriteBytes(g.bounce, frame); err != nil {
 		return err
 	}
-	return t.GuestTransmitAt(d, t.guestTxBuf, len(frame))
+	return t.GuestTransmitAt(d, g.bounce, len(frame))
 }
 
-// GuestTransmitAt transmits n bytes already staged at a guest virtual
-// address.
+// GuestTransmitAt transmits n bytes already staged at a virtual address of
+// the current guest.
 func (t *Twin) GuestTransmitAt(d *NICDev, guestAddr uint32, n int) error {
 	if t.Dead {
 		return ErrDriverDead
 	}
 	t.M.HV.ChargeHypercall()
-	return t.xmitOne(d, guestAddr, n)
+	return t.xmitOne(d, t.ioCurrent().dom.AS, guestAddr, n)
 }
 
 // xmitOne is the hypervisor-side transmit work for one staged frame: header
-// copy into a pooled dom0 sk_buff, guest pages chained for the body, one
-// derived-driver invocation. The boundary crossing itself (the hypercall
-// charge) is the caller's — per frame on the hypercall path, per batch on
-// the ring path.
-func (t *Twin) xmitOne(d *NICDev, guestAddr uint32, n int) error {
+// copy from gas (the staging guest's address space) into a pooled dom0
+// sk_buff, guest pages chained for the body, one derived-driver invocation.
+// The boundary crossing itself (the hypercall charge) is the caller's — per
+// frame on the hypercall path, per batch on the ring path. Every non-fatal
+// exit returns the pooled skb; only a containment abort (the instance is
+// dead, the pool with it) leaves it out.
+func (t *Twin) xmitOne(d *NICDev, gas *mem.AddressSpace, guestAddr uint32, n int) error {
 	hv := t.M.HV
 	skb, ok := t.poolGet()
 	if !ok {
@@ -490,11 +524,13 @@ func (t *Twin) xmitOne(d *NICDev, guestAddr uint32, n int) error {
 	head, _ := as.Load(skb+kernel.SkbHead, 4)
 	ta, err := t.SV.Translate(meter, head)
 	if err != nil {
+		t.poolPut(skb)
 		return err
 	}
 	meter.AddTo(cycles.CompXen, uint64(hdr)*cost.HvCopyPerByte)
 	meter.TouchLines(ta, hdr)
-	if err := mem.Copy(hv.HVSpace, ta, t.M.DomU.AS, guestAddr, hdr); err != nil {
+	if err := mem.Copy(hv.HVSpace, ta, gas, guestAddr, hdr); err != nil {
+		t.poolPut(skb)
 		return err
 	}
 	as.Store(skb+kernel.SkbLen, 4, uint32(n))
@@ -578,7 +614,7 @@ func (t *Twin) DeliverPendingBatch(dom *xen.Domain, max int) ([][]byte, error) {
 	}
 	meter := t.M.HV.Meter
 	var out [][]byte
-	for _, skb := range q {
+	for i, skb := range q {
 		as := t.M.Dom0.AS
 		data, _ := as.Load(skb+kernel.SkbData, 4)
 		ln, _ := as.Load(skb+kernel.SkbLen, 4)
@@ -588,12 +624,14 @@ func (t *Twin) DeliverPendingBatch(dom *xen.Domain, max int) ([][]byte, error) {
 		total := int(ln) + 14
 		ta, err := t.SV.Translate(meter, start)
 		if err != nil {
+			t.dropDequeued(q[i:])
 			return nil, err
 		}
 		meter.AddTo(cycles.CompXen, uint64(total)*cost.HvCopyPerByte)
 		meter.TouchLines(ta, total)
 		pkt, err := t.M.Dom0.AS.ReadBytes(start, total)
 		if err != nil {
+			t.dropDequeued(q[i:])
 			return nil, err
 		}
 		out = append(out, pkt)
@@ -601,6 +639,16 @@ func (t *Twin) DeliverPendingBatch(dom *xen.Domain, max int) ([][]byte, error) {
 	}
 	t.Coalescer.Deliver(dom)
 	return out, nil
+}
+
+// dropDequeued frees sk_buffs that were dequeued for delivery but cannot
+// reach the guest (a mid-batch fault): the packets are lost — as dropped
+// packets are — but the buffers must go back to the pool or slab, or every
+// aborted batch would permanently shrink transmit capacity.
+func (t *Twin) dropDequeued(skbs []uint32) {
+	for _, skb := range skbs {
+		t.poolFreeOrKernel(skb)
+	}
 }
 
 // poolFreeOrKernel returns an skb to the hypervisor pool or to the dom0

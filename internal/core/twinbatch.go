@@ -2,22 +2,31 @@ package core
 
 import (
 	"fmt"
+
+	"twindrivers/internal/mem"
+	"twindrivers/internal/xen"
 )
 
 // Batched guest I/O (the batched-hypercall path). The per-packet
-// GuestTransmit pays one guest→hypervisor transition per frame; here the
-// guest stages up to TxRingSlots frames in the shared descriptor ring and
+// GuestTransmit pays one guest→hypervisor transition per frame; here a
+// guest stages up to TxRingSlots frames in its shared descriptor ring and
 // crosses the boundary once per batch, so the hypercall's transition cost
 // amortizes over the batch. Everything after the boundary — header copy,
 // fragment chaining, the derived-driver invocation — is byte-for-byte the
 // per-packet path (xmitOne), which is what keeps a batch of one
 // cycle-identical to GuestTransmit.
+//
+// With several guests sharing the NIC, each guest owns a private ring (its
+// guestIO): guests stage independently with StageTransmitBatch, and a
+// single ServiceRings crossing drains every ring round-robin, so the
+// boundary cost amortizes across guests as well as across frames, and a
+// guest with a deep backlog cannot starve the others.
 
 // Transmit-ring geometry.
 const (
-	// TxRingSlots is the descriptor-ring capacity: the largest batch that
-	// crosses the boundary in one hypercall. Larger requests are chunked
-	// into ring-sized batches transparently.
+	// TxRingSlots is the per-guest descriptor-ring capacity: the largest
+	// batch one guest carries across the boundary in one hypercall. Larger
+	// requests are chunked into ring-sized batches transparently.
 	TxRingSlots = 32
 
 	// TxSlotBytes sizes each guest staging buffer (one MTU frame plus
@@ -25,14 +34,14 @@ const (
 	TxSlotBytes = 2048
 )
 
-// GuestTransmitBatch sends a batch of guest packets through the hypervisor
-// driver with one hypercall per ring-full of frames: the frames are staged
-// in guest memory, their descriptors published on the shared ring, and the
-// hypervisor drains the ring inside a single boundary crossing. It returns
-// the number of frames transmitted; on error (including ErrTxBusy when the
-// buffer pool or device ring fills mid-batch) the remaining staged
-// descriptors are discarded, exactly as a real batched hypercall reports a
-// short completion count.
+// GuestTransmitBatch sends a batch of the current guest's packets through
+// the hypervisor driver with one hypercall per ring-full of frames: the
+// frames are staged in guest memory, their descriptors published on the
+// guest's ring, and the hypervisor drains the ring inside a single
+// boundary crossing. It returns the number of frames transmitted; on error
+// (including ErrTxBusy when the buffer pool or device ring fills
+// mid-batch) the remaining staged descriptors are discarded, exactly as a
+// real batched hypercall reports a short completion count.
 func (t *Twin) GuestTransmitBatch(d *NICDev, frames [][]byte) (int, error) {
 	if t.Dead {
 		return 0, ErrDriverDead
@@ -42,6 +51,7 @@ func (t *Twin) GuestTransmitBatch(d *NICDev, frames [][]byte) (int, error) {
 			return 0, fmt.Errorf("core: frame of %d bytes exceeds the %d-byte staging slot", len(f), TxSlotBytes)
 		}
 	}
+	g := t.ioCurrent()
 	t.Coalescer.Begin()
 	defer t.Coalescer.End()
 
@@ -54,14 +64,30 @@ func (t *Twin) GuestTransmitBatch(d *NICDev, frames [][]byte) (int, error) {
 		// Guest side: stage each frame and publish its descriptor. The
 		// staging copy stands in for the guest's own packet pages, as in
 		// GuestTransmit; its cycle price is part of the caller's kernel
-		// path.
-		for i, f := range chunk {
-			if err := t.M.DomU.AS.WriteBytes(t.txSlots[i], f); err != nil {
-				_ = t.txRing.Reset() // best-effort: the staging error is the one to report
+		// path. Capacity is checked BEFORE the slot write: on a full ring
+		// the producer slot still backs an unconsumed descriptor (e.g.
+		// left staged by a budgeted ServiceRings), and writing first would
+		// silently corrupt that frame.
+		for _, f := range chunk {
+			free, err := g.ring.Free()
+			if err != nil {
+				_ = g.ring.Reset() // best-effort: the staging error is the one to report
 				return sent, err
 			}
-			if err := t.txRing.Push(t.txSlots[i], uint32(len(f))); err != nil {
-				_ = t.txRing.Reset() // best-effort: the staging error is the one to report
+			if free == 0 {
+				break // drain below, stage the rest next round
+			}
+			slot, err := g.ring.ProducerSlot()
+			if err != nil {
+				_ = g.ring.Reset()
+				return sent, err
+			}
+			if err := g.dom.AS.WriteBytes(g.slots[slot], f); err != nil {
+				_ = g.ring.Reset()
+				return sent, err
+			}
+			if err := g.ring.Push(g.slots[slot], uint32(len(f))); err != nil {
+				_ = g.ring.Reset()
 				return sent, err
 			}
 		}
@@ -69,15 +95,18 @@ func (t *Twin) GuestTransmitBatch(d *NICDev, frames [][]byte) (int, error) {
 		t.M.HV.ChargeHypercall()
 		// Hypervisor side: drain the ring without further transitions.
 		for {
-			addr, n, ok, err := t.txRing.Pop()
+			addr, n, ok, err := g.ring.Pop()
 			if err != nil {
+				// A corrupt (guest-scribbled) header: discard the staged
+				// descriptors rather than trusting any of them.
+				_ = g.ring.Reset()
 				return sent, err
 			}
 			if !ok {
 				break
 			}
-			if err := t.xmitOne(d, addr, int(n)); err != nil {
-				if rerr := t.txRing.Reset(); rerr != nil && !t.Dead {
+			if err := t.xmitOne(d, g.dom.AS, addr, int(n)); err != nil {
+				if rerr := g.ring.Reset(); rerr != nil && !t.Dead {
 					return sent, rerr
 				}
 				return sent, err
@@ -86,4 +115,97 @@ func (t *Twin) GuestTransmitBatch(d *NICDev, frames [][]byte) (int, error) {
 		}
 	}
 	return sent, nil
+}
+
+// StageTransmitBatch publishes frames on a guest's transmit ring without
+// crossing the virtualization boundary: the counterpart of the guest-side
+// half of GuestTransmitBatch, for workloads where several guests stage
+// independently and one ServiceRings crossing drains them all. It returns
+// the number of frames staged, stopping early without error when the ring
+// fills (the guest retries after the next service).
+func (t *Twin) StageTransmitBatch(dom *xen.Domain, frames [][]byte) (int, error) {
+	if t.Dead {
+		return 0, ErrDriverDead
+	}
+	g, ok := t.guestIO[dom.ID]
+	if !ok {
+		return 0, fmt.Errorf("core: domain %q has no transmit ring", dom.Name)
+	}
+	staged := 0
+	for _, f := range frames {
+		if len(f) > TxSlotBytes {
+			return staged, fmt.Errorf("core: frame of %d bytes exceeds the %d-byte staging slot", len(f), TxSlotBytes)
+		}
+		// Capacity is checked BEFORE the slot write: on a full ring the
+		// producer slot aliases the oldest unconsumed descriptor's staging
+		// buffer, and writing first would corrupt that staged frame.
+		free, err := g.ring.Free()
+		if err != nil {
+			return staged, err
+		}
+		if free == 0 {
+			return staged, nil
+		}
+		slot, err := g.ring.ProducerSlot()
+		if err != nil {
+			return staged, err
+		}
+		if err := g.dom.AS.WriteBytes(g.slots[slot], f); err != nil {
+			return staged, err
+		}
+		if err := g.ring.Push(g.slots[slot], uint32(len(f))); err != nil {
+			return staged, err
+		}
+		staged++
+	}
+	return staged, nil
+}
+
+// ServiceRings drains every guest's transmit ring under a single boundary
+// crossing: one hypercall, then a round-robin sweep consuming one
+// descriptor per guest per pass, so a guest with a full ring cannot starve
+// the others. budget bounds the descriptors consumed in this crossing (0
+// means drain everything); descriptors beyond the budget stay staged for
+// the next crossing. It returns per-guest transmit counts.
+//
+// A corrupt ring header (ErrRingCorrupt — the guest scribbled its
+// guest-writable head/tail words) or a transmit fault discards the
+// offending guest's staged descriptors and aborts the sweep; other guests'
+// rings keep their staged work for the next crossing.
+func (t *Twin) ServiceRings(d *NICDev, budget int) (map[mem.Owner]int, error) {
+	if t.Dead {
+		return nil, ErrDriverDead
+	}
+	t.M.HV.ChargeHypercall()
+	sent := make(map[mem.Owner]int)
+	consumed := 0
+	for {
+		progress := false
+		for _, id := range t.guestOrder {
+			if budget > 0 && consumed >= budget {
+				return sent, nil
+			}
+			g := t.guestIO[id]
+			addr, n, ok, err := g.ring.Pop()
+			if err != nil {
+				_ = g.ring.Reset()
+				return sent, fmt.Errorf("core: guest %d transmit ring: %w", id, err)
+			}
+			if !ok {
+				continue
+			}
+			progress = true
+			consumed++
+			if err := t.xmitOne(d, g.dom.AS, addr, int(n)); err != nil {
+				if rerr := g.ring.Reset(); rerr != nil && !t.Dead {
+					return sent, rerr
+				}
+				return sent, err
+			}
+			sent[id]++
+		}
+		if !progress {
+			return sent, nil
+		}
+	}
 }

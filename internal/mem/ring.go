@@ -35,10 +35,24 @@ const (
 	ringOffCap  = 0
 	ringOffHead = 4
 	ringOffTail = 8
+
+	// MaxRingSlots bounds the slot count a ring may declare. The capacity
+	// word lives in guest-writable memory, so the side attaching to an
+	// already-formatted ring must not believe an arbitrary value: an
+	// unbounded capacity lets a hostile guest make the consumer walk (and
+	// allocate bookkeeping for) billions of descriptor slots.
+	MaxRingSlots = 1 << 15
 )
 
 // ErrRingFull reports a Push onto a ring with no free slots.
 var ErrRingFull = fmt.Errorf("mem: descriptor ring full")
+
+// ErrRingCorrupt reports a ring whose guest-writable header no longer
+// satisfies the producer/consumer invariant tail-head ∈ [0, capacity]. The
+// header words are ordinary guest memory; a guest that scribbles them must
+// not be able to make the hypervisor-side drain consume bogus descriptors
+// or overwrite slots the consumer has not seen.
+var ErrRingCorrupt = fmt.Errorf("mem: descriptor ring header corrupt")
 
 // RingBytes returns the memory footprint of a ring with the given slot
 // count.
@@ -51,6 +65,9 @@ func RingBytes(capacity int) uint32 {
 func InitRing(as *AddressSpace, base uint32, capacity int) (*Ring, error) {
 	if capacity <= 0 || capacity&(capacity-1) != 0 {
 		return nil, fmt.Errorf("mem: ring capacity %d is not a power of two", capacity)
+	}
+	if capacity > MaxRingSlots {
+		return nil, fmt.Errorf("mem: ring capacity %d exceeds the %d-slot bound", capacity, MaxRingSlots)
 	}
 	r := &Ring{AS: as, Base: base, capacity: uint32(capacity)}
 	if err := as.Store(base+ringOffCap, 4, uint32(capacity)); err != nil {
@@ -66,7 +83,7 @@ func AttachRing(as *AddressSpace, base uint32) (*Ring, error) {
 	if err != nil {
 		return nil, err
 	}
-	if capacity == 0 || capacity&(capacity-1) != 0 {
+	if capacity == 0 || capacity&(capacity-1) != 0 || capacity > MaxRingSlots {
 		return nil, fmt.Errorf("mem: no ring at %#x (capacity word %d)", base, capacity)
 	}
 	return &Ring{AS: as, Base: base, capacity: capacity}, nil
@@ -75,7 +92,12 @@ func AttachRing(as *AddressSpace, base uint32) (*Ring, error) {
 // Cap returns the slot count.
 func (r *Ring) Cap() int { return int(r.capacity) }
 
-// Len returns the number of staged, unconsumed descriptors.
+// Len returns the number of staged, unconsumed descriptors. The head and
+// tail words are guest-writable, so the count is validated before use:
+// anything outside [0, capacity] is reported as ErrRingCorrupt rather than
+// trusted (a scribbled header would otherwise make the consumer drain up
+// to 2^32 bogus descriptors, or make Free go negative so Push overwrites
+// unconsumed slots).
 func (r *Ring) Len() (int, error) {
 	head, err := r.AS.Load(r.Base+ringOffHead, 4)
 	if err != nil {
@@ -85,7 +107,10 @@ func (r *Ring) Len() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return int(tail - head), nil
+	if n := tail - head; n <= r.capacity { // unsigned: negative wraps huge
+		return int(n), nil
+	}
+	return 0, fmt.Errorf("%w: head=%d tail=%d capacity=%d", ErrRingCorrupt, head, tail, r.capacity)
 }
 
 // Free returns the number of free slots.
@@ -144,6 +169,17 @@ func (r *Ring) Pop() (addr, n uint32, ok bool, err error) {
 		return 0, 0, false, err
 	}
 	return addr, n, true, nil
+}
+
+// ProducerSlot returns the slot index the next Push will fill (tail modulo
+// capacity): producers that pair each descriptor with a per-slot staging
+// buffer use it to pick the buffer before publishing.
+func (r *Ring) ProducerSlot() (int, error) {
+	tail, err := r.AS.Load(r.Base+ringOffTail, 4)
+	if err != nil {
+		return 0, err
+	}
+	return int(tail & (r.capacity - 1)), nil
 }
 
 // Reset discards all staged descriptors.

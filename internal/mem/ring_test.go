@@ -139,3 +139,93 @@ func TestRingAttachRejectsGarbage(t *testing.T) {
 		t.Error("AttachRing on garbage succeeded")
 	}
 }
+
+func TestRingAttachBoundsCapacity(t *testing.T) {
+	phys := NewPhysical()
+	as := NewAddressSpace("g", phys, nil)
+	as.MapRange(0, phys.AllocFrames(1, 1), 1)
+	// A power of two, but absurdly large: a guest-writable capacity word
+	// must not make the attaching side believe in a 2-billion-slot ring.
+	if err := as.Store(0, 4, 1<<31); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AttachRing(as, 0); err == nil {
+		t.Error("AttachRing accepted a 2^31-slot capacity word")
+	}
+	if _, err := InitRing(as, 0, 2*MaxRingSlots); err == nil {
+		t.Error("InitRing accepted a capacity above MaxRingSlots")
+	}
+}
+
+// TestRingHostileHeader is the trust-boundary regression test: the head and
+// tail words live in guest-writable memory, so a scribbled header must make
+// every operation fail with ErrRingCorrupt instead of draining bogus
+// descriptors (Len > capacity) or overwriting unconsumed slots (Free < 0).
+func TestRingHostileHeader(t *testing.T) {
+	scribbles := []struct {
+		name       string
+		head, tail uint32
+	}{
+		{"tail-way-ahead", 0, 0xFFFFFFF0},       // Len would be ~2^32
+		{"tail-just-past", 5, 5 + 8 + 1},        // Len = capacity+1
+		{"head-ahead-of-tail", 7, 3},            // Len underflows negative
+		{"both-garbage", 0xDEADBEEF, 0x101CAFE}, // arbitrary scribble
+	}
+	for _, sc := range scribbles {
+		t.Run(sc.name, func(t *testing.T) {
+			_, as, r := ringSetup(t, 8)
+			for i := uint32(0); i < 3; i++ {
+				if err := r.Push(0x2000+i, 64); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := as.Store(r.Base+ringOffHead, 4, sc.head); err != nil {
+				t.Fatal(err)
+			}
+			if err := as.Store(r.Base+ringOffTail, 4, sc.tail); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.Len(); !errors.Is(err, ErrRingCorrupt) {
+				t.Errorf("Len err = %v, want ErrRingCorrupt", err)
+			}
+			if _, err := r.Free(); !errors.Is(err, ErrRingCorrupt) {
+				t.Errorf("Free err = %v, want ErrRingCorrupt", err)
+			}
+			if _, _, ok, err := r.Pop(); ok || !errors.Is(err, ErrRingCorrupt) {
+				t.Errorf("Pop = ok=%v err=%v, want refusal with ErrRingCorrupt", ok, err)
+			}
+			if err := r.Push(0xBAD, 1); !errors.Is(err, ErrRingCorrupt) {
+				t.Errorf("Push err = %v, want ErrRingCorrupt (must not overwrite)", err)
+			}
+			// Reset restores the invariant and the ring works again.
+			if err := r.Reset(); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Push(0x3000, 60); err != nil {
+				t.Fatal(err)
+			}
+			if addr, _, ok, err := r.Pop(); err != nil || !ok || addr != 0x3000 {
+				t.Errorf("post-Reset Pop = (%#x, %v, %v)", addr, ok, err)
+			}
+		})
+	}
+}
+
+func TestRingProducerSlot(t *testing.T) {
+	_, _, r := ringSetup(t, 4)
+	for i := 0; i < 10; i++ {
+		slot, err := r.ProducerSlot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if slot != i%4 {
+			t.Fatalf("push %d: ProducerSlot = %d, want %d", i, slot, i%4)
+		}
+		if err := r.Push(uint32(i), 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok, err := r.Pop(); err != nil || !ok {
+			t.Fatal(ok, err)
+		}
+	}
+}

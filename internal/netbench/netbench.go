@@ -11,6 +11,7 @@ import (
 	"twindrivers/internal/core"
 	"twindrivers/internal/cost"
 	"twindrivers/internal/cycles"
+	"twindrivers/internal/mem"
 	"twindrivers/internal/netpath"
 )
 
@@ -170,6 +171,115 @@ func Measure(p *netpath.Path, dir Direction, prm Params) (*Result, error) {
 		res.UpcallsPerPacket = float64(p.T.UpcallsPerformed()-upcalls0) / n
 	}
 	res.ThroughputMbps, res.CPUUtil = Throughput(res.CyclesPerPacket, prm.NumNICs, prm.PacketSize)
+	return res, nil
+}
+
+// GuestStat is one guest's share of a multi-guest measurement. Its
+// CyclesPerPacket divides an even share of the CPU (the round-robin ring
+// service keeps consumption fair) by the packets the guest itself moved.
+type GuestStat struct {
+	Guest           int // guest index (0-based)
+	Packets         uint64
+	CyclesPerPacket float64
+}
+
+// MultiGuestResult is a Result plus the per-guest view of a fan-out run.
+type MultiGuestResult struct {
+	*Result
+	Guests   int
+	PerGuest []GuestStat
+}
+
+// RunMultiGuest measures the domU-twin path with guests guest domains
+// sharing the NIC: each guest stages Batch-frame bursts in its own
+// transmit ring (or receives Batch-frame deliveries), and one boundary
+// crossing per round services every guest round-robin. Measure counts
+// packets per guest; the Result's aggregate figures cover all guests and
+// PerGuest carries each guest's packets and effective cycles/packet.
+func RunMultiGuest(dir Direction, guests int, prm Params) (*MultiGuestResult, error) {
+	prm.defaults()
+	if guests < 1 {
+		guests = 1
+	}
+	p, err := netpath.NewMulti(netpath.Twin, prm.NumNICs, guests, prm.Twin)
+	if err != nil {
+		return nil, err
+	}
+	perGuest := make(map[mem.Owner]uint64)
+	run := func(total int, phase string, record bool) error {
+		for moved := 0; moved < total; {
+			burst := prm.Batch
+			if total-moved < burst {
+				burst = total - moved
+			}
+			if prm.FlushPerPacket {
+				p.Meter().FlushHW()
+			}
+			var got map[mem.Owner]int
+			var err error
+			if dir == TX {
+				got, err = p.SendBurstMulti(0, prm.PacketSize, burst)
+			} else {
+				got, err = p.ReceiveBurstMulti(0, prm.PacketSize, burst)
+			}
+			if err != nil {
+				return fmt.Errorf("netbench: multiguest %s packet %d: %w", phase, moved, err)
+			}
+			for id, n := range got {
+				if n != burst {
+					return fmt.Errorf("netbench: multiguest %s: guest %d moved %d of %d", phase, id, n, burst)
+				}
+				if record {
+					perGuest[id] += uint64(n)
+				}
+			}
+			moved += burst
+		}
+		return nil
+	}
+	if err := run(prm.Warmup, "warmup", false); err != nil {
+		return nil, err
+	}
+	p.ResetMeasurement()
+	upcalls0 := p.T.UpcallsPerformed()
+	if err := run(prm.Measure, "measure", true); err != nil {
+		return nil, err
+	}
+
+	meter := p.Meter()
+	totalPkts := uint64(0)
+	for _, n := range perGuest {
+		totalPkts += n
+	}
+	n := float64(totalPkts)
+	res := &MultiGuestResult{
+		Result: &Result{
+			Config:          p.Kind.String(),
+			Direction:       dir,
+			NumNICs:         prm.NumNICs,
+			Packets:         int(totalPkts),
+			Batch:           prm.Batch,
+			CyclesPerPacket: float64(meter.Total()) / n,
+			Breakdown:       make(map[cycles.Component]float64),
+		},
+		Guests: guests,
+	}
+	for comp, c := range meter.Breakdown() {
+		res.Breakdown[comp] = float64(c) / n
+	}
+	res.SwitchesPerPacket = float64(p.M.HV.Switches) / n
+	res.HypercallsPerPacket = float64(p.M.HV.Hypercalls) / n
+	res.UpcallsPerPacket = float64(p.T.UpcallsPerformed()-upcalls0) / n
+	res.ThroughputMbps, res.CPUUtil = Throughput(res.CyclesPerPacket, prm.NumNICs, prm.PacketSize)
+	share := float64(meter.Total()) / float64(guests)
+	for g, dom := range p.M.Guests {
+		pkts := perGuest[dom.ID]
+		st := GuestStat{Guest: g, Packets: pkts}
+		if pkts > 0 {
+			st.CyclesPerPacket = share / float64(pkts)
+		}
+		res.PerGuest = append(res.PerGuest, st)
+	}
 	return res, nil
 }
 

@@ -269,3 +269,57 @@ func TestBatchAmortizesHypercalls(t *testing.T) {
 		t.Errorf("batch=32 saves only %.0f cycles/pkt over batch=1", saved)
 	}
 }
+
+// TestMultiGuestScalesFlat is the fan-out acceptance shape: the per-guest
+// cycles/packet at 4 guests stays within 15% of the single-guest figure
+// (one boundary crossing services every guest), and the round-robin ring
+// service keeps the per-guest packet counts exactly fair.
+func TestMultiGuestScalesFlat(t *testing.T) {
+	for _, dir := range []Direction{TX, RX} {
+		single, err := RunMultiGuest(dir, 1, Params{NumNICs: 1, Measure: 96, Batch: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		four, err := RunMultiGuest(dir, 4, Params{NumNICs: 1, Measure: 96, Batch: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if four.Guests != 4 || len(four.PerGuest) != 4 {
+			t.Fatalf("%v: result carries %d guests", dir, len(four.PerGuest))
+		}
+		for _, g := range four.PerGuest {
+			if g.Packets != 96 {
+				t.Errorf("%v guest %d moved %d packets, want 96", dir, g.Guest, g.Packets)
+			}
+			if !within(g.CyclesPerPacket, single.CyclesPerPacket, 0.15) {
+				t.Errorf("%v guest %d cycles/packet = %.0f, single-guest = %.0f (>15%% apart)",
+					dir, g.Guest, g.CyclesPerPacket, single.CyclesPerPacket)
+			}
+		}
+		// The crossing amortizes across guests: hypercalls per packet fall
+		// with the guest count on transmit.
+		if dir == TX && !(four.HypercallsPerPacket < single.HypercallsPerPacket) {
+			t.Errorf("hc/pkt did not fall with fan-out: %v vs %v",
+				four.HypercallsPerPacket, single.HypercallsPerPacket)
+		}
+	}
+}
+
+// TestMultiGuestSingleMatchesBurst: a 1-guest multi-guest run is the same
+// machine shape as the plain batched path — its aggregate cycles/packet
+// stays in the same neighbourhood as Measure over the batched SendBurst
+// (sanity against the fan-out harness distorting the baseline).
+func TestMultiGuestSingleMatchesBurst(t *testing.T) {
+	mg, err := RunMultiGuest(TX, 1, Params{NumNICs: 1, Measure: 128, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(netpath.Twin, TX, Params{NumNICs: 1, Measure: 128, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !within(mg.CyclesPerPacket, plain.CyclesPerPacket, 0.05) {
+		t.Errorf("1-guest fan-out = %.0f cyc/pkt, batched path = %.0f (>5%% apart)",
+			mg.CyclesPerPacket, plain.CyclesPerPacket)
+	}
+}

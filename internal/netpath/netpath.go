@@ -62,6 +62,11 @@ type Path struct {
 	M    *core.Machine
 	T    *core.Twin // nil except for Twin
 
+	// Guests is the guest-domain count (≥ 1). Only the domU-twin path
+	// fans out to several guests (SendBurstMulti/ReceiveBurstMulti); the
+	// other configurations always run one guest.
+	Guests int
+
 	// BatchSize is the number of frames staged per boundary crossing on
 	// the domU-twin path (SendBurst/ReceiveBurst). 0 or 1 selects the
 	// per-packet path, which is bit-for-bit the SendOne/ReceiveOne
@@ -73,18 +78,33 @@ type Path struct {
 	TxCount uint64
 	RxCount uint64
 
-	guestPage uint32 // domU-owned page used as the guest-side buffer
+	guestPage uint32    // domU-owned page used as the guest-side buffer
+	guestMACs [][6]byte // per-guest station MACs for receive demux (Twin)
 	rxSeq     byte
 }
 
-// New builds a configuration. TwinConfig applies only to Kind Twin; pass
-// the zero value for defaults.
+// New builds a single-guest configuration. TwinConfig applies only to Kind
+// Twin; pass the zero value for defaults.
 func New(kind Kind, nNICs int, tcfg core.TwinConfig) (*Path, error) {
-	p := &Path{Kind: kind}
+	return NewMulti(kind, nNICs, 1, tcfg)
+}
+
+// NewMulti builds a configuration with guests guest domains sharing the
+// NIC. Only the domU-twin path supports more than one guest; each guest
+// gets its own transmit ring and a registered station MAC for receive
+// demultiplexing.
+func NewMulti(kind Kind, nNICs, guests int, tcfg core.TwinConfig) (*Path, error) {
+	if guests < 1 {
+		guests = 1
+	}
+	if guests > 1 && kind != Twin {
+		return nil, fmt.Errorf("netpath: %v runs a single guest (multi-guest fan-out is the domU-twin path)", kind)
+	}
+	p := &Path{Kind: kind, Guests: guests}
 	var err error
 	switch kind {
 	case Twin:
-		p.M, p.T, err = core.NewTwinMachine(nNICs, tcfg)
+		p.M, p.T, err = core.NewTwinMachine(nNICs, guests, tcfg)
 	default:
 		p.M, err = core.NewMachine(nNICs)
 	}
@@ -93,6 +113,13 @@ func New(kind Kind, nNICs int, tcfg core.TwinConfig) (*Path, error) {
 	}
 	// A guest page for the unoptimized path's grant copies.
 	p.guestPage = p.M.HV.AllocHeap(p.M.DomU, 2*mem.PageSize)
+	if p.T != nil {
+		for g, dom := range p.M.Guests {
+			mac := [6]byte{0x02, 0x54, 0x57, 0x49, 0x4E, byte(g)}
+			p.T.RegisterGuestMAC(mac, dom.ID)
+			p.guestMACs = append(p.guestMACs, mac)
+		}
+	}
 	return p, nil
 }
 
@@ -108,24 +135,54 @@ func (p *Path) ResetMeasurement() {
 }
 
 // frame builds a data frame of the given total size addressed appropriately
-// for the path direction.
-func (p *Path) frame(d *core.NICDev, size int, rx bool) []byte {
+// for the path direction. Sizes below the 14-byte Ethernet header are
+// rejected rather than panicking in the payload arithmetic.
+func (p *Path) frame(d *core.NICDev, size int, rx bool) ([]byte, error) {
+	if rx {
+		return p.frameTo(d.NIC.MAC, size)
+	}
+	return p.frameFrom(d.NIC.MAC, size)
+}
+
+// frameTo builds a receive-direction frame of the given total size
+// addressed to dst.
+func (p *Path) frameTo(dst [6]byte, size int) ([]byte, error) {
+	payload, err := p.framePayload(size)
+	if err != nil {
+		return nil, err
+	}
+	return core.EthernetFrame(dst, [6]byte{0, 0x50, 0x56, 1, 2, p.rxSeq}, 0x0800, payload), nil
+}
+
+// frameFrom builds a transmit-direction frame of the given total size
+// sourced from src.
+func (p *Path) frameFrom(src [6]byte, size int) ([]byte, error) {
+	payload, err := p.framePayload(size)
+	if err != nil {
+		return nil, err
+	}
+	return core.EthernetFrame([6]byte{0, 0x50, 0x56, 9, 9, p.rxSeq}, src, 0x0800, payload), nil
+}
+
+func (p *Path) framePayload(size int) ([]byte, error) {
+	if size < 14 {
+		return nil, fmt.Errorf("netpath: frame size %d is below the 14-byte Ethernet header", size)
+	}
 	p.rxSeq++
 	payload := make([]byte, size-14)
 	for i := 0; i < len(payload); i += 97 {
 		payload[i] = p.rxSeq + byte(i)
 	}
-	if rx {
-		return core.EthernetFrame(d.NIC.MAC, [6]byte{0, 0x50, 0x56, 1, 2, p.rxSeq}, 0x0800, payload)
-	}
-	return core.EthernetFrame([6]byte{0, 0x50, 0x56, 9, 9, p.rxSeq}, d.NIC.MAC, 0x0800, payload)
+	return payload, nil
 }
 
 // SendOne pushes one size-byte packet out through NIC index i.
 func (p *Path) SendOne(i int, size int) error {
 	d := p.M.Devs[i%len(p.M.Devs)]
-	frame := p.frame(d, size, false)
-	var err error
+	frame, err := p.frame(d, size, false)
+	if err != nil {
+		return err
+	}
 	switch p.Kind {
 	case Linux:
 		err = p.sendDom0(d, frame, false)
@@ -146,8 +203,10 @@ func (p *Path) SendOne(i int, size int) error {
 // full receive path.
 func (p *Path) ReceiveOne(i int, size int) error {
 	d := p.M.Devs[i%len(p.M.Devs)]
-	frame := p.frame(d, size, true)
-	var err error
+	frame, err := p.frame(d, size, true)
+	if err != nil {
+		return err
+	}
 	switch p.Kind {
 	case Linux:
 		err = p.recvDom0(d, frame, false)
@@ -420,8 +479,12 @@ func (p *Path) sendTwinBatch(i, size, burst int) (int, error) {
 	d := m.Devs[i%len(m.Devs)]
 	frames := make([][]byte, burst)
 	for k := range frames {
-		frames[k] = p.frame(d, size, false)
-		meter.AddTo(cycles.CompDomU, cost.TxKernelFixed+uint64(len(frames[k]))*cost.TxKernelPerByte)
+		f, err := p.frame(d, size, false)
+		if err != nil {
+			return 0, err
+		}
+		frames[k] = f
+		meter.AddTo(cycles.CompDomU, cost.TxKernelFixed+uint64(len(f))*cost.TxKernelPerByte)
 	}
 	return p.T.GuestTransmitBatch(d, frames)
 }
@@ -435,7 +498,11 @@ func (p *Path) recvTwinBatch(i, size, burst int) (int, error) {
 	m.HV.Switch(m.DomU)
 	d := m.Devs[i%len(m.Devs)]
 	for k := 0; k < burst; k++ {
-		if !d.NIC.Inject(p.frame(d, size, true)) {
+		f, err := p.frame(d, size, true)
+		if err != nil {
+			return 0, err
+		}
+		if !d.NIC.Inject(f) {
 			return 0, fmt.Errorf("netpath: rx overrun")
 		}
 	}
@@ -456,4 +523,121 @@ func (p *Path) recvTwinBatch(i, size, burst int) (int, error) {
 		meter.AddTo(cycles.CompDomU, cost.RxKernelFixed+uint64(len(pkt))*cost.RxKernelPerByte)
 	}
 	return len(pkts), nil
+}
+
+// --- Multi-guest fan-out (domU-twin only) ---------------------------------
+
+// SendBurstMulti pushes n size-byte packets per guest out through NIC
+// index i: every guest runs its kernel stack and stages a ring-sized chunk
+// in its own transmit ring from its own context, then a single
+// Twin.ServiceRings crossing drains all guests' rings round-robin — the
+// boundary cost amortizes across guests as well as frames. It returns the
+// per-guest completion counts.
+func (p *Path) SendBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
+	if p.Kind != Twin {
+		return nil, fmt.Errorf("netpath: multi-guest bursts need the domU-twin path")
+	}
+	m := p.M
+	meter := p.Meter()
+	d := m.Devs[i%len(m.Devs)]
+	total := make(map[mem.Owner]int)
+	for remaining := n; remaining > 0; {
+		chunk := remaining
+		if chunk > core.TxRingSlots {
+			chunk = core.TxRingSlots
+		}
+		for _, dom := range m.Guests {
+			// Guest kernel + paravirtual driver staging, in guest context.
+			m.HV.Switch(dom)
+			frames := make([][]byte, chunk)
+			for k := range frames {
+				f, err := p.frameFrom(d.NIC.MAC, size)
+				if err != nil {
+					return total, err
+				}
+				frames[k] = f
+				meter.AddTo(cycles.CompDomU, cost.TxKernelFixed+uint64(len(f))*cost.TxKernelPerByte)
+			}
+			staged, err := p.T.StageTransmitBatch(dom, frames)
+			if err != nil {
+				return total, err
+			}
+			if staged != chunk {
+				return total, fmt.Errorf("netpath: guest %d staged %d of %d", dom.ID, staged, chunk)
+			}
+		}
+		// One boundary crossing drains every guest's ring; it runs in
+		// whichever guest context is current.
+		sent, err := p.T.ServiceRings(d, 0)
+		for id, c := range sent {
+			total[id] += c
+			p.TxCount += uint64(c)
+		}
+		if err != nil {
+			return total, err
+		}
+		remaining -= chunk
+	}
+	return total, nil
+}
+
+// ReceiveBurstMulti injects n size-byte packets per guest (addressed to
+// each guest's registered MAC), services them with one coalesced interrupt
+// per round, and delivers each guest's batch in its own context under a
+// single notification per guest per window. It returns the per-guest
+// delivery counts.
+func (p *Path) ReceiveBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
+	if p.Kind != Twin {
+		return nil, fmt.Errorf("netpath: multi-guest bursts need the domU-twin path")
+	}
+	m := p.M
+	meter := p.Meter()
+	d := m.Devs[i%len(m.Devs)]
+	total := make(map[mem.Owner]int)
+	// Bound each round so guests*chunk stays within the NIC's descriptor
+	// ring (256 slots, one kept empty).
+	maxRound := 128 / len(m.Guests)
+	if maxRound < 1 {
+		maxRound = 1
+	}
+	for remaining := n; remaining > 0; {
+		chunk := remaining
+		if chunk > maxRound {
+			chunk = maxRound
+		}
+		for g := range m.Guests {
+			for k := 0; k < chunk; k++ {
+				f, err := p.frameTo(p.guestMACs[g], size)
+				if err != nil {
+					return total, err
+				}
+				if !d.NIC.Inject(f) {
+					return total, fmt.Errorf("netpath: rx overrun")
+				}
+			}
+		}
+		// One interrupt for the whole fan-in, in whatever context runs.
+		if err := p.T.HandleIRQ(d); err != nil {
+			return total, err
+		}
+		p.T.Coalescer.Begin()
+		for _, dom := range m.Guests {
+			m.HV.Switch(dom)
+			pkts, err := p.T.DeliverPendingBatch(dom, chunk)
+			if err != nil {
+				p.T.Coalescer.End()
+				return total, err
+			}
+			// Guest paravirtual driver + stack for each delivered packet.
+			for _, pkt := range pkts {
+				meter.AddTo(cycles.CompDomU, cost.PvDriverRx)
+				meter.AddTo(cycles.CompDomU, cost.RxKernelFixed+uint64(len(pkt))*cost.RxKernelPerByte)
+			}
+			total[dom.ID] += len(pkts)
+			p.RxCount += uint64(len(pkts))
+		}
+		p.T.Coalescer.End()
+		remaining -= chunk
+	}
+	return total, nil
 }

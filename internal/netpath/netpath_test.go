@@ -268,3 +268,91 @@ func TestNonTwinKindsIgnoreBatchSize(t *testing.T) {
 		}
 	}
 }
+
+// TestUndersizedFrameRejected: sizes below the 14-byte Ethernet header are
+// a clean error (not a panic in the payload arithmetic), and the header
+// itself (size 14) is the smallest accepted frame.
+func TestUndersizedFrameRejected(t *testing.T) {
+	for _, kind := range Kinds() {
+		p, err := New(kind, 1, core.TwinConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, size := range []int{0, 13} {
+			if err := p.SendOne(0, size); err == nil {
+				t.Errorf("%v SendOne(size=%d) succeeded", kind, size)
+			}
+			if err := p.ReceiveOne(0, size); err == nil {
+				t.Errorf("%v ReceiveOne(size=%d) succeeded", kind, size)
+			}
+		}
+		if p.TxCount != 0 || p.RxCount != 0 {
+			t.Errorf("%v counted rejected frames: tx=%d rx=%d", kind, p.TxCount, p.RxCount)
+		}
+		// Size 14 (padded to the Ethernet minimum on the wire) works.
+		if err := p.SendOne(0, 14); err != nil {
+			t.Errorf("%v SendOne(size=14): %v", kind, err)
+		}
+		if err := p.ReceiveOne(0, 14); err != nil {
+			t.Errorf("%v ReceiveOne(size=14): %v", kind, err)
+		}
+	}
+}
+
+// TestMultiGuestBursts drives the fan-out path end to end: per-guest
+// transmit bursts complete for every guest with one hypercall per service
+// round, and receive bursts deliver each guest its own packets.
+func TestMultiGuestBursts(t *testing.T) {
+	const guests = 4
+	p, err := NewMulti(Twin, 1, guests, core.TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.M.Devs[0].NIC.OnTransmit = func([]byte) {}
+	p.M.HV.ResetStats()
+	sent, err := p.SendBurstMulti(0, 600, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sent) != guests {
+		t.Fatalf("sent to %d guests, want %d", len(sent), guests)
+	}
+	for id, n := range sent {
+		if n != 8 {
+			t.Errorf("guest %d sent %d, want 8", id, n)
+		}
+	}
+	if p.M.HV.Hypercalls != 1 {
+		t.Errorf("hypercalls = %d, want 1 (one crossing for all guests)", p.M.HV.Hypercalls)
+	}
+	if p.TxCount != guests*8 {
+		t.Errorf("TxCount = %d", p.TxCount)
+	}
+
+	got, err := p.ReceiveBurstMulti(0, 600, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, n := range got {
+		if n != 6 {
+			t.Errorf("guest %d received %d, want 6", id, n)
+		}
+	}
+	if p.RxCount != guests*6 {
+		t.Errorf("RxCount = %d", p.RxCount)
+	}
+}
+
+// TestMultiGuestRejectsNonTwin: only the domU-twin path fans out.
+func TestMultiGuestRejectsNonTwin(t *testing.T) {
+	if _, err := NewMulti(Linux, 1, 2, core.TwinConfig{}); err == nil {
+		t.Error("multi-guest Linux path accepted")
+	}
+	p, err := NewMulti(Linux, 1, 1, core.TwinConfig{})
+	if err != nil || p.Guests != 1 {
+		t.Fatalf("single-guest Linux path: %v", err)
+	}
+	if _, err := p.SendBurstMulti(0, 600, 1); err == nil {
+		t.Error("SendBurstMulti on a non-twin path succeeded")
+	}
+}

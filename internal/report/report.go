@@ -66,6 +66,41 @@ func BatchSweep(w io.Writer, title string, results []*netbench.Result) {
 	fmt.Fprintln(w)
 }
 
+// MultiGuestSweep renders the multi-guest fan-out sweep: aggregate and
+// per-guest cycles/packet, the fairness spread, and the transition rates
+// as a function of the guest count.
+func MultiGuestSweep(w io.Writer, title string, results []*netbench.MultiGuestResult) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%7s %9s %9s %9s %12s %8s %8s %14s\n",
+		"guests", "cyc/pkt", "guest-min", "guest-max", "pkts/guest", "hc/pkt", "sw/pkt", "throughput")
+	for _, r := range results {
+		minC, maxC := 0.0, 0.0
+		minP, maxP := uint64(0), uint64(0)
+		for i, g := range r.PerGuest {
+			if i == 0 || g.CyclesPerPacket < minC {
+				minC = g.CyclesPerPacket
+			}
+			if g.CyclesPerPacket > maxC {
+				maxC = g.CyclesPerPacket
+			}
+			if i == 0 || g.Packets < minP {
+				minP = g.Packets
+			}
+			if g.Packets > maxP {
+				maxP = g.Packets
+			}
+		}
+		pkts := fmt.Sprintf("%d", minP)
+		if maxP != minP {
+			pkts = fmt.Sprintf("%d-%d", minP, maxP)
+		}
+		fmt.Fprintf(w, "%7d %9.0f %9.0f %9.0f %12s %8.3f %8.3f %9.0f Mb/s\n",
+			r.Guests, r.CyclesPerPacket, minC, maxC, pkts,
+			r.HypercallsPerPacket, r.SwitchesPerPacket, r.ThroughputMbps)
+	}
+	fmt.Fprintln(w)
+}
+
 // UpcallSweep renders Figure 10: transmit throughput as a function of the
 // number of upcalls per driver invocation.
 func UpcallSweep(w io.Writer, results []*netbench.Result) {

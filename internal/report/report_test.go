@@ -98,3 +98,25 @@ func TestKeyValueSorted(t *testing.T) {
 		t.Error("keys not sorted")
 	}
 }
+
+func TestMultiGuestSweepTable(t *testing.T) {
+	var b strings.Builder
+	results := []*netbench.MultiGuestResult{
+		{Result: &netbench.Result{CyclesPerPacket: 9500, ThroughputMbps: 938, HypercallsPerPacket: 0.06},
+			Guests: 1, PerGuest: []netbench.GuestStat{{Guest: 0, Packets: 128, CyclesPerPacket: 9500}}},
+		{Result: &netbench.Result{CyclesPerPacket: 9600, ThroughputMbps: 938, HypercallsPerPacket: 0.015, SwitchesPerPacket: 0.06},
+			Guests: 4, PerGuest: []netbench.GuestStat{
+				{Guest: 0, Packets: 128, CyclesPerPacket: 9590},
+				{Guest: 1, Packets: 128, CyclesPerPacket: 9600},
+				{Guest: 2, Packets: 128, CyclesPerPacket: 9610},
+				{Guest: 3, Packets: 127, CyclesPerPacket: 9680},
+			}},
+	}
+	MultiGuestSweep(&b, "Multi-guest sweep", results)
+	out := b.String()
+	for _, want := range []string{"guests", "guest-min", "guest-max", "9590", "9680", "127-128", "938 Mb/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -46,7 +46,7 @@ type Table1 struct {
 // Run builds a twinned machine, pushes packets both ways, and collects the
 // fast-path set.
 func Run(packets int) (*Table1, error) {
-	m, tw, err := core.NewTwinMachine(1, core.TwinConfig{})
+	m, tw, err := core.NewTwinMachine(1, 1, core.TwinConfig{})
 	if err != nil {
 		return nil, err
 	}

@@ -40,6 +40,18 @@ const (
 	// this when resolving chained guest pages).
 	GuestKernelBase = 0xB0000000
 
+	// GuestHeapStride separates the heap bases of successive guest
+	// domains: guest i allocates from GuestKernelBase + i*GuestHeapStride,
+	// keeping every guest virtual address unambiguous machine-wide — the
+	// same property that separates guest and dom0 addresses — so the DMA
+	// helpers can resolve a chained fragment page to its owning guest even
+	// when the derived driver runs in a different guest's context.
+	GuestHeapStride = 0x01000000
+
+	// MaxGuests is how many guest heap regions fit between GuestKernelBase
+	// and the dom0 kernel split at the stride above.
+	MaxGuests = (Dom0KernelBase - GuestKernelBase) / GuestHeapStride
+
 	// HypervisorBase is the bottom of the globally-mapped hypervisor hole.
 	HypervisorBase = 0xF0000000
 
@@ -75,6 +87,11 @@ type Domain struct {
 
 	// PendingEvents counts undelivered event-channel notifications.
 	PendingEvents int
+
+	// HeapBase, when nonzero, overrides the conventional kernel heap base
+	// for AllocHeap — the machine builder assigns each guest a disjoint
+	// GuestHeapStride-aligned region.
+	HeapBase uint32
 
 	heapNext uint32 // bump pointer for AllocHeap
 	heapEnd  uint32
@@ -233,17 +250,28 @@ func (hv *Hypervisor) BindGate(name string, fn cpu.Extern) uint32 {
 }
 
 // AllocHeap allocates n bytes (4-byte aligned) from a domain's kernel heap,
-// growing it page by page. Returns the virtual address.
+// growing it page by page. Returns the virtual address. A domain with an
+// assigned HeapBase is confined to its GuestHeapStride region: growing
+// past it would alias the next guest's addresses and silently break the
+// one-address-one-owner invariant the DMA helpers depend on, so that
+// overflow panics loudly instead.
 func (hv *Hypervisor) AllocHeap(d *Domain, n uint32) uint32 {
 	if d.heapNext == 0 {
 		base := uint32(Dom0KernelBase)
 		if d.ID != mem.OwnerDom0 {
 			base = GuestKernelBase
 		}
+		if d.HeapBase != 0 {
+			base = d.HeapBase
+		}
 		d.heapNext = base
 		d.heapEnd = base
 	}
 	n = (n + 3) &^ 3
+	if d.HeapBase != 0 && d.heapNext+n > d.HeapBase+GuestHeapStride {
+		panic(fmt.Sprintf("xen: domain %q heap overflows its %d MB region at %#x",
+			d.Name, GuestHeapStride>>20, d.HeapBase))
+	}
 	for d.heapEnd-d.heapNext < n {
 		f := hv.Phys.AllocFrame(d.ID)
 		d.AS.Map(d.heapEnd/mem.PageSize, f)

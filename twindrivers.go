@@ -48,9 +48,12 @@ func NewMachine(nNICs int) (*Machine, error) { return core.NewMachine(nNICs) }
 
 // NewTwinMachine builds a host whose driver is twinned: the rewritten
 // binary runs as the VM instance in dom0 (identity stlb) and as the
-// derived instance in the hypervisor (translating stlb).
-func NewTwinMachine(nNICs int, cfg TwinConfig) (*Machine, *Twin, error) {
-	return core.NewTwinMachine(nNICs, cfg)
+// derived instance in the hypervisor (translating stlb). nGuests guest
+// domains share the NIC; each gets its own transmit descriptor ring,
+// staging slots and bounce buffer, drained round-robin by
+// Twin.ServiceRings.
+func NewTwinMachine(nNICs, nGuests int, cfg TwinConfig) (*Machine, *Twin, error) {
+	return core.NewTwinMachine(nNICs, nGuests, cfg)
 }
 
 // DefaultHvSupport returns Table 1: the ten support routines implemented

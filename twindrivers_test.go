@@ -29,7 +29,7 @@ func TestRewriteFacade(t *testing.T) {
 }
 
 func TestPublicMachineRoundTrip(t *testing.T) {
-	m, tw, err := twindrivers.NewTwinMachine(1, twindrivers.TwinConfig{})
+	m, tw, err := twindrivers.NewTwinMachine(1, 1, twindrivers.TwinConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,8 @@ func TestPublicMachineRoundTrip(t *testing.T) {
 func TestExperimentRegistry(t *testing.T) {
 	exps := twindrivers.Experiments()
 	want := map[string]bool{"table1": true, "fig5": true, "fig6": true, "fig7": true,
-		"fig8": true, "fig9": true, "fig10": true, "effort": true}
+		"fig8": true, "fig9": true, "fig10": true, "batch": true, "multiguest": true,
+		"effort": true}
 	for _, e := range exps {
 		delete(want, e.ID)
 		if e.Title == "" || e.Run == nil {
