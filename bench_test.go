@@ -405,3 +405,58 @@ func BenchmarkExperimentPipeline(b *testing.B) {
 		}
 	}
 }
+
+// --- Recovery sweep: transparent driver restart ------------------------------
+
+// BenchmarkRecoverySweep measures the restart path per fault type and
+// guest count: MTTR in simulated cycles (re-derivation + configuration
+// replay), the receive frames lost with the dead instance, and the staged
+// transmit frames re-staged after it.
+func BenchmarkRecoverySweep(b *testing.B) {
+	for _, inj := range twindrivers.FaultInjectors() {
+		for _, guests := range []int{1, 4} {
+			inj, guests := inj, guests
+			b.Run(inj.Name+"/guests-"+strconv.Itoa(guests), func(b *testing.B) {
+				var last *twindrivers.RecoveryMeasurement
+				for i := 0; i < b.N; i++ {
+					r, err := twindrivers.MeasureRecovery(inj, guests, 32)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = r
+				}
+				b.ReportMetric(float64(last.MTTRCycles), "MTTR-cycles")
+				b.ReportMetric(float64(last.LostRx), "lost-rx")
+				b.ReportMetric(float64(last.RetriedTx), "retried-tx")
+				b.ReportMetric(last.PostCPP, "post-cycles/pkt")
+			})
+		}
+	}
+}
+
+// BenchmarkRecoveryHotPath pins the zero-cost claim: the domU-twin hot
+// path with a recovery supervisor attached reports exactly the same
+// cycles/packet as without one (the supervisor only runs after a fault).
+func BenchmarkRecoveryHotPath(b *testing.B) {
+	for _, supervised := range []bool{false, true} {
+		name := "plain"
+		if supervised {
+			name = "supervised"
+		}
+		supervised := supervised
+		b.Run(name, func(b *testing.B) {
+			var last *netbench.Result
+			for i := 0; i < b.N; i++ {
+				r, err := netbench.Run(netpath.Twin, netbench.TX, netbench.Params{
+					NumNICs: 1, Measure: 256, Batch: 8, Recovery: supervised,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.CyclesPerPacket, "cycles/pkt")
+			b.ReportMetric(last.HypercallsPerPacket, "hc/pkt")
+		})
+	}
+}

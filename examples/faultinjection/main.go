@@ -1,16 +1,24 @@
-// faultinjection: the safety story of §4.5. Three buggy "drivers" are
-// derived and run in the hypervisor:
+// faultinjection: the safety story of §4.5 — and what comes after it.
+// Three buggy "drivers" are derived and run in the hypervisor:
 //
 //  1. a wild heap write aimed at hypervisor memory — SVM aborts it on the
 //     first access (§4.1);
-//  2. an infinite loop — the VINO-style watchdog budget cuts it off
+//  2. a runaway loop — the VINO-style watchdog budget cuts it off
 //     (§4.5.2);
 //  3. a corrupted function pointer — the indirect-call translation plus
 //     the function-entry check catch it (§5.1.2).
 //
 // After each abort, dom0 and its VM driver instance keep working: the
-// hypervisor tears down only the derived instance. Finally, a DMA attack
-// is shown blocked by the optional IOMMU (§4.5).
+// hypervisor tears down only the derived instance. The paper stops there —
+// the instance stays dead. Here a recovery supervisor then re-derives a
+// fresh instance, replays the recorded configuration (probe, open with its
+// IRQ registration, guest routes, rings) and traffic resumes: the fault
+// was transient, with MTTR measured in simulated cycles.
+//
+// A flapping driver is not retried forever: K faults inside a cycle
+// window trip the escalation policy and the twin stays dead (the paper's
+// original containment behaviour). Finally, a DMA attack is shown blocked
+// by the optional IOMMU (§4.5).
 //
 //	go run ./examples/faultinjection
 package main
@@ -29,81 +37,97 @@ type machine = twindrivers.Machine
 type nicdev = twindrivers.NICDev
 type twin = twindrivers.Twin
 
-func scenario(name string, corrupt func(m *machine, d *nicdev) error,
-	trigger func(tw *twin, m *machine, d *nicdev) error) {
+// trigger drives the injected fault: a transmit for TX-path bugs, an
+// injected frame plus interrupt for RX-path bugs.
+func trigger(tw *twin, m *machine, d *nicdev, onRx bool) error {
+	if onRx {
+		rx := twindrivers.EthernetFrame(d.NIC.MAC, [6]byte{9, 9, 9, 9, 9, 9}, 0x0800, make([]byte, 128))
+		if !d.NIC.Inject(rx) {
+			return fmt.Errorf("inject failed")
+		}
+		return tw.HandleIRQ(d)
+	}
+	frame := twindrivers.EthernetFrame([6]byte{1, 1, 1, 1, 1, 1}, d.NIC.MAC, 0x0800, make([]byte, 256))
+	return tw.GuestTransmit(d, frame)
+}
+
+func scenario(inj twindrivers.FaultInjector) {
 	m, tw, err := twindrivers.NewTwinMachine(1, 1, twindrivers.TwinConfig{Watchdog: 200_000})
 	if err != nil {
 		log.Fatal(err)
 	}
 	d := m.Devs[0]
 	d.NIC.OnTransmit = func([]byte) {}
+	sup := twindrivers.NewRecoverySupervisor(m, tw, twindrivers.RecoveryPolicy{})
 	m.HV.Switch(m.DomU)
 
 	// A clean packet first: the derived driver works.
 	frame := twindrivers.EthernetFrame([6]byte{1, 1, 1, 1, 1, 1}, d.NIC.MAC, 0x0800, make([]byte, 256))
 	if err := tw.GuestTransmit(d, frame); err != nil {
-		log.Fatalf("%s: clean transmit failed: %v", name, err)
+		log.Fatalf("%s: clean transmit failed: %v", inj.Name, err)
 	}
 
-	// Inject the bug into the shared driver state.
-	if err := corrupt(m, d); err != nil {
+	// Inject the bug into the shared driver state; the next invocation
+	// faults and the hypervisor contains it.
+	if err := inj.Inject(m, tw, d); err != nil {
 		log.Fatal(err)
 	}
-
-	// The next invocation faults; the hypervisor contains it.
-	if trigger == nil {
-		trigger = func(tw *twin, m *machine, d *nicdev) error {
-			return tw.GuestTransmit(d, frame)
-		}
-	}
-	err = trigger(tw, m, d)
-	fmt.Printf("%-28s -> %v\n", name, err)
-	fmt.Printf("%-28s    driver dead=%v, fault log: %v\n", "", tw.Dead, tw.FaultLog)
+	err = trigger(tw, m, d, inj.TriggerOnRx)
+	fmt.Printf("%-28s -> %v\n", inj.Name, err)
+	rec := tw.FaultLog()[len(tw.FaultLog())-1]
+	fmt.Printf("%-28s    dead=%v, fault: entry=%s kind=%v\n", "", tw.Dead, rec.Entry, rec.Kind)
 
 	// dom0 survives: the VM instance still answers management calls.
 	if _, err := m.CallDriver("e1000_get_stats", d.Netdev); err != nil {
-		log.Fatalf("%s: dom0 VM instance damaged: %v", name, err)
+		log.Fatalf("%s: dom0 VM instance damaged: %v", inj.Name, err)
 	}
-	fmt.Printf("%-28s    dom0 VM instance still alive (get_stats OK)\n\n", "")
+	fmt.Printf("%-28s    dom0 VM instance still alive (get_stats OK)\n", "")
+
+	// Beyond containment: re-derive, restart, replay — traffic resumes.
+	ev, err := sup.Recover()
+	if err != nil {
+		log.Fatalf("%s: recovery failed: %v", inj.Name, err)
+	}
+	if err := tw.GuestTransmit(d, frame); err != nil {
+		log.Fatalf("%s: transmit after recovery: %v", inj.Name, err)
+	}
+	fmt.Printf("%-28s    recovered in %d cycles (staged-tx dropped %d, rx dropped %d); traffic resumed\n\n",
+		"", ev.MTTRCycles, ev.StagedTxDiscarded, ev.RxPendingDropped)
+}
+
+// escalation shows the give-up policy: a deterministically broken driver
+// that faults right back is abandoned after K faults in the window.
+func escalation() {
+	m, tw, err := twindrivers.NewTwinMachine(1, 1, twindrivers.TwinConfig{Watchdog: 200_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := m.Devs[0]
+	d.NIC.OnTransmit = func([]byte) {}
+	sup := twindrivers.NewRecoverySupervisor(m, tw, twindrivers.RecoveryPolicy{MaxFaults: 3})
+	m.HV.Switch(m.DomU)
+	inj := twindrivers.FaultInjectors()[0] // wild write, re-injected each time
+
+	for i := 1; ; i++ {
+		if err := inj.Inject(m, tw, d); err != nil {
+			log.Fatal(err)
+		}
+		_ = trigger(tw, m, d, inj.TriggerOnRx)
+		if _, err := sup.Recover(); err != nil {
+			fmt.Printf("%-28s -> fault %d: %v\n", "flapping driver", i, err)
+			break
+		}
+		fmt.Printf("%-28s -> fault %d recovered (attempt %d)\n", "flapping driver", i, sup.Recoveries())
+	}
+	fmt.Printf("%-28s    twin stays dead: %d lifetime faults, %d recoveries\n\n",
+		"", tw.Faults, sup.Recoveries())
 }
 
 func main() {
-	scenario("wild write to hypervisor", func(m *machine, d *nicdev) error {
-		// Point netdev->priv at hypervisor memory: the driver's next
-		// dereference goes through SVM and is denied.
-		return m.Dom0.AS.Store(d.Netdev+kernel.NdPriv, 4, 0xF1000040)
-	}, nil)
-
-	scenario("runaway recursion (contained)", func(m *machine, d *nicdev) error {
-		// Point the RX cleaner function pointer back at the interrupt
-		// handler: intr -> clean_rx(=intr) -> ... The indirect-call
-		// translation happily follows it (it IS a valid driver entry);
-		// the watchdog instruction budget or the stack guard cuts the
-		// runaway off.
-		priv, _ := m.Dom0.AS.Load(d.Netdev+kernel.NdPriv, 4)
-		intr, _ := m.VMImage.FuncEntry("e1000_intr")
-		return m.Dom0.AS.Store(priv+52, 4, intr) // AD_CLEAN_RX
-	}, func(tw *twin, m *machine, d *nicdev) error {
-		rx := twindrivers.EthernetFrame(d.NIC.MAC, [6]byte{9, 9, 9, 9, 9, 9}, 0x0800, make([]byte, 128))
-		if !d.NIC.Inject(rx) {
-			return fmt.Errorf("inject failed")
-		}
-		return tw.HandleIRQ(d)
-	})
-
-	scenario("corrupt function pointer", func(m *machine, d *nicdev) error {
-		// adapter->clean_rx is driver data; a buggy driver scribbles a
-		// bogus value over it. The rewritten indirect call range-checks
-		// the target and the CPU's function-entry validation faults.
-		priv, _ := m.Dom0.AS.Load(d.Netdev+kernel.NdPriv, 4)
-		return m.Dom0.AS.Store(priv+52, 4, 0x1234) // AD_CLEAN_RX
-	}, func(tw *twin, m *machine, d *nicdev) error {
-		rx := twindrivers.EthernetFrame(d.NIC.MAC, [6]byte{9, 9, 9, 9, 9, 9}, 0x0800, make([]byte, 128))
-		if !d.NIC.Inject(rx) {
-			return fmt.Errorf("inject failed")
-		}
-		return tw.HandleIRQ(d)
-	})
+	for _, inj := range twindrivers.FaultInjectors() {
+		scenario(inj)
+	}
+	escalation()
 
 	// DMA attack vs IOMMU: a malicious descriptor aims DMA at hypervisor
 	// frames. Without an IOMMU this is the residual hole the paper

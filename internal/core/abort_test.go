@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"twindrivers/internal/kernel"
+)
+
+// Abort-teardown accounting, mirroring the PR 2 pool-leak regression
+// tests: when a containment fault kills the instance mid-operation, every
+// staged-but-undrained frame must be accounted (no pool leak, no phantom
+// delivery) and every in-flight pooled buffer must come back.
+
+// TestAbortDuringServiceRingsAccountsStagedFrames: four guests stage
+// batches; the instance dies on the second guest's first frame. The sweep
+// stops, every ring is reset (staged frames counted as lost, none
+// phantom-delivered by a later service), and the pool is whole again.
+func TestAbortDuringServiceRingsAccountsStagedFrames(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, 4, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	got := capture(d)
+	free := tw.PoolFree()
+
+	const perGuest = 3
+	for _, dom := range m.Guests {
+		m.HV.Switch(dom)
+		if staged, err := tw.StageTransmitBatch(dom, guestFrames(d, int(dom.ID), perGuest, 400)); err != nil || staged != perGuest {
+			t.Fatalf("guest %d staged %d: %v", dom.ID, staged, err)
+		}
+	}
+	// First round-robin pass sends one frame per guest; kill the instance
+	// before the drain so the very first invocation faults.
+	if err := m.Dom0.AS.Store(d.Netdev+kernel.NdPriv, 4, 0xF1000040); err != nil {
+		t.Fatal(err)
+	}
+	sent, err := tw.ServiceRings(d, 0)
+	if !errors.Is(err, ErrDriverDead) {
+		t.Fatalf("ServiceRings err = %v, want ErrDriverDead", err)
+	}
+	for id, n := range sent {
+		if n != 0 {
+			t.Fatalf("guest %d reported %d sent through a faulting instance", id, n)
+		}
+	}
+	if len(*got) != 0 {
+		t.Fatalf("wire saw %d frames from a faulting drain", len(*got))
+	}
+
+	// Teardown accounting: the faulting frame was consumed from its ring
+	// by Pop before the invocation died, so the remaining staged frames
+	// are 4*perGuest - 1; all of them were discarded, none remain staged.
+	if want := 4*perGuest - 1; tw.LastAbort.StagedTxDiscarded != want {
+		t.Errorf("StagedTxDiscarded = %d, want %d", tw.LastAbort.StagedTxDiscarded, want)
+	}
+	for _, dom := range m.Guests {
+		if n, err := tw.guestIO[dom.ID].ring.Len(); err != nil || n != 0 {
+			t.Errorf("guest %d ring still holds %d staged frames (err=%v)", dom.ID, n, err)
+		}
+	}
+	// No pool leak: the skb grabbed for the faulting frame was reclaimed.
+	if got := tw.PoolFree(); got != free {
+		t.Errorf("pool %d -> %d across abort", free, got)
+	}
+	// Guests now fail fast instead of staging into a dead ring.
+	m.HV.Switch(m.Guests[1])
+	if _, err := tw.StageTransmitBatch(m.Guests[1], guestFrames(d, 1, 1, 200)); !errors.Is(err, ErrDriverDead) {
+		t.Errorf("staging into a dead twin: %v, want ErrDriverDead", err)
+	}
+	// No phantom delivery after revival: the discarded frames never appear.
+	if err := tw.Revive(); err != nil {
+		t.Fatal(err)
+	}
+	if sent, err := tw.ServiceRings(d, 0); err != nil || len(sent) != 0 {
+		t.Fatalf("revived ServiceRings drained %v (err=%v), want empty rings", sent, err)
+	}
+	if len(*got) != 0 {
+		t.Errorf("phantom delivery: %d discarded frames reached the wire after revival", len(*got))
+	}
+}
+
+// TestAbortReclaimsInFlightRxBuffers: warm the receive path so the device
+// RX ring is posted with pool-provenance buffers and packets sit queued
+// for delivery, then kill the instance. The queued packets are dropped
+// (counted), the posted buffers reclaimed, and the pool ends whole.
+func TestAbortReclaimsInFlightRxBuffers(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	m.HV.Switch(m.DomU)
+	// Warm until the RX ring's posted buffers are pool-provenance.
+	for i := 0; i < 300; i++ {
+		if !d.NIC.Inject(EthernetFrame(d.NIC.MAC, [6]byte{3, 3, 3, 3, 3, byte(i)}, 0x0800, payload(400, byte(i)))) {
+			t.Fatal("warm inject")
+		}
+		if err := tw.HandleIRQ(d); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tw.DeliverPending(m.DomU); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Queue a few received packets without delivering them.
+	const pending = 4
+	for i := 0; i < pending; i++ {
+		if !d.NIC.Inject(EthernetFrame(d.NIC.MAC, [6]byte{4, 4, 4, 4, 4, byte(i)}, 0x0800, payload(400, byte(i)))) {
+			t.Fatal("inject")
+		}
+	}
+	if err := tw.HandleIRQ(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := tw.PendingRx(m.DomU.ID); got != pending {
+		t.Fatalf("pending = %d", got)
+	}
+
+	killTwin(t, m, tw, d)
+
+	if tw.LastAbort.RxPendingDropped != pending {
+		t.Errorf("RxPendingDropped = %d, want %d", tw.LastAbort.RxPendingDropped, pending)
+	}
+	if tw.PendingRx(m.DomU.ID) != 0 {
+		t.Error("dead twin still holds undelivered packets")
+	}
+	// Everything the pool ever lent out is back: posted RX buffers, the
+	// queued packets' buffers, the transmit skb of the faulting frame.
+	if tw.LastAbort.SkbsReclaimed == 0 {
+		t.Error("teardown reclaimed nothing despite posted RX buffers")
+	}
+	if got := tw.PoolFree(); got != tw.cfg.PoolSize {
+		t.Errorf("pool = %d of %d after teardown", got, tw.cfg.PoolSize)
+	}
+}
+
+// TestAbortClosesCoalescerWindow: a fault inside an open batch window must
+// force-close it, so post-recovery deliveries notify the guest instead of
+// being absorbed by a window nobody will ever End.
+func TestAbortClosesCoalescerWindow(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	capture(d)
+	m.HV.Switch(m.DomU)
+
+	tw.Coalescer.Begin()
+	// One delivery inside the window marks domU signalled.
+	tw.Coalescer.Deliver(m.DomU)
+	delivered := tw.Coalescer.Delivered
+	killTwin(t, m, tw, d)
+	// The window died with the instance: a post-recovery delivery is a
+	// real notification, not a coalesced no-op.
+	if err := tw.Revive(); err != nil {
+		t.Fatal(err)
+	}
+	tw.Coalescer.Deliver(m.DomU)
+	if tw.Coalescer.Delivered != delivered+1 {
+		t.Fatalf("post-recovery delivery was absorbed by a dead window (delivered %d -> %d)",
+			delivered, tw.Coalescer.Delivered)
+	}
+	tw.Coalescer.End() // the unwound caller's deferred End: must be a no-op
+	tw.Coalescer.Deliver(m.DomU)
+	if tw.Coalescer.Delivered != delivered+2 {
+		t.Fatal("stale End reopened coalescing state")
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"twindrivers/internal/e1000"
+	"twindrivers/internal/kernel"
+	"twindrivers/internal/mem"
+)
+
+// The configuration log is the shadow-driver half of transparent recovery:
+// during normal operation the machine records, as a replayable object log,
+// every configuration action that shaped the driver's state — netdev
+// creation (the module loader's owned fields), probe, open (which performs
+// the IRQ registration and ring programming), guest MAC routing and guest
+// transmit-ring formatting. When the hypervisor instance faults, the
+// supervisor re-derives a fresh instance and replays this log to bring the
+// device, the dom0-side driver data and the guest rings back to an
+// equivalent state, without the guests ever detaching.
+
+// ConfigOp tags one replayable configuration event.
+type ConfigOp uint8
+
+// Configuration event kinds, in the order bring-up records them.
+const (
+	// OpNetdev restores the module-loader-owned net_device fields (the
+	// priv pointer) before the driver's probe touches them: a wild write
+	// may have scribbled exactly these words, and replaying probe over a
+	// corrupt priv pointer would spread the damage instead of healing it.
+	OpNetdev ConfigOp = iota
+
+	// OpProbe replays the driver's probe entry point through the VM
+	// instance (initialisation always runs in dom0, §3.1 of the paper).
+	OpProbe
+
+	// OpOpen replays the driver's open: IRQ registration, descriptor-ring
+	// programming, RX fill, watchdog-timer arming.
+	OpOpen
+
+	// OpGuestMAC re-asserts a receive-demultiplex route.
+	OpGuestMAC
+
+	// OpRing reformats and re-attaches a guest's transmit descriptor ring
+	// at its recorded base (the guest keeps the same mapping; recovery
+	// must not move it).
+	OpRing
+)
+
+// ConfigEvent is one entry of the log. Fields are used per-op: Dev indexes
+// Machine.Devs for OpNetdev/OpProbe/OpOpen; Dom and MAC describe OpGuestMAC;
+// Dom, Addr (ring base) and Aux (slot count) describe OpRing; Addr/Aux carry
+// the net_device address and priv pointer for OpNetdev.
+type ConfigEvent struct {
+	Op   ConfigOp
+	Dev  int
+	Dom  mem.Owner
+	MAC  [6]byte
+	Addr uint32
+	Aux  uint32
+}
+
+// ConfigLog is an append-only record of configuration history.
+type ConfigLog struct {
+	Events []ConfigEvent
+}
+
+// record appends one event.
+func (l *ConfigLog) record(ev ConfigEvent) {
+	l.Events = append(l.Events, ev)
+}
+
+// replayConfig drives the recorded configuration history into a freshly
+// installed hypervisor instance. Probe and open run through the VM driver
+// instance exactly as at bring-up; ring and MAC events rebuild the
+// twin-side routing and guest I/O state in place.
+func (t *Twin) replayConfig() error {
+	m := t.M
+	for _, ev := range m.Config.Events {
+		switch ev.Op {
+		case OpNetdev:
+			if err := m.Dom0.AS.Store(ev.Addr+kernel.NdPriv, 4, ev.Aux); err != nil {
+				return err
+			}
+		case OpProbe:
+			d := m.Devs[ev.Dev]
+			// register_netdev will re-add the device; drop the stale entry.
+			m.K.DropNetdev(d.Netdev)
+			if _, err := m.CallDriver(e1000.FnProbe, d.Netdev, d.MMIOPhys, d.IRQ); err != nil {
+				return err
+			}
+		case OpOpen:
+			if _, err := m.CallDriver(e1000.FnOpen, m.Devs[ev.Dev].Netdev); err != nil {
+				return err
+			}
+		case OpGuestMAC:
+			t.macToDom[ev.MAC] = ev.Dom
+		case OpRing:
+			g, ok := t.guestIO[ev.Dom]
+			if !ok {
+				continue
+			}
+			ring, err := mem.InitRing(g.dom.AS, ev.Addr, int(ev.Aux))
+			if err != nil {
+				return err
+			}
+			g.ring = ring
+		}
+	}
+	return nil
+}

@@ -500,8 +500,12 @@ func TestTwinContainmentWildWrite(t *testing.T) {
 	if !tw.Dead {
 		t.Error("driver not marked dead")
 	}
-	if len(tw.FaultLog) == 0 || !strings.Contains(tw.FaultLog[0], "protection") {
-		t.Errorf("fault log: %v", tw.FaultLog)
+	log := tw.FaultLog()
+	if len(log) == 0 || !strings.Contains(log[0].Cause, "protection") {
+		t.Errorf("fault log: %v", log)
+	}
+	if log[0].Entry != e1000.FnXmit {
+		t.Errorf("fault attributed to %q, want %q", log[0].Entry, e1000.FnXmit)
 	}
 	// Subsequent invocations refuse cleanly.
 	if err := tw.GuestTransmit(d, frame); err == nil {

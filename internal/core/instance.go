@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"twindrivers/internal/asm"
+	"twindrivers/internal/cpu"
+	"twindrivers/internal/e1000"
+	"twindrivers/internal/mem"
+	"twindrivers/internal/rewrite"
+	"twindrivers/internal/svm"
+	"twindrivers/internal/xen"
+)
+
+// hvInstance bundles everything one derivation of the hypervisor driver
+// instance produces: the translating SVM with its stlb table, the laid-out
+// image with its resolved entry points, and the guard-paged stack. The
+// Twin's durable state (buffer pool, guest rings, routing, fault history)
+// lives outside it, which is what lets transparent recovery throw a faulted
+// instance away and install a fresh one while the guests keep their
+// connections.
+type hvInstance struct {
+	sv    *svm.SVM
+	image *asm.Image
+	stats *rewrite.Stats
+
+	xmitEntry uint32
+	intrEntry uint32
+
+	stackTop uint32
+	guardLo  uint32
+	guardHi  uint32
+
+	// entryName maps the instance's invocable entry addresses to their
+	// driver symbols, so a containment fault can be attributed to the
+	// entry point that was running (FaultRecord.Entry).
+	entryName map[uint32]string
+}
+
+// buildInstance runs the derivation pipeline — rewrite, translating SVM,
+// gate binding (hypervisor support implementations and upcall stubs),
+// image layout, twin globals — and returns the product without touching
+// the Twin's live state. At bring-up, loadTwin passes the unit it already
+// derived for the VM image (the twins share one rewrite); on recovery ru
+// and stats are nil and the driver is re-derived from scratch — deliberate,
+// the faulted image is never trusted or reused.
+//
+// Gate and hypervisor-page allocations are append-only in the xen model, so
+// each rebuild leaks the dead instance's gates, stlb table and stack. The
+// recovery supervisor bounds that two ways — K faults inside a window kill
+// a fast flapper, and a lifetime recovery budget (Policy.MaxRecoveries)
+// caps even a slow one — mirroring a real hypervisor that would reserve a
+// fixed number of reload arenas.
+func (t *Twin) buildInstance(ru *asm.Unit, stats *rewrite.Stats) (*hvInstance, error) {
+	m, cfg := t.M, t.cfg
+	hv, k := m.HV, m.K
+
+	if ru == nil {
+		var err error
+		if ru, stats, err = rewrite.Rewrite(m.Unit, cfg.Rewrite); err != nil {
+			return nil, fmt.Errorf("core: derive driver: %w", err)
+		}
+	}
+	inst := &hvInstance{stats: stats}
+
+	tableBytes := uint32(cfg.STLBEntries * svm.EntrySize)
+	hvTable := hv.AllocHVPages(int(tableBytes+mem.PageSize-1) / mem.PageSize)
+	sv, err := svm.NewSized(hv, m.Dom0, hv.HVSpace, hvTable, cfg.STLBEntries, false)
+	if err != nil {
+		return nil, err
+	}
+	inst.sv = sv
+	hvSlow := hv.BindGate("__svm_slowpath.hv", func(c *cpu.CPU) (uint32, error) {
+		return sv.SlowPath(c.Meter, c.Arg(0))
+	})
+	hvGlobals := hv.AllocHVPages(1)
+	top, lo, hi := hv.AllocStack(16)
+	inst.stackTop, inst.guardLo, inst.guardHi = top, lo, hi
+
+	// Call-import resolution: hypervisor implementation, else upcall stub.
+	// The support closures read the Twin's durable state (pool, queues,
+	// routing) and its current SVM, so they stay correct across rebuilds.
+	stubAddrs := make(map[string]uint32)
+	implAddrs := make(map[string]uint32)
+	for _, sym := range ru.UndefinedSymbols() {
+		if !k.IsSupportRoutine(sym) {
+			continue
+		}
+		name := sym
+		if t.hvSupport[name] {
+			fn, ok := hvSupportImpl(t, name)
+			if !ok {
+				return nil, fmt.Errorf("core: no hypervisor implementation of %q", name)
+			}
+			implAddrs[name] = hv.BindGate("hv."+name, fn)
+			continue
+		}
+		impl, ok := k.Extern(name)
+		if !ok {
+			return nil, fmt.Errorf("core: no dom0 implementation of %q", name)
+		}
+		stubAddrs[name] = hv.BindGate("stub."+name, t.Upcalls.MakeStub(name, impl))
+	}
+
+	hvResolve := func(sym string) (uint32, bool) {
+		switch sym {
+		case rewrite.SymSTLB:
+			return hvTable, true
+		case rewrite.SymSlowPath:
+			return hvSlow, true
+		case rewrite.SymStackViolation:
+			return t.stackViolGate, true
+		case rewrite.SymCodeLo:
+			return hvGlobals + 0, true
+		case rewrite.SymCodeHi:
+			return hvGlobals + 4, true
+		case rewrite.SymCodeDelta:
+			return hvGlobals + 8, true
+		case rewrite.SymScratch:
+			return hvGlobals + 12, true
+		case rewrite.SymStackLo:
+			return hvGlobals + 16, true
+		case rewrite.SymStackHi:
+			return hvGlobals + 20, true
+		}
+		if a, ok := implAddrs[sym]; ok {
+			return a, true
+		}
+		if a, ok := stubAddrs[sym]; ok {
+			return a, true
+		}
+		// Kernel data imports (jiffies) resolve to their dom0 addresses,
+		// reached through SVM at run time (§5.2).
+		if a, ok := k.Resolver()(sym); ok {
+			return a, true
+		}
+		return 0, false
+	}
+	// Data at the same dom0 base: one copy of driver data (§3.2).
+	hvIm, err := asm.Layout("e1000-hv", ru, xen.HVDriverCode, xen.Dom0DriverData, hvResolve)
+	if err != nil {
+		return nil, fmt.Errorf("core: load hypervisor instance: %w", err)
+	}
+	inst.image = hvIm
+
+	// Twin globals for the hypervisor instance: the VM instance's code
+	// range and the constant code delta.
+	vmIm := m.VMImage
+	for _, w := range []struct {
+		off uint32
+		val uint32
+	}{
+		{0, vmIm.CodeBase},
+		{4, vmIm.CodeEnd},
+		{8, xen.HVDriverCode - xen.Dom0DriverCode},
+		{16, lo},
+		{20, hi},
+	} {
+		if err := hv.HVSpace.Store(hvGlobals+w.off, 4, w.val); err != nil {
+			return nil, err
+		}
+	}
+
+	var ok bool
+	if inst.xmitEntry, ok = hvIm.FuncEntry(e1000.FnXmit); !ok {
+		return nil, fmt.Errorf("core: derived driver lacks %s", e1000.FnXmit)
+	}
+	if inst.intrEntry, ok = hvIm.FuncEntry(e1000.FnIntr); !ok {
+		return nil, fmt.Errorf("core: derived driver lacks %s", e1000.FnIntr)
+	}
+	inst.entryName = map[uint32]string{
+		inst.xmitEntry: e1000.FnXmit,
+		inst.intrEntry: e1000.FnIntr,
+	}
+	return inst, nil
+}
+
+// installInstance makes a built instance the Twin's live one: its image
+// becomes executable and the Twin's public handles (SV, HVImage,
+// RewriteStats) and entry/stack caches point at it.
+func (t *Twin) installInstance(inst *hvInstance) {
+	t.SV = inst.sv
+	t.HVImage = inst.image
+	t.RewriteStats = inst.stats
+	t.xmitEntry, t.intrEntry = inst.xmitEntry, inst.intrEntry
+	t.stackTop, t.guardLo, t.guardHi = inst.stackTop, inst.guardLo, inst.guardHi
+	t.entryName = inst.entryName
+	t.M.HV.CPU.AddImage(inst.image)
+}
+
+// Revive brings a dead twin back: it re-derives a fresh hypervisor
+// instance through the same rewrite/layout pipeline used at bring-up,
+// installs it, and replays the recorded configuration history (probe, open
+// with its IRQ registration and watchdog re-arm, guest MAC routes, guest
+// transmit rings). The abort that killed the previous instance already
+// returned in-flight pooled buffers, reset the guest rings and closed any
+// open coalescing window, so Revive starts from clean durable state.
+//
+// Revive is the mechanism; policy — when to revive, how often, when to
+// give up — belongs to internal/recovery's supervisor.
+func (t *Twin) Revive() error {
+	if !t.Dead {
+		return nil
+	}
+	inst, err := t.buildInstance(nil, nil)
+	if err != nil {
+		return fmt.Errorf("core: re-derive instance: %w", err)
+	}
+	t.installInstance(inst)
+	if err := t.replayConfig(); err != nil {
+		// The fresh instance never went live: keep the twin dead rather
+		// than half-configured.
+		t.M.CPU.RemoveImage(inst.image)
+		return fmt.Errorf("core: replay configuration: %w", err)
+	}
+	t.Dead = false
+	return nil
+}

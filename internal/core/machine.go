@@ -43,6 +43,11 @@ type Machine struct {
 
 	Devs []*NICDev
 
+	// Config is the replayable configuration history (netdev creation,
+	// probe, open, guest routing): the object log transparent recovery
+	// replays over a freshly derived instance.
+	Config *ConfigLog
+
 	// Unit is the assembled driver (original form).
 	Unit *asm.Unit
 	// VMImage is the loaded VM driver instance (original in the native
@@ -63,7 +68,7 @@ func newBase(nNICs, nGuests int) (*Machine, error) {
 	}
 	hv := xen.New()
 	dom0 := hv.CreateDomain(mem.OwnerDom0, "dom0")
-	m := &Machine{HV: hv, Dom0: dom0, CPU: hv.CPU}
+	m := &Machine{HV: hv, Dom0: dom0, CPU: hv.CPU, Config: &ConfigLog{}}
 	for i := 0; i < nGuests; i++ {
 		name := "domU"
 		if i > 0 {
@@ -99,19 +104,24 @@ func newBase(nNICs, nGuests int) (*Machine, error) {
 		}
 		d := &NICDev{NIC: dev, Netdev: nd, MMIOPhys: firstFrame * mem.PageSize, IRQ: uint32(16 + i)}
 		m.Devs = append(m.Devs, d)
+		priv, _ := dom0.AS.Load(nd+kernel.NdPriv, 4)
+		m.Config.record(ConfigEvent{Op: OpNetdev, Dev: i, MAC: dev.MAC, Addr: nd, Aux: priv})
 	}
 	return m, nil
 }
 
-// probeAll runs the VM driver instance's probe and open for every NIC.
+// probeAll runs the VM driver instance's probe and open for every NIC,
+// recording both in the configuration log so recovery can replay them.
 func (m *Machine) probeAll() error {
 	for i, d := range m.Devs {
 		if _, err := m.CallDriver(e1000.FnProbe, d.Netdev, d.MMIOPhys, d.IRQ); err != nil {
 			return fmt.Errorf("core: probe eth%d: %w", i, err)
 		}
+		m.Config.record(ConfigEvent{Op: OpProbe, Dev: i})
 		if _, err := m.CallDriver(e1000.FnOpen, d.Netdev); err != nil {
 			return fmt.Errorf("core: open eth%d: %w", i, err)
 		}
+		m.Config.record(ConfigEvent{Op: OpOpen, Dev: i})
 	}
 	return nil
 }

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"twindrivers/internal/e1000"
+	"twindrivers/internal/kernel"
+)
+
+// killTwin injects a wild write (netdev->priv aimed at hypervisor memory)
+// and triggers it with a transmit, leaving the instance dead.
+func killTwin(t *testing.T, m *Machine, tw *Twin, d *NICDev) {
+	t.Helper()
+	if err := m.Dom0.AS.Store(d.Netdev+kernel.NdPriv, 4, 0xF1000040); err != nil {
+		t.Fatal(err)
+	}
+	frame := EthernetFrame([6]byte{6, 6, 6, 6, 6, 6}, d.NIC.MAC, 0x0800, payload(100, 1))
+	if err := tw.GuestTransmit(d, frame); !errors.Is(err, ErrDriverDead) {
+		t.Fatalf("wild write not contained: %v", err)
+	}
+	if !tw.Dead {
+		t.Fatal("twin not dead after containment fault")
+	}
+}
+
+// TestReviveAfterWildWrite: a revived twin re-derives a fresh instance,
+// replays the configuration (healing the scribbled netdev->priv) and moves
+// traffic again — transmit AND receive — while dom0's VM instance never
+// noticed.
+func TestReviveAfterWildWrite(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	got := capture(d)
+	m.HV.Switch(m.DomU)
+	killTwin(t, m, tw, d)
+	oldImage := tw.HVImage
+
+	if err := tw.Revive(); err != nil {
+		t.Fatalf("revive: %v", err)
+	}
+	if tw.Dead {
+		t.Fatal("twin still dead after Revive")
+	}
+	if tw.HVImage == oldImage {
+		t.Fatal("revive reused the faulted image instead of re-deriving")
+	}
+	// The wild write's damage is healed: priv points at the adapter again.
+	if priv := m.K.NetdevStat(d.Netdev, kernel.NdPriv); priv == 0xF1000040 {
+		t.Fatal("replay did not restore netdev->priv")
+	}
+
+	m.HV.Switch(m.DomU)
+	frame := EthernetFrame([6]byte{1, 1, 1, 1, 1, 1}, d.NIC.MAC, 0x0800, payload(500, 7))
+	if err := tw.GuestTransmit(d, frame); err != nil {
+		t.Fatalf("transmit on revived instance: %v", err)
+	}
+	if len(*got) != 1 || !bytes.Equal((*got)[0], frame) {
+		t.Fatalf("wire saw %d frames after revive", len(*got))
+	}
+	// Receive: the replayed open re-registered the IRQ and refilled the RX
+	// ring, so the interrupt path works end to end.
+	rx := EthernetFrame(d.NIC.MAC, [6]byte{9, 9, 9, 9, 9, 9}, 0x0800, payload(300, 3))
+	if !d.NIC.Inject(rx) {
+		t.Fatal("inject")
+	}
+	if err := tw.HandleIRQ(d); err != nil {
+		t.Fatalf("IRQ on revived instance: %v", err)
+	}
+	pkts, err := tw.DeliverPending(m.DomU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 1 || !bytes.Equal(pkts[0], rx) {
+		t.Fatalf("revived receive delivered %d packets", len(pkts))
+	}
+}
+
+// TestReviveIsNoOpWhileAlive: Revive on a live twin does nothing.
+func TestReviveIsNoOpWhileAlive(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	im := tw.HVImage
+	if err := tw.Revive(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.HVImage != im {
+		t.Fatal("Revive rebuilt a live instance")
+	}
+	_ = m
+}
+
+// TestReviveMultiGuestKeepsConnections: with four guests attached, a fault
+// plus revive preserves every guest's ring mapping and MAC route — all
+// four keep moving traffic afterwards without re-attaching.
+func TestReviveMultiGuestKeepsConnections(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, 4, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	got := capture(d)
+	// Per-guest MAC routes (recorded in the config log).
+	macs := make([][6]byte, len(m.Guests))
+	for g, dom := range m.Guests {
+		macs[g] = [6]byte{0x02, 0xAA, 0, 0, 0, byte(g)}
+		tw.RegisterGuestMAC(macs[g], dom.ID)
+	}
+	ringBases := make(map[int]uint32)
+	for g, dom := range m.Guests {
+		ringBases[g] = tw.guestIO[dom.ID].ring.Base
+	}
+
+	m.HV.Switch(m.DomU)
+	killTwin(t, m, tw, d)
+	if err := tw.Revive(); err != nil {
+		t.Fatalf("revive: %v", err)
+	}
+
+	// Rings re-attached in place.
+	for g, dom := range m.Guests {
+		if tw.guestIO[dom.ID].ring.Base != ringBases[g] {
+			t.Fatalf("guest %d ring moved across recovery", g)
+		}
+	}
+	// Every guest transmits through its own ring via one service crossing.
+	for _, dom := range m.Guests {
+		m.HV.Switch(dom)
+		if staged, err := tw.StageTransmitBatch(dom, guestFrames(d, int(dom.ID), 2, 300)); err != nil || staged != 2 {
+			t.Fatalf("guest %d staging after revive: %d, %v", dom.ID, staged, err)
+		}
+	}
+	sent, err := tw.ServiceRings(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dom := range m.Guests {
+		if sent[dom.ID] != 2 {
+			t.Fatalf("guest %d sent %d of 2 after revive", dom.ID, sent[dom.ID])
+		}
+	}
+	if len(*got) != 2*len(m.Guests) {
+		t.Fatalf("wire saw %d frames", len(*got))
+	}
+	// And receive demux still routes on the replayed MAC table.
+	m.HV.Switch(m.DomU)
+	for g := range m.Guests {
+		rx := EthernetFrame(macs[g], [6]byte{1, 2, 3, 4, 5, byte(g)}, 0x0800, payload(200, byte(g)))
+		if !d.NIC.Inject(rx) {
+			t.Fatal("inject")
+		}
+		if err := tw.HandleIRQ(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, dom := range m.Guests {
+		if tw.PendingRx(dom.ID) != 1 {
+			t.Fatalf("guest %d pending %d after revive", dom.ID, tw.PendingRx(dom.ID))
+		}
+	}
+}
+
+// TestFaultLogBoundedAndAttributed: the fault log is a bounded ring that
+// records the classified kind and the faulting entry-point symbol, while
+// Faults keeps the lifetime count.
+func TestFaultLogBoundedAndAttributed(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	m.HV.Switch(m.DomU)
+	for i := 0; i < FaultLogCap+5; i++ {
+		killTwin(t, m, tw, d)
+		if err := tw.Revive(); err != nil {
+			t.Fatalf("revive %d: %v", i, err)
+		}
+		m.HV.Switch(m.DomU)
+	}
+	if tw.Faults != FaultLogCap+5 {
+		t.Errorf("Faults = %d, want %d", tw.Faults, FaultLogCap+5)
+	}
+	log := tw.FaultLog()
+	if len(log) != FaultLogCap {
+		t.Fatalf("fault log holds %d records, want the %d-record bound", len(log), FaultLogCap)
+	}
+	for i, rec := range log {
+		if rec.Entry != e1000.FnXmit {
+			t.Fatalf("record %d entry = %q", i, rec.Entry)
+		}
+		if !strings.Contains(rec.Cause, "protection") {
+			t.Fatalf("record %d cause = %q", i, rec.Cause)
+		}
+		if i > 0 && rec.Cycle < log[i-1].Cycle {
+			t.Fatalf("fault timestamps not monotonic at %d", i)
+		}
+	}
+}

@@ -3,12 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"twindrivers/internal/asm"
 	"twindrivers/internal/cost"
 	"twindrivers/internal/cpu"
 	"twindrivers/internal/cycles"
-	"twindrivers/internal/e1000"
 	"twindrivers/internal/isa"
 	"twindrivers/internal/kernel"
 	"twindrivers/internal/mem"
@@ -71,6 +71,45 @@ var ErrDriverDead = errors.New("core: hypervisor driver instance is dead")
 // ErrTxBusy reports a transient transmit-ring-full condition.
 var ErrTxBusy = errors.New("core: transmit ring busy")
 
+// FaultLogCap bounds the fault log: a flapping driver must not grow an
+// unbounded history, so the log is a ring keeping the most recent records
+// (Twin.Faults still counts every fault ever taken).
+const FaultLogCap = 32
+
+// FaultRecord describes one containment fault: the classified CPU fault
+// kind, the driver entry-point symbol that was executing, the cause text
+// and a lifetime-cycle timestamp (the monotonic clock recovery policies
+// window over).
+type FaultRecord struct {
+	Kind  cpu.FaultKind
+	Entry string
+	Cause string
+	Cycle uint64
+}
+
+// String renders a record the way the old string log read, plus the entry
+// attribution.
+func (r FaultRecord) String() string {
+	return fmt.Sprintf("[%s @%dcyc] %s", r.Entry, r.Cycle, r.Cause)
+}
+
+// AbortStats is the teardown accounting of one abort: how many packets
+// were lost where, and how many in-flight pooled buffers came back.
+type AbortStats struct {
+	// StagedTxDiscarded counts frames that guests had staged on their
+	// transmit rings but the dead instance never drained.
+	StagedTxDiscarded int
+
+	// RxPendingDropped counts packets received and queued but never
+	// delivered to their guest.
+	RxPendingDropped int
+
+	// SkbsReclaimed counts pooled sk_buffs that were in flight (posted as
+	// RX buffers, parked on the device transmit ring, or queued for
+	// delivery) and were returned to the pool by the teardown.
+	SkbsReclaimed int
+}
+
 // Twin is the loaded TwinDrivers runtime: both instances live, single data
 // copy in dom0.
 type Twin struct {
@@ -94,22 +133,32 @@ type Twin struct {
 	// routines by name.
 	HvCalls map[string]uint64
 
-	// Dead is set after a containment fault; FaultLog records them.
-	Dead     bool
-	FaultLog []string
+	// Dead is set after a containment fault; Faults counts every fault
+	// over the twin's lifetime (recoveries do not reset it) and
+	// FaultLog() exposes the bounded log of the most recent ones.
+	Dead   bool
+	Faults uint64
 
-	cfg        TwinConfig
-	hvSupport  map[string]bool
-	xmitEntry  uint32
-	intrEntry  uint32
-	stackTop   uint32
-	guardLo    uint32
-	guardHi    uint32
-	pool       []uint32          // free pooled skbs
-	fragBuf    map[uint32]uint32 // pooled skb -> preallocated frag buffer
-	rxQueues   map[mem.Owner][]uint32
-	macToDom   map[[6]byte]mem.Owner
-	pendingIRQ []*NICDev // deferred while dom0 masks virtual interrupts
+	// LastAbort describes what the most recent abort's teardown found:
+	// the loss and reclamation accounting a recovery supervisor reports.
+	LastAbort AbortStats
+
+	cfg           TwinConfig
+	hvSupport     map[string]bool
+	xmitEntry     uint32
+	intrEntry     uint32
+	stackTop      uint32
+	guardLo       uint32
+	guardHi       uint32
+	stackViolGate uint32
+	entryName     map[uint32]string
+	faultLog      []FaultRecord
+	pool          []uint32          // free pooled skbs
+	outstanding   map[uint32]bool   // pooled skbs handed out and not yet returned
+	fragBuf       map[uint32]uint32 // pooled skb -> preallocated frag buffer
+	rxQueues      map[mem.Owner][]uint32
+	macToDom      map[[6]byte]mem.Owner
+	pendingIRQ    []*NICDev // deferred while dom0 masks virtual interrupts
 
 	// guestIO holds each guest's transmit-side I/O state, keyed by the
 	// owning domain; guestOrder fixes the round-robin service order.
@@ -175,13 +224,14 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 	cfg.Rewrite.STLBEntries = cfg.STLBEntries
 
 	t := &Twin{
-		M:         m,
-		HvCalls:   make(map[string]uint64),
-		cfg:       cfg,
-		hvSupport: make(map[string]bool),
-		fragBuf:   make(map[uint32]uint32),
-		rxQueues:  make(map[mem.Owner][]uint32),
-		macToDom:  make(map[[6]byte]mem.Owner),
+		M:           m,
+		HvCalls:     make(map[string]uint64),
+		cfg:         cfg,
+		hvSupport:   make(map[string]bool),
+		fragBuf:     make(map[uint32]uint32),
+		outstanding: make(map[uint32]bool),
+		rxQueues:    make(map[mem.Owner][]uint32),
+		macToDom:    make(map[[6]byte]mem.Owner),
 	}
 	for _, n := range cfg.HvSupport {
 		if !m.K.IsSupportRoutine(n) {
@@ -190,15 +240,19 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 		t.hvSupport[n] = true
 	}
 
+	// One derivation serves both instances at bring-up: the rewritten unit
+	// is laid out twice (identity stlb in dom0, translating stlb in the
+	// hypervisor). Only a recovery re-derives.
 	ru, stats, err := rewrite.Rewrite(m.Unit, cfg.Rewrite)
 	if err != nil {
 		return nil, fmt.Errorf("core: derive driver: %w", err)
 	}
-	t.RewriteStats = stats
 
 	hv, k := m.HV, m.K
 
 	// --- VM instance: rewritten binary, identity stlb, in dom0 ----------
+	// Built exactly once: dom0 and its VM instance survive every
+	// containment fault; only the hypervisor instance is rebuilt.
 	tableBytes := uint32(cfg.STLBEntries * svm.EntrySize)
 	idTable := k.Alloc(tableBytes)
 	idSv, err := svm.NewSized(hv, m.Dom0, m.Dom0.AS, idTable, cfg.STLBEntries, true)
@@ -210,7 +264,7 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 		return idSv.SlowPath(c.Meter, c.Arg(0))
 	})
 	idGlobals := k.Alloc(32) // code_lo/hi/delta zero: no adjustment
-	stackViol := hv.BindGate("__svm_stack_violation", func(c *cpu.CPU) (uint32, error) {
+	t.stackViolGate = hv.BindGate("__svm_stack_violation", func(c *cpu.CPU) (uint32, error) {
 		return 0, &cpu.Fault{Kind: cpu.FaultProtection, Msg: "stack bounds violation"}
 	})
 
@@ -221,7 +275,7 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 		case rewrite.SymSlowPath:
 			return idSlow, true
 		case rewrite.SymStackViolation:
-			return stackViol, true
+			return t.stackViolGate, true
 		case rewrite.SymCodeLo, rewrite.SymCodeHi, rewrite.SymCodeDelta:
 			return idGlobals + 0, true // all read as zero
 		case rewrite.SymScratch:
@@ -243,111 +297,8 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 	m.VMImage = vmIm
 	hv.CPU.AddImage(vmIm)
 
-	// --- Hypervisor instance: translating stlb, upcall stubs -------------
-	hvTable := hv.AllocHVPages(int(tableBytes+mem.PageSize-1) / mem.PageSize)
-	sv, err := svm.NewSized(hv, m.Dom0, hv.HVSpace, hvTable, cfg.STLBEntries, false)
-	if err != nil {
-		return nil, err
-	}
-	t.SV = sv
-	hvSlow := hv.BindGate("__svm_slowpath.hv", func(c *cpu.CPU) (uint32, error) {
-		return sv.SlowPath(c.Meter, c.Arg(0))
-	})
-	hvGlobals := hv.AllocHVPages(1)
-	top, lo, hi := hv.AllocStack(16)
-	t.stackTop, t.guardLo, t.guardHi = top, lo, hi
-
+	// --- Durable twin state: shared by every hypervisor instance --------
 	t.Upcalls = upcall.New(hv, m.Dom0)
-
-	// Call-import resolution: hypervisor implementation, else upcall stub.
-	stubAddrs := make(map[string]uint32)
-	implAddrs := make(map[string]uint32)
-	for _, sym := range ru.UndefinedSymbols() {
-		if !k.IsSupportRoutine(sym) {
-			continue
-		}
-		name := sym
-		if t.hvSupport[name] {
-			fn, ok := hvSupportImpl(t, name)
-			if !ok {
-				return nil, fmt.Errorf("core: no hypervisor implementation of %q", name)
-			}
-			implAddrs[name] = hv.BindGate("hv."+name, fn)
-			continue
-		}
-		impl, ok := k.Extern(name)
-		if !ok {
-			return nil, fmt.Errorf("core: no dom0 implementation of %q", name)
-		}
-		stubAddrs[name] = hv.BindGate("stub."+name, t.Upcalls.MakeStub(name, impl))
-	}
-
-	hvResolve := func(sym string) (uint32, bool) {
-		switch sym {
-		case rewrite.SymSTLB:
-			return hvTable, true
-		case rewrite.SymSlowPath:
-			return hvSlow, true
-		case rewrite.SymStackViolation:
-			return stackViol, true
-		case rewrite.SymCodeLo:
-			return hvGlobals + 0, true
-		case rewrite.SymCodeHi:
-			return hvGlobals + 4, true
-		case rewrite.SymCodeDelta:
-			return hvGlobals + 8, true
-		case rewrite.SymScratch:
-			return hvGlobals + 12, true
-		case rewrite.SymStackLo:
-			return hvGlobals + 16, true
-		case rewrite.SymStackHi:
-			return hvGlobals + 20, true
-		}
-		if a, ok := implAddrs[sym]; ok {
-			return a, true
-		}
-		if a, ok := stubAddrs[sym]; ok {
-			return a, true
-		}
-		// Kernel data imports (jiffies) resolve to their dom0 addresses,
-		// reached through SVM at run time (§5.2).
-		if a, ok := k.Resolver()(sym); ok {
-			return a, true
-		}
-		return 0, false
-	}
-	// Data at the same dom0 base: one copy of driver data (§3.2).
-	hvIm, err := asm.Layout("e1000-hv", ru, xen.HVDriverCode, xen.Dom0DriverData, hvResolve)
-	if err != nil {
-		return nil, fmt.Errorf("core: load hypervisor instance: %w", err)
-	}
-	t.HVImage = hvIm
-	hv.CPU.AddImage(hvIm)
-
-	// Twin globals for the hypervisor instance: the VM instance's code
-	// range and the constant code delta.
-	for _, w := range []struct {
-		off uint32
-		val uint32
-	}{
-		{0, vmIm.CodeBase},
-		{4, vmIm.CodeEnd},
-		{8, xen.HVDriverCode - xen.Dom0DriverCode},
-		{16, lo},
-		{20, hi},
-	} {
-		if err := hv.HVSpace.Store(hvGlobals+w.off, 4, w.val); err != nil {
-			return nil, err
-		}
-	}
-
-	var ok bool
-	if t.xmitEntry, ok = hvIm.FuncEntry(e1000.FnXmit); !ok {
-		return nil, fmt.Errorf("core: derived driver lacks %s", e1000.FnXmit)
-	}
-	if t.intrEntry, ok = hvIm.FuncEntry(e1000.FnIntr); !ok {
-		return nil, fmt.Errorf("core: derived driver lacks %s", e1000.FnIntr)
-	}
 
 	// Preallocated dom0 buffer pool with the refcount trick (§4.3).
 	for i := 0; i < cfg.PoolSize; i++ {
@@ -365,7 +316,9 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 
 	// Per-guest I/O state: guest notifications and upcall IRQs coalesce to
 	// one per batch window; each guest's transmit ring and staging buffers
-	// carry whole batches across the boundary per crossing.
+	// carry whole batches across the boundary per crossing. Ring formatting
+	// is recorded in the configuration log so recovery re-attaches each
+	// guest's ring at the same base it already maps.
 	t.Coalescer = upcall.NewCoalescer(hv)
 	t.Upcalls.Coalesce = t.Coalescer
 	t.guestIO = make(map[mem.Owner]*guestIO)
@@ -383,7 +336,17 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 		}
 		t.guestIO[g.ID] = io
 		t.guestOrder = append(t.guestOrder, g.ID)
+		m.Config.record(ConfigEvent{Op: OpRing, Dom: g.ID, Addr: ringBase, Aux: TxRingSlots})
 	}
+
+	// --- Hypervisor instance: derived, translating stlb, upcall stubs ---
+	// Everything instance-scoped lives in buildInstance so a faulted
+	// instance can be torn away and re-derived (see instance.go).
+	inst, err := t.buildInstance(ru, stats)
+	if err != nil {
+		return nil, err
+	}
+	t.installInstance(inst)
 	return t, nil
 }
 
@@ -399,15 +362,41 @@ func (t *Twin) ioCurrent() *guestIO {
 }
 
 // RegisterGuestMAC routes received packets with the given destination MAC
-// to a domain.
+// to a domain. The route is recorded in the configuration log so recovery
+// re-asserts it on a rebuilt instance.
 func (t *Twin) RegisterGuestMAC(mac [6]byte, dom mem.Owner) {
 	t.macToDom[mac] = dom
+	t.M.Config.record(ConfigEvent{Op: OpGuestMAC, MAC: mac, Dom: dom})
+}
+
+// FaultLog returns the bounded fault history, oldest first. It is a copy:
+// callers may keep it across further faults.
+func (t *Twin) FaultLog() []FaultRecord {
+	return append([]FaultRecord(nil), t.faultLog...)
 }
 
 // PoolFree reports the number of free pooled sk_buffs.
 func (t *Twin) PoolFree() int { return len(t.pool) }
 
-// poolGet pops a pooled skb and reinitialises it.
+// LeakPooledBuffers is a fault-injection hook: it makes up to n pooled
+// sk_buffs unreachable, the way a driver bug that forgets to free its
+// buffers does. The leaked buffers stay in the outstanding set, so the
+// teardown of a subsequent containment abort reclaims them — recovery
+// heals the leak along with the instance. Returns how many were leaked.
+func (t *Twin) LeakPooledBuffers(n int) int {
+	leaked := 0
+	for ; leaked < n; leaked++ {
+		if _, ok := t.poolGet(); !ok {
+			break
+		}
+	}
+	return leaked
+}
+
+// poolGet pops a pooled skb and reinitialises it. The skb is tracked as
+// outstanding until poolPut sees it again: if the instance dies while the
+// buffer is posted on a device ring or queued for delivery, the abort
+// teardown reclaims it from this set instead of leaking it.
 func (t *Twin) poolGet() (uint32, bool) {
 	n := len(t.pool)
 	if n == 0 {
@@ -415,6 +404,7 @@ func (t *Twin) poolGet() (uint32, bool) {
 	}
 	skb := t.pool[n-1]
 	t.pool = t.pool[:n-1]
+	t.outstanding[skb] = true
 	as := t.M.Dom0.AS
 	head, _ := as.Load(skb+kernel.SkbHead, 4)
 	as.Store(skb+kernel.SkbData, 4, head)
@@ -426,7 +416,10 @@ func (t *Twin) poolGet() (uint32, bool) {
 	return skb, true
 }
 
-func (t *Twin) poolPut(skb uint32) { t.pool = append(t.pool, skb) }
+func (t *Twin) poolPut(skb uint32) {
+	delete(t.outstanding, skb)
+	t.pool = append(t.pool, skb)
+}
 
 // invokeHV runs a derived-driver entry point in the *current* domain
 // context — no address-space switch, the core performance property — on
@@ -455,18 +448,91 @@ func (t *Twin) invokeHV(entry uint32, args ...uint32) (uint32, error) {
 	c.ShadowStack = savedShadow
 
 	if err != nil {
-		t.abort(err)
+		t.abort(entry, err)
 		return 0, fmt.Errorf("%w: %v", ErrDriverDead, err)
 	}
 	return ret, nil
 }
 
-// abort implements containment: the faulting hypervisor instance is marked
-// dead and unloaded; dom0 and its VM instance are untouched.
-func (t *Twin) abort(cause error) {
+// abort implements containment plus clean teardown: the faulting
+// hypervisor instance is marked dead and unloaded — dom0 and its VM
+// instance are untouched — and every resource the dead instance shared
+// with the guests is settled so a recovery can start from known state:
+//
+//   - received-but-undelivered packets are dropped, their buffers
+//     returned to the pool or slab (no pool leak, no stale delivery from
+//     a dead instance);
+//   - every guest transmit ring is reset, so staged-but-undrained frames
+//     are accounted as lost instead of phantom-delivered later, and the
+//     guests' next staging attempt fails fast with ErrDriverDead;
+//   - in-flight pooled sk_buffs (posted RX buffers, frames parked on the
+//     device transmit ring) are reclaimed — the device rings die with the
+//     instance;
+//   - any open notification-coalescing window is force-closed so the
+//     unwinding batch cannot absorb the recovered instance's deliveries.
+//
+// The accounting lands in LastAbort and the fault in the bounded log.
+func (t *Twin) abort(entry uint32, cause error) {
 	t.Dead = true
-	t.FaultLog = append(t.FaultLog, cause.Error())
+	t.Faults++
+	rec := FaultRecord{
+		Entry: t.entryName[entry],
+		Cause: cause.Error(),
+		Cycle: t.M.HV.Meter.Lifetime(),
+	}
+	if f, ok := cause.(*cpu.Fault); ok {
+		rec.Kind = f.Kind
+	}
+	if len(t.faultLog) == FaultLogCap {
+		copy(t.faultLog, t.faultLog[1:])
+		t.faultLog = t.faultLog[:FaultLogCap-1]
+	}
+	t.faultLog = append(t.faultLog, rec)
 	t.M.CPU.RemoveImage(t.HVImage)
+
+	st := AbortStats{}
+	// Reclamation must walk in a deterministic order — identical runs give
+	// bit-identical cycle measurements, and the pool's post-abort order
+	// feeds every later allocation — so the map-keyed queues and the
+	// outstanding set are swept in sorted order, not map order.
+	doms := make([]mem.Owner, 0, len(t.rxQueues))
+	for dom := range t.rxQueues {
+		doms = append(doms, dom)
+	}
+	sort.Slice(doms, func(i, j int) bool { return doms[i] < doms[j] })
+	// A runaway cleaner can queue the same buffer several times before the
+	// watchdog cuts it off; free each distinct buffer once or the pool
+	// would hold duplicates after the drain.
+	seen := make(map[uint32]bool)
+	for _, dom := range doms {
+		q := t.rxQueues[dom]
+		st.RxPendingDropped += len(q)
+		for _, skb := range q {
+			if !seen[skb] {
+				seen[skb] = true
+				t.poolFreeOrKernel(skb)
+			}
+		}
+		delete(t.rxQueues, dom)
+	}
+	for _, id := range t.guestOrder {
+		n, _ := t.guestIO[id].ring.Discard() // resets even when corrupt
+		st.StagedTxDiscarded += n
+	}
+	left := make([]uint32, 0, len(t.outstanding))
+	for skb := range t.outstanding {
+		left = append(left, skb)
+	}
+	sort.Slice(left, func(i, j int) bool { return left[i] < left[j] })
+	for _, skb := range left {
+		st.SkbsReclaimed++
+		t.poolPut(skb)
+	}
+	// Deferred softirq work targeted the dead instance; the device reset a
+	// recovery performs drops the packets behind those interrupts anyway.
+	t.pendingIRQ = nil
+	t.Coalescer.AbortWindows()
+	t.LastAbort = st
 }
 
 // GuestTransmit sends a guest packet through the hypervisor driver: the
@@ -504,8 +570,8 @@ func (t *Twin) GuestTransmitAt(d *NICDev, guestAddr uint32, n int) error {
 // sk_buff, guest pages chained for the body, one derived-driver invocation.
 // The boundary crossing itself (the hypercall charge) is the caller's — per
 // frame on the hypercall path, per batch on the ring path. Every non-fatal
-// exit returns the pooled skb; only a containment abort (the instance is
-// dead, the pool with it) leaves it out.
+// exit returns the pooled skb; on a containment abort the teardown's
+// outstanding-buffer sweep reclaims it instead.
 func (t *Twin) xmitOne(d *NICDev, gas *mem.AddressSpace, guestAddr uint32, n int) error {
 	hv := t.M.HV
 	skb, ok := t.poolGet()

@@ -50,6 +50,14 @@ var faultNames = map[FaultKind]string{
 	FaultShadowStack: "shadow stack mismatch", FaultStackGuard: "stack guard page hit",
 }
 
+// String names the fault kind as the fault message prints it.
+func (k FaultKind) String() string {
+	if n, ok := faultNames[k]; ok {
+		return n
+	}
+	return "no fault"
+}
+
 // Fault is a CPU exception delivered to the invoking environment.
 type Fault struct {
 	Kind FaultKind

@@ -51,6 +51,13 @@ type Meter struct {
 	current Component
 	stack   []Component
 
+	// lifetime holds the cycles retired by past measurement epochs:
+	// Reset folds the live buckets in here before zeroing them, so
+	// Lifetime() — lifetime plus the live buckets — is a monotonic
+	// machine clock (fault-escalation windows and MTTR need one) at zero
+	// cost on the charging hot paths.
+	lifetime uint64
+
 	// Hardware state: 4-way set-associative TLB (round-robin victim),
 	// direct-mapped L1D and L1I tags.
 	tlb   [tlbSets][tlbWays]uint32
@@ -176,6 +183,13 @@ func (m *Meter) FlushHW() {
 	m.Flushes++
 }
 
+// Lifetime returns every cycle charged since the meter was built. Unlike
+// Total it is monotonic: Reset folds the live buckets into the retired
+// count instead of discarding them, so deltas across measurement epochs
+// stay meaningful (the recovery supervisor's MTTR and escalation windows
+// are measured on this clock).
+func (m *Meter) Lifetime() uint64 { return m.lifetime + m.Total() }
+
 // Total returns the sum over all components.
 func (m *Meter) Total() uint64 {
 	var t uint64
@@ -198,8 +212,10 @@ func (m *Meter) Breakdown() map[Component]uint64 {
 }
 
 // Reset zeroes the buckets and statistics but keeps hardware state warm
-// (measurement epochs start after warm-up).
+// (measurement epochs start after warm-up). The zeroed cycles are retired
+// into the lifetime clock, which never goes backward.
 func (m *Meter) Reset() {
+	m.lifetime += m.Total()
 	m.buckets = make(map[Component]uint64)
 	m.TLBMisses, m.L1Misses, m.MemAccesses = 0, 0, 0
 }

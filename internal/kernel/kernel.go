@@ -263,6 +263,19 @@ func (k *Kernel) AllocNetdev(privSize uint32) uint32 {
 // Netdevs lists registered devices.
 func (k *Kernel) Netdevs() []uint32 { return k.netdevs }
 
+// DropNetdev removes a device from the registered list. Replaying a
+// driver's probe re-runs register_netdev for the same net_device; the
+// recovery path drops the stale registration first so the list does not
+// accumulate duplicates across restarts.
+func (k *Kernel) DropNetdev(nd uint32) {
+	for i, d := range k.netdevs {
+		if d == nd {
+			k.netdevs = append(k.netdevs[:i], k.netdevs[i+1:]...)
+			return
+		}
+	}
+}
+
 // NetdevStat reads one of the ND stats slots.
 func (k *Kernel) NetdevStat(nd, off uint32) uint32 { return k.load(nd + off) }
 

@@ -182,6 +182,23 @@ func (r *Ring) ProducerSlot() (int, error) {
 	return int(tail & (r.capacity - 1)), nil
 }
 
+// Discard empties the ring and returns how many staged, unconsumed
+// descriptors were dropped — the accounting a supervisor needs when it
+// tears down a faulted consumer (every staged frame is a lost packet, not
+// a phantom delivery). A corrupt header still resets the ring, but the
+// count is unknowable and reported as 0 alongside ErrRingCorrupt.
+func (r *Ring) Discard() (int, error) {
+	n, err := r.Len()
+	if err != nil {
+		rerr := r.Reset()
+		if rerr != nil {
+			return 0, rerr
+		}
+		return 0, err
+	}
+	return n, r.Reset()
+}
+
 // Reset discards all staged descriptors.
 func (r *Ring) Reset() error {
 	if err := r.AS.Store(r.Base+ringOffHead, 4, 0); err != nil {

@@ -13,6 +13,7 @@ import (
 	"twindrivers/internal/cycles"
 	"twindrivers/internal/mem"
 	"twindrivers/internal/netpath"
+	"twindrivers/internal/recovery"
 )
 
 // Direction selects transmit or receive.
@@ -68,6 +69,13 @@ type Params struct {
 	Batch      int // frames per boundary crossing, Twin path (default 1)
 	Twin       core.TwinConfig
 
+	// Recovery attaches a recovery supervisor to the domU-twin path
+	// (default policy), making driver faults transient. The fault-free
+	// hot path is provably unchanged: the supervisor only runs when an
+	// invocation has already died, so a measurement with Recovery on is
+	// cycle-identical to one with it off (pinned by test and benchmark).
+	Recovery bool
+
 	// FlushPerPacket flushes the hardware model before every packet,
 	// modelling workloads that interleave many connections (each packet
 	// finds the caches trashed by other connections' work) — used by the
@@ -100,7 +108,15 @@ func Run(kind netpath.Kind, dir Direction, prm Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	attachRecovery(p, prm)
 	return Measure(p, dir, prm)
+}
+
+// attachRecovery wires a supervisor onto a twin path when asked.
+func attachRecovery(p *netpath.Path, prm Params) {
+	if prm.Recovery && p.T != nil {
+		p.Recovery = recovery.New(p.M, p.T, recovery.Policy{})
+	}
 }
 
 // Measure runs the benchmark over an existing path (callers can pre-warm
@@ -205,6 +221,7 @@ func RunMultiGuest(dir Direction, guests int, prm Params) (*MultiGuestResult, er
 	if err != nil {
 		return nil, err
 	}
+	attachRecovery(p, prm)
 	perGuest := make(map[mem.Owner]uint64)
 	run := func(total int, phase string, record bool) error {
 		for moved := 0; moved < total; {

@@ -323,3 +323,48 @@ func TestMultiGuestSingleMatchesBurst(t *testing.T) {
 			mg.CyclesPerPacket, plain.CyclesPerPacket)
 	}
 }
+
+// TestRecoveryHotPathUnchanged: attaching a recovery supervisor must not
+// cost a single cycle on the fault-free path — the supervisor only runs
+// once an invocation has already died. The simulation is deterministic, so
+// "unchanged" here is exact equality, per direction and batch size,
+// including the full four-bucket attribution.
+func TestRecoveryHotPathUnchanged(t *testing.T) {
+	for _, dir := range []Direction{TX, RX} {
+		for _, batch := range []int{1, 8} {
+			plain, err := Run(netpath.Twin, dir, Params{NumNICs: 1, Measure: 128, Batch: batch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sup, err := Run(netpath.Twin, dir, Params{NumNICs: 1, Measure: 128, Batch: batch, Recovery: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.CyclesPerPacket != sup.CyclesPerPacket {
+				t.Errorf("%s batch=%d: %.2f cyc/pkt without supervisor, %.2f with",
+					dir, batch, plain.CyclesPerPacket, sup.CyclesPerPacket)
+			}
+			for comp, v := range plain.Breakdown {
+				if sup.Breakdown[comp] != v {
+					t.Errorf("%s batch=%d bucket %s: %.2f vs %.2f", dir, batch, comp, v, sup.Breakdown[comp])
+				}
+			}
+			if plain.HypercallsPerPacket != sup.HypercallsPerPacket {
+				t.Errorf("%s batch=%d hc/pkt changed", dir, batch)
+			}
+		}
+	}
+	// The multi-guest fan-out path, same contract.
+	plain, err := RunMultiGuest(TX, 4, Params{NumNICs: 1, Measure: 64, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := RunMultiGuest(TX, 4, Params{NumNICs: 1, Measure: 64, Batch: 16, Recovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.CyclesPerPacket != sup.CyclesPerPacket {
+		t.Errorf("multi-guest: %.2f cyc/pkt without supervisor, %.2f with",
+			plain.CyclesPerPacket, sup.CyclesPerPacket)
+	}
+}

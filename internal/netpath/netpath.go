@@ -18,6 +18,7 @@
 package netpath
 
 import (
+	"errors"
 	"fmt"
 
 	"twindrivers/internal/core"
@@ -25,6 +26,7 @@ import (
 	"twindrivers/internal/cycles"
 	"twindrivers/internal/kernel"
 	"twindrivers/internal/mem"
+	"twindrivers/internal/recovery"
 )
 
 // Kind selects a configuration.
@@ -77,6 +79,23 @@ type Path struct {
 	// TxCount / RxCount tally packets that completed the full path.
 	TxCount uint64
 	RxCount uint64
+
+	// Recovery, when non-nil, makes the domU-twin path recovery-aware:
+	// SendBurst/ReceiveBurst (and their multi-guest variants) treat
+	// ErrDriverDead as transient, ask the supervisor to revive the twin,
+	// and retry the remainder of the burst — so guest traffic resumes
+	// with bounded loss instead of failing forever. Nil (the default)
+	// reproduces the paper's terminal containment exactly.
+	Recovery *recovery.Supervisor
+
+	// Recovered counts transparent recoveries performed under this path;
+	// LostRx counts receive frames that were consumed by the NIC but died
+	// with a faulted instance (transmit frames are never lost — staged
+	// frames the dead instance discarded are re-staged, counted in
+	// RetriedTx, because they never reached the wire).
+	Recovered uint64
+	LostRx    uint64
+	RetriedTx uint64
 
 	guestPage uint32    // domU-owned page used as the guest-side buffer
 	guestMACs [][6]byte // per-guest station MACs for receive demux (Twin)
@@ -223,22 +242,46 @@ func (p *Path) ReceiveOne(i int, size int) error {
 	return err
 }
 
+// recoverDead reports whether err is a driver death this path may treat as
+// transient: a supervisor is attached and it brought the twin back up. A
+// refused recovery (escalation tripped, rebuild failed) leaves the error
+// terminal, restoring the paper's containment behaviour.
+func (p *Path) recoverDead(err error) bool {
+	if p.Recovery == nil || !errors.Is(err, core.ErrDriverDead) {
+		return false
+	}
+	if _, rerr := p.Recovery.Recover(); rerr != nil {
+		return false
+	}
+	p.Recovered++
+	return true
+}
+
 // SendBurst pushes n size-byte packets out through NIC index i. On the
 // domU-twin path with BatchSize > 1, frames cross the guest→hypervisor
 // boundary in batches of BatchSize via the shared descriptor ring (one
 // hypercall per batch); every other configuration — and BatchSize <= 1 —
 // runs the per-packet path n times. It returns the number of packets that
-// completed.
+// completed. With a recovery supervisor attached, a driver death mid-burst
+// is healed and the burst resumes; a transmitted frame is never duplicated
+// because a faulting invocation dies before the frame reaches the wire.
 func (p *Path) SendBurst(i, size, n int) (int, error) {
 	if p.Kind != Twin || p.BatchSize <= 1 {
 		for k := 0; k < n; k++ {
 			if err := p.SendOne(i+k, size); err != nil {
+				if p.recoverDead(err) {
+					p.RetriedTx++
+					k-- // the frame never left: re-send it
+					continue
+				}
 				return k, err
 			}
 		}
 		return n, nil
 	}
-	return p.burst(i, n, &p.TxCount, func(i, burst int) (int, error) {
+	return p.burst(i, n, &p.TxCount, func(shortfall int) {
+		p.RetriedTx += uint64(shortfall)
+	}, func(i, burst int) (int, error) {
 		return p.sendTwinBatch(i, size, burst)
 	})
 }
@@ -247,16 +290,26 @@ func (p *Path) SendBurst(i, size, n int) (int, error) {
 // receive path. On the domU-twin path with BatchSize > 1, up to BatchSize
 // frames are drained per coalesced interrupt and delivered to the guest
 // under a single notification; otherwise the per-packet path runs n times.
+// With a recovery supervisor attached, frames consumed by the NIC that die
+// with a faulted instance are counted in LostRx and replacements are
+// injected — bounded loss, not a dead path.
 func (p *Path) ReceiveBurst(i, size, n int) (int, error) {
 	if p.Kind != Twin || p.BatchSize <= 1 {
 		for k := 0; k < n; k++ {
 			if err := p.ReceiveOne(i+k, size); err != nil {
+				if p.recoverDead(err) {
+					p.LostRx++
+					k-- // the injected frame died with the instance
+					continue
+				}
 				return k, err
 			}
 		}
 		return n, nil
 	}
-	return p.burst(i, n, &p.RxCount, func(i, burst int) (int, error) {
+	return p.burst(i, n, &p.RxCount, func(shortfall int) {
+		p.LostRx += uint64(shortfall)
+	}, func(i, burst int) (int, error) {
 		return p.recvTwinBatch(i, size, burst)
 	})
 }
@@ -264,8 +317,11 @@ func (p *Path) ReceiveBurst(i, size, n int) (int, error) {
 // burst chunks n packets into BatchSize batches through step, accumulating
 // into count. A chunk completing zero packets without an error ends the
 // burst early (e.g. interrupts deferred under a masked virtual IRQ flag) —
-// retrying would only re-stage duplicate work.
-func (p *Path) burst(i, n int, count *uint64, step func(i, burst int) (int, error)) (int, error) {
+// retrying would only re-stage duplicate work. A driver death is retried
+// after transparent recovery; onRecover is told the faulted chunk's
+// shortfall (frames the chunk consumed but never completed) so the caller
+// can account it as lost (receive) or re-staged (transmit).
+func (p *Path) burst(i, n int, count *uint64, onRecover func(shortfall int), step func(i, burst int) (int, error)) (int, error) {
 	moved := 0
 	for moved < n {
 		burst := n - moved
@@ -276,6 +332,10 @@ func (p *Path) burst(i, n int, count *uint64, step func(i, burst int) (int, erro
 		moved += done
 		*count += uint64(done)
 		if err != nil {
+			if p.recoverDead(err) {
+				onRecover(burst - done)
+				continue
+			}
 			return moved, err
 		}
 		if done == 0 {
@@ -532,7 +592,10 @@ func (p *Path) recvTwinBatch(i, size, burst int) (int, error) {
 // in its own transmit ring from its own context, then a single
 // Twin.ServiceRings crossing drains all guests' rings round-robin — the
 // boundary cost amortizes across guests as well as frames. It returns the
-// per-guest completion counts.
+// per-guest completion counts. With a recovery supervisor attached, a
+// driver death mid-drain revives the twin and re-stages every frame the
+// dead instance discarded (the abort reset the rings, so nothing is
+// phantom-delivered or duplicated).
 func (p *Path) SendBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
 	if p.Kind != Twin {
 		return nil, fmt.Errorf("netpath: multi-guest bursts need the domU-twin path")
@@ -541,40 +604,67 @@ func (p *Path) SendBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
 	meter := p.Meter()
 	d := m.Devs[i%len(m.Devs)]
 	total := make(map[mem.Owner]int)
+	need := make(map[mem.Owner]int) // frames still to move in this round
 	for remaining := n; remaining > 0; {
 		chunk := remaining
 		if chunk > core.TxRingSlots {
 			chunk = core.TxRingSlots
 		}
 		for _, dom := range m.Guests {
-			// Guest kernel + paravirtual driver staging, in guest context.
-			m.HV.Switch(dom)
-			frames := make([][]byte, chunk)
-			for k := range frames {
-				f, err := p.frameFrom(d.NIC.MAC, size)
+			need[dom.ID] = chunk
+		}
+		for {
+			for _, dom := range m.Guests {
+				if need[dom.ID] == 0 {
+					continue
+				}
+				// Guest kernel + paravirtual driver staging, in guest
+				// context.
+				m.HV.Switch(dom)
+				frames := make([][]byte, need[dom.ID])
+				for k := range frames {
+					f, err := p.frameFrom(d.NIC.MAC, size)
+					if err != nil {
+						return total, err
+					}
+					frames[k] = f
+					meter.AddTo(cycles.CompDomU, cost.TxKernelFixed+uint64(len(f))*cost.TxKernelPerByte)
+				}
+				staged, err := p.T.StageTransmitBatch(dom, frames)
 				if err != nil {
+					if p.recoverDead(err) {
+						continue // re-stage this guest on the fresh twin
+					}
 					return total, err
 				}
-				frames[k] = f
-				meter.AddTo(cycles.CompDomU, cost.TxKernelFixed+uint64(len(f))*cost.TxKernelPerByte)
+				if staged != need[dom.ID] {
+					return total, fmt.Errorf("netpath: guest %d staged %d of %d", dom.ID, staged, need[dom.ID])
+				}
 			}
-			staged, err := p.T.StageTransmitBatch(dom, frames)
+			// One boundary crossing drains every guest's ring; it runs in
+			// whichever guest context is current.
+			sent, err := p.T.ServiceRings(d, 0)
+			pending := 0
+			for id, c := range sent {
+				total[id] += c
+				need[id] -= c
+				p.TxCount += uint64(c)
+			}
+			for _, c := range need {
+				pending += c
+			}
 			if err != nil {
+				if p.recoverDead(err) {
+					// The abort discarded every staged-but-undrained frame;
+					// re-stage them on the recovered instance.
+					p.RetriedTx += uint64(pending)
+					continue
+				}
 				return total, err
 			}
-			if staged != chunk {
-				return total, fmt.Errorf("netpath: guest %d staged %d of %d", dom.ID, staged, chunk)
+			if pending == 0 {
+				break
 			}
-		}
-		// One boundary crossing drains every guest's ring; it runs in
-		// whichever guest context is current.
-		sent, err := p.T.ServiceRings(d, 0)
-		for id, c := range sent {
-			total[id] += c
-			p.TxCount += uint64(c)
-		}
-		if err != nil {
-			return total, err
 		}
 		remaining -= chunk
 	}
@@ -600,43 +690,77 @@ func (p *Path) ReceiveBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
 	if maxRound < 1 {
 		maxRound = 1
 	}
+	need := make(map[mem.Owner]int) // frames still to deliver in this round
 	for remaining := n; remaining > 0; {
 		chunk := remaining
 		if chunk > maxRound {
 			chunk = maxRound
 		}
-		for g := range m.Guests {
-			for k := 0; k < chunk; k++ {
-				f, err := p.frameTo(p.guestMACs[g], size)
-				if err != nil {
-					return total, err
-				}
-				if !d.NIC.Inject(f) {
-					return total, fmt.Errorf("netpath: rx overrun")
+		for _, dom := range m.Guests {
+			need[dom.ID] = chunk
+		}
+		for {
+			injected := 0
+			for g, dom := range m.Guests {
+				for k := 0; k < need[dom.ID]; k++ {
+					f, err := p.frameTo(p.guestMACs[g], size)
+					if err != nil {
+						return total, err
+					}
+					if !d.NIC.Inject(f) {
+						return total, fmt.Errorf("netpath: rx overrun")
+					}
+					injected++
 				}
 			}
-		}
-		// One interrupt for the whole fan-in, in whatever context runs.
-		if err := p.T.HandleIRQ(d); err != nil {
-			return total, err
-		}
-		p.T.Coalescer.Begin()
-		for _, dom := range m.Guests {
-			m.HV.Switch(dom)
-			pkts, err := p.T.DeliverPendingBatch(dom, chunk)
-			if err != nil {
-				p.T.Coalescer.End()
+			// One interrupt for the whole fan-in, in whatever context runs.
+			if err := p.T.HandleIRQ(d); err != nil {
+				if p.recoverDead(err) {
+					// The device reset dropped everything just injected.
+					p.LostRx += uint64(injected)
+					continue
+				}
 				return total, err
 			}
-			// Guest paravirtual driver + stack for each delivered packet.
-			for _, pkt := range pkts {
-				meter.AddTo(cycles.CompDomU, cost.PvDriverRx)
-				meter.AddTo(cycles.CompDomU, cost.RxKernelFixed+uint64(len(pkt))*cost.RxKernelPerByte)
+			delivered := 0
+			p.T.Coalescer.Begin()
+			var dead error
+			for _, dom := range m.Guests {
+				m.HV.Switch(dom)
+				pkts, err := p.T.DeliverPendingBatch(dom, need[dom.ID])
+				if err != nil {
+					dead = err
+					break
+				}
+				// Guest paravirtual driver + stack for each delivered
+				// packet.
+				for _, pkt := range pkts {
+					meter.AddTo(cycles.CompDomU, cost.PvDriverRx)
+					meter.AddTo(cycles.CompDomU, cost.RxKernelFixed+uint64(len(pkt))*cost.RxKernelPerByte)
+				}
+				total[dom.ID] += len(pkts)
+				need[dom.ID] -= len(pkts)
+				delivered += len(pkts)
+				p.RxCount += uint64(len(pkts))
 			}
-			total[dom.ID] += len(pkts)
-			p.RxCount += uint64(len(pkts))
+			p.T.Coalescer.End()
+			if dead != nil {
+				if p.recoverDead(dead) {
+					// Undelivered frames of this fan-in died with the
+					// instance (queued packets dropped, device reset).
+					p.LostRx += uint64(injected - delivered)
+					continue
+				}
+				return total, dead
+			}
+			pending := 0
+			for _, c := range need {
+				pending += c
+			}
+			if pending == 0 {
+				break
+			}
 		}
-		p.T.Coalescer.End()
 		remaining -= chunk
 	}
 	return total, nil

@@ -1,0 +1,183 @@
+package netpath
+
+import (
+	"errors"
+	"testing"
+
+	"twindrivers/internal/core"
+	"twindrivers/internal/mem"
+	"twindrivers/internal/recovery"
+)
+
+func newRecoverablePath(t *testing.T, guests, batch int) *Path {
+	t.Helper()
+	p, err := NewMulti(Twin, 1, guests, core.TwinConfig{Watchdog: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.BatchSize = batch
+	p.Recovery = recovery.New(p.M, p.T, recovery.Policy{})
+	p.M.Devs[0].NIC.OnTransmit = func([]byte) {}
+	return p
+}
+
+// wildWrite injects the shared wild-write fault (netdev->priv aimed at
+// hypervisor memory) so the next driver invocation faults.
+func wildWrite(t *testing.T, p *Path) {
+	t.Helper()
+	if err := recovery.Injectors()[0].Inject(p.M, p.T, p.M.Devs[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendBurstRecoversTransparently: a fault mid-burst on the batched
+// transmit path is healed in place — the burst completes, the discarded
+// staged frames are re-staged (counted), nothing is lost or duplicated.
+func TestSendBurstRecoversTransparently(t *testing.T) {
+	p := newRecoverablePath(t, 1, 8)
+	var wire int
+	p.M.Devs[0].NIC.OnTransmit = func([]byte) { wire++ }
+
+	if done, err := p.SendBurst(0, 800, 16); err != nil || done != 16 {
+		t.Fatalf("warm burst: %d, %v", done, err)
+	}
+	wildWrite(t, p)
+	done, err := p.SendBurst(16, 800, 24)
+	if err != nil {
+		t.Fatalf("burst over fault: %v", err)
+	}
+	if done != 24 {
+		t.Fatalf("burst completed %d of 24", done)
+	}
+	if p.Recovered != 1 {
+		t.Fatalf("Recovered = %d, want 1", p.Recovered)
+	}
+	if p.RetriedTx == 0 {
+		t.Error("no staged frames recorded as re-staged")
+	}
+	// Exactly 16+24 frames on the wire: the faulted frame was re-sent,
+	// not duplicated (the invocation died before DMA).
+	if wire != 40 {
+		t.Errorf("wire saw %d frames, want 40", wire)
+	}
+	if p.TxCount != 40 {
+		t.Errorf("TxCount = %d", p.TxCount)
+	}
+}
+
+// TestReceiveBurstRecoversWithBoundedLoss: a fault on the receive path
+// loses the frames the NIC had consumed (they die with the device reset),
+// but the burst still completes with replacements and the loss is counted.
+func TestReceiveBurstRecoversWithBoundedLoss(t *testing.T) {
+	p := newRecoverablePath(t, 1, 8)
+	if done, err := p.ReceiveBurst(0, 600, 16); err != nil || done != 16 {
+		t.Fatalf("warm burst: %d, %v", done, err)
+	}
+	wildWrite(t, p)
+	done, err := p.ReceiveBurst(16, 600, 24)
+	if err != nil {
+		t.Fatalf("burst over fault: %v", err)
+	}
+	if done != 24 {
+		t.Fatalf("burst completed %d of 24", done)
+	}
+	if p.Recovered != 1 {
+		t.Fatalf("Recovered = %d, want 1", p.Recovered)
+	}
+	if p.LostRx == 0 || p.LostRx > 8 {
+		t.Errorf("LostRx = %d, want within one 8-frame batch", p.LostRx)
+	}
+}
+
+// TestPerPacketPathRecovers: BatchSize 1 (the paper's per-packet
+// hypercall path) retries through the same supervisor.
+func TestPerPacketPathRecovers(t *testing.T) {
+	p := newRecoverablePath(t, 1, 1)
+	if done, err := p.SendBurst(0, 400, 4); err != nil || done != 4 {
+		t.Fatalf("warm: %d, %v", done, err)
+	}
+	wildWrite(t, p)
+	if done, err := p.SendBurst(4, 400, 4); err != nil || done != 4 {
+		t.Fatalf("per-packet burst over fault: %d, %v", done, err)
+	}
+	if p.Recovered != 1 || p.RetriedTx != 1 {
+		t.Errorf("Recovered = %d RetriedTx = %d", p.Recovered, p.RetriedTx)
+	}
+}
+
+// TestMultiGuestBurstsRecover: the fan-out paths heal a mid-drain fault;
+// every guest's per-round count still completes.
+func TestMultiGuestBurstsRecover(t *testing.T) {
+	p := newRecoverablePath(t, 4, 8)
+	if _, err := p.SendBurstMulti(0, 700, 8); err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	wildWrite(t, p)
+	got, err := p.SendBurstMulti(0, 700, 8)
+	if err != nil {
+		t.Fatalf("multi burst over fault: %v", err)
+	}
+	for _, dom := range p.M.Guests {
+		if got[dom.ID] != 8 {
+			t.Fatalf("guest %d moved %d of 8", dom.ID, got[dom.ID])
+		}
+	}
+	if p.Recovered != 1 || p.RetriedTx == 0 {
+		t.Errorf("Recovered = %d RetriedTx = %d", p.Recovered, p.RetriedTx)
+	}
+
+	// Receive fan-in over a fresh fault.
+	wildWrite(t, p)
+	rx, err := p.ReceiveBurstMulti(0, 600, 8)
+	if err != nil {
+		t.Fatalf("multi receive over fault: %v", err)
+	}
+	for _, dom := range p.M.Guests {
+		if rx[dom.ID] != 8 {
+			t.Fatalf("guest %d received %d of 8", dom.ID, rx[dom.ID])
+		}
+	}
+	if p.Recovered != 2 {
+		t.Errorf("Recovered = %d, want 2", p.Recovered)
+	}
+	if p.LostRx == 0 {
+		t.Error("receive fault lost nothing?")
+	}
+}
+
+// TestNoSupervisorMeansTerminal: without a supervisor the original
+// containment contract holds — the burst fails with ErrDriverDead and
+// stays failed.
+func TestNoSupervisorMeansTerminal(t *testing.T) {
+	p := newRecoverablePath(t, 1, 8)
+	p.Recovery = nil
+	wildWrite(t, p)
+	if _, err := p.SendBurst(0, 500, 8); !errors.Is(err, core.ErrDriverDead) {
+		t.Fatalf("err = %v, want ErrDriverDead", err)
+	}
+	if _, err := p.SendBurst(8, 500, 8); !errors.Is(err, core.ErrDriverDead) {
+		t.Fatalf("second burst: %v, want ErrDriverDead", err)
+	}
+	if p.Recovered != 0 {
+		t.Error("phantom recovery")
+	}
+}
+
+// TestGiveUpPropagates: once the supervisor's escalation trips, the path
+// reports ErrDriverDead again instead of looping forever.
+func TestGiveUpPropagates(t *testing.T) {
+	p := newRecoverablePath(t, 1, 8)
+	p.Recovery = recovery.New(p.M, p.T, recovery.Policy{MaxFaults: 2, Window: 1 << 60})
+	wildWrite(t, p)
+	if done, err := p.SendBurst(0, 500, 8); err != nil || done != 8 {
+		t.Fatalf("first fault should recover: %d, %v", done, err)
+	}
+	wildWrite(t, p)
+	if _, err := p.SendBurst(8, 500, 8); !errors.Is(err, core.ErrDriverDead) {
+		t.Fatalf("after give-up: %v, want ErrDriverDead", err)
+	}
+	if !p.Recovery.GivenUp {
+		t.Error("supervisor did not give up")
+	}
+	_ = mem.OwnerDom0
+}

@@ -1,0 +1,145 @@
+package recovery
+
+import (
+	"twindrivers/internal/core"
+	"twindrivers/internal/cpu"
+	"twindrivers/internal/kernel"
+)
+
+// Fault injectors for the three §4.5 containment scenarios, shared by the
+// recovery experiment, the faultinjection example and the tests. Each one
+// corrupts shared driver state the way a buggy driver would, so the next
+// hypervisor-instance invocation faults and the supervisor gets to prove
+// the restart story per fault type.
+
+// Adapter offsets mirrored from the driver source (guarded by
+// TestDriverSourceDocumentsAdapterLayout in internal/e1000 and
+// TestInjectorAdapterOffsets here).
+const (
+	adRxd     = 28 // AD_RXD: RX descriptor ring base pointer
+	adRxbi    = 44 // AD_RXBI: RX buffer_info array (8 bytes/entry: skb, dma)
+	adCleanRx = 52 // AD_CLEAN_RX: RX cleaner function pointer (indirect call)
+
+	rxRingSlots  = 256 // RX_RING
+	rxDescBytes  = 16  // one legacy RX descriptor
+	rxDescLen    = 8   // length word offset within a descriptor
+	rxDescStatus = 12  // status byte offset within a descriptor
+	rxBiBytes    = 8   // one buffer_info entry
+)
+
+// Injector is one reproducible driver bug.
+type Injector struct {
+	// Name labels the fault type in reports ("wild-write", ...).
+	Name string
+
+	// Kind is the CPU fault the containment machinery is expected to
+	// classify this bug as — the per-type coverage the recovery tests
+	// assert (a "runaway loop" that dies on a stray pointer instead of
+	// the watchdog would silently stop exercising budget exhaustion).
+	Kind cpu.FaultKind
+
+	// TriggerOnRx is true when the corrupted state sits on the receive
+	// path: the fault fires on the next interrupt, so the experiment
+	// drives receive traffic to trip it. False means the transmit path
+	// trips it.
+	TriggerOnRx bool
+
+	// Inject corrupts the shared driver/twin state.
+	Inject func(m *core.Machine, tw *core.Twin, d *core.NICDev) error
+}
+
+// Injectors returns the three fault types of the containment story, now
+// each recoverable:
+//
+//   - wild-write: netdev->priv aimed at hypervisor memory; the next
+//     dereference through SVM is denied (§4.1).
+//   - runaway-loop: a buffer-leak livelock. The driver "leaks" every
+//     pooled buffer and the RX descriptor statuses are scribbled with
+//     DESC_DD, so the cleaner sees an endlessly-ready ring; with
+//     allocation failing, its no-memory path advances without ever
+//     clearing a status and the loop is genuinely infinite — the
+//     VINO-style watchdog instruction budget cuts it off mid-invocation
+//     (§4.5.2), and the abort's outstanding-buffer sweep heals the leak.
+//   - corrupt-fnptr: the RX cleaner pointer scribbled with a non-function
+//     value; the rewritten indirect call's translation and the CPU's
+//     function-entry check fault it (§5.1.2).
+func Injectors() []Injector {
+	return []Injector{
+		{
+			Name: "wild-write",
+			Kind: cpu.FaultProtection,
+			Inject: func(m *core.Machine, tw *core.Twin, d *core.NICDev) error {
+				return m.Dom0.AS.Store(d.Netdev+kernel.NdPriv, 4, 0xF1000040)
+			},
+		},
+		{
+			Name:        "runaway-loop",
+			Kind:        cpu.FaultWatchdog,
+			TriggerOnRx: true,
+			Inject: func(m *core.Machine, tw *core.Twin, d *core.NICDev) error {
+				tw.LeakPooledBuffers(tw.PoolFree())
+				load := func(a uint32) (uint32, error) { return m.Dom0.AS.Load(a, 4) }
+				priv, err := load(d.Netdev + kernel.NdPriv)
+				if err != nil {
+					return err
+				}
+				rxd, err := load(priv + adRxd)
+				if err != nil {
+					return err
+				}
+				rxbi, err := load(priv + adRxbi)
+				if err != nil {
+					return err
+				}
+				// The one hardware-owned (unposted) slot has no buffer;
+				// alias slot 0's stale buffer into it — the recycled-stale-
+				// pointer half of the bug — so the ring never presents the
+				// cleaner a hole to stop in.
+				skb0, err := load(rxbi)
+				if err != nil {
+					return err
+				}
+				dma0, err := load(rxbi + 4)
+				if err != nil {
+					return err
+				}
+				for i := uint32(0); i < rxRingSlots; i++ {
+					bi := rxbi + i*rxBiBytes
+					if cur, err := load(bi); err != nil {
+						return err
+					} else if cur == 0 {
+						if err := m.Dom0.AS.Store(bi, 4, skb0); err != nil {
+							return err
+						}
+						if err := m.Dom0.AS.Store(bi+4, 4, dma0); err != nil {
+							return err
+						}
+					}
+					desc := rxd + i*rxDescBytes
+					// A length above the copybreak keeps the cleaner on
+					// the refill path, whose allocation failure loops
+					// without clearing DESC_DD.
+					if err := m.Dom0.AS.Store(desc+rxDescLen, 2, 1024); err != nil {
+						return err
+					}
+					if err := m.Dom0.AS.Store(desc+rxDescStatus, 1, 1); err != nil { // DESC_DD
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name:        "corrupt-fnptr",
+			Kind:        cpu.FaultBadCall,
+			TriggerOnRx: true,
+			Inject: func(m *core.Machine, tw *core.Twin, d *core.NICDev) error {
+				priv, err := m.Dom0.AS.Load(d.Netdev+kernel.NdPriv, 4)
+				if err != nil {
+					return err
+				}
+				return m.Dom0.AS.Store(priv+adCleanRx, 4, 0x1234)
+			},
+		},
+	}
+}

@@ -1,0 +1,33 @@
+package recovery
+
+// Measurement is one row of the recovery experiment: one fault type at one
+// guest count, with the restart cost and the loss accounting around it.
+type Measurement struct {
+	// Fault names the injector ("wild-write", "runaway-loop",
+	// "corrupt-fnptr"); Guests is the fan-out the twin was serving.
+	Fault  string
+	Guests int
+
+	// MTTRCycles is the supervisor-measured restart time: re-derivation,
+	// image layout, configuration replay (probe, open, RX refill, ring
+	// re-attach) on the simulated machine's clock.
+	MTTRCycles uint64
+
+	// LostRx counts receive frames consumed by the NIC that died with the
+	// faulted instance; RetriedTx counts staged transmit frames the abort
+	// discarded and the recovered instance re-staged (discarded, not
+	// duplicated: they never reached the wire).
+	LostRx    uint64
+	RetriedTx uint64
+
+	// Delivered is how many packets the faulted burst still completed
+	// end to end — the "traffic resumes" number.
+	Delivered uint64
+
+	// PreCPP and PostCPP are the fault-free cycles/packet measured before
+	// the injection and after the recovery: equal (within the hardware
+	// model's warm-up noise) when the recovered instance is as good as
+	// the original.
+	PreCPP  float64
+	PostCPP float64
+}

@@ -1,0 +1,188 @@
+// Package recovery is the supervisor that turns driver faults from a
+// terminal state into a transient, measurable event. The containment story
+// of §4.5 ends with the faulted hypervisor instance dead and every call
+// returning ErrDriverDead forever; for a hypervisor serving many guests
+// that means one wild write permanently kills networking for all of them.
+//
+// The supervisor builds shadow-driver-style restart on top of the existing
+// containment machinery:
+//
+//   - core's abort already tears the faulted instance down cleanly
+//     (in-flight pooled buffers reclaimed, guest rings reset, coalescing
+//     windows closed) and records what was lost;
+//   - core's configuration log records the twin's history (netdev setup,
+//     probe, open with its IRQ registration, guest MAC routes, guest
+//     rings) as a replayable object log;
+//   - Twin.Revive re-derives a fresh instance through the same
+//     rewrite/kernel pipeline and replays that log.
+//
+// What this package adds is policy and measurement: when to revive, when a
+// flapping driver must be given up on (K faults inside a cycle window),
+// and how long each recovery took (MTTR in cycles) alongside the packets
+// it cost. The watchdog budget re-arms automatically with the new
+// instance — every invocation runs under the configured instruction
+// budget — and the replayed open re-arms the driver's own dom0 watchdog
+// timer.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+
+	"twindrivers/internal/core"
+	"twindrivers/internal/cpu"
+)
+
+// ErrGivenUp reports that the fault rate exceeded the escalation policy:
+// the twin stays dead and no further recoveries are attempted.
+var ErrGivenUp = errors.New("recovery: fault rate exceeded policy, instance left dead")
+
+// Policy bounds how hard the supervisor tries.
+type Policy struct {
+	// MaxFaults is K in "K faults inside Window and we give up": when the
+	// K-th fault lands within Window cycles of the (K-1)-th-back fault,
+	// the twin is left dead. 0 means 3.
+	MaxFaults int
+
+	// Window is the escalation window, in lifetime cycles (the meter's
+	// monotonic clock, which measurement-epoch resets do not disturb).
+	// 0 means 200 million cycles (~67 ms of simulated machine time).
+	Window uint64
+
+	// MaxRecoveries caps the supervisor's lifetime recovery count. Every
+	// rebuild permanently consumes hypervisor reload arenas (gates, stlb
+	// table, stack — the xen model's allocators are append-only), so a
+	// slow flapper whose faults never land inside Window must still
+	// exhaust a finite budget instead of leaking hypervisor memory
+	// forever. 0 means 256.
+	MaxRecoveries int
+}
+
+func (p *Policy) defaults() {
+	if p.MaxFaults == 0 {
+		p.MaxFaults = 3
+	}
+	if p.Window == 0 {
+		p.Window = 200_000_000
+	}
+	if p.MaxRecoveries == 0 {
+		p.MaxRecoveries = 256
+	}
+}
+
+// Event records one recovery: what faulted, what the restart cost, and
+// what the teardown lost.
+type Event struct {
+	// Fault attribution, copied from the twin's fault record.
+	Kind  cpu.FaultKind
+	Entry string
+	Cause string
+
+	// MTTRCycles is the simulated machine time from the decision to
+	// recover until the replayed configuration finished: re-derivation,
+	// image layout, probe, open, RX refill, ring re-attach.
+	MTTRCycles uint64
+
+	// Teardown loss accounting, copied from the abort.
+	StagedTxDiscarded int
+	RxPendingDropped  int
+	SkbsReclaimed     int
+
+	// Attempt numbers the recovery (1-based) over the supervisor's life.
+	Attempt int
+}
+
+// Supervisor owns the recovery policy for one twin.
+type Supervisor struct {
+	M      *core.Machine
+	T      *core.Twin
+	Policy Policy
+
+	// Events is the recovery history, oldest first.
+	Events []Event
+
+	// GivenUp is set once the escalation policy trips; the twin then
+	// stays dead (the paper's original containment behaviour).
+	GivenUp bool
+
+	stamps []uint64 // lifetime-cycle timestamps of recent faults
+}
+
+// New builds a supervisor over a twin.
+func New(m *core.Machine, t *core.Twin, p Policy) *Supervisor {
+	p.defaults()
+	return &Supervisor{M: m, T: t, Policy: p}
+}
+
+// Recoveries returns how many successful recoveries the supervisor has
+// performed.
+func (s *Supervisor) Recoveries() int { return len(s.Events) }
+
+// Recover revives a dead twin under the escalation policy. It returns the
+// recovery event on success, (nil, nil) when the twin is not dead, and
+// ErrGivenUp once the policy has tripped — permanently: a driver faulting
+// K times inside the window is treated as deterministically broken, and
+// re-deriving it again would only burn cycles reaching the same fault.
+func (s *Supervisor) Recover() (*Event, error) {
+	if s.GivenUp {
+		return nil, ErrGivenUp
+	}
+	if !s.T.Dead {
+		return nil, nil
+	}
+	meter := s.M.CPU.Meter
+
+	// The fault and loss accounting to report, captured before the revive
+	// can overwrite anything.
+	ev := Event{
+		StagedTxDiscarded: s.T.LastAbort.StagedTxDiscarded,
+		RxPendingDropped:  s.T.LastAbort.RxPendingDropped,
+		SkbsReclaimed:     s.T.LastAbort.SkbsReclaimed,
+		Attempt:           len(s.Events) + 1,
+	}
+	// The moment the fault actually happened, from the twin's log — not
+	// the moment this call noticed it, which a lazy caller could delay
+	// past the window and let a flapping driver dodge escalation.
+	faultAt := meter.Lifetime()
+	if log := s.T.FaultLog(); len(log) > 0 {
+		last := log[len(log)-1]
+		ev.Kind, ev.Entry, ev.Cause = last.Kind, last.Entry, last.Cause
+		faultAt = last.Cycle
+	}
+
+	// Escalation: slide the window, then count this fault inside it.
+	keep := s.stamps[:0]
+	for _, st := range s.stamps {
+		if faultAt-st <= s.Policy.Window {
+			keep = append(keep, st)
+		}
+	}
+	s.stamps = append(keep, faultAt)
+	if len(s.stamps) >= s.Policy.MaxFaults {
+		s.GivenUp = true
+		return nil, fmt.Errorf("%w (%d faults within %d cycles)", ErrGivenUp, len(s.stamps), s.Policy.Window)
+	}
+	// The lifetime budget: each rebuild consumes reload arenas the xen
+	// model never reclaims, so even well-spaced faults have a finite
+	// allowance.
+	if len(s.Events) >= s.Policy.MaxRecoveries {
+		s.GivenUp = true
+		return nil, fmt.Errorf("%w (lifetime budget of %d recoveries spent)", ErrGivenUp, s.Policy.MaxRecoveries)
+	}
+
+	// MTTR: everything from here until the twin is live again, on the
+	// monotonic clock — re-derivation, layout, probe/open replay, ring
+	// re-attach, plus the domain switches the replay performs.
+	cur := s.M.HV.Current
+	start := meter.Lifetime()
+	if err := s.T.Revive(); err != nil {
+		// A failed rebuild is not a transient: stop trying.
+		s.GivenUp = true
+		return nil, err
+	}
+	s.M.HV.Switch(cur) // restore the interrupted guest's context
+	ev.MTTRCycles = meter.Lifetime() - start
+
+	s.Events = append(s.Events, ev)
+	return &ev, nil
+}

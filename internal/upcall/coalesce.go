@@ -47,6 +47,17 @@ func (c *Coalescer) End() {
 	}
 }
 
+// AbortWindows force-closes every open window without delivering anything:
+// the driver instance died mid-batch and the notifications it owed will be
+// re-raised by the recovered instance's own deliveries. Deferred End calls
+// still pending on the unwound call stack become no-ops.
+func (c *Coalescer) AbortWindows() {
+	c.depth = 0
+	for d := range c.signalled {
+		delete(c.signalled, d)
+	}
+}
+
 // Deliver notifies a domain: event-channel send plus virtual interrupt
 // delivery, at most once per domain per window.
 func (c *Coalescer) Deliver(d *xen.Domain) {

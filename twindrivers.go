@@ -21,6 +21,7 @@ import (
 	"twindrivers/internal/core"
 	"twindrivers/internal/e1000"
 	"twindrivers/internal/kernel"
+	"twindrivers/internal/recovery"
 	"twindrivers/internal/rewrite"
 )
 
@@ -41,6 +42,42 @@ type RewriteStats = rewrite.Stats
 
 // NICDev couples a NIC with its dom0 identity; see core.NICDev.
 type NICDev = core.NICDev
+
+// FaultRecord is one entry of a twin's bounded fault log; see
+// core.FaultRecord.
+type FaultRecord = core.FaultRecord
+
+// RecoverySupervisor revives a faulted twin under an escalation policy;
+// see recovery.Supervisor.
+type RecoverySupervisor = recovery.Supervisor
+
+// RecoveryPolicy bounds how hard the supervisor tries (K faults in a
+// cycle window and it gives up); see recovery.Policy.
+type RecoveryPolicy = recovery.Policy
+
+// RecoveryEvent records one recovery's fault attribution, MTTR and loss
+// accounting; see recovery.Event.
+type RecoveryEvent = recovery.Event
+
+// FaultInjector is one reproducible driver bug of the §4.5 containment
+// story; see recovery.Injector.
+type FaultInjector = recovery.Injector
+
+// ErrRecoveryGivenUp reports that the fault rate exceeded the supervisor's
+// escalation policy and the twin was left dead.
+var ErrRecoveryGivenUp = recovery.ErrGivenUp
+
+// NewRecoverySupervisor builds a supervisor over a twin: driver faults
+// become transient, measurable events (re-derive, restart, replay) instead
+// of a terminal state. Pass the zero Policy for defaults.
+func NewRecoverySupervisor(m *Machine, t *Twin, p RecoveryPolicy) *RecoverySupervisor {
+	return recovery.New(m, t, p)
+}
+
+// FaultInjectors returns the three reproducible fault types (wild write,
+// runaway loop, corrupt function pointer) used by the recovery experiment
+// and the faultinjection example.
+func FaultInjectors() []FaultInjector { return recovery.Injectors() }
 
 // NewMachine builds a host with n NICs and the original driver running in
 // dom0 (the native-Linux / dom0 configurations).
