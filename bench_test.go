@@ -171,6 +171,36 @@ func BenchmarkBatchSweep(b *testing.B) {
 	}
 }
 
+// --- Backend sweep: every NIC driver model through the same pipeline ---------
+
+// BenchmarkBackendSweep measures the domU-twin path over every registered
+// NIC backend in both directions, per-packet and batched: the same
+// derivation pipeline and harness, different device geometry.
+func BenchmarkBackendSweep(b *testing.B) {
+	for _, backend := range twindrivers.Backends() {
+		for _, dir := range []netbench.Direction{netbench.TX, netbench.RX} {
+			for _, batch := range twindrivers.BackendBatchSizes() {
+				backend, dir, batch := backend, dir, batch
+				b.Run(backend+"/"+dir.String()+"/batch-"+strconv.Itoa(batch), func(b *testing.B) {
+					var last *netbench.Result
+					for i := 0; i < b.N; i++ {
+						r, err := netbench.Run(netpath.Twin, dir, netbench.Params{
+							NumNICs: 1, Measure: 256, Batch: batch, Backend: backend,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						last = r
+					}
+					b.ReportMetric(last.CyclesPerPacket, "cycles/pkt")
+					b.ReportMetric(last.HypercallsPerPacket, "hc/pkt")
+					b.ReportMetric(last.ThroughputMbps, "Mb/s")
+				})
+			}
+		}
+	}
+}
+
 // --- Multi-guest sweep: per-guest rings + round-robin service ----------------
 
 // BenchmarkMultiGuestSweep measures the domU-twin path at 1/2/4/8 guests in

@@ -1,0 +1,71 @@
+// Backends: the driver-generic claim, live. The same derivation pipeline
+// twins two entirely different NIC drivers — the e1000 (descriptor rings,
+// zero-copy frag chaining) and the rtl8139 (a single receive byte ring and
+// four copy-through transmit slots) — and the same guest traffic moves
+// through both, with per-backend cycle costs side by side.
+//
+//	go run ./examples/backends
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"twindrivers"
+)
+
+func main() {
+	fmt.Printf("registered backends: %v\n\n", twindrivers.Backends())
+
+	payload := []byte("same packet, different silicon")
+	for _, backend := range twindrivers.Backends() {
+		m, tw, err := twindrivers.NewTwinMachineBackend(1, 1, backend, twindrivers.TwinConfig{})
+		if err != nil {
+			log.Fatalf("%s: %v", backend, err)
+		}
+		d := m.Devs[0]
+
+		var wire [][]byte
+		d.Dev.SetOnTransmit(func(pkt []byte) { wire = append(wire, append([]byte(nil), pkt...)) })
+
+		// Guest transmit: a hypercall straight into whichever derived
+		// driver this backend carries.
+		m.HV.Switch(m.DomU)
+		txf := twindrivers.EthernetFrame([6]byte{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}, d.Dev.HWAddr(), 0x0800, payload)
+		m.HV.Meter.Reset()
+		if err := tw.GuestTransmit(d, txf); err != nil {
+			log.Fatalf("%s: transmit: %v", backend, err)
+		}
+		txCycles := m.HV.Meter.Total()
+
+		// Receive: the interrupt runs the derived driver in guest context.
+		rxf := twindrivers.EthernetFrame(d.Dev.HWAddr(), [6]byte{1, 2, 3, 4, 5, 6}, 0x0800, payload)
+		m.HV.Meter.Reset()
+		if !d.Dev.Inject(rxf) {
+			log.Fatalf("%s: no RX buffer space", backend)
+		}
+		if err := tw.HandleIRQ(d); err != nil {
+			log.Fatalf("%s: irq: %v", backend, err)
+		}
+		pkts, err := tw.DeliverPending(m.DomU)
+		if err != nil {
+			log.Fatalf("%s: deliver: %v", backend, err)
+		}
+		rxCycles := m.HV.Meter.Total()
+
+		if len(wire) != 1 || !bytes.Equal(wire[0], txf) {
+			log.Fatalf("%s: wire mismatch", backend)
+		}
+		if len(pkts) != 1 || !bytes.Equal(pkts[0], rxf) {
+			log.Fatalf("%s: delivery mismatch", backend)
+		}
+		fmt.Printf("%-8s  rewrite: %4d -> %4d insts   tx: %6d cyc   rx: %6d cyc   upcalls: %d\n",
+			backend, tw.RewriteStats.InputInsts, tw.RewriteStats.OutputInsts,
+			txCycles, rxCycles, tw.UpcallsPerformed())
+	}
+
+	fmt.Println("\nboth backends moved identical bytes through the same pipeline;")
+	fmt.Println("run `go run ./cmd/twinbench -experiment backends` for the full sweep")
+	fmt.Println("and `go test ./internal/conformance/` for the equivalence proof.")
+}

@@ -7,6 +7,7 @@ import (
 
 	"twindrivers/internal/core"
 	"twindrivers/internal/cost"
+	"twindrivers/internal/drivermodel"
 	"twindrivers/internal/mem"
 	"twindrivers/internal/netbench"
 	"twindrivers/internal/netpath"
@@ -198,6 +199,39 @@ func runMultiGuestSweep(w io.Writer, quick bool) error {
 	return nil
 }
 
+// BackendBatchSizes is the batch-size axis of the backend sweep: the
+// per-packet baseline and one amortized point.
+func BackendBatchSizes() []int { return []int{1, 32} }
+
+// runBackendSweep measures the domU-twin path over every registered NIC
+// backend (single NIC, both directions, per-packet and batched): the same
+// derivation pipeline, containment machinery and measurement harness run
+// whichever driver the model carries, and the table shows what each
+// device's geometry costs — the e1000's zero-copy frag chaining versus
+// the rtl8139's copy-everything slots and byte ring.
+func runBackendSweep(w io.Writer, quick bool) error {
+	var results []*netbench.Result
+	for _, name := range drivermodel.Names() {
+		for _, dir := range []netbench.Direction{netbench.TX, netbench.RX} {
+			for _, batch := range BackendBatchSizes() {
+				r, err := netbench.Run(netpath.Twin, dir, netbench.Params{
+					NumNICs: 1, Measure: packets(quick), Batch: batch, Backend: name,
+				})
+				if err != nil {
+					return fmt.Errorf("backend %s %s batch=%d: %w", name, dir, batch, err)
+				}
+				results = append(results, r)
+			}
+		}
+	}
+	report.BackendSweep(w, "Backend sweep: domU-twin cycles/packet per NIC driver model", results)
+	fmt.Fprintf(w, "every backend is derived by the same rewrite pipeline and passes the\n")
+	fmt.Fprintf(w, "same conformance suite; the cost difference is the device geometry —\n")
+	fmt.Fprintf(w, "the rtl8139 copies whole frames into its four staging slots and out of\n")
+	fmt.Fprintf(w, "its receive byte ring, where the e1000 chains guest pages zero-copy.\n\n")
+	return nil
+}
+
 // RecoveryGuestCounts is the guest-count sweep of the recovery experiment.
 func RecoveryGuestCounts(quick bool) []int {
 	if quick {
@@ -378,6 +412,7 @@ func Experiments() []Experiment {
 		{"batch", "Batch sweep: batched hypercall I/O (beyond the paper)", runBatchSweep},
 		{"multiguest", "Multi-guest sweep: per-guest rings + round-robin service (beyond the paper)", runMultiGuestSweep},
 		{"recovery", "Recovery sweep: transparent driver restart, MTTR + loss (beyond the paper)", runRecoverySweep},
+		{"backends", "Backend sweep: every NIC driver model through the same pipeline (beyond the paper)", runBackendSweep},
 		{"effort", "Section 6.5: engineering effort", runEffort},
 	}
 }

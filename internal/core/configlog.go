@@ -1,7 +1,6 @@
 package core
 
 import (
-	"twindrivers/internal/e1000"
 	"twindrivers/internal/kernel"
 	"twindrivers/internal/mem"
 )
@@ -48,6 +47,13 @@ const (
 // Machine.Devs for OpNetdev/OpProbe/OpOpen; Dom and MAC describe OpGuestMAC;
 // Dom, Addr (ring base) and Aux (slot count) describe OpRing; Addr/Aux carry
 // the net_device address and priv pointer for OpNetdev.
+//
+// Args carries the concrete argument words of an OpProbe event. Probe
+// arity is a property of the driver model (the e1000 probe takes three
+// arguments, the rtl8139 probe four), so the event records exactly what
+// bring-up passed instead of replay re-deriving it from one backend's
+// signature — the conformance sweep caught replay assuming e1000's
+// (netdev, mmio, irq) triple and truncating the rtl8139's ring-size word.
 type ConfigEvent struct {
 	Op   ConfigOp
 	Dev  int
@@ -55,6 +61,7 @@ type ConfigEvent struct {
 	MAC  [6]byte
 	Addr uint32
 	Aux  uint32
+	Args []uint32
 }
 
 // ConfigLog is an append-only record of configuration history.
@@ -83,11 +90,13 @@ func (t *Twin) replayConfig() error {
 			d := m.Devs[ev.Dev]
 			// register_netdev will re-add the device; drop the stale entry.
 			m.K.DropNetdev(d.Netdev)
-			if _, err := m.CallDriver(e1000.FnProbe, d.Netdev, d.MMIOPhys, d.IRQ); err != nil {
+			// Replay the recorded argument words: the model owns the probe
+			// arity, and the event recorded exactly what bring-up passed.
+			if _, err := m.CallDriver(m.Model.Entries.Probe, ev.Args...); err != nil {
 				return err
 			}
 		case OpOpen:
-			if _, err := m.CallDriver(e1000.FnOpen, m.Devs[ev.Dev].Netdev); err != nil {
+			if _, err := m.CallDriver(m.Model.Entries.Open, m.Devs[ev.Dev].Netdev); err != nil {
 				return err
 			}
 		case OpGuestMAC:

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestHostileDescriptorLengthContained: the length word of a staged ring
+// descriptor is guest-writable memory. A guest that scribbles it to a
+// huge value after staging must not make the hypervisor copy past the
+// pooled sk_buff (or a no-scatter/gather backend's staging slot): the
+// drain rejects the descriptor, the ring is discarded like any other
+// corruption, the twin stays alive and the pool does not leak.
+func TestHostileDescriptorLengthContained(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	got := capture(d)
+	m.HV.Switch(m.DomU)
+
+	// Stage two honest frames, then scribble the first descriptor's
+	// length word (ring layout: 16-byte header, 8-byte descriptors of
+	// {addr, len} — see mem/ring.go).
+	if n, err := tw.StageTransmitBatch(m.DomU, batchFrames(d, 2, 400)); err != nil || n != 2 {
+		t.Fatalf("stage: %d, %v", n, err)
+	}
+	var ringBase uint32
+	for _, ev := range m.Config.Events {
+		if ev.Op == OpRing && ev.Dom == m.DomU.ID {
+			ringBase = ev.Addr
+		}
+	}
+	if ringBase == 0 {
+		t.Fatal("no recorded ring base")
+	}
+	if err := m.DomU.AS.Store(ringBase+16+4, 4, 0xFFFF); err != nil {
+		t.Fatal(err)
+	}
+
+	free := tw.PoolFree()
+	_, err = tw.ServiceRings(d, 0)
+	if !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("hostile length drained: %v (wire %d)", err, len(*got))
+	}
+	if tw.Dead {
+		t.Fatal("hostile length killed the twin (should be contained)")
+	}
+	if len(*got) != 0 {
+		t.Fatalf("%d frames reached the wire from a corrupt batch", len(*got))
+	}
+	if tw.PoolFree() != free {
+		t.Fatalf("pool leaked: %d -> %d", free, tw.PoolFree())
+	}
+	// The ring was reset; honest traffic flows again.
+	if err := tw.GuestTransmit(d, batchFrames(d, 1, 300)[0]); err != nil {
+		t.Fatalf("post-containment transmit: %v", err)
+	}
+
+	// The per-packet hypercall path enforces the same bound.
+	if err := tw.GuestTransmitAt(d, 0, 1<<16); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("oversize GuestTransmitAt: %v", err)
+	}
+	if err := tw.GuestTransmitAt(d, 0, 0); !errors.Is(err, ErrFrameOversize) {
+		t.Fatalf("zero-length GuestTransmitAt: %v", err)
+	}
+}

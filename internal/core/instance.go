@@ -5,7 +5,6 @@ import (
 
 	"twindrivers/internal/asm"
 	"twindrivers/internal/cpu"
-	"twindrivers/internal/e1000"
 	"twindrivers/internal/mem"
 	"twindrivers/internal/rewrite"
 	"twindrivers/internal/svm"
@@ -137,7 +136,7 @@ func (t *Twin) buildInstance(ru *asm.Unit, stats *rewrite.Stats) (*hvInstance, e
 		return 0, false
 	}
 	// Data at the same dom0 base: one copy of driver data (§3.2).
-	hvIm, err := asm.Layout("e1000-hv", ru, xen.HVDriverCode, xen.Dom0DriverData, hvResolve)
+	hvIm, err := asm.Layout(m.Model.Name+"-hv", ru, xen.HVDriverCode, xen.Dom0DriverData, hvResolve)
 	if err != nil {
 		return nil, fmt.Errorf("core: load hypervisor instance: %w", err)
 	}
@@ -162,15 +161,16 @@ func (t *Twin) buildInstance(ru *asm.Unit, stats *rewrite.Stats) (*hvInstance, e
 	}
 
 	var ok bool
-	if inst.xmitEntry, ok = hvIm.FuncEntry(e1000.FnXmit); !ok {
-		return nil, fmt.Errorf("core: derived driver lacks %s", e1000.FnXmit)
+	entries := m.Model.Entries
+	if inst.xmitEntry, ok = hvIm.FuncEntry(entries.Xmit); !ok {
+		return nil, fmt.Errorf("core: derived driver lacks %s", entries.Xmit)
 	}
-	if inst.intrEntry, ok = hvIm.FuncEntry(e1000.FnIntr); !ok {
-		return nil, fmt.Errorf("core: derived driver lacks %s", e1000.FnIntr)
+	if inst.intrEntry, ok = hvIm.FuncEntry(entries.Intr); !ok {
+		return nil, fmt.Errorf("core: derived driver lacks %s", entries.Intr)
 	}
 	inst.entryName = map[uint32]string{
-		inst.xmitEntry: e1000.FnXmit,
-		inst.intrEntry: e1000.FnIntr,
+		inst.xmitEntry: entries.Xmit,
+		inst.intrEntry: entries.Intr,
 	}
 	return inst, nil
 }

@@ -10,6 +10,7 @@ import (
 	"twindrivers/internal/asm"
 	"twindrivers/internal/cpu"
 	"twindrivers/internal/cycles"
+	"twindrivers/internal/drivermodel"
 	"twindrivers/internal/e1000"
 	"twindrivers/internal/isa"
 	"twindrivers/internal/kernel"
@@ -20,7 +21,16 @@ import (
 
 // NICDev couples a simulated NIC with its dom0-side identity.
 type NICDev struct {
-	NIC      *nic.NIC
+	// Dev is the device through the backend-generic interface; every
+	// framework path goes through it.
+	Dev drivermodel.Device
+
+	// NIC is the concrete e1000-class controller when this machine runs
+	// the e1000 backend (nil otherwise). Kept for the device-specific
+	// knobs — OnTransmit wiring, IOMMU, DMA diagnostics — that examples
+	// and tests poke directly.
+	NIC *nic.NIC
+
 	Netdev   uint32 // dom0 address of the net_device
 	MMIOPhys uint32 // physical address of the register BAR
 	IRQ      uint32
@@ -43,6 +53,11 @@ type Machine struct {
 
 	Devs []*NICDev
 
+	// Model is the NIC backend this machine runs: the driver source, its
+	// entry-symbol set, probe signature and device factory. Everything
+	// that used to name e1000 symbols goes through it.
+	Model *drivermodel.Model
+
 	// Config is the replayable configuration history (netdev creation,
 	// probe, open, guest routing): the object log transparent recovery
 	// replays over a freshly derived instance.
@@ -58,8 +73,12 @@ type Machine struct {
 }
 
 // newBase builds the host without any driver loaded: hypervisor, domains
-// (dom0 plus nGuests guest domains), kernel, dom0 stack and NIC hardware.
-func newBase(nNICs, nGuests int) (*Machine, error) {
+// (dom0 plus nGuests guest domains), kernel, dom0 stack and NIC hardware
+// of the given backend model.
+func newBase(nNICs, nGuests int, model *drivermodel.Model) (*Machine, error) {
+	if model == nil {
+		model = e1000.DriverModel()
+	}
 	if nGuests < 1 {
 		nGuests = 1
 	}
@@ -68,7 +87,7 @@ func newBase(nNICs, nGuests int) (*Machine, error) {
 	}
 	hv := xen.New()
 	dom0 := hv.CreateDomain(mem.OwnerDom0, "dom0")
-	m := &Machine{HV: hv, Dom0: dom0, CPU: hv.CPU, Config: &ConfigLog{}}
+	m := &Machine{HV: hv, Dom0: dom0, CPU: hv.CPU, Model: model, Config: &ConfigLog{}}
 	for i := 0; i < nGuests; i++ {
 		name := "domU"
 		if i > 0 {
@@ -86,39 +105,48 @@ func newBase(nNICs, nGuests int) (*Machine, error) {
 	stack := k.Alloc(16 * mem.PageSize)
 	m.dom0StackTop = stack + 16*mem.PageSize
 
-	u, err := asm.AssembleWithEquates(e1000.Source, kernel.Equates())
+	u, err := model.Assemble(kernel.Equates())
 	if err != nil {
 		return nil, fmt.Errorf("core: assemble driver: %w", err)
 	}
 	m.Unit = u
 
 	for i := 0; i < nNICs; i++ {
-		dev := nic.New(fmt.Sprintf("eth%d", i), hv.Phys, byte(i+1))
-		firstFrame := hv.Phys.ClaimMMIO(mem.OwnerDom0, nic.MMIOPages, dev)
-		nd := k.AllocNetdev(e1000.AdapterSize)
+		dev := model.NewDevice(fmt.Sprintf("eth%d", i), hv.Phys, byte(i+1))
+		firstFrame := hv.Phys.ClaimMMIO(mem.OwnerDom0, model.MMIOPages, dev)
+		nd := k.AllocNetdev(model.AdapterSize)
 		// Station address into netdev->mac before probe programs it.
+		mac := dev.HWAddr()
 		for b := 0; b < 6; b++ {
-			if err := dom0.AS.Store(nd+kernel.NdMac+uint32(b), 1, uint32(dev.MAC[b])); err != nil {
+			if err := dom0.AS.Store(nd+kernel.NdMac+uint32(b), 1, uint32(mac[b])); err != nil {
 				return nil, err
 			}
 		}
-		d := &NICDev{NIC: dev, Netdev: nd, MMIOPhys: firstFrame * mem.PageSize, IRQ: uint32(16 + i)}
+		d := &NICDev{Dev: dev, Netdev: nd, MMIOPhys: firstFrame * mem.PageSize, IRQ: uint32(16 + i)}
+		if n, ok := dev.(*nic.NIC); ok {
+			d.NIC = n
+		}
 		m.Devs = append(m.Devs, d)
 		priv, _ := dom0.AS.Load(nd+kernel.NdPriv, 4)
-		m.Config.record(ConfigEvent{Op: OpNetdev, Dev: i, MAC: dev.MAC, Addr: nd, Aux: priv})
+		m.Config.record(ConfigEvent{Op: OpNetdev, Dev: i, MAC: mac, Addr: nd, Aux: priv})
 	}
 	return m, nil
 }
 
 // probeAll runs the VM driver instance's probe and open for every NIC,
-// recording both in the configuration log so recovery can replay them.
+// recording both in the configuration log so recovery can replay them. The
+// probe argument list comes from the model (probe arity differs across
+// backends) and is recorded verbatim with the event: replay must pass
+// exactly the words the original probe saw, not assume one backend's
+// signature.
 func (m *Machine) probeAll() error {
 	for i, d := range m.Devs {
-		if _, err := m.CallDriver(e1000.FnProbe, d.Netdev, d.MMIOPhys, d.IRQ); err != nil {
+		args := m.Model.ProbeArgs(d.Netdev, d.MMIOPhys, d.IRQ)
+		if _, err := m.CallDriver(m.Model.Entries.Probe, args...); err != nil {
 			return fmt.Errorf("core: probe eth%d: %w", i, err)
 		}
-		m.Config.record(ConfigEvent{Op: OpProbe, Dev: i})
-		if _, err := m.CallDriver(e1000.FnOpen, d.Netdev); err != nil {
+		m.Config.record(ConfigEvent{Op: OpProbe, Dev: i, Args: args})
+		if _, err := m.CallDriver(m.Model.Entries.Open, d.Netdev); err != nil {
 			return fmt.Errorf("core: open eth%d: %w", i, err)
 		}
 		m.Config.record(ConfigEvent{Op: OpOpen, Dev: i})
@@ -126,14 +154,20 @@ func (m *Machine) probeAll() error {
 	return nil
 }
 
-// NewMachine builds a host with n NICs and the *original* driver loaded and
-// initialised in dom0 — the "native Linux" and "dom0" configurations.
+// NewMachine builds a host with n NICs and the *original* e1000 driver
+// loaded and initialised in dom0 — the "native Linux" and "dom0"
+// configurations.
 func NewMachine(nNICs int) (*Machine, error) {
-	m, err := newBase(nNICs, 1)
+	return NewMachineModel(nNICs, e1000.DriverModel())
+}
+
+// NewMachineModel is NewMachine for an arbitrary backend model.
+func NewMachineModel(nNICs int, model *drivermodel.Model) (*Machine, error) {
+	m, err := newBase(nNICs, 1, model)
 	if err != nil {
 		return nil, err
 	}
-	im, err := asm.Layout("e1000-vm", m.Unit, xen.Dom0DriverCode, xen.Dom0DriverData, m.K.Resolver())
+	im, err := asm.Layout(m.Model.Name+"-vm", m.Unit, xen.Dom0DriverCode, xen.Dom0DriverData, m.K.Resolver())
 	if err != nil {
 		return nil, fmt.Errorf("core: load driver: %w", err)
 	}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based batch invariants (testing/quick): the batched transmit
+// path is an OPTIMIZATION, never a semantic change. For any frame sizes
+// and any batch split, the bytes on the wire are exactly the per-packet
+// path's bytes; and the hypercall rate per packet never increases with
+// the batch size (the quantity netbench reports as HypercallsPerPacket).
+
+// quickTwin builds a twin with the wire captured, positioned in guest
+// context, ready for repeated property evaluations.
+func quickTwin(t *testing.T) (*Machine, *Twin, *[][]byte) {
+	t.Helper()
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	wire := capture(d)
+	m.HV.Switch(m.DomU)
+	return m, tw, wire
+}
+
+// quickFrames normalises raw quick-generated values into a workload:
+// 1..24 frames of 60..1500 bytes with distinct payloads.
+func quickFrames(d *NICDev, sizes []uint16) [][]byte {
+	if len(sizes) == 0 {
+		sizes = []uint16{600}
+	}
+	if len(sizes) > 24 {
+		sizes = sizes[:24]
+	}
+	frames := make([][]byte, len(sizes))
+	for i, s := range sizes {
+		size := 60 + int(s)%1441 // 60..1500
+		frames[i] = EthernetFrame([6]byte{2, 2, 2, 2, 2, byte(i)}, d.NIC.MAC, 0x0800, payload(size-14, byte(i*13+size)))
+	}
+	return frames
+}
+
+// TestQuickBatchedOutputEqualsPerPacket: for any frame sizes and any
+// batch split, the concatenated batched output equals the per-packet
+// output byte for byte, frame for frame.
+func TestQuickBatchedOutputEqualsPerPacket(t *testing.T) {
+	mA, twA, wireA := quickTwin(t) // per-packet
+	mB, twB, wireB := quickTwin(t) // batched
+	dA, dB := mA.Devs[0], mB.Devs[0]
+
+	prop := func(sizes []uint16, split uint8) bool {
+		*wireA, *wireB = nil, nil
+		frames := quickFrames(dA, sizes)
+		batch := 1 + int(split)%32
+
+		for _, f := range frames {
+			if err := twA.GuestTransmit(dA, f); err != nil {
+				t.Logf("per-packet transmit: %v", err)
+				return false
+			}
+		}
+		for i := 0; i < len(frames); i += batch {
+			end := i + batch
+			if end > len(frames) {
+				end = len(frames)
+			}
+			n, err := twB.GuestTransmitBatch(dB, frames[i:end])
+			if err != nil || n != end-i {
+				t.Logf("batched transmit: n=%d err=%v", n, err)
+				return false
+			}
+		}
+		if len(*wireA) != len(frames) || len(*wireB) != len(frames) {
+			t.Logf("wire counts: per-packet %d, batched %d, want %d", len(*wireA), len(*wireB), len(frames))
+			return false
+		}
+		concat := func(w [][]byte) []byte { return bytes.Join(w, nil) }
+		if !bytes.Equal(concat(*wireA), concat(*wireB)) {
+			return false
+		}
+		for i := range frames {
+			if !bytes.Equal((*wireA)[i], frames[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(0x5EED))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHypercallsPerPacketMonotone: for any frame size, the hypercall
+// rate per packet is monotonically non-increasing in the batch size —
+// batching may only amortize the boundary crossing, never add crossings.
+func TestQuickHypercallsPerPacketMonotone(t *testing.T) {
+	m, tw, wire := quickTwin(t)
+	d := m.Devs[0]
+
+	prop := func(rawSize uint16, rawCount uint8) bool {
+		size := 60 + int(rawSize)%1441
+		total := 8 + int(rawCount)%25 // 8..32 frames per measurement
+		prev := -1.0                  // sentinel: first batch size sets the bar
+		for _, batch := range []int{1, 2, 4, 8, 16, 32} {
+			*wire = nil
+			frames := make([][]byte, total)
+			for i := range frames {
+				frames[i] = EthernetFrame([6]byte{2, 2, 2, 2, 2, byte(i)}, d.NIC.MAC, 0x0800, payload(size-14, byte(i)))
+			}
+			hc0 := m.HV.Hypercalls
+			for i := 0; i < total; i += batch {
+				end := i + batch
+				if end > total {
+					end = total
+				}
+				if n, err := tw.GuestTransmitBatch(d, frames[i:end]); err != nil || n != end-i {
+					t.Logf("batch=%d: n=%d err=%v", batch, n, err)
+					return false
+				}
+			}
+			hcpp := float64(m.HV.Hypercalls-hc0) / float64(total)
+			if prev >= 0 && hcpp > prev {
+				t.Logf("size=%d total=%d: hc/pkt rose from %.3f to %.3f at batch=%d", size, total, prev, hcpp, batch)
+				return false
+			}
+			prev = hcpp
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(0xBA7C4))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

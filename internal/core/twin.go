@@ -9,6 +9,7 @@ import (
 	"twindrivers/internal/cost"
 	"twindrivers/internal/cpu"
 	"twindrivers/internal/cycles"
+	"twindrivers/internal/drivermodel"
 	"twindrivers/internal/isa"
 	"twindrivers/internal/kernel"
 	"twindrivers/internal/mem"
@@ -70,6 +71,14 @@ var ErrDriverDead = errors.New("core: hypervisor driver instance is dead")
 
 // ErrTxBusy reports a transient transmit-ring-full condition.
 var ErrTxBusy = errors.New("core: transmit ring busy")
+
+// ErrFrameOversize reports a transmit frame larger than the pooled
+// sk_buff's linear buffer. The length word of a staged ring descriptor is
+// guest-writable memory, so the hypervisor-side transmit validates it
+// before copying a single byte — a scribbled 0xFFFF length must not
+// overrun the 2048-byte pooled buffer (or, on a no-scatter/gather
+// backend, the driver's staging slot).
+var ErrFrameOversize = errors.New("core: transmit frame exceeds the pooled buffer")
 
 // FaultLogCap bounds the fault log: a flapping driver must not grow an
 // unbounded history, so the log is a ring keeping the most recent records
@@ -184,13 +193,21 @@ type guestIO struct {
 	slots  []uint32 // per-slot guest staging buffers
 }
 
-// NewTwinMachine builds a machine whose driver is twinned from the start:
-// the same rewritten binary serves as the VM instance in dom0 (identity
-// stlb) and as the hypervisor instance (translating stlb) — §5.1.2.
-// nGuests guest domains share the NIC through the derived driver; each
-// gets its own transmit ring, staging slots and bounce buffer.
+// NewTwinMachine builds a machine whose e1000 driver is twinned from the
+// start: the same rewritten binary serves as the VM instance in dom0
+// (identity stlb) and as the hypervisor instance (translating stlb) —
+// §5.1.2. nGuests guest domains share the NIC through the derived driver;
+// each gets its own transmit ring, staging slots and bounce buffer.
 func NewTwinMachine(nNICs, nGuests int, cfg TwinConfig) (*Machine, *Twin, error) {
-	m, err := newBase(nNICs, nGuests)
+	return NewTwinMachineModel(nNICs, nGuests, nil, cfg)
+}
+
+// NewTwinMachineModel is NewTwinMachine for an arbitrary backend model
+// (nil selects the e1000): the same derivation pipeline — rewrite,
+// translating SVM, gate binding, layout — runs over whatever driver the
+// model carries, which is the paper's driver-generic claim made concrete.
+func NewTwinMachineModel(nNICs, nGuests int, model *drivermodel.Model, cfg TwinConfig) (*Machine, *Twin, error) {
+	m, err := newBase(nNICs, nGuests, model)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -287,7 +304,7 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 		}
 		return k.Resolver()(sym)
 	}
-	vmIm, err := asm.Layout("e1000-vm", ru, xen.Dom0DriverCode, xen.Dom0DriverData, vmResolve)
+	vmIm, err := asm.Layout(m.Model.Name+"-vm", ru, xen.Dom0DriverCode, xen.Dom0DriverData, vmResolve)
 	if err != nil {
 		return nil, fmt.Errorf("core: load VM instance: %w", err)
 	}
@@ -311,7 +328,7 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 
 	// Default guest routing: every NIC MAC delivers to the first guest.
 	for _, d := range m.Devs {
-		t.macToDom[d.NIC.MAC] = m.DomU.ID
+		t.macToDom[d.Dev.HWAddr()] = m.DomU.ID
 	}
 
 	// Per-guest I/O state: guest notifications and upcall IRQs coalesce to
@@ -573,6 +590,14 @@ func (t *Twin) GuestTransmitAt(d *NICDev, guestAddr uint32, n int) error {
 // exit returns the pooled skb; on a containment abort the teardown's
 // outstanding-buffer sweep reclaims it instead.
 func (t *Twin) xmitOne(d *NICDev, gas *mem.AddressSpace, guestAddr uint32, n int) error {
+	// The length is guest input (hypercall argument or a guest-writable
+	// ring descriptor word): bound it before any copy. The pooled skb's
+	// linear buffer is kernel.SkbBufSize; on a no-scatter/gather backend
+	// (TxHeaderSplit 0) the whole frame lands there, and on every backend
+	// the driver's own staging assumes at most one buffer's worth.
+	if n <= 0 || n > kernel.SkbBufSize {
+		return ErrFrameOversize
+	}
 	hv := t.M.HV
 	skb, ok := t.poolGet()
 	if !ok {
@@ -581,9 +606,13 @@ func (t *Twin) xmitOne(d *NICDev, gas *mem.AddressSpace, guestAddr uint32, n int
 	meter := hv.Meter
 	as := t.M.Dom0.AS
 
+	// The scatter/gather split is the model's: the e1000 takes a 96-byte
+	// header copy with the body chained zero-copy through its second
+	// transmit descriptor; the rtl8139 has no scatter/gather, so the whole
+	// frame goes linear into the pooled skb (split 0).
 	hdr := n
-	if hdr > 96 {
-		hdr = 96
+	if split := t.M.Model.TxHeaderSplit; split > 0 && hdr > split {
+		hdr = split
 	}
 	// Header copy into the pooled skb (persistently mapped into the
 	// hypervisor), guest pages chained for the body.

@@ -1,0 +1,64 @@
+package drivermodel_test
+
+import (
+	"strings"
+	"testing"
+
+	"twindrivers/internal/drivermodel"
+
+	_ "twindrivers/internal/e1000"
+	_ "twindrivers/internal/rtl8139"
+)
+
+// TestRegistryCarriesBothBackends: the two shipped backends register at
+// init and resolve by name.
+func TestRegistryCarriesBothBackends(t *testing.T) {
+	names := drivermodel.Names()
+	want := []string{"e1000", "rtl8139"}
+	for _, w := range want {
+		m, ok := drivermodel.Get(w)
+		if !ok || m.Name != w {
+			t.Fatalf("backend %q not registered (have %v)", w, names)
+		}
+		if m.Source == "" || m.NewDevice == nil || m.ProbeArgs == nil {
+			t.Errorf("%s: model incomplete", w)
+		}
+		if m.Entries.Xmit == "" || m.Entries.Intr == "" || m.Entries.Probe == "" {
+			t.Errorf("%s: entry set incomplete: %+v", w, m.Entries)
+		}
+	}
+	if len(drivermodel.All()) != len(names) {
+		t.Errorf("All() and Names() disagree")
+	}
+	if _, ok := drivermodel.Get("ne2000"); ok {
+		t.Error("unknown backend resolved")
+	}
+}
+
+// TestProbeArityDiffers pins the property the configuration-log fix
+// exists for: the backends genuinely disagree about probe arity.
+func TestProbeArityDiffers(t *testing.T) {
+	e, _ := drivermodel.Get("e1000")
+	r, _ := drivermodel.Get("rtl8139")
+	if len(e.ProbeArgs(1, 2, 3)) == len(r.ProbeArgs(1, 2, 3)) {
+		t.Fatalf("probe arity identical (%d args): the replay-arity regression is no longer exercised",
+			len(e.ProbeArgs(1, 2, 3)))
+	}
+}
+
+// TestAssembleRejectsConflictingEquates: a model may not silently
+// redefine a base (kernel) equate to a different value.
+func TestAssembleRejectsConflictingEquates(t *testing.T) {
+	m := &drivermodel.Model{
+		Name:    "bogus",
+		Source:  "f:\n\tret\n",
+		Equates: map[string]int32{"SKB_LEN": 99},
+	}
+	if _, err := m.Assemble(map[string]int32{"SKB_LEN": 12}); err == nil || !strings.Contains(err.Error(), "conflicts") {
+		t.Fatalf("conflicting equate accepted: %v", err)
+	}
+	// The same value is fine (shared truth, stated twice).
+	if _, err := m.Assemble(map[string]int32{"SKB_LEN": 99}); err != nil {
+		t.Fatalf("agreeing equate rejected: %v", err)
+	}
+}

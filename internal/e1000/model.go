@@ -1,0 +1,49 @@
+package e1000
+
+import (
+	"twindrivers/internal/drivermodel"
+	"twindrivers/internal/mem"
+	"twindrivers/internal/nic"
+)
+
+// TxHeaderSplit is the transmit scatter/gather split: the hypervisor
+// copies up to this many header bytes into the pooled dom0 sk_buff and
+// chains the rest of the guest packet as a page fragment — the e1000's
+// multi-descriptor transmit makes the zero-copy body possible (§5.3).
+const TxHeaderSplit = 96
+
+var model = &drivermodel.Model{
+	Name:        "e1000",
+	Source:      Source,
+	AdapterSize: AdapterSize,
+	MMIOPages:   nic.MMIOPages,
+	// The E1000_* register equates ship with kernel.Equates() (they
+	// predate the driver-model abstraction); nothing extra to merge.
+	Equates: nil,
+	Entries: drivermodel.Entries{
+		Probe:    FnProbe,
+		Open:     FnOpen,
+		Close:    FnClose,
+		Xmit:     FnXmit,
+		Intr:     FnIntr,
+		Stats:    FnGetStats,
+		Watchdog: FnWatchdog,
+	},
+	Geometry: drivermodel.Geometry{
+		TxSlots:   TxRing,
+		RxSlots:   RxRing,
+		DescBytes: nic.DescSize,
+	},
+	TxHeaderSplit: TxHeaderSplit,
+	NewDevice: func(name string, phys *mem.Physical, macLast byte) drivermodel.Device {
+		return nic.New(name, phys, macLast)
+	},
+	ProbeArgs: func(netdev, mmioPhys, irq uint32) []uint32 {
+		return []uint32{netdev, mmioPhys, irq}
+	},
+}
+
+func init() { drivermodel.Register(model) }
+
+// DriverModel returns the e1000 backend's driver model.
+func DriverModel() *drivermodel.Model { return model }

@@ -1,0 +1,27 @@
+package e1000_test
+
+import (
+	"testing"
+
+	"twindrivers/internal/e1000"
+	"twindrivers/internal/nic"
+)
+
+// TestModelGeometryMatchesDevice pins the model's advertised geometry to
+// the device and driver constants it describes.
+func TestModelGeometryMatchesDevice(t *testing.T) {
+	m := e1000.DriverModel()
+	g := m.Geometry
+	if g.TxSlots != e1000.TxRing || g.RxSlots != e1000.RxRing {
+		t.Errorf("geometry %+v vs driver rings tx=%d rx=%d", g, e1000.TxRing, e1000.RxRing)
+	}
+	if g.DescBytes != nic.DescSize || g.RxByteRing {
+		t.Errorf("geometry %+v should describe %d-byte descriptor rings", g, nic.DescSize)
+	}
+	if m.MMIOPages != nic.MMIOPages {
+		t.Errorf("MMIOPages %d != device %d", m.MMIOPages, nic.MMIOPages)
+	}
+	if m.AdapterSize != e1000.AdapterSize {
+		t.Errorf("AdapterSize %d != driver %d", m.AdapterSize, e1000.AdapterSize)
+	}
+}

@@ -1,0 +1,95 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzRingHostileHeader fuzzes the guest-writable ring header — the
+// capacity, head and tail words plus a staged descriptor — the way a
+// hostile or buggy guest would scribble them. The invariants under fuzz:
+//
+//   - no operation panics or walks unmapped memory;
+//   - every accounting operation either succeeds with a count inside
+//     [0, capacity] or reports ErrRingCorrupt;
+//   - AttachRing refuses non-power-of-two or oversized capacity words;
+//   - Discard always leaves the ring empty and usable again.
+func FuzzRingHostileHeader(f *testing.F) {
+	f.Add(uint32(8), uint32(0), uint32(0), uint32(0x1000), uint32(64))
+	f.Add(uint32(8), uint32(3), uint32(7), uint32(0x2000), uint32(1500))
+	f.Add(uint32(8), uint32(0xFFFFFFFF), uint32(0), uint32(0), uint32(0))
+	f.Add(uint32(8), uint32(0), uint32(0xFFFFFFFF), uint32(0xdead), uint32(1<<31))
+	f.Add(uint32(0), uint32(1), uint32(2), uint32(3), uint32(4))           // zero capacity
+	f.Add(uint32(7), uint32(1), uint32(2), uint32(3), uint32(4))           // non power of two
+	f.Add(uint32(1<<16), uint32(5), uint32(9), uint32(0x10000), uint32(9)) // beyond MaxRingSlots
+	f.Add(uint32(4), uint32(100), uint32(90), uint32(1), uint32(2))        // tail behind head
+
+	f.Fuzz(func(t *testing.T, capWord, head, tail, dAddr, dLen uint32) {
+		phys := NewPhysical()
+		as := NewAddressSpace("guest", phys, nil)
+		frames := phys.AllocFrames(1, 3)
+		base := uint32(0x10000)
+		as.MapRange(base, frames, 3)
+		r, err := InitRing(as, base, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The guest scribbles every word it can reach.
+		for off, val := range map[uint32]uint32{0: capWord, 4: head, 8: tail, 16: dAddr, 20: dLen} {
+			if err := as.Store(base+off, 4, val); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Attach must vet the guest-written capacity word.
+		att, err := AttachRing(as, base)
+		if capWord == 0 || capWord&(capWord-1) != 0 || capWord > MaxRingSlots {
+			if err == nil {
+				t.Fatalf("AttachRing accepted hostile capacity %d", capWord)
+			}
+		} else if err != nil {
+			t.Fatalf("AttachRing rejected valid capacity %d: %v", capWord, err)
+		} else if att.Cap() != int(capWord) {
+			t.Fatalf("attached cap %d != %d", att.Cap(), capWord)
+		}
+
+		// The original view's capacity is its own (trusted at InitRing
+		// time); only head/tail are live guest input to it.
+		checkCount := func(n int, err error) {
+			if err != nil {
+				if !errors.Is(err, ErrRingCorrupt) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				return
+			}
+			if n < 0 || n > r.Cap() {
+				t.Fatalf("count %d outside [0,%d] without ErrRingCorrupt", n, r.Cap())
+			}
+		}
+		checkCount(r.Len())
+		checkCount(r.Free())
+		if _, err := r.ProducerSlot(); err != nil {
+			t.Fatalf("ProducerSlot: %v", err)
+		}
+		if err := r.Push(1, 2); err != nil && !errors.Is(err, ErrRingFull) && !errors.Is(err, ErrRingCorrupt) {
+			t.Fatalf("Push: %v", err)
+		}
+		if _, _, _, err := r.Pop(); err != nil && !errors.Is(err, ErrRingCorrupt) {
+			t.Fatalf("Pop: %v", err)
+		}
+
+		// Teardown always recovers the ring.
+		if _, err := r.Discard(); err != nil && !errors.Is(err, ErrRingCorrupt) {
+			t.Fatalf("Discard: %v", err)
+		}
+		if n, err := r.Len(); err != nil || n != 0 {
+			t.Fatalf("ring not empty after Discard: n=%d err=%v", n, err)
+		}
+		if err := r.Push(0xAB, 0xCD); err != nil {
+			t.Fatalf("ring unusable after Discard: %v", err)
+		}
+		if addr, n, ok, err := r.Pop(); err != nil || !ok || addr != 0xAB || n != 0xCD {
+			t.Fatalf("post-Discard Pop = (%#x,%d,%v,%v)", addr, n, ok, err)
+		}
+	})
+}

@@ -11,9 +11,13 @@ import (
 	"twindrivers/internal/core"
 	"twindrivers/internal/cost"
 	"twindrivers/internal/cycles"
+	"twindrivers/internal/drivermodel"
 	"twindrivers/internal/mem"
 	"twindrivers/internal/netpath"
 	"twindrivers/internal/recovery"
+
+	// Link every NIC backend so Params.Backend resolves by name.
+	_ "twindrivers/internal/rtl8139"
 )
 
 // Direction selects transmit or receive.
@@ -38,6 +42,9 @@ type Result struct {
 	Direction Direction
 	NumNICs   int
 	Packets   int
+
+	// Backend names the NIC driver model the measurement ran over.
+	Backend string
 
 	// Batch is the number of frames crossing the virtualization boundary
 	// per transition on the domU-twin path (1 = the per-packet path).
@@ -69,6 +76,11 @@ type Params struct {
 	Batch      int // frames per boundary crossing, Twin path (default 1)
 	Twin       core.TwinConfig
 
+	// Backend selects the NIC driver model by registry name (default
+	// "e1000"). Every registered backend runs the same measurement
+	// harness — the backend sweep compares them.
+	Backend string
+
 	// Recovery attaches a recovery supervisor to the domU-twin path
 	// (default policy), making driver faults transient. The fault-free
 	// hot path is provably unchanged: the supervisor only runs when an
@@ -99,12 +111,28 @@ func (p *Params) defaults() {
 	if p.Batch == 0 {
 		p.Batch = 1
 	}
+	if p.Backend == "" {
+		p.Backend = "e1000"
+	}
+}
+
+// model resolves the backend named by the params.
+func (p *Params) model() (*drivermodel.Model, error) {
+	m, ok := drivermodel.Get(p.Backend)
+	if !ok {
+		return nil, fmt.Errorf("netbench: unknown backend %q (have %v)", p.Backend, drivermodel.Names())
+	}
+	return m, nil
 }
 
 // Run measures one configuration in one direction.
 func Run(kind netpath.Kind, dir Direction, prm Params) (*Result, error) {
 	prm.defaults()
-	p, err := netpath.New(kind, prm.NumNICs, prm.Twin)
+	model, err := prm.model()
+	if err != nil {
+		return nil, err
+	}
+	p, err := netpath.NewMultiModel(kind, prm.NumNICs, 1, model, prm.Twin)
 	if err != nil {
 		return nil, err
 	}
@@ -174,6 +202,7 @@ func Measure(p *netpath.Path, dir Direction, prm Params) (*Result, error) {
 		Direction:       dir,
 		NumNICs:         prm.NumNICs,
 		Packets:         prm.Measure,
+		Backend:         p.M.Model.Name,
 		Batch:           prm.Batch,
 		CyclesPerPacket: float64(meter.Total()) / n,
 		Breakdown:       make(map[cycles.Component]float64),
@@ -217,7 +246,11 @@ func RunMultiGuest(dir Direction, guests int, prm Params) (*MultiGuestResult, er
 	if guests < 1 {
 		guests = 1
 	}
-	p, err := netpath.NewMulti(netpath.Twin, prm.NumNICs, guests, prm.Twin)
+	model, err := prm.model()
+	if err != nil {
+		return nil, err
+	}
+	p, err := netpath.NewMultiModel(netpath.Twin, prm.NumNICs, guests, model, prm.Twin)
 	if err != nil {
 		return nil, err
 	}
@@ -275,6 +308,7 @@ func RunMultiGuest(dir Direction, guests int, prm Params) (*MultiGuestResult, er
 			Direction:       dir,
 			NumNICs:         prm.NumNICs,
 			Packets:         int(totalPkts),
+			Backend:         p.M.Model.Name,
 			Batch:           prm.Batch,
 			CyclesPerPacket: float64(meter.Total()) / n,
 			Breakdown:       make(map[cycles.Component]float64),

@@ -24,6 +24,7 @@ import (
 	"twindrivers/internal/core"
 	"twindrivers/internal/cost"
 	"twindrivers/internal/cycles"
+	"twindrivers/internal/drivermodel"
 	"twindrivers/internal/kernel"
 	"twindrivers/internal/mem"
 	"twindrivers/internal/recovery"
@@ -113,6 +114,14 @@ func New(kind Kind, nNICs int, tcfg core.TwinConfig) (*Path, error) {
 // gets its own transmit ring and a registered station MAC for receive
 // demultiplexing.
 func NewMulti(kind Kind, nNICs, guests int, tcfg core.TwinConfig) (*Path, error) {
+	return NewMultiModel(kind, nNICs, guests, nil, tcfg)
+}
+
+// NewMultiModel is NewMulti with an explicit NIC backend (nil selects the
+// e1000): every configuration — native, dom0, unoptimized guest, twin —
+// runs the chosen model's driver and device, so the whole evaluation
+// harness works per backend.
+func NewMultiModel(kind Kind, nNICs, guests int, model *drivermodel.Model, tcfg core.TwinConfig) (*Path, error) {
 	if guests < 1 {
 		guests = 1
 	}
@@ -123,9 +132,9 @@ func NewMulti(kind Kind, nNICs, guests int, tcfg core.TwinConfig) (*Path, error)
 	var err error
 	switch kind {
 	case Twin:
-		p.M, p.T, err = core.NewTwinMachine(nNICs, guests, tcfg)
+		p.M, p.T, err = core.NewTwinMachineModel(nNICs, guests, model, tcfg)
 	default:
-		p.M, err = core.NewMachine(nNICs)
+		p.M, err = core.NewMachineModel(nNICs, model)
 	}
 	if err != nil {
 		return nil, err
@@ -158,9 +167,9 @@ func (p *Path) ResetMeasurement() {
 // rejected rather than panicking in the payload arithmetic.
 func (p *Path) frame(d *core.NICDev, size int, rx bool) ([]byte, error) {
 	if rx {
-		return p.frameTo(d.NIC.MAC, size)
+		return p.frameTo(d.Dev.HWAddr(), size)
 	}
-	return p.frameFrom(d.NIC.MAC, size)
+	return p.frameFrom(d.Dev.HWAddr(), size)
 }
 
 // frameTo builds a receive-direction frame of the given total size
@@ -373,7 +382,7 @@ func (p *Path) sendDom0(d *core.NICDev, frame []byte, virt bool) error {
 func (p *Path) recvDom0(d *core.NICDev, frame []byte, virt bool) error {
 	m := p.M
 	meter := p.Meter()
-	if !d.NIC.Inject(frame) {
+	if !d.Dev.Inject(frame) {
 		return fmt.Errorf("netpath: rx overrun")
 	}
 	if virt {
@@ -453,7 +462,7 @@ func (p *Path) recvDomU(d *core.NICDev, frame []byte) error {
 	hv := m.HV
 	meter := p.Meter()
 
-	if !d.NIC.Inject(frame) {
+	if !d.Dev.Inject(frame) {
 		return fmt.Errorf("netpath: rx overrun")
 	}
 	// The physical interrupt lands in the hypervisor, which switches to
@@ -509,7 +518,7 @@ func (p *Path) recvTwin(d *core.NICDev, frame []byte) error {
 	m := p.M
 	meter := p.Meter()
 	m.HV.Switch(m.DomU)
-	if !d.NIC.Inject(frame) {
+	if !d.Dev.Inject(frame) {
 		return fmt.Errorf("netpath: rx overrun")
 	}
 	// The interrupt runs the hypervisor driver directly in guest context.
@@ -562,7 +571,7 @@ func (p *Path) recvTwinBatch(i, size, burst int) (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		if !d.NIC.Inject(f) {
+		if !d.Dev.Inject(f) {
 			return 0, fmt.Errorf("netpath: rx overrun")
 		}
 	}
@@ -623,7 +632,7 @@ func (p *Path) SendBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
 				m.HV.Switch(dom)
 				frames := make([][]byte, need[dom.ID])
 				for k := range frames {
-					f, err := p.frameFrom(d.NIC.MAC, size)
+					f, err := p.frameFrom(d.Dev.HWAddr(), size)
 					if err != nil {
 						return total, err
 					}
@@ -707,7 +716,7 @@ func (p *Path) ReceiveBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
 					if err != nil {
 						return total, err
 					}
-					if !d.NIC.Inject(f) {
+					if !d.Dev.Inject(f) {
 						return total, fmt.Errorf("netpath: rx overrun")
 					}
 					injected++

@@ -386,6 +386,12 @@ func (n *NIC) Inject(pkt []byte) bool {
 // Counters exposes the statistics the driver's watchdog reads.
 func (n *NIC) Counters() (tx, rx, missed uint32) { return n.gptc, n.gprc, n.mpc }
 
+// SetOnTransmit installs the wire callback (drivermodel.Device).
+func (n *NIC) SetOnTransmit(fn func(pkt []byte)) { n.OnTransmit = fn }
+
+// HWAddr returns the current station address (drivermodel.Device).
+func (n *NIC) HWAddr() [6]byte { return n.MAC }
+
 // LinkUp reports link state.
 func (n *NIC) LinkUp() bool { return n.status&StatusLU != 0 }
 

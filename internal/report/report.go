@@ -102,6 +102,27 @@ func MultiGuestSweep(w io.Writer, title string, results []*netbench.MultiGuestRe
 	fmt.Fprintln(w)
 }
 
+// BackendSweep renders the multi-backend comparison: for each NIC driver
+// model, the domU-twin cycles/packet (with the four-bucket attribution —
+// the driver bucket is whichever backend's derived code ran), transition
+// rates and throughput, per direction and batch size. The point is not
+// that the numbers match across backends — an rtl8139 copies every byte
+// twice and should cost more — but that the same derivation pipeline and
+// measurement harness produce them.
+func BackendSweep(w io.Writer, title string, results []*netbench.Result) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-10s %9s %6s %9s %8s %8s %8s %8s %8s %14s\n",
+		"backend", "direction", "batch", "cyc/pkt", "dom0", "domU", "Xen", "driver", "hc/pkt", "throughput")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-10s %9s %6d %9.0f %8.0f %8.0f %8.0f %8.0f %8.3f %9.0f Mb/s\n",
+			r.Backend, r.Direction, r.Batch, r.CyclesPerPacket,
+			r.Breakdown[cycles.CompDom0], r.Breakdown[cycles.CompDomU],
+			r.Breakdown[cycles.CompXen], r.Breakdown[cycles.CompDriver],
+			r.HypercallsPerPacket, r.ThroughputMbps)
+	}
+	fmt.Fprintln(w)
+}
+
 // RecoverySweep renders the transparent-recovery experiment: for each
 // fault type and guest count, the measured MTTR in cycles, the packets
 // lost or re-staged across the fault, and the fault-free cycles/packet

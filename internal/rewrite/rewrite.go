@@ -2,6 +2,7 @@ package rewrite
 
 import (
 	"fmt"
+	"sort"
 
 	"twindrivers/internal/asm"
 	"twindrivers/internal/isa"
@@ -209,12 +210,18 @@ func rewriteFunc(f *asm.Func, opt Options, stats *Stats) (*asm.Func, error) {
 	stats.InputInsts += len(f.Insts)
 
 	// Map original label -> original index, inverted to attach labels when
-	// we reach their instruction.
+	// we reach their instruction. Several labels may share an index; the
+	// emitter makes the first one the instruction's primary label, so each
+	// list is sorted — map iteration order must not leak into the emitted
+	// unit (the golden-snapshot test pins byte-identical derivations).
 	labelsAt := make(map[int][]string)
 	for name, idx := range f.Labels {
 		if name != f.Name {
 			labelsAt[idx] = append(labelsAt[idx], name)
 		}
+	}
+	for _, names := range labelsAt {
+		sort.Strings(names)
 	}
 
 	for i := range f.Insts {

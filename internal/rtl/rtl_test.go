@@ -1,0 +1,214 @@
+package rtl
+
+import (
+	"bytes"
+	"testing"
+
+	"twindrivers/internal/mem"
+)
+
+// ringDev builds a device with an RBLEN-byte RX ring and a TX slot, both
+// backed by fresh physical frames, receiver/transmitter enabled.
+func ringDev(t *testing.T, rblen uint32) (*RTL8139, uint32) {
+	t.Helper()
+	phys := mem.NewPhysical()
+	pages := int(rblen+mem.PageSize-1)/int(mem.PageSize) + 1
+	first := phys.AllocFrames(mem.OwnerDom0, pages)
+	base := first * mem.PageSize
+	d := New("rtl0", phys, 7)
+	d.MMIOWrite(RegRBSTART, 4, base)
+	d.MMIOWrite(RegRBLEN, 4, rblen)
+	d.MMIOWrite(RegCMD, 4, CmdRE|CmdTE)
+	return d, base
+}
+
+// readRing reads n bytes at ring offset off, wrapping at rblen.
+func readRing(t *testing.T, d *RTL8139, base, off, rblen uint32, n int) []byte {
+	t.Helper()
+	out := make([]byte, n)
+	for i := range out {
+		pa := base + (off+uint32(i))%rblen
+		fd := d.Phys.FrameData(pa / mem.PageSize)
+		out[i] = fd[pa&mem.PageMask]
+	}
+	return out
+}
+
+// TestInjectWritesHeaderAndPayload checks the 4-byte header format and
+// packet placement.
+func TestInjectWritesHeaderAndPayload(t *testing.T) {
+	d, base := ringDev(t, 4096)
+	pkt := bytes.Repeat([]byte{0xAB}, 61) // odd length: exercises padding
+	if !d.Inject(pkt) {
+		t.Fatal("inject")
+	}
+	hdr := readRing(t, d, base, 0, 4096, 4)
+	if hdr[0]&RxStROK == 0 {
+		t.Error("status lacks ROK")
+	}
+	ln := int(hdr[2]) | int(hdr[3])<<8
+	if ln != len(pkt)+4 {
+		t.Errorf("header length %d, want %d (packet + CRC)", ln, len(pkt)+4)
+	}
+	if got := readRing(t, d, base, 4, 4096, len(pkt)); !bytes.Equal(got, pkt) {
+		t.Error("payload mismatch")
+	}
+	// Write pointer advanced 4-byte aligned.
+	want := (uint32(4+len(pkt)) + 3) &^ 3
+	if d.MMIORead(RegCBR, 4) != want {
+		t.Errorf("CBR = %d, want %d", d.MMIORead(RegCBR, 4), want)
+	}
+	if d.MMIORead(RegISR, 4)&IntROK == 0 {
+		t.Error("ROK not raised")
+	}
+}
+
+// TestInjectWrapsPayloadAtRingEnd: a packet injected near the ring end
+// wraps byte-granular; the header itself stays contiguous (offsets are
+// 4-byte aligned).
+func TestInjectWrapsPayloadAtRingEnd(t *testing.T) {
+	const rblen = 256
+	d, base := ringDev(t, rblen)
+	// March the pointers close to the end with consumed packets.
+	step := uint32(0)
+	for step+104 < rblen-40 {
+		if !d.Inject(bytes.Repeat([]byte{1}, 100)) {
+			t.Fatal("march inject")
+		}
+		step += 104
+		d.MMIOWrite(RegCAPR, 4, step) // consume
+	}
+	pkt := bytes.Repeat([]byte{0xEE}, 80) // will cross the ring end
+	if !d.Inject(pkt) {
+		t.Fatal("wrap inject")
+	}
+	if got := readRing(t, d, base, step+4, rblen, len(pkt)); !bytes.Equal(got, pkt) {
+		t.Error("wrapped payload mismatch")
+	}
+	wantCBR := (step + (4+80+3)&^3) % rblen
+	if d.MMIORead(RegCBR, 4) != wantCBR {
+		t.Errorf("CBR = %d, want %d", d.MMIORead(RegCBR, 4), wantCBR)
+	}
+}
+
+// TestInjectOverflowCountsMissed: a full ring rejects the packet, counts
+// it missed and latches RXOVW.
+func TestInjectOverflowCountsMissed(t *testing.T) {
+	d, _ := ringDev(t, 256)
+	n := 0
+	for d.Inject(bytes.Repeat([]byte{2}, 60)) { // no CAPR movement: fills up
+		n++
+		if n > 10 {
+			t.Fatal("ring never filled")
+		}
+	}
+	_, _, missed := d.Counters()
+	if missed != 1 {
+		t.Errorf("missed = %d, want 1", missed)
+	}
+	if d.MMIORead(RegISR, 4)&IntRxOvw == 0 {
+		t.Error("RXOVW not latched")
+	}
+	// Receiver down also counts missed.
+	d.MMIOWrite(RegCMD, 4, 0)
+	if d.Inject([]byte{1, 2, 3}) {
+		t.Error("inject succeeded with RE off")
+	}
+}
+
+// TestISRWriteOneToClear: reading ISR does NOT clear it (unlike the
+// e1000's ICR); writing 1s back does.
+func TestISRWriteOneToClear(t *testing.T) {
+	d, _ := ringDev(t, 4096)
+	if !d.Inject([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14}) {
+		t.Fatal("inject")
+	}
+	if d.MMIORead(RegISR, 4)&IntROK == 0 {
+		t.Fatal("ROK not set")
+	}
+	if d.MMIORead(RegISR, 4)&IntROK == 0 {
+		t.Fatal("ISR cleared by read — should be write-1-to-clear")
+	}
+	d.MMIOWrite(RegISR, 4, IntROK)
+	if d.MMIORead(RegISR, 4)&IntROK != 0 {
+		t.Fatal("write-1 did not clear ROK")
+	}
+}
+
+// TestTransmitSlots: firing a TSD DMAs the staged bytes out and completes
+// the slot with OWN|TOK.
+func TestTransmitSlots(t *testing.T) {
+	phys := mem.NewPhysical()
+	first := phys.AllocFrames(mem.OwnerDom0, 2)
+	buf := first * mem.PageSize
+	d := New("rtl0", phys, 7)
+	d.MMIOWrite(RegCMD, 4, CmdTE)
+	pkt := bytes.Repeat([]byte{0x77}, 90)
+	fd := phys.FrameData(first)
+	copy(fd[:], pkt)
+	var wire []byte
+	d.SetOnTransmit(func(p []byte) { wire = append([]byte(nil), p...) })
+	d.MMIOWrite(RegTSAD0, 4, buf)
+	d.MMIOWrite(RegTSD0, 4, uint32(len(pkt)))
+	if !bytes.Equal(wire, pkt) {
+		t.Fatal("wire mismatch")
+	}
+	tsd := d.MMIORead(RegTSD0, 4)
+	if tsd&TsdOwn == 0 || tsd&TsdTok == 0 {
+		t.Errorf("TSD = %#x, want OWN|TOK set", tsd)
+	}
+	if d.MMIORead(RegISR, 4)&IntTOK == 0 {
+		t.Error("TOK not raised")
+	}
+	tx, _, _ := d.Counters()
+	if tx != 1 {
+		t.Errorf("tx counter = %d", tx)
+	}
+}
+
+// TestBufEReflectsPointerEquality: CMD's BUFE bit tracks CBR==CAPR.
+func TestBufEReflectsPointerEquality(t *testing.T) {
+	d, _ := ringDev(t, 4096)
+	if d.MMIORead(RegCMD, 4)&CmdBufE == 0 {
+		t.Error("empty ring without BUFE")
+	}
+	if !d.Inject(bytes.Repeat([]byte{3}, 60)) {
+		t.Fatal("inject")
+	}
+	if d.MMIORead(RegCMD, 4)&CmdBufE != 0 {
+		t.Error("BUFE set with a pending packet")
+	}
+	d.MMIOWrite(RegCAPR, 4, d.MMIORead(RegCBR, 4))
+	if d.MMIORead(RegCMD, 4)&CmdBufE == 0 {
+		t.Error("BUFE clear after consuming everything")
+	}
+}
+
+// TestLinkBitIsLowActive: the MSR link bit is inverse-sense.
+func TestLinkBitIsLowActive(t *testing.T) {
+	d, _ := ringDev(t, 4096)
+	if !d.LinkUp() || d.MMIORead(RegMSR, 4)&MsrLinkB != 0 {
+		t.Error("fresh device should have link up (LINKB clear)")
+	}
+	d.SetLink(false)
+	if d.LinkUp() || d.MMIORead(RegMSR, 4)&MsrLinkB == 0 {
+		t.Error("SetLink(false) should set LINKB")
+	}
+}
+
+// TestResetClearsRingState: CmdRST returns the device to power-on state
+// but keeps identity and wiring.
+func TestResetClearsRingState(t *testing.T) {
+	d, _ := ringDev(t, 4096)
+	if !d.Inject(bytes.Repeat([]byte{4}, 60)) {
+		t.Fatal("inject")
+	}
+	mac := d.HWAddr()
+	d.MMIOWrite(RegCMD, 4, CmdRST)
+	if d.MMIORead(RegCBR, 4) != 0 || d.MMIORead(RegRBSTART, 4) != 0 {
+		t.Error("reset left ring state")
+	}
+	if d.HWAddr() != mac {
+		t.Error("reset lost the station address")
+	}
+}

@@ -1,0 +1,791 @@
+// Package rtl8139 contains the second guest-OS network driver of the
+// reproduction: a Realtek RTL8139-class driver written in the simulated
+// machine's assembly, structured after the Linux 2.6.18 8139too driver.
+//
+// Its data path is deliberately unlike the e1000's: receive chases the
+// device's write pointer through a single contiguous byte ring (a 4-byte
+// header then the packet, 4-byte aligned, wrapping at the ring end — the
+// copy out of the ring is a two-segment rep movs), and transmit copies the
+// whole frame into one of four fixed pre-mapped staging slots before
+// firing its TSD register (no scatter/gather, the skb is freed in the
+// transmit path itself, as 8139too does after skb_copy_and_csum_dev).
+// The interrupt handler acknowledges a write-1-to-clear status register
+// and reaches its RX cleaner through a function pointer in the adapter
+// structure — the same indirect-call-through-driver-data shape §5.1.2 of
+// the paper translates.
+//
+// TwinDrivers never sees this source specially: the same rewrite pipeline
+// that derives the e1000 hypervisor instance derives this one, which is
+// the driver-generic claim the shared conformance suite pins.
+package rtl8139
+
+// Geometry and probe parameters (mirrored by equates in Source).
+const (
+	// RxBufLen is the RX byte ring size handed to probe as its fourth
+	// argument (the real chip's RCR selects 8/16/32/64 KiB; we run the
+	// largest so receive bursts fit comfortably). Must be a multiple of 4
+	// so ring offsets stay header-aligned.
+	RxBufLen = 64 * 1024
+
+	// TxSlots and TxBufBytes mirror the device's fixed transmit slots.
+	TxSlots    = 4
+	TxBufBytes = 2048
+)
+
+// Entry point names exported by the driver. Note the probe arity: FOUR
+// arguments (netdev, mmio_phys, irq, rx_buf_len) where the e1000 takes
+// three — the configuration log must record probe argument lists instead
+// of assuming one backend's signature.
+const (
+	FnProbe          = "rtl8139_probe"
+	FnOpen           = "rtl8139_open"
+	FnClose          = "rtl8139_close"
+	FnXmit           = "rtl8139_xmit"
+	FnIntr           = "rtl8139_intr"
+	FnCleanRx        = "rtl8139_clean_rx"
+	FnCleanTx        = "rtl8139_clean_tx"
+	FnWatchdog       = "rtl8139_watchdog"
+	FnGetStats       = "rtl8139_get_stats"
+	FnEthtoolGetLink = "rtl8139_ethtool_get_link"
+)
+
+// Source is the driver, in the dialect of internal/asm. Structure offsets
+// come from kernel.Equates() plus the RTL_* register equates contributed
+// by the driver model and the RA_* adapter equates defined here. Strict
+// cdecl is observed (no live values in caller-saved registers across
+// calls), as compiler output would.
+const Source = `
+# rtl8139-class network driver for the simulated machine.
+# cdecl; callee saves ebx/esi/edi/ebp; args at 8(%ebp), 12(%ebp), ...
+
+	.equ	TX_SLOTS, 4
+	.equ	TXBUF_SIZE, 2048
+
+# Adapter private structure (lives in netdev->priv).
+	.equ	RA_NETDEV, 0
+	.equ	RA_REGS, 4
+	.equ	RA_RXBUF, 8        # RX byte ring vaddr
+	.equ	RA_RXBUF_DMA, 12
+	.equ	RA_RXBUF_LEN, 16
+	.equ	RA_CAPR, 20        # driver read offset into the ring
+	.equ	RA_TX_HEAD, 24     # next slot to reap (free-running)
+	.equ	RA_TX_TAIL, 28     # next slot to fill (free-running)
+	.equ	RA_TXB, 32         # 4 staging buffer vaddrs: 32,36,40,44
+	.equ	RA_LOCK, 48
+	.equ	RA_CLEAN_RX, 52    # RX cleaner function pointer (indirect call)
+	.equ	RA_WDT, 56         # watchdog timer_list: 56..67
+	.equ	RA_MPC, 68         # accumulated missed-packet count
+	.equ	RA_TXCNT, 72
+	.equ	RA_RXCNT, 76
+	.equ	RA_IRQ, 80
+	.equ	RA_SIZE, 96
+
+	.text
+
+# ---------------------------------------------------------------------------
+# rtl8139_probe(netdev, mmio_phys, irq, rx_buf_len)
+# Four arguments: the RX byte-ring size is a probe-time model parameter.
+# ---------------------------------------------------------------------------
+	.globl	rtl8139_probe
+rtl8139_probe:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	8(%ebp), %esi          # esi = netdev
+	movl	ND_PRIV(%esi), %ebx    # ebx = adapter
+	movl	%esi, RA_NETDEV(%ebx)
+
+	movl	16(%ebp), %eax         # irq
+	movl	%eax, RA_IRQ(%ebx)
+	movl	%eax, ND_IRQ(%esi)
+
+	movl	20(%ebp), %eax         # RX ring length
+	movl	%eax, RA_RXBUF_LEN(%ebx)
+
+	pushl	$4096                  # map the register window's page
+	pushl	12(%ebp)
+	call	ioremap
+	addl	$8, %esp
+	movl	%eax, RA_REGS(%ebx)
+	movl	%eax, ND_BASE(%esi)
+
+	movl	RA_REGS(%ebx), %edi    # soft reset
+	movl	$RTL_CMD_RST, %eax
+	movl	%eax, RTL_CMD(%edi)
+
+	leal	RA_RXBUF_DMA(%ebx), %eax   # the single RX byte ring
+	pushl	%eax
+	pushl	RA_RXBUF_LEN(%ebx)
+	call	dma_alloc_coherent
+	addl	$8, %esp
+	movl	%eax, RA_RXBUF(%ebx)
+
+	pushl	$TXBUF_SIZE            # four TX staging buffers
+	call	kzalloc
+	addl	$4, %esp
+	movl	%eax, RA_TXB+0(%ebx)
+	pushl	$TXBUF_SIZE
+	call	kzalloc
+	addl	$4, %esp
+	movl	%eax, RA_TXB+4(%ebx)
+	pushl	$TXBUF_SIZE
+	call	kzalloc
+	addl	$4, %esp
+	movl	%eax, RA_TXB+8(%ebx)
+	pushl	$TXBUF_SIZE
+	call	kzalloc
+	addl	$4, %esp
+	movl	%eax, RA_TXB+12(%ebx)
+
+	xorl	%eax, %eax
+	movl	%eax, RA_CAPR(%ebx)
+	movl	%eax, RA_TX_HEAD(%ebx)
+	movl	%eax, RA_TX_TAIL(%ebx)
+	movl	%eax, RA_MPC(%ebx)
+
+	leal	RA_LOCK(%ebx), %eax
+	pushl	%eax
+	call	spin_lock_init
+	addl	$4, %esp
+
+	movl	$rtl8139_xmit, %eax        # entry points
+	movl	%eax, ND_XMIT(%esi)
+	movl	$rtl8139_clean_rx, %eax
+	movl	%eax, RA_CLEAN_RX(%ebx)
+
+	movl	RA_REGS(%ebx), %edi    # station address from netdev->mac
+	movl	ND_MAC(%esi), %eax
+	movl	%eax, RTL_IDR0(%edi)
+	movzwl	ND_MAC+4(%esi), %eax
+	movl	%eax, RTL_IDR4(%edi)
+
+	leal	RA_WDT(%ebx), %eax     # watchdog timer
+	pushl	%eax
+	call	init_timer
+	addl	$4, %esp
+	movl	$rtl8139_watchdog, %eax
+	movl	%eax, RA_WDT+TIMER_FN(%ebx)
+	movl	%esi, RA_WDT+TIMER_DATA(%ebx)
+
+	pushl	%esi
+	call	register_netdev
+	addl	$4, %esp
+
+	xorl	%eax, %eax
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# rtl8139_open(netdev)
+# ---------------------------------------------------------------------------
+	.globl	rtl8139_open
+rtl8139_open:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	8(%ebp), %esi          # netdev
+	movl	ND_PRIV(%esi), %ebx    # adapter
+	movl	RA_REGS(%ebx), %edi    # regs
+
+	pushl	%esi                   # dev_id
+	pushl	$0                     # name
+	pushl	$0                     # flags
+	movl	$rtl8139_intr, %eax
+	pushl	%eax                   # handler
+	pushl	RA_IRQ(%ebx)           # irq
+	call	request_irq
+	addl	$20, %esp
+
+	movl	RA_RXBUF_DMA(%ebx), %eax   # receive ring registers
+	movl	%eax, RTL_RBSTART(%edi)
+	movl	RA_RXBUF_LEN(%ebx), %eax
+	movl	%eax, RTL_RBLEN(%edi)
+	xorl	%eax, %eax
+	movl	%eax, RTL_CAPR(%edi)
+	movl	%eax, RA_CAPR(%ebx)
+
+	# Pre-map the four staging slots into the TSAD registers.
+	pushl	$0                     # dma_map_single(dev, buf, sz, TO)
+	pushl	$TXBUF_SIZE
+	pushl	RA_TXB+0(%ebx)
+	pushl	%esi
+	call	dma_map_single
+	addl	$16, %esp
+	movl	%eax, RTL_TSAD0+0(%edi)
+	pushl	$0
+	pushl	$TXBUF_SIZE
+	pushl	RA_TXB+4(%ebx)
+	pushl	%esi
+	call	dma_map_single
+	addl	$16, %esp
+	movl	%eax, RTL_TSAD0+4(%edi)
+	pushl	$0
+	pushl	$TXBUF_SIZE
+	pushl	RA_TXB+8(%ebx)
+	pushl	%esi
+	call	dma_map_single
+	addl	$16, %esp
+	movl	%eax, RTL_TSAD0+8(%edi)
+	pushl	$0
+	pushl	$TXBUF_SIZE
+	pushl	RA_TXB+12(%ebx)
+	pushl	%esi
+	call	dma_map_single
+	addl	$16, %esp
+	movl	%eax, RTL_TSAD0+12(%edi)
+
+	xorl	%eax, %eax
+	movl	%eax, RA_TX_HEAD(%ebx)
+	movl	%eax, RA_TX_TAIL(%ebx)
+
+	movl	$RTL_CMD_RE+RTL_CMD_TE, %eax   # enable the engines
+	movl	%eax, RTL_CMD(%edi)
+	movl	$RTL_INT_ROK+RTL_INT_RXOVW, %eax   # unmask RX; TOK reaped from xmit
+	movl	%eax, RTL_IMR(%edi)
+
+	pushl	%esi
+	call	netif_start_queue
+	addl	$4, %esp
+
+	movl	jiffies, %eax          # arm the watchdog
+	addl	$2, %eax
+	pushl	%eax
+	leal	RA_WDT(%ebx), %eax
+	pushl	%eax
+	call	mod_timer
+	addl	$8, %esp
+
+	xorl	%eax, %eax
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# rtl8139_xmit(skb, netdev) -> 0 ok, 1 busy
+# The 8139 has no scatter/gather: the whole frame is copied into the
+# slot's staging buffer (rep movsb on the fast path) and the skb freed
+# immediately, as 8139too does after skb_copy_and_csum_dev.
+# Locals: -4 len, -8 skb
+# ---------------------------------------------------------------------------
+	.globl	rtl8139_xmit
+rtl8139_xmit:
+	pushl	%ebp
+	movl	%esp, %ebp
+	subl	$8, %esp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	12(%ebp), %esi         # netdev
+	movl	ND_PRIV(%esi), %ebx    # adapter
+
+	leal	RA_LOCK(%ebx), %eax
+	pushl	%eax
+	call	spin_trylock
+	addl	$4, %esp
+	testl	%eax, %eax
+	je	.Lrtx_busy
+
+	pushl	%ebx                   # reap completed slots first
+	call	rtl8139_clean_tx
+	addl	$4, %esp
+
+	movl	RA_TX_TAIL(%ebx), %edi # all four slots in flight?
+	movl	%edi, %eax
+	subl	RA_TX_HEAD(%ebx), %eax
+	cmpl	$TX_SLOTS, %eax
+	jne	.Lrtx_room
+	orl	$1, ND_FLAGS(%esi)     # netif_stop_queue (kernel inline)
+	leal	RA_LOCK(%ebx), %eax
+	pushl	$0
+	pushl	%eax
+	call	spin_unlock_irqrestore
+	addl	$8, %esp
+.Lrtx_busy:
+	movl	$1, %eax
+	jmp	.Lrtx_out
+
+.Lrtx_room:
+	movl	8(%ebp), %edx          # skb
+	movl	%edx, -8(%ebp)
+	movl	SKB_LEN(%edx), %eax
+	movl	%eax, -4(%ebp)
+
+	pushl	8(%ebp)                # per-packet protocol work
+	call	rtl8139_tx_csum
+	addl	$4, %esp
+
+	# Copy the whole frame into the slot's staging buffer.
+	movl	%edi, %eax             # slot = tail & 3
+	andl	$TX_SLOTS-1, %eax
+	movl	RA_TXB(%ebx,%eax,4), %edx
+	pushl	%esi                   # rep movsb clobbers esi/edi/ecx
+	pushl	%edi
+	movl	%edx, %edi
+	movl	-8(%ebp), %eax
+	movl	SKB_DATA(%eax), %esi
+	movl	-4(%ebp), %ecx
+	rep; movsb
+	popl	%edi
+	popl	%esi
+
+	movl	-4(%ebp), %eax         # stats
+	addl	%eax, ND_TX_BYTES(%esi)
+	incl	ND_TX_PACKETS(%esi)
+
+	pushl	-8(%ebp)               # data copied out: free the skb now
+	call	dev_kfree_skb_any
+	addl	$4, %esp
+
+	movl	RA_REGS(%ebx), %ecx    # fire the slot: TSD = byte count
+	movl	%edi, %eax
+	andl	$TX_SLOTS-1, %eax
+	shll	$2, %eax
+	addl	%eax, %ecx
+	movl	-4(%ebp), %eax
+	movl	%eax, RTL_TSD0(%ecx)
+
+	incl	%edi
+	movl	%edi, RA_TX_TAIL(%ebx)
+
+	leal	RA_LOCK(%ebx), %eax
+	pushl	$0
+	pushl	%eax
+	call	spin_unlock_irqrestore
+	addl	$8, %esp
+
+	xorl	%eax, %eax
+.Lrtx_out:
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	movl	%ebp, %esp
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# rtl8139_tx_csum(skb)
+# Models the per-packet transmit-side protocol work (ethertype dispatch,
+# pseudo-header checksum folding). Register arithmetic, as the compiler
+# keeps it; a different mix than the e1000's — this is a different driver.
+# ---------------------------------------------------------------------------
+	.globl	rtl8139_tx_csum
+rtl8139_tx_csum:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+
+	movl	8(%ebp), %esi          # skb
+	movl	SKB_DATA(%esi), %ecx
+	movzwl	12(%ecx), %eax         # ethertype (big-endian on the wire)
+	movl	%eax, %edx
+	shrl	$8, %eax
+	shll	$8, %edx
+	orl	%edx, %eax
+	andl	$0xffff, %eax
+	cmpl	$0x0800, %eax          # IPv4?
+	jne	.Lrcs_no_offload
+
+	movzbl	23(%ecx), %ebx         # IP protocol
+	movl	SKB_LEN(%esi), %eax
+	addl	%ebx, %eax
+	movl	$32, %ecx              # fold rounds
+.Lrcs_fold:
+	movl	%eax, %edx
+	shll	$7, %edx
+	xorl	%edx, %eax
+	movl	%eax, %edx
+	shrl	$3, %edx
+	subl	%edx, %eax
+	addl	%ebx, %eax
+	decl	%ecx
+	jne	.Lrcs_fold
+	andl	$0xffff, %eax
+	jmp	.Lrcs_out
+.Lrcs_no_offload:
+	xorl	%eax, %eax
+.Lrcs_out:
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# rtl8139_rx_checksum(skb)
+# Receive-side checksum verification (status decode + sum fold).
+# ---------------------------------------------------------------------------
+	.globl	rtl8139_rx_checksum
+rtl8139_rx_checksum:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+
+	movl	8(%ebp), %edx          # skb
+	movl	SKB_LEN(%edx), %eax
+	movl	SKB_PROTOCOL(%edx), %ebx
+	addl	%ebx, %eax
+	movl	$32, %ecx
+.Lrrcs_round:
+	movl	%eax, %edx
+	shll	$3, %edx
+	xorl	%edx, %eax
+	movl	%eax, %edx
+	shrl	$7, %edx
+	addl	%edx, %eax
+	decl	%ecx
+	jne	.Lrrcs_round
+	andl	$0xffff, %eax
+
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# rtl8139_clean_tx(adapter)
+# Reap completed slots: a slot is done when the device set TOK in its TSD.
+# ---------------------------------------------------------------------------
+	.globl	rtl8139_clean_tx
+rtl8139_clean_tx:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+
+	movl	8(%ebp), %ebx          # adapter
+	movl	RA_TX_HEAD(%ebx), %esi
+.Lrtc_loop:
+	cmpl	RA_TX_TAIL(%ebx), %esi
+	je	.Lrtc_done
+	movl	RA_REGS(%ebx), %ecx
+	movl	%esi, %eax
+	andl	$TX_SLOTS-1, %eax
+	shll	$2, %eax
+	addl	%eax, %ecx
+	movl	RTL_TSD0(%ecx), %eax
+	testl	$RTL_TSD_TOK, %eax
+	je	.Lrtc_done
+	incl	%esi
+	jmp	.Lrtc_loop
+.Lrtc_done:
+	movl	%esi, RA_TX_HEAD(%ebx)
+
+	# Wake the queue if it was stopped (kernel inline).
+	movl	RA_NETDEV(%ebx), %edx
+	movl	ND_FLAGS(%edx), %eax
+	testl	$1, %eax
+	je	.Lrtc_out
+	andl	$-2, ND_FLAGS(%edx)
+.Lrtc_out:
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# rtl8139_intr(irq, dev_id) -> 1 handled, 0 none
+# The ISR is write-1-to-clear: read the causes, then write them back.
+# ---------------------------------------------------------------------------
+	.globl	rtl8139_intr
+rtl8139_intr:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	12(%ebp), %esi         # netdev (dev_id)
+	movl	ND_PRIV(%esi), %ebx    # adapter
+	movl	RA_REGS(%ebx), %ecx
+	movl	RTL_ISR(%ecx), %eax
+	testl	%eax, %eax
+	je	.Lri_none
+	movl	%eax, %edi             # keep the cause across calls
+	movl	%eax, RTL_ISR(%ecx)    # acknowledge: write-1-to-clear
+
+	testl	$RTL_INT_ROK+RTL_INT_RXOVW, %edi
+	je	.Lri_no_rx
+	pushl	%ebx
+	call	*RA_CLEAN_RX(%ebx)     # indirect through driver data (§5.1.2)
+	addl	$4, %esp
+.Lri_no_rx:
+
+	testl	$RTL_INT_TOK, %edi
+	je	.Lri_no_tx
+	leal	RA_LOCK(%ebx), %eax
+	pushl	%eax
+	call	spin_trylock
+	addl	$4, %esp
+	testl	%eax, %eax
+	je	.Lri_no_tx
+	pushl	%ebx
+	call	rtl8139_clean_tx
+	addl	$4, %esp
+	leal	RA_LOCK(%ebx), %eax
+	pushl	$0
+	pushl	%eax
+	call	spin_unlock_irqrestore
+	addl	$8, %esp
+.Lri_no_tx:
+	movl	$1, %eax
+	jmp	.Lri_out
+.Lri_none:
+	xorl	%eax, %eax
+.Lri_out:
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# rtl8139_clean_rx(adapter)
+# Chase the device's write pointer through the byte ring: header at CAPR
+# (u16 status, u16 length incl. CRC), copy the packet into a fresh skb
+# (two-segment rep movsb when it wraps the ring end), deliver, advance
+# CAPR 4-byte aligned and publish it back to the device.
+# Locals: -4 pktlen, -8 nskb, -12 raw length (incl. CRC)
+# ---------------------------------------------------------------------------
+	.globl	rtl8139_clean_rx
+rtl8139_clean_rx:
+	pushl	%ebp
+	movl	%esp, %ebp
+	subl	$12, %esp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	8(%ebp), %ebx          # adapter
+.Lrrx_loop:
+	movl	RA_REGS(%ebx), %ecx    # ring empty?
+	movl	RTL_CMD(%ecx), %eax
+	testl	$RTL_CMD_BUFE, %eax
+	jne	.Lrrx_done
+
+	movl	RA_RXBUF(%ebx), %edx   # header (4-byte aligned: never wraps)
+	addl	RA_CAPR(%ebx), %edx
+	movzwl	2(%edx), %eax          # length including the 4-byte CRC
+	movl	%eax, -12(%ebp)
+	subl	$4, %eax
+	movl	%eax, -4(%ebp)
+	movzwl	(%edx), %eax           # status
+	testl	$RTL_RX_ROK, %eax
+	je	.Lrrx_bad              # bad frame: count it, never deliver it
+	movl	-4(%ebp), %eax         # length sanity: the ring is driver data
+	cmpl	$SKB_BUF_SIZE, %eax    # a scribbled word must neither overrun
+	ja	.Lrrx_resync           # the skb copy-out nor desync the stream
+				       # (unsigned compare catches underflow)
+
+	pushl	$SKB_BUF_SIZE          # fresh skb for the copy out
+	pushl	RA_NETDEV(%ebx)
+	call	netdev_alloc_skb
+	addl	$8, %esp
+	testl	%eax, %eax
+	je	.Lrrx_bad              # no buffer: drop the packet
+	movl	%eax, -8(%ebp)
+
+	# Copy the payload out of the byte ring, wrapping at the end.
+	pushl	%esi                   # rep movsb clobbers esi/edi/ecx
+	pushl	%edi
+	movl	RA_RXBUF(%ebx), %esi
+	addl	RA_CAPR(%ebx), %esi
+	addl	$4, %esi               # payload begins after the header
+	movl	-8(%ebp), %eax
+	movl	SKB_DATA(%eax), %edi
+	movl	RA_RXBUF_LEN(%ebx), %ecx   # contiguous bytes to the ring end
+	subl	RA_CAPR(%ebx), %ecx
+	subl	$4, %ecx
+	cmpl	-4(%ebp), %ecx
+	jbe	.Lrrx_twoseg
+	movl	-4(%ebp), %ecx
+.Lrrx_twoseg:
+	movl	%ecx, %edx             # edx = first-segment size
+	rep; movsb
+	movl	-4(%ebp), %ecx         # remainder wraps to the ring start
+	subl	%edx, %ecx
+	je	.Lrrx_copied
+	movl	RA_RXBUF(%ebx), %esi
+	rep; movsb
+.Lrrx_copied:
+	popl	%edi
+	popl	%esi
+
+	movl	-8(%ebp), %edx         # set length, deliver
+	movl	-4(%ebp), %eax
+	movl	%eax, SKB_LEN(%edx)
+	pushl	RA_NETDEV(%ebx)
+	pushl	%edx
+	call	eth_type_trans
+	addl	$8, %esp
+	pushl	-8(%ebp)
+	call	rtl8139_rx_checksum
+	addl	$4, %esp
+	pushl	-8(%ebp)
+	call	netif_rx
+	addl	$4, %esp
+
+	movl	RA_NETDEV(%ebx), %edx  # stats
+	incl	ND_RX_PACKETS(%edx)
+	movl	-4(%ebp), %eax
+	addl	%eax, ND_RX_BYTES(%edx)
+	jmp	.Lrrx_adv
+
+.Lrrx_bad:
+	movl	RA_NETDEV(%ebx), %edx  # bad frame or no buffer: drop it
+	incl	ND_RX_ERRORS(%edx)
+.Lrrx_adv:
+	movl	-12(%ebp), %eax        # advance 4-byte aligned, modulo ring
+	addl	$3, %eax
+	andl	$-4, %eax
+	jne	.Lrrx_adv_ok
+	movl	$4, %eax               # a zeroed length word must still advance
+.Lrrx_adv_ok:
+	addl	RA_CAPR(%ebx), %eax
+	cmpl	RA_RXBUF_LEN(%ebx), %eax
+	jb	.Lrrx_nowrap
+	subl	RA_RXBUF_LEN(%ebx), %eax
+.Lrrx_nowrap:
+	movl	%eax, RA_CAPR(%ebx)
+	movl	RA_REGS(%ebx), %ecx    # publish the read pointer
+	movl	%eax, RTL_CAPR(%ecx)
+	jmp	.Lrrx_loop
+
+.Lrrx_resync:
+	movl	RA_NETDEV(%ebx), %edx  # unusable length word: the byte stream
+	incl	ND_RX_ERRORS(%edx)     # is lost — drop everything pending and
+	movl	RA_REGS(%ebx), %ecx    # resynchronise with the device's write
+	movl	RTL_CBR(%ecx), %eax    # pointer (8139too's rx-reset analogue)
+	movl	%eax, RA_CAPR(%ebx)
+	movl	%eax, RTL_CAPR(%ecx)
+
+.Lrrx_done:
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	movl	%ebp, %esp
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# rtl8139_watchdog(netdev) — link supervision + statistics harvest.
+# The 8139's link bit is LOW-active (LINKB): clear means link up.
+# ---------------------------------------------------------------------------
+	.globl	rtl8139_watchdog
+rtl8139_watchdog:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+
+	movl	8(%ebp), %esi          # netdev
+	movl	ND_PRIV(%esi), %ebx
+
+	movl	RA_REGS(%ebx), %ecx    # link state (inverse sense)
+	movl	RTL_MSR(%ecx), %eax
+	testl	$RTL_MSR_LINKB, %eax
+	je	.Lrw_link_up
+	pushl	%esi
+	call	netif_carrier_off
+	addl	$4, %esp
+	jmp	.Lrw_stats
+.Lrw_link_up:
+	pushl	%esi
+	call	netif_carrier_on
+	addl	$4, %esp
+
+.Lrw_stats:
+	movl	RA_REGS(%ebx), %ecx    # harvest hardware counters
+	movl	RTL_MPC(%ecx), %eax
+	addl	%eax, RA_MPC(%ebx)
+	movl	RTL_TXCNT(%ecx), %eax
+	movl	%eax, RA_TXCNT(%ebx)
+	movl	RTL_RXCNT(%ecx), %eax
+	movl	%eax, RA_RXCNT(%ebx)
+
+	movl	jiffies, %eax          # re-arm
+	addl	$2, %eax
+	pushl	%eax
+	leal	RA_WDT(%ebx), %eax
+	pushl	%eax
+	call	mod_timer
+	addl	$8, %esp
+
+	xorl	%eax, %eax
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# Configuration / management entry points (VM instance only).
+# ---------------------------------------------------------------------------
+	.globl	rtl8139_get_stats
+rtl8139_get_stats:
+	movl	4(%esp), %eax
+	addl	$ND_TX_PACKETS, %eax
+	ret
+
+	.globl	rtl8139_ethtool_get_link
+rtl8139_ethtool_get_link:
+	movl	4(%esp), %ecx          # netdev
+	movl	ND_PRIV(%ecx), %ecx
+	movl	RA_REGS(%ecx), %ecx
+	movl	RTL_MSR(%ecx), %eax    # LINKB low-active: invert
+	notl	%eax
+	andl	$1, %eax
+	ret
+
+# ---------------------------------------------------------------------------
+# rtl8139_close(netdev)
+# No per-buffer RX teardown: the byte ring is one coherent allocation.
+# ---------------------------------------------------------------------------
+	.globl	rtl8139_close
+rtl8139_close:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+
+	movl	8(%ebp), %esi
+	movl	ND_PRIV(%esi), %ebx
+
+	pushl	%esi
+	call	netif_stop_queue
+	addl	$4, %esp
+
+	movl	RA_REGS(%ebx), %ecx    # quiesce the hardware
+	xorl	%eax, %eax
+	movl	%eax, RTL_IMR(%ecx)
+	movl	%eax, RTL_CMD(%ecx)
+
+	pushl	%esi                   # release the interrupt
+	pushl	RA_IRQ(%ebx)
+	call	free_irq
+	addl	$8, %esp
+
+	leal	RA_WDT(%ebx), %eax
+	pushl	%eax
+	call	del_timer_sync
+	addl	$4, %esp
+
+	xorl	%eax, %eax
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+`
+
+// AdapterSize is the byte size of the driver's private adapter structure
+// (must cover RA_SIZE in Source).
+const AdapterSize = 96

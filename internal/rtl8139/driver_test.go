@@ -1,0 +1,255 @@
+package rtl8139_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"twindrivers/internal/core"
+	"twindrivers/internal/kernel"
+	"twindrivers/internal/rtl"
+	"twindrivers/internal/rtl8139"
+)
+
+// TestDriverSourceDocumentsAdapterLayout pins the RA_* equates the Go side
+// mirrors (AdapterSize, fault injectors) to the driver source.
+func TestDriverSourceDocumentsAdapterLayout(t *testing.T) {
+	for _, decl := range []string{
+		".equ\tRA_NETDEV, 0",
+		".equ\tRA_REGS, 4",
+		".equ\tRA_CLEAN_RX, 52",
+		".equ\tRA_SIZE, 96",
+	} {
+		if !strings.Contains(rtl8139.Source, decl) {
+			t.Errorf("driver source lost %q", decl)
+		}
+	}
+	if rtl8139.AdapterSize != 96 {
+		t.Errorf("AdapterSize = %d, want RA_SIZE = 96", rtl8139.AdapterSize)
+	}
+	if rtl8139.RxBufLen%4 != 0 {
+		t.Errorf("RxBufLen %d not 4-byte aligned: RX headers would wrap", rtl8139.RxBufLen)
+	}
+}
+
+// TestModelGeometryMatchesDevice pins the model's advertised geometry to
+// the device and driver constants it describes.
+func TestModelGeometryMatchesDevice(t *testing.T) {
+	g := rtl8139.DriverModel().Geometry
+	if g.TxSlots != rtl.TxSlots || rtl8139.TxSlots != rtl.TxSlots {
+		t.Errorf("TxSlots: model %d, driver %d, device %d", g.TxSlots, rtl8139.TxSlots, rtl.TxSlots)
+	}
+	if g.RxSlots != rtl8139.RxBufLen {
+		t.Errorf("RxSlots %d != RxBufLen %d", g.RxSlots, rtl8139.RxBufLen)
+	}
+	if !g.RxByteRing || g.DescBytes != 0 {
+		t.Errorf("geometry %+v should describe a descriptor-less byte ring", g)
+	}
+	if rtl8139.TxBufBytes != rtl.TxBufBytes {
+		t.Errorf("TxBufBytes: driver %d, device %d", rtl8139.TxBufBytes, rtl.TxBufBytes)
+	}
+}
+
+// TestNativeBringupAndTransmit drives the original (un-rewritten) driver
+// in dom0: probe/open, then transmit through dev_queue_xmit.
+func TestNativeBringupAndTransmit(t *testing.T) {
+	m, err := core.NewMachineModel(1, rtl8139.DriverModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	var wire [][]byte
+	d.Dev.SetOnTransmit(func(p []byte) { wire = append(wire, append([]byte(nil), p...)) })
+
+	frame := core.EthernetFrame([6]byte{1, 1, 1, 1, 1, 1}, d.Dev.HWAddr(), 0x0800, bytes.Repeat([]byte{0xA5}, 400))
+	for i := 0; i < 6; i++ {
+		skb, err := m.NewTxSkb(d, frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ret, err := m.DevQueueXmit(d, skb)
+		if err != nil {
+			t.Fatalf("xmit %d: %v", i, err)
+		}
+		if ret != 0 {
+			t.Fatalf("xmit %d: busy", i)
+		}
+	}
+	if len(wire) != 6 {
+		t.Fatalf("wire saw %d packets, want 6", len(wire))
+	}
+	for i, p := range wire {
+		if !bytes.Equal(p, frame) {
+			t.Fatalf("packet %d corrupted: %d bytes vs %d", i, len(p), len(frame))
+		}
+	}
+	tx, _, _ := d.Dev.Counters()
+	if tx != 6 {
+		t.Errorf("device tx counter = %d", tx)
+	}
+}
+
+// TestNativeReceive injects frames and runs the receive path through the
+// registered interrupt handler, including a frame that wraps the RX byte
+// ring would not (small ring exercised separately in the device tests).
+func TestNativeReceive(t *testing.T) {
+	m, err := core.NewMachineModel(1, rtl8139.DriverModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	for i := 0; i < 8; i++ {
+		frame := core.EthernetFrame(d.Dev.HWAddr(), [6]byte{9, 9, 9, 9, 9, byte(i)}, 0x0800, bytes.Repeat([]byte{byte(i)}, 200+13*i))
+		if !d.Dev.Inject(frame) {
+			t.Fatalf("inject %d", i)
+		}
+		if err := m.HandleIRQ(d); err != nil {
+			t.Fatalf("irq %d: %v", i, err)
+		}
+	}
+	got := 0
+	for {
+		skb, ok := m.K.PopBacklog()
+		if !ok {
+			break
+		}
+		ln, _ := m.Dom0.AS.Load(skb+kernel.SkbLen, 4)
+		if ln == 0 {
+			t.Error("delivered skb has zero length")
+		}
+		m.K.FreeSkb(skb)
+		got++
+	}
+	if got != 8 {
+		t.Fatalf("receive path delivered %d of 8", got)
+	}
+	_, rx, missed := d.Dev.Counters()
+	if rx != 8 || missed != 0 {
+		t.Errorf("device counters rx=%d missed=%d", rx, missed)
+	}
+}
+
+// TestRxBadStatusSkipped: a ring record whose status lacks ROK is
+// counted as an error and skipped — never delivered — and the stream
+// stays in sync for the next good frame.
+func TestRxBadStatusSkipped(t *testing.T) {
+	m, err := core.NewMachineModel(1, rtl8139.DriverModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	f1 := core.EthernetFrame(d.Dev.HWAddr(), [6]byte{9, 9, 9, 9, 9, 1}, 0x0800, bytes.Repeat([]byte{1}, 100))
+	if !d.Dev.Inject(f1) {
+		t.Fatal("inject f1")
+	}
+	// Scribble the first record's status word (ring base is the driver's
+	// RA_RXBUF, offset 8 in the adapter; the record sits at offset 0).
+	priv, _ := m.Dom0.AS.Load(d.Netdev+kernel.NdPriv, 4)
+	rxbuf, _ := m.Dom0.AS.Load(priv+8, 4)
+	if err := m.Dom0.AS.Store(rxbuf, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	f2 := core.EthernetFrame(d.Dev.HWAddr(), [6]byte{9, 9, 9, 9, 9, 2}, 0x0800, bytes.Repeat([]byte{2}, 120))
+	if !d.Dev.Inject(f2) {
+		t.Fatal("inject f2")
+	}
+	if err := m.HandleIRQ(d); err != nil {
+		t.Fatal(err)
+	}
+	skb, ok := m.K.PopBacklog()
+	if !ok {
+		t.Fatal("good frame behind the bad one was not delivered")
+	}
+	ln, _ := m.Dom0.AS.Load(skb+kernel.SkbLen, 4)
+	if int(ln) != len(f2)-14 { // eth_type_trans pulled the header
+		t.Errorf("delivered length %d, want %d", ln, len(f2)-14)
+	}
+	if _, ok := m.K.PopBacklog(); ok {
+		t.Error("the bad-status frame was delivered")
+	}
+	if errs := m.K.NetdevStat(d.Netdev, kernel.NdRxErrors); errs != 1 {
+		t.Errorf("rx_errors = %d, want 1", errs)
+	}
+}
+
+// TestRxOversizeLengthDropped: the ring length word is driver data a
+// wild write can scribble; a value beyond the skb buffer must be
+// dropped (bounded), not copied out — and the twin must survive.
+func TestRxOversizeLengthDropped(t *testing.T) {
+	m, tw, err := core.NewTwinMachineModel(1, 1, rtl8139.DriverModel(), core.TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	m.HV.Switch(m.DomU)
+	f1 := core.EthernetFrame(d.Dev.HWAddr(), [6]byte{9, 9, 9, 9, 9, 3}, 0x0800, bytes.Repeat([]byte{3}, 200))
+	if !d.Dev.Inject(f1) {
+		t.Fatal("inject")
+	}
+	priv, _ := m.Dom0.AS.Load(d.Netdev+kernel.NdPriv, 4)
+	rxbuf, _ := m.Dom0.AS.Load(priv+8, 4)
+	if err := m.Dom0.AS.Store(rxbuf+2, 2, 0xFFF0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.HandleIRQ(d); err != nil {
+		t.Fatalf("oversize length killed the invocation uncleanly: %v", err)
+	}
+	if tw.Dead {
+		t.Fatal("twin died on a scribbled length word")
+	}
+	if got := tw.PendingRx(m.DomU.ID); got != 0 {
+		t.Fatalf("oversize frame delivered (%d pending)", got)
+	}
+	if errs := m.K.NetdevStat(d.Netdev, kernel.NdRxErrors); errs == 0 {
+		t.Error("no rx error counted")
+	}
+	// The driver resynchronised with the device: fresh traffic flows.
+	f2 := core.EthernetFrame(d.Dev.HWAddr(), [6]byte{9, 9, 9, 9, 9, 4}, 0x0800, bytes.Repeat([]byte{4}, 300))
+	if !d.Dev.Inject(f2) {
+		t.Fatal("post-resync inject")
+	}
+	if err := tw.HandleIRQ(d); err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := tw.DeliverPending(m.DomU)
+	if err != nil || len(pkts) != 1 || !bytes.Equal(pkts[0], f2) {
+		t.Fatalf("post-resync receive: %d pkts, %v", len(pkts), err)
+	}
+}
+
+// TestTwinBringupAndEcho derives the rtl8139 driver through the full
+// rewrite pipeline and moves packets both directions through the
+// hypervisor instance.
+func TestTwinBringupAndEcho(t *testing.T) {
+	m, tw, err := core.NewTwinMachineModel(1, 1, rtl8139.DriverModel(), core.TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	var wire [][]byte
+	d.Dev.SetOnTransmit(func(p []byte) { wire = append(wire, append([]byte(nil), p...)) })
+
+	m.HV.Switch(m.DomU)
+	txf := core.EthernetFrame([6]byte{2, 2, 2, 2, 2, 2}, d.Dev.HWAddr(), 0x0800, bytes.Repeat([]byte{0x5A}, 900))
+	if err := tw.GuestTransmit(d, txf); err != nil {
+		t.Fatalf("guest transmit: %v", err)
+	}
+	if len(wire) != 1 || !bytes.Equal(wire[0], txf) {
+		t.Fatalf("wire mismatch: %d packets", len(wire))
+	}
+
+	rxf := core.EthernetFrame(d.Dev.HWAddr(), [6]byte{3, 3, 3, 3, 3, 3}, 0x0800, bytes.Repeat([]byte{0xC3}, 700))
+	if !d.Dev.Inject(rxf) {
+		t.Fatal("inject")
+	}
+	if err := tw.HandleIRQ(d); err != nil {
+		t.Fatalf("twin irq: %v", err)
+	}
+	pkts, err := tw.DeliverPending(m.DomU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) != 1 || !bytes.Equal(pkts[0], rxf) {
+		t.Fatalf("delivered %d packets; mismatch", len(pkts))
+	}
+}

@@ -1,0 +1,69 @@
+package rtl8139
+
+import (
+	"twindrivers/internal/drivermodel"
+	"twindrivers/internal/mem"
+	"twindrivers/internal/rtl"
+)
+
+// Equates exposes the rtl8139 register map and bit constants to the
+// driver assembly, mirroring how kernel.Equates exposes the e1000's: the
+// Go-side device model and the assembly driver share one source of truth.
+func Equates() map[string]int32 {
+	return map[string]int32{
+		"RTL_IDR0": rtl.RegIDR0, "RTL_IDR4": rtl.RegIDR4,
+		"RTL_TSD0": rtl.RegTSD0, "RTL_TSAD0": rtl.RegTSAD0,
+		"RTL_RBSTART": rtl.RegRBSTART, "RTL_RBLEN": rtl.RegRBLEN,
+		"RTL_CMD": rtl.RegCMD, "RTL_CAPR": rtl.RegCAPR, "RTL_CBR": rtl.RegCBR,
+		"RTL_IMR": rtl.RegIMR, "RTL_ISR": rtl.RegISR,
+		"RTL_MPC": rtl.RegMPC, "RTL_MSR": rtl.RegMSR,
+		"RTL_TXCNT": rtl.RegTXCNT, "RTL_RXCNT": rtl.RegRXCNT,
+
+		"RTL_CMD_BUFE": rtl.CmdBufE, "RTL_CMD_TE": rtl.CmdTE,
+		"RTL_CMD_RE": rtl.CmdRE, "RTL_CMD_RST": rtl.CmdRST,
+		"RTL_INT_ROK": rtl.IntROK, "RTL_INT_TOK": rtl.IntTOK,
+		"RTL_INT_RXOVW": rtl.IntRxOvw,
+		"RTL_TSD_OWN":   rtl.TsdOwn, "RTL_TSD_TOK": rtl.TsdTok,
+		"RTL_MSR_LINKB": rtl.MsrLinkB,
+		"RTL_RX_ROK":    rtl.RxStROK,
+	}
+}
+
+var model = &drivermodel.Model{
+	Name:        "rtl8139",
+	Source:      Source,
+	AdapterSize: AdapterSize,
+	MMIOPages:   rtl.MMIOPages,
+	Equates:     Equates(),
+	Entries: drivermodel.Entries{
+		Probe:    FnProbe,
+		Open:     FnOpen,
+		Close:    FnClose,
+		Xmit:     FnXmit,
+		Intr:     FnIntr,
+		Stats:    FnGetStats,
+		Watchdog: FnWatchdog,
+	},
+	Geometry: drivermodel.Geometry{
+		TxSlots:    TxSlots,
+		RxSlots:    RxBufLen,
+		RxByteRing: true,
+	},
+	// No scatter/gather on the 8139: the hypervisor carries guest frames
+	// linear in the pooled skb instead of chaining guest pages.
+	TxHeaderSplit: 0,
+	NewDevice: func(name string, phys *mem.Physical, macLast byte) drivermodel.Device {
+		return rtl.New(name, phys, macLast)
+	},
+	// FOUR probe arguments — the RX byte-ring length rides along. The
+	// configuration log records this argument list verbatim so recovery
+	// replays the same probe the bring-up ran.
+	ProbeArgs: func(netdev, mmioPhys, irq uint32) []uint32 {
+		return []uint32{netdev, mmioPhys, irq, RxBufLen}
+	},
+}
+
+func init() { drivermodel.Register(model) }
+
+// DriverModel returns the rtl8139 backend's driver model.
+func DriverModel() *drivermodel.Model { return model }

@@ -17,12 +17,19 @@
 package twindrivers
 
 import (
+	"fmt"
+
 	"twindrivers/internal/asm"
 	"twindrivers/internal/core"
+	"twindrivers/internal/drivermodel"
 	"twindrivers/internal/e1000"
 	"twindrivers/internal/kernel"
 	"twindrivers/internal/recovery"
 	"twindrivers/internal/rewrite"
+
+	// Link every NIC backend so Backends()/NewTwinMachineBackend resolve
+	// them by name.
+	_ "twindrivers/internal/rtl8139"
 )
 
 // Machine is a simulated host; see core.Machine.
@@ -96,6 +103,25 @@ func NewTwinMachine(nNICs, nGuests int, cfg TwinConfig) (*Machine, *Twin, error)
 // DefaultHvSupport returns Table 1: the ten support routines implemented
 // natively in the hypervisor.
 func DefaultHvSupport() []string { return core.DefaultHvSupport() }
+
+// DriverModel describes one NIC backend (driver source, entry symbols,
+// geometry, device factory); see drivermodel.Model.
+type DriverModel = drivermodel.Model
+
+// Backends lists every registered NIC driver model, sorted. Each one is
+// derived by the same rewrite pipeline and proven equivalent by the shared
+// conformance suite and differential harness (internal/conformance).
+func Backends() []string { return drivermodel.Names() }
+
+// NewTwinMachineBackend is NewTwinMachine with an explicit NIC backend
+// ("e1000", "rtl8139", or any model a third backend registers).
+func NewTwinMachineBackend(nNICs, nGuests int, backend string, cfg TwinConfig) (*Machine, *Twin, error) {
+	model, ok := drivermodel.Get(backend)
+	if !ok {
+		return nil, nil, fmt.Errorf("twindrivers: unknown backend %q (have %v)", backend, drivermodel.Names())
+	}
+	return core.NewTwinMachineModel(nNICs, nGuests, model, cfg)
+}
 
 // DriverSource is the guest-OS e1000-class driver, in the simulated
 // machine's assembly dialect.
