@@ -201,6 +201,44 @@ func BenchmarkBackendSweep(b *testing.B) {
 	}
 }
 
+// --- RX-path sweep: posted guest buffers vs copy-mode delivery ---------------
+
+// BenchmarkRXPathSweep measures the domU-twin receive path per backend and
+// batch size in both delivery modes: the posted rows land strictly below
+// their copy-mode counterparts because the guest's per-frame copy-out is
+// replaced by one direct copy into the posted buffer (plus a cached
+// guest-TLB translation).
+func BenchmarkRXPathSweep(b *testing.B) {
+	for _, backend := range twindrivers.Backends() {
+		for _, batch := range twindrivers.RXPathBatchSizes() {
+			for _, posted := range []bool{false, true} {
+				backend, batch, posted := backend, batch, posted
+				mode := "copy"
+				if posted {
+					mode = "posted"
+				}
+				b.Run(backend+"/batch-"+strconv.Itoa(batch)+"/"+mode, func(b *testing.B) {
+					var last *netbench.Result
+					for i := 0; i < b.N; i++ {
+						r, err := netbench.Run(netpath.Twin, netbench.RX, netbench.Params{
+							NumNICs: 1, Measure: 256, Batch: batch,
+							Backend: backend, PostedRX: posted,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						last = r
+					}
+					b.ReportMetric(last.CyclesPerPacket, "cycles/pkt")
+					b.ReportMetric(last.Breakdown[cycles.CompDomU], "domU")
+					b.ReportMetric(last.Breakdown[cycles.CompXen], "xen")
+					b.ReportMetric(last.ThroughputMbps, "Mb/s")
+				})
+			}
+		}
+	}
+}
+
 // --- Multi-guest sweep: per-guest rings + round-robin service ----------------
 
 // BenchmarkMultiGuestSweep measures the domU-twin path at 1/2/4/8 guests in

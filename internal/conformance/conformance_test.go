@@ -68,6 +68,8 @@ func TestConformance(t *testing.T) {
 		{"bringup", checkBringup},
 		{"burst-tx", checkBurstTx},
 		{"burst-rx", checkBurstRx},
+		{"posted-rx", checkPostedRx},
+		{"posted-hostile-descriptor", checkPostedHostile},
 		{"batch1-cycle-identity", checkBatchOfOneIdentity},
 		{"hostile-header-containment", checkHostileHeader},
 		{"fault-recovery-replay", checkFaultRecoveryReplay},
@@ -181,6 +183,105 @@ func checkBurstRx(t *testing.T, m *drivermodel.Model) {
 	}
 	if _, _, missed := d.Dev.Counters(); missed != 0 {
 		t.Errorf("device missed %d packets", missed)
+	}
+}
+
+// checkPostedRx: the posted-buffer receive path delivers a burst
+// byte-exact straight into guest-posted buffers, in order, with zero loss
+// and one coalesced notification — per backend.
+func checkPostedRx(t *testing.T, m *drivermodel.Model) {
+	mach, tw := newTwin(t, m, 1, core.TwinConfig{})
+	d := mach.Devs[0]
+	mach.HV.Switch(mach.DomU)
+
+	const n = 16
+	var bufs []uint32
+	var posts []core.RxPost
+	for i := 0; i < n; i++ {
+		b := mach.HV.AllocHeap(mach.DomU, 2048)
+		bufs = append(bufs, b)
+		posts = append(posts, core.RxPost{Addr: b, Len: 2048})
+	}
+	if posted, err := tw.PostRxBuffers(mach.DomU, posts); err != nil || posted != n {
+		t.Fatalf("posted %d of %d: %v", posted, n, err)
+	}
+	frames := make([][]byte, n)
+	for i := range frames {
+		frames[i] = frame(60+i*90, byte(0x60+i))
+		if !d.Dev.Inject(frames[i]) {
+			t.Fatalf("inject %d", i)
+		}
+	}
+	if err := tw.HandleIRQ(d); err != nil {
+		t.Fatal(err)
+	}
+	ev := mach.HV.Events
+	del, err := tw.DeliverPendingPosted(mach.DomU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(del.Frames) != n || del.Lost != 0 {
+		t.Fatalf("delivered %d lost %d, want %d/0", len(del.Frames), del.Lost, n)
+	}
+	if mach.HV.Events-ev != 1 {
+		t.Errorf("posted burst raised %d notifications, want 1", mach.HV.Events-ev)
+	}
+	for i, fr := range del.Frames {
+		if fr.Addr != bufs[i] {
+			t.Errorf("frame %d landed at %#x, posted %#x", i, fr.Addr, bufs[i])
+		}
+		got, err := mach.DomU.AS.ReadBytes(fr.Addr, fr.Len)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, frames[i]) {
+			t.Errorf("frame %d corrupted in posted buffer", i)
+		}
+	}
+}
+
+// checkPostedHostile: a hostile posted descriptor (hypervisor-range
+// address) loses exactly its own frame and moves no hypervisor byte; the
+// twin survives and the neighbouring honest descriptor still delivers.
+func checkPostedHostile(t *testing.T, m *drivermodel.Model) {
+	mach, tw := newTwin(t, m, 1, core.TwinConfig{})
+	d := mach.Devs[0]
+	mach.HV.Switch(mach.DomU)
+
+	good := mach.HV.AllocHeap(mach.DomU, 2048)
+	hvAddr := tw.HVImage.CodeBase
+	hvBefore, _ := mach.HV.HVSpace.Load(hvAddr, 4)
+	posts := []core.RxPost{
+		{Addr: hvAddr, Len: 4096},
+		{Addr: good, Len: 2048},
+	}
+	if n, err := tw.PostRxBuffers(mach.DomU, posts); err != nil || n != 2 {
+		t.Fatalf("post: %d, %v", n, err)
+	}
+	f1, f2 := frame(400, 0x71), frame(500, 0x72)
+	for _, f := range [][]byte{f1, f2} {
+		if !d.Dev.Inject(f) {
+			t.Fatal("inject")
+		}
+	}
+	if err := tw.HandleIRQ(d); err != nil {
+		t.Fatal(err)
+	}
+	del, err := tw.DeliverPendingPosted(mach.DomU, 0)
+	if err != nil {
+		t.Fatalf("hostile descriptor errored the batch: %v", err)
+	}
+	if tw.Dead {
+		t.Fatal("hostile posted descriptor killed the twin")
+	}
+	if len(del.Frames) != 1 || del.Lost != 1 {
+		t.Fatalf("delivered %d lost %d, want 1/1", len(del.Frames), del.Lost)
+	}
+	if got, _ := mach.DomU.AS.ReadBytes(good, len(f2)); !bytes.Equal(got, f2) {
+		t.Error("honest delivery corrupted")
+	}
+	if v, _ := mach.HV.HVSpace.Load(hvAddr, 4); v != hvBefore {
+		t.Error("hostile descriptor wrote hypervisor memory")
 	}
 }
 

@@ -22,9 +22,10 @@ import (
 // abstraction.
 
 const (
-	diffSeed     = 0x7417D21
-	diffTxFrames = 5000
-	diffRxFrames = 5000 // ≥10k total per backend
+	diffSeed       = 0x7417D21
+	diffTxFrames   = 5000
+	diffRxFrames   = 5000 // ≥10k total per backend
+	diffPostedSeed = diffSeed ^ 0x51ED
 )
 
 // diffResult is everything one backend did under the workload.
@@ -37,6 +38,14 @@ type diffResult struct {
 	leftover  int      // packets queued but never delivered
 	faultKind string   // classified kind of the injected fault
 	faultRole string   // "xmit" when attributed to the model's xmit entry
+
+	// posted/copyCtl hold the posted-vs-copy differential: the same seeded
+	// frame stream delivered once into guest-posted buffers and once
+	// through the copy path. Byte equality between the two — and across
+	// backends — is the posted-mode acceptance, with zero skips.
+	posted     [][]byte
+	copyCtl    [][]byte
+	postedLost int
 }
 
 // diffFrame builds one pseudo-random frame from the shared stream.
@@ -112,6 +121,70 @@ func runDifferential(t *testing.T, model *drivermodel.Model, txFrames, rxFrames 
 	}
 	res.leftover = tw.PendingRx(mach.DomU.ID)
 	_, _, res.missed = d.Dev.Counters()
+
+	// Posted-vs-copy phase: one seeded stream delivered into guest-posted
+	// buffers, then the identical stream again through the copy path, on
+	// the same twin. Every frame must come back byte-exact both times.
+	const postedFrames = 1000
+	bufs := make([]core.RxPost, 16)
+	for i := range bufs {
+		bufs[i] = core.RxPost{Addr: mach.HV.AllocHeap(mach.DomU, 2048), Len: 2048}
+	}
+	for _, phase := range []struct {
+		seedRng *rand.Rand
+		posted  bool
+	}{
+		{rand.New(rand.NewSource(diffPostedSeed)), true},
+		{rand.New(rand.NewSource(diffPostedSeed)), false},
+	} {
+		for recvd := 0; recvd < postedFrames; {
+			burst := 1 + phase.seedRng.Intn(16)
+			if burst > postedFrames-recvd {
+				burst = postedFrames - recvd
+			}
+			if phase.posted {
+				if n, err := tw.PostRxBuffers(mach.DomU, bufs[:burst]); err != nil || n != burst {
+					t.Fatalf("%s: posted %d of %d: %v", model.Name, n, burst, err)
+				}
+			}
+			for i := 0; i < burst; i++ {
+				if !d.Dev.Inject(diffFrame(phase.seedRng, 3)) {
+					t.Fatalf("%s: posted-phase inject", model.Name)
+				}
+			}
+			if err := tw.HandleIRQ(d); err != nil {
+				t.Fatalf("%s: posted-phase irq: %v", model.Name, err)
+			}
+			if phase.posted {
+				del, err := tw.DeliverPendingPosted(mach.DomU, 0)
+				if err != nil {
+					t.Fatalf("%s: posted deliver: %v", model.Name, err)
+				}
+				res.postedLost += del.Lost
+				for _, fr := range del.Frames {
+					b, err := mach.DomU.AS.ReadBytes(fr.Addr, fr.Len)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res.posted = append(res.posted, b)
+				}
+				recvd += len(del.Frames)
+				if len(del.Frames) != burst {
+					t.Fatalf("%s: posted burst of %d delivered %d", model.Name, burst, len(del.Frames))
+				}
+			} else {
+				pkts, err := tw.DeliverPendingBatch(mach.DomU, 0)
+				if err != nil {
+					t.Fatalf("%s: copy-control deliver: %v", model.Name, err)
+				}
+				res.copyCtl = append(res.copyCtl, pkts...)
+				recvd += len(pkts)
+				if len(pkts) != burst {
+					t.Fatalf("%s: copy-control burst of %d delivered %d", model.Name, burst, len(pkts))
+				}
+			}
+		}
+	}
 
 	// Fault attribution: the same wild write, classified the same way.
 	if err := mach.Dom0.AS.Store(d.Netdev+kernel.NdPriv, 4, 0xF1000040); err != nil {
@@ -189,6 +262,29 @@ func TestDifferentialBackends(t *testing.T) {
 				ref.backend, ref.faultKind, ref.faultRole, r.backend, r.faultKind, r.faultRole)
 		}
 	}
-	t.Logf("differential: %d backends, %d frames each, wire+delivery byte-identical",
-		len(models), txFrames+rxFrames)
+	// Posted vs copy: the same seeded stream must come back byte-exact
+	// through both receive paths, per backend and across backends — zero
+	// skips, zero losses.
+	for _, r := range results {
+		if r.postedLost != 0 {
+			t.Errorf("%s: posted phase lost %d frames", r.backend, r.postedLost)
+		}
+		if len(r.posted) != len(r.copyCtl) {
+			t.Fatalf("%s: posted delivered %d, copy control %d", r.backend, len(r.posted), len(r.copyCtl))
+		}
+		for i := range r.posted {
+			if !bytes.Equal(r.posted[i], r.copyCtl[i]) {
+				t.Fatalf("%s: posted frame %d differs from copy-mode delivery", r.backend, i)
+			}
+		}
+	}
+	for _, r := range results[1:] {
+		for i := range ref.posted {
+			if !bytes.Equal(ref.posted[i], r.posted[i]) {
+				t.Fatalf("posted frame %d differs between %s and %s", i, ref.backend, r.backend)
+			}
+		}
+	}
+	t.Logf("differential: %d backends, %d frames each (+%d posted-vs-copy), wire+delivery byte-identical",
+		len(models), txFrames+rxFrames, len(ref.posted))
 }

@@ -41,6 +41,13 @@ const (
 	// at its recorded base (the guest keeps the same mapping; recovery
 	// must not move it).
 	OpRing
+
+	// OpRxRing reformats and re-attaches a guest's posted-receive
+	// descriptor ring at its recorded base, and shoots down the guest's
+	// translation cache: descriptors and translations that served the dead
+	// instance must never leak into its successor — the guests re-post
+	// their buffers after recovery.
+	OpRxRing
 )
 
 // ConfigEvent is one entry of the log. Fields are used per-op: Dev indexes
@@ -111,6 +118,17 @@ func (t *Twin) replayConfig() error {
 				return err
 			}
 			g.ring = ring
+		case OpRxRing:
+			g, ok := t.guestIO[ev.Dom]
+			if !ok {
+				continue
+			}
+			ring, err := mem.InitRing(g.dom.AS, ev.Addr, int(ev.Aux))
+			if err != nil {
+				return err
+			}
+			g.rxRing = ring
+			g.gtlb.Invalidate()
 		}
 	}
 	return nil

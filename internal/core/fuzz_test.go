@@ -1,0 +1,149 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"twindrivers/internal/kernel"
+	"twindrivers/internal/mem"
+)
+
+// FuzzPostedRxDescriptor fuzzes the guest-writable posted-receive ring the
+// way a hostile guest would: arbitrary address/length descriptor words and
+// arbitrary head/tail header words, scribbled directly into ring memory
+// before a delivery. The invariants under fuzz:
+//
+//   - no operation panics and the twin never dies (posted-descriptor
+//     abuse is contained to the guest that posted it);
+//   - not a byte of hypervisor or dom0 memory changes — a hostile address
+//     must never steer the delivery copy out of guest memory;
+//   - a scribbled header is reported as ErrRingCorrupt and the ring comes
+//     back usable after its reset;
+//   - every received frame is either delivered to a guest buffer, counted
+//     lost, or still queued — never silently gone.
+//
+// The twin is built once (bring-up dominates an iteration) and the ring is
+// re-formatted between runs, exactly what recovery does on replay.
+var fuzzTwin struct {
+	once sync.Once
+	m    *Machine
+	tw   *Twin
+	d    *NICDev
+	base uint32 // posted-RX ring base in guest memory
+	good uint32 // an honest guest buffer for draining
+}
+
+func fuzzSetup(t testing.TB) {
+	fuzzTwin.once.Do(func() {
+		m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzTwin.m, fuzzTwin.tw = m, tw
+		fuzzTwin.d = m.Devs[0]
+		fuzzTwin.d.Dev.SetOnTransmit(func([]byte) {})
+		m.HV.Switch(m.DomU)
+		for _, ev := range m.Config.Events {
+			if ev.Op == OpRxRing && ev.Dom == m.DomU.ID {
+				fuzzTwin.base = ev.Addr
+			}
+		}
+		if fuzzTwin.base == 0 {
+			t.Fatal("no recorded posted-RX ring base")
+		}
+		fuzzTwin.good = m.HV.AllocHeap(m.DomU, 2048)
+	})
+}
+
+func FuzzPostedRxDescriptor(f *testing.F) {
+	f.Add(uint32(0xF1000040), uint32(4096), uint32(0), uint32(1)) // hypervisor code
+	f.Add(uint32(0xC0000010), uint32(2048), uint32(0), uint32(1)) // dom0 kernel
+	f.Add(uint32(0x00000040), uint32(2048), uint32(0), uint32(1)) // unmapped
+	f.Add(uint32(0xB0000000), uint32(4), uint32(0), uint32(1))    // short buffer
+	f.Add(uint32(0xB0000FF8), uint32(0xFFFFFFFF), uint32(0), uint32(1))
+	f.Add(uint32(0), uint32(0), uint32(0xFFFF0000), uint32(3))      // corrupt head
+	f.Add(uint32(0xF4000000), uint32(65536), uint32(5), uint32(2))  // tail behind head
+	f.Add(uint32(0xB0000000), uint32(2048), uint32(31), uint32(33)) // wrap
+
+	f.Fuzz(func(t *testing.T, addr, ln, head, tail uint32) {
+		fuzzSetup(t)
+		m, tw, d, base := fuzzTwin.m, fuzzTwin.tw, fuzzTwin.d, fuzzTwin.base
+
+		// Clean slate: re-format the ring (recovery's replay does the
+		// same) and drain anything a previous iteration left queued.
+		if _, err := mem.InitRing(m.DomU.AS, base, RxRingSlots); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tw.DeliverPendingBatch(m.DomU, 0); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+
+		// Sentinels: hypervisor driver code and the dom0 netdev.
+		hvAddr := tw.HVImage.CodeBase
+		hvBefore, _ := m.HV.HVSpace.Load(hvAddr, 4)
+		dom0Before, _ := m.Dom0.AS.Load(d.Netdev+kernel.NdPriv, 4)
+
+		// The guest scribbles: descriptor words both at slot 0 and at the
+		// slot its head word selects, then the header words themselves.
+		for _, slot := range []uint32{0, head & (RxRingSlots - 1)} {
+			s := base + 16 + slot*8
+			if err := m.DomU.AS.Store(s, 4, addr); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.DomU.AS.Store(s+4, 4, ln); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.DomU.AS.Store(base+4, 4, head); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.DomU.AS.Store(base+8, 4, tail); err != nil {
+			t.Fatal(err)
+		}
+
+		// One frame through the hostile ring.
+		frame := EthernetFrame(d.Dev.HWAddr(), [6]byte{0xF, 0xF, 0xF, 0xF, 0xF, 1}, 0x0800, payload(256, byte(addr)))
+		if !d.Dev.Inject(frame) {
+			t.Fatal("inject")
+		}
+		if err := tw.HandleIRQ(d); err != nil {
+			t.Fatalf("irq: %v", err)
+		}
+		queued := tw.PendingRx(m.DomU.ID)
+		del, err := tw.DeliverPendingPosted(m.DomU, 0)
+		if tw.Dead {
+			t.Fatal("posted-descriptor abuse killed the twin")
+		}
+		if err != nil && !errors.Is(err, mem.ErrRingCorrupt) {
+			t.Fatalf("unexpected delivery error: %v", err)
+		}
+		if got := len(del.Frames) + del.Lost + tw.PendingRx(m.DomU.ID); got != queued {
+			t.Fatalf("frames unaccounted: delivered %d + lost %d + pending %d != queued %d",
+				len(del.Frames), del.Lost, tw.PendingRx(m.DomU.ID), queued)
+		}
+		// Containment: not a byte outside guest memory.
+		if v, _ := m.HV.HVSpace.Load(hvAddr, 4); v != hvBefore {
+			t.Fatal("hostile descriptor wrote hypervisor memory")
+		}
+		if v, _ := m.Dom0.AS.Load(d.Netdev+kernel.NdPriv, 4); v != dom0Before {
+			t.Fatal("hostile descriptor wrote dom0 memory")
+		}
+
+		// The ring is usable again after a reset: an honest post delivers
+		// whatever the scribble left queued.
+		if _, err := mem.InitRing(m.DomU.AS, base, RxRingSlots); err != nil {
+			t.Fatal(err)
+		}
+		pending := tw.PendingRx(m.DomU.ID)
+		if pending > 0 {
+			if n, err := tw.PostRxBuffers(m.DomU, []RxPost{{Addr: fuzzTwin.good, Len: 2048}}); err != nil || n != 1 {
+				t.Fatalf("honest re-post: %d, %v", n, err)
+			}
+			del, err := tw.DeliverPendingPosted(m.DomU, 1)
+			if err != nil || len(del.Frames)+del.Lost != 1 {
+				t.Fatalf("post-reset delivery: %+v, %v", del, err)
+			}
+		}
+	})
+}

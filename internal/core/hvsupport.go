@@ -106,7 +106,7 @@ func hvSupportImpl(t *Twin, name string) (cpu.Extern, bool) {
 			if !ok {
 				dom = t.M.DomU.ID // default guest
 			}
-			t.rxQueues[dom] = append(t.rxQueues[dom], skb)
+			t.queueRx(dom, skb)
 			return 0, nil
 		}
 	case "dma_map_single":

@@ -178,10 +178,11 @@ func TestDeliverBatchReturnsRemainingOnFault(t *testing.T) {
 	if err := tw.HandleIRQ(d); err != nil {
 		t.Fatal(err)
 	}
-	q := tw.rxQueues[m.DomU.ID]
-	if len(q) != n {
-		t.Fatalf("queued %d", len(q))
+	rq := tw.rxQueues[m.DomU.ID]
+	if rq.len() != n {
+		t.Fatalf("queued %d", rq.len())
 	}
+	q := rq.skbs[rq.head:]
 	// Every queued skb should now be pool-provenance; corrupt the third
 	// packet's data pointer so its translate faults mid-batch.
 	pooled := 0
@@ -197,8 +198,20 @@ func TestDeliverBatchReturnsRemainingOnFault(t *testing.T) {
 	if err := m.Dom0.AS.Store(q[2]+kernel.SkbData, 4, 0x20); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tw.DeliverPendingBatch(m.DomU, 0); err == nil {
+	pkts, err := tw.DeliverPendingBatch(m.DomU, 0)
+	if err == nil {
 		t.Fatal("delivery over a corrupt skb succeeded")
+	}
+	// The frames delivered before the fault come back with the error, and
+	// the error carries the exact delivered/dropped split (the accounting
+	// contract netpath counts loss with).
+	var de *DeliveryError
+	if !errors.As(err, &de) {
+		t.Fatalf("mid-batch fault is not a *DeliveryError: %v", err)
+	}
+	if len(pkts) != 2 || de.Delivered != 2 || de.Dropped != n-2 {
+		t.Fatalf("partial delivery: %d pkts, delivered=%d dropped=%d (want 2/%d)",
+			len(pkts), de.Delivered, de.Dropped, n-2)
 	}
 	if got := tw.PendingRx(m.DomU.ID); got != 0 {
 		t.Fatalf("pending after aborted batch = %d", got)

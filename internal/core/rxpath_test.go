@@ -1,0 +1,395 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"twindrivers/internal/drivermodel"
+	"twindrivers/internal/e1000"
+	"twindrivers/internal/kernel"
+	"twindrivers/internal/mem"
+	"twindrivers/internal/rtl8139"
+)
+
+// Posted-buffer receive path tests: byte-exact direct delivery, hostile
+// descriptor containment, queue semantics when no buffer is posted, and
+// the abort/revive lifecycle of the posted ring and guest TLB.
+
+// captureDev wires a device's transmit side to a byte sink through the
+// backend-generic interface (capture in core_test.go needs the e1000).
+func captureDev(d *NICDev) *[][]byte {
+	var got [][]byte
+	d.Dev.SetOnTransmit(func(pkt []byte) {
+		got = append(got, append([]byte(nil), pkt...))
+	})
+	return &got
+}
+
+// rxModels returns both registered backends for model-parameterised tests.
+func rxModels() []*drivermodel.Model {
+	return []*drivermodel.Model{e1000.DriverModel(), rtl8139.DriverModel()}
+}
+
+// postedSetup brings up a twin, allocates n guest receive buffers and
+// posts them, returning the machine, twin, device and buffer addresses.
+func postedSetup(t *testing.T, model *drivermodel.Model, n int) (*Machine, *Twin, *NICDev, []uint32) {
+	t.Helper()
+	m, tw, err := NewTwinMachineModel(1, 1, model, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	m.HV.Switch(m.DomU)
+	var bufs []uint32
+	var posts []RxPost
+	for i := 0; i < n; i++ {
+		b := m.HV.AllocHeap(m.DomU, 2048)
+		bufs = append(bufs, b)
+		posts = append(posts, RxPost{Addr: b, Len: 2048})
+	}
+	if posted, err := tw.PostRxBuffers(m.DomU, posts); err != nil || posted != n {
+		t.Fatalf("posted %d of %d: %v", posted, n, err)
+	}
+	return m, tw, d, bufs
+}
+
+// TestPostedDeliveryByteExact: frames delivered into posted buffers are
+// byte-exact in guest memory, in order, under one coalesced notification —
+// per backend.
+func TestPostedDeliveryByteExact(t *testing.T) {
+	for _, model := range rxModels() {
+		t.Run(model.Name, func(t *testing.T) {
+			const n = 8
+			m, tw, d, bufs := postedSetup(t, model, n)
+			var frames [][]byte
+			for i := 0; i < n; i++ {
+				f := EthernetFrame(d.Dev.HWAddr(), [6]byte{4, 4, 4, 4, 4, byte(i)}, 0x0800, payload(200+i*97, byte(i)))
+				frames = append(frames, f)
+				if !d.Dev.Inject(f) {
+					t.Fatalf("inject %d", i)
+				}
+			}
+			if err := tw.HandleIRQ(d); err != nil {
+				t.Fatal(err)
+			}
+			ev := m.HV.Events
+			del, err := tw.DeliverPendingPosted(m.DomU, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(del.Frames) != n || del.Lost != 0 {
+				t.Fatalf("delivered %d lost %d, want %d/0", len(del.Frames), del.Lost, n)
+			}
+			if m.HV.Events-ev != 1 {
+				t.Errorf("posted delivery raised %d notifications, want 1", m.HV.Events-ev)
+			}
+			for i, fr := range del.Frames {
+				if fr.Addr != bufs[i] {
+					t.Errorf("frame %d landed at %#x, posted buffer %#x", i, fr.Addr, bufs[i])
+				}
+				got, err := m.DomU.AS.ReadBytes(fr.Addr, fr.Len)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, frames[i]) {
+					t.Errorf("frame %d corrupted in posted buffer (%d vs %d bytes)", i, len(got), len(frames[i]))
+				}
+			}
+			if tw.PendingRx(m.DomU.ID) != 0 {
+				t.Errorf("pending after full posted delivery: %d", tw.PendingRx(m.DomU.ID))
+			}
+		})
+	}
+}
+
+// TestPostedDeliveryStraddlesPages: a posted buffer deliberately placed
+// across a page boundary receives its frame byte-exact — the per-page
+// guest-TLB translation discipline under test.
+func TestPostedDeliveryStraddlesPages(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	m.HV.Switch(m.DomU)
+	// Pad the guest heap so the next allocation starts 8 bytes short of a
+	// page boundary, then allocate the posted buffer there.
+	probe := m.HV.AllocHeap(m.DomU, 4)
+	pad := (mem.PageSize - int((probe+4)&mem.PageMask) - 8 + mem.PageSize) % mem.PageSize
+	if pad > 0 {
+		m.HV.AllocHeap(m.DomU, uint32(pad))
+	}
+	buf := m.HV.AllocHeap(m.DomU, 2048)
+	if buf&mem.PageMask != mem.PageSize-8 {
+		t.Fatalf("buffer at %#x, want offset PageSize-8", buf)
+	}
+	if n, err := tw.PostRxBuffers(m.DomU, []RxPost{{Addr: buf, Len: 2048}}); err != nil || n != 1 {
+		t.Fatalf("post: %d, %v", n, err)
+	}
+	f := EthernetFrame(d.Dev.HWAddr(), [6]byte{5, 5, 5, 5, 5, 5}, 0x0800, payload(700, 0x5A))
+	if !d.Dev.Inject(f) {
+		t.Fatal("inject")
+	}
+	if err := tw.HandleIRQ(d); err != nil {
+		t.Fatal(err)
+	}
+	del, err := tw.DeliverPendingPosted(m.DomU, 0)
+	if err != nil || len(del.Frames) != 1 || del.Lost != 0 {
+		t.Fatalf("delivery: %+v, %v", del, err)
+	}
+	got, err := m.DomU.AS.ReadBytes(buf, len(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, f) {
+		t.Fatal("straddling posted buffer corrupted the frame")
+	}
+}
+
+// TestPostedHostileDescriptorContained: posted descriptors aiming at
+// hypervisor memory, dom0 memory, unmapped guest pages, or with a length
+// too small for the frame lose exactly their own frame — the twin stays
+// alive, honest descriptors around them still deliver, and not a byte of
+// hypervisor or dom0 memory moves.
+func TestPostedHostileDescriptorContained(t *testing.T) {
+	for _, model := range rxModels() {
+		t.Run(model.Name, func(t *testing.T) {
+			m, tw, err := NewTwinMachineModel(1, 1, model, TwinConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := m.Devs[0]
+			m.HV.Switch(m.DomU)
+			good1 := m.HV.AllocHeap(m.DomU, 2048)
+			good2 := m.HV.AllocHeap(m.DomU, 2048)
+			// Sentinel in hypervisor memory the hostile descriptor aims at.
+			hvAddr := tw.HVImage.CodeBase
+			hvBefore, _ := m.HV.HVSpace.Load(hvAddr, 4)
+			// Sentinel in dom0 kernel memory.
+			dom0Addr := d.Netdev
+			dom0Before, _ := m.Dom0.AS.Load(dom0Addr, 4)
+			posts := []RxPost{
+				{Addr: good1, Len: 2048},
+				{Addr: hvAddr, Len: 2048},     // hypervisor range
+				{Addr: dom0Addr, Len: 2048},   // dom0 range
+				{Addr: 0x00000040, Len: 2048}, // unmapped guest page
+				{Addr: good2, Len: 8},         // too small for any frame
+				{Addr: good2, Len: 2048},      // honest again
+			}
+			if n, err := tw.PostRxBuffers(m.DomU, posts); err != nil || n != len(posts) {
+				t.Fatalf("post: %d, %v", n, err)
+			}
+			var frames [][]byte
+			for i := 0; i < len(posts); i++ {
+				f := EthernetFrame(d.Dev.HWAddr(), [6]byte{6, 6, 6, 6, 6, byte(i)}, 0x0800, payload(300, byte(0x10+i)))
+				frames = append(frames, f)
+				if !d.Dev.Inject(f) {
+					t.Fatalf("inject %d", i)
+				}
+			}
+			if err := tw.HandleIRQ(d); err != nil {
+				t.Fatal(err)
+			}
+			del, err := tw.DeliverPendingPosted(m.DomU, 0)
+			if err != nil {
+				t.Fatalf("hostile descriptors errored the batch: %v", err)
+			}
+			if tw.Dead {
+				t.Fatal("hostile posted descriptor killed the twin")
+			}
+			if len(del.Frames) != 2 || del.Lost != 4 {
+				t.Fatalf("delivered %d lost %d, want 2/4", len(del.Frames), del.Lost)
+			}
+			// The two honest buffers carry the first and last frames.
+			got1, _ := m.DomU.AS.ReadBytes(good1, len(frames[0]))
+			if !bytes.Equal(got1, frames[0]) {
+				t.Error("first honest delivery corrupted")
+			}
+			got2, _ := m.DomU.AS.ReadBytes(good2, len(frames[5]))
+			if !bytes.Equal(got2, frames[5]) {
+				t.Error("second honest delivery corrupted")
+			}
+			// Not a byte moved outside guest memory.
+			if v, _ := m.HV.HVSpace.Load(hvAddr, 4); v != hvBefore {
+				t.Error("hostile descriptor wrote hypervisor memory")
+			}
+			if v, _ := m.Dom0.AS.Load(dom0Addr, 4); v != dom0Before {
+				t.Error("hostile descriptor wrote dom0 memory")
+			}
+			if tw.GuestTLBViolations(m.DomU.ID) == 0 {
+				t.Error("violations not recorded by the guest TLB")
+			}
+		})
+	}
+}
+
+// TestPostedNoBufferLeavesQueued: frames received while the guest has
+// nothing posted stay queued (not lost) and deliver once buffers arrive.
+func TestPostedNoBufferLeavesQueued(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	m.HV.Switch(m.DomU)
+	f := EthernetFrame(d.Dev.HWAddr(), [6]byte{7, 7, 7, 7, 7, 7}, 0x0800, payload(256, 0x77))
+	if !d.Dev.Inject(f) {
+		t.Fatal("inject")
+	}
+	if err := tw.HandleIRQ(d); err != nil {
+		t.Fatal(err)
+	}
+	del, err := tw.DeliverPendingPosted(m.DomU, 0)
+	if err != nil || len(del.Frames) != 0 || del.Lost != 0 {
+		t.Fatalf("unbuffered delivery: %+v, %v", del, err)
+	}
+	if tw.PendingRx(m.DomU.ID) != 1 {
+		t.Fatalf("frame not left queued: pending=%d", tw.PendingRx(m.DomU.ID))
+	}
+	buf := m.HV.AllocHeap(m.DomU, 2048)
+	if n, err := tw.PostRxBuffers(m.DomU, []RxPost{{Addr: buf, Len: 2048}}); err != nil || n != 1 {
+		t.Fatalf("post: %d, %v", n, err)
+	}
+	del, err = tw.DeliverPendingPosted(m.DomU, 0)
+	if err != nil || len(del.Frames) != 1 {
+		t.Fatalf("post-then-deliver: %+v, %v", del, err)
+	}
+	got, _ := m.DomU.AS.ReadBytes(buf, len(f))
+	if !bytes.Equal(got, f) {
+		t.Fatal("queued-then-posted frame corrupted")
+	}
+}
+
+// TestPostedRingScribbleContained: a guest scribbling its posted-RX ring
+// header gets ErrRingCorrupt, a ring reset, and keeps its queued frames —
+// the twin survives and honest re-posting resumes delivery.
+func TestPostedRingScribbleContained(t *testing.T) {
+	m, tw, d, _ := postedSetup(t, nil, 2)
+	f := EthernetFrame(d.Dev.HWAddr(), [6]byte{8, 8, 8, 8, 8, 8}, 0x0800, payload(256, 0x88))
+	if !d.Dev.Inject(f) {
+		t.Fatal("inject")
+	}
+	if err := tw.HandleIRQ(d); err != nil {
+		t.Fatal(err)
+	}
+	// Scribble the posted ring's tail word.
+	var base uint32
+	for _, ev := range m.Config.Events {
+		if ev.Op == OpRxRing && ev.Dom == m.DomU.ID {
+			base = ev.Addr
+		}
+	}
+	if base == 0 {
+		t.Fatal("no recorded posted-RX ring base")
+	}
+	if err := m.DomU.AS.Store(base+8, 4, 0xFFFF0000); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tw.DeliverPendingPosted(m.DomU, 0)
+	if !errors.Is(err, mem.ErrRingCorrupt) {
+		t.Fatalf("scribbled ring header: %v", err)
+	}
+	if tw.Dead {
+		t.Fatal("ring scribble killed the twin")
+	}
+	if tw.PendingRx(m.DomU.ID) != 1 {
+		t.Fatalf("queued frame lost to the scribble: pending=%d", tw.PendingRx(m.DomU.ID))
+	}
+	buf := m.HV.AllocHeap(m.DomU, 2048)
+	if n, err := tw.PostRxBuffers(m.DomU, []RxPost{{Addr: buf, Len: 2048}}); err != nil || n != 1 {
+		t.Fatalf("re-post after reset: %d, %v", n, err)
+	}
+	del, err := tw.DeliverPendingPosted(m.DomU, 0)
+	if err != nil || len(del.Frames) != 1 {
+		t.Fatalf("delivery after reset: %+v, %v", del, err)
+	}
+}
+
+// TestAbortDiscardsPostedBuffers: an abort discards posted descriptors
+// (counted in AbortStats) and shoots down the guest TLB; after Revive the
+// ring is clean and re-posted buffers deliver again.
+func TestAbortDiscardsPostedBuffers(t *testing.T) {
+	m, tw, d, _ := postedSetup(t, nil, 3)
+	if tw.GuestTLBCached(m.DomU.ID) != 0 {
+		t.Fatal("TLB warm before any delivery")
+	}
+	// Warm the TLB with one delivery.
+	f := EthernetFrame(d.Dev.HWAddr(), [6]byte{9, 9, 9, 9, 9, 9}, 0x0800, payload(256, 0x99))
+	if !d.Dev.Inject(f) {
+		t.Fatal("inject")
+	}
+	if err := tw.HandleIRQ(d); err != nil {
+		t.Fatal(err)
+	}
+	if del, err := tw.DeliverPendingPosted(m.DomU, 1); err != nil || len(del.Frames) != 1 {
+		t.Fatalf("warm delivery: %v", err)
+	}
+	if tw.GuestTLBCached(m.DomU.ID) == 0 {
+		t.Fatal("TLB cold after a delivery")
+	}
+	// Kill the instance with the generic wild write.
+	if err := m.Dom0.AS.Store(d.Netdev+kernel.NdPriv, 4, 0xF1000040); err != nil {
+		t.Fatal(err)
+	}
+	err := tw.GuestTransmit(d, EthernetFrame([6]byte{1, 1, 1, 1, 1, 1}, d.Dev.HWAddr(), 0x0800, payload(100, 1)))
+	if !errors.Is(err, ErrDriverDead) {
+		t.Fatalf("wild write not contained: %v", err)
+	}
+	if tw.LastAbort.RxPostedDiscarded != 2 {
+		t.Errorf("abort discarded %d posted descriptors, want 2", tw.LastAbort.RxPostedDiscarded)
+	}
+	if tw.GuestTLBCached(m.DomU.ID) != 0 {
+		t.Error("abort left guest-TLB translations cached")
+	}
+	if err := tw.Revive(); err != nil {
+		t.Fatal(err)
+	}
+	if free, err := tw.RxPostedFree(m.DomU.ID); err != nil || free != RxRingSlots {
+		t.Fatalf("revived posted ring not empty: free=%d, %v", free, err)
+	}
+	// Re-post and deliver on the revived instance.
+	buf := m.HV.AllocHeap(m.DomU, 2048)
+	if n, err := tw.PostRxBuffers(m.DomU, []RxPost{{Addr: buf, Len: 2048}}); err != nil || n != 1 {
+		t.Fatalf("re-post: %d, %v", n, err)
+	}
+	f2 := EthernetFrame(d.Dev.HWAddr(), [6]byte{9, 9, 9, 9, 9, 1}, 0x0800, payload(300, 0x9A))
+	if !d.Dev.Inject(f2) {
+		t.Fatal("post-revive inject")
+	}
+	if err := tw.HandleIRQ(d); err != nil {
+		t.Fatal(err)
+	}
+	del, err := tw.DeliverPendingPosted(m.DomU, 0)
+	if err != nil || len(del.Frames) != 1 {
+		t.Fatalf("post-revive delivery: %+v, %v", del, err)
+	}
+	got, _ := m.DomU.AS.ReadBytes(buf, len(f2))
+	if !bytes.Equal(got, f2) {
+		t.Fatal("post-revive posted delivery corrupted")
+	}
+}
+
+// TestPostedRingFullStopsPosting: PostRxBuffers stops at ring capacity
+// without error, like the transmit staging path.
+func TestPostedRingFullStopsPosting(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := m.HV.AllocHeap(m.DomU, 2048)
+	posts := make([]RxPost, RxRingSlots+5)
+	for i := range posts {
+		posts[i] = RxPost{Addr: buf, Len: 2048}
+	}
+	n, err := tw.PostRxBuffers(m.DomU, posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != RxRingSlots {
+		t.Fatalf("posted %d, want ring capacity %d", n, RxRingSlots)
+	}
+	if free, _ := tw.RxPostedFree(m.DomU.ID); free != 0 {
+		t.Fatalf("free=%d after filling the ring", free)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"twindrivers/internal/kernel"
+	"twindrivers/internal/mem"
+)
+
+// Copy-correctness regression tests for the transmit staging paths: the
+// header copy across a page boundary, and the bounce-buffer length check.
+
+// TestXmitHeaderCopyStraddlesPages: the transmit header copy must
+// translate each destination page separately. The pooled skb's buffer is
+// arranged to start 8 bytes before a page boundary whose *first touch*
+// through the translating SVM happened while the following page was still
+// unmapped — so the SVM window has a hole where the old single-translate
+// copy expected the second page, and only the per-page copy delivers the
+// frame. Runs on both backends (the rtl8139's split-0 geometry sends the
+// whole frame through the header copy).
+func TestXmitHeaderCopyStraddlesPages(t *testing.T) {
+	for _, model := range rxModels() {
+		t.Run(model.Name, func(t *testing.T) {
+			m, tw, err := NewTwinMachineModel(1, 1, model, TwinConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := m.Devs[0]
+			wire := captureDev(d)
+			k := m.K
+
+			// Pad the dom0 heap so it ends 8 bytes short of a page
+			// boundary, with the final page's successor still unallocated.
+			probe := k.Alloc(4)
+			pad := ((mem.PageSize - int((probe+4)&mem.PageMask)) - 8 + mem.PageSize) % mem.PageSize
+			if pad > 0 {
+				k.Alloc(uint32(pad))
+			}
+			// First-touch the straddle's first page through the translating
+			// SVM while its successor page is unmapped: the slow path burns
+			// the second window slot, leaving the hole the old code fell
+			// into.
+			holePage := ((probe + 4 + uint32(pad)) &^ uint32(mem.PageMask))
+			if _, err := tw.SV.Translate(m.HV.Meter, holePage+16); err != nil {
+				t.Fatalf("prime first touch: %v", err)
+			}
+			// Now grow the heap across the boundary and aim the next pooled
+			// skb's buffer at the straddling address.
+			head := k.Alloc(kernel.SkbBufSize)
+			if head&mem.PageMask != mem.PageSize-8 {
+				t.Fatalf("staging buffer at %#x, want offset PageSize-8", head)
+			}
+			skb := tw.pool[len(tw.pool)-1]
+			if err := m.Dom0.AS.Store(skb+kernel.SkbHead, 4, head); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Dom0.AS.Store(skb+kernel.SkbEnd, 4, head+kernel.SkbBufSize); err != nil {
+				t.Fatal(err)
+			}
+
+			m.HV.Switch(m.DomU)
+			f := EthernetFrame([6]byte{1, 2, 3, 4, 5, 6}, d.Dev.HWAddr(), 0x0800, payload(300, 0xC3))
+			if err := tw.GuestTransmit(d, f); err != nil {
+				t.Fatalf("straddling header copy failed: %v", err)
+			}
+			if len(*wire) != 1 || !bytes.Equal((*wire)[0], f) {
+				t.Fatalf("frame corrupted across the page boundary (wire %d frames)", len(*wire))
+			}
+		})
+	}
+}
+
+// TestGuestTransmitOversizeBounceRejected: a frame larger than the bounce
+// buffer must be refused with ErrBounceOverflow BEFORE any byte is staged
+// — the transmit ring header lives directly after the bounce region, and
+// the unchecked write used to scribble it.
+func TestGuestTransmitOversizeBounceRejected(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	wire := capture(d)
+	m.HV.Switch(m.DomU)
+
+	g := tw.guestIO[m.DomU.ID]
+	// Sentinel: the 16 bytes directly after the bounce buffer are the
+	// transmit ring's header words.
+	before, err := m.DomU.AS.ReadBytes(g.bounce+GuestBounceBytes, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oversize := make([]byte, GuestBounceBytes+1)
+	for i := range oversize {
+		oversize[i] = 0xEE
+	}
+	if err := tw.GuestTransmit(d, oversize); !errors.Is(err, ErrBounceOverflow) {
+		t.Fatalf("oversize frame returned %v, want ErrBounceOverflow", err)
+	}
+	after, err := m.DomU.AS.ReadBytes(g.bounce+GuestBounceBytes, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("oversize frame scribbled the adjacent ring header before being rejected")
+	}
+
+	// The batched path still works over the intact ring.
+	f := EthernetFrame([6]byte{1, 1, 1, 1, 1, 1}, d.Dev.HWAddr(), 0x0800, payload(200, 7))
+	if n, err := tw.GuestTransmitBatch(d, [][]byte{f}); err != nil || n != 1 {
+		t.Fatalf("ring unusable after rejected oversize frame: %d, %v", n, err)
+	}
+	if len(*wire) != 1 || !bytes.Equal((*wire)[0], f) {
+		t.Fatal("post-rejection transmit corrupted")
+	}
+}

@@ -80,6 +80,17 @@ var ErrTxBusy = errors.New("core: transmit ring busy")
 // backend, the driver's staging slot).
 var ErrFrameOversize = errors.New("core: transmit frame exceeds the pooled buffer")
 
+// ErrBounceOverflow reports a GuestTransmit frame larger than the guest's
+// staging bounce buffer. The check runs before any byte is staged: the
+// transmit ring and its staging slots are allocated directly after the
+// bounce buffer in the guest heap, so an unchecked oversize WriteBytes
+// would scribble the ring header of the guest's own batched path.
+var ErrBounceOverflow = errors.New("core: transmit frame exceeds the guest bounce buffer")
+
+// GuestBounceBytes is the size of each guest's transmit bounce buffer (the
+// staging region GuestTransmit copies a frame into before the hypercall).
+const GuestBounceBytes = 2 * mem.PageSize
+
 // FaultLogCap bounds the fault log: a flapping driver must not grow an
 // unbounded history, so the log is a ring keeping the most recent records
 // (Twin.Faults still counts every fault ever taken).
@@ -112,6 +123,13 @@ type AbortStats struct {
 	// RxPendingDropped counts packets received and queued but never
 	// delivered to their guest.
 	RxPendingDropped int
+
+	// RxPostedDiscarded counts guest-posted receive descriptors discarded
+	// when their ring was reset: the buffers are the guests' own memory
+	// (nothing to reclaim into dom0), but a revived instance must never
+	// deliver into descriptors posted to its dead predecessor, so the
+	// guests re-post after recovery.
+	RxPostedDiscarded int
 
 	// SkbsReclaimed counts pooled sk_buffs that were in flight (posted as
 	// RX buffers, parked on the device transmit ring, or queued for
@@ -165,7 +183,7 @@ type Twin struct {
 	pool          []uint32          // free pooled skbs
 	outstanding   map[uint32]bool   // pooled skbs handed out and not yet returned
 	fragBuf       map[uint32]uint32 // pooled skb -> preallocated frag buffer
-	rxQueues      map[mem.Owner][]uint32
+	rxQueues      map[mem.Owner]*rxQueue
 	macToDom      map[[6]byte]mem.Owner
 	pendingIRQ    []*NICDev // deferred while dom0 masks virtual interrupts
 
@@ -180,17 +198,22 @@ type Twin struct {
 	Coalescer *upcall.Coalescer
 }
 
-// guestIO is one guest's transmit-side I/O state: the bounce buffer the
-// per-packet hypercall path stages frames in, and the guest's own shared
-// transmit descriptor ring with its per-slot staging buffers for the
-// batched path (see twinbatch.go). Every guest gets its own instance so N
-// guests can stage concurrently and the ring-service loop can drain them
-// round-robin under one boundary crossing.
+// guestIO is one guest's I/O state: the bounce buffer the per-packet
+// hypercall path stages frames in, the guest's own shared transmit
+// descriptor ring with its per-slot staging buffers for the batched path
+// (see twinbatch.go), and the posted-receive ring plus guest translation
+// cache of the posted-buffer receive path (see rxpath.go). Every guest
+// gets its own instance so N guests can stage concurrently and the
+// ring-service loop can drain them round-robin under one boundary
+// crossing.
 type guestIO struct {
 	dom    *xen.Domain
 	bounce uint32 // guest-side bounce buffer for GuestTransmit
 	ring   *mem.Ring
 	slots  []uint32 // per-slot guest staging buffers
+
+	rxRing *mem.Ring     // guest-posted receive buffer descriptors
+	gtlb   *svm.GuestTLB // cached guest-address translations for delivery
 }
 
 // NewTwinMachine builds a machine whose e1000 driver is twinned from the
@@ -247,7 +270,7 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 		hvSupport:   make(map[string]bool),
 		fragBuf:     make(map[uint32]uint32),
 		outstanding: make(map[uint32]bool),
-		rxQueues:    make(map[mem.Owner][]uint32),
+		rxQueues:    make(map[mem.Owner]*rxQueue),
 		macToDom:    make(map[[6]byte]mem.Owner),
 	}
 	for _, n := range cfg.HvSupport {
@@ -343,7 +366,7 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 		io := &guestIO{dom: g}
 		// Guest-side transmit bounce buffer (stands in for the guest's own
 		// packet pages; the paravirtual driver hands their addresses down).
-		io.bounce = hv.AllocHeap(g, 2*mem.PageSize)
+		io.bounce = hv.AllocHeap(g, GuestBounceBytes)
 		ringBase := hv.AllocHeap(g, mem.RingBytes(TxRingSlots))
 		if io.ring, err = mem.InitRing(g.AS, ringBase, TxRingSlots); err != nil {
 			return nil, err
@@ -351,9 +374,18 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 		for i := 0; i < TxRingSlots; i++ {
 			io.slots = append(io.slots, hv.AllocHeap(g, TxSlotBytes))
 		}
+		// Posted-receive ring (guest-writable, hardened like the transmit
+		// ring) and the per-guest translation cache delivery resolves
+		// posted addresses through.
+		rxBase := hv.AllocHeap(g, mem.RingBytes(RxRingSlots))
+		if io.rxRing, err = mem.InitRing(g.AS, rxBase, RxRingSlots); err != nil {
+			return nil, err
+		}
+		io.gtlb = svm.NewGuestTLB(hv, g)
 		t.guestIO[g.ID] = io
 		t.guestOrder = append(t.guestOrder, g.ID)
 		m.Config.record(ConfigEvent{Op: OpRing, Dom: g.ID, Addr: ringBase, Aux: TxRingSlots})
+		m.Config.record(ConfigEvent{Op: OpRxRing, Dom: g.ID, Addr: rxBase, Aux: RxRingSlots})
 	}
 
 	// --- Hypervisor instance: derived, translating stlb, upcall stubs ---
@@ -523,8 +555,8 @@ func (t *Twin) abort(entry uint32, cause error) {
 	seen := make(map[uint32]bool)
 	for _, dom := range doms {
 		q := t.rxQueues[dom]
-		st.RxPendingDropped += len(q)
-		for _, skb := range q {
+		st.RxPendingDropped += q.len()
+		for _, skb := range q.popN(0) {
 			if !seen[skb] {
 				seen[skb] = true
 				t.poolFreeOrKernel(skb)
@@ -533,8 +565,16 @@ func (t *Twin) abort(entry uint32, cause error) {
 		delete(t.rxQueues, dom)
 	}
 	for _, id := range t.guestOrder {
-		n, _ := t.guestIO[id].ring.Discard() // resets even when corrupt
+		g := t.guestIO[id]
+		n, _ := g.ring.Discard() // resets even when corrupt
 		st.StagedTxDiscarded += n
+		// Posted receive buffers die with the instance: the descriptors
+		// are discarded (the guests re-post after recovery) and the guest
+		// translation cache is shot down — a revived instance must never
+		// trust a translation cached for its dead predecessor.
+		n, _ = g.rxRing.Discard()
+		st.RxPostedDiscarded += n
+		g.gtlb.Invalidate()
 	}
 	left := make([]uint32, 0, len(t.outstanding))
 	for skb := range t.outstanding {
@@ -564,6 +604,12 @@ func (t *Twin) GuestTransmit(d *NICDev, frame []byte) error {
 		return ErrDriverDead
 	}
 	g := t.ioCurrent()
+	// The frame must fit the bounce buffer BEFORE any byte is staged: the
+	// guest's transmit ring header lives directly after the bounce region,
+	// and an unchecked oversize write would corrupt it.
+	if len(frame) > GuestBounceBytes {
+		return fmt.Errorf("%w: %d bytes into a %d-byte bounce", ErrBounceOverflow, len(frame), GuestBounceBytes)
+	}
 	// Stage the packet in guest memory (the guest stack's copy is priced
 	// by the caller as part of its kernel path).
 	if err := g.dom.AS.WriteBytes(g.bounce, frame); err != nil {
@@ -615,18 +661,29 @@ func (t *Twin) xmitOne(d *NICDev, gas *mem.AddressSpace, guestAddr uint32, n int
 		hdr = split
 	}
 	// Header copy into the pooled skb (persistently mapped into the
-	// hypervisor), guest pages chained for the body.
+	// hypervisor), guest pages chained for the body. The destination is
+	// translated per page (pageSpans): a buffer straddling a page
+	// boundary must not inherit the first page's translation for bytes on
+	// the second page — the SVM window pairing that usually saves a
+	// straddle is not guaranteed when the second page was unmapped at the
+	// first page's first touch.
 	head, _ := as.Load(skb+kernel.SkbHead, 4)
-	ta, err := t.SV.Translate(meter, head)
+	spans, err := pageSpans(head, hdr, func(a uint32) (uint32, error) {
+		return t.SV.Translate(meter, a)
+	})
 	if err != nil {
 		t.poolPut(skb)
 		return err
 	}
-	meter.AddTo(cycles.CompXen, uint64(hdr)*cost.HvCopyPerByte)
-	meter.TouchLines(ta, hdr)
-	if err := mem.Copy(hv.HVSpace, ta, gas, guestAddr, hdr); err != nil {
-		t.poolPut(skb)
-		return err
+	off := 0
+	for _, sp := range spans {
+		meter.AddTo(cycles.CompXen, uint64(sp.bytes)*cost.HvCopyPerByte)
+		meter.TouchLines(sp.pa, sp.bytes)
+		if err := mem.Copy(hv.HVSpace, sp.pa, gas, guestAddr+uint32(off), sp.bytes); err != nil {
+			t.poolPut(skb)
+			return err
+		}
+		off += sp.bytes
 	}
 	as.Store(skb+kernel.SkbLen, 4, uint32(n))
 	if n > hdr {
@@ -683,7 +740,22 @@ func (t *Twin) RunSoftirq() error {
 }
 
 // PendingRx reports queued-but-undelivered packets for a domain.
-func (t *Twin) PendingRx(dom mem.Owner) int { return len(t.rxQueues[dom]) }
+func (t *Twin) PendingRx(dom mem.Owner) int {
+	if q := t.rxQueues[dom]; q != nil {
+		return q.len()
+	}
+	return 0
+}
+
+// queueRx enqueues a received skb for a domain (netif_rx's demux target).
+func (t *Twin) queueRx(dom mem.Owner, skb uint32) {
+	q := t.rxQueues[dom]
+	if q == nil {
+		q = &rxQueue{}
+		t.rxQueues[dom] = q
+	}
+	q.push(skb)
+}
 
 // DeliverPending copies every queued received packet into guest buffers
 // (the hypervisor's per-packet copy that dominates its receive overhead in
@@ -693,20 +765,22 @@ func (t *Twin) DeliverPending(dom *xen.Domain) ([][]byte, error) {
 }
 
 // DeliverPendingBatch delivers at most max queued packets (0 means all),
-// raising a single coalesced guest notification for the whole batch.
+// raising a single coalesced guest notification for the whole batch. The
+// queue is consumed by index (rxQueue), so draining a deep queue in
+// bounded batches costs O(n) overall instead of re-shifting the remainder
+// on every call.
+//
+// A mid-batch fault (a translate or read failure over a scribbled skb)
+// drops the rest of the dequeued batch but returns the frames already
+// delivered alongside a *DeliveryError carrying the exact drop count:
+// callers must count those frames delivered and the dropped remainder lost
+// exactly once.
 func (t *Twin) DeliverPendingBatch(dom *xen.Domain, max int) ([][]byte, error) {
-	q := t.rxQueues[dom.ID]
-	if len(q) == 0 {
+	rq := t.rxQueues[dom.ID]
+	if rq == nil || rq.len() == 0 {
 		return nil, nil
 	}
-	if max > 0 && len(q) > max {
-		rest := make([]uint32, len(q)-max)
-		copy(rest, q[max:])
-		t.rxQueues[dom.ID] = rest
-		q = q[:max]
-	} else {
-		t.rxQueues[dom.ID] = nil
-	}
+	q := rq.popN(max)
 	meter := t.M.HV.Meter
 	var out [][]byte
 	for i, skb := range q {
@@ -719,15 +793,13 @@ func (t *Twin) DeliverPendingBatch(dom *xen.Domain, max int) ([][]byte, error) {
 		total := int(ln) + 14
 		ta, err := t.SV.Translate(meter, start)
 		if err != nil {
-			t.dropDequeued(q[i:])
-			return nil, err
+			return out, t.deliveryFault(dom, out, q[i:], err)
 		}
 		meter.AddTo(cycles.CompXen, uint64(total)*cost.HvCopyPerByte)
 		meter.TouchLines(ta, total)
 		pkt, err := t.M.Dom0.AS.ReadBytes(start, total)
 		if err != nil {
-			t.dropDequeued(q[i:])
-			return nil, err
+			return out, t.deliveryFault(dom, out, q[i:], err)
 		}
 		out = append(out, pkt)
 		t.poolFreeOrKernel(skb)
@@ -736,14 +808,20 @@ func (t *Twin) DeliverPendingBatch(dom *xen.Domain, max int) ([][]byte, error) {
 	return out, nil
 }
 
-// dropDequeued frees sk_buffs that were dequeued for delivery but cannot
-// reach the guest (a mid-batch fault): the packets are lost — as dropped
-// packets are — but the buffers must go back to the pool or slab, or every
-// aborted batch would permanently shrink transmit capacity.
-func (t *Twin) dropDequeued(skbs []uint32) {
-	for _, skb := range skbs {
+// deliveryFault settles a mid-batch delivery failure: the dequeued
+// remainder is dropped (buffers back to the pool or slab — every aborted
+// batch must not shrink transmit capacity), the frames already delivered
+// get their coalesced notification, and the caller receives a
+// *DeliveryError with the exact delivered/dropped split so loss is
+// accounted exactly once.
+func (t *Twin) deliveryFault(dom *xen.Domain, out [][]byte, rest []uint32, cause error) error {
+	for _, skb := range rest {
 		t.poolFreeOrKernel(skb)
 	}
+	if len(out) > 0 {
+		t.Coalescer.Deliver(dom)
+	}
+	return &DeliveryError{Delivered: len(out), Dropped: len(rest), Cause: cause}
 }
 
 // poolFreeOrKernel returns an skb to the hypervisor pool or to the dom0

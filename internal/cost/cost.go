@@ -139,9 +139,22 @@ const (
 	UpcallHandler = 700
 
 	// PvDriverRx prices the guest paravirtual driver's receive work per
-	// packet: buffer posting, virtual interrupt handling, guest-side skb
-	// management.
+	// packet on the legacy copy path: virtual interrupt handling and
+	// guest-side skb management (~1300 cycles) plus the copy-out of an
+	// MTU-sized frame from the hypervisor's shared delivery region into a
+	// guest sk_buff (~1500 cycles) — the second copy the posted-buffer
+	// path exists to remove.
 	PvDriverRx = 2800
+
+	// PvDriverRxPosted prices the guest paravirtual driver's per-packet
+	// receive completion when the frame already sits in a guest-posted
+	// buffer: ring/interrupt/skb bookkeeping only, no copy-out.
+	PvDriverRxPosted = 1300
+
+	// RxPostPerBuffer prices the guest paravirtual driver's posting of one
+	// receive buffer: descriptor construction and the ring push. Paid once
+	// per posted buffer, ahead of delivery.
+	RxPostPerBuffer = 350
 )
 
 // Kernel support routine prices (dom0-native execution). These routines are

@@ -50,6 +50,11 @@ type Result struct {
 	// per transition on the domU-twin path (1 = the per-packet path).
 	Batch int
 
+	// PostedRX reports whether the receive measurement ran the
+	// posted-buffer path (guest-posted buffers, single direct copy) or the
+	// legacy copy path.
+	PostedRX bool
+
 	// CyclesPerPacket is the measured total, Breakdown its attribution.
 	CyclesPerPacket float64
 	Breakdown       map[cycles.Component]float64
@@ -75,6 +80,12 @@ type Params struct {
 	Measure    int // measured packets (default 512)
 	Batch      int // frames per boundary crossing, Twin path (default 1)
 	Twin       core.TwinConfig
+
+	// PostedRX runs receive measurements over the posted-buffer path:
+	// guests post their own receive buffers ahead of delivery and the
+	// hypervisor copies each frame once, directly into the posted page.
+	// False (the default) measures the paper's copy path.
+	PostedRX bool
 
 	// Backend selects the NIC driver model by registry name (default
 	// "e1000"). Every registered backend runs the same measurement
@@ -152,6 +163,7 @@ func attachRecovery(p *netpath.Path, prm Params) {
 func Measure(p *netpath.Path, dir Direction, prm Params) (*Result, error) {
 	prm.defaults()
 	p.BatchSize = prm.Batch
+	p.PostedRX = prm.PostedRX
 	// step moves up to prm.Batch packets; with Batch 1 it is exactly the
 	// per-packet loop (FlushPerPacket then flushes before every packet,
 	// with larger batches before every burst).
@@ -204,6 +216,7 @@ func Measure(p *netpath.Path, dir Direction, prm Params) (*Result, error) {
 		Packets:         prm.Measure,
 		Backend:         p.M.Model.Name,
 		Batch:           prm.Batch,
+		PostedRX:        prm.PostedRX,
 		CyclesPerPacket: float64(meter.Total()) / n,
 		Breakdown:       make(map[cycles.Component]float64),
 	}
@@ -254,6 +267,7 @@ func RunMultiGuest(dir Direction, guests int, prm Params) (*MultiGuestResult, er
 	if err != nil {
 		return nil, err
 	}
+	p.PostedRX = prm.PostedRX
 	attachRecovery(p, prm)
 	perGuest := make(map[mem.Owner]uint64)
 	run := func(total int, phase string, record bool) error {
@@ -310,6 +324,7 @@ func RunMultiGuest(dir Direction, guests int, prm Params) (*MultiGuestResult, er
 			Packets:         int(totalPkts),
 			Backend:         p.M.Model.Name,
 			Batch:           prm.Batch,
+			PostedRX:        prm.PostedRX,
 			CyclesPerPacket: float64(meter.Total()) / n,
 			Breakdown:       make(map[cycles.Component]float64),
 		},

@@ -28,6 +28,7 @@ import (
 	"twindrivers/internal/kernel"
 	"twindrivers/internal/mem"
 	"twindrivers/internal/recovery"
+	"twindrivers/internal/xen"
 )
 
 // Kind selects a configuration.
@@ -77,6 +78,16 @@ type Path struct {
 	// netfront/netback ring or no boundary at all).
 	BatchSize int
 
+	// PostedRX switches the domU-twin receive path to posted guest
+	// buffers: ahead of each delivery the guest posts the addresses of its
+	// own receive buffers on its posted-RX ring, and the hypervisor copies
+	// each frame exactly once, straight into the posted page, resolving
+	// the guest address through the per-guest translation cache. False
+	// (the default) is the paper's copy path, delivered through the shared
+	// region and copied out again by the paravirtual driver. Other
+	// configurations ignore it.
+	PostedRX bool
+
 	// TxCount / RxCount tally packets that completed the full path.
 	TxCount uint64
 	RxCount uint64
@@ -101,6 +112,65 @@ type Path struct {
 	guestPage uint32    // domU-owned page used as the guest-side buffer
 	guestMACs [][6]byte // per-guest station MACs for receive demux (Twin)
 	rxSeq     byte
+
+	// rxArena holds each guest's posted-receive buffers (PostedRX mode),
+	// allocated lazily so the legacy path's heap layout — and therefore
+	// its pinned cycle measurements — stays untouched when posting is off.
+	rxArena map[mem.Owner]*postedArena
+}
+
+// RxSlotBytes sizes one posted receive buffer (an MTU frame plus headroom,
+// matching the transmit staging slots).
+const RxSlotBytes = 2048
+
+// postedArena is one guest's pool of postable receive buffers, recycled
+// round-robin. The arena holds exactly core.RxRingSlots buffers and the
+// ring caps outstanding descriptors at the same count, so a buffer is
+// never re-posted while a prior descriptor naming it is still live.
+type postedArena struct {
+	slots []uint32
+	next  int
+}
+
+// take returns the next n buffer addresses, recycling round-robin.
+func (a *postedArena) take(n int) []core.RxPost {
+	bufs := make([]core.RxPost, n)
+	for i := range bufs {
+		bufs[i] = core.RxPost{Addr: a.slots[a.next], Len: RxSlotBytes}
+		a.next = (a.next + 1) % len(a.slots)
+	}
+	return bufs
+}
+
+// arenaFor lazily builds the posted-buffer arena of one guest.
+func (p *Path) arenaFor(dom *xen.Domain) *postedArena {
+	if p.rxArena == nil {
+		p.rxArena = make(map[mem.Owner]*postedArena)
+	}
+	a := p.rxArena[dom.ID]
+	if a == nil {
+		a = &postedArena{}
+		for i := 0; i < core.RxRingSlots; i++ {
+			a.slots = append(a.slots, p.M.HV.AllocHeap(dom, RxSlotBytes))
+		}
+		p.rxArena[dom.ID] = a
+	}
+	return a
+}
+
+// postBuffers posts n receive buffers from the guest's arena, charging the
+// guest-side posting work, and returns how many the ring accepted.
+func (p *Path) postBuffers(dom *xen.Domain, n int) (int, error) {
+	a := p.arenaFor(dom)
+	posted, err := p.T.PostRxBuffers(dom, a.take(n))
+	if err != nil {
+		return posted, err
+	}
+	// Un-take the slots the ring refused so the arena stays in step with
+	// the descriptors actually outstanding.
+	a.next = (a.next - (n - posted) + len(a.slots)) % len(a.slots)
+	p.Meter().AddTo(cycles.CompDomU, uint64(posted)*cost.RxPostPerBuffer)
+	return posted, nil
 }
 
 // New builds a single-guest configuration. TwinConfig applies only to Kind
@@ -303,6 +373,15 @@ func (p *Path) SendBurst(i, size, n int) (int, error) {
 // with a faulted instance are counted in LostRx and replacements are
 // injected — bounded loss, not a dead path.
 func (p *Path) ReceiveBurst(i, size, n int) (int, error) {
+	if p.Kind == Twin && p.PostedRX {
+		// The posted path is batched by construction (post, inject,
+		// deliver); BatchSize <= 1 degenerates to one-frame batches.
+		return p.burst(i, n, &p.RxCount, func(shortfall int) {
+			p.LostRx += uint64(shortfall)
+		}, func(i, burst int) (int, error) {
+			return p.recvTwinPostedBatch(i, size, burst)
+		})
+	}
 	if p.Kind != Twin || p.BatchSize <= 1 {
 		for k := 0; k < n; k++ {
 			if err := p.ReceiveOne(i+k, size); err != nil {
@@ -331,11 +410,15 @@ func (p *Path) ReceiveBurst(i, size, n int) (int, error) {
 // shortfall (frames the chunk consumed but never completed) so the caller
 // can account it as lost (receive) or re-staged (transmit).
 func (p *Path) burst(i, n int, count *uint64, onRecover func(shortfall int), step func(i, burst int) (int, error)) (int, error) {
+	bs := p.BatchSize
+	if bs < 1 {
+		bs = 1 // the posted path batches even at the per-packet setting
+	}
 	moved := 0
 	for moved < n {
 		burst := n - moved
-		if burst > p.BatchSize {
-			burst = p.BatchSize
+		if burst > bs {
+			burst = bs
 		}
 		done, err := step(i+moved, burst)
 		moved += done
@@ -583,15 +666,86 @@ func (p *Path) recvTwinBatch(i, size, burst int) (int, error) {
 		return 0, err
 	}
 	pkts, err := p.T.DeliverPendingBatch(m.DomU, burst)
-	if err != nil {
-		return 0, err
-	}
-	// Guest paravirtual driver + stack for each delivered packet.
+	// Guest paravirtual driver + stack for each delivered packet — frames
+	// delivered before a mid-batch fault still reached the guest.
 	for _, pkt := range pkts {
 		meter.AddTo(cycles.CompDomU, cost.PvDriverRx)
 		meter.AddTo(cycles.CompDomU, cost.RxKernelFixed+uint64(len(pkt))*cost.RxKernelPerByte)
 	}
+	if err != nil {
+		// A mid-batch delivery fault dropped the dequeued remainder: the
+		// delivered frames count as delivered, the dropped ones as lost —
+		// each exactly once — and the burst goes on.
+		var de *core.DeliveryError
+		if errors.As(err, &de) {
+			p.LostRx += uint64(de.Dropped)
+			return len(pkts), nil
+		}
+		return len(pkts), err
+	}
 	return len(pkts), nil
+}
+
+// recvTwinPostedBatch is recvTwinBatch on the posted-buffer path: the
+// guest posts receive buffers ahead of the burst, the injected frames are
+// drained by one coalesced interrupt, and delivery copies each frame once,
+// directly into its posted guest buffer.
+func (p *Path) recvTwinPostedBatch(i, size, burst int) (int, error) {
+	m := p.M
+	meter := p.Meter()
+	m.HV.Switch(m.DomU)
+	d := m.Devs[i%len(m.Devs)]
+	done := 0
+	for done < burst {
+		chunk := burst - done
+		if chunk > core.RxRingSlots {
+			chunk = core.RxRingSlots
+		}
+		// Guest side: post buffers for the chunk. The ring may hold
+		// leftovers from a short round; inject only what got posted.
+		posted, err := p.postBuffers(m.DomU, chunk)
+		if err != nil {
+			return done, err
+		}
+		if posted == 0 {
+			break
+		}
+		for k := 0; k < posted; k++ {
+			f, err := p.frame(d, size, true)
+			if err != nil {
+				return done, err
+			}
+			if !d.Dev.Inject(f) {
+				return done, fmt.Errorf("netpath: rx overrun")
+			}
+		}
+		p.T.Coalescer.Begin()
+		err = p.T.HandleIRQ(d)
+		var del *core.RxDelivery
+		if err == nil {
+			del, err = p.T.DeliverPendingPosted(m.DomU, posted)
+		}
+		p.T.Coalescer.End()
+		if err != nil {
+			return done, err
+		}
+		// Guest paravirtual driver completion + stack per delivered frame:
+		// no copy-out — the frame already sits in the guest's own buffer.
+		for _, fr := range del.Frames {
+			meter.AddTo(cycles.CompDomU, cost.PvDriverRxPosted)
+			meter.AddTo(cycles.CompDomU, cost.RxKernelFixed+uint64(fr.Len)*cost.RxKernelPerByte)
+		}
+		p.LostRx += uint64(del.Lost)
+		done += len(del.Frames)
+		if len(del.Frames) == 0 {
+			// A round that delivered nothing cannot make progress by
+			// repeating (e.g. every frame exceeds the posted buffer
+			// size): return the short count instead of re-posting and
+			// re-losing forever.
+			break
+		}
+	}
+	return done, nil
 }
 
 // --- Multi-guest fan-out (domU-twin only) ---------------------------------
@@ -694,10 +848,14 @@ func (p *Path) ReceiveBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
 	d := m.Devs[i%len(m.Devs)]
 	total := make(map[mem.Owner]int)
 	// Bound each round so guests*chunk stays within the NIC's descriptor
-	// ring (256 slots, one kept empty).
+	// ring (256 slots, one kept empty); the posted path additionally stays
+	// within each guest's posted-RX ring.
 	maxRound := 128 / len(m.Guests)
 	if maxRound < 1 {
 		maxRound = 1
+	}
+	if p.PostedRX && maxRound > core.RxRingSlots {
+		maxRound = core.RxRingSlots
 	}
 	need := make(map[mem.Owner]int) // frames still to deliver in this round
 	for remaining := n; remaining > 0; {
@@ -709,6 +867,26 @@ func (p *Path) ReceiveBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
 			need[dom.ID] = chunk
 		}
 		for {
+			// Posted mode: every guest posts its buffers first, from its
+			// own context — delivery then copies straight into them.
+			if p.PostedRX {
+				for _, dom := range m.Guests {
+					if need[dom.ID] == 0 {
+						continue
+					}
+					m.HV.Switch(dom)
+					posted, err := p.postBuffers(dom, need[dom.ID])
+					if err != nil {
+						if p.recoverDead(err) {
+							continue // repost on the fresh twin
+						}
+						return total, err
+					}
+					if posted != need[dom.ID] {
+						return total, fmt.Errorf("netpath: guest %d posted %d of %d buffers", dom.ID, posted, need[dom.ID])
+					}
+				}
+			}
 			injected := 0
 			for g, dom := range m.Guests {
 				for k := 0; k < need[dom.ID]; k++ {
@@ -736,21 +914,52 @@ func (p *Path) ReceiveBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
 			var dead error
 			for _, dom := range m.Guests {
 				m.HV.Switch(dom)
-				pkts, err := p.T.DeliverPendingBatch(dom, need[dom.ID])
-				if err != nil {
-					dead = err
+				var got int
+				if p.PostedRX {
+					del, err := p.T.DeliverPendingPosted(dom, need[dom.ID])
+					if err != nil {
+						dead = err
+						break
+					}
+					// Completion only: the frame already sits in the
+					// guest's own posted buffer.
+					for _, fr := range del.Frames {
+						meter.AddTo(cycles.CompDomU, cost.PvDriverRxPosted)
+						meter.AddTo(cycles.CompDomU, cost.RxKernelFixed+uint64(fr.Len)*cost.RxKernelPerByte)
+					}
+					// Frames that burned a bad posted descriptor are lost
+					// exactly once; replacements are injected next round
+					// (need stays up, so the round repeats for them).
+					p.LostRx += uint64(del.Lost)
+					got = len(del.Frames)
+				} else {
+					pkts, err := p.T.DeliverPendingBatch(dom, need[dom.ID])
+					// Frames delivered before a mid-batch fault still
+					// reached the guest: price and count them before
+					// deciding what the error means.
+					for _, pkt := range pkts {
+						meter.AddTo(cycles.CompDomU, cost.PvDriverRx)
+						meter.AddTo(cycles.CompDomU, cost.RxKernelFixed+uint64(len(pkt))*cost.RxKernelPerByte)
+					}
+					got = len(pkts)
+					if err != nil {
+						var de *core.DeliveryError
+						if errors.As(err, &de) {
+							// The dropped remainder is lost exactly once;
+							// replacements are injected next round.
+							p.LostRx += uint64(de.Dropped)
+						} else {
+							dead = err
+						}
+					}
+				}
+				total[dom.ID] += got
+				need[dom.ID] -= got
+				delivered += got
+				p.RxCount += uint64(got)
+				if dead != nil {
 					break
 				}
-				// Guest paravirtual driver + stack for each delivered
-				// packet.
-				for _, pkt := range pkts {
-					meter.AddTo(cycles.CompDomU, cost.PvDriverRx)
-					meter.AddTo(cycles.CompDomU, cost.RxKernelFixed+uint64(len(pkt))*cost.RxKernelPerByte)
-				}
-				total[dom.ID] += len(pkts)
-				need[dom.ID] -= len(pkts)
-				delivered += len(pkts)
-				p.RxCount += uint64(len(pkts))
 			}
 			p.T.Coalescer.End()
 			if dead != nil {
@@ -768,6 +977,13 @@ func (p *Path) ReceiveBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
 			}
 			if pending == 0 {
 				break
+			}
+			if p.PostedRX && delivered == 0 {
+				// Replacement frames are only injected while rounds make
+				// progress; a round that delivered nothing to any guest
+				// (every frame oversize for its posted buffer, say) would
+				// repeat identically forever.
+				return total, fmt.Errorf("netpath: posted delivery made no progress (%d frames pending)", pending)
 			}
 		}
 		remaining -= chunk

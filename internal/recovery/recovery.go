@@ -86,6 +86,7 @@ type Event struct {
 	// Teardown loss accounting, copied from the abort.
 	StagedTxDiscarded int
 	RxPendingDropped  int
+	RxPostedDiscarded int
 	SkbsReclaimed     int
 
 	// Attempt numbers the recovery (1-based) over the supervisor's life.
@@ -137,6 +138,7 @@ func (s *Supervisor) Recover() (*Event, error) {
 	ev := Event{
 		StagedTxDiscarded: s.T.LastAbort.StagedTxDiscarded,
 		RxPendingDropped:  s.T.LastAbort.RxPendingDropped,
+		RxPostedDiscarded: s.T.LastAbort.RxPostedDiscarded,
 		SkbsReclaimed:     s.T.LastAbort.SkbsReclaimed,
 		Attempt:           len(s.Events) + 1,
 	}

@@ -123,6 +123,29 @@ func BackendSweep(w io.Writer, title string, results []*netbench.Result) {
 	fmt.Fprintln(w)
 }
 
+// RXPathSweep renders the posted-buffer receive experiment: for each NIC
+// backend and batch size, the domU-twin receive cycles/packet of the
+// legacy copy path next to the posted-buffer path, with the four-bucket
+// attribution. The posted rows trade the guest's copy-out (domU bucket)
+// for a per-packet guest-TLB lookup (Xen bucket) — the net is the win.
+func RXPathSweep(w io.Writer, title string, results []*netbench.Result) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-10s %6s %-7s %9s %8s %8s %8s %8s %14s\n",
+		"backend", "batch", "rx-path", "cyc/pkt", "dom0", "domU", "Xen", "driver", "throughput")
+	for _, r := range results {
+		mode := "copy"
+		if r.PostedRX {
+			mode = "posted"
+		}
+		fmt.Fprintf(w, "%-10s %6d %-7s %9.0f %8.0f %8.0f %8.0f %8.0f %9.0f Mb/s\n",
+			r.Backend, r.Batch, mode, r.CyclesPerPacket,
+			r.Breakdown[cycles.CompDom0], r.Breakdown[cycles.CompDomU],
+			r.Breakdown[cycles.CompXen], r.Breakdown[cycles.CompDriver],
+			r.ThroughputMbps)
+	}
+	fmt.Fprintln(w)
+}
+
 // RecoverySweep renders the transparent-recovery experiment: for each
 // fault type and guest count, the measured MTTR in cycles, the packets
 // lost or re-staged across the fault, and the fault-free cycles/packet

@@ -1,0 +1,91 @@
+package svm
+
+import (
+	"twindrivers/internal/cpu"
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/mem"
+	"twindrivers/internal/xen"
+)
+
+// GuestTLB is the per-guest software translation cache of the posted-buffer
+// receive path: when a guest posts its own receive buffers, the hypervisor
+// must resolve *guest* virtual addresses to machine frames before copying a
+// single byte into them — the guest-side counterpart of the stlb, in the
+// spirit of Kedia & Bansal's cached translations for software-only device
+// passthrough.
+//
+// A hit costs a table lookup; a miss walks the guest's page table and
+// performs the ownership check. The ownership check is the trust boundary:
+// guest address spaces chain to the globally-mapped hypervisor region, so a
+// naive AS.Translate of a guest-supplied address could resolve into
+// hypervisor memory. The TLB therefore walks only the guest's *local* page
+// table and demands that the backing frame is RAM owned by that guest —
+// anything else (hypervisor range, another guest's aliases, MMIO, unmapped
+// pages) is a violation, reported without touching memory.
+//
+// The cache is explicitly invalidated when the hypervisor driver instance
+// is aborted or revived: a translation cached on behalf of a dead instance
+// must never be trusted by its successor (the recovery analogue of a TLB
+// shootdown).
+type GuestTLB struct {
+	HV  *xen.Hypervisor
+	Dom *xen.Domain // the guest whose posted buffers this cache serves
+
+	entries map[uint32]uint32 // guest vpn -> machine page base
+
+	// Statistics.
+	Hits       uint64
+	Misses     uint64
+	Flushes    uint64
+	Violations uint64
+}
+
+// Guest-TLB cycle prices, charged to the hypervisor bucket (translating a
+// guest-posted address is hypervisor work, like the stlb slow path).
+const (
+	costGtlbHit  = 24  // direct cache lookup on the delivery hot path
+	costGtlbMiss = 260 // guest page-table walk + frame ownership check
+)
+
+// NewGuestTLB builds an empty cache for one guest.
+func NewGuestTLB(hv *xen.Hypervisor, dom *xen.Domain) *GuestTLB {
+	return &GuestTLB{HV: hv, Dom: dom, entries: make(map[uint32]uint32)}
+}
+
+// Translate resolves a guest virtual address to a machine address, caching
+// the page translation. A guest-supplied address that does not resolve to a
+// RAM frame owned by this guest is a protection violation — the posted
+// descriptor words are hostile input and must never steer a hypervisor-side
+// copy outside the guest's own memory.
+func (g *GuestTLB) Translate(meter *cycles.Meter, addr uint32) (uint32, error) {
+	vpn := addr / mem.PageSize
+	if pa, ok := g.entries[vpn]; ok {
+		g.Hits++
+		meter.AddTo(cycles.CompXen, costGtlbHit)
+		return pa | (addr & mem.PageMask), nil
+	}
+	frame, ok := g.Dom.AS.LookupLocal(vpn)
+	if !ok || g.HV.Phys.FrameOwner(frame) != g.Dom.ID || g.HV.Phys.IsMMIO(frame) {
+		g.Violations++
+		meter.AddTo(cycles.CompXen, costViolation)
+		return 0, &cpu.Fault{
+			Kind: cpu.FaultProtection,
+			Addr: addr,
+			Msg:  "gtlb: posted buffer outside " + g.Dom.Name + " address space",
+		}
+	}
+	g.Misses++
+	meter.AddTo(cycles.CompXen, costGtlbMiss)
+	pa := frame * mem.PageSize
+	g.entries[vpn] = pa
+	return pa | (addr & mem.PageMask), nil
+}
+
+// Invalidate drops every cached translation (abort/revive shootdown).
+func (g *GuestTLB) Invalidate() {
+	g.Flushes++
+	g.entries = make(map[uint32]uint32)
+}
+
+// Cached returns the number of cached page translations.
+func (g *GuestTLB) Cached() int { return len(g.entries) }

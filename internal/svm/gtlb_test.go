@@ -1,0 +1,112 @@
+package svm
+
+import (
+	"testing"
+
+	"twindrivers/internal/cpu"
+	"twindrivers/internal/mem"
+	"twindrivers/internal/xen"
+)
+
+// TestGuestTLBHitMissViolation: a first translation walks the guest page
+// table (miss), a second hits the cache; addresses outside the guest's own
+// RAM — unmapped pages, another owner's frames, the hypervisor region
+// reachable through the global mapping — are violations that never
+// translate.
+func TestGuestTLBHitMissViolation(t *testing.T) {
+	hv := xen.New()
+	g := hv.CreateDomain(1, "domU")
+	other := hv.CreateDomain(2, "domU2")
+	// Disjoint heap regions, as the machine builder assigns them: a guest
+	// virtual address must name exactly one owning domain.
+	other.HeapBase = xen.GuestKernelBase + xen.GuestHeapStride
+	buf := hv.AllocHeap(g, 2*mem.PageSize)
+	otherBuf := hv.AllocHeap(other, mem.PageSize)
+	hvPage := hv.AllocHVPages(1)
+
+	tlb := NewGuestTLB(hv, g)
+	meter := hv.Meter
+
+	pa1, err := tlb.Translate(meter, buf+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlb.Misses != 1 || tlb.Hits != 0 {
+		t.Fatalf("first translate: hits=%d misses=%d", tlb.Hits, tlb.Misses)
+	}
+	// The translation must agree with the page table and preserve the
+	// page offset.
+	want, ok := g.AS.Translate(buf + 100)
+	if !ok || pa1 != want {
+		t.Fatalf("translate(%#x) = %#x, page table says %#x", buf+100, pa1, want)
+	}
+	if pa2, err := tlb.Translate(meter, buf+200); err != nil || pa2 != want+100 {
+		t.Fatalf("cached translate: %#x, %v", pa2, err)
+	}
+	if tlb.Hits != 1 {
+		t.Fatalf("second translate did not hit: hits=%d", tlb.Hits)
+	}
+
+	for name, addr := range map[string]uint32{
+		"unmapped":     0x40,
+		"other guest":  otherBuf,
+		"hypervisor":   hvPage,
+		"dom0 range":   xen.Dom0KernelBase + 64,
+		"guest mapped": 0, // placeholder replaced below
+	} {
+		if name == "guest mapped" {
+			continue
+		}
+		if _, err := tlb.Translate(meter, addr); err == nil {
+			t.Errorf("%s address %#x translated", name, addr)
+		} else if f, ok := err.(*cpu.Fault); !ok || f.Kind != cpu.FaultProtection {
+			t.Errorf("%s address: fault %v, want FaultProtection", name, err)
+		}
+	}
+	if tlb.Violations != 4 {
+		t.Errorf("violations = %d, want 4", tlb.Violations)
+	}
+
+	// Invalidate drops the cache: the next translate misses again.
+	if tlb.Cached() == 0 {
+		t.Fatal("nothing cached before invalidate")
+	}
+	tlb.Invalidate()
+	if tlb.Cached() != 0 {
+		t.Fatal("invalidate left entries cached")
+	}
+	misses := tlb.Misses
+	if _, err := tlb.Translate(meter, buf); err != nil {
+		t.Fatal(err)
+	}
+	if tlb.Misses != misses+1 {
+		t.Fatal("post-invalidate translate did not walk")
+	}
+}
+
+// TestGuestTLBChargesMeter: hits and misses charge their prices to the
+// hypervisor bucket (translating posted addresses is hypervisor work).
+func TestGuestTLBChargesMeter(t *testing.T) {
+	hv := xen.New()
+	g := hv.CreateDomain(1, "domU")
+	buf := hv.AllocHeap(g, mem.PageSize)
+	tlb := NewGuestTLB(hv, g)
+
+	before := hv.Meter.Total()
+	if _, err := tlb.Translate(hv.Meter, buf); err != nil {
+		t.Fatal(err)
+	}
+	missCost := hv.Meter.Total() - before
+	before = hv.Meter.Total()
+	if _, err := tlb.Translate(hv.Meter, buf+8); err != nil {
+		t.Fatal(err)
+	}
+	hitCost := hv.Meter.Total() - before
+	if missCost != costGtlbMiss || hitCost != costGtlbHit {
+		t.Fatalf("miss charged %d (want %d), hit charged %d (want %d)",
+			missCost, costGtlbMiss, hitCost, costGtlbHit)
+	}
+	if hitCost >= missCost {
+		t.Fatal("a hit must be cheaper than a miss")
+	}
+}
