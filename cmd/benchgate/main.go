@@ -1,0 +1,67 @@
+// Command benchgate is the CI performance gate: it re-measures every
+// bench-emitting sweep area (full-mode packet counts, same as the
+// committed baselines) and compares the cycles/packet of every
+// configuration against the BENCH_<area>.json files under the baseline
+// directory. Any configuration that regressed beyond the tolerance, any
+// baseline configuration no longer measured, and any new configuration
+// missing from the baseline fails the gate with a non-zero exit.
+//
+// Usage:
+//
+//	benchgate                      # compare against ./bench at 5% tolerance
+//	benchgate -tolerance 2         # tighter gate
+//	benchgate -update              # regenerate the committed baselines
+//
+// The simulation is deterministic, so the tolerance exists for
+// intentional cost-model changes: moving a number beyond it requires a
+// deliberate `benchgate -update` whose diff shows up in review.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"twindrivers"
+	"twindrivers/internal/report"
+)
+
+func main() {
+	baseline := flag.String("baseline", "bench", "directory holding the committed BENCH_<area>.json baselines")
+	tolerance := flag.Float64("tolerance", 5.0, "allowed cycles/packet increase, percent")
+	update := flag.Bool("update", false, "rewrite the baselines from a fresh measurement instead of comparing")
+	quick := flag.Bool("quick", false, "quick-mode packet counts (only for quick-mode baselines)")
+	flag.Parse()
+
+	failed := false
+	for _, area := range twindrivers.BenchAreas() {
+		cur, err := twindrivers.CollectBench(io.Discard, area, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: measuring %s: %v\n", area, err)
+			os.Exit(1)
+		}
+		if *update {
+			if err := cur.WriteFile(*baseline); err != nil {
+				fmt.Fprintf(os.Stderr, "benchgate: writing %s: %v\n", area, err)
+				os.Exit(1)
+			}
+			fmt.Printf("benchgate: wrote %s (%d configs)\n", report.BenchPath(*baseline, area), len(cur.Entries))
+			continue
+		}
+		base, err := report.LoadBench(report.BenchPath(*baseline, area))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: loading %s baseline: %v\n", area, err)
+			os.Exit(1)
+		}
+		if err := report.CompareBench(base, cur, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: FAIL %v\n", err)
+			failed = true
+			continue
+		}
+		fmt.Printf("benchgate: ok %s (%d configs within %.1f%%)\n", area, len(base.Entries), *tolerance)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -20,6 +20,7 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment id (table1, fig5..fig10, batch, multiguest, effort, all)")
 	quick := flag.Bool("quick", false, "fewer packets per measurement")
 	list := flag.Bool("list", false, "list experiments and exit")
+	bench := flag.String("bench", "", "directory to write BENCH_<area>.json measurement sets into (sweep experiments only)")
 	flag.Parse()
 
 	if *list {
@@ -28,7 +29,13 @@ func main() {
 		}
 		return
 	}
-	if err := twindrivers.RunExperiment(os.Stdout, *experiment, *quick); err != nil {
+	var err error
+	if *bench != "" {
+		err = twindrivers.RunExperimentBench(os.Stdout, *experiment, *quick, *bench)
+	} else {
+		err = twindrivers.RunExperiment(os.Stdout, *experiment, *quick)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "twinbench:", err)
 		os.Exit(1)
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"twindrivers/internal/chaos"
 	"twindrivers/internal/core"
 	"twindrivers/internal/cost"
 	"twindrivers/internal/drivermodel"
@@ -138,8 +139,9 @@ func BatchSizes() []int { return []int{1, 8, 32} }
 
 // runBatchSweep measures the domU-twin path at each batch size in both
 // directions (single NIC, the Figure 7/8 profile setup), showing where the
-// amortization lands in the four-bucket attribution.
-func runBatchSweep(w io.Writer, quick bool) error {
+// amortization lands in the four-bucket attribution. A non-nil bench sink
+// collects the cycles/packet of every configuration.
+func runBatchSweep(w io.Writer, quick bool, bench *report.Bench) error {
 	for _, dir := range []netbench.Direction{netbench.TX, netbench.RX} {
 		var results []*netbench.Result
 		for _, batch := range BatchSizes() {
@@ -150,6 +152,9 @@ func runBatchSweep(w io.Writer, quick bool) error {
 				return fmt.Errorf("batch=%d %s: %w", batch, dir, err)
 			}
 			results = append(results, r)
+			if bench != nil {
+				bench.Add(r.BenchKey(), r.CyclesPerPacket)
+			}
 		}
 		report.BatchSweep(w, fmt.Sprintf("Batch sweep: domU-twin %s cycles/packet vs batch size", dir), results)
 	}
@@ -173,7 +178,7 @@ const MultiGuestBatch = 16
 // both directions (single NIC): the headline is that the per-guest
 // cycles/packet stays essentially flat as guests multiply, because the
 // ring-service fan-out amortizes the boundary crossing across guests.
-func runMultiGuestSweep(w io.Writer, quick bool) error {
+func runMultiGuestSweep(w io.Writer, quick bool, bench *report.Bench) error {
 	perGuestPackets := packets(quick) / 2
 	for _, dir := range []netbench.Direction{netbench.TX, netbench.RX} {
 		var results []*netbench.MultiGuestResult
@@ -185,6 +190,9 @@ func runMultiGuestSweep(w io.Writer, quick bool) error {
 				return fmt.Errorf("multiguest guests=%d %s: %w", g, dir, err)
 			}
 			results = append(results, r)
+			if bench != nil {
+				bench.Add(r.BenchKey(), r.CyclesPerPacket)
+			}
 		}
 		report.MultiGuestSweep(w, fmt.Sprintf("Multi-guest sweep: domU-twin %s cycles/packet vs guest count", dir), results)
 		single, four := results[0], results[2]
@@ -209,7 +217,7 @@ func BackendBatchSizes() []int { return []int{1, 32} }
 // whichever driver the model carries, and the table shows what each
 // device's geometry costs — the e1000's zero-copy frag chaining versus
 // the rtl8139's copy-everything slots and byte ring.
-func runBackendSweep(w io.Writer, quick bool) error {
+func runBackendSweep(w io.Writer, quick bool, bench *report.Bench) error {
 	var results []*netbench.Result
 	for _, name := range drivermodel.Names() {
 		for _, dir := range []netbench.Direction{netbench.TX, netbench.RX} {
@@ -221,6 +229,9 @@ func runBackendSweep(w io.Writer, quick bool) error {
 					return fmt.Errorf("backend %s %s batch=%d: %w", name, dir, batch, err)
 				}
 				results = append(results, r)
+				if bench != nil {
+					bench.Add(r.BenchKey(), r.CyclesPerPacket)
+				}
 			}
 		}
 	}
@@ -241,7 +252,7 @@ func RXPathBatchSizes() []int { return []int{1, 8, 32} }
 // paravirtual driver's copy-out of every frame for a per-packet guest-TLB
 // translation in the hypervisor, and the sweep shows the posted rows
 // strictly below their copy-mode counterparts on every backend.
-func runRXPathSweep(w io.Writer, quick bool) error {
+func runRXPathSweep(w io.Writer, quick bool, bench *report.Bench) error {
 	var results []*netbench.Result
 	for _, name := range drivermodel.Names() {
 		for _, batch := range RXPathBatchSizes() {
@@ -254,6 +265,9 @@ func runRXPathSweep(w io.Writer, quick bool) error {
 					return fmt.Errorf("rxpath %s batch=%d posted=%v: %w", name, batch, posted, err)
 				}
 				results = append(results, r)
+				if bench != nil {
+					bench.Add(r.BenchKey(), r.CyclesPerPacket)
+				}
 			}
 		}
 	}
@@ -360,7 +374,7 @@ func MeasureRecovery(inj FaultInjector, guests, perGuest int) (*RecoveryMeasurem
 // supervisor re-derives and restarts the instance in-line, and the table
 // reports MTTR in cycles, the packets lost or re-staged, and the fault-free
 // cycles/packet before vs after recovery.
-func runRecoverySweep(w io.Writer, quick bool) error {
+func runRecoverySweep(w io.Writer, quick bool, bench *report.Bench) error {
 	perGuest := 64
 	if quick {
 		perGuest = 32
@@ -373,6 +387,10 @@ func runRecoverySweep(w io.Writer, quick bool) error {
 				return fmt.Errorf("recovery %s guests=%d: %w", inj.Name, g, err)
 			}
 			rows = append(rows, row)
+			if bench != nil {
+				bench.Add(fmt.Sprintf("recovery/%s/guests=%d/pre", row.Fault, row.Guests), row.PreCPP)
+				bench.Add(fmt.Sprintf("recovery/%s/guests=%d/post", row.Fault, row.Guests), row.PostCPP)
+			}
 		}
 	}
 	report.RecoverySweep(w, rows)
@@ -383,6 +401,45 @@ func runRecoverySweep(w io.Writer, quick bool) error {
 	fmt.Fprintf(w, "consumed die with the device reset (lost-rx, bounded by one burst).\n")
 	fmt.Fprintf(w, "The fault-free hot path is byte-identical with the supervisor attached\n")
 	fmt.Fprintf(w, "(netbench's TestRecoveryHotPathUnchanged pins exact cycle equality).\n\n")
+	return nil
+}
+
+// SoakSteps is the scheduler-step count of the chaos-soak experiment.
+func SoakSteps(quick bool) int {
+	if quick {
+		return 80
+	}
+	return 240
+}
+
+// runSoak runs the seeded chaos soak (internal/chaos) on every registered
+// backend: mixed transmit/receive traffic across four guests (copy and
+// posted receive paths alternating), hostile attacks from the
+// attack-surface matrix, and containment faults with supervised recovery,
+// with the exactly-once accounting and abort-hygiene invariants asserted
+// at every step. The rendered ledgers balance exactly; the digest replays
+// byte-identically from the seed.
+func runSoak(w io.Writer, quick bool) error {
+	var reports []*chaos.Report
+	for _, backend := range drivermodel.Names() {
+		rep, err := chaos.Run(chaos.Config{
+			Seed:    0xC4A05,
+			Backend: backend,
+			Guests:  4,
+			Steps:   SoakSteps(quick),
+			Hostile: true,
+			Faults:  true,
+		})
+		if err != nil {
+			return fmt.Errorf("soak %s: %w", backend, err)
+		}
+		reports = append(reports, rep)
+	}
+	report.Soak(w, "Chaos soak: seeded hostile multi-guest run, exactly-once ledgers", reports)
+	fmt.Fprintf(w, "every ledger row balances exactly: offeredTx == wireTx + lostTx and\n")
+	fmt.Fprintf(w, "offeredRx == delivered + lostRx, per guest, with hostile descriptors,\n")
+	fmt.Fprintf(w, "ring scribbles and injected driver faults running concurrently; every\n")
+	fmt.Fprintf(w, "abort leaves zero pooled buffers outstanding and empty guest TLBs.\n\n")
 	return nil
 }
 
@@ -444,13 +501,90 @@ func Experiments() []Experiment {
 		}},
 		{"fig9", "Figure 9: web server workload", runFig9},
 		{"fig10", "Figure 10: cost of upcalls", runFig10},
-		{"batch", "Batch sweep: batched hypercall I/O (beyond the paper)", runBatchSweep},
-		{"multiguest", "Multi-guest sweep: per-guest rings + round-robin service (beyond the paper)", runMultiGuestSweep},
-		{"recovery", "Recovery sweep: transparent driver restart, MTTR + loss (beyond the paper)", runRecoverySweep},
-		{"backends", "Backend sweep: every NIC driver model through the same pipeline (beyond the paper)", runBackendSweep},
-		{"rxpath", "RX-path sweep: posted guest buffers vs copy-mode delivery (beyond the paper)", runRXPathSweep},
+		{"batch", "Batch sweep: batched hypercall I/O (beyond the paper)", func(w io.Writer, q bool) error {
+			return runBatchSweep(w, q, nil)
+		}},
+		{"multiguest", "Multi-guest sweep: per-guest rings + round-robin service (beyond the paper)", func(w io.Writer, q bool) error {
+			return runMultiGuestSweep(w, q, nil)
+		}},
+		{"recovery", "Recovery sweep: transparent driver restart, MTTR + loss (beyond the paper)", func(w io.Writer, q bool) error {
+			return runRecoverySweep(w, q, nil)
+		}},
+		{"backends", "Backend sweep: every NIC driver model through the same pipeline (beyond the paper)", func(w io.Writer, q bool) error {
+			return runBackendSweep(w, q, nil)
+		}},
+		{"rxpath", "RX-path sweep: posted guest buffers vs copy-mode delivery (beyond the paper)", func(w io.Writer, q bool) error {
+			return runRXPathSweep(w, q, nil)
+		}},
+		{"soak", "Chaos soak: seeded hostile multi-guest run + attack matrix (beyond the paper)", runSoak},
 		{"effort", "Section 6.5: engineering effort", runEffort},
 	}
+}
+
+// BenchAreas lists the sweep experiments that emit a machine-readable
+// BENCH_<area>.json measurement set alongside their tables.
+func BenchAreas() []string {
+	return []string{"batch", "multiguest", "recovery", "backends", "rxpath"}
+}
+
+// CollectBench runs one bench-emitting sweep and returns its measurement
+// set; the human-readable tables go to w (io.Discard when only the
+// numbers matter, as in the bench gate).
+func CollectBench(w io.Writer, area string, quick bool) (*report.Bench, error) {
+	b := report.NewBench(area, quick)
+	var err error
+	switch area {
+	case "batch":
+		err = runBatchSweep(w, quick, b)
+	case "multiguest":
+		err = runMultiGuestSweep(w, quick, b)
+	case "recovery":
+		err = runRecoverySweep(w, quick, b)
+	case "backends":
+		err = runBackendSweep(w, quick, b)
+	case "rxpath":
+		err = runRXPathSweep(w, quick, b)
+	default:
+		return nil, fmt.Errorf("no bench emission for experiment %q (have %v)", area, BenchAreas())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// RunExperimentBench runs experiments like RunExperiment and additionally
+// writes BENCH_<area>.json into dir for every bench-emitting sweep the id
+// covers.
+func RunExperimentBench(w io.Writer, id string, quick bool, dir string) error {
+	isBench := map[string]bool{}
+	for _, a := range BenchAreas() {
+		isBench[a] = true
+	}
+	runOne := func(e Experiment) error {
+		if !isBench[e.ID] {
+			return e.Run(w, quick)
+		}
+		b, err := CollectBench(w, e.ID, quick)
+		if err != nil {
+			return err
+		}
+		return b.WriteFile(dir)
+	}
+	if id == "all" {
+		for _, e := range Experiments() {
+			if err := runOne(e); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		}
+		return nil
+	}
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return runOne(e)
+		}
+	}
+	return RunExperiment(w, id, quick) // fall through for the unknown-id error
 }
 
 // RunExperiment runs one experiment by ID ("all" runs everything).

@@ -1,0 +1,174 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"twindrivers/internal/drivermodel"
+)
+
+// smokeConfig is the canonical soak: every traffic shape, hostile attacks
+// and containment faults on, across four guests with mixed rx-modes.
+func smokeConfig(backend string) Config {
+	return Config{
+		Seed:    0xC4A05EED,
+		Backend: backend,
+		Guests:  4,
+		Steps:   200,
+		Hostile: true,
+		Faults:  true,
+	}
+}
+
+// TestSoakSmoke runs the full chaos soak on every registered backend and
+// asserts the run exercised what it claims to: traffic moved on both
+// directions and both rx-paths, attacks ran, faults were contained and
+// recovered one-for-one, and the exactly-once ledgers balance.
+func TestSoakSmoke(t *testing.T) {
+	for _, backend := range drivermodel.Names() {
+		t.Run(backend, func(t *testing.T) {
+			rep, err := Run(smokeConfig(backend))
+			if err != nil {
+				t.Fatalf("soak: %v", err)
+			}
+			wire, delivered, copied, posted := 0, 0, 0, 0
+			for i, l := range rep.Guests {
+				if l.OfferedTx != l.WireTx+l.LostTx {
+					t.Errorf("guest %d tx ledger unbalanced: %+v", i, l)
+				}
+				if l.OfferedRx != l.DeliveredRx+l.LostRx {
+					t.Errorf("guest %d rx ledger unbalanced: %+v", i, l)
+				}
+				wire += l.WireTx
+				delivered += l.DeliveredRx
+				if l.Posted {
+					posted += l.DeliveredRx
+				} else {
+					copied += l.DeliveredRx
+				}
+			}
+			if wire == 0 || delivered == 0 {
+				t.Fatalf("soak moved no traffic: wire=%d delivered=%d", wire, delivered)
+			}
+			if copied == 0 || posted == 0 {
+				t.Fatalf("soak did not exercise both rx paths: copy=%d posted=%d", copied, posted)
+			}
+			if len(rep.Attacks) == 0 {
+				t.Fatal("hostile soak ran no attacks")
+			}
+			if rep.Recoveries == 0 {
+				t.Fatal("faulting soak saw no recoveries")
+			}
+			if rep.Faults != rep.Aborts || rep.Recoveries != rep.Aborts {
+				t.Fatalf("containment not one-for-one: faults=%d aborts=%d recoveries=%d",
+					rep.Faults, rep.Aborts, rep.Recoveries)
+			}
+			if rep.Digest == "" {
+				t.Fatal("report missing digest")
+			}
+		})
+	}
+}
+
+// TestSoakHasTeeth proves the harness's invariant checks actually bite: the
+// identical configuration passes clean, and suppressing exactly one Lost
+// increment (the tamper flag, wired through the loss choke points) makes
+// the run fail with ErrInvariant. A soak that cannot catch a deliberately
+// broken ledger would be asserting nothing.
+func TestSoakHasTeeth(t *testing.T) {
+	cfg := smokeConfig("e1000")
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("untampered soak must pass: %v", err)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.tamper = true
+	_, err = s.Run()
+	if err == nil {
+		t.Fatal("tampered soak passed: the invariant checks have no teeth")
+	}
+	if !errors.Is(err, ErrInvariant) {
+		t.Fatalf("tampered soak failed with %v, want ErrInvariant", err)
+	}
+	if !s.tampered {
+		t.Fatal("soak reported a violation before the tamper fired")
+	}
+}
+
+// TestSoakDeterministic pins seeded determinism: two runs with the same
+// configuration produce identical reports, down to the digest over every
+// frame byte that crossed an interface. This is the property the whole
+// harness rests on — a failure that cannot be replayed from its seed is a
+// failure that cannot be debugged.
+func TestSoakDeterministic(t *testing.T) {
+	for _, backend := range drivermodel.Names() {
+		t.Run(backend, func(t *testing.T) {
+			cfg := smokeConfig(backend)
+			cfg.Steps = 120
+			a, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("same seed, different reports:\n%+v\n%+v", a, b)
+			}
+			cfg.Seed++
+			c, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Digest == a.Digest {
+				t.Fatal("different seeds produced identical digests")
+			}
+		})
+	}
+}
+
+// TestSoakAccountingProperty is the quick-check form of the exactly-once
+// invariant: for any random schedule (any seed, any guest rx-mode mix), on
+// both backends, every guest's ledger balances exactly — delivered + lost
+// == offered, wire + lost == offered — with hostility and faults enabled.
+func TestSoakAccountingProperty(t *testing.T) {
+	for _, backend := range drivermodel.Names() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			prop := func(seed uint64, postedMask uint8) bool {
+				posted := make([]bool, 2)
+				for i := range posted {
+					posted[i] = postedMask&(1<<i) != 0
+				}
+				rep, err := Run(Config{
+					Seed:    seed,
+					Backend: backend,
+					Guests:  2,
+					Steps:   50,
+					Posted:  posted,
+					Hostile: true,
+					Faults:  true,
+				})
+				if err != nil {
+					t.Logf("seed %#x posted %v: %v", seed, posted, err)
+					return false
+				}
+				for _, l := range rep.Guests {
+					if l.OfferedTx != l.WireTx+l.LostTx || l.OfferedRx != l.DeliveredRx+l.LostRx {
+						t.Logf("seed %#x posted %v: unbalanced ledger %+v", seed, posted, l)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

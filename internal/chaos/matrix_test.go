@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+
+	"twindrivers/internal/drivermodel"
+)
+
+// TestAttackMatrixComplete asserts the matrix's shape: every dimension ×
+// backend × rx-mode cell exists and is non-empty, and every registered
+// attack appears in at least one cell — no attack can be added to the
+// table and silently never run.
+func TestAttackMatrixComplete(t *testing.T) {
+	cells := Cells()
+	want := len(Dimensions()) * len(drivermodel.Names()) * 2
+	if len(cells) != want {
+		t.Fatalf("matrix has %d cells, want %d", len(cells), want)
+	}
+	covered := make(map[string]bool)
+	for _, c := range cells {
+		if len(c.Attacks) == 0 {
+			t.Errorf("empty matrix cell %s/%s/%s: the %s surface has no attack under %s mode",
+				c.Dim, c.Backend, c.Mode, c.Dim, c.Mode)
+		}
+		for _, name := range c.Attacks {
+			covered[name] = true
+		}
+	}
+	for _, a := range Attacks() {
+		if !covered[a.Name] {
+			t.Errorf("attack %s appears in no matrix cell", a.Name)
+		}
+	}
+	for _, a := range Attacks() {
+		if len(a.Modes) == 0 {
+			t.Errorf("attack %s declares no rx-modes", a.Name)
+		}
+	}
+}
+
+// TestAttackMatrixZeroSkip runs the full attack-surface matrix: every cell,
+// every attack in it, against every guest of a soak configured for that
+// cell's backend and rx-mode — zero skips. Each attack is followed by the
+// soak's full settle invariants, and each cell ends with a drain, so an
+// attack that leaves the system inconsistent fails here even if its own
+// assertions passed.
+func TestAttackMatrixZeroSkip(t *testing.T) {
+	for i, c := range Cells() {
+		c, i := c, i
+		t.Run(fmt.Sprintf("%s/%s/%s", c.Dim, c.Backend, c.Mode), func(t *testing.T) {
+			if len(c.Attacks) == 0 {
+				t.Fatalf("empty matrix cell")
+			}
+			posted := make([]bool, 2)
+			for g := range posted {
+				posted[g] = c.Mode == ModePosted
+			}
+			s, err := New(Config{
+				Seed:    0xA77AC4 + uint64(i),
+				Backend: c.Backend,
+				Guests:  2,
+				Steps:   64, // sizes the recovery budget; attacks drive the traffic
+				Posted:  posted,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range c.Attacks {
+				for _, g := range s.guests {
+					if err := s.runAttack(name, g); err != nil {
+						t.Fatalf("attack %s on guest %d: %v", name, g.idx, err)
+					}
+					if err := s.settle(); err != nil {
+						t.Fatalf("after attack %s on guest %d: %v", name, g.idx, err)
+					}
+				}
+			}
+			if err := s.drain(); err != nil {
+				t.Fatalf("final drain: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,36 @@
+package conformance
+
+import (
+	"reflect"
+	"testing"
+
+	"twindrivers/internal/drivermodel"
+)
+
+// TestDifferentialDeterministic pins the seeded determinism of the
+// differential harness itself: running the full differential sweep twice
+// over the same backend produces byte-identical results — every wire
+// frame, every delivered frame, both posted and copy delivery streams,
+// the fault classification, all of it. The conformance and chaos suites
+// replay failures from their seeds; this test is the regression guard
+// that the replay actually reproduces the run.
+func TestDifferentialDeterministic(t *testing.T) {
+	for _, name := range drivermodel.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			model, ok := drivermodel.Get(name)
+			if !ok {
+				t.Fatalf("backend %q not registered", name)
+			}
+			a := runDifferential(t, model, 96, 96)
+			b := runDifferential(t, model, 96, 96)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("same seed, different differential results:\nfirst:  %+v\nsecond: %+v", a, b)
+			}
+			if len(a.wire) == 0 || len(a.delivered) == 0 || len(a.posted) == 0 {
+				t.Fatalf("differential run moved no traffic: wire=%d delivered=%d posted=%d",
+					len(a.wire), len(a.delivered), len(a.posted))
+			}
+		})
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"twindrivers/internal/kernel"
+	"twindrivers/internal/mem"
+)
+
+// cloneEvents deep-copies a configuration log (Args slices included) so a
+// test can scribble on the live log and later restore the original.
+func cloneEvents(evs []ConfigEvent) []ConfigEvent {
+	out := make([]ConfigEvent, len(evs))
+	for i, ev := range evs {
+		out[i] = ev
+		out[i].Args = append([]uint32(nil), ev.Args...)
+	}
+	return out
+}
+
+// FuzzConfigLogReplay fuzzes recovery's replay input: the configuration
+// log itself. A wild write kills the twin, the log is truncated or has one
+// event field mutated, and Revive replays it. The contract under fuzz:
+//
+//   - replay never panics, whatever the log says;
+//   - a replay that errors fails closed: the twin stays dead, every driver
+//     operation keeps returning ErrDriverDead — no half-installed instance;
+//   - structurally invalid logs (any proper truncation drops the final
+//     open; unknown ops) are rejected as ErrConfigCorrupt before replay
+//     executes anything;
+//   - after restoring the intact log, Revive succeeds and the revived
+//     instance moves a frame to the wire — a hostile log costs nothing
+//     but the failed attempt.
+//
+// Every iteration builds a fresh machine: each Revive permanently consumes
+// append-only hypervisor reload arenas, so reusing one machine across the
+// corpus would exhaust them and fail for the wrong reason.
+func FuzzConfigLogReplay(f *testing.F) {
+	f.Add(uint16(0), byte(0), uint64(0), byte(1))          // truncate to empty
+	f.Add(uint16(9), byte(0), uint64(0), byte(1))          // truncate mid-log
+	f.Add(uint16(0), byte(0), uint64(200), byte(0))        // unknown op
+	f.Add(uint16(0), byte(1), uint64(7), byte(0))          // netdev dev index out of range
+	f.Add(uint16(0), byte(3), uint64(0x40), byte(0))       // netdev addr not the device's
+	f.Add(uint16(3), byte(4), uint64(33), byte(0))         // ring capacity not a power of two
+	f.Add(uint16(3), byte(4), uint64(1<<20), byte(0))      // ring capacity over MaxRingSlots
+	f.Add(uint16(6), byte(5), uint64(0), byte(0))          // probe args truncated away
+	f.Add(uint16(4), byte(2), uint64(99), byte(0))         // ring dom -> unknown domain
+	f.Add(uint16(2), byte(3), uint64(0xF1000040), byte(0)) // addr -> hypervisor code
+
+	f.Fuzz(func(t *testing.T, idx uint16, field byte, value uint64, trunc byte) {
+		m, tw, err := NewTwinMachine(1, 2, TwinConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := m.Devs[0]
+		got := capture(d)
+		m.HV.Switch(m.DomU)
+		killTwin(t, m, tw, d)
+
+		good := cloneEvents(m.Config.Events)
+		n := len(good)
+		truncated := false
+		mutatedOp := ConfigOp(0xFF)
+		opKnown := func(op ConfigOp) bool { return op <= OpRxRing }
+		if trunc&1 == 1 {
+			keep := int(idx) % (n + 1)
+			truncated = keep < n
+			m.Config.Events = m.Config.Events[:keep]
+		} else {
+			ev := &m.Config.Events[int(idx)%n]
+			switch field % 6 {
+			case 0:
+				ev.Op = ConfigOp(value)
+				mutatedOp = ev.Op
+			case 1:
+				ev.Dev = int(int32(value))
+			case 2:
+				ev.Dom = mem.Owner(value)
+			case 3:
+				ev.Addr = uint32(value)
+			case 4:
+				ev.Aux = uint32(value)
+			case 5:
+				if len(ev.Args) > 0 && value&1 == 1 {
+					ev.Args[int(value>>1)%len(ev.Args)] = uint32(value >> 32)
+				} else {
+					ev.Args = ev.Args[:0]
+				}
+			}
+		}
+
+		err = tw.Revive()
+		if err == nil {
+			// The mutation was benign (or a no-op): the twin must be fully
+			// alive, not somewhere in between.
+			if tw.Dead {
+				t.Fatal("Revive returned nil but the twin is dead")
+			}
+		} else {
+			// Fail closed: dead, and every driver operation says so.
+			if !tw.Dead {
+				t.Fatalf("Revive failed (%v) but left the twin alive", err)
+			}
+			frame := EthernetFrame([6]byte{8, 8, 8, 8, 8, 8}, d.NIC.MAC, 0x0800, payload(120, 3))
+			if txErr := tw.GuestTransmit(d, frame); !errors.Is(txErr, ErrDriverDead) {
+				t.Fatalf("transmit after failed replay: %v, want ErrDriverDead", txErr)
+			}
+			if _, sErr := tw.StageTransmitBatch(m.DomU, [][]byte{frame}); !errors.Is(sErr, ErrDriverDead) {
+				t.Fatalf("stage after failed replay: %v, want ErrDriverDead", sErr)
+			}
+			// Structural damage must be caught by validation, before replay
+			// executed anything.
+			if truncated && !errors.Is(err, ErrConfigCorrupt) {
+				t.Fatalf("truncated log rejected as %v, want ErrConfigCorrupt", err)
+			}
+			if mutatedOp != 0xFF && !opKnown(mutatedOp) && !errors.Is(err, ErrConfigCorrupt) {
+				t.Fatalf("unknown op rejected as %v, want ErrConfigCorrupt", err)
+			}
+		}
+
+		// The intact log always revives, whatever the hostile one did.
+		m.Config.Events = good
+		if err := tw.Revive(); err != nil {
+			t.Fatalf("revive with restored log: %v", err)
+		}
+		m.HV.Switch(m.DomU)
+		*got = (*got)[:0]
+		frame := EthernetFrame([6]byte{7, 7, 7, 7, 7, 7}, d.NIC.MAC, 0x0800, payload(240, 9))
+		if err := tw.GuestTransmit(d, frame); err != nil {
+			t.Fatalf("transmit after restored revive: %v", err)
+		}
+		if len(*got) != 1 || !bytes.Equal((*got)[0], frame) {
+			t.Fatalf("restored instance put %d frames on the wire", len(*got))
+		}
+	})
+}
+
+// TestReplayConfigFailsClosed pins the validation classes the fuzz target
+// explores probabilistically: each corruption yields ErrConfigCorrupt from
+// Revive, the twin stays dead with every operation returning ErrDriverDead,
+// and no event side effect ran (the wild write's scribble is still there —
+// validation rejected the log before replay healed anything).
+func TestReplayConfigFailsClosed(t *testing.T) {
+	corruptions := []struct {
+		name    string
+		corrupt func(evs []ConfigEvent) []ConfigEvent
+	}{
+		{"truncated-empty", func(evs []ConfigEvent) []ConfigEvent { return evs[:0] }},
+		{"truncated-before-open", func(evs []ConfigEvent) []ConfigEvent { return evs[:len(evs)-1] }},
+		{"unknown-op", func(evs []ConfigEvent) []ConfigEvent {
+			evs[0].Op = ConfigOp(99)
+			return evs
+		}},
+		{"dev-out-of-range", func(evs []ConfigEvent) []ConfigEvent {
+			for i := range evs {
+				if evs[i].Op == OpProbe {
+					evs[i].Dev = 40
+				}
+			}
+			return evs
+		}},
+		{"netdev-addr-scribbled", func(evs []ConfigEvent) []ConfigEvent {
+			for i := range evs {
+				if evs[i].Op == OpNetdev {
+					evs[i].Addr += 4
+				}
+			}
+			return evs
+		}},
+		{"probe-args-dropped", func(evs []ConfigEvent) []ConfigEvent {
+			for i := range evs {
+				if evs[i].Op == OpProbe {
+					evs[i].Args = nil
+				}
+			}
+			return evs
+		}},
+		{"ring-capacity-not-pow2", func(evs []ConfigEvent) []ConfigEvent {
+			for i := range evs {
+				if evs[i].Op == OpRing {
+					evs[i].Aux = 33
+				}
+			}
+			return evs
+		}},
+		{"rxring-capacity-huge", func(evs []ConfigEvent) []ConfigEvent {
+			for i := range evs {
+				if evs[i].Op == OpRxRing {
+					evs[i].Aux = mem.MaxRingSlots * 2
+				}
+			}
+			return evs
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := m.Devs[0]
+			capture(d)
+			m.HV.Switch(m.DomU)
+			killTwin(t, m, tw, d)
+			good := cloneEvents(m.Config.Events)
+
+			m.Config.Events = tc.corrupt(m.Config.Events)
+			err = tw.Revive()
+			if !errors.Is(err, ErrConfigCorrupt) {
+				t.Fatalf("Revive = %v, want ErrConfigCorrupt", err)
+			}
+			if !tw.Dead {
+				t.Fatal("twin alive after rejected replay")
+			}
+			// Fail closed means no side effect ran either: killTwin's wild
+			// write is still in netdev->priv because validation refused the
+			// log before the OpNetdev heal executed.
+			if priv, _ := m.Dom0.AS.Load(d.Netdev+kernel.NdPriv, 4); priv != 0xF1000040 {
+				t.Fatalf("rejected replay ran side effects: priv=%#x", priv)
+			}
+			frame := EthernetFrame([6]byte{2, 2, 2, 2, 2, 2}, d.NIC.MAC, 0x0800, payload(100, 1))
+			if txErr := tw.GuestTransmit(d, frame); !errors.Is(txErr, ErrDriverDead) {
+				t.Fatalf("transmit: %v, want ErrDriverDead", txErr)
+			}
+
+			// And the intact log still revives the twin afterwards.
+			m.Config.Events = good
+			if err := tw.Revive(); err != nil {
+				t.Fatalf("revive with intact log: %v", err)
+			}
+			m.HV.Switch(m.DomU)
+			if err := tw.GuestTransmit(d, frame); err != nil {
+				t.Fatalf("transmit after recovery: %v", err)
+			}
+		})
+	}
+}

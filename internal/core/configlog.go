@@ -1,6 +1,9 @@
 package core
 
 import (
+	"errors"
+	"fmt"
+
 	"twindrivers/internal/kernel"
 	"twindrivers/internal/mem"
 )
@@ -81,12 +84,88 @@ func (l *ConfigLog) record(ev ConfigEvent) {
 	l.Events = append(l.Events, ev)
 }
 
+// ErrConfigCorrupt reports a configuration log that fails validation:
+// an unknown op, a device index outside the machine, a probe event with
+// no recorded arguments, a ring event whose geometry mem.Ring would
+// refuse, or a log missing the netdev/probe/open history a device needs
+// to come back. Replay fails closed on it — Revive removes the fresh
+// instance and leaves the twin dead — because replaying a damaged log
+// would install an instance whose state matches nothing the guests ever
+// configured.
+var ErrConfigCorrupt = errors.New("core: configuration log corrupt")
+
+// validateConfig checks the recorded history before replay touches any
+// state: every event must be structurally sound, and every device must
+// retain the netdev/probe/open triple bring-up recorded — a truncated log
+// must not half-install an instance whose device was never probed or
+// opened.
+func (t *Twin) validateConfig() error {
+	m := t.M
+	type devSeen struct{ netdev, probe, open bool }
+	seen := make([]devSeen, len(m.Devs))
+	for i, ev := range m.Config.Events {
+		switch ev.Op {
+		case OpNetdev:
+			if ev.Dev < 0 || ev.Dev >= len(m.Devs) {
+				return fmt.Errorf("%w: event %d: netdev device index %d of %d", ErrConfigCorrupt, i, ev.Dev, len(m.Devs))
+			}
+			// Replay heals this event with a store to Addr+NdPriv; pin the
+			// address to the device it claims to describe so a scribbled
+			// log cannot steer that store anywhere else in dom0 memory.
+			if ev.Addr != m.Devs[ev.Dev].Netdev {
+				return fmt.Errorf("%w: event %d: netdev address %#x is not device %d's", ErrConfigCorrupt, i, ev.Addr, ev.Dev)
+			}
+			seen[ev.Dev].netdev = true
+		case OpProbe:
+			if ev.Dev < 0 || ev.Dev >= len(m.Devs) {
+				return fmt.Errorf("%w: event %d: probe device index %d of %d", ErrConfigCorrupt, i, ev.Dev, len(m.Devs))
+			}
+			if len(ev.Args) == 0 {
+				return fmt.Errorf("%w: event %d: probe with no recorded arguments", ErrConfigCorrupt, i)
+			}
+			seen[ev.Dev].probe = true
+		case OpOpen:
+			if ev.Dev < 0 || ev.Dev >= len(m.Devs) {
+				return fmt.Errorf("%w: event %d: open device index %d of %d", ErrConfigCorrupt, i, ev.Dev, len(m.Devs))
+			}
+			seen[ev.Dev].open = true
+		case OpGuestMAC:
+			// Any MAC/domain pair is representable; unknown domains are
+			// routes to departed guests and replay keeps them verbatim.
+		case OpRing, OpRxRing:
+			// Mirror mem.InitRing's geometry checks so a scribbled slot
+			// count fails the whole replay up front instead of mid-way.
+			c := int(ev.Aux)
+			if c <= 0 || c&(c-1) != 0 || c > mem.MaxRingSlots {
+				return fmt.Errorf("%w: event %d: ring capacity %d", ErrConfigCorrupt, i, ev.Aux)
+			}
+		default:
+			return fmt.Errorf("%w: event %d: unknown op %d", ErrConfigCorrupt, i, ev.Op)
+		}
+	}
+	for dev, s := range seen {
+		if !s.netdev || !s.probe || !s.open {
+			return fmt.Errorf("%w: device %d history incomplete (netdev=%v probe=%v open=%v)",
+				ErrConfigCorrupt, dev, s.netdev, s.probe, s.open)
+		}
+	}
+	return nil
+}
+
 // replayConfig drives the recorded configuration history into a freshly
 // installed hypervisor instance. Probe and open run through the VM driver
 // instance exactly as at bring-up; ring and MAC events rebuild the
-// twin-side routing and guest I/O state in place.
+// twin-side routing and guest I/O state in place. The log is validated in
+// full before any event executes (fail closed: see ErrConfigCorrupt), and
+// the MAC routing table is rebuilt from scratch — every route comes from
+// the log, so a replay that fails mid-way can never leave a route no
+// recorded event asserts.
 func (t *Twin) replayConfig() error {
+	if err := t.validateConfig(); err != nil {
+		return err
+	}
 	m := t.M
+	t.macToDom = make(map[[6]byte]mem.Owner)
 	for _, ev := range m.Config.Events {
 		switch ev.Op {
 		case OpNetdev:

@@ -350,8 +350,12 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 	}
 
 	// Default guest routing: every NIC MAC delivers to the first guest.
+	// Recorded through RegisterGuestMAC so the configuration log carries
+	// every route: replay rebuilds the routing table wholly from the log,
+	// and a failed replay can never leave a route behind that no recorded
+	// event asserts.
 	for _, d := range m.Devs {
-		t.macToDom[d.Dev.HWAddr()] = m.DomU.ID
+		t.RegisterGuestMAC(d.Dev.HWAddr(), m.DomU.ID)
 	}
 
 	// Per-guest I/O state: guest notifications and upcall IRQs coalesce to
@@ -426,6 +430,27 @@ func (t *Twin) FaultLog() []FaultRecord {
 
 // PoolFree reports the number of free pooled sk_buffs.
 func (t *Twin) PoolFree() int { return len(t.pool) }
+
+// PoolOutstanding reports how many pooled sk_buffs are currently handed
+// out and not yet returned (posted on device rings, queued for delivery,
+// or leaked by an injected bug). PoolFree + PoolOutstanding == PoolCapacity
+// is the pool-conservation invariant the chaos harness asserts at every
+// settle point; after an abort's outstanding-buffer sweep it must be zero.
+func (t *Twin) PoolOutstanding() int { return len(t.outstanding) }
+
+// PoolCapacity reports the configured pool size.
+func (t *Twin) PoolCapacity() int { return t.cfg.PoolSize }
+
+// StagedTx reports how many descriptors a guest currently has staged on
+// its transmit ring (introspection for harnesses reconciling their own
+// staged-frame ledgers against the ring).
+func (t *Twin) StagedTx(dom mem.Owner) (int, error) {
+	g, ok := t.guestIO[dom]
+	if !ok {
+		return 0, fmt.Errorf("core: domain %d has no transmit ring", dom)
+	}
+	return g.ring.Len()
+}
 
 // LeakPooledBuffers is a fault-injection hook: it makes up to n pooled
 // sk_buffs unreachable, the way a driver bug that forgets to free its

@@ -1,0 +1,25 @@
+package netbench
+
+import "fmt"
+
+// BenchKey is the stable configuration key a Result files under in the
+// BENCH_<area>.json measurement sets: backend, direction and batch size,
+// with the posted-RX marker when the measurement ran the posted-buffer
+// path. Keys survive refactors — the bench gate diffs them against
+// committed baselines.
+func (r *Result) BenchKey() string {
+	dir := "tx"
+	if r.Direction == RX {
+		dir = "rx"
+	}
+	key := fmt.Sprintf("%s/%s/batch=%d", r.Backend, dir, r.Batch)
+	if r.PostedRX {
+		key += "/posted"
+	}
+	return key
+}
+
+// BenchKey extends the Result key with the guest fan-out.
+func (r *MultiGuestResult) BenchKey() string {
+	return fmt.Sprintf("%s/guests=%d", r.Result.BenchKey(), r.Guests)
+}

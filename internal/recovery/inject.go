@@ -48,6 +48,17 @@ type Injector struct {
 	Inject func(m *core.Machine, tw *core.Twin, d *core.NICDev) error
 }
 
+// InjectorByName returns the named fault injector ("wild-write",
+// "runaway-loop", "corrupt-fnptr").
+func InjectorByName(name string) (Injector, bool) {
+	for _, inj := range Injectors() {
+		if inj.Name == name {
+			return inj, true
+		}
+	}
+	return Injector{}, false
+}
+
 // Injectors returns the three fault types of the containment story, now
 // each recoverable:
 //

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleBench() *Bench {
+	b := NewBench("batch", false)
+	b.Add("e1000/tx/batch=1", 9000)
+	b.Add("e1000/tx/batch=32", 4000)
+	b.Add("e1000/rx/batch=8/posted", 6500)
+	return b
+}
+
+// TestBenchRoundTrip pins the on-disk format: WriteFile sorts entries by
+// config key (regenerated baselines diff cleanly) and LoadBench reads the
+// set back identically.
+func TestBenchRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b := sampleBench()
+	if err := b.WriteFile(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := BenchPath(dir, "batch")
+	if filepath.Base(path) != "BENCH_batch.json" {
+		t.Fatalf("bench file named %s", filepath.Base(path))
+	}
+	got, err := LoadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Area != "batch" || got.Unit != "cyc/pkt" || got.Quick {
+		t.Fatalf("round trip lost metadata: %+v", got)
+	}
+	if len(got.Entries) != 3 {
+		t.Fatalf("round trip lost entries: %+v", got.Entries)
+	}
+	for i := 1; i < len(got.Entries); i++ {
+		if got.Entries[i-1].Config >= got.Entries[i].Config {
+			t.Fatalf("entries not sorted: %q then %q", got.Entries[i-1].Config, got.Entries[i].Config)
+		}
+	}
+	if e, ok := got.Lookup("e1000/tx/batch=32"); !ok || e.CyclesPerPacket != 4000 {
+		t.Fatalf("lookup after round trip: %+v %v", e, ok)
+	}
+	if err := CompareBench(b, got, 0); err != nil {
+		t.Fatalf("identical benches compare clean at zero tolerance: %v", err)
+	}
+}
+
+// TestCompareBenchCatchesRegression is the gate's teeth: a +10% cycles/
+// packet regression on one configuration must fail a 5%-tolerance
+// comparison, naming the configuration — and pass once the tolerance
+// admits it.
+func TestCompareBenchCatchesRegression(t *testing.T) {
+	base := sampleBench()
+	cur := sampleBench()
+	cur.Entries[1].CyclesPerPacket *= 1.10 // e1000/tx/batch=32: +10%
+
+	err := CompareBench(base, cur, 5)
+	if err == nil {
+		t.Fatal("a +10% regression passed a 5% gate")
+	}
+	if !strings.Contains(err.Error(), "e1000/tx/batch=32") {
+		t.Fatalf("regression error does not name the configuration: %v", err)
+	}
+	if err := CompareBench(base, cur, 15); err != nil {
+		t.Fatalf("+10%% within a 15%% tolerance must pass: %v", err)
+	}
+	// An improvement is never a failure.
+	cur.Entries[1].CyclesPerPacket = base.Entries[1].CyclesPerPacket * 0.5
+	if err := CompareBench(base, cur, 5); err != nil {
+		t.Fatalf("an improvement failed the gate: %v", err)
+	}
+}
+
+// TestCompareBenchCoverage pins the coverage rules: a configuration the
+// current run no longer measures fails (silent coverage loss), a new
+// configuration missing from the baseline fails (the baseline must be
+// regenerated to cover it), and quick/full measurement sets never compare.
+func TestCompareBenchCoverage(t *testing.T) {
+	base := sampleBench()
+
+	missing := sampleBench()
+	missing.Entries = missing.Entries[:2] // drops e1000/rx/batch=8/posted
+	if err := CompareBench(base, missing, 5); err == nil || !strings.Contains(err.Error(), "no longer measured") {
+		t.Fatalf("dropped configuration not caught: %v", err)
+	}
+
+	extra := sampleBench()
+	extra.Add("rtl8139/tx/batch=1", 12000)
+	if err := CompareBench(base, extra, 5); err == nil || !strings.Contains(err.Error(), "missing from the baseline") {
+		t.Fatalf("unbaselined configuration not caught: %v", err)
+	}
+
+	quick := sampleBench()
+	quick.Quick = true
+	if err := CompareBench(base, quick, 5); err == nil || !strings.Contains(err.Error(), "quick") {
+		t.Fatalf("quick/full mismatch not caught: %v", err)
+	}
+
+	other := NewBench("rxpath", false)
+	if err := CompareBench(base, other, 5); err == nil {
+		t.Fatal("cross-area comparison not caught")
+	}
+}

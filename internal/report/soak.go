@@ -1,0 +1,40 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"twindrivers/internal/chaos"
+)
+
+// Soak renders the chaos-soak experiment: per-backend, the exactly-once
+// ledgers of every guest, the attack and fault tallies, and the run
+// digest — the seed plus the digest is everything needed to replay a run
+// byte-identically.
+func Soak(w io.Writer, title string, reports []*chaos.Report) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	for _, rep := range reports {
+		fmt.Fprintf(w, "%s: seed %#x, %d steps, %d guests, %d faults contained, %d recoveries\n",
+			rep.Backend, rep.Seed, rep.Steps, len(rep.Guests), rep.Faults, rep.Recoveries)
+		fmt.Fprintf(w, "  %-6s %-7s %10s %8s %8s %10s %10s %8s\n",
+			"guest", "rx-mode", "offeredTx", "wireTx", "lostTx", "offeredRx", "delivered", "lostRx")
+		for i, g := range rep.Guests {
+			mode := "copy"
+			if g.Posted {
+				mode = "posted"
+			}
+			fmt.Fprintf(w, "  %-6d %-7s %10d %8d %8d %10d %10d %8d\n",
+				i, mode, g.OfferedTx, g.WireTx, g.LostTx, g.OfferedRx, g.DeliveredRx, g.LostRx)
+		}
+		if len(rep.Attacks) > 0 {
+			fmt.Fprintf(w, "  attacks:")
+			for _, a := range rep.Attacks {
+				fmt.Fprintf(w, " %s x%d", a.Name, a.Runs)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "  digest %s\n", rep.Digest[:16])
+	}
+	fmt.Fprintln(w)
+}
