@@ -207,6 +207,50 @@ func runMultiGuestSweep(w io.Writer, quick bool, bench *report.Bench) error {
 	return nil
 }
 
+// MQQueueCounts is the service-queue axis of the multi-queue sweep.
+func MQQueueCounts() []int { return []int{1, 2, 4, 8} }
+
+// MQGuests and MQBatch fix the load of the multi-queue sweep: eight
+// guests staging 32-frame bursts, enough concurrent work that the
+// critical path is dominated by the slowest queue's service loop.
+const (
+	MQGuests = 8
+	MQBatch  = 32
+)
+
+// runMQSweep measures the mqnic backend at each service-queue count
+// under a fixed transmit load. Guests shard across the queues by RSS
+// hash of their transmit flow, each queue runs its own metered service
+// loop, and the reported cycles/packet is the critical path — shared
+// work plus the slowest queue — so the cost falls as the same guest
+// population spreads over more queues.
+func runMQSweep(w io.Writer, quick bool, bench *report.Bench) error {
+	perGuestPackets := packets(quick) / 2
+	var results []*netbench.MultiGuestResult
+	for _, q := range MQQueueCounts() {
+		r, err := netbench.RunMultiGuest(netbench.TX, MQGuests, netbench.Params{
+			NumNICs: 1, Measure: perGuestPackets, Batch: MQBatch,
+			Backend: "mqnic", Queues: q,
+		})
+		if err != nil {
+			return fmt.Errorf("mq queues=%d: %w", q, err)
+		}
+		results = append(results, r)
+		if bench != nil {
+			bench.Add(r.BenchKey(), r.CyclesPerPacket)
+		}
+	}
+	report.MQSweep(w, "Multi-queue sweep: mqnic TX critical-path cycles/packet vs queue count", results)
+	one, four := results[0], results[2]
+	fmt.Fprintf(w, "critical-path cycles/packet at 4 queues: %.0f vs %.0f single-queue (%+.1f%%)\n\n",
+		four.CyclesPerPacket, one.CyclesPerPacket,
+		100*(four.CyclesPerPacket-one.CyclesPerPacket)/one.CyclesPerPacket)
+	fmt.Fprintf(w, "guests shard across queues by RSS flow hash; every queue owns its own\n")
+	fmt.Fprintf(w, "descriptor rings, service loop and cycle meter (shared-nothing), so the\n")
+	fmt.Fprintf(w, "per-round wall clock is the slowest queue, not the sum of all guests.\n\n")
+	return nil
+}
+
 // BackendBatchSizes is the batch-size axis of the backend sweep: the
 // per-packet baseline and one amortized point.
 func BackendBatchSizes() []int { return []int{1, 32} }
@@ -516,6 +560,9 @@ func Experiments() []Experiment {
 		{"rxpath", "RX-path sweep: posted guest buffers vs copy-mode delivery (beyond the paper)", func(w io.Writer, q bool) error {
 			return runRXPathSweep(w, q, nil)
 		}},
+		{"mq", "Multi-queue sweep: parallel per-queue service loops + RSS steering (beyond the paper)", func(w io.Writer, q bool) error {
+			return runMQSweep(w, q, nil)
+		}},
 		{"soak", "Chaos soak: seeded hostile multi-guest run + attack matrix (beyond the paper)", runSoak},
 		{"effort", "Section 6.5: engineering effort", runEffort},
 	}
@@ -524,7 +571,7 @@ func Experiments() []Experiment {
 // BenchAreas lists the sweep experiments that emit a machine-readable
 // BENCH_<area>.json measurement set alongside their tables.
 func BenchAreas() []string {
-	return []string{"batch", "multiguest", "recovery", "backends", "rxpath"}
+	return []string{"batch", "multiguest", "recovery", "backends", "rxpath", "mq"}
 }
 
 // CollectBench runs one bench-emitting sweep and returns its measurement
@@ -544,6 +591,8 @@ func CollectBench(w io.Writer, area string, quick bool) (*report.Bench, error) {
 		err = runBackendSweep(w, quick, b)
 	case "rxpath":
 		err = runRXPathSweep(w, quick, b)
+	case "mq":
+		err = runMQSweep(w, quick, b)
 	default:
 		return nil, fmt.Errorf("no bench emission for experiment %q (have %v)", area, BenchAreas())
 	}

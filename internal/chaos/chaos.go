@@ -48,6 +48,7 @@ import (
 	// the soak resolves Config.Backend there and the matrix enumerates
 	// the registry, so the chaos package must see every model.
 	_ "twindrivers/internal/e1000"
+	_ "twindrivers/internal/mqnic"
 	_ "twindrivers/internal/rtl8139"
 )
 
@@ -94,6 +95,19 @@ type Config struct {
 
 	// PoolSize overrides the twin's buffer pool size (0 = core default).
 	PoolSize int
+
+	// Queues requests the twin's service-queue count (0 = the model's
+	// native count, clamped to [1, Model.Queues] like TwinConfig).
+	Queues int
+
+	// Parallel services the transmit rings with ServiceAllQueues — one
+	// goroutine per service queue — instead of the sequential sweep.
+	// Every ledger and invariant is unaffected (each guest lives on
+	// exactly one queue, so per-guest wire order is preserved), but the
+	// wire interleaving across queues follows goroutine scheduling:
+	// parallel runs with the same seed agree on every ledger yet may
+	// differ in Digest.
+	Parallel bool
 }
 
 func (c *Config) defaults() error {
@@ -232,6 +246,7 @@ func New(cfg Config) (*Soak, error) {
 	m, tw, err := core.NewTwinMachineModel(1, cfg.Guests, model, core.TwinConfig{
 		Watchdog: cfg.Watchdog,
 		PoolSize: cfg.PoolSize,
+		Queues:   cfg.Queues,
 	})
 	if err != nil {
 		return nil, err
@@ -374,10 +389,13 @@ func (s *Soak) txFrame(g *soakGuest, size int) []byte {
 }
 
 // rxFrame builds a uniquely-numbered frame destined for a guest's
-// registered MAC.
+// registered MAC. The source MAC is fixed per guest, so each guest's
+// receive traffic is a single flow: a multi-queue device's RSS steering
+// keeps one flow on one queue, preserving the per-guest delivery order
+// the expectation FIFO asserts. Uniqueness lives in the payload.
 func (s *Soak) rxFrame(g *soakGuest) []byte {
 	s.seq++
-	src := [6]byte{0x02, 0x57, 0x41, byte(s.seq >> 8), byte(s.seq), byte(g.idx)}
+	src := [6]byte{0x02, 0x57, 0x41, 0, 0, byte(g.idx)}
 	payload := make([]byte, 4+s.rng.Intn(1396))
 	binary.BigEndian.PutUint32(payload, s.seq)
 	for i := 4; i < len(payload); i++ {
@@ -471,7 +489,11 @@ func (s *Soak) stepTxSingle(g *soakGuest) error {
 // the service reset (hostile header, oversize descriptor) must cost
 // exactly its remaining staged frames.
 func (s *Soak) serviceAll() error {
-	sent, err := s.tw.ServiceRings(s.d, 0)
+	service := s.tw.ServiceRings
+	if s.cfg.Parallel {
+		service = s.tw.ServiceAllQueues
+	}
+	sent, err := service(s.d, 0)
 	if rerr := s.reconcileWire(sent); rerr != nil {
 		return rerr
 	}

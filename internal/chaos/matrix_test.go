@@ -8,12 +8,15 @@ import (
 )
 
 // TestAttackMatrixComplete asserts the matrix's shape: every dimension ×
-// backend × rx-mode cell exists and is non-empty, and every registered
-// attack appears in at least one cell — no attack can be added to the
-// table and silently never run.
+// backend × rx-mode × applicable-queue-count cell exists and is
+// non-empty, and every registered attack appears in at least one cell —
+// no attack can be added to the table and silently never run.
 func TestAttackMatrixComplete(t *testing.T) {
 	cells := Cells()
-	want := len(Dimensions()) * len(drivermodel.Names()) * 2
+	want := 0
+	for _, backend := range drivermodel.Names() {
+		want += len(Dimensions()) * len(BackendQueueCounts(backend)) * 2
+	}
 	if len(cells) != want {
 		t.Fatalf("matrix has %d cells, want %d", len(cells), want)
 	}
@@ -48,7 +51,7 @@ func TestAttackMatrixComplete(t *testing.T) {
 func TestAttackMatrixZeroSkip(t *testing.T) {
 	for i, c := range Cells() {
 		c, i := c, i
-		t.Run(fmt.Sprintf("%s/%s/%s", c.Dim, c.Backend, c.Mode), func(t *testing.T) {
+		t.Run(fmt.Sprintf("%s/%s/%s/q%d", c.Dim, c.Backend, c.Mode, c.Queues), func(t *testing.T) {
 			if len(c.Attacks) == 0 {
 				t.Fatalf("empty matrix cell")
 			}
@@ -62,6 +65,7 @@ func TestAttackMatrixZeroSkip(t *testing.T) {
 				Guests:  2,
 				Steps:   64, // sizes the recovery budget; attacks drive the traffic
 				Posted:  posted,
+				Queues:  c.Queues,
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -19,6 +19,7 @@ import (
 
 	// Link every backend under test.
 	_ "twindrivers/internal/e1000"
+	_ "twindrivers/internal/mqnic"
 	_ "twindrivers/internal/rtl8139"
 )
 
@@ -43,13 +44,16 @@ func newTwin(t *testing.T, m *drivermodel.Model, guests int, cfg core.TwinConfig
 	return mach, tw
 }
 
-// frame builds a distinct test frame (dst fixed, payload patterned by id).
+// frame builds a distinct test frame. The MAC pair is fixed — every test
+// frame belongs to ONE flow — because a multi-queue device steers received
+// frames by flow hash and only guarantees delivery order within a flow;
+// the frames stay distinguishable through the id-patterned payload.
 func frame(size int, id byte) []byte {
 	payload := make([]byte, size-14)
 	for i := range payload {
 		payload[i] = id ^ byte(i*7)
 	}
-	return core.EthernetFrame([6]byte{2, 2, 2, 2, 2, id}, [6]byte{0x02, 0x51, 0x52, 0, 0, id}, 0x0800, payload)
+	return core.EthernetFrame([6]byte{2, 2, 2, 2, 2, 2}, [6]byte{0x02, 0x51, 0x52, 0, 0, 1}, 0x0800, payload)
 }
 
 // capture wires a device's transmit side to a slice.
@@ -74,6 +78,8 @@ func TestConformance(t *testing.T) {
 		{"hostile-header-containment", checkHostileHeader},
 		{"fault-recovery-replay", checkFaultRecoveryReplay},
 		{"management-stats", checkManagementStats},
+		{"mq-steering-stable", checkMQSteeringStable},
+		{"mq-hostile-descriptor", checkMQHostileDescriptor},
 	}
 	for _, m := range backends(t) {
 		for _, b := range behaviors {
@@ -348,20 +354,24 @@ func checkHostileHeader(t *testing.T, m *drivermodel.Model) {
 		t.Fatal(err)
 	}
 
-	_, err := tw.ServiceRings(d, 0)
+	// The first sweep must report the corruption without dying. On a
+	// multi-queue twin the sweep continues past the corrupt queue and
+	// drains guest 2's queue in the same pass; on a single-queue twin
+	// guest 2 drains on the sweep after the reset. Either way guest 2's
+	// traffic is on the wire byte-exact within two sweeps.
+	sent1, err := tw.ServiceRings(d, 0)
 	if err == nil {
 		t.Fatal("hostile ring header accepted")
 	}
 	if tw.Dead {
 		t.Fatal("hostile header killed the twin (should be contained)")
 	}
-	// The corrupt ring was reset; the next sweep drains guest 2 unharmed.
-	sent, err := tw.ServiceRings(d, 0)
+	sent2, err := tw.ServiceRings(d, 0)
 	if err != nil {
 		t.Fatalf("post-containment sweep: %v", err)
 	}
-	if sent[g2.ID] != 2 || len(*wire) != 2 {
-		t.Fatalf("guest 2 moved %d frames (wire %d), want 2", sent[g2.ID], len(*wire))
+	if got := sent1[g2.ID] + sent2[g2.ID]; got != 2 || len(*wire) != 2 {
+		t.Fatalf("guest 2 moved %d frames (wire %d), want 2", got, len(*wire))
 	}
 	for i := range honest {
 		if !bytes.Equal((*wire)[i], honest[i]) {
@@ -467,5 +477,124 @@ func checkManagementStats(t *testing.T, m *drivermodel.Model) {
 	tx, _, _ := d.Dev.Counters()
 	if tx != 3 {
 		t.Errorf("device tx counter = %d, want 3", tx)
+	}
+}
+
+// queueTxCounts reads the per-queue transmit counters, viewing a
+// single-queue device as the degenerate one-entry vector.
+func queueTxCounts(d *core.NICDev) []uint64 {
+	if qc, ok := d.Dev.(drivermodel.QueueCounters); ok {
+		return qc.QueueTxCounts()
+	}
+	tx, _, _ := d.Dev.Counters()
+	return []uint64{uint64(tx)}
+}
+
+// checkMQSteeringStable: a burst from one guest — one flow — lands on
+// exactly one transmit queue; steering never migrates a flow mid-burst.
+// Single-queue backends pass as the degenerate one-queue case.
+func checkMQSteeringStable(t *testing.T, m *drivermodel.Model) {
+	mach, tw := newTwin(t, m, 1, core.TwinConfig{})
+	d := mach.Devs[0]
+	d.Dev.SetOnTransmit(func([]byte) {})
+	mach.HV.Switch(mach.DomU)
+
+	before := queueTxCounts(d)
+	const n = 12
+	frames := make([][]byte, n)
+	for i := range frames {
+		frames[i] = frame(200+i*40, byte(i))
+	}
+	sent, err := tw.GuestTransmitBatch(d, frames)
+	if err != nil || sent != n {
+		t.Fatalf("sent %d of %d: %v", sent, n, err)
+	}
+	after := queueTxCounts(d)
+	if len(after) != len(before) {
+		t.Fatalf("queue count changed mid-burst: %d -> %d", len(before), len(after))
+	}
+	moved := -1
+	for q := range after {
+		if after[q] == before[q] {
+			continue
+		}
+		if moved >= 0 {
+			t.Fatalf("flow migrated: queues %d and %d both moved", moved, q)
+		}
+		moved = q
+		if after[q]-before[q] != n {
+			t.Errorf("queue %d moved %d frames, want %d", q, after[q]-before[q], n)
+		}
+	}
+	if moved < 0 {
+		t.Fatal("no queue counter moved")
+	}
+	if want := tw.QueueOf(mach.DomU.ID); want >= 0 && tw.QueueCount() > 1 && moved != want {
+		t.Errorf("burst landed on queue %d, guest is sharded onto %d", moved, want)
+	}
+}
+
+// checkMQHostileDescriptor: a hostile ring descriptor on queue k loses
+// only its own queue's staged frame — on a multi-queue twin the OTHER
+// queues drain in the very sweep that reports the corruption. On a
+// single-queue twin the two guests share the queue, so isolation degrades
+// to the next-sweep containment of hostile-header-containment.
+func checkMQHostileDescriptor(t *testing.T, m *drivermodel.Model) {
+	mach, tw := newTwin(t, m, 2, core.TwinConfig{})
+	d := mach.Devs[0]
+	wire := capture(d)
+	g1, g2 := mach.Guests[0], mach.Guests[1]
+
+	honest := [][]byte{frame(300, 0xC1), frame(500, 0xC2)}
+	if n, err := tw.StageTransmitBatch(g2, honest); err != nil || n != 2 {
+		t.Fatalf("stage: %d, %v", n, err)
+	}
+	victim := [][]byte{frame(400, 0xC3)}
+	if n, err := tw.StageTransmitBatch(g1, victim); err != nil || n != 1 {
+		t.Fatalf("stage victim: %d, %v", n, err)
+	}
+	var base uint32
+	for _, ev := range mach.Config.Events {
+		if ev.Op == core.OpRing && ev.Dom == g1.ID {
+			base = ev.Addr
+		}
+	}
+	if base == 0 {
+		t.Fatal("no recorded ring base for guest 1")
+	}
+	if err := g1.AS.Store(base+8, 4, 0xFFFF0000); err != nil {
+		t.Fatal(err)
+	}
+
+	sent1, err := tw.ServiceRings(d, 0)
+	if err == nil {
+		t.Fatal("hostile descriptor accepted")
+	}
+	if tw.Dead {
+		t.Fatal("hostile descriptor killed the twin")
+	}
+	if sent1[g1.ID] != 0 {
+		t.Errorf("corrupt queue moved %d frames", sent1[g1.ID])
+	}
+	separate := tw.QueueOf(g1.ID) != tw.QueueOf(g2.ID)
+	if separate && sent1[g2.ID] != 2 {
+		t.Errorf("queue isolation: honest queue moved %d frames in the corrupt sweep, want 2", sent1[g2.ID])
+	}
+	sent2, err := tw.ServiceRings(d, 0)
+	if err != nil {
+		t.Fatalf("post-containment sweep: %v", err)
+	}
+	if got := sent1[g2.ID] + sent2[g2.ID]; got != 2 || len(*wire) != 2 {
+		t.Fatalf("guest 2 moved %d frames (wire %d), want 2", got, len(*wire))
+	}
+	for i := range honest {
+		if !bytes.Equal((*wire)[i], honest[i]) {
+			t.Errorf("honest frame %d corrupted", i)
+		}
+	}
+	// The victim queue's staged frame was dropped with its reset ring,
+	// not replayed onto the wire later.
+	if sent2[g1.ID] != 0 {
+		t.Errorf("corrupt queue replayed %d frames after reset", sent2[g1.ID])
 	}
 }

@@ -1,0 +1,174 @@
+// Per-queue meter accounting, driven through the multi-queue backend.
+// External test package: mqnic imports core, so these tests cannot live
+// inside package core itself.
+package core_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"twindrivers/internal/core"
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/mem"
+	"twindrivers/internal/mqnic"
+)
+
+// runShardedTraffic builds an mqnic twin at the given queue count, moves
+// a fixed batch workload from every guest through ServiceRings, and
+// returns the machine and twin for meter inspection.
+func runShardedTraffic(t *testing.T, guests, queues int) (*core.Machine, *core.Twin) {
+	t.Helper()
+	m, tw, err := core.NewTwinMachineModel(1, guests, mqnic.DriverModel(), core.TwinConfig{Queues: queues})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	d.Dev.SetOnTransmit(func([]byte) {})
+	for gi, dom := range m.Guests {
+		frames := make([][]byte, 8)
+		for i := range frames {
+			payload := make([]byte, 400)
+			for j := range payload {
+				payload[j] = byte(gi + i + j)
+			}
+			frames[i] = core.EthernetFrame(
+				[6]byte{2, 2, 2, 2, 2, 2},
+				[6]byte{0x02, 0x60, 0, 0, byte(gi), byte(i)},
+				0x0800, payload)
+		}
+		if _, err := tw.StageTransmitBatch(dom, frames); err != nil {
+			t.Fatalf("guest %d stage: %v", gi, err)
+		}
+	}
+	if _, err := tw.ServiceRings(d, 0); err != nil {
+		t.Fatalf("service: %v", err)
+	}
+	return m, tw
+}
+
+// TestServiceAllQueuesMatchesSequential pins the parallel sweep to the
+// sequential one: the same staged workload serviced by ServiceAllQueues
+// (one goroutine per queue) must report the same per-guest sent counts
+// and put the same per-guest frame sequence on the wire as ServiceRings.
+// Run under -race in CI, this is also the shared-nothing proof for the
+// per-queue hot path.
+func TestServiceAllQueuesMatchesSequential(t *testing.T) {
+	run := func(parallel bool) (map[mem.Owner]int, map[int][][]byte) {
+		m, tw, err := core.NewTwinMachineModel(1, 4, mqnic.DriverModel(), core.TwinConfig{Queues: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := m.Devs[0]
+		var mu sync.Mutex
+		byGuest := make(map[int][][]byte)
+		d.Dev.SetOnTransmit(func(pkt []byte) {
+			mu.Lock()
+			defer mu.Unlock()
+			// Source MAC byte 5 tags the staging guest (set below).
+			byGuest[int(pkt[11])] = append(byGuest[int(pkt[11])], append([]byte(nil), pkt...))
+		})
+		for gi, dom := range m.Guests {
+			frames := make([][]byte, 6)
+			for i := range frames {
+				payload := make([]byte, 300+i)
+				for j := range payload {
+					payload[j] = byte(gi*31 + i + j)
+				}
+				frames[i] = core.EthernetFrame(
+					[6]byte{2, 2, 2, 2, 2, 2},
+					[6]byte{0x02, 0x61, 0, 0, byte(i), byte(gi)},
+					0x0800, payload)
+			}
+			if _, err := tw.StageTransmitBatch(dom, frames); err != nil {
+				t.Fatalf("guest %d stage: %v", gi, err)
+			}
+		}
+		service := tw.ServiceRings
+		if parallel {
+			service = tw.ServiceAllQueues
+		}
+		sent, err := service(d, 0)
+		if err != nil {
+			t.Fatalf("service (parallel=%v): %v", parallel, err)
+		}
+		return sent, byGuest
+	}
+	seqSent, seqWire := run(false)
+	parSent, parWire := run(true)
+	if !reflect.DeepEqual(seqSent, parSent) {
+		t.Fatalf("sent maps differ: sequential %v, parallel %v", seqSent, parSent)
+	}
+	if !reflect.DeepEqual(seqWire, parWire) {
+		t.Fatal("per-guest wire sequences differ between sequential and parallel service")
+	}
+}
+
+// TestQueueMetersDegenerateIsGlobalMeter is the regression pin for every
+// pre-multi-queue measurement: at one service queue the per-queue meter
+// IS the machine meter, so merging the queue meters reproduces the
+// global breakdown exactly — same buckets, same total, cycle for cycle.
+// Every single-queue backend's committed bench baseline rests on this.
+func TestQueueMetersDegenerateIsGlobalMeter(t *testing.T) {
+	m, tw := runShardedTraffic(t, 4, 1)
+	if n := tw.QueueCount(); n != 1 {
+		t.Fatalf("QueueCount = %d, want 1", n)
+	}
+	qms := tw.QueueMeters()
+	if len(qms) != 1 {
+		t.Fatalf("QueueMeters has %d entries, want 1", len(qms))
+	}
+	if qms[0] != m.HV.Meter {
+		t.Fatal("degenerate queue meter is not the machine meter")
+	}
+	merged := cycles.NewMeter()
+	merged.Merge(qms...)
+	if merged.Total() != m.HV.Meter.Total() {
+		t.Fatalf("merged total %d != global meter total %d", merged.Total(), m.HV.Meter.Total())
+	}
+	if !reflect.DeepEqual(merged.Breakdown(), m.HV.Meter.Breakdown()) {
+		t.Fatalf("merged breakdown %v != global breakdown %v", merged.Breakdown(), m.HV.Meter.Breakdown())
+	}
+}
+
+// TestQueueMetersMergeConserves asserts the sharded accounting loses
+// nothing: with four queues, every queue owning a guest metered work,
+// the guests landed on more than one queue, and a Merge over the queue
+// meters carries exactly the sum of their totals — per-queue accounting
+// partitions the service work, it does not duplicate or drop any of it.
+func TestQueueMetersMergeConserves(t *testing.T) {
+	m, tw := runShardedTraffic(t, 4, 4)
+	if n := tw.QueueCount(); n != 4 {
+		t.Fatalf("QueueCount = %d, want 4", n)
+	}
+	owners := make(map[int]int)
+	for _, dom := range m.Guests {
+		q := tw.QueueOf(dom.ID)
+		if q < 0 || q >= 4 {
+			t.Fatalf("guest %d on queue %d", dom.ID, q)
+		}
+		owners[q]++
+	}
+	if len(owners) < 2 {
+		t.Fatalf("4 guests all sharded onto %d queue(s)", len(owners))
+	}
+	qms := tw.QueueMeters()
+	var sum uint64
+	for q, qm := range qms {
+		if owners[q] > 0 && qm.Total() == 0 {
+			t.Errorf("queue %d owns %d guests but metered no cycles", q, owners[q])
+		}
+		if owners[q] == 0 && qm.Total() != 0 {
+			t.Errorf("queue %d owns no guests but metered %d cycles", q, qm.Total())
+		}
+		sum += qm.Total()
+	}
+	merged := cycles.NewMeter()
+	merged.Merge(qms...)
+	if merged.Total() != sum {
+		t.Fatalf("merge total %d != sum of queue totals %d", merged.Total(), sum)
+	}
+	if sum == 0 {
+		t.Fatal("no queue metered any work")
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+// RSS-style flow steering (multi-queue backends). Two layers use it:
+//
+//   - the framework shards guests across transmit service queues at twin
+//     bring-up (shardBase + the modular walk in loadTwin), so every queue
+//     carries a balanced share of the guests and the assignment is a pure
+//     function of (guest index, queue count, seed) — nothing to record in
+//     the configuration log, nothing to replay on recovery;
+//   - a multi-queue device steers received frames to an RX queue by
+//     hashing the frame's addresses, so a flow (fixed src/dst pair) maps
+//     to exactly one queue and never migrates mid-burst.
+//
+// The hash is a seeded FNV-style mix standing in for the Toeplitz hash of
+// real RSS hardware; what matters for the system is the contract the
+// property tests pin: total (every frame maps to exactly one queue in
+// [0, queues)) and deterministic (same seed, same inputs, same queue).
+
+const (
+	// rssIndirectionSize is the RSS indirection-table size the hash is
+	// reduced through, as on e810-class hardware (128 entries; every
+	// supported queue count divides it evenly).
+	rssIndirectionSize = 128
+
+	// rssDefaultSeed is the framework's fixed steering seed: guest
+	// sharding must be reproducible across runs and across recoveries.
+	rssDefaultSeed = 0x9E3779B97F4A7C15
+
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// RSSHash mixes a frame's source/destination MACs and the owning guest
+// into a 32-bit flow hash under a seed. Same inputs, same seed: same
+// hash — steering is deterministic by construction.
+func RSSHash(src, dst [6]byte, guest uint32, seed uint64) uint32 {
+	h := uint64(fnvOffset) ^ seed
+	for _, b := range src {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	for _, b := range dst {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	h = (h ^ uint64(guest)) * fnvPrime
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	return uint32(h)
+}
+
+// SteerQueue reduces a flow hash to a queue index through the RSS
+// indirection table: total over all hashes, and stable for a fixed hash
+// and queue count.
+func SteerQueue(hash uint32, queues int) int {
+	if queues <= 1 {
+		return 0
+	}
+	return int(hash%rssIndirectionSize) % queues
+}
+
+// shardBase seeds the guest-to-queue walk: guest i lands on queue
+// (base+i) % queues. The modular walk keeps the shard perfectly balanced
+// (max load ceil(guests/queues), monotone in the queue count) while the
+// hashed base keeps the placement seeded rather than positional.
+func shardBase(queues int) int {
+	if queues <= 1 {
+		return 0
+	}
+	return SteerQueue(RSSHash([6]byte{}, [6]byte{}, uint32(queues), rssDefaultSeed), queues)
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestSteerTotal is the totality property: for any flow (src, dst,
+// guest, seed) and any queue count, the steer maps to exactly one queue
+// in [0, queues) — no frame can fall outside the queue set, whatever a
+// guest puts in its MAC fields.
+func TestSteerTotal(t *testing.T) {
+	prop := func(src, dst [6]byte, guest uint32, seed uint64, qraw uint8) bool {
+		queues := 1 + int(qraw%16)
+		q := SteerQueue(RSSHash(src, dst, guest, seed), queues)
+		return q >= 0 && q < queues
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSteerDeterministic is the stability property: the same flow under
+// the same seed steers to the same queue every time — a flow never
+// migrates between queues mid-burst, which is what lets a multi-queue
+// receive path preserve per-flow delivery order.
+func TestSteerDeterministic(t *testing.T) {
+	prop := func(src, dst [6]byte, guest uint32, seed uint64, qraw uint8) bool {
+		queues := 1 + int(qraw%16)
+		a := SteerQueue(RSSHash(src, dst, guest, seed), queues)
+		b := SteerQueue(RSSHash(src, dst, guest, seed), queues)
+		return a == b
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSteerCoversQueues asserts the hash actually spreads: 256 distinct
+// flows through an 8-queue steer must land on every queue. A degenerate
+// hash that satisfies totality by mapping everything to queue 0 would
+// serialize the whole device behind one service loop.
+func TestSteerCoversQueues(t *testing.T) {
+	const queues = 8
+	hit := make([]int, queues)
+	for i := 0; i < 256; i++ {
+		src := [6]byte{0x02, 0x00, 0x00, 0x00, byte(i >> 8), byte(i)}
+		dst := [6]byte{0x02, 0x01, 0x00, 0x00, 0x00, 0x01}
+		hit[SteerQueue(RSSHash(src, dst, 0, rssDefaultSeed), queues)]++
+	}
+	for q, n := range hit {
+		if n == 0 {
+			t.Errorf("queue %d received no flows of 256", q)
+		}
+	}
+}
+
+// TestShardWalkBalanced pins the guest-sharding contract: for every
+// (guests, queues) shape the modular walk from shardBase keeps the
+// per-queue load within one guest of even, so no service queue can be
+// assigned a pathological share of the domains.
+func TestShardWalkBalanced(t *testing.T) {
+	for queues := 1; queues <= 8; queues++ {
+		base := shardBase(queues)
+		if base < 0 || base >= queues {
+			t.Fatalf("shardBase(%d) = %d out of range", queues, base)
+		}
+		for guests := 1; guests <= 32; guests++ {
+			load := make([]int, queues)
+			for gi := 0; gi < guests; gi++ {
+				load[(base+gi)%queues]++
+			}
+			min, max := load[0], load[0]
+			for _, n := range load {
+				if n < min {
+					min = n
+				}
+				if n > max {
+					max = n
+				}
+			}
+			if max-min > 1 {
+				t.Errorf("guests=%d queues=%d: shard load spread %d..%d", guests, queues, min, max)
+			}
+		}
+	}
+}

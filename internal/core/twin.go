@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"twindrivers/internal/asm"
 	"twindrivers/internal/cost"
@@ -63,6 +64,13 @@ type TwinConfig struct {
 	// STLBEntries sizes the software translation table (0 = the paper's
 	// 4096). Smaller tables collide more — the stlb-size ablation.
 	STLBEntries int
+
+	// Queues is the number of transmit service queues guests are sharded
+	// across. 0 means the model's own queue count; any value is clamped
+	// to [1, Model.Queues]. Single-queue backends always run the
+	// degenerate one-queue configuration, whose hot path is
+	// operation-for-operation the classic single-loop service.
+	Queues int
 }
 
 // ErrDriverDead reports that the hypervisor instance was aborted and torn
@@ -192,6 +200,18 @@ type Twin struct {
 	guestIO    map[mem.Owner]*guestIO
 	guestOrder []mem.Owner
 
+	// Per-queue service state: guests shard across nQueues service
+	// queues (queueGuests fixes each queue's round-robin order); with
+	// more than one queue each gets its own cycle meter — its simulated
+	// core — merged into a machine-wide view at measurement time. execMu
+	// serializes all simulated-machine work when the per-queue loops run
+	// as concurrent goroutines: the Go-level structure is parallel, the
+	// one-CPU machine underneath is not.
+	nQueues     int
+	queueGuests [][]mem.Owner
+	queueMeters []*cycles.Meter
+	execMu      sync.Mutex
+
 	// Coalescer batches guest notifications and upcall IRQ deliveries to
 	// one per batch window; outside a window it degenerates to the
 	// per-packet delivery.
@@ -211,6 +231,7 @@ type guestIO struct {
 	bounce uint32 // guest-side bounce buffer for GuestTransmit
 	ring   *mem.Ring
 	slots  []uint32 // per-slot guest staging buffers
+	queue  int      // transmit service queue this guest is sharded onto
 
 	rxRing *mem.Ring     // guest-posted receive buffer descriptors
 	gtlb   *svm.GuestTLB // cached guest-address translations for delivery
@@ -262,6 +283,19 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 		cfg.STLBEntries = svm.NumEntries
 	}
 	cfg.Rewrite.STLBEntries = cfg.STLBEntries
+	maxQueues := m.Model.Queues
+	if maxQueues < 1 {
+		maxQueues = 1
+	}
+	if cfg.Queues == 0 {
+		cfg.Queues = maxQueues
+	}
+	if cfg.Queues < 1 {
+		cfg.Queues = 1
+	}
+	if cfg.Queues > maxQueues {
+		cfg.Queues = maxQueues
+	}
 
 	t := &Twin{
 		M:           m,
@@ -366,8 +400,25 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 	t.Coalescer = upcall.NewCoalescer(hv)
 	t.Upcalls.Coalesce = t.Coalescer
 	t.guestIO = make(map[mem.Owner]*guestIO)
-	for _, g := range m.Guests {
-		io := &guestIO{dom: g}
+	// Queue sharding is a pure function of (guest index, queue count):
+	// balanced by the modular walk, seeded by the RSS hash, derived
+	// identically by a recovered instance — nothing to log or replay.
+	// With one queue the single meter IS the machine meter, so the
+	// degenerate configuration measures exactly what it always did; with
+	// more, each queue meters its own simulated core (own cold TLB/L1).
+	t.nQueues = cfg.Queues
+	t.queueGuests = make([][]mem.Owner, t.nQueues)
+	if t.nQueues == 1 {
+		t.queueMeters = []*cycles.Meter{hv.Meter}
+	} else {
+		for q := 0; q < t.nQueues; q++ {
+			t.queueMeters = append(t.queueMeters, cycles.NewMeter())
+		}
+	}
+	base := shardBase(t.nQueues)
+	for gi, g := range m.Guests {
+		io := &guestIO{dom: g, queue: (base + gi) % t.nQueues}
+		t.queueGuests[io.queue] = append(t.queueGuests[io.queue], g.ID)
 		// Guest-side transmit bounce buffer (stands in for the guest's own
 		// packet pages; the paravirtual driver hands their addresses down).
 		io.bounce = hv.AllocHeap(g, GuestBounceBytes)
@@ -650,17 +701,18 @@ func (t *Twin) GuestTransmitAt(d *NICDev, guestAddr uint32, n int) error {
 		return ErrDriverDead
 	}
 	t.M.HV.ChargeHypercall()
-	return t.xmitOne(d, t.ioCurrent().dom.AS, guestAddr, n)
+	return t.xmitOne(d, t.ioCurrent(), guestAddr, n)
 }
 
 // xmitOne is the hypervisor-side transmit work for one staged frame: header
-// copy from gas (the staging guest's address space) into a pooled dom0
-// sk_buff, guest pages chained for the body, one derived-driver invocation.
+// copy from the staging guest's address space into a pooled dom0 sk_buff,
+// guest pages chained for the body, one derived-driver invocation.
 // The boundary crossing itself (the hypercall charge) is the caller's — per
 // frame on the hypercall path, per batch on the ring path. Every non-fatal
 // exit returns the pooled skb; on a containment abort the teardown's
 // outstanding-buffer sweep reclaims it instead.
-func (t *Twin) xmitOne(d *NICDev, gas *mem.AddressSpace, guestAddr uint32, n int) error {
+func (t *Twin) xmitOne(d *NICDev, g *guestIO, guestAddr uint32, n int) error {
+	gas := g.dom.AS
 	// The length is guest input (hypercall argument or a guest-writable
 	// ring descriptor word): bound it before any copy. The pooled skb's
 	// linear buffer is kernel.SkbBufSize; on a no-scatter/gather backend
@@ -711,6 +763,12 @@ func (t *Twin) xmitOne(d *NICDev, gas *mem.AddressSpace, guestAddr uint32, n int
 		off += sp.bytes
 	}
 	as.Store(skb+kernel.SkbLen, 4, uint32(n))
+	// The queue mapping rides in the sk_buff like skb_set_queue_mapping:
+	// a multi-queue driver's xmit reads it to pick its register block;
+	// single-queue drivers ignore the word. The store is framework-side
+	// bookkeeping (no modeled cycles), so it cannot perturb the
+	// single-queue backends' pinned cycle counts.
+	as.Store(skb+kernel.SkbQueue, 4, uint32(g.queue))
 	if n > hdr {
 		as.Store(skb+kernel.SkbNrFrags, 4, 1)
 		as.Store(skb+kernel.SkbFragPage, 4, guestAddr)
@@ -868,3 +926,39 @@ func (t *Twin) VMInstanceEntry(fn string) (uint32, bool) {
 
 // UpcallsPerformed returns the total upcall count.
 func (t *Twin) UpcallsPerformed() uint64 { return t.Upcalls.Count }
+
+// QueueCount reports the number of transmit service queues this twin
+// shards its guests across (1 on single-queue backends).
+func (t *Twin) QueueCount() int { return t.nQueues }
+
+// QueueOf reports the service queue a guest domain is sharded onto, or
+// -1 for a domain without transmit state.
+func (t *Twin) QueueOf(dom mem.Owner) int {
+	if g, ok := t.guestIO[dom]; ok {
+		return g.queue
+	}
+	return -1
+}
+
+// QueueMeters returns the per-queue cycle meters. With one queue the
+// single entry is the machine meter itself — the degenerate configuration
+// has no separate accounting; with more, each meter is that queue's
+// simulated core, and a machine-wide view is a cycles.Merge over them
+// plus the machine meter.
+func (t *Twin) QueueMeters() []*cycles.Meter {
+	return append([]*cycles.Meter(nil), t.queueMeters...)
+}
+
+// ResetQueueMeters starts a measurement epoch on every per-queue meter
+// (hardware state stays warm, exactly like Meter.Reset). With one queue
+// the single meter is the machine meter, which the caller resets itself —
+// resetting it twice here would double-retire its lifetime, so the
+// degenerate case is a no-op.
+func (t *Twin) ResetQueueMeters() {
+	if t.nQueues == 1 {
+		return
+	}
+	for _, qm := range t.queueMeters {
+		qm.Reset()
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"twindrivers/internal/mem"
 	"twindrivers/internal/xen"
@@ -105,7 +106,7 @@ func (t *Twin) GuestTransmitBatch(d *NICDev, frames [][]byte) (int, error) {
 			if !ok {
 				break
 			}
-			if err := t.xmitOne(d, g.dom.AS, addr, int(n)); err != nil {
+			if err := t.xmitOne(d, g, addr, int(n)); err != nil {
 				if rerr := g.ring.Reset(); rerr != nil && !t.Dead {
 					return sent, rerr
 				}
@@ -162,50 +163,142 @@ func (t *Twin) StageTransmitBatch(dom *xen.Domain, frames [][]byte) (int, error)
 }
 
 // ServiceRings drains every guest's transmit ring under a single boundary
-// crossing: one hypercall, then a round-robin sweep consuming one
-// descriptor per guest per pass, so a guest with a full ring cannot starve
-// the others. budget bounds the descriptors consumed in this crossing (0
-// means drain everything); descriptors beyond the budget stay staged for
-// the next crossing. It returns per-guest transmit counts.
+// crossing: one hypercall, then each service queue's round-robin sweep
+// over the guests sharded onto it, consuming one descriptor per guest per
+// pass, so a guest with a full ring cannot starve the others. budget
+// bounds the descriptors consumed per queue in this crossing (0 means
+// drain everything); descriptors beyond the budget stay staged for the
+// next crossing. It returns per-guest transmit counts.
+//
+// On a single-queue backend, queue 0's guest list IS the classic
+// guestOrder, so this is operation-for-operation the original one-loop
+// service — the degenerate configuration's hot path stays cycle-identical.
+// With more queues, each queue's work is charged to that queue's own
+// meter (its simulated core); queues are swept in index order here, and
+// ServiceAllQueues runs the same sweeps as concurrent goroutines.
 //
 // A corrupt ring header (ErrRingCorrupt — the guest scribbled its
 // guest-writable head/tail words) or a transmit fault discards the
-// offending guest's staged descriptors and aborts the sweep; other guests'
-// rings keep their staged work for the next crossing.
+// offending guest's staged descriptors and aborts that queue's sweep;
+// other queues are still serviced (queue isolation: a hostile descriptor
+// on queue k loses only queue-k frames) and other guests' rings keep
+// their staged work for the next crossing. The first error is returned.
 func (t *Twin) ServiceRings(d *NICDev, budget int) (map[mem.Owner]int, error) {
 	if t.Dead {
 		return nil, ErrDriverDead
 	}
 	t.M.HV.ChargeHypercall()
 	sent := make(map[mem.Owner]int)
+	var firstErr error
+	for q := 0; q < t.nQueues; q++ {
+		if err := t.withQueueMeter(q, func() error {
+			return t.serviceQueue(d, q, budget, sent)
+		}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if t.Dead {
+			break
+		}
+	}
+	return sent, firstErr
+}
+
+// ServiceAllQueues is ServiceRings with a goroutine per service queue:
+// the Go-level structure of parallel per-queue service loops, each loop's
+// hot path shared-nothing (own guest list, own ring set, own meter). The
+// simulated machine underneath is a single CPU, so execMu serializes the
+// actual execution — concurrency here is about proving the loop structure
+// race-clean (the chaos soak runs it under -race), not about wall-clock.
+// The simulated-time win of multiple queues comes from the per-queue
+// meters: the critical path is the slowest queue, not the sum.
+func (t *Twin) ServiceAllQueues(d *NICDev, budget int) (map[mem.Owner]int, error) {
+	if t.Dead {
+		return nil, ErrDriverDead
+	}
+	t.M.HV.ChargeHypercall()
+	sent := make(map[mem.Owner]int)
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for q := 0; q < t.nQueues; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			t.execMu.Lock()
+			defer t.execMu.Unlock()
+			if t.Dead {
+				return
+			}
+			qsent := make(map[mem.Owner]int)
+			err := t.withQueueMeter(q, func() error {
+				return t.serviceQueue(d, q, budget, qsent)
+			})
+			mu.Lock()
+			for id, n := range qsent {
+				sent[id] += n
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(q)
+	}
+	wg.Wait()
+	return sent, firstErr
+}
+
+// serviceQueue drains one service queue's guests round-robin; the body is
+// the classic ServiceRings loop restricted to the queue's shard.
+func (t *Twin) serviceQueue(d *NICDev, q, budget int, sent map[mem.Owner]int) error {
 	consumed := 0
 	for {
 		progress := false
-		for _, id := range t.guestOrder {
+		for _, id := range t.queueGuests[q] {
 			if budget > 0 && consumed >= budget {
-				return sent, nil
+				return nil
 			}
 			g := t.guestIO[id]
 			addr, n, ok, err := g.ring.Pop()
 			if err != nil {
 				_ = g.ring.Reset()
-				return sent, fmt.Errorf("core: guest %d transmit ring: %w", id, err)
+				return fmt.Errorf("core: guest %d transmit ring: %w", id, err)
 			}
 			if !ok {
 				continue
 			}
 			progress = true
 			consumed++
-			if err := t.xmitOne(d, g.dom.AS, addr, int(n)); err != nil {
+			if err := t.xmitOne(d, g, addr, int(n)); err != nil {
 				if rerr := g.ring.Reset(); rerr != nil && !t.Dead {
-					return sent, rerr
+					return rerr
 				}
-				return sent, err
+				return err
 			}
 			sent[id]++
 		}
 		if !progress {
-			return sent, nil
+			return nil
 		}
 	}
+}
+
+// withQueueMeter runs fn with the machine's cycle meter swapped to queue
+// q's meter — both aliases, xen.Hypervisor.Meter and the CPU's, point at
+// the same object and must move together. The degenerate single-queue
+// configuration never swaps (queue 0's meter IS the machine meter), so
+// the classic path is untouched.
+func (t *Twin) withQueueMeter(q int, fn func() error) error {
+	if t.nQueues == 1 {
+		return fn()
+	}
+	hv := t.M.HV
+	saved := hv.Meter
+	hv.Meter = t.queueMeters[q]
+	hv.CPU.Meter = t.queueMeters[q]
+	err := fn()
+	hv.Meter = saved
+	hv.CPU.Meter = saved
+	return err
 }

@@ -220,6 +220,28 @@ func (m *Meter) Reset() {
 	m.TLBMisses, m.L1Misses, m.MemAccesses = 0, 0, 0
 }
 
+// Merge folds the live buckets and hardware-event statistics of every src
+// meter into m. Per-queue service loops each meter their own simulated
+// core; Merge is the measurement step that reunifies them into one
+// machine-wide breakdown (the per-queue meters are left untouched). With
+// a single source whose buckets are empty this is the identity, so the
+// degenerate one-queue configuration merges to exactly the old global
+// meter.
+func (m *Meter) Merge(srcs ...*Meter) {
+	for _, s := range srcs {
+		if s == nil || s == m {
+			continue
+		}
+		for c, v := range s.buckets {
+			m.buckets[c] += v
+		}
+		m.TLBMisses += s.TLBMisses
+		m.L1Misses += s.L1Misses
+		m.L1IMisses += s.L1IMisses
+		m.MemAccesses += s.MemAccesses
+	}
+}
+
 // String formats the breakdown, components sorted.
 func (m *Meter) String() string {
 	keys := make([]string, 0, len(m.buckets))

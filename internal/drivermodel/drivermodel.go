@@ -49,6 +49,15 @@ type Device interface {
 	PendingInterrupt() bool
 }
 
+// QueueCounters is the optional multi-queue statistics surface: a device
+// with more than one transmit queue exposes per-queue good-packet counts
+// so steering stability is observable. Single-queue devices simply don't
+// implement it; callers fall back to Counters() as a one-queue view.
+type QueueCounters interface {
+	// QueueTxCounts returns good packets transmitted per TX queue.
+	QueueTxCounts() []uint64
+}
+
 // Entries is a driver's entry-symbol set: the function names the framework
 // invokes on the VM instance (probe/open/close/stats via dom0) and resolves
 // in the derived hypervisor instance (xmit/intr).
@@ -103,6 +112,13 @@ type Model struct {
 
 	// Geometry documents the ring/descriptor layout.
 	Geometry Geometry
+
+	// Queues is the number of independent TX/RX queue pairs the device
+	// exposes (0 or 1 = classic single-queue device). The per-queue
+	// register and descriptor layout is the model's own concern — the
+	// framework only shards work across this many service queues and
+	// tags each staged frame with its queue index (SKB_QUEUE).
+	Queues int
 
 	// TxHeaderSplit is the transmit scatter/gather policy: the number of
 	// frame bytes the hypervisor copies into the pooled dom0 sk_buff

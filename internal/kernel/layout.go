@@ -24,6 +24,7 @@ const (
 	SkbDma      = 48 // stashed DMA handle (driver-private use)
 	SkbRefcnt   = 52 // reference count (the pool "refcount trick", §4.3)
 	SkbPool     = 56 // nonzero for hypervisor-pool skbs
+	SkbQueue    = 60 // transmit queue mapping (multi-queue devices)
 	SkbSize     = 64 // size of the structure
 
 	// SkbBufSize is the byte size of the linear data buffer allocated
@@ -74,7 +75,8 @@ func Equates() map[string]int32 {
 		"SKB_NR_FRAGS": SkbNrFrags, "SKB_FRAG_PAGE": SkbFragPage,
 		"SKB_FRAG_OFF": SkbFragOff, "SKB_FRAG_SIZE": SkbFragSize,
 		"SKB_DMA": SkbDma, "SKB_REFCNT": SkbRefcnt, "SKB_POOL": SkbPool,
-		"SKB_SIZE": SkbSize, "SKB_BUF_SIZE": SkbBufSize,
+		"SKB_QUEUE": SkbQueue,
+		"SKB_SIZE":  SkbSize, "SKB_BUF_SIZE": SkbBufSize,
 
 		"ND_BASE": NdBase, "ND_IRQ": NdIrq, "ND_FLAGS": NdFlags,
 		"ND_XMIT": NdXmit, "ND_PRIV": NdPriv,

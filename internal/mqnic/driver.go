@@ -1,0 +1,1057 @@
+// The mqnic guest driver: a multi-queue NIC driver in the simulated
+// machine's assembly, structured after the per-queue-pair drivers of
+// e810/virtio-class hardware. Every queue pair owns its own descriptor
+// rings, buffer_info arrays and ring registers (one 64-byte register
+// window per queue), so the transmit path runs ring maintenance entirely
+// inside the queue selected by the staged SKB_QUEUE tag and the interrupt
+// handler walks only the queues whose cause bits are latched.
+//
+// TwinDrivers never sees this source specially: the rewriter transforms
+// it like any compiled driver. Strict cdecl is observed (no live values
+// in caller-saved registers across calls), as compiler output would.
+package mqnic
+
+// Entry point names exported by the driver.
+const (
+	FnProbe    = "mqnic_probe"
+	FnOpen     = "mqnic_open"
+	FnClose    = "mqnic_close"
+	FnXmit     = "mqnic_xmit_frame"
+	FnIntr     = "mqnic_intr"
+	FnCleanRx  = "mqnic_clean_rx"
+	FnCleanTx  = "mqnic_clean_tx"
+	FnWatchdog = "mqnic_watchdog"
+	FnGetStats = "mqnic_get_stats"
+)
+
+// AdapterSize is the byte size of the driver's private adapter structure
+// (must cover AD_SIZE in Source).
+const AdapterSize = 576
+
+// Source is the driver, in the dialect of internal/asm. Structure offsets
+// come from kernel.Equates() plus the MQ_* device equates in model.go and
+// the ADAPTER (AD_*) equates defined here.
+const Source = `
+# mqnic multi-queue network driver for the simulated machine.
+# cdecl; callee saves ebx/esi/edi/ebp; args at 8(%ebp), 12(%ebp), ...
+
+# Adapter private structure (lives in netdev->priv). The tail of the
+# structure is an array of per-queue blocks, 64 bytes each: queue q's
+# block sits at AD_Q + q*64.
+	.equ	AD_NETDEV, 0
+	.equ	AD_REGS, 4
+	.equ	AD_LOCK, 8
+	.equ	AD_CLEAN_RX, 12    # RX cleaner function pointer (indirect call)
+	.equ	AD_IRQ, 16
+	.equ	AD_WDT, 20         # watchdog timer_list: 20..31
+	.equ	AD_GPTC, 32        # accumulated hardware stats
+	.equ	AD_GPRC, 36
+	.equ	AD_MPC, 40
+	.equ	AD_NQUEUES, 44
+	.equ	AD_Q, 48           # per-queue blocks: 8 x 64 bytes
+	.equ	AD_SIZE, 560
+
+# Per-queue block layout (offsets within one 64-byte block).
+	.equ	Q_TXD, 0           # TX descriptor ring vaddr
+	.equ	Q_TXD_DMA, 4
+	.equ	Q_TX_HEAD, 8       # next descriptor to reap
+	.equ	Q_TX_TAIL, 12      # next descriptor to use
+	.equ	Q_TXBI, 16         # TX buffer_info (8 bytes/entry: skb, dma)
+	.equ	Q_RXD, 20
+	.equ	Q_RXD_DMA, 24
+	.equ	Q_RX_HEAD, 28      # next descriptor to clean
+	.equ	Q_RX_TAIL, 32      # last descriptor handed to hw (per-queue RDT)
+	.equ	Q_RXBI, 36
+
+	.text
+
+# ---------------------------------------------------------------------------
+# mqnic_probe(netdev, mmio_phys, irq, nqueues)
+# ---------------------------------------------------------------------------
+	.globl	mqnic_probe
+mqnic_probe:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	8(%ebp), %esi          # esi = netdev
+	movl	ND_PRIV(%esi), %ebx    # ebx = adapter
+	movl	%esi, AD_NETDEV(%ebx)
+
+	movl	16(%ebp), %eax         # irq
+	movl	%eax, AD_IRQ(%ebx)
+	movl	%eax, ND_IRQ(%esi)
+
+	movl	20(%ebp), %eax         # queue-pair count from probe data
+	movl	%eax, AD_NQUEUES(%ebx)
+
+	pushl	$131072                # map the register BAR (128 KiB)
+	pushl	12(%ebp)
+	call	ioremap
+	addl	$8, %esp
+	movl	%eax, AD_REGS(%ebx)
+	movl	%eax, ND_BASE(%esi)
+
+	movl	AD_REGS(%ebx), %edi    # reset the function
+	movl	$CTRL_RST, %eax
+	movl	%eax, MQ_CTRL(%edi)
+
+	# Allocate every queue pair's rings and buffer_info arrays.
+	xorl	%edi, %edi             # edi = queue index
+.Lmpr_qloop:
+	cmpl	AD_NQUEUES(%ebx), %edi
+	je	.Lmpr_qdone
+	movl	%edi, %esi
+	shll	$6, %esi
+	addl	%ebx, %esi
+	addl	$AD_Q, %esi            # esi = queue block
+
+	leal	Q_TXD_DMA(%esi), %eax  # TX descriptor ring
+	pushl	%eax
+	pushl	$MQ_RING_BYTES
+	call	dma_alloc_coherent
+	addl	$8, %esp
+	movl	%eax, Q_TXD(%esi)
+
+	leal	Q_RXD_DMA(%esi), %eax  # RX descriptor ring
+	pushl	%eax
+	pushl	$MQ_RING_BYTES
+	call	dma_alloc_coherent
+	addl	$8, %esp
+	movl	%eax, Q_RXD(%esi)
+
+	pushl	$MQ_BI_BYTES           # buffer_info arrays
+	call	kzalloc
+	addl	$4, %esp
+	movl	%eax, Q_TXBI(%esi)
+	pushl	$MQ_BI_BYTES
+	call	kzalloc
+	addl	$4, %esp
+	movl	%eax, Q_RXBI(%esi)
+
+	xorl	%eax, %eax
+	movl	%eax, Q_TX_HEAD(%esi)
+	movl	%eax, Q_TX_TAIL(%esi)
+	movl	%eax, Q_RX_HEAD(%esi)
+	movl	%eax, Q_RX_TAIL(%esi)
+
+	incl	%edi
+	jmp	.Lmpr_qloop
+.Lmpr_qdone:
+	movl	8(%ebp), %esi          # reload netdev
+
+	leal	AD_LOCK(%ebx), %eax
+	pushl	%eax
+	call	spin_lock_init
+	addl	$4, %esp
+
+	movl	$mqnic_xmit_frame, %eax    # entry points
+	movl	%eax, ND_XMIT(%esi)
+	movl	$mqnic_clean_rx, %eax
+	movl	%eax, AD_CLEAN_RX(%ebx)
+
+	movl	AD_REGS(%ebx), %edi    # station address from netdev->mac
+	movl	ND_MAC(%esi), %eax
+	movl	%eax, MQ_RAL(%edi)
+	movzwl	ND_MAC+4(%esi), %eax
+	movl	%eax, MQ_RAH(%edi)
+
+	leal	AD_WDT(%ebx), %eax     # watchdog timer
+	pushl	%eax
+	call	init_timer
+	addl	$4, %esp
+	movl	$mqnic_watchdog, %eax
+	movl	%eax, AD_WDT+TIMER_FN(%ebx)
+	movl	%esi, AD_WDT+TIMER_DATA(%ebx)
+
+	pushl	%esi
+	call	register_netdev
+	addl	$4, %esp
+
+	xorl	%eax, %eax
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# mqnic_open(netdev)
+# ---------------------------------------------------------------------------
+	.globl	mqnic_open
+mqnic_open:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	8(%ebp), %esi          # netdev
+	movl	ND_PRIV(%esi), %ebx    # adapter
+
+	pushl	%esi                   # dev_id
+	pushl	$0                     # name
+	pushl	$0                     # flags
+	movl	$mqnic_intr, %eax
+	pushl	%eax                   # handler
+	pushl	AD_IRQ(%ebx)           # irq
+	call	request_irq
+	addl	$20, %esp
+
+	# Program every queue pair's ring registers and fill its RX ring.
+	xorl	%edi, %edi             # edi = queue index
+.Lmop_qloop:
+	cmpl	AD_NQUEUES(%ebx), %edi
+	je	.Lmop_qdone
+	movl	%edi, %esi
+	shll	$6, %esi
+	addl	%ebx, %esi
+	addl	$AD_Q, %esi            # esi = queue block
+	movl	%edi, %edx
+	shll	$6, %edx
+	addl	AD_REGS(%ebx), %edx    # edx = per-queue register window
+
+	movl	Q_TXD_DMA(%esi), %eax  # transmit ring registers
+	movl	%eax, MQ_TXQ_BASE+MQ_Q_BAL(%edx)
+	movl	$MQ_RING_BYTES, %eax
+	movl	%eax, MQ_TXQ_BASE+MQ_Q_LEN(%edx)
+	xorl	%eax, %eax
+	movl	%eax, MQ_TXQ_BASE+MQ_Q_HEAD(%edx)
+	movl	%eax, MQ_TXQ_BASE+MQ_Q_TAIL(%edx)
+
+	movl	Q_RXD_DMA(%esi), %eax  # receive ring registers
+	movl	%eax, MQ_RXQ_BASE+MQ_Q_BAL(%edx)
+	movl	$MQ_RING_BYTES, %eax
+	movl	%eax, MQ_RXQ_BASE+MQ_Q_LEN(%edx)
+	xorl	%eax, %eax
+	movl	%eax, MQ_RXQ_BASE+MQ_Q_HEAD(%edx)
+	movl	%eax, MQ_RXQ_BASE+MQ_Q_TAIL(%edx)
+
+	pushl	%edi
+	pushl	%ebx
+	call	mqnic_alloc_rx_buffers
+	addl	$8, %esp
+
+	incl	%edi
+	jmp	.Lmop_qloop
+.Lmop_qdone:
+	movl	8(%ebp), %esi          # reload netdev
+	movl	AD_REGS(%ebx), %edi
+
+	movl	$TCTL_EN, %eax         # enable MAC engines
+	movl	%eax, MQ_TCTL(%edi)
+	movl	$RCTL_EN, %eax
+	movl	%eax, MQ_RCTL(%edi)
+	movl	$MQ_INT_RX_ALL+MQ_INT_LSC, %eax # unmask RX; TX reaped from xmit
+	movl	%eax, MQ_IMS(%edi)
+
+	pushl	%esi
+	call	netif_start_queue
+	addl	$4, %esp
+
+	movl	jiffies, %eax          # arm the watchdog
+	addl	$2, %eax
+	pushl	%eax
+	leal	AD_WDT(%ebx), %eax
+	pushl	%eax
+	call	mod_timer
+	addl	$8, %esp
+
+	xorl	%eax, %eax
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# mqnic_alloc_rx_buffers(adapter, queue)
+# Locals: -4 skb
+# ---------------------------------------------------------------------------
+	.globl	mqnic_alloc_rx_buffers
+mqnic_alloc_rx_buffers:
+	pushl	%ebp
+	movl	%esp, %ebp
+	subl	$4, %esp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	8(%ebp), %ebx          # adapter
+	movl	12(%ebp), %edi
+	shll	$6, %edi
+	addl	%ebx, %edi
+	addl	$AD_Q, %edi            # edi = queue block
+	movl	Q_RX_TAIL(%edi), %esi  # index to fill
+.Lmrf_fill:
+	movl	%esi, %eax             # stop one short of the cleaner index
+	incl	%eax
+	andl	$MQ_RX_RING-1, %eax
+	cmpl	Q_RX_HEAD(%edi), %eax
+	je	.Lmrf_done
+
+	pushl	$SKB_BUF_SIZE          # skb = netdev_alloc_skb(dev, bufsize)
+	pushl	AD_NETDEV(%ebx)
+	call	netdev_alloc_skb
+	addl	$8, %esp
+	testl	%eax, %eax
+	je	.Lmrf_done             # allocation failure: retry later
+	movl	%eax, -4(%ebp)         # skb
+
+	pushl	$1                     # dma = dma_map_single(dev, data, sz, FROM)
+	pushl	$SKB_BUF_SIZE
+	movl	-4(%ebp), %eax
+	pushl	SKB_DATA(%eax)
+	pushl	AD_NETDEV(%ebx)
+	call	dma_map_single
+	addl	$16, %esp
+	movl	-4(%ebp), %edx
+	movl	%eax, SKB_DMA(%edx)
+
+	movl	Q_RXBI(%edi), %ecx     # buffer_info[i] = {skb, dma}
+	movl	%eax, 4(%ecx,%esi,8)
+	movl	%edx, (%ecx,%esi,8)
+
+	movl	Q_RXD(%edi), %ecx      # descriptor: address, clear status
+	movl	%esi, %edx
+	shll	$4, %edx
+	addl	%edx, %ecx
+	movl	%eax, (%ecx)
+	xorl	%eax, %eax
+	movl	%eax, 4(%ecx)
+	movl	%eax, 8(%ecx)
+	movl	%eax, 12(%ecx)
+
+	incl	%esi
+	andl	$MQ_RX_RING-1, %esi
+	jmp	.Lmrf_fill
+.Lmrf_done:
+	movl	%esi, Q_RX_TAIL(%edi)
+	movl	12(%ebp), %eax         # publish this queue's RDT
+	shll	$6, %eax
+	addl	AD_REGS(%ebx), %eax
+	movl	%esi, MQ_RXQ_BASE+MQ_Q_TAIL(%eax)
+
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	movl	%ebp, %esp
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# mqnic_xmit_frame(skb, netdev) -> 0 ok, 1 busy
+# The framework stages each frame's service queue in SKB_QUEUE; the driver
+# runs all ring maintenance inside that queue's block and register window.
+# Locals: -4 linear_len, -8 dma, -12 skb, -16 queue block, -20 queue index
+# ---------------------------------------------------------------------------
+	.globl	mqnic_xmit_frame
+mqnic_xmit_frame:
+	pushl	%ebp
+	movl	%esp, %ebp
+	subl	$20, %esp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	12(%ebp), %esi         # netdev
+	movl	ND_PRIV(%esi), %ebx    # adapter
+
+	leal	AD_LOCK(%ebx), %eax
+	pushl	%eax
+	call	spin_trylock
+	addl	$4, %esp
+	testl	%eax, %eax
+	je	.Lmtx_busy
+
+	movl	8(%ebp), %edx          # skb
+	movl	%edx, -12(%ebp)
+	movl	SKB_QUEUE(%edx), %eax  # select the staged transmit queue
+	andl	$MQ_NQ-1, %eax
+	movl	%eax, -20(%ebp)
+	shll	$6, %eax
+	addl	%ebx, %eax
+	addl	$AD_Q, %eax
+	movl	%eax, -16(%ebp)        # queue block
+
+	pushl	-20(%ebp)              # reap this queue's finished descriptors
+	pushl	%ebx
+	call	mqnic_clean_tx
+	addl	$8, %esp
+
+	movl	-16(%ebp), %ecx
+	movl	Q_TX_TAIL(%ecx), %edi  # ring space: up to 2 descriptors
+	movl	%edi, %eax
+	addl	$2, %eax
+	andl	$MQ_TX_RING-1, %eax
+	cmpl	Q_TX_HEAD(%ecx), %eax
+	jne	.Lmtx_room
+	orl	$1, ND_FLAGS(%esi)     # netif_stop_queue (kernel inline)
+	leal	AD_LOCK(%ebx), %eax
+	pushl	$0
+	pushl	%eax
+	call	spin_unlock_irqrestore
+	addl	$8, %esp
+.Lmtx_busy:
+	movl	$1, %eax
+	jmp	.Lmtx_out
+
+.Lmtx_room:
+	movl	-12(%ebp), %edx
+	movl	SKB_LEN(%edx), %ecx    # linear length = len - frag
+	movl	SKB_NR_FRAGS(%edx), %eax
+	testl	%eax, %eax
+	je	.Lmtx_lin
+	subl	SKB_FRAG_SIZE(%edx), %ecx
+.Lmtx_lin:
+	movl	%ecx, -4(%ebp)
+
+	pushl	-12(%ebp)              # checksum-offload / TSO context setup
+	call	mqnic_tx_csum_setup
+	addl	$4, %esp
+
+	movl	-12(%ebp), %edx
+	pushl	$0                     # dma_map_single(dev, data, linlen, TO)
+	pushl	-4(%ebp)
+	pushl	SKB_DATA(%edx)
+	pushl	%esi
+	call	dma_map_single
+	addl	$16, %esp
+	movl	%eax, -8(%ebp)
+
+	movl	-16(%ebp), %ecx
+	movl	Q_TXD(%ecx), %edx      # stamp the linear descriptor
+	movl	%edi, %ecx
+	shll	$4, %ecx
+	addl	%ecx, %edx
+	movl	-8(%ebp), %eax
+	movl	%eax, (%edx)           # buffer address
+	xorl	%eax, %eax
+	movl	%eax, 4(%edx)
+	movl	-4(%ebp), %eax
+	movw	%eax, 8(%edx)           # length
+	movb	$0, 10(%edx)           # cso
+	movl	-12(%ebp), %ecx
+	movl	SKB_NR_FRAGS(%ecx), %eax
+	testl	%eax, %eax
+	jne	.Lmtx_cmd_frag
+	movb	$TXD_CMD_EOP+TXD_CMD_RS, 11(%edx)
+	jmp	.Lmtx_cmd_done
+.Lmtx_cmd_frag:
+	movb	$TXD_CMD_RS, 11(%edx)
+.Lmtx_cmd_done:
+	movb	$0, 12(%edx)           # status
+	movb	$0, 13(%edx)
+	movw	$0, 14(%edx)
+
+	movl	-16(%ebp), %ecx        # buffer_info: skb rides the LAST desc
+	movl	Q_TXBI(%ecx), %ecx
+	movl	-8(%ebp), %eax
+	movl	%eax, 4(%ecx,%edi,8)
+	movl	-12(%ebp), %edx
+	movl	SKB_NR_FRAGS(%edx), %eax
+	testl	%eax, %eax
+	jne	.Lmtx_bi_defer
+	movl	%edx, (%ecx,%edi,8)
+	jmp	.Lmtx_bi_done
+.Lmtx_bi_defer:
+	movl	$0, (%ecx,%edi,8)
+.Lmtx_bi_done:
+	incl	%edi
+	andl	$MQ_TX_RING-1, %edi
+
+	movl	-12(%ebp), %edx        # fragment descriptor, if any
+	movl	SKB_NR_FRAGS(%edx), %eax
+	testl	%eax, %eax
+	je	.Lmtx_no_frag
+
+	pushl	$0                     # dma_map_page(dev, page, off, size, TO)
+	pushl	SKB_FRAG_SIZE(%edx)
+	pushl	SKB_FRAG_OFF(%edx)
+	pushl	SKB_FRAG_PAGE(%edx)
+	pushl	%esi
+	call	dma_map_page
+	addl	$20, %esp
+	movl	%eax, -8(%ebp)
+
+	movl	-16(%ebp), %ecx
+	movl	Q_TXD(%ecx), %edx
+	movl	%edi, %ecx
+	shll	$4, %ecx
+	addl	%ecx, %edx
+	movl	-8(%ebp), %eax
+	movl	%eax, (%edx)
+	xorl	%eax, %eax
+	movl	%eax, 4(%edx)
+	movl	-12(%ebp), %ecx
+	movl	SKB_FRAG_SIZE(%ecx), %eax
+	movw	%eax, 8(%edx)
+	movb	$0, 10(%edx)
+	movb	$TXD_CMD_EOP+TXD_CMD_RS, 11(%edx)
+	movb	$0, 12(%edx)
+	movb	$0, 13(%edx)
+	movw	$0, 14(%edx)
+
+	movl	-16(%ebp), %ecx
+	movl	Q_TXBI(%ecx), %ecx
+	movl	-12(%ebp), %eax
+	movl	%eax, (%ecx,%edi,8)
+	movl	-8(%ebp), %eax
+	movl	%eax, 4(%ecx,%edi,8)
+	incl	%edi
+	andl	$MQ_TX_RING-1, %edi
+.Lmtx_no_frag:
+
+	movl	-12(%ebp), %edx        # stats
+	movl	SKB_LEN(%edx), %eax
+	addl	%eax, ND_TX_BYTES(%esi)
+	incl	ND_TX_PACKETS(%esi)
+
+	movl	-16(%ebp), %ecx        # publish the tail to this queue's TDT
+	movl	%edi, Q_TX_TAIL(%ecx)
+	movl	-20(%ebp), %eax
+	shll	$6, %eax
+	addl	AD_REGS(%ebx), %eax
+	movl	%edi, MQ_TXQ_BASE+MQ_Q_TAIL(%eax)
+
+	leal	AD_LOCK(%ebx), %eax
+	pushl	$0
+	pushl	%eax
+	call	spin_unlock_irqrestore
+	addl	$8, %esp
+
+	xorl	%eax, %eax
+.Lmtx_out:
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	movl	%ebp, %esp
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# mqnic_tx_csum_setup(skb)
+# Models the transmit-side work the production driver performs per packet
+# beyond ring stamping: protocol dispatch, TCP/UDP pseudo-header checksum
+# folding for the offload context descriptor, and the TSO decision chain.
+# ---------------------------------------------------------------------------
+	.globl	mqnic_tx_csum_setup
+mqnic_tx_csum_setup:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+
+	movl	8(%ebp), %esi          # skb
+	movl	SKB_DATA(%esi), %ecx
+	movzwl	12(%ecx), %eax         # ethertype (big-endian on the wire)
+	movl	%eax, %edx
+	shrl	$8, %eax
+	shll	$8, %edx
+	orl	%edx, %eax
+	andl	$0xffff, %eax
+	cmpl	$0x0800, %eax          # IPv4?
+	jne	.Lmcs_no_offload
+
+	movzbl	14(%ecx), %edx         # IHL nibble
+	andl	$15, %edx
+	shll	$2, %edx               # IP header length
+	movzbl	23(%ecx), %ebx         # IP protocol
+	movl	SKB_LEN(%esi), %eax
+	subl	%edx, %eax
+	subl	$14, %eax              # L4 length for the pseudo header
+
+	# Pseudo-header checksum fold: the context descriptor wants the
+	# partial sum; the driver folds it in registers.
+	addl	%ebx, %eax
+	movl	$40, %ecx
+.Lmcs_round:
+	movl	%eax, %edx
+	shll	$5, %edx
+	xorl	%edx, %eax
+	movl	%eax, %edx
+	shrl	$7, %edx
+	addl	%edx, %eax
+	addl	%ebx, %eax
+	movl	%eax, %edx
+	shll	$3, %edx
+	subl	%edx, %eax
+	decl	%ecx
+	jne	.Lmcs_round
+
+	# TSO decision chain: segment only large TCP packets.
+	cmpl	$6, %ebx               # TCP?
+	jne	.Lmcs_not_tso
+	movl	8(%ebp), %esi
+	movl	SKB_LEN(%esi), %edx
+	cmpl	$1500, %edx
+	jbe	.Lmcs_not_tso
+	andl	$0x7fff, %eax
+.Lmcs_not_tso:
+	andl	$0xffff, %eax
+	jmp	.Lmcs_out
+.Lmcs_no_offload:
+	xorl	%eax, %eax
+.Lmcs_out:
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# mqnic_rx_checksum(skb)
+# Models the receive-side checksum verification the production driver does
+# per packet (descriptor status decode + sum fold).
+# ---------------------------------------------------------------------------
+	.globl	mqnic_rx_checksum
+mqnic_rx_checksum:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+
+	movl	8(%ebp), %edx          # skb
+	movl	SKB_LEN(%edx), %eax
+	movl	SKB_PROTOCOL(%edx), %ebx
+	addl	%ebx, %eax
+	movl	$40, %ecx
+.Lmrcs_round:
+	movl	%eax, %edx
+	shll	$4, %edx
+	xorl	%edx, %eax
+	movl	%eax, %edx
+	shrl	$5, %edx
+	addl	%edx, %eax
+	decl	%ecx
+	jne	.Lmrcs_round
+	andl	$0xffff, %eax
+
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# mqnic_clean_tx(adapter, queue)
+# ---------------------------------------------------------------------------
+	.globl	mqnic_clean_tx
+mqnic_clean_tx:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	8(%ebp), %ebx          # adapter
+	movl	12(%ebp), %edi
+	shll	$6, %edi
+	addl	%ebx, %edi
+	addl	$AD_Q, %edi            # edi = queue block
+	movl	Q_TX_HEAD(%edi), %esi
+.Lmtc_loop:
+	cmpl	Q_TX_TAIL(%edi), %esi
+	je	.Lmtc_done
+	movl	Q_TXD(%edi), %edx
+	movl	%esi, %eax
+	shll	$4, %eax
+	addl	%eax, %edx
+	movzbl	12(%edx), %eax
+	testl	$DESC_DD, %eax
+	je	.Lmtc_done
+
+	movl	Q_TXBI(%edi), %ecx
+	pushl	$0                     # dma_unmap_single(dev, dma, 0, TO)
+	pushl	$0
+	pushl	4(%ecx,%esi,8)
+	pushl	AD_NETDEV(%ebx)
+	call	dma_unmap_single
+	addl	$16, %esp
+
+	movl	Q_TXBI(%edi), %ecx
+	movl	(%ecx,%esi,8), %edx    # skb (zero on non-final frag descs)
+	testl	%edx, %edx
+	je	.Lmtc_no_skb
+	pushl	%edx
+	call	dev_kfree_skb_any
+	addl	$4, %esp
+.Lmtc_no_skb:
+	movl	Q_TXD(%edi), %edx      # clear status
+	movl	%esi, %eax
+	shll	$4, %eax
+	addl	%eax, %edx
+	movb	$0, 12(%edx)
+
+	incl	%esi
+	andl	$MQ_TX_RING-1, %esi
+	jmp	.Lmtc_loop
+.Lmtc_done:
+	movl	%esi, Q_TX_HEAD(%edi)
+
+	# Wake the queue if it was stopped (netif_queue_stopped and
+	# netif_wake_queue are kernel inlines, not imported symbols).
+	movl	AD_NETDEV(%ebx), %edx
+	movl	ND_FLAGS(%edx), %eax
+	testl	$1, %eax
+	je	.Lmtc_out
+	andl	$-2, ND_FLAGS(%edx)
+.Lmtc_out:
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# mqnic_intr(irq, dev_id) -> 1 handled, 0 none
+# The cause register carries one RX bit and one TX bit per queue; the
+# handler walks only the queues whose bits are latched.
+# Locals: -4 queue index
+# ---------------------------------------------------------------------------
+	.globl	mqnic_intr
+mqnic_intr:
+	pushl	%ebp
+	movl	%esp, %ebp
+	subl	$4, %esp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	12(%ebp), %esi         # netdev (dev_id)
+	movl	ND_PRIV(%esi), %ebx    # adapter
+	movl	AD_REGS(%ebx), %ecx
+	movl	MQ_ICR(%ecx), %eax     # read-to-clear
+	testl	%eax, %eax
+	je	.Lmi_none
+	movl	%eax, %edi             # keep the cause across calls
+
+	testl	$MQ_INT_RX_ALL, %edi
+	je	.Lmi_no_rx
+	movl	$1, %esi               # walking per-queue RX-cause mask
+	movl	$0, -4(%ebp)
+.Lmi_rx_loop:
+	movl	-4(%ebp), %eax
+	cmpl	AD_NQUEUES(%ebx), %eax
+	je	.Lmi_no_rx
+	testl	%esi, %edi
+	je	.Lmi_rx_next
+	pushl	-4(%ebp)
+	pushl	%ebx
+	call	*AD_CLEAN_RX(%ebx)     # indirect through driver data (§5.1.2)
+	addl	$8, %esp
+.Lmi_rx_next:
+	shll	$1, %esi
+	incl	-4(%ebp)
+	jmp	.Lmi_rx_loop
+.Lmi_no_rx:
+
+	testl	$MQ_INT_TX_ALL, %edi
+	je	.Lmi_no_tx
+	leal	AD_LOCK(%ebx), %eax
+	pushl	%eax
+	call	spin_trylock
+	addl	$4, %esp
+	testl	%eax, %eax
+	je	.Lmi_no_tx
+	movl	$MQ_INT_TX0, %esi      # walking per-queue TX-cause mask
+	movl	$0, -4(%ebp)
+.Lmi_tx_loop:
+	movl	-4(%ebp), %eax
+	cmpl	AD_NQUEUES(%ebx), %eax
+	je	.Lmi_tx_done
+	testl	%esi, %edi
+	je	.Lmi_tx_next
+	pushl	-4(%ebp)
+	pushl	%ebx
+	call	mqnic_clean_tx
+	addl	$8, %esp
+.Lmi_tx_next:
+	shll	$1, %esi
+	incl	-4(%ebp)
+	jmp	.Lmi_tx_loop
+.Lmi_tx_done:
+	leal	AD_LOCK(%ebx), %eax
+	pushl	$0
+	pushl	%eax
+	call	spin_unlock_irqrestore
+	addl	$8, %esp
+.Lmi_no_tx:
+	movl	$1, %eax
+	jmp	.Lmi_out
+.Lmi_none:
+	xorl	%eax, %eax
+.Lmi_out:
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	movl	%ebp, %esp
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# mqnic_clean_rx(adapter, queue)
+# Locals: -4 len, -8 orig skb, -12 new skb, -16 dma
+# ---------------------------------------------------------------------------
+	.globl	mqnic_clean_rx
+mqnic_clean_rx:
+	pushl	%ebp
+	movl	%esp, %ebp
+	subl	$16, %esp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	8(%ebp), %ebx          # adapter
+	movl	12(%ebp), %edi
+	shll	$6, %edi
+	addl	%ebx, %edi
+	addl	$AD_Q, %edi            # edi = queue block
+	movl	Q_RX_HEAD(%edi), %esi
+.Lmrx_loop:
+	movl	Q_RXD(%edi), %edx
+	movl	%esi, %eax
+	shll	$4, %eax
+	addl	%eax, %edx
+	movzbl	12(%edx), %eax
+	testl	$DESC_DD, %eax
+	je	.Lmrx_done
+
+	movzwl	8(%edx), %eax          # packet length
+	movl	%eax, -4(%ebp)
+	movl	Q_RXBI(%edi), %ecx
+	movl	(%ecx,%esi,8), %eax    # original skb
+	movl	%eax, -8(%ebp)
+
+	pushl	$1                     # unmap the full-size buffer
+	pushl	$SKB_BUF_SIZE
+	pushl	4(%ecx,%esi,8)
+	pushl	AD_NETDEV(%ebx)
+	call	dma_unmap_single
+	addl	$16, %esp
+
+	movl	-8(%ebp), %edx         # set length, deliver
+	movl	-4(%ebp), %eax
+	movl	%eax, SKB_LEN(%edx)
+	pushl	AD_NETDEV(%ebx)
+	pushl	%edx
+	call	eth_type_trans
+	addl	$8, %esp
+	pushl	-8(%ebp)
+	call	mqnic_rx_checksum
+	addl	$4, %esp
+	pushl	-8(%ebp)
+	call	netif_rx
+	addl	$4, %esp
+
+	pushl	$SKB_BUF_SIZE          # refill the descriptor
+	pushl	AD_NETDEV(%ebx)
+	call	netdev_alloc_skb
+	addl	$8, %esp
+	testl	%eax, %eax
+	je	.Lmrx_nomem
+	movl	%eax, -12(%ebp)
+
+	movl	-12(%ebp), %edx
+	pushl	$1
+	pushl	$SKB_BUF_SIZE
+	pushl	SKB_DATA(%edx)
+	pushl	AD_NETDEV(%ebx)
+	call	dma_map_single
+	addl	$16, %esp
+	movl	%eax, -16(%ebp)
+
+	movl	Q_RX_TAIL(%edi), %edx  # install in the tail (first unfilled) slot
+	movl	Q_RXBI(%edi), %ecx
+	movl	%eax, 4(%ecx,%edx,8)
+	movl	-12(%ebp), %eax
+	movl	%eax, (%ecx,%edx,8)
+
+	movl	Q_RXD(%edi), %ecx
+	movl	%edx, %eax
+	shll	$4, %eax
+	addl	%eax, %ecx
+	movl	-16(%ebp), %eax
+	movl	%eax, (%ecx)
+	xorl	%eax, %eax
+	movl	%eax, 4(%ecx)
+	movl	%eax, 8(%ecx)
+	movl	%eax, 12(%ecx)
+
+	incl	%edx                   # extend the hw window
+	andl	$MQ_RX_RING-1, %edx
+	movl	%edx, Q_RX_TAIL(%edi)
+	movl	12(%ebp), %eax
+	shll	$6, %eax
+	addl	AD_REGS(%ebx), %eax
+	movl	%edx, MQ_RXQ_BASE+MQ_Q_TAIL(%eax)
+
+	movl	AD_NETDEV(%ebx), %edx  # stats
+	incl	ND_RX_PACKETS(%edx)
+	movl	-4(%ebp), %eax
+	addl	%eax, ND_RX_BYTES(%edx)
+
+	incl	%esi                   # advance head
+	andl	$MQ_RX_RING-1, %esi
+	jmp	.Lmrx_loop
+
+.Lmrx_nomem:
+	movl	AD_NETDEV(%ebx), %edx  # buffer hole: count an rx error and
+	incl	ND_RX_ERRORS(%edx)     # leave the window one short
+	incl	ND_RX_PACKETS(%edx)    # stats still count the delivery
+	movl	-4(%ebp), %eax
+	addl	%eax, ND_RX_BYTES(%edx)
+	incl	%esi
+	andl	$MQ_RX_RING-1, %esi
+	jmp	.Lmrx_loop
+
+.Lmrx_done:
+	movl	%esi, Q_RX_HEAD(%edi)
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	movl	%ebp, %esp
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# mqnic_watchdog(netdev)  — VM-instance-only periodic work (§3.1):
+# link supervision and hardware statistics harvest.
+# ---------------------------------------------------------------------------
+	.globl	mqnic_watchdog
+mqnic_watchdog:
+	pushl	%ebp
+	movl	%esp, %ebp
+	pushl	%ebx
+	pushl	%esi
+
+	movl	8(%ebp), %esi          # netdev
+	movl	ND_PRIV(%esi), %ebx
+
+	movl	AD_REGS(%ebx), %ecx    # link state
+	movl	MQ_STATUS(%ecx), %eax
+	testl	$STATUS_LU, %eax
+	jne	.Lmwd_link_up
+	pushl	%esi
+	call	netif_carrier_off
+	addl	$4, %esp
+	jmp	.Lmwd_stats
+.Lmwd_link_up:
+	pushl	%esi
+	call	netif_carrier_on
+	addl	$4, %esp
+
+.Lmwd_stats:
+	movl	AD_REGS(%ebx), %ecx    # harvest hardware counters
+	movl	MQ_GPTC(%ecx), %eax
+	addl	%eax, AD_GPTC(%ebx)
+	movl	MQ_GPRC(%ecx), %eax
+	addl	%eax, AD_GPRC(%ebx)
+	movl	MQ_MPC(%ecx), %eax
+	addl	%eax, AD_MPC(%ebx)
+
+	movl	jiffies, %eax          # re-arm
+	addl	$2, %eax
+	pushl	%eax
+	leal	AD_WDT(%ebx), %eax
+	pushl	%eax
+	call	mod_timer
+	addl	$8, %esp
+
+	xorl	%eax, %eax
+	popl	%esi
+	popl	%ebx
+	popl	%ebp
+	ret
+
+# ---------------------------------------------------------------------------
+# Configuration / management entry points (VM instance only).
+# ---------------------------------------------------------------------------
+	.globl	mqnic_get_stats
+mqnic_get_stats:
+	movl	4(%esp), %eax
+	addl	$ND_TX_PACKETS, %eax
+	ret
+
+# ---------------------------------------------------------------------------
+# mqnic_close(netdev)
+# Locals: -4 skb
+# ---------------------------------------------------------------------------
+	.globl	mqnic_close
+mqnic_close:
+	pushl	%ebp
+	movl	%esp, %ebp
+	subl	$4, %esp
+	pushl	%ebx
+	pushl	%esi
+	pushl	%edi
+
+	movl	8(%ebp), %esi
+	movl	ND_PRIV(%esi), %ebx
+
+	pushl	%esi
+	call	netif_stop_queue
+	addl	$4, %esp
+
+	movl	AD_REGS(%ebx), %ecx    # quiesce the hardware
+	movl	$0xffffffff, %eax
+	movl	%eax, MQ_IMC(%ecx)
+	xorl	%eax, %eax
+	movl	%eax, MQ_RCTL(%ecx)
+	movl	%eax, MQ_TCTL(%ecx)
+
+	pushl	%esi                   # release the interrupt
+	pushl	AD_IRQ(%ebx)
+	call	free_irq
+	addl	$8, %esp
+
+	leal	AD_WDT(%ebx), %eax
+	pushl	%eax
+	call	del_timer_sync
+	addl	$4, %esp
+
+	xorl	%edi, %edi             # free every queue's RX buffers
+.Lmcl_qloop:
+	cmpl	AD_NQUEUES(%ebx), %edi
+	je	.Lmcl_qdone
+	xorl	%esi, %esi
+.Lmcl_slot:
+	cmpl	$MQ_RX_RING, %esi
+	je	.Lmcl_slot_done
+	movl	%edi, %edx             # recompute the block (calls clobber edx)
+	shll	$6, %edx
+	addl	%ebx, %edx
+	addl	$AD_Q, %edx
+	movl	Q_RXBI(%edx), %ecx
+	movl	(%ecx,%esi,8), %eax
+	testl	%eax, %eax
+	je	.Lmcl_next
+	movl	%eax, -4(%ebp)
+	pushl	$1
+	pushl	$SKB_BUF_SIZE
+	pushl	4(%ecx,%esi,8)
+	pushl	AD_NETDEV(%ebx)
+	call	dma_unmap_single
+	addl	$16, %esp
+	pushl	-4(%ebp)
+	call	dev_kfree_skb_any
+	addl	$4, %esp
+	movl	%edi, %edx
+	shll	$6, %edx
+	addl	%ebx, %edx
+	addl	$AD_Q, %edx
+	movl	Q_RXBI(%edx), %ecx
+	movl	$0, (%ecx,%esi,8)
+.Lmcl_next:
+	incl	%esi
+	jmp	.Lmcl_slot
+.Lmcl_slot_done:
+	incl	%edi
+	jmp	.Lmcl_qloop
+.Lmcl_qdone:
+	xorl	%eax, %eax
+	popl	%edi
+	popl	%esi
+	popl	%ebx
+	movl	%ebp, %esp
+	popl	%ebp
+	ret
+`

@@ -1,0 +1,89 @@
+package mqnic
+
+import (
+	"twindrivers/internal/drivermodel"
+	"twindrivers/internal/mem"
+)
+
+// TxHeaderSplit is the transmit scatter/gather split: the hypervisor
+// copies up to this many header bytes into the pooled dom0 sk_buff and
+// chains the rest of the guest packet as a page fragment (the mqnic's
+// two-descriptor transmit matches the e1000's in this respect).
+const TxHeaderSplit = 96
+
+// Equates are the MQ_* device constants the driver source needs; the
+// values come straight from the device model's constants so the driver
+// and the simulated hardware cannot drift apart. Constants the mqnic
+// shares with the e1000 by value (CTRL_RST, DESC_DD, the TXD_CMD_* bits,
+// ...) already ship with kernel.Equates() under the same names.
+func Equates() map[string]int32 {
+	return map[string]int32{
+		"MQ_CTRL":   RegCTRL,
+		"MQ_STATUS": RegSTATUS,
+		"MQ_ICR":    RegICR,
+		"MQ_IMS":    RegIMS,
+		"MQ_IMC":    RegIMC,
+		"MQ_RCTL":   RegRCTL,
+		"MQ_TCTL":   RegTCTL,
+		"MQ_GPTC":   RegGPTC,
+		"MQ_GPRC":   RegGPRC,
+		"MQ_MPC":    RegMPC,
+		"MQ_RAL":    RegRAL,
+		"MQ_RAH":    RegRAH,
+
+		"MQ_RXQ_BASE": RxQBase,
+		"MQ_TXQ_BASE": TxQBase,
+		"MQ_Q_BAL":    QRegBAL,
+		"MQ_Q_LEN":    QRegLEN,
+		"MQ_Q_HEAD":   QRegHEAD,
+		"MQ_Q_TAIL":   QRegTAIL,
+
+		"MQ_INT_RX_ALL": IntRxAll,
+		"MQ_INT_TX_ALL": IntTxAll,
+		"MQ_INT_TX0":    0x100,
+		"MQ_INT_LSC":    IntLSC,
+
+		"MQ_NQ":         NumQueues,
+		"MQ_TX_RING":    TxRing,
+		"MQ_RX_RING":    RxRing,
+		"MQ_RING_BYTES": RingBytes,
+		"MQ_BI_BYTES":   8 * TxRing, // buffer_info: {skb, dma} per slot
+	}
+}
+
+var model = &drivermodel.Model{
+	Name:        "mqnic",
+	Source:      Source,
+	AdapterSize: AdapterSize,
+	MMIOPages:   MMIOPages,
+	Equates:     Equates(),
+	Entries: drivermodel.Entries{
+		Probe:    FnProbe,
+		Open:     FnOpen,
+		Close:    FnClose,
+		Xmit:     FnXmit,
+		Intr:     FnIntr,
+		Stats:    FnGetStats,
+		Watchdog: FnWatchdog,
+	},
+	Geometry: drivermodel.Geometry{
+		TxSlots:   TxRing,
+		RxSlots:   RxRing,
+		DescBytes: DescSize,
+	},
+	Queues:        NumQueues,
+	TxHeaderSplit: TxHeaderSplit,
+	NewDevice: func(name string, phys *mem.Physical, macLast byte) drivermodel.Device {
+		return New(name, phys, macLast)
+	},
+	// The probe takes the queue-pair count as a fourth argument; the
+	// configuration log records and replays exactly these words.
+	ProbeArgs: func(netdev, mmioPhys, irq uint32) []uint32 {
+		return []uint32{netdev, mmioPhys, irq, NumQueues}
+	},
+}
+
+func init() { drivermodel.Register(model) }
+
+// DriverModel returns the mqnic backend's driver model.
+func DriverModel() *drivermodel.Model { return model }

@@ -1,0 +1,37 @@
+package mqnic
+
+import (
+	"testing"
+
+	"twindrivers/internal/kernel"
+)
+
+// The driver source must assemble against the kernel equates merged with
+// the model's own MQ_* equates, and export every entry symbol the
+// framework resolves.
+func TestDriverAssembles(t *testing.T) {
+	u, err := model.Assemble(kernel.Equates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sym := range []string{
+		FnProbe, FnOpen, FnClose, FnXmit, FnIntr,
+		FnCleanRx, FnCleanTx, FnWatchdog, FnGetStats,
+	} {
+		if u.Func(sym) == nil {
+			t.Errorf("symbol %s not defined", sym)
+		}
+	}
+}
+
+// The geometry the model declares must match the device's constants, and
+// the adapter allocation must cover the AD_SIZE the source lays out
+// (48-byte fixed head + NumQueues 64-byte queue blocks).
+func TestGeometryMatchesDevice(t *testing.T) {
+	if model.Queues != NumQueues {
+		t.Fatalf("model.Queues = %d, device has %d", model.Queues, NumQueues)
+	}
+	if need := uint32(48 + NumQueues*64); AdapterSize < need {
+		t.Fatalf("AdapterSize %d < adapter layout %d", AdapterSize, need)
+	}
+}

@@ -16,6 +16,9 @@ func (r *Result) BenchKey() string {
 	if r.PostedRX {
 		key += "/posted"
 	}
+	if r.Queues > 1 {
+		key += fmt.Sprintf("/q%d", r.Queues)
+	}
 	return key
 }
 

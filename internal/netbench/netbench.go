@@ -17,6 +17,7 @@ import (
 	"twindrivers/internal/recovery"
 
 	// Link every NIC backend so Params.Backend resolves by name.
+	_ "twindrivers/internal/mqnic"
 	_ "twindrivers/internal/rtl8139"
 )
 
@@ -55,6 +56,10 @@ type Result struct {
 	// legacy copy path.
 	PostedRX bool
 
+	// Queues is the effective service-queue count of the measurement
+	// (1 = the classic single-queue configuration).
+	Queues int
+
 	// CyclesPerPacket is the measured total, Breakdown its attribution.
 	CyclesPerPacket float64
 	Breakdown       map[cycles.Component]float64
@@ -91,6 +96,11 @@ type Params struct {
 	// "e1000"). Every registered backend runs the same measurement
 	// harness — the backend sweep compares them.
 	Backend string
+
+	// Queues asks for that many per-queue service loops on the twin path
+	// (0 = the model's native queue count; clamped by core to what the
+	// device exposes). Single-queue backends always run one queue.
+	Queues int
 
 	// Recovery attaches a recovery supervisor to the domU-twin path
 	// (default policy), making driver faults transient. The fault-free
@@ -136,9 +146,41 @@ func (p *Params) model() (*drivermodel.Model, error) {
 	return m, nil
 }
 
+// criticalPath returns a path's measured critical-path cycle total, its
+// machine-wide breakdown and the effective queue count. With one service
+// queue both views are exactly the machine meter's. With N queues the
+// per-queue service work is metered per queue: the breakdown merges every
+// queue (total work done), while the critical path charges the non-queue
+// work plus the SLOWEST queue — the wall-clock of goroutine-per-queue
+// service loops running in parallel.
+func criticalPath(p *netpath.Path) (critical uint64, breakdown map[cycles.Component]uint64, queues int) {
+	m := p.Meter()
+	critical = m.Total()
+	breakdown = m.Breakdown()
+	queues = 1
+	if p.T == nil || p.T.QueueCount() <= 1 {
+		return
+	}
+	queues = p.T.QueueCount()
+	var slowest uint64
+	for _, qm := range p.T.QueueMeters() {
+		if t := qm.Total(); t > slowest {
+			slowest = t
+		}
+		for c, v := range qm.Breakdown() {
+			breakdown[c] += v
+		}
+	}
+	critical += slowest
+	return
+}
+
 // Run measures one configuration in one direction.
 func Run(kind netpath.Kind, dir Direction, prm Params) (*Result, error) {
 	prm.defaults()
+	if prm.Queues != 0 {
+		prm.Twin.Queues = prm.Queues
+	}
 	model, err := prm.model()
 	if err != nil {
 		return nil, err
@@ -207,7 +249,7 @@ func Measure(p *netpath.Path, dir Direction, prm Params) (*Result, error) {
 		return nil, err
 	}
 
-	meter := p.Meter()
+	critical, breakdown, queues := criticalPath(p)
 	n := float64(prm.Measure)
 	res := &Result{
 		Config:          p.Kind.String(),
@@ -217,10 +259,11 @@ func Measure(p *netpath.Path, dir Direction, prm Params) (*Result, error) {
 		Backend:         p.M.Model.Name,
 		Batch:           prm.Batch,
 		PostedRX:        prm.PostedRX,
-		CyclesPerPacket: float64(meter.Total()) / n,
+		Queues:          queues,
+		CyclesPerPacket: float64(critical) / n,
 		Breakdown:       make(map[cycles.Component]float64),
 	}
-	for comp, c := range meter.Breakdown() {
+	for comp, c := range breakdown {
 		res.Breakdown[comp] = float64(c) / n
 	}
 	res.SwitchesPerPacket = float64(p.M.HV.Switches) / n
@@ -256,6 +299,9 @@ type MultiGuestResult struct {
 // PerGuest carries each guest's packets and effective cycles/packet.
 func RunMultiGuest(dir Direction, guests int, prm Params) (*MultiGuestResult, error) {
 	prm.defaults()
+	if prm.Queues != 0 {
+		prm.Twin.Queues = prm.Queues
+	}
 	if guests < 1 {
 		guests = 1
 	}
@@ -310,7 +356,7 @@ func RunMultiGuest(dir Direction, guests int, prm Params) (*MultiGuestResult, er
 		return nil, err
 	}
 
-	meter := p.Meter()
+	critical, breakdown, queues := criticalPath(p)
 	totalPkts := uint64(0)
 	for _, n := range perGuest {
 		totalPkts += n
@@ -325,19 +371,24 @@ func RunMultiGuest(dir Direction, guests int, prm Params) (*MultiGuestResult, er
 			Backend:         p.M.Model.Name,
 			Batch:           prm.Batch,
 			PostedRX:        prm.PostedRX,
-			CyclesPerPacket: float64(meter.Total()) / n,
+			Queues:          queues,
+			CyclesPerPacket: float64(critical) / n,
 			Breakdown:       make(map[cycles.Component]float64),
 		},
 		Guests: guests,
 	}
-	for comp, c := range meter.Breakdown() {
+	for comp, c := range breakdown {
 		res.Breakdown[comp] = float64(c) / n
 	}
 	res.SwitchesPerPacket = float64(p.M.HV.Switches) / n
 	res.HypercallsPerPacket = float64(p.M.HV.Hypercalls) / n
 	res.UpcallsPerPacket = float64(p.T.UpcallsPerformed()-upcalls0) / n
 	res.ThroughputMbps, res.CPUUtil = Throughput(res.CyclesPerPacket, prm.NumNICs, prm.PacketSize)
-	share := float64(meter.Total()) / float64(guests)
+	var totalWork uint64
+	for _, c := range breakdown {
+		totalWork += c
+	}
+	share := float64(totalWork) / float64(guests)
 	for g, dom := range p.M.Guests {
 		pkts := perGuest[dom.ID]
 		st := GuestStat{Guest: g, Packets: pkts}

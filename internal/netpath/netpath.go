@@ -228,6 +228,9 @@ func (p *Path) Meter() *cycles.Meter { return p.M.CPU.Meter }
 // all warm state (measurement epochs begin after warm-up).
 func (p *Path) ResetMeasurement() {
 	p.Meter().Reset()
+	if p.T != nil {
+		p.T.ResetQueueMeters()
+	}
 	p.M.HV.ResetStats()
 	p.TxCount, p.RxCount = 0, 0
 }

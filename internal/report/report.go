@@ -102,6 +102,25 @@ func MultiGuestSweep(w io.Writer, title string, results []*netbench.MultiGuestRe
 	fmt.Fprintln(w)
 }
 
+// MQSweep renders the multi-queue sweep: critical-path cycles/packet as
+// a function of the service-queue count, with the shared (non-queue)
+// work and the per-component totals alongside. The critical path is the
+// shared work plus the slowest queue's service loop, so it should fall
+// as the fixed guest population spreads across more queues.
+func MQSweep(w io.Writer, title string, results []*netbench.MultiGuestResult) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%7s %7s %9s %8s %8s %8s %8s %14s\n",
+		"queues", "guests", "cyc/pkt", "dom0", "domU", "Xen", "driver", "throughput")
+	for _, r := range results {
+		fmt.Fprintf(w, "%7d %7d %9.0f %8.0f %8.0f %8.0f %8.0f %9.0f Mb/s\n",
+			r.Queues, r.Guests, r.CyclesPerPacket,
+			r.Breakdown[cycles.CompDom0], r.Breakdown[cycles.CompDomU],
+			r.Breakdown[cycles.CompXen], r.Breakdown[cycles.CompDriver],
+			r.ThroughputMbps)
+	}
+	fmt.Fprintln(w)
+}
+
 // BackendSweep renders the multi-backend comparison: for each NIC driver
 // model, the domU-twin cycles/packet (with the four-bucket attribution —
 // the driver bucket is whichever backend's derived code ran), transition

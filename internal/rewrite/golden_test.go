@@ -1,4 +1,7 @@
-package rewrite
+// External test package: the golden sweep pins every registered
+// backend's derived image, and the multi-queue backend reaches this
+// package through core — an in-package import would cycle.
+package rewrite_test
 
 import (
 	"flag"
@@ -10,8 +13,10 @@ import (
 
 	"twindrivers/internal/drivermodel"
 	"twindrivers/internal/kernel"
+	"twindrivers/internal/rewrite"
 
 	_ "twindrivers/internal/e1000"
+	_ "twindrivers/internal/mqnic"
 	_ "twindrivers/internal/rtl8139"
 )
 
@@ -33,7 +38,7 @@ func TestGoldenRewriteSnapshot(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ru, stats, err := Rewrite(u, Options{RejectPrivileged: true})
+			ru, stats, err := rewrite.Rewrite(u, rewrite.Options{RejectPrivileged: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -82,7 +87,7 @@ func TestGoldenRewriteIsDeterministic(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			ru, _, err := Rewrite(u, Options{RejectPrivileged: true})
+			ru, _, err := rewrite.Rewrite(u, rewrite.Options{RejectPrivileged: true})
 			if err != nil {
 				t.Fatal(err)
 			}
