@@ -11,6 +11,7 @@
 //	benchgate                      # compare against ./bench at 5% tolerance
 //	benchgate -tolerance 2         # tighter gate
 //	benchgate -update              # regenerate the committed baselines
+//	benchgate -v                   # also print per-component breakdown drift
 //
 // The simulation is deterministic, so the tolerance exists for
 // intentional cost-model changes: moving a number beyond it requires a
@@ -32,6 +33,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 5.0, "allowed cycles/packet increase, percent")
 	update := flag.Bool("update", false, "rewrite the baselines from a fresh measurement instead of comparing")
 	quick := flag.Bool("quick", false, "quick-mode packet counts (only for quick-mode baselines)")
+	verbose := flag.Bool("v", false, "print per-component cycle-breakdown drift for every configuration")
 	flag.Parse()
 
 	failed := false
@@ -54,7 +56,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchgate: loading %s baseline: %v\n", area, err)
 			os.Exit(1)
 		}
-		if err := report.CompareBench(base, cur, *tolerance); err != nil {
+		err = report.CompareBench(base, cur, *tolerance)
+		if *verbose {
+			// Per-component drift regardless of pass/fail: when a number
+			// moves, this names the bucket (dom0/domU/xen/driver) it
+			// moved in.
+			for _, b := range base.Entries {
+				c, ok := cur.Lookup(b.Config)
+				if !ok {
+					continue
+				}
+				if drift := report.BreakdownDrift(b, c); drift != "" {
+					fmt.Printf("  %s/%s: %s\n", area, b.Config, drift)
+				}
+			}
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchgate: FAIL %v\n", err)
 			failed = true
 			continue

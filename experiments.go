@@ -153,7 +153,7 @@ func runBatchSweep(w io.Writer, quick bool, bench *report.Bench) error {
 			}
 			results = append(results, r)
 			if bench != nil {
-				bench.Add(r.BenchKey(), r.CyclesPerPacket)
+				bench.AddBreakdown(r.BenchKey(), r.CyclesPerPacket, r.Breakdown)
 			}
 		}
 		report.BatchSweep(w, fmt.Sprintf("Batch sweep: domU-twin %s cycles/packet vs batch size", dir), results)
@@ -191,7 +191,7 @@ func runMultiGuestSweep(w io.Writer, quick bool, bench *report.Bench) error {
 			}
 			results = append(results, r)
 			if bench != nil {
-				bench.Add(r.BenchKey(), r.CyclesPerPacket)
+				bench.AddBreakdown(r.BenchKey(), r.CyclesPerPacket, r.Breakdown)
 			}
 		}
 		report.MultiGuestSweep(w, fmt.Sprintf("Multi-guest sweep: domU-twin %s cycles/packet vs guest count", dir), results)
@@ -237,7 +237,7 @@ func runMQSweep(w io.Writer, quick bool, bench *report.Bench) error {
 		}
 		results = append(results, r)
 		if bench != nil {
-			bench.Add(r.BenchKey(), r.CyclesPerPacket)
+			bench.AddBreakdown(r.BenchKey(), r.CyclesPerPacket, r.Breakdown)
 		}
 	}
 	report.MQSweep(w, "Multi-queue sweep: mqnic TX critical-path cycles/packet vs queue count", results)
@@ -274,7 +274,7 @@ func runBackendSweep(w io.Writer, quick bool, bench *report.Bench) error {
 				}
 				results = append(results, r)
 				if bench != nil {
-					bench.Add(r.BenchKey(), r.CyclesPerPacket)
+					bench.AddBreakdown(r.BenchKey(), r.CyclesPerPacket, r.Breakdown)
 				}
 			}
 		}
@@ -310,7 +310,7 @@ func runRXPathSweep(w io.Writer, quick bool, bench *report.Bench) error {
 				}
 				results = append(results, r)
 				if bench != nil {
-					bench.Add(r.BenchKey(), r.CyclesPerPacket)
+					bench.AddBreakdown(r.BenchKey(), r.CyclesPerPacket, r.Breakdown)
 				}
 			}
 		}
@@ -401,7 +401,7 @@ func MeasureRecovery(inj FaultInjector, guests, perGuest int) (*RecoveryMeasurem
 	}
 	post := float64(p.Meter().Total()) / float64(moved)
 
-	return &recovery.Measurement{
+	m := &recovery.Measurement{
 		Fault:      inj.Name,
 		Guests:     guests,
 		MTTRCycles: sup.Events[0].MTTRCycles,
@@ -410,7 +410,12 @@ func MeasureRecovery(inj FaultInjector, guests, perGuest int) (*RecoveryMeasurem
 		Delivered:  delivered,
 		PreCPP:     pre,
 		PostCPP:    post,
-	}, nil
+	}
+	// Fault attribution for the report: what actually faulted, rendered.
+	for _, rec := range p.T.FaultLog() {
+		m.FaultLog = append(m.FaultLog, rec.String())
+	}
+	return m, nil
 }
 
 // runRecoverySweep measures transparent driver recovery end to end: each

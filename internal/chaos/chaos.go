@@ -42,6 +42,7 @@ import (
 	"twindrivers/internal/drivermodel"
 	"twindrivers/internal/mem"
 	"twindrivers/internal/recovery"
+	"twindrivers/internal/telemetry"
 	"twindrivers/internal/xen"
 
 	// Both backends register with the driver-model registry on import:
@@ -108,6 +109,13 @@ type Config struct {
 	// parallel runs with the same seed agree on every ledger yet may
 	// differ in Digest.
 	Parallel bool
+
+	// Trace attaches a telemetry tracer to the soak's twin; the report
+	// then carries the tracer's event-stream digest. Like Digest, the
+	// trace digest is seed-deterministic only for sequential runs —
+	// under Parallel the per-queue sweep interleaving (and so the
+	// control-lane event order) follows goroutine scheduling.
+	Trace *telemetry.Tracer
 }
 
 func (c *Config) defaults() error {
@@ -167,6 +175,10 @@ type Report struct {
 	Recoveries int
 	Aborts     int
 	Digest     string
+
+	// TraceDigest is the telemetry event-stream digest when the run was
+	// traced (Config.Trace), empty otherwise.
+	TraceDigest string
 }
 
 // soakGuest is the harness's shadow of one guest: its identity, its
@@ -247,6 +259,7 @@ func New(cfg Config) (*Soak, error) {
 		Watchdog: cfg.Watchdog,
 		PoolSize: cfg.PoolSize,
 		Queues:   cfg.Queues,
+		Trace:    cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -268,6 +281,9 @@ func New(cfg Config) (*Soak, error) {
 		Window:        1,
 		MaxRecoveries: cfg.Steps + 16,
 	})
+	if sess := telemetry.ActiveSession(); sess != nil {
+		s.sup.PublishMetrics(sess.Registry)
+	}
 	s.d.Dev.SetOnTransmit(func(pkt []byte) {
 		s.wire = append(s.wire, append([]byte(nil), pkt...))
 	})
@@ -935,5 +951,8 @@ func (s *Soak) report() *Report {
 		}
 	}
 	rep.Digest = hex.EncodeToString(s.digest.Sum(nil))
+	if s.cfg.Trace != nil {
+		rep.TraceDigest = s.cfg.Trace.Digest()
+	}
 	return rep
 }

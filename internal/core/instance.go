@@ -8,6 +8,7 @@ import (
 	"twindrivers/internal/mem"
 	"twindrivers/internal/rewrite"
 	"twindrivers/internal/svm"
+	"twindrivers/internal/telemetry"
 	"twindrivers/internal/xen"
 )
 
@@ -213,6 +214,8 @@ func (t *Twin) Revive() error {
 		t.M.CPU.RemoveImage(inst.image)
 		return fmt.Errorf("core: replay configuration: %w", err)
 	}
+	t.ctlLane.Record(t.mMeter, telemetry.EvReplay, -1, uint64(len(t.M.Config.Events)), 0)
 	t.Dead = false
+	t.ctlLane.Record(t.mMeter, telemetry.EvRevive, -1, t.Faults, 0)
 	return nil
 }

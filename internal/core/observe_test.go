@@ -1,0 +1,219 @@
+package core
+
+import (
+	"testing"
+
+	"twindrivers/internal/telemetry"
+)
+
+// Telemetry wire-through tests: enabling tracing must not move a single
+// simulated cycle or hypervisor counter, must not change the hot path's
+// allocation behaviour, and the per-guest TLB counters exposed for the
+// posted-RX path must show the translation cache actually working.
+
+// exerciseTwin drives one machine through the full traced surface:
+// batched transmit (hypercall + batch events), staged rings (sweep
+// events), and posted-buffer receive (posted-rx + TLB events).
+func exerciseTwin(t *testing.T, tr *telemetry.Tracer) (*Machine, *Twin) {
+	t.Helper()
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	d.Dev.SetOnTransmit(func([]byte) {})
+	m.HV.Switch(m.DomU)
+
+	var posts []RxPost
+	for i := 0; i < 4; i++ {
+		posts = append(posts, RxPost{Addr: m.HV.AllocHeap(m.DomU, 2048), Len: 2048})
+	}
+	if posted, err := tw.PostRxBuffers(m.DomU, posts); err != nil || posted != len(posts) {
+		t.Fatalf("posted %d: %v", posted, err)
+	}
+
+	if _, err := tw.GuestTransmitBatch(d, batchFrames(d, 8, 600)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.StageTransmitBatch(m.DomU, batchFrames(d, 4, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.ServiceRings(d, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 4; i++ {
+		f := EthernetFrame(d.Dev.HWAddr(), [6]byte{4, 4, 4, 4, 4, byte(i)}, 0x0800, payload(400, byte(i)))
+		if !d.Dev.Inject(f) {
+			t.Fatalf("inject %d", i)
+		}
+	}
+	if err := tw.HandleIRQ(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.DeliverPendingPosted(m.DomU, 0); err != nil {
+		t.Fatal(err)
+	}
+	return m, tw
+}
+
+// TestTracingIsCycleIdentical pins the zero-overhead contract from the
+// machine's point of view: the same workload run traced and untraced
+// charges exactly the same cycles to the same components and crosses
+// the hypervisor boundary exactly as often. (The batch=1 and recovery
+// identity tests pin the disabled path against the pre-telemetry tree;
+// this one pins enabled against disabled.)
+func TestTracingIsCycleIdentical(t *testing.T) {
+	plain, _ := exerciseTwin(t, nil)
+	tr := telemetry.New(0)
+	traced, _ := exerciseTwin(t, tr)
+
+	if p, q := plain.HV.Meter.String(), traced.HV.Meter.String(); p != q {
+		t.Fatalf("tracing moved the cycle meter:\nuntraced %s\ntraced   %s", p, q)
+	}
+	if plain.HV.Hypercalls != traced.HV.Hypercalls {
+		t.Fatalf("hypercalls %d vs %d", plain.HV.Hypercalls, traced.HV.Hypercalls)
+	}
+	if plain.HV.Events != traced.HV.Events {
+		t.Fatalf("event channels %d vs %d", plain.HV.Events, traced.HV.Events)
+	}
+	if plain.HV.Switches != traced.HV.Switches {
+		t.Fatalf("switches %d vs %d", plain.HV.Switches, traced.HV.Switches)
+	}
+
+	// And the traced run actually observed the workload.
+	if tr.Recorded() == 0 {
+		t.Fatal("traced run recorded nothing")
+	}
+	for _, k := range []telemetry.EventKind{
+		telemetry.EvHypercall, telemetry.EvBatchServiced, telemetry.EvSweepStart,
+		telemetry.EvSweepEnd, telemetry.EvPostedRx, telemetry.EvTLBMiss,
+	} {
+		if tr.CountKind(k) == 0 {
+			t.Errorf("no %s events recorded", k)
+		}
+	}
+}
+
+// TestTracingAllocationParity is the AllocsPerRun guard: the transmit
+// hot path performs exactly the same allocations whether its lane is
+// live or nil. Together with TestRecordAllocationFree in the telemetry
+// package this proves the disabled path allocation-identical.
+func TestTracingAllocationParity(t *testing.T) {
+	measure := func(tr *telemetry.Tracer) float64 {
+		m, tw, err := NewTwinMachine(1, 1, TwinConfig{Trace: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := m.Devs[0]
+		d.Dev.SetOnTransmit(func([]byte) {})
+		m.HV.Switch(m.DomU)
+		frame := EthernetFrame([6]byte{2, 2, 2, 2, 2, 2}, d.NIC.MAC, 0x0800, payload(600, 9))
+		// Warm pools and maps out of their growth phase first.
+		for i := 0; i < 32; i++ {
+			if err := tw.GuestTransmit(d, frame); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return testing.AllocsPerRun(200, func() {
+			if err := tw.GuestTransmit(d, frame); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	plain := measure(nil)
+	traced := measure(telemetry.New(0))
+	if plain != traced {
+		t.Fatalf("tracing changed transmit allocations: untraced %.2f, traced %.2f per packet", plain, traced)
+	}
+}
+
+// TestPublishMetricsSnapshot drives a workload, registers the twin's
+// gauges, and checks the snapshot reports the live state the runtime
+// already tracks — every closure reads at snapshot time.
+func TestPublishMetricsSnapshot(t *testing.T) {
+	m, tw := exerciseTwin(t, nil)
+	reg := telemetry.NewRegistry()
+	tw.PublishMetrics(reg)
+	snap := reg.Snapshot()
+
+	byName := map[string][]telemetry.Sample{}
+	for _, s := range snap {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	one := func(name string) telemetry.Sample {
+		ss := byName[name]
+		if len(ss) != 1 {
+			t.Fatalf("%s: %d samples, want 1", name, len(ss))
+		}
+		return ss[0]
+	}
+	if got := one("twin_pool_capacity").Value; got != float64(tw.PoolCapacity()) || got == 0 {
+		t.Fatalf("twin_pool_capacity = %v, pool reports %d", got, tw.PoolCapacity())
+	}
+	if got := one("hv_hypercalls_total").Value; got != float64(m.HV.Hypercalls) {
+		t.Fatalf("hv_hypercalls_total = %v, hv reports %d", got, m.HV.Hypercalls)
+	}
+	if got := one("twin_dead").Value; got != 0 {
+		t.Fatalf("twin_dead = %v on a live twin", got)
+	}
+	if s := one("gtlb_hit_rate"); s.Value < 0 || s.Value > 1 || s.Labels["guest"] == "" {
+		t.Fatalf("gtlb_hit_rate sample malformed: %+v", s)
+	}
+	if n := len(byName["twin_faults_by_kind"]); n != len(metricFaultKinds) {
+		t.Fatalf("faults-by-kind published %d kinds, want %d", n, len(metricFaultKinds))
+	}
+	// One queue × four components on the default single-queue twin.
+	if n := len(byName["queue_cycles_total"]); n != 4 {
+		t.Fatalf("queue_cycles_total published %d series, want 4", n)
+	}
+	if s := one("twin_pool_free"); s.Labels["backend"] != m.Model.Name || s.Labels["twin"] == "" {
+		t.Fatalf("base labels missing: %+v", s.Labels)
+	}
+}
+
+// TestPostedRxTLBHitRate asserts the per-guest translation cache
+// exposed through GuestTLBStats earns its keep on the posted-RX path:
+// repeated deliveries into re-posted buffers must resolve mostly from
+// the cache. Per backend.
+func TestPostedRxTLBHitRate(t *testing.T) {
+	for _, model := range rxModels() {
+		t.Run(model.Name, func(t *testing.T) {
+			const n = 8
+			m, tw, d, bufs := postedSetup(t, model, n)
+			for round := 0; round < 4; round++ {
+				if round > 0 {
+					var posts []RxPost
+					for _, b := range bufs {
+						posts = append(posts, RxPost{Addr: b, Len: 2048})
+					}
+					if posted, err := tw.PostRxBuffers(m.DomU, posts); err != nil || posted != n {
+						t.Fatalf("round %d: posted %d: %v", round, posted, err)
+					}
+				}
+				for i := 0; i < n; i++ {
+					f := EthernetFrame(d.Dev.HWAddr(), [6]byte{4, 4, 4, 4, byte(round), byte(i)},
+						0x0800, payload(700, byte(round*n+i)))
+					if !d.Dev.Inject(f) {
+						t.Fatalf("round %d inject %d", round, i)
+					}
+				}
+				if err := tw.HandleIRQ(d); err != nil {
+					t.Fatal(err)
+				}
+				if del, err := tw.DeliverPendingPosted(m.DomU, 0); err != nil || len(del.Frames) != n {
+					t.Fatalf("round %d: delivered %d: %v", round, len(del.Frames), err)
+				}
+			}
+			hits, misses := tw.GuestTLBStats(m.DomU.ID)
+			if hits+misses == 0 {
+				t.Fatal("posted deliveries performed no guest translations")
+			}
+			rate := float64(hits) / float64(hits+misses)
+			if rate < 0.5 {
+				t.Fatalf("gtlb hit rate %.2f (hits %d, misses %d), want >= 0.5 after re-delivering into the same buffers",
+					rate, hits, misses)
+			}
+		})
+	}
+}

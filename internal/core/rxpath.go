@@ -8,6 +8,7 @@ import (
 	"twindrivers/internal/cycles"
 	"twindrivers/internal/kernel"
 	"twindrivers/internal/mem"
+	"twindrivers/internal/telemetry"
 	"twindrivers/internal/xen"
 )
 
@@ -192,6 +193,7 @@ func (t *Twin) DeliverPendingPosted(dom *xen.Domain, max int) (*RxDelivery, erro
 			// like the transmit ring) and stop; queued frames wait for
 			// honestly re-posted buffers.
 			_ = g.rxRing.Reset()
+			t.ctlLane.Record(t.mMeter, telemetry.EvHostile, int32(dom.ID), 1, 0)
 			t.deliverNotify(dom, del)
 			return del, fmt.Errorf("core: guest %d posted-rx ring: %w", dom.ID, err)
 		}
@@ -226,9 +228,12 @@ func (t *Twin) DeliverPendingPosted(dom *xen.Domain, max int) (*RxDelivery, erro
 }
 
 // deliverNotify raises the batch's coalesced guest notification when the
-// batch did anything worth notifying about.
+// batch did anything worth notifying about, and records the delivery on
+// the control lane.
 func (t *Twin) deliverNotify(dom *xen.Domain, del *RxDelivery) {
 	if len(del.Frames) > 0 || del.Lost > 0 {
+		t.ctlLane.Record(t.mMeter, telemetry.EvPostedRx, int32(dom.ID),
+			uint64(len(del.Frames)), uint64(del.Lost))
 		t.Coalescer.Deliver(dom)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"twindrivers/internal/mem"
 	"twindrivers/internal/rewrite"
 	"twindrivers/internal/svm"
+	"twindrivers/internal/telemetry"
 	"twindrivers/internal/upcall"
 	"twindrivers/internal/xen"
 )
@@ -71,6 +72,13 @@ type TwinConfig struct {
 	// degenerate one-queue configuration, whose hot path is
 	// operation-for-operation the classic single-loop service.
 	Queues int
+
+	// Trace attaches a telemetry event tracer. Nil (the default) means
+	// no tracing unless a telemetry.Session is active, in which case the
+	// session's tracer is picked up — the hot path then records typed
+	// events into per-queue lanes. Tracing never charges the simulated
+	// cycle meters, so enabling it cannot move a cyc/pkt number.
+	Trace *telemetry.Tracer
 }
 
 // ErrDriverDead reports that the hypervisor instance was aborted and torn
@@ -115,10 +123,12 @@ type FaultRecord struct {
 	Cycle uint64
 }
 
-// String renders a record the way the old string log read, plus the entry
-// attribution.
+// String renders a record for humans: the classified fault kind, the
+// driver entry symbol that was running, the lifetime-cycle stamp, and
+// the cause text — the attribution line a post-incident report leads
+// with.
 func (r FaultRecord) String() string {
-	return fmt.Sprintf("[%s @%dcyc] %s", r.Entry, r.Cycle, r.Cause)
+	return fmt.Sprintf("[%s in %s @%dcyc] %s", r.Kind, r.Entry, r.Cycle, r.Cause)
 }
 
 // AbortStats is the teardown accounting of one abort: how many packets
@@ -211,6 +221,19 @@ type Twin struct {
 	queueGuests [][]mem.Owner
 	queueMeters []*cycles.Meter
 	execMu      sync.Mutex
+
+	// Telemetry: one control lane for machine-scoped events (hypercalls,
+	// faults, recoveries, deliveries, TLB traffic) plus one lane per
+	// service queue for sweep events, each written only under execMu or
+	// by its own queue's goroutine. All nil when tracing is off — every
+	// Record call then returns before touching anything. mMeter is the
+	// machine-wide meter captured before any per-queue swap, so
+	// control-lane stamps share one monotonic clock even when a fault
+	// fires during a per-queue sweep.
+	trc     *telemetry.Tracer
+	ctlLane *telemetry.Lane
+	qLanes  []*telemetry.Lane
+	mMeter  *cycles.Meter
 
 	// Coalescer batches guest notifications and upcall IRQ deliveries to
 	// one per batch window; outside a window it degenerates to the
@@ -415,6 +438,23 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 			t.queueMeters = append(t.queueMeters, cycles.NewMeter())
 		}
 	}
+	// Telemetry attachment: an explicit tracer in the config wins;
+	// otherwise a process-wide session (cmd/twintrace) is picked up.
+	// Untraced machines get nil lanes, whose Record is a no-op that
+	// never reads the meter — the zero-overhead-when-disabled contract.
+	t.trc = cfg.Trace
+	var reg *telemetry.Registry
+	if s := telemetry.ActiveSession(); s != nil {
+		if t.trc == nil {
+			t.trc = s.Tracer
+		}
+		reg = s.Registry
+	}
+	t.mMeter = hv.Meter
+	t.ctlLane = t.trc.NewLane(m.Model.Name + "/ctl")
+	for q := 0; q < t.nQueues; q++ {
+		t.qLanes = append(t.qLanes, t.trc.NewLane(fmt.Sprintf("%s/q%d", m.Model.Name, q)))
+	}
 	base := shardBase(t.nQueues)
 	for gi, g := range m.Guests {
 		io := &guestIO{dom: g, queue: (base + gi) % t.nQueues}
@@ -437,6 +477,7 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 			return nil, err
 		}
 		io.gtlb = svm.NewGuestTLB(hv, g)
+		io.gtlb.Trace = t.ctlLane
 		t.guestIO[g.ID] = io
 		t.guestOrder = append(t.guestOrder, g.ID)
 		m.Config.record(ConfigEvent{Op: OpRing, Dom: g.ID, Addr: ringBase, Aux: TxRingSlots})
@@ -451,6 +492,9 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 		return nil, err
 	}
 	t.installInstance(inst)
+	if reg != nil {
+		t.PublishMetrics(reg)
+	}
 	return t, nil
 }
 
@@ -608,6 +652,7 @@ func (t *Twin) abort(entry uint32, cause error) {
 	if f, ok := cause.(*cpu.Fault); ok {
 		rec.Kind = f.Kind
 	}
+	t.ctlLane.Record(t.mMeter, telemetry.EvFault, int32(t.M.HV.Current.ID), uint64(rec.Kind), 0)
 	if len(t.faultLog) == FaultLogCap {
 		copy(t.faultLog, t.faultLog[1:])
 		t.faultLog = t.faultLog[:FaultLogCap-1]
@@ -666,6 +711,8 @@ func (t *Twin) abort(entry uint32, cause error) {
 	t.pendingIRQ = nil
 	t.Coalescer.AbortWindows()
 	t.LastAbort = st
+	t.ctlLane.Record(t.mMeter, telemetry.EvAbort, int32(t.M.HV.Current.ID),
+		uint64(st.StagedTxDiscarded+st.RxPendingDropped), uint64(st.SkbsReclaimed))
 }
 
 // GuestTransmit sends a guest packet through the hypervisor driver: the
@@ -701,6 +748,7 @@ func (t *Twin) GuestTransmitAt(d *NICDev, guestAddr uint32, n int) error {
 		return ErrDriverDead
 	}
 	t.M.HV.ChargeHypercall()
+	t.ctlLane.Record(t.mMeter, telemetry.EvHypercall, int32(t.M.HV.Current.ID), 1, 0)
 	return t.xmitOne(d, t.ioCurrent(), guestAddr, n)
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"twindrivers/internal/mem"
+	"twindrivers/internal/telemetry"
 	"twindrivers/internal/xen"
 )
 
@@ -94,6 +95,7 @@ func (t *Twin) GuestTransmitBatch(d *NICDev, frames [][]byte) (int, error) {
 		}
 		// One boundary crossing for the whole chunk.
 		t.M.HV.ChargeHypercall()
+		t.ctlLane.Record(t.mMeter, telemetry.EvHypercall, int32(g.dom.ID), uint64(len(chunk)), 0)
 		// Hypervisor side: drain the ring without further transitions.
 		for {
 			addr, n, ok, err := g.ring.Pop()
@@ -115,6 +117,7 @@ func (t *Twin) GuestTransmitBatch(d *NICDev, frames [][]byte) (int, error) {
 			sent++
 		}
 	}
+	t.ctlLane.Record(t.mMeter, telemetry.EvBatchServiced, int32(g.dom.ID), uint64(sent), 0)
 	return sent, nil
 }
 
@@ -188,6 +191,7 @@ func (t *Twin) ServiceRings(d *NICDev, budget int) (map[mem.Owner]int, error) {
 		return nil, ErrDriverDead
 	}
 	t.M.HV.ChargeHypercall()
+	t.ctlLane.Record(t.mMeter, telemetry.EvHypercall, -1, 0, 0)
 	sent := make(map[mem.Owner]int)
 	var firstErr error
 	for q := 0; q < t.nQueues; q++ {
@@ -216,6 +220,7 @@ func (t *Twin) ServiceAllQueues(d *NICDev, budget int) (map[mem.Owner]int, error
 		return nil, ErrDriverDead
 	}
 	t.M.HV.ChargeHypercall()
+	t.ctlLane.Record(t.mMeter, telemetry.EvHypercall, -1, 0, 0)
 	sent := make(map[mem.Owner]int)
 	var (
 		mu       sync.Mutex
@@ -249,21 +254,36 @@ func (t *Twin) ServiceAllQueues(d *NICDev, budget int) (map[mem.Owner]int, error
 	return sent, firstErr
 }
 
-// serviceQueue drains one service queue's guests round-robin; the body is
-// the classic ServiceRings loop restricted to the queue's shard.
+// serviceQueue drains one service queue's guests round-robin; the body
+// (sweepQueue) is the classic ServiceRings loop restricted to the
+// queue's shard. The sweep is bracketed by start/end events on the
+// queue's own telemetry lane, stamped with the meter in scope — queue
+// q's own simulated core when several queues run — so a traced mq run
+// renders each queue as its own timeline. The queue goroutine is the
+// lane's only writer (serialized under execMu), which is what the
+// -race traced-service test pins.
 func (t *Twin) serviceQueue(d *NICDev, q, budget int, sent map[mem.Owner]int) error {
+	lane := t.qLanes[q]
+	meter := t.M.HV.Meter
+	lane.Record(meter, telemetry.EvSweepStart, -1, uint64(q), 0)
+	consumed, err := t.sweepQueue(d, q, budget, sent)
+	lane.Record(meter, telemetry.EvSweepEnd, -1, uint64(q), uint64(consumed))
+	return err
+}
+
+func (t *Twin) sweepQueue(d *NICDev, q, budget int, sent map[mem.Owner]int) (int, error) {
 	consumed := 0
 	for {
 		progress := false
 		for _, id := range t.queueGuests[q] {
 			if budget > 0 && consumed >= budget {
-				return nil
+				return consumed, nil
 			}
 			g := t.guestIO[id]
 			addr, n, ok, err := g.ring.Pop()
 			if err != nil {
 				_ = g.ring.Reset()
-				return fmt.Errorf("core: guest %d transmit ring: %w", id, err)
+				return consumed, fmt.Errorf("core: guest %d transmit ring: %w", id, err)
 			}
 			if !ok {
 				continue
@@ -272,14 +292,14 @@ func (t *Twin) serviceQueue(d *NICDev, q, budget int, sent map[mem.Owner]int) er
 			consumed++
 			if err := t.xmitOne(d, g, addr, int(n)); err != nil {
 				if rerr := g.ring.Reset(); rerr != nil && !t.Dead {
-					return rerr
+					return consumed, rerr
 				}
-				return err
+				return consumed, err
 			}
 			sent[id]++
 		}
 		if !progress {
-			return nil
+			return consumed, nil
 		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"twindrivers/internal/mem"
 	"twindrivers/internal/netpath"
 	"twindrivers/internal/recovery"
+	"twindrivers/internal/telemetry"
 
 	// Link every NIC backend so Params.Backend resolves by name.
 	_ "twindrivers/internal/mqnic"
@@ -114,6 +115,11 @@ type Params struct {
 	// finds the caches trashed by other connections' work) — used by the
 	// web benchmark.
 	FlushPerPacket bool
+
+	// Trace attaches a telemetry tracer to the twin (see
+	// core.TwinConfig.Trace). Tracing never touches the simulated cycle
+	// meters, so a traced measurement reports the same cyc/pkt.
+	Trace *telemetry.Tracer
 }
 
 func (p *Params) defaults() {
@@ -181,6 +187,9 @@ func Run(kind netpath.Kind, dir Direction, prm Params) (*Result, error) {
 	if prm.Queues != 0 {
 		prm.Twin.Queues = prm.Queues
 	}
+	if prm.Trace != nil {
+		prm.Twin.Trace = prm.Trace
+	}
 	model, err := prm.model()
 	if err != nil {
 		return nil, err
@@ -193,10 +202,14 @@ func Run(kind netpath.Kind, dir Direction, prm Params) (*Result, error) {
 	return Measure(p, dir, prm)
 }
 
-// attachRecovery wires a supervisor onto a twin path when asked.
+// attachRecovery wires a supervisor onto a twin path when asked; under
+// an active telemetry session the supervisor's MTTR gauges publish too.
 func attachRecovery(p *netpath.Path, prm Params) {
 	if prm.Recovery && p.T != nil {
 		p.Recovery = recovery.New(p.M, p.T, recovery.Policy{})
+		if s := telemetry.ActiveSession(); s != nil {
+			p.Recovery.PublishMetrics(s.Registry)
+		}
 	}
 }
 
@@ -272,6 +285,9 @@ func Measure(p *netpath.Path, dir Direction, prm Params) (*Result, error) {
 		res.UpcallsPerPacket = float64(p.T.UpcallsPerformed()-upcalls0) / n
 	}
 	res.ThroughputMbps, res.CPUUtil = Throughput(res.CyclesPerPacket, prm.NumNICs, prm.PacketSize)
+	if s := telemetry.ActiveSession(); s != nil {
+		s.Folded.AddBreakdown(res.BenchKey(), breakdown)
+	}
 	return res, nil
 }
 
@@ -301,6 +317,9 @@ func RunMultiGuest(dir Direction, guests int, prm Params) (*MultiGuestResult, er
 	prm.defaults()
 	if prm.Queues != 0 {
 		prm.Twin.Queues = prm.Queues
+	}
+	if prm.Trace != nil {
+		prm.Twin.Trace = prm.Trace
 	}
 	if guests < 1 {
 		guests = 1
@@ -396,6 +415,9 @@ func RunMultiGuest(dir Direction, guests int, prm Params) (*MultiGuestResult, er
 			st.CyclesPerPacket = share / float64(pkts)
 		}
 		res.PerGuest = append(res.PerGuest, st)
+	}
+	if s := telemetry.ActiveSession(); s != nil {
+		s.Folded.AddBreakdown(res.BenchKey(), breakdown)
 	}
 	return res, nil
 }

@@ -30,4 +30,9 @@ type Measurement struct {
 	// the original.
 	PreCPP  float64
 	PostCPP float64
+
+	// FaultLog is the twin's rendered fault attribution (FaultRecord
+	// strings, oldest first) at the end of the run, so the report can
+	// show *what* faulted, not only what it cost.
+	FaultLog []string
 }

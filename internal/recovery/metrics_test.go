@@ -1,0 +1,56 @@
+package recovery
+
+import (
+	"testing"
+
+	"twindrivers/internal/core"
+	"twindrivers/internal/telemetry"
+)
+
+// TestPublishMetricsReportsRecoveries: the supervisor's gauges track a
+// real fault→recover cycle — count, last/mean MTTR, and the give-up
+// flag all read live state at snapshot time.
+func TestPublishMetricsReportsRecoveries(t *testing.T) {
+	m, tw, d := newTwin(t, 1, core.TwinConfig{})
+	d.NIC.OnTransmit = func([]byte) {}
+	s := New(m, tw, Policy{})
+
+	reg := telemetry.NewRegistry()
+	s.PublishMetrics(reg)
+	sample := func(name string) telemetry.Sample {
+		for _, sm := range reg.Snapshot() {
+			if sm.Name == name {
+				return sm
+			}
+		}
+		t.Fatalf("no sample %q", name)
+		return telemetry.Sample{}
+	}
+	if v := sample("recovery_recoveries_total").Value; v != 0 {
+		t.Fatalf("recoveries before any fault: %v", v)
+	}
+	if v := sample("recovery_mttr_cycles_last").Value; v != 0 {
+		t.Fatalf("mttr before any fault: %v", v)
+	}
+
+	trip(t, m, tw, d, Injectors()[0])
+	if _, err := s.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	if v := sample("recovery_recoveries_total").Value; v != 1 {
+		t.Fatalf("recoveries after one recovery: %v", v)
+	}
+	if sample("recovery_mttr_cycles_last").Value == 0 {
+		t.Fatal("mttr still zero after a recovery")
+	}
+	if sample("recovery_mttr_cycles_last").Value != sample("recovery_mttr_cycles_mean").Value {
+		t.Fatal("with one event, last and mean MTTR must match")
+	}
+	if v := sample("recovery_given_up").Value; v != 0 {
+		t.Fatalf("given_up = %v before escalation tripped", v)
+	}
+	if l := sample("recovery_recoveries_total").Labels; l["backend"] == "" || l["sup"] == "" {
+		t.Fatalf("labels missing: %+v", l)
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"twindrivers/internal/core"
 	"twindrivers/internal/cpu"
+	"twindrivers/internal/telemetry"
 )
 
 // ErrGivenUp reports that the fault rate exceeded the escalation policy:
@@ -187,4 +188,42 @@ func (s *Supervisor) Recover() (*Event, error) {
 
 	s.Events = append(s.Events, ev)
 	return &ev, nil
+}
+
+// PublishMetrics registers the supervisor's recovery gauges — count,
+// MTTR (last and mean), and the give-up flag — with a telemetry
+// registry, labelled so several supervised twins stay distinct.
+func (s *Supervisor) PublishMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	labels := map[string]string{
+		"backend": s.M.Model.Name,
+		"sup":     fmt.Sprintf("%d", reg.NextInstance()),
+	}
+	reg.Register("recovery_recoveries_total", labels, func() float64 {
+		return float64(s.Recoveries())
+	})
+	reg.Register("recovery_given_up", labels, func() float64 {
+		if s.GivenUp {
+			return 1
+		}
+		return 0
+	})
+	reg.Register("recovery_mttr_cycles_last", labels, func() float64 {
+		if len(s.Events) == 0 {
+			return 0
+		}
+		return float64(s.Events[len(s.Events)-1].MTTRCycles)
+	})
+	reg.Register("recovery_mttr_cycles_mean", labels, func() float64 {
+		if len(s.Events) == 0 {
+			return 0
+		}
+		var sum uint64
+		for _, ev := range s.Events {
+			sum += ev.MTTRCycles
+		}
+		return float64(sum) / float64(len(s.Events))
+	})
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"twindrivers/internal/cycles"
 )
 
 // The machine-readable side of the evaluation: each sweep area emits a
@@ -27,6 +29,12 @@ type BenchEntry struct {
 
 	// CyclesPerPacket is the measured cost, in the area's Unit.
 	CyclesPerPacket float64 `json:"cycles_per_packet"`
+
+	// Breakdown attributes the cost per cycles.Meter component
+	// (dom0/domU/xen/driver), in the area's Unit. Optional: areas whose
+	// number is not a per-packet meter total (e.g. recovery MTTR) omit
+	// it, and the gate only compares it when both sides carry it.
+	Breakdown map[string]float64 `json:"breakdown,omitempty"`
 }
 
 // Bench is one area's measurement set — the content of BENCH_<area>.json.
@@ -45,6 +53,52 @@ func NewBench(area string, quick bool) *Bench {
 // Add records one configuration's measurement.
 func (b *Bench) Add(config string, cyclesPerPacket float64) {
 	b.Entries = append(b.Entries, BenchEntry{Config: config, CyclesPerPacket: cyclesPerPacket})
+}
+
+// AddBreakdown records one configuration's measurement along with its
+// per-component attribution (a netbench Result.Breakdown).
+func (b *Bench) AddBreakdown(config string, cyclesPerPacket float64, breakdown map[cycles.Component]float64) {
+	e := BenchEntry{Config: config, CyclesPerPacket: cyclesPerPacket}
+	if len(breakdown) > 0 {
+		e.Breakdown = make(map[string]float64, len(breakdown))
+		for comp, v := range breakdown {
+			e.Breakdown[string(comp)] = v
+		}
+	}
+	b.Entries = append(b.Entries, e)
+}
+
+// BreakdownDrift renders the per-component movement between a baseline
+// entry and a current one ("dom0 4210.0→4288.5 (+1.9%)"), or "" when
+// either side carries no breakdown. cmd/benchgate -v prints it so a
+// gated regression names the bucket that moved.
+func BreakdownDrift(base, cur BenchEntry) string {
+	if len(base.Breakdown) == 0 || len(cur.Breakdown) == 0 {
+		return ""
+	}
+	comps := make([]string, 0, len(base.Breakdown))
+	for c := range base.Breakdown {
+		comps = append(comps, c)
+	}
+	for c := range cur.Breakdown {
+		if _, ok := base.Breakdown[c]; !ok {
+			comps = append(comps, c)
+		}
+	}
+	sort.Strings(comps)
+	parts := make([]string, 0, len(comps))
+	for _, c := range comps {
+		b0, c0 := base.Breakdown[c], cur.Breakdown[c]
+		switch {
+		case b0 == 0 && c0 == 0:
+			continue
+		case b0 == 0:
+			parts = append(parts, fmt.Sprintf("%s 0→%.1f (new)", c, c0))
+		default:
+			parts = append(parts, fmt.Sprintf("%s %.1f→%.1f (%+.1f%%)", c, b0, c0, 100*(c0-b0)/b0))
+		}
+	}
+	return strings.Join(parts, ", ")
 }
 
 // Lookup finds one configuration's entry.

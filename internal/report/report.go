@@ -184,6 +184,19 @@ func RecoverySweep(w io.Writer, rows []*recovery.Measurement) {
 			r.Fault, r.Guests, r.MTTRCycles, r.LostRx, r.RetriedTx, r.Delivered,
 			r.PreCPP, r.PostCPP, delta)
 	}
+	// Fault attribution: the twin's rendered fault log per row, so the
+	// report shows what faulted (kind, entry symbol, cycle stamp), not
+	// only what the restart cost.
+	logged := false
+	for _, r := range rows {
+		for _, line := range r.FaultLog {
+			if !logged {
+				fmt.Fprintf(w, "\nfault log:\n")
+				logged = true
+			}
+			fmt.Fprintf(w, "  %s/guests=%d: %s\n", r.Fault, r.Guests, line)
+		}
+	}
 	fmt.Fprintln(w)
 }
 

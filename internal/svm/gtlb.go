@@ -4,6 +4,7 @@ import (
 	"twindrivers/internal/cpu"
 	"twindrivers/internal/cycles"
 	"twindrivers/internal/mem"
+	"twindrivers/internal/telemetry"
 	"twindrivers/internal/xen"
 )
 
@@ -32,6 +33,11 @@ type GuestTLB struct {
 	Dom *xen.Domain // the guest whose posted buffers this cache serves
 
 	entries map[uint32]uint32 // guest vpn -> machine page base
+
+	// Trace, when non-nil, receives hit/miss/violation events — the
+	// 24/260-cycle split is load-bearing for the posted-RX win, so it is
+	// observable per translation, not only as aggregate counters.
+	Trace *telemetry.Lane
 
 	// Statistics.
 	Hits       uint64
@@ -62,12 +68,14 @@ func (g *GuestTLB) Translate(meter *cycles.Meter, addr uint32) (uint32, error) {
 	if pa, ok := g.entries[vpn]; ok {
 		g.Hits++
 		meter.AddTo(cycles.CompXen, costGtlbHit)
+		g.Trace.Record(meter, telemetry.EvTLBHit, int32(g.Dom.ID), uint64(vpn), 0)
 		return pa | (addr & mem.PageMask), nil
 	}
 	frame, ok := g.Dom.AS.LookupLocal(vpn)
 	if !ok || g.HV.Phys.FrameOwner(frame) != g.Dom.ID || g.HV.Phys.IsMMIO(frame) {
 		g.Violations++
 		meter.AddTo(cycles.CompXen, costViolation)
+		g.Trace.Record(meter, telemetry.EvHostile, int32(g.Dom.ID), 0, uint64(addr))
 		return 0, &cpu.Fault{
 			Kind: cpu.FaultProtection,
 			Addr: addr,
@@ -76,6 +84,7 @@ func (g *GuestTLB) Translate(meter *cycles.Meter, addr uint32) (uint32, error) {
 	}
 	g.Misses++
 	meter.AddTo(cycles.CompXen, costGtlbMiss)
+	g.Trace.Record(meter, telemetry.EvTLBMiss, int32(g.Dom.ID), uint64(vpn), 0)
 	pa := frame * mem.PageSize
 	g.entries[vpn] = pa
 	return pa | (addr & mem.PageMask), nil

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry aggregates gauges read on demand. Producers register a name,
+// a label set, and a closure; Snapshot evaluates every closure at call
+// time, so the registry holds no per-event state and costs the hot path
+// nothing — registration happens once, at machine construction.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	inst    int
+}
+
+type metric struct {
+	name   string
+	labels map[string]string
+	read   func() float64
+}
+
+// Sample is one evaluated metric.
+type Sample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// NextInstance hands out a registry-unique instance number, used as a
+// label so several machines (e.g. one per backend in a sweep) publish
+// disjoint series. Nil-safe.
+func (r *Registry) NextInstance() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.inst++
+	return r.inst
+}
+
+// Register adds a gauge. read is evaluated at every Snapshot; it must
+// be cheap and must not block. Nil-safe: registering on a nil registry
+// is a no-op, so producers can publish unconditionally.
+func (r *Registry) Register(name string, labels map[string]string, read func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = append(r.metrics, metric{name: name, labels: labels, read: read})
+}
+
+// labelKey renders labels in sorted order for stable identity.
+func labelKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Snapshot evaluates every gauge, sorted by name then label set.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	out := make([]Sample, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, Sample{Name: m.name, Labels: m.labels, Value: m.read()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelKey(out[i].Labels) < labelKey(out[j].Labels)
+	})
+	return out
+}
+
+// WriteJSON writes the snapshot as a JSON array of samples.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text
+// exposition format (untyped gauges).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, s := range r.Snapshot() {
+		var err error
+		if lk := labelKey(s.Labels); lk != "" {
+			_, err = fmt.Fprintf(w, "%s{%s} %g\n", s.Name, lk, s.Value)
+		} else {
+			_, err = fmt.Fprintf(w, "%s %g\n", s.Name, s.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

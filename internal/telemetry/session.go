@@ -1,0 +1,50 @@
+package telemetry
+
+import "sync"
+
+// Session bundles the three collectors a traced run shares: the event
+// tracer, the metrics registry, and the folded cycle stacks. cmd/
+// twintrace starts one around an experiment; machines built while a
+// session is active attach to it automatically (unless their config
+// names a tracer explicitly), so the experiment registry needs no
+// tracing parameters threaded through every runner signature.
+type Session struct {
+	Tracer   *Tracer
+	Registry *Registry
+	Folded   *FoldedStacks
+}
+
+var (
+	sessionMu sync.Mutex
+	session   *Session
+)
+
+// StartSession installs a process-wide session around tr (a fresh
+// Tracer if nil) and returns it. It replaces any active session.
+func StartSession(tr *Tracer) *Session {
+	if tr == nil {
+		tr = New(0)
+	}
+	s := &Session{Tracer: tr, Registry: NewRegistry(), Folded: NewFoldedStacks()}
+	sessionMu.Lock()
+	session = s
+	sessionMu.Unlock()
+	return s
+}
+
+// EndSession detaches the active session. Machines built afterwards
+// are untraced.
+func EndSession() {
+	sessionMu.Lock()
+	session = nil
+	sessionMu.Unlock()
+}
+
+// ActiveSession returns the current session, or nil when tracing is
+// off — the common case, and the only branch the hot path ever sees
+// (at machine construction, not per packet).
+func ActiveSession() *Session {
+	sessionMu.Lock()
+	defer sessionMu.Unlock()
+	return session
+}

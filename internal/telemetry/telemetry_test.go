@@ -1,0 +1,281 @@
+// Unit tests for the telemetry layer: ring semantics, digest
+// determinism, the zero-allocation contract on Record (the guard the
+// runtime's disabled-path identity tests lean on), and the exporters.
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"twindrivers/internal/cycles"
+)
+
+func TestLaneRingWrap(t *testing.T) {
+	tr := New(4)
+	l := tr.NewLane("wrap")
+	m := cycles.NewMeter()
+	for i := 0; i < 7; i++ {
+		m.Add(10)
+		l.Record(m, EvHypercall, int32(i), uint64(i), 0)
+	}
+	if got := l.Recorded(); got != 7 {
+		t.Fatalf("Recorded = %d, want 7", got)
+	}
+	evs := l.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want ring capacity 4", len(evs))
+	}
+	// Oldest three fell off the ring; survivors are 3..6 oldest-first.
+	for i, e := range evs {
+		if want := uint64(i + 3); e.A != want {
+			t.Fatalf("event %d: A = %d, want %d (oldest-first order)", i, e.A, want)
+		}
+	}
+	if evs[0].Cycle >= evs[3].Cycle {
+		t.Fatalf("cycle stamps not increasing: %d .. %d", evs[0].Cycle, evs[3].Cycle)
+	}
+}
+
+func TestNilTracerAndLaneAreNoOps(t *testing.T) {
+	var tr *Tracer
+	l := tr.NewLane("ignored")
+	if l != nil {
+		t.Fatal("nil tracer returned a live lane")
+	}
+	// None of these may panic, and none may dereference the meter.
+	l.Record(nil, EvFault, -1, 0, 0)
+	if l.Recorded() != 0 || l.Events() != nil {
+		t.Fatal("nil lane retained events")
+	}
+	if tr.Lanes() != nil || tr.Recorded() != 0 {
+		t.Fatal("nil tracer reported lanes")
+	}
+	var reg *Registry
+	reg.Register("x", nil, func() float64 { return 1 })
+	if reg.Snapshot() != nil {
+		t.Fatal("nil registry produced samples")
+	}
+	var f *FoldedStacks
+	f.AddBreakdown("p", map[cycles.Component]uint64{cycles.CompXen: 1})
+}
+
+// TestRecordAllocationFree is the allocation guard the ISSUE's
+// zero-overhead contract names: Record must not allocate, whether the
+// lane is nil (tracing disabled — the hot path's steady state) or live
+// (tracing enabled must not perturb allocation behaviour either).
+func TestRecordAllocationFree(t *testing.T) {
+	m := cycles.NewMeter()
+	m.Add(100)
+	var nilLane *Lane
+	if a := testing.AllocsPerRun(1000, func() {
+		nilLane.Record(m, EvHypercall, 3, 1, 2)
+	}); a != 0 {
+		t.Fatalf("nil-lane Record allocates %.1f per call, want 0", a)
+	}
+	live := New(64).NewLane("hot")
+	if a := testing.AllocsPerRun(1000, func() {
+		live.Record(m, EvHypercall, 3, 1, 2)
+	}); a != 0 {
+		t.Fatalf("live-lane Record allocates %.1f per call, want 0", a)
+	}
+}
+
+func record(tr *Tracer, seed uint64) {
+	m := cycles.NewMeter()
+	ctl := tr.NewLane("m/ctl")
+	q0 := tr.NewLane("m/q0")
+	for i := uint64(0); i < 300; i++ {
+		m.Add(7 + (seed+i)%13)
+		ctl.Record(m, EvHypercall, int32(i%4), seed+i, 0)
+		if i%5 == 0 {
+			q0.Record(m, EvSweepStart, -1, 0, 0)
+			m.Add(50)
+			q0.Record(m, EvSweepEnd, -1, 0, i)
+		}
+	}
+}
+
+func TestDigestDeterministicAndSensitive(t *testing.T) {
+	a, b, c := New(64), New(64), New(64)
+	record(a, 1)
+	record(b, 1)
+	record(c, 2)
+	if a.Digest() != b.Digest() {
+		t.Fatal("same event stream produced different digests")
+	}
+	if a.Digest() == c.Digest() {
+		t.Fatal("different event streams produced the same digest")
+	}
+	empty := New(64)
+	if a.Digest() == empty.Digest() {
+		t.Fatal("digest ignores events entirely")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvSweepStart.String() != "sweep-start" || EvReplay.String() != "replay" {
+		t.Fatalf("kind names wrong: %q %q", EvSweepStart, EvReplay)
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind should stringify as unknown")
+	}
+}
+
+func TestRegistrySnapshotAndExports(t *testing.T) {
+	r := NewRegistry()
+	v := 41.0
+	r.Register("twin_pool_free", map[string]string{"backend": "e1000", "twin": "1"}, func() float64 { return v })
+	r.Register("hv_hypercalls_total", nil, func() float64 { return 7 })
+	v = 42
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d samples, want 2", len(snap))
+	}
+	// Sorted by name: hv_... before twin_...; closures read at snapshot time.
+	if snap[0].Name != "hv_hypercalls_total" || snap[1].Value != 42 {
+		t.Fatalf("snapshot wrong: %+v", snap)
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := r.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Sample
+	if err := json.Unmarshal(jsonBuf.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON output not valid JSON: %v", err)
+	}
+	if len(decoded) != 2 || decoded[1].Labels["backend"] != "e1000" {
+		t.Fatalf("JSON round-trip wrong: %+v", decoded)
+	}
+
+	var promBuf bytes.Buffer
+	if err := r.WritePrometheus(&promBuf); err != nil {
+		t.Fatal(err)
+	}
+	prom := promBuf.String()
+	if !strings.Contains(prom, "hv_hypercalls_total 7\n") {
+		t.Fatalf("prometheus output missing unlabeled gauge:\n%s", prom)
+	}
+	if !strings.Contains(prom, `twin_pool_free{backend="e1000",twin="1"} 42`) {
+		t.Fatalf("prometheus output missing labeled gauge:\n%s", prom)
+	}
+}
+
+func TestFoldedStacks(t *testing.T) {
+	f := NewFoldedStacks()
+	f.AddBreakdown("e1000/tx/batch=32", map[cycles.Component]uint64{
+		cycles.CompDom0: 100, cycles.CompXen: 40,
+	})
+	f.AddBreakdown("e1000/tx/batch=32", map[cycles.Component]uint64{cycles.CompXen: 2})
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "e1000/tx/batch=32;dom0 100\ne1000/tx/batch=32;xen 42\n"
+	if got != want {
+		t.Fatalf("folded output:\n%s\nwant:\n%s", got, want)
+	}
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", f.Len())
+	}
+}
+
+func TestChromeTraceExportAndValidate(t *testing.T) {
+	tr := New(64)
+	m := cycles.NewMeter()
+	ctl := tr.NewLane("e1000/ctl")
+	q0 := tr.NewLane("e1000/q0")
+
+	m.Add(100)
+	ctl.Record(m, EvHypercall, 0, 4, 0)
+	q0.Record(m, EvSweepStart, -1, 0, 0)
+	m.Add(900)
+	q0.Record(m, EvSweepEnd, -1, 0, 4)
+	ctl.Record(m, EvFault, 1, 3, 0)
+	m.Add(5000)
+	ctl.Record(m, EvRevive, -1, 1, 0)
+	// An unmatched sweep-start must degrade to an instant, not an
+	// unbalanced span.
+	q0.Record(m, EvSweepStart, -1, 0, 0)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateChromeTrace(buf.Bytes()); err != nil {
+		t.Fatalf("exported trace fails validation: %v", err)
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	count := func(ph, name string) int {
+		n := 0
+		for _, e := range doc.TraceEvents {
+			if e["ph"] == ph && (name == "" || e["name"] == name) {
+				n++
+			}
+		}
+		return n
+	}
+	if count("X", "sweep q0") != 1 {
+		t.Fatal("expected exactly one sweep span (second start was unmatched)")
+	}
+	if count("X", "fault→recovery") != 1 {
+		t.Fatal("expected a fault→recovery span")
+	}
+	if count("i", "sweep-start") != 1 {
+		t.Fatal("unmatched sweep-start should export as an instant")
+	}
+	if count("M", "thread_name") != 2 {
+		t.Fatal("expected one thread_name metadata record per lane")
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	if err := ValidateChromeTrace([]byte("{not json")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if err := ValidateChromeTrace([]byte(`{"traceEvents":[{"ph":"M","name":"process_name"}]}`)); err == nil {
+		t.Fatal("metadata-only trace accepted")
+	}
+	if err := ValidateChromeTrace([]byte(`{"traceEvents":[{"ph":"Z","name":"x"}]}`)); err == nil {
+		t.Fatal("unknown phase accepted")
+	}
+	overlap := `{"traceEvents":[
+		{"ph":"X","name":"a","pid":1,"tid":1,"ts":0,"dur":10},
+		{"ph":"X","name":"b","pid":1,"tid":1,"ts":5,"dur":10}]}`
+	if err := ValidateChromeTrace([]byte(overlap)); err == nil {
+		t.Fatal("overlapping non-nested spans accepted")
+	}
+	nested := `{"traceEvents":[
+		{"ph":"X","name":"a","pid":1,"tid":1,"ts":0,"dur":10},
+		{"ph":"X","name":"b","pid":1,"tid":1,"ts":2,"dur":3},
+		{"ph":"X","name":"c","pid":1,"tid":2,"ts":5,"dur":10}]}`
+	if err := ValidateChromeTrace([]byte(nested)); err != nil {
+		t.Fatalf("nested spans rejected: %v", err)
+	}
+}
+
+func TestSession(t *testing.T) {
+	if ActiveSession() != nil {
+		t.Fatal("unexpected active session at test start")
+	}
+	s := StartSession(nil)
+	if s.Tracer == nil || s.Registry == nil || s.Folded == nil {
+		t.Fatal("StartSession(nil) should build all components")
+	}
+	if ActiveSession() != s {
+		t.Fatal("ActiveSession does not return the started session")
+	}
+	EndSession()
+	if ActiveSession() != nil {
+		t.Fatal("EndSession left the session active")
+	}
+}
