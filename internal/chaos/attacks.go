@@ -16,8 +16,9 @@ import (
 // surfaces, and each Attack is a concrete hostile behavior on it. Attacks
 // are registered like the conformance behavior table — a flat, sorted,
 // enumerable list — so coverage is a property you can assert (the matrix
-// test requires every dimension × backend × rx-mode cell to be non-empty
-// and runs every attack in every cell, zero-skip), not an anecdote.
+// test requires every dimension × backend × rx-mode × tx-mode cell to be
+// non-empty and runs every attack in every cell, zero-skip), not an
+// anecdote.
 //
 // Adding a backend: nothing to do here — attacks drive the backend-generic
 // twin interface, and Cells() picks the new model up from the driver-model
@@ -69,10 +70,11 @@ func Dimensions() []Dimension {
 // (wrapping ErrInvariant) when the system misbehaved. Attacks leave the
 // system consistent — the soak's settle invariants run right after.
 type Attack struct {
-	Name  string
-	Dim   Dimension
-	Modes []RxMode
-	Run   func(s *Soak, g *soakGuest) error
+	Name    string
+	Dim     Dimension
+	Modes   []RxMode
+	TxModes []TxMode
+	Run     func(s *Soak, g *soakGuest) error
 }
 
 func (a Attack) hasMode(m RxMode) bool {
@@ -84,31 +86,48 @@ func (a Attack) hasMode(m RxMode) bool {
 	return false
 }
 
-var both = []RxMode{ModeCopy, ModePosted}
+func (a Attack) hasTxMode(m TxMode) bool {
+	for _, mode := range a.TxModes {
+		if mode == m {
+			return true
+		}
+	}
+	return false
+}
+
+var (
+	both     = []RxMode{ModeCopy, ModePosted}
+	bothTx   = []TxMode{TxCopy, TxPosted}
+	postedTx = []TxMode{TxPosted}
+)
 
 // Attacks returns the registered attack table, in a fixed order.
 func Attacks() []Attack {
 	return []Attack{
-		{Name: "tx-ring-head-scribble", Dim: DimControlPlane, Modes: both, Run: attackTxRingHeadScribble},
-		{Name: "posted-ring-header-scribble", Dim: DimControlPlane, Modes: []RxMode{ModePosted}, Run: attackPostedRingHeaderScribble},
-		{Name: "tx-desc-len-scribble", Dim: DimDataPlane, Modes: both, Run: attackTxDescLenScribble},
-		{Name: "posted-hostile-descriptor", Dim: DimDataPlane, Modes: []RxMode{ModePosted}, Run: attackPostedHostileDescriptor},
-		{Name: "rx-copy-queue-integrity", Dim: DimDataPlane, Modes: []RxMode{ModeCopy}, Run: attackRxCopyQueueIntegrity},
-		{Name: "wild-write-recover", Dim: DimFaultContainment, Modes: both, Run: attackWildWriteRecover},
-		{Name: "dead-fail-fast", Dim: DimFaultContainment, Modes: both, Run: attackDeadFailFast},
-		{Name: "pool-leak-heal", Dim: DimResourceExhaustion, Modes: both, Run: attackPoolLeakHeal},
-		{Name: "tx-ring-flood", Dim: DimResourceExhaustion, Modes: both, Run: attackTxRingFlood},
-		{Name: "oversize-hypercall", Dim: DimInterfaceAbuse, Modes: both, Run: attackOversizeHypercall},
-		{Name: "posted-overcommit", Dim: DimInterfaceAbuse, Modes: []RxMode{ModePosted}, Run: attackPostedOvercommit},
+		{Name: "tx-ring-head-scribble", Dim: DimControlPlane, Modes: both, TxModes: bothTx, Run: attackTxRingHeadScribble},
+		{Name: "posted-ring-header-scribble", Dim: DimControlPlane, Modes: []RxMode{ModePosted}, TxModes: bothTx, Run: attackPostedRingHeaderScribble},
+		{Name: "tx-desc-len-scribble", Dim: DimDataPlane, Modes: both, TxModes: bothTx, Run: attackTxDescLenScribble},
+		{Name: "posted-hostile-descriptor", Dim: DimDataPlane, Modes: []RxMode{ModePosted}, TxModes: bothTx, Run: attackPostedHostileDescriptor},
+		{Name: "posted-tx-hostile-addr", Dim: DimDataPlane, Modes: both, TxModes: postedTx, Run: attackPostedTxHostileAddr},
+		{Name: "posted-tx-short-len", Dim: DimDataPlane, Modes: both, TxModes: postedTx, Run: attackPostedTxShortLen},
+		{Name: "posted-tx-toctou", Dim: DimDataPlane, Modes: both, TxModes: postedTx, Run: attackPostedTxTOCTOU},
+		{Name: "rx-copy-queue-integrity", Dim: DimDataPlane, Modes: []RxMode{ModeCopy}, TxModes: bothTx, Run: attackRxCopyQueueIntegrity},
+		{Name: "wild-write-recover", Dim: DimFaultContainment, Modes: both, TxModes: bothTx, Run: attackWildWriteRecover},
+		{Name: "dead-fail-fast", Dim: DimFaultContainment, Modes: both, TxModes: bothTx, Run: attackDeadFailFast},
+		{Name: "pool-leak-heal", Dim: DimResourceExhaustion, Modes: both, TxModes: bothTx, Run: attackPoolLeakHeal},
+		{Name: "tx-ring-flood", Dim: DimResourceExhaustion, Modes: both, TxModes: bothTx, Run: attackTxRingFlood},
+		{Name: "oversize-hypercall", Dim: DimInterfaceAbuse, Modes: both, TxModes: bothTx, Run: attackOversizeHypercall},
+		{Name: "posted-overcommit", Dim: DimInterfaceAbuse, Modes: []RxMode{ModePosted}, TxModes: bothTx, Run: attackPostedOvercommit},
+		{Name: "posted-tx-double-post", Dim: DimInterfaceAbuse, Modes: both, TxModes: postedTx, Run: attackPostedTxDoublePost},
 	}
 }
 
 // attacksFor filters the table to the attacks meaningful under one
-// rx-mode.
-func attacksFor(m RxMode) []Attack {
+// rx-mode × tx-mode combination.
+func attacksFor(m RxMode, tx TxMode) []Attack {
 	var out []Attack
 	for _, a := range Attacks() {
-		if a.hasMode(m) {
+		if a.hasMode(m) && a.hasTxMode(tx) {
 			out = append(out, a)
 		}
 	}
@@ -139,27 +158,30 @@ type Cell struct {
 	Dim     Dimension
 	Backend string
 	Mode    RxMode
+	Tx      TxMode
 	Queues  int
 	Attacks []string
 }
 
 // Cells enumerates the full matrix: every dimension, every registered
-// backend, both rx-modes, every applicable queue count, with the attack
-// names covering each cell. The matrix test asserts no cell is empty and
-// runs every listed attack.
+// backend, both rx-modes, both tx-modes, every applicable queue count,
+// with the attack names covering each cell. The matrix test asserts no
+// cell is empty and runs every listed attack.
 func Cells() []Cell {
 	var cells []Cell
 	for _, dim := range Dimensions() {
 		for _, backend := range drivermodel.Names() {
 			for _, queues := range BackendQueueCounts(backend) {
 				for _, mode := range both {
-					c := Cell{Dim: dim, Backend: backend, Mode: mode, Queues: queues}
-					for _, a := range Attacks() {
-						if a.Dim == dim && a.hasMode(mode) {
-							c.Attacks = append(c.Attacks, a.Name)
+					for _, tx := range bothTx {
+						c := Cell{Dim: dim, Backend: backend, Mode: mode, Tx: tx, Queues: queues}
+						for _, a := range Attacks() {
+							if a.Dim == dim && a.hasMode(mode) && a.hasTxMode(tx) {
+								c.Attacks = append(c.Attacks, a.Name)
+							}
 						}
+						cells = append(cells, c)
 					}
-					cells = append(cells, c)
 				}
 			}
 		}
@@ -174,7 +196,10 @@ func (s *Soak) runAttack(name string, g *soakGuest) error {
 	for _, a := range Attacks() {
 		if a.Name == name {
 			if !a.hasMode(g.mode()) {
-				return fmt.Errorf("attack %s does not apply to %s mode", name, g.mode())
+				return fmt.Errorf("attack %s does not apply to %s rx-mode", name, g.mode())
+			}
+			if !a.hasTxMode(g.txMode()) {
+				return fmt.Errorf("attack %s does not apply to %s tx-mode", name, g.txMode())
 			}
 			s.attacks[name]++
 			return a.Run(s, g)
@@ -185,12 +210,18 @@ func (s *Soak) runAttack(name string, g *soakGuest) error {
 
 // --- control plane ------------------------------------------------------
 
-// attackTxRingHeadScribble: the guest scribbles its transmit ring's head
-// word. The service crossing must detect the corrupt header, reset that
-// ring (losing exactly its staged frames), leave every other guest's
-// traffic alone, and accept honest traffic from the attacker afterwards.
+// attackTxRingHeadScribble: the guest scribbles the head word of the
+// transmit ring its traffic rides — the staging ring or, for a posted-TX
+// guest, the posted-descriptor ring. The service crossing must detect the
+// corrupt header, reset that ring (losing exactly its staged frames),
+// leave every other guest's traffic alone, and accept honest traffic from
+// the attacker afterwards.
 func attackTxRingHeadScribble(s *Soak, g *soakGuest) error {
-	if err := g.dom.AS.Store(g.txRingBase+4, 4, 0xDEADBEEF); err != nil {
+	base := g.txRingBase
+	if g.txPosted {
+		base = g.txPostRingBase
+	}
+	if err := g.dom.AS.Store(base+4, 4, 0xDEADBEEF); err != nil {
 		return fmt.Errorf("%w: scribble: %v", ErrInvariant, err)
 	}
 	if err := s.serviceAll(); err != nil {
@@ -239,8 +270,11 @@ func attackPostedRingHeaderScribble(s *Soak, g *soakGuest) error {
 // attackTxDescLenScribble: the guest stages an honest frame, then
 // scribbles the descriptor's length word with an oversize value. The
 // hypervisor must refuse the descriptor before copying a byte (the pooled
-// buffer is 2048 bytes; a trusted 0xFFFF would overrun it), reset the
-// ring, and count exactly that guest's staged frames lost.
+// buffer is 2048 bytes; a trusted 0xFFFF would overrun it). On the
+// staging ring the refusal resets the ring and costs exactly the staged
+// frames; on the posted ring it is contained to the scribbled frame — the
+// descriptor is consumed, exactly that frame is lost, and the ring keeps
+// servicing.
 func attackTxDescLenScribble(s *Soak, g *soakGuest) error {
 	if err := s.serviceAll(); err != nil { // start from an empty ring
 		return err
@@ -255,12 +289,16 @@ func attackTxDescLenScribble(s *Soak, g *soakGuest) error {
 	if staged == 0 {
 		return nil
 	}
-	tail, err := g.dom.AS.Load(g.txRingBase+8, 4)
+	base, want := g.txRingBase, staged
+	if g.txPosted {
+		base, want = g.txPostRingBase, 1
+	}
+	tail, err := g.dom.AS.Load(base+8, 4)
 	if err != nil {
 		return fmt.Errorf("%w: read tail: %v", ErrInvariant, err)
 	}
 	slot := (tail - 1) % core.TxRingSlots
-	desc := g.txRingBase + 16 + slot*8
+	desc := base + 16 + slot*8
 	if err := g.dom.AS.Store(desc+4, 4, 0xFFFF); err != nil {
 		return fmt.Errorf("%w: scribble: %v", ErrInvariant, err)
 	}
@@ -271,9 +309,9 @@ func attackTxDescLenScribble(s *Soak, g *soakGuest) error {
 	if s.tw.Dead {
 		return fmt.Errorf("%w: oversize descriptor killed the instance", ErrInvariant)
 	}
-	if g.ledger.LostTx != lostBefore+staged {
+	if g.ledger.LostTx != lostBefore+want {
 		return fmt.Errorf("%w: oversize descriptor lost %d frames, want %d",
-			ErrInvariant, g.ledger.LostTx-lostBefore, staged)
+			ErrInvariant, g.ledger.LostTx-lostBefore, want)
 	}
 	return nil
 }
@@ -360,6 +398,194 @@ func attackPostedHostileDescriptor(s *Soak, g *soakGuest) error {
 	return nil
 }
 
+// attackPostedTxHostileAddr: the guest posts transmit descriptors naming
+// memory it does not own — hypervisor code, the dom0 net_device, unmapped
+// space, another guest's buffer. Every hostile address must be refused by
+// the guest TLB (frame lost, violation counted), not a byte may leave the
+// machine or move outside the guest, and the ring must keep servicing
+// honest traffic afterwards.
+func attackPostedTxHostileAddr(s *Soak, g *soakGuest) error {
+	if err := s.serviceAll(); err != nil { // start from an empty ring
+		return err
+	}
+	if s.tw.Dead {
+		return nil
+	}
+	hostile := []core.TxPost{
+		{Addr: s.tw.HVImage.CodeBase, Len: 400}, // hypervisor code
+		{Addr: s.d.Netdev, Len: 400},            // dom0 net_device
+		{Addr: 0x00000040, Len: 400},            // unmapped
+	}
+	var victim *soakGuest
+	for _, other := range s.guests {
+		if other != g && other.txPosted {
+			victim = other
+			break
+		}
+	}
+	if victim != nil {
+		hostile = append(hostile, core.TxPost{Addr: victim.txArena[0], Len: 400})
+	}
+	hvAddr := s.tw.HVImage.CodeBase
+	hvBefore, _ := s.m.HV.HVSpace.Load(hvAddr, 4)
+	dom0Before, _ := s.m.Dom0.AS.Load(s.d.Netdev, 4)
+	var victimBefore uint32
+	if victim != nil {
+		victimBefore, _ = victim.dom.AS.Load(victim.txArena[0], 4)
+	}
+	violBefore := s.tw.GuestTLBViolations(g.dom.ID)
+	wireBefore := len(s.wire)
+
+	posted, err := s.tw.PostTxDescriptors(g.dom, hostile)
+	if err != nil {
+		return fmt.Errorf("%w: hostile post refused outright: %v", ErrInvariant, err)
+	}
+	g.ledger.OfferedTx += posted
+	for i := 0; i < posted; i++ {
+		g.stagedQ = append(g.stagedQ, nil) // must drain as a loss, never match the wire
+	}
+	lostBefore := g.ledger.LostTx
+	if err := s.serviceAll(); err != nil {
+		return err
+	}
+	if s.tw.Dead {
+		return fmt.Errorf("%w: hostile posted-TX descriptors killed the instance", ErrInvariant)
+	}
+	if g.ledger.LostTx != lostBefore+posted {
+		return fmt.Errorf("%w: hostile descriptors lost %d frames, want %d",
+			ErrInvariant, g.ledger.LostTx-lostBefore, posted)
+	}
+	if len(s.wire) != wireBefore {
+		return fmt.Errorf("%w: a hostile posted-TX descriptor reached the wire", ErrInvariant)
+	}
+	if v, _ := s.m.HV.HVSpace.Load(hvAddr, 4); v != hvBefore {
+		return fmt.Errorf("%w: hostile posted TX moved hypervisor memory", ErrInvariant)
+	}
+	if v, _ := s.m.Dom0.AS.Load(s.d.Netdev, 4); v != dom0Before {
+		return fmt.Errorf("%w: hostile posted TX moved dom0 memory", ErrInvariant)
+	}
+	if victim != nil {
+		if v, _ := victim.dom.AS.Load(victim.txArena[0], 4); v != victimBefore {
+			return fmt.Errorf("%w: hostile posted TX moved another guest's memory", ErrInvariant)
+		}
+	}
+	if got := s.tw.GuestTLBViolations(g.dom.ID) - violBefore; got < uint64(posted) {
+		return fmt.Errorf("%w: %d TLB violations recorded, want >= %d", ErrInvariant, got, posted)
+	}
+	// The ring keeps servicing honest traffic.
+	if err := s.stageBatch(g, [][]byte{s.txFrame(g, 300)}); err != nil {
+		return err
+	}
+	return s.serviceAll()
+}
+
+// attackPostedTxShortLen: hostile length words on honest addresses — a
+// zero length and an oversize length must each lose exactly that frame
+// before a byte moves, and a length shorter than the frame behind it must
+// transmit exactly the prefix the descriptor names: the snapshot is the
+// contract, not the bytes behind it.
+func attackPostedTxShortLen(s *Soak, g *soakGuest) error {
+	if err := s.serviceAll(); err != nil { // start from an empty ring
+		return err
+	}
+	if s.tw.Dead {
+		return nil
+	}
+	full := s.txFrame(g, 400)
+	const short = 60
+	bufs := make([]uint32, 3)
+	for i := range bufs {
+		bufs[i] = g.txArena[g.txArenaCur]
+		g.txArenaCur = (g.txArenaCur + 1) % len(g.txArena)
+		if err := g.dom.AS.WriteBytes(bufs[i], full); err != nil {
+			return fmt.Errorf("%w: arena write: %v", ErrInvariant, err)
+		}
+	}
+	descs := []core.TxPost{
+		{Addr: bufs[0], Len: 0},       // zero length: refused
+		{Addr: bufs[1], Len: short},   // short length: the prefix transmits
+		{Addr: bufs[2], Len: 1 << 20}, // oversize: refused
+	}
+	posted, err := s.tw.PostTxDescriptors(g.dom, descs)
+	if err != nil || posted != len(descs) {
+		return fmt.Errorf("%w: posted %d of %d: %v", ErrInvariant, posted, len(descs), err)
+	}
+	g.ledger.OfferedTx += posted
+	g.stagedQ = append(g.stagedQ, nil, full[:short], nil)
+	lostBefore := g.ledger.LostTx
+	wireBefore := len(s.wire)
+	if err := s.serviceAll(); err != nil {
+		return err
+	}
+	if s.tw.Dead {
+		return fmt.Errorf("%w: hostile length words killed the instance", ErrInvariant)
+	}
+	if g.ledger.LostTx != lostBefore+2 {
+		return fmt.Errorf("%w: hostile lengths lost %d frames, want 2", ErrInvariant, g.ledger.LostTx-lostBefore)
+	}
+	if len(s.wire) != wireBefore+1 {
+		return fmt.Errorf("%w: short-length descriptor put %d frames on the wire, want 1",
+			ErrInvariant, len(s.wire)-wireBefore)
+	}
+	return nil
+}
+
+// attackPostedTxTOCTOU: the guest posts an honest descriptor, then
+// rewrites the descriptor words in the ring slot before the service
+// consumes them — the classic stage-then-swap. The service must operate
+// on one snapshot of whatever the slot holds at consume time: the
+// rewritten hostile address is refused whole (frame lost, nothing leaves,
+// not a hypervisor byte moves), never half-validated against the honest
+// original.
+func attackPostedTxTOCTOU(s *Soak, g *soakGuest) error {
+	if err := s.serviceAll(); err != nil { // start from an empty ring
+		return err
+	}
+	if s.tw.Dead {
+		return nil
+	}
+	if err := s.stageBatch(g, [][]byte{s.txFrame(g, 300)}); err != nil {
+		return err
+	}
+	if len(g.stagedQ) == 0 {
+		return nil
+	}
+	tail, err := g.dom.AS.Load(g.txPostRingBase+8, 4)
+	if err != nil {
+		return fmt.Errorf("%w: read tail: %v", ErrInvariant, err)
+	}
+	slot := (tail - 1) % core.TxRingSlots
+	desc := g.txPostRingBase + 16 + slot*8
+	hvAddr := s.tw.HVImage.CodeBase
+	hvBefore, _ := s.m.HV.HVSpace.Load(hvAddr, 4)
+	if err := g.dom.AS.Store(desc, 4, hvAddr); err != nil {
+		return fmt.Errorf("%w: rewrite: %v", ErrInvariant, err)
+	}
+	lostBefore := g.ledger.LostTx
+	wireBefore := len(s.wire)
+	if err := s.serviceAll(); err != nil {
+		return err
+	}
+	if s.tw.Dead {
+		return fmt.Errorf("%w: rewritten descriptor killed the instance", ErrInvariant)
+	}
+	if g.ledger.LostTx != lostBefore+1 {
+		return fmt.Errorf("%w: rewritten descriptor lost %d frames, want 1",
+			ErrInvariant, g.ledger.LostTx-lostBefore)
+	}
+	if len(s.wire) != wireBefore {
+		return fmt.Errorf("%w: rewritten descriptor reached the wire", ErrInvariant)
+	}
+	if v, _ := s.m.HV.HVSpace.Load(hvAddr, 4); v != hvBefore {
+		return fmt.Errorf("%w: rewritten descriptor moved hypervisor memory", ErrInvariant)
+	}
+	// Honest traffic flows again.
+	if err := s.stageBatch(g, [][]byte{s.txFrame(g, 200)}); err != nil {
+		return err
+	}
+	return s.serviceAll()
+}
+
 // attackRxCopyQueueIntegrity: a hostile burst larger than the guest's
 // share arrives interleaved with another guest's traffic; copy-path
 // delivery must hand each guest exactly its own frames, in order
@@ -442,6 +668,11 @@ func attackDeadFailFast(s *Soak, g *soakGuest) error {
 			return fmt.Errorf("%w: dead posted delivery returned %v", ErrInvariant, err)
 		}
 	}
+	if g.txPosted {
+		if _, err := s.tw.PostTxDescriptors(g.dom, []core.TxPost{{Addr: 0, Len: 64}}); !errors.Is(err, core.ErrDriverDead) {
+			return fmt.Errorf("%w: dead tx post returned %v", ErrInvariant, err)
+		}
+	}
 	return s.accountAbort()
 }
 
@@ -476,6 +707,9 @@ func attackPoolLeakHeal(s *Soak, g *soakGuest) error {
 // call; staging must stop exactly at ring capacity (no error, no
 // overwrite) and the overflow frames must never be charged to anyone.
 func attackTxRingFlood(s *Soak, g *soakGuest) error {
+	if g.txPosted {
+		return s.floodPostedTx(g)
+	}
 	flood := make([][]byte, 2*core.TxRingSlots)
 	for i := range flood {
 		flood[i] = s.txFrame(g, 64)
@@ -551,4 +785,91 @@ func attackPostedOvercommit(s *Soak, g *soakGuest) error {
 		return nil
 	}
 	return s.deliverRx(g)
+}
+
+// attackPostedTxDoublePost: the guest posts the same buffer address twice
+// in one batch — aliased descriptors naming one physical frame. Each
+// descriptor must be accounted exactly once (wire or loss, never neither,
+// never twice) and the pin ledger must not wedge on the aliasing.
+func attackPostedTxDoublePost(s *Soak, g *soakGuest) error {
+	if err := s.serviceAll(); err != nil { // start from an empty ring
+		return err
+	}
+	if s.tw.Dead {
+		return nil
+	}
+	frame := s.txFrame(g, 500)
+	buf := g.txArena[g.txArenaCur]
+	g.txArenaCur = (g.txArenaCur + 1) % len(g.txArena)
+	if err := g.dom.AS.WriteBytes(buf, frame); err != nil {
+		return fmt.Errorf("%w: arena write: %v", ErrInvariant, err)
+	}
+	descs := []core.TxPost{
+		{Addr: buf, Len: uint32(len(frame))},
+		{Addr: buf, Len: uint32(len(frame))},
+	}
+	posted, err := s.tw.PostTxDescriptors(g.dom, descs)
+	if err != nil {
+		if errors.Is(err, core.ErrDriverDead) {
+			return s.accountAbort()
+		}
+		return fmt.Errorf("%w: double post: %v", ErrInvariant, err)
+	}
+	g.ledger.OfferedTx += posted
+	for i := 0; i < posted; i++ {
+		g.stagedQ = append(g.stagedQ, frame)
+	}
+	wireBefore, lostBefore := g.ledger.WireTx, g.ledger.LostTx
+	if err := s.serviceAll(); err != nil {
+		return err
+	}
+	if s.tw.Dead {
+		return fmt.Errorf("%w: aliased descriptors killed the instance", ErrInvariant)
+	}
+	if got := (g.ledger.WireTx - wireBefore) + (g.ledger.LostTx - lostBefore); got != posted {
+		return fmt.Errorf("%w: double post accounted %d outcomes for %d descriptors", ErrInvariant, got, posted)
+	}
+	if n := s.tw.PinnedTxPages(); n > 2*s.tw.PoolCapacity() {
+		return fmt.Errorf("%w: pin ledger runaway: %d pages pinned", ErrInvariant, n)
+	}
+	return nil
+}
+
+// floodPostedTx: the posted-ring variant of the TX flood — the guest
+// offers twice the ring depth in one post; the post must stop exactly at
+// ring capacity without error and the overflow descriptors must never be
+// charged to anyone.
+func (s *Soak) floodPostedTx(g *soakGuest) error {
+	free, err := s.tw.TxPostedFree(g.dom.ID)
+	if err != nil {
+		return fmt.Errorf("%w: tx posted free: %v", ErrInvariant, err)
+	}
+	flood := make([][]byte, 2*core.TxRingSlots)
+	descs := make([]core.TxPost, len(flood))
+	for i := range flood {
+		flood[i] = s.txFrame(g, 64)
+		if i < free {
+			buf := g.txArena[g.txArenaCur]
+			g.txArenaCur = (g.txArenaCur + 1) % len(g.txArena)
+			if err := g.dom.AS.WriteBytes(buf, flood[i]); err != nil {
+				return fmt.Errorf("%w: arena write: %v", ErrInvariant, err)
+			}
+			descs[i] = core.TxPost{Addr: buf, Len: uint32(len(flood[i]))}
+		} else {
+			descs[i] = core.TxPost{Addr: g.txArena[0], Len: 64} // never posted
+		}
+	}
+	posted, err := s.tw.PostTxDescriptors(g.dom, descs)
+	if err != nil {
+		if errors.Is(err, core.ErrDriverDead) {
+			return s.accountAbort()
+		}
+		return fmt.Errorf("%w: flood post: %v", ErrInvariant, err)
+	}
+	if posted != free {
+		return fmt.Errorf("%w: flood posted %d descriptors into %d free slots", ErrInvariant, posted, free)
+	}
+	g.ledger.OfferedTx += posted
+	g.stagedQ = append(g.stagedQ, flood[:posted]...)
+	return s.serviceAll()
 }

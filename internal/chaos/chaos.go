@@ -1,6 +1,7 @@
 // Package chaos is the seeded long-run soak harness: it drives a
-// multi-guest twin with mixed traffic (staged transmit batches, hypercall
-// singles, receive bursts over both the copy and the posted RX path) while
+// multi-guest twin with mixed traffic (transmit batches over both the
+// staging-copy and the posted-descriptor TX path, hypercall singles,
+// receive bursts over both the copy and the posted RX path) while
 // concurrently injecting hostile-guest attacks and containment faults, and
 // asserts the system invariants continuously — not per feature, but in the
 // composed states where isolation bugs actually live:
@@ -24,8 +25,8 @@
 // observable so two runs with the same seed are byte-comparable.
 //
 // The hostile cases are organized as an explicit attack-surface matrix
-// (attacks.go): dimension × backend × rx-mode, registered like the
-// conformance behavior table so coverage is enumerable and zero-skip.
+// (attacks.go): dimension × backend × rx-mode × tx-mode, registered like
+// the conformance behavior table so coverage is enumerable and zero-skip.
 package chaos
 
 import (
@@ -66,6 +67,15 @@ const (
 	ModePosted RxMode = "posted"
 )
 
+// TxMode selects a guest's transmit path.
+type TxMode string
+
+// The two transmit paths every guest-visible behavior must hold under.
+const (
+	TxCopy   TxMode = "copy"
+	TxPosted TxMode = "posted"
+)
+
 // Config parameterises one soak run.
 type Config struct {
 	// Seed fixes the run. Same seed, same config: same report.
@@ -83,6 +93,14 @@ type Config struct {
 	// Posted selects each guest's receive mode; nil means alternating
 	// (guest 0 copy, guest 1 posted, ...). Length must equal Guests.
 	Posted []bool
+
+	// PostedTX selects each guest's transmit mode: true posts (addr, len)
+	// scatter/gather descriptors resolved through the guest TLB, false
+	// stages copies. nil means alternating, offset from Posted so the
+	// default four-guest soak covers all four rx×tx mode combinations
+	// (guest 0 posts TX only, guest 1 posts RX only, ...). Length must
+	// equal Guests.
+	PostedTX []bool
 
 	// Hostile enables the attack-surface steps.
 	Hostile bool
@@ -140,6 +158,15 @@ func (c *Config) defaults() error {
 	if len(c.Posted) != c.Guests {
 		return fmt.Errorf("chaos: Posted has %d entries for %d guests", len(c.Posted), c.Guests)
 	}
+	if c.PostedTX == nil {
+		c.PostedTX = make([]bool, c.Guests)
+		for g := range c.PostedTX {
+			c.PostedTX[g] = g%2 == 0
+		}
+	}
+	if len(c.PostedTX) != c.Guests {
+		return fmt.Errorf("chaos: PostedTX has %d entries for %d guests", len(c.PostedTX), c.Guests)
+	}
 	return nil
 }
 
@@ -148,6 +175,7 @@ func (c *Config) defaults() error {
 // OfferedRx == DeliveredRx + LostRx, exactly.
 type GuestLedger struct {
 	Posted      bool
+	PostedTx    bool
 	OfferedTx   int
 	WireTx      int
 	LostTx      int
@@ -184,17 +212,22 @@ type Report struct {
 // soakGuest is the harness's shadow of one guest: its identity, its
 // expected-wire and expected-delivery FIFOs, and its ledger.
 type soakGuest struct {
-	idx    int
-	dom    *xen.Domain
-	mac    [6]byte // registered RX demux route
-	posted bool
-	ledger GuestLedger
+	idx      int
+	dom      *xen.Domain
+	mac      [6]byte // registered RX demux route
+	posted   bool
+	txPosted bool
+	ledger   GuestLedger
 
-	txRingBase uint32
-	rxRingBase uint32
+	txRingBase     uint32
+	rxRingBase     uint32
+	txPostRingBase uint32
 
-	// stagedQ mirrors the guest's transmit ring: frames staged and not
-	// yet serviced onto the wire, in ring order.
+	// stagedQ mirrors the guest's transmit ring — the staging-copy ring
+	// or, for a posted-TX guest, the posted-descriptor ring: frames
+	// offered and not yet serviced onto the wire, in ring order. A nil
+	// entry is a hostile descriptor an attack posted: it can never match
+	// a wire frame and must drain as a loss.
 	stagedQ [][]byte
 
 	// expRx mirrors the twin's receive queue for this guest: frames
@@ -207,6 +240,20 @@ type soakGuest struct {
 	// undelivered descriptor still names it.
 	arena    []uint32
 	arenaCur int
+
+	// txArena is the rotating posted-transmit buffer pool (posted-TX
+	// mode), sized the same way: a buffer is never rewritten while an
+	// unserviced descriptor still names it.
+	txArena    []uint32
+	txArenaCur int
+
+	// postedLostSeen/pendingLost reconcile the twin's lifetime
+	// PostedTxLost counter into the ledger: after each service the delta
+	// is the budget of stagedQ frames the sweep consumed and refused
+	// (hostile address, hostile length, busy pool) — the wire reconcile
+	// drains each into LostTx exactly once.
+	postedLostSeen uint64
+	pendingLost    int
 }
 
 func (g *soakGuest) mode() RxMode {
@@ -214,6 +261,13 @@ func (g *soakGuest) mode() RxMode {
 		return ModePosted
 	}
 	return ModeCopy
+}
+
+func (g *soakGuest) txMode() TxMode {
+	if g.txPosted {
+		return TxPosted
+	}
+	return TxCopy
 }
 
 // Soak is one running harness instance.
@@ -244,6 +298,7 @@ type Soak struct {
 const (
 	arenaBufBytes = 2048
 	arenaBufs     = 2 * core.RxRingSlots
+	txArenaBufs   = 2 * core.TxRingSlots
 )
 
 // New builds a soak over a fresh twin machine.
@@ -288,7 +343,7 @@ func New(cfg Config) (*Soak, error) {
 		s.wire = append(s.wire, append([]byte(nil), pkt...))
 	})
 
-	ringBases := make(map[mem.Owner][2]uint32)
+	ringBases := make(map[mem.Owner][3]uint32)
 	for _, ev := range m.Config.Events {
 		b := ringBases[ev.Dom]
 		switch ev.Op {
@@ -296,6 +351,8 @@ func New(cfg Config) (*Soak, error) {
 			b[0] = ev.Addr
 		case core.OpRxRing:
 			b[1] = ev.Addr
+		case core.OpTxRing:
+			b[2] = ev.Addr
 		default:
 			continue
 		}
@@ -303,21 +360,29 @@ func New(cfg Config) (*Soak, error) {
 	}
 	for i, dom := range m.Guests {
 		g := &soakGuest{
-			idx:        i,
-			dom:        dom,
-			mac:        [6]byte{0x02, 0x52, 0x58, 0, 0, byte(i)},
-			posted:     cfg.Posted[i],
-			txRingBase: ringBases[dom.ID][0],
-			rxRingBase: ringBases[dom.ID][1],
+			idx:            i,
+			dom:            dom,
+			mac:            [6]byte{0x02, 0x52, 0x58, 0, 0, byte(i)},
+			posted:         cfg.Posted[i],
+			txPosted:       cfg.PostedTX[i],
+			txRingBase:     ringBases[dom.ID][0],
+			rxRingBase:     ringBases[dom.ID][1],
+			txPostRingBase: ringBases[dom.ID][2],
 		}
 		g.ledger.Posted = g.posted
-		if g.txRingBase == 0 || g.rxRingBase == 0 {
+		g.ledger.PostedTx = g.txPosted
+		if g.txRingBase == 0 || g.rxRingBase == 0 || g.txPostRingBase == 0 {
 			return nil, fmt.Errorf("chaos: guest %d ring bases not in config log", i)
 		}
 		tw.RegisterGuestMAC(g.mac, dom.ID)
 		if g.posted {
 			for b := 0; b < arenaBufs; b++ {
 				g.arena = append(g.arena, m.HV.AllocHeap(dom, arenaBufBytes))
+			}
+		}
+		if g.txPosted {
+			for b := 0; b < txArenaBufs; b++ {
+				g.txArena = append(g.txArena, m.HV.AllocHeap(dom, arenaBufBytes))
 			}
 		}
 		s.guests = append(s.guests, g)
@@ -442,9 +507,13 @@ func (s *Soak) loseRx(g *soakGuest, n int) {
 
 // --- transmit -----------------------------------------------------------
 
-// stageBatch stages frames on a guest's transmit ring and records them
+// stageBatch offers frames on a guest's configured transmit path — the
+// staging-copy ring or the posted-descriptor ring — and records them
 // offered. Frames the full ring refuses are never offered.
 func (s *Soak) stageBatch(g *soakGuest, frames [][]byte) error {
+	if g.txPosted {
+		return s.postTxBatch(g, frames)
+	}
 	staged, err := s.tw.StageTransmitBatch(g.dom, frames)
 	if err != nil {
 		if errors.Is(err, core.ErrDriverDead) {
@@ -454,6 +523,46 @@ func (s *Soak) stageBatch(g *soakGuest, frames [][]byte) error {
 	}
 	g.ledger.OfferedTx += staged
 	g.stagedQ = append(g.stagedQ, frames[:staged]...)
+	return nil
+}
+
+// postTxBatch writes frames into the guest's rotating transmit arena and
+// posts their (addr, len) descriptors. The frames stay in guest memory —
+// the service crossing resolves the descriptors through the guest TLB and
+// hands the pages to the device. The arena cursor advances only for
+// frames that will actually post, so a buffer a pending descriptor still
+// names is never rewritten.
+func (s *Soak) postTxBatch(g *soakGuest, frames [][]byte) error {
+	free, err := s.tw.TxPostedFree(g.dom.ID)
+	if err != nil {
+		return fmt.Errorf("%w: guest %d posted free: %v", ErrInvariant, g.idx, err)
+	}
+	n := len(frames)
+	if n > free {
+		n = free
+	}
+	descs := make([]core.TxPost, n)
+	for i, f := range frames[:n] {
+		buf := g.txArena[g.txArenaCur]
+		g.txArenaCur = (g.txArenaCur + 1) % len(g.txArena)
+		if err := g.dom.AS.WriteBytes(buf, f); err != nil {
+			return fmt.Errorf("%w: guest %d arena write: %v", ErrInvariant, g.idx, err)
+		}
+		descs[i] = core.TxPost{Addr: buf, Len: uint32(len(f))}
+	}
+	posted, err := s.tw.PostTxDescriptors(g.dom, descs)
+	if err != nil {
+		if errors.Is(err, core.ErrDriverDead) {
+			return s.accountAbort()
+		}
+		return fmt.Errorf("%w: guest %d post: %v", ErrInvariant, g.idx, err)
+	}
+	if posted != n {
+		return fmt.Errorf("%w: guest %d posted %d of %d descriptors into %d free slots",
+			ErrInvariant, g.idx, posted, n, free)
+	}
+	g.ledger.OfferedTx += posted
+	g.stagedQ = append(g.stagedQ, frames[:posted]...)
 	return nil
 }
 
@@ -510,21 +619,41 @@ func (s *Soak) serviceAll() error {
 		service = s.tw.ServiceAllQueues
 	}
 	sent, err := service(s.d, 0)
+	// Posted-TX losses before the wire reconcile: the sweep consumed the
+	// refused descriptors in ring order, so the reconcile needs each
+	// guest's loss budget on hand to skip them as it matches wire frames.
+	for _, g := range s.guests {
+		now := s.tw.PostedTxLost(g.dom.ID)
+		g.pendingLost += int(now - g.postedLostSeen)
+		g.postedLostSeen = now
+	}
 	if rerr := s.reconcileWire(sent); rerr != nil {
 		return rerr
 	}
 	if s.tw.Dead {
 		return s.accountAbort()
 	}
+	// Trailing losses: descriptors consumed-and-refused after the last
+	// wire frame are still at the front of the expectation FIFO.
+	for _, g := range s.guests {
+		for g.pendingLost > 0 {
+			if len(g.stagedQ) == 0 {
+				return fmt.Errorf("%w: guest %d lost more posted frames than it offered", ErrInvariant, g.idx)
+			}
+			g.stagedQ = g.stagedQ[1:]
+			s.loseTx(g, 1)
+			g.pendingLost--
+		}
+	}
 	if err != nil && !errors.Is(err, mem.ErrRingCorrupt) &&
 		!errors.Is(err, core.ErrFrameOversize) && !errors.Is(err, core.ErrTxBusy) {
 		return fmt.Errorf("%w: service: %v", ErrInvariant, err)
 	}
 	// Ring-by-ring ledger sync: a serviced ring holds exactly the frames
-	// the wire did not take; a reset ring (error return) holds none, and
-	// its remainder is lost — counted here, exactly once.
+	// the wire did not take or lose; a reset ring (error return) holds
+	// none, and its remainder is lost — counted here, exactly once.
 	for _, g := range s.guests {
-		n, serr := s.tw.StagedTx(g.dom.ID)
+		n, serr := s.pendingTx(g)
 		if serr != nil {
 			return fmt.Errorf("%w: guest %d staged introspection: %v", ErrInvariant, g.idx, serr)
 		}
@@ -541,10 +670,29 @@ func (s *Soak) serviceAll() error {
 	return nil
 }
 
+// pendingTx reports how many transmit frames a guest has offered and the
+// sweep not yet consumed, across both rings (the staging-copy ring and
+// the posted-descriptor ring — a guest's traffic lives on exactly one of
+// them, per its tx mode).
+func (s *Soak) pendingTx(g *soakGuest) (int, error) {
+	n, err := s.tw.StagedTx(g.dom.ID)
+	if err != nil {
+		return 0, err
+	}
+	p, err := s.tw.PostedTxPending(g.dom.ID)
+	if err != nil {
+		return 0, err
+	}
+	return n + p, nil
+}
+
 // reconcileWire consumes unreconciled wire frames, attributing each to
 // its staging guest (source-MAC tag) and matching it byte-exact against
-// that guest's oldest staged frame. sent, when non-nil, is cross-checked
-// per guest.
+// that guest's oldest staged frame. A mismatch is tolerated only against
+// the guest's posted-loss budget: the sweep consumed those frames from
+// the ring in order and refused them, so they drain from the FIFO as
+// losses until the wire frame matches. sent, when non-nil, is
+// cross-checked per guest.
 func (s *Soak) reconcileWire(sent map[mem.Owner]int) error {
 	matched := make(map[mem.Owner]int)
 	for ; s.wireCursor < len(s.wire); s.wireCursor++ {
@@ -557,6 +705,11 @@ func (s *Soak) reconcileWire(sent map[mem.Owner]int) error {
 			return fmt.Errorf("%w: phantom wire frame (unattributable source %x)", ErrInvariant, frame[6:12])
 		}
 		g := s.guests[idx]
+		for g.pendingLost > 0 && len(g.stagedQ) > 0 && !bytes.Equal(g.stagedQ[0], frame) {
+			g.stagedQ = g.stagedQ[1:]
+			s.loseTx(g, 1)
+			g.pendingLost--
+		}
 		if len(g.stagedQ) == 0 || !bytes.Equal(g.stagedQ[0], frame) {
 			return fmt.Errorf("%w: wire frame is not guest %d's oldest staged frame", ErrInvariant, idx)
 		}
@@ -740,7 +893,7 @@ func (s *Soak) accountPosted(g *soakGuest, del *core.RxDelivery) error {
 // --- attacks and faults -------------------------------------------------
 
 func (s *Soak) stepAttack(g *soakGuest) error {
-	eligible := attacksFor(g.mode())
+	eligible := attacksFor(g.mode(), g.txMode())
 	if len(eligible) == 0 {
 		return nil
 	}
@@ -850,6 +1003,11 @@ func (s *Soak) accountAbort() error {
 		g.stagedQ = nil
 		s.loseRx(g, len(g.expRx))
 		g.expRx = nil
+		// Everything offered is now settled; re-baseline the posted-loss
+		// reconciliation so the revived instance's counter deltas start
+		// clean (the lifetime counter survives the replay).
+		g.pendingLost = 0
+		g.postedLostSeen = s.tw.PostedTxLost(g.dom.ID)
 		if n := s.tw.PendingRx(g.dom.ID); n != 0 {
 			return fmt.Errorf("%w: abort left %d frames queued for guest %d", ErrInvariant, n, g.idx)
 		}
@@ -863,6 +1021,9 @@ func (s *Soak) accountAbort() error {
 	if free := s.tw.PoolFree(); free != s.tw.PoolCapacity() {
 		return fmt.Errorf("%w: pool holds %d of %d after abort sweep", ErrInvariant, free, s.tw.PoolCapacity())
 	}
+	if n := s.tw.PinnedTxPages(); n != 0 {
+		return fmt.Errorf("%w: abort left %d guest pages pinned for posted TX", ErrInvariant, n)
+	}
 	// The twin's own transmit-loss accounting must not exceed the harness
 	// ledger (an in-flight frame popped off a ring when the fault hit was
 	// already lost, not discarded). The receive side has no such bound: a
@@ -870,12 +1031,13 @@ func (s *Soak) accountAbort() error {
 	// before the watchdog cuts it off, so RxPendingDropped can exceed any
 	// honest offered count — the PendingRx==0 check above is the real
 	// hygiene assertion there.
-	if st.StagedTxDiscarded > clearedTx {
-		return fmt.Errorf("%w: abort discarded %d staged frames, ledger had %d", ErrInvariant, st.StagedTxDiscarded, clearedTx)
+	if st.StagedTxDiscarded+st.TxPostedDiscarded > clearedTx {
+		return fmt.Errorf("%w: abort discarded %d staged + %d posted frames, ledger had %d",
+			ErrInvariant, st.StagedTxDiscarded, st.TxPostedDiscarded, clearedTx)
 	}
 	_ = clearedRx
-	fmt.Fprintf(s.digest, "abort %d %d %d %d\n",
-		st.StagedTxDiscarded, st.RxPendingDropped, st.RxPostedDiscarded, st.SkbsReclaimed)
+	fmt.Fprintf(s.digest, "abort %d %d %d %d %d\n",
+		st.StagedTxDiscarded, st.TxPostedDiscarded, st.RxPendingDropped, st.RxPostedDiscarded, st.SkbsReclaimed)
 
 	ev, err := s.sup.Recover()
 	if err != nil {

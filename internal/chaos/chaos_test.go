@@ -25,8 +25,9 @@ func smokeConfig(backend string) Config {
 
 // TestSoakSmoke runs the full chaos soak on every registered backend and
 // asserts the run exercised what it claims to: traffic moved on both
-// directions and both rx-paths, attacks ran, faults were contained and
-// recovered one-for-one, and the exactly-once ledgers balance.
+// directions, both rx-paths, and both tx-paths, attacks ran, faults were
+// contained and recovered one-for-one, and the exactly-once ledgers
+// balance.
 func TestSoakSmoke(t *testing.T) {
 	for _, backend := range drivermodel.Names() {
 		t.Run(backend, func(t *testing.T) {
@@ -35,6 +36,7 @@ func TestSoakSmoke(t *testing.T) {
 				t.Fatalf("soak: %v", err)
 			}
 			wire, delivered, copied, posted := 0, 0, 0, 0
+			txCopied, txPosted := 0, 0
 			for i, l := range rep.Guests {
 				if l.OfferedTx != l.WireTx+l.LostTx {
 					t.Errorf("guest %d tx ledger unbalanced: %+v", i, l)
@@ -49,12 +51,20 @@ func TestSoakSmoke(t *testing.T) {
 				} else {
 					copied += l.DeliveredRx
 				}
+				if l.PostedTx {
+					txPosted += l.WireTx
+				} else {
+					txCopied += l.WireTx
+				}
 			}
 			if wire == 0 || delivered == 0 {
 				t.Fatalf("soak moved no traffic: wire=%d delivered=%d", wire, delivered)
 			}
 			if copied == 0 || posted == 0 {
 				t.Fatalf("soak did not exercise both rx paths: copy=%d posted=%d", copied, posted)
+			}
+			if txCopied == 0 || txPosted == 0 {
+				t.Fatalf("soak did not exercise both tx paths: copy=%d posted=%d", txCopied, txPosted)
 			}
 			if len(rep.Attacks) == 0 {
 				t.Fatal("hostile soak ran no attacks")
@@ -173,34 +183,38 @@ func TestSoakDeterministic(t *testing.T) {
 }
 
 // TestSoakAccountingProperty is the quick-check form of the exactly-once
-// invariant: for any random schedule (any seed, any guest rx-mode mix), on
-// both backends, every guest's ledger balances exactly — delivered + lost
-// == offered, wire + lost == offered — with hostility and faults enabled.
+// invariant: for any random schedule (any seed, any guest rx-mode and
+// tx-mode mix), on both backends, every guest's ledger balances exactly —
+// delivered + lost == offered, wire + lost == offered — with hostility and
+// faults enabled.
 func TestSoakAccountingProperty(t *testing.T) {
 	for _, backend := range drivermodel.Names() {
 		backend := backend
 		t.Run(backend, func(t *testing.T) {
-			prop := func(seed uint64, postedMask uint8) bool {
+			prop := func(seed uint64, postedMask, txMask uint8) bool {
 				posted := make([]bool, 2)
+				postedTx := make([]bool, 2)
 				for i := range posted {
 					posted[i] = postedMask&(1<<i) != 0
+					postedTx[i] = txMask&(1<<i) != 0
 				}
 				rep, err := Run(Config{
-					Seed:    seed,
-					Backend: backend,
-					Guests:  2,
-					Steps:   50,
-					Posted:  posted,
-					Hostile: true,
-					Faults:  true,
+					Seed:     seed,
+					Backend:  backend,
+					Guests:   2,
+					Steps:    50,
+					Posted:   posted,
+					PostedTX: postedTx,
+					Hostile:  true,
+					Faults:   true,
 				})
 				if err != nil {
-					t.Logf("seed %#x posted %v: %v", seed, posted, err)
+					t.Logf("seed %#x posted %v postedTx %v: %v", seed, posted, postedTx, err)
 					return false
 				}
 				for _, l := range rep.Guests {
 					if l.OfferedTx != l.WireTx+l.LostTx || l.OfferedRx != l.DeliveredRx+l.LostRx {
-						t.Logf("seed %#x posted %v: unbalanced ledger %+v", seed, posted, l)
+						t.Logf("seed %#x posted %v postedTx %v: unbalanced ledger %+v", seed, posted, postedTx, l)
 						return false
 					}
 				}

@@ -8,14 +8,14 @@ import (
 )
 
 // TestAttackMatrixComplete asserts the matrix's shape: every dimension ×
-// backend × rx-mode × applicable-queue-count cell exists and is
+// backend × rx-mode × tx-mode × applicable-queue-count cell exists and is
 // non-empty, and every registered attack appears in at least one cell —
 // no attack can be added to the table and silently never run.
 func TestAttackMatrixComplete(t *testing.T) {
 	cells := Cells()
 	want := 0
 	for _, backend := range drivermodel.Names() {
-		want += len(Dimensions()) * len(BackendQueueCounts(backend)) * 2
+		want += len(Dimensions()) * len(BackendQueueCounts(backend)) * 2 * 2
 	}
 	if len(cells) != want {
 		t.Fatalf("matrix has %d cells, want %d", len(cells), want)
@@ -23,8 +23,8 @@ func TestAttackMatrixComplete(t *testing.T) {
 	covered := make(map[string]bool)
 	for _, c := range cells {
 		if len(c.Attacks) == 0 {
-			t.Errorf("empty matrix cell %s/%s/%s: the %s surface has no attack under %s mode",
-				c.Dim, c.Backend, c.Mode, c.Dim, c.Mode)
+			t.Errorf("empty matrix cell %s/%s/rx-%s/tx-%s: the %s surface has no attack under that mode pair",
+				c.Dim, c.Backend, c.Mode, c.Tx, c.Dim)
 		}
 		for _, name := range c.Attacks {
 			covered[name] = true
@@ -39,33 +39,39 @@ func TestAttackMatrixComplete(t *testing.T) {
 		if len(a.Modes) == 0 {
 			t.Errorf("attack %s declares no rx-modes", a.Name)
 		}
+		if len(a.TxModes) == 0 {
+			t.Errorf("attack %s declares no tx-modes", a.Name)
+		}
 	}
 }
 
 // TestAttackMatrixZeroSkip runs the full attack-surface matrix: every cell,
 // every attack in it, against every guest of a soak configured for that
-// cell's backend and rx-mode — zero skips. Each attack is followed by the
-// soak's full settle invariants, and each cell ends with a drain, so an
-// attack that leaves the system inconsistent fails here even if its own
-// assertions passed.
+// cell's backend, rx-mode, and tx-mode — zero skips. Each attack is
+// followed by the soak's full settle invariants, and each cell ends with a
+// drain, so an attack that leaves the system inconsistent fails here even
+// if its own assertions passed.
 func TestAttackMatrixZeroSkip(t *testing.T) {
 	for i, c := range Cells() {
 		c, i := c, i
-		t.Run(fmt.Sprintf("%s/%s/%s/q%d", c.Dim, c.Backend, c.Mode, c.Queues), func(t *testing.T) {
+		t.Run(fmt.Sprintf("%s/%s/rx-%s/tx-%s/q%d", c.Dim, c.Backend, c.Mode, c.Tx, c.Queues), func(t *testing.T) {
 			if len(c.Attacks) == 0 {
 				t.Fatalf("empty matrix cell")
 			}
 			posted := make([]bool, 2)
+			postedTx := make([]bool, 2)
 			for g := range posted {
 				posted[g] = c.Mode == ModePosted
+				postedTx[g] = c.Tx == TxPosted
 			}
 			s, err := New(Config{
-				Seed:    0xA77AC4 + uint64(i),
-				Backend: c.Backend,
-				Guests:  2,
-				Steps:   64, // sizes the recovery budget; attacks drive the traffic
-				Posted:  posted,
-				Queues:  c.Queues,
+				Seed:     0xA77AC4 + uint64(i),
+				Backend:  c.Backend,
+				Guests:   2,
+				Steps:    64, // sizes the recovery budget; attacks drive the traffic
+				Posted:   posted,
+				PostedTX: postedTx,
+				Queues:   c.Queues,
 			})
 			if err != nil {
 				t.Fatal(err)

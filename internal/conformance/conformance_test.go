@@ -74,6 +74,8 @@ func TestConformance(t *testing.T) {
 		{"burst-rx", checkBurstRx},
 		{"posted-rx", checkPostedRx},
 		{"posted-hostile-descriptor", checkPostedHostile},
+		{"posted-tx", checkPostedTx},
+		{"posted-tx-hostile-descriptor", checkPostedTxHostile},
 		{"batch1-cycle-identity", checkBatchOfOneIdentity},
 		{"hostile-header-containment", checkHostileHeader},
 		{"fault-recovery-replay", checkFaultRecoveryReplay},
@@ -285,6 +287,93 @@ func checkPostedHostile(t *testing.T, m *drivermodel.Model) {
 	}
 	if got, _ := mach.DomU.AS.ReadBytes(good, len(f2)); !bytes.Equal(got, f2) {
 		t.Error("honest delivery corrupted")
+	}
+	if v, _ := mach.HV.HVSpace.Load(hvAddr, 4); v != hvBefore {
+		t.Error("hostile descriptor wrote hypervisor memory")
+	}
+}
+
+// checkPostedTx: the posted-descriptor transmit path puts a burst of
+// guest-resident frames on the wire byte-exact, in order, with zero loss
+// and without a domain switch — per backend, whether the backend chains
+// the pinned guest pages zero-copy (e1000, mqnic) or falls back to the
+// hypervisor-side bounce copy (rtl8139).
+func checkPostedTx(t *testing.T, m *drivermodel.Model) {
+	mach, tw := newTwin(t, m, 1, core.TwinConfig{})
+	d := mach.Devs[0]
+	wire := capture(d)
+	mach.HV.Switch(mach.DomU)
+	sw := mach.HV.Switches
+
+	const n = 16
+	frames := make([][]byte, n)
+	descs := make([]core.TxPost, n)
+	for i := range frames {
+		frames[i] = frame(60+i*90, byte(0x80+i))
+		buf := mach.HV.AllocHeap(mach.DomU, 2048)
+		if err := mach.DomU.AS.WriteBytes(buf, frames[i]); err != nil {
+			t.Fatal(err)
+		}
+		descs[i] = core.TxPost{Addr: buf, Len: uint32(len(frames[i]))}
+	}
+	if posted, err := tw.PostTxDescriptors(mach.DomU, descs); err != nil || posted != n {
+		t.Fatalf("posted %d of %d: %v", posted, n, err)
+	}
+	sent, err := tw.ServiceRings(d, 0)
+	if err != nil || sent[mach.DomU.ID] != n {
+		t.Fatalf("serviced %d of %d: %v", sent[mach.DomU.ID], n, err)
+	}
+	if lost := tw.PostedTxLost(mach.DomU.ID); lost != 0 {
+		t.Fatalf("lost %d posted frames", lost)
+	}
+	if len(*wire) != n {
+		t.Fatalf("wire saw %d packets", len(*wire))
+	}
+	for i := range frames {
+		if !bytes.Equal((*wire)[i], frames[i]) {
+			t.Errorf("frame %d corrupted (%d vs %d bytes)", i, len((*wire)[i]), len(frames[i]))
+		}
+	}
+	if mach.HV.Switches != sw {
+		t.Errorf("posted transmit performed %d domain switches", mach.HV.Switches-sw)
+	}
+}
+
+// checkPostedTxHostile: a hostile posted-TX descriptor (hypervisor-range
+// address) loses exactly its own frame and moves no hypervisor byte; the
+// twin survives and the neighbouring honest descriptor still transmits.
+func checkPostedTxHostile(t *testing.T, m *drivermodel.Model) {
+	mach, tw := newTwin(t, m, 1, core.TwinConfig{})
+	d := mach.Devs[0]
+	wire := capture(d)
+	mach.HV.Switch(mach.DomU)
+
+	honest := frame(500, 0x92)
+	good := mach.HV.AllocHeap(mach.DomU, 2048)
+	if err := mach.DomU.AS.WriteBytes(good, honest); err != nil {
+		t.Fatal(err)
+	}
+	hvAddr := tw.HVImage.CodeBase
+	hvBefore, _ := mach.HV.HVSpace.Load(hvAddr, 4)
+	descs := []core.TxPost{
+		{Addr: hvAddr, Len: 400},
+		{Addr: good, Len: uint32(len(honest))},
+	}
+	if n, err := tw.PostTxDescriptors(mach.DomU, descs); err != nil || n != 2 {
+		t.Fatalf("post: %d, %v", n, err)
+	}
+	sent, err := tw.ServiceRings(d, 0)
+	if err != nil {
+		t.Fatalf("hostile descriptor errored the sweep: %v", err)
+	}
+	if tw.Dead {
+		t.Fatal("hostile posted-TX descriptor killed the twin")
+	}
+	if sent[mach.DomU.ID] != 1 || tw.PostedTxLost(mach.DomU.ID) != 1 {
+		t.Fatalf("sent %d lost %d, want 1/1", sent[mach.DomU.ID], tw.PostedTxLost(mach.DomU.ID))
+	}
+	if len(*wire) != 1 || !bytes.Equal((*wire)[0], honest) {
+		t.Fatalf("honest transmit corrupted (wire %d frames)", len(*wire))
 	}
 	if v, _ := mach.HV.HVSpace.Load(hvAddr, 4); v != hvBefore {
 		t.Error("hostile descriptor wrote hypervisor memory")

@@ -46,6 +46,15 @@ type diffResult struct {
 	posted     [][]byte
 	copyCtl    [][]byte
 	postedLost int
+
+	// txPosted/txCopy hold the transmit-side differential: the same
+	// seeded frame stream sent once as posted (addr,len) descriptors
+	// resolved through the guest TLB, once staged through the copy
+	// path. Byte equality on the wire between the two — and across
+	// backends — is the posted-TX acceptance, with zero skips.
+	txPosted [][]byte
+	txCopy   [][]byte
+	txLost   int
 }
 
 // diffFrame builds one pseudo-random frame from the shared stream.
@@ -186,6 +195,66 @@ func runDifferential(t *testing.T, model *drivermodel.Model, txFrames, rxFrames 
 		}
 	}
 
+	// Posted-vs-copy transmit phase: one seeded stream sent as posted
+	// (addr,len) descriptors into guest-owned buffers, then the identical
+	// stream again through the staging-copy path, on the same twin. Every
+	// frame must reach the wire byte-exact both times.
+	const txDiffFrames = 1000
+	txBufs := make([]uint32, 16)
+	for i := range txBufs {
+		txBufs[i] = mach.HV.AllocHeap(mach.DomU, 2048)
+	}
+	for _, phase := range []struct {
+		seedRng *rand.Rand
+		posted  bool
+	}{
+		{rand.New(rand.NewSource(diffPostedSeed ^ 0xA11CE)), true},
+		{rand.New(rand.NewSource(diffPostedSeed ^ 0xA11CE)), false},
+	} {
+		out := &res.txCopy
+		if phase.posted {
+			out = &res.txPosted
+		}
+		d.Dev.SetOnTransmit(func(p []byte) { *out = append(*out, append([]byte(nil), p...)) })
+		for sent := 0; sent < txDiffFrames; {
+			burst := 1 + phase.seedRng.Intn(16)
+			if burst > txDiffFrames-sent {
+				burst = txDiffFrames - sent
+			}
+			if phase.posted {
+				descs := make([]core.TxPost, burst)
+				for i := 0; i < burst; i++ {
+					f := diffFrame(phase.seedRng, 2)
+					if err := mach.DomU.AS.WriteBytes(txBufs[i], f); err != nil {
+						t.Fatal(err)
+					}
+					descs[i] = core.TxPost{Addr: txBufs[i], Len: uint32(len(f))}
+				}
+				if n, err := tw.PostTxDescriptors(mach.DomU, descs); err != nil || n != burst {
+					t.Fatalf("%s: tx-posted %d of %d: %v", model.Name, n, burst, err)
+				}
+			} else {
+				frames := make([][]byte, burst)
+				for i := range frames {
+					frames[i] = diffFrame(phase.seedRng, 2)
+				}
+				if n, err := tw.StageTransmitBatch(mach.DomU, frames); err != nil || n != burst {
+					t.Fatalf("%s: tx-copy staged %d of %d: %v", model.Name, n, burst, err)
+				}
+			}
+			got, err := tw.ServiceRings(d, 0)
+			if err != nil {
+				t.Fatalf("%s: tx-diff service: %v", model.Name, err)
+			}
+			if got[mach.DomU.ID] != burst {
+				t.Fatalf("%s: tx-diff serviced %d of %d", model.Name, got[mach.DomU.ID], burst)
+			}
+			sent += burst
+		}
+	}
+	res.txLost = int(tw.PostedTxLost(mach.DomU.ID))
+	d.Dev.SetOnTransmit(func(p []byte) { res.wire = append(res.wire, append([]byte(nil), p...)) })
+
 	// Fault attribution: the same wild write, classified the same way.
 	if err := mach.Dom0.AS.Store(d.Netdev+kernel.NdPriv, 4, 0xF1000040); err != nil {
 		t.Fatal(err)
@@ -285,6 +354,29 @@ func TestDifferentialBackends(t *testing.T) {
 			}
 		}
 	}
-	t.Logf("differential: %d backends, %d frames each (+%d posted-vs-copy), wire+delivery byte-identical",
-		len(models), txFrames+rxFrames, len(ref.posted))
+	// Posted vs copy, transmit side: the same seeded stream must reach
+	// the wire byte-exact through both transmit paths, per backend and
+	// across backends — zero skips, zero losses.
+	for _, r := range results {
+		if r.txLost != 0 {
+			t.Errorf("%s: posted-TX phase lost %d frames", r.backend, r.txLost)
+		}
+		if len(r.txPosted) != len(r.txCopy) {
+			t.Fatalf("%s: posted TX put %d frames on the wire, copy control %d", r.backend, len(r.txPosted), len(r.txCopy))
+		}
+		for i := range r.txPosted {
+			if !bytes.Equal(r.txPosted[i], r.txCopy[i]) {
+				t.Fatalf("%s: posted-TX frame %d differs from copy-mode transmit", r.backend, i)
+			}
+		}
+	}
+	for _, r := range results[1:] {
+		for i := range ref.txPosted {
+			if !bytes.Equal(ref.txPosted[i], r.txPosted[i]) {
+				t.Fatalf("posted-TX frame %d differs between %s and %s", i, ref.backend, r.backend)
+			}
+		}
+	}
+	t.Logf("differential: %d backends, %d frames each (+%d posted-vs-copy rx, +%d posted-vs-copy tx), wire+delivery byte-identical",
+		len(models), txFrames+rxFrames, len(ref.posted), len(ref.txPosted))
 }

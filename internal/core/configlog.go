@@ -51,6 +51,13 @@ const (
 	// instance must never leak into its successor — the guests re-post
 	// their buffers after recovery.
 	OpRxRing
+
+	// OpTxRing reformats and re-attaches a guest's posted-transmit
+	// descriptor ring at its recorded base, shoots down the guest's
+	// translation cache and drops any surviving posted-TX pins: a revived
+	// instance must never service a descriptor, trust a translation or DMA
+	// through a pin that belonged to its dead predecessor.
+	OpTxRing
 )
 
 // ConfigEvent is one entry of the log. Fields are used per-op: Dev indexes
@@ -132,7 +139,7 @@ func (t *Twin) validateConfig() error {
 		case OpGuestMAC:
 			// Any MAC/domain pair is representable; unknown domains are
 			// routes to departed guests and replay keeps them verbatim.
-		case OpRing, OpRxRing:
+		case OpRing, OpRxRing, OpTxRing:
 			// Mirror mem.InitRing's geometry checks so a scribbled slot
 			// count fails the whole replay up front instead of mid-way.
 			c := int(ev.Aux)
@@ -208,6 +215,22 @@ func (t *Twin) replayConfig() error {
 			}
 			g.rxRing = ring
 			g.gtlb.Invalidate()
+		case OpTxRing:
+			g, ok := t.guestIO[ev.Dom]
+			if !ok {
+				continue
+			}
+			ring, err := mem.InitRing(g.dom.AS, ev.Addr, int(ev.Aux))
+			if err != nil {
+				return err
+			}
+			g.txRing = ring
+			g.gtlb.Invalidate()
+			// The TLB shootdown's DMA counterpart: no pin outlives the
+			// instance whose TLB validated it (the abort already swept
+			// them; replay re-asserts the invariant idempotently).
+			t.txPins = make(map[uint32]*txPin)
+			t.pinsBySkb = make(map[uint32][]uint32)
 		}
 	}
 	return nil

@@ -56,6 +56,156 @@ func fuzzSetup(t testing.TB) {
 	})
 }
 
+// FuzzPostedTxDescriptor is FuzzPostedRxDescriptor's transmit twin: the
+// guest-writable posted-TX ring gets arbitrary (addr,len) descriptor words
+// and arbitrary head/tail header words scribbled directly into ring memory
+// before a service sweep. The invariants under fuzz:
+//
+//   - no operation panics and the twin never dies (hostile posted-TX
+//     descriptors are contained to the guest that posted them);
+//   - not a byte of hypervisor or dom0 memory moves — a hostile address
+//     must never become a frame the device reads out of foreign memory;
+//   - a scribbled header is reported as ErrRingCorrupt and the ring comes
+//     back usable after its reset;
+//   - every descriptor the sweep consumed is either on the wire or
+//     counted lost — never silently gone;
+//   - no pin outlives its frame beyond the ring's capacity (the
+//     refcounted pin table never grows without bound under garbage).
+var fuzzTxTwin struct {
+	once sync.Once
+	m    *Machine
+	tw   *Twin
+	d    *NICDev
+	base uint32 // posted-TX ring base in guest memory
+	good uint32 // an honest guest buffer holding a valid frame
+	n    uint32 // the honest frame's length
+	wire *int   // frames that reached the device
+}
+
+func fuzzTxSetup(t testing.TB) {
+	fuzzTxTwin.once.Do(func() {
+		m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzTxTwin.m, fuzzTxTwin.tw = m, tw
+		fuzzTxTwin.d = m.Devs[0]
+		wire := 0
+		fuzzTxTwin.wire = &wire
+		fuzzTxTwin.d.Dev.SetOnTransmit(func([]byte) { wire++ })
+		m.HV.Switch(m.DomU)
+		for _, ev := range m.Config.Events {
+			if ev.Op == OpTxRing && ev.Dom == m.DomU.ID {
+				fuzzTxTwin.base = ev.Addr
+			}
+		}
+		if fuzzTxTwin.base == 0 {
+			t.Fatal("no recorded posted-TX ring base")
+		}
+		fuzzTxTwin.good = m.HV.AllocHeap(m.DomU, 2048)
+		frame := EthernetFrame([6]byte{8, 8, 8, 8, 8, 8}, fuzzTxTwin.d.Dev.HWAddr(), 0x0800, payload(600, 0xA5))
+		if err := m.DomU.AS.WriteBytes(fuzzTxTwin.good, frame); err != nil {
+			t.Fatal(err)
+		}
+		fuzzTxTwin.n = uint32(len(frame))
+	})
+}
+
+func FuzzPostedTxDescriptor(f *testing.F) {
+	f.Add(uint32(0xF1000040), uint32(614), uint32(0), uint32(1)) // hypervisor code
+	f.Add(uint32(0xC0000010), uint32(614), uint32(0), uint32(1)) // dom0 kernel
+	f.Add(uint32(0x00000040), uint32(614), uint32(0), uint32(1)) // unmapped
+	f.Add(uint32(0xB0000000), uint32(0), uint32(0), uint32(1))   // zero length
+	f.Add(uint32(0xB0000FF8), uint32(0xFFFF), uint32(0), uint32(1))
+	f.Add(uint32(0), uint32(0), uint32(0xFFFF0000), uint32(3))     // corrupt head
+	f.Add(uint32(0xF4000000), uint32(65536), uint32(5), uint32(2)) // tail behind head
+	f.Add(uint32(0xB0000000), uint32(614), uint32(31), uint32(33)) // wrap
+
+	f.Fuzz(func(t *testing.T, addr, ln, head, tail uint32) {
+		fuzzTxSetup(t)
+		m, tw, d, base := fuzzTxTwin.m, fuzzTxTwin.tw, fuzzTxTwin.d, fuzzTxTwin.base
+
+		// Clean slate: re-format the ring (recovery's replay does the same).
+		if _, err := mem.InitRing(m.DomU.AS, base, TxRingSlots); err != nil {
+			t.Fatal(err)
+		}
+
+		// Sentinels: hypervisor driver code and the dom0 netdev.
+		hvAddr := tw.HVImage.CodeBase
+		hvBefore, _ := m.HV.HVSpace.Load(hvAddr, 4)
+		dom0Before, _ := m.Dom0.AS.Load(d.Netdev+kernel.NdPriv, 4)
+
+		// The guest scribbles: descriptor words both at slot 0 and at the
+		// slot its head word selects, then the header words themselves.
+		for _, slot := range []uint32{0, head & (TxRingSlots - 1)} {
+			s := base + 16 + slot*8
+			if err := m.DomU.AS.Store(s, 4, addr); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.DomU.AS.Store(s+4, 4, ln); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.DomU.AS.Store(base+4, 4, head); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.DomU.AS.Store(base+8, 4, tail); err != nil {
+			t.Fatal(err)
+		}
+
+		// One service sweep over the hostile ring.
+		pending0, _ := tw.PostedTxPending(m.DomU.ID)
+		wire0, lost0 := *fuzzTxTwin.wire, tw.PostedTxLost(m.DomU.ID)
+		sent, err := tw.ServiceRings(d, 0)
+		if tw.Dead {
+			t.Fatal("posted-TX descriptor abuse killed the twin")
+		}
+		if err != nil && !errors.Is(err, mem.ErrRingCorrupt) {
+			t.Fatalf("unexpected service error: %v", err)
+		}
+		if err == nil {
+			// With a sane header, every consumed descriptor is on the wire
+			// or counted lost — exactly once each.
+			pendingAfter, _ := tw.PostedTxPending(m.DomU.ID)
+			consumed := pending0 - pendingAfter
+			onWire := *fuzzTxTwin.wire - wire0
+			lost := int(tw.PostedTxLost(m.DomU.ID) - lost0)
+			if sent[m.DomU.ID] != onWire {
+				t.Fatalf("sent map says %d, wire saw %d", sent[m.DomU.ID], onWire)
+			}
+			if onWire+lost != consumed {
+				t.Fatalf("descriptors unaccounted: wire %d + lost %d != consumed %d", onWire, lost, consumed)
+			}
+		}
+		// Containment: not a byte outside guest memory, and the pin table
+		// stays bounded by the ring's worth of in-flight frames.
+		if v, _ := m.HV.HVSpace.Load(hvAddr, 4); v != hvBefore {
+			t.Fatal("hostile posted-TX descriptor wrote hypervisor memory")
+		}
+		if v, _ := m.Dom0.AS.Load(d.Netdev+kernel.NdPriv, 4); v != dom0Before {
+			t.Fatal("hostile posted-TX descriptor wrote dom0 memory")
+		}
+		if pins := tw.PinnedTxPages(); pins > TxRingSlots {
+			t.Fatalf("%d pinned pages outlive the ring's %d slots", pins, TxRingSlots)
+		}
+
+		// The ring is usable again after a reset: an honest post transmits.
+		if _, err := mem.InitRing(m.DomU.AS, base, TxRingSlots); err != nil {
+			t.Fatal(err)
+		}
+		if n, err := tw.PostTxDescriptors(m.DomU, []TxPost{{Addr: fuzzTxTwin.good, Len: fuzzTxTwin.n}}); err != nil || n != 1 {
+			t.Fatalf("honest re-post: %d, %v", n, err)
+		}
+		wire1 := *fuzzTxTwin.wire
+		if sent, err := tw.ServiceRings(d, 0); err != nil || sent[m.DomU.ID] != 1 {
+			t.Fatalf("post-reset service: %v, %v", sent, err)
+		}
+		if *fuzzTxTwin.wire != wire1+1 {
+			t.Fatal("honest re-post never reached the wire")
+		}
+	})
+}
+
 func FuzzPostedRxDescriptor(f *testing.F) {
 	f.Add(uint32(0xF1000040), uint32(4096), uint32(0), uint32(1)) // hypervisor code
 	f.Add(uint32(0xC0000010), uint32(2048), uint32(0), uint32(1)) // dom0 kernel

@@ -126,6 +126,15 @@ func hvSupportImpl(t *Twin, name string) (cpu.Extern, bool) {
 		fn = func(c *cpu.CPU) (uint32, error) {
 			c.Meter.AddTo(cycles.CompXen, cost.DmaMap)
 			page, off := c.Arg(1), c.Arg(2)
+			// A posted-TX fragment resolves through the pin table first:
+			// the device must DMA through exactly the translation the guest
+			// TLB validated when the descriptor was serviced, not whatever
+			// the guest's page tables say now (the DMA half of the TOCTOU
+			// rule). Copy-mode fragments are never pinned and fall through
+			// unchanged.
+			if pa, ok := t.pinnedTranslate(page + off); ok {
+				return pa, nil
+			}
 			// "the hypervisor implementation of the DMA mapping functions
 			// return the correct guest machine page addresses" (§5.3):
 			// chained fragments may be guest pages, which live below the

@@ -13,7 +13,8 @@ import (
 
 // exerciseTwin drives one machine through the full traced surface:
 // batched transmit (hypercall + batch events), staged rings (sweep
-// events), and posted-buffer receive (posted-rx + TLB events).
+// events), posted-descriptor transmit (posted-tx events) and
+// posted-buffer receive (posted-rx + TLB events).
 func exerciseTwin(t *testing.T, tr *telemetry.Tracer) (*Machine, *Twin) {
 	t.Helper()
 	m, tw, err := NewTwinMachine(1, 1, TwinConfig{Trace: tr})
@@ -37,6 +38,17 @@ func exerciseTwin(t *testing.T, tr *telemetry.Tracer) (*Machine, *Twin) {
 	}
 	if _, err := tw.StageTransmitBatch(m.DomU, batchFrames(d, 4, 300)); err != nil {
 		t.Fatal(err)
+	}
+	var descs []TxPost
+	for i, f := range batchFrames(d, 4, 500) {
+		buf := m.HV.AllocHeap(m.DomU, 2048)
+		if err := m.DomU.AS.WriteBytes(buf, f); err != nil {
+			t.Fatalf("posted-tx frame %d: %v", i, err)
+		}
+		descs = append(descs, TxPost{Addr: buf, Len: uint32(len(f))})
+	}
+	if posted, err := tw.PostTxDescriptors(m.DomU, descs); err != nil || posted != len(descs) {
+		t.Fatalf("posted %d tx descriptors: %v", posted, err)
 	}
 	if _, err := tw.ServiceRings(d, 0); err != nil {
 		t.Fatal(err)
@@ -87,7 +99,8 @@ func TestTracingIsCycleIdentical(t *testing.T) {
 	}
 	for _, k := range []telemetry.EventKind{
 		telemetry.EvHypercall, telemetry.EvBatchServiced, telemetry.EvSweepStart,
-		telemetry.EvSweepEnd, telemetry.EvPostedRx, telemetry.EvTLBMiss,
+		telemetry.EvSweepEnd, telemetry.EvPostedRx, telemetry.EvPostedTx,
+		telemetry.EvTLBMiss,
 	} {
 		if tr.CountKind(k) == 0 {
 			t.Errorf("no %s events recorded", k)

@@ -95,6 +95,76 @@ func TestQuickBatchedOutputEqualsPerPacket(t *testing.T) {
 	}
 }
 
+// TestQuickPostedTxWireEqualsCopy: for any frame sizes and any batch
+// split, the posted-descriptor transmit path puts exactly the copy-mode
+// path's bytes on the wire, frame for frame — posted TX is an
+// optimization, never a semantic change.
+func TestQuickPostedTxWireEqualsCopy(t *testing.T) {
+	mA, twA, wireA := quickTwin(t) // copy mode (staged batches)
+	mB, twB, wireB := quickTwin(t) // posted descriptors
+	dA, dB := mA.Devs[0], mB.Devs[0]
+
+	// A reusable guest-side arena for the posted twin's frames: one slot
+	// per possible frame, reused across property evaluations (a serviced
+	// descriptor's buffer is free for reuse once ServiceRings returns).
+	arena := make([]uint32, 24)
+	for i := range arena {
+		arena[i] = mB.HV.AllocHeap(mB.DomU, 2048)
+	}
+
+	prop := func(sizes []uint16, split uint8) bool {
+		*wireA, *wireB = nil, nil
+		frames := quickFrames(dA, sizes)
+		batch := 1 + int(split)%32
+
+		for i := 0; i < len(frames); i += batch {
+			end := i + batch
+			if end > len(frames) {
+				end = len(frames)
+			}
+			if n, err := twA.GuestTransmitBatch(dA, frames[i:end]); err != nil || n != end-i {
+				t.Logf("copy-mode transmit: n=%d err=%v", n, err)
+				return false
+			}
+			var descs []TxPost
+			for j := i; j < end; j++ {
+				if err := mB.DomU.AS.WriteBytes(arena[j], frames[j]); err != nil {
+					t.Logf("arena write: %v", err)
+					return false
+				}
+				descs = append(descs, TxPost{Addr: arena[j], Len: uint32(len(frames[j]))})
+			}
+			if n, err := twB.PostTxDescriptors(mB.DomU, descs); err != nil || n != len(descs) {
+				t.Logf("post: n=%d err=%v", n, err)
+				return false
+			}
+			if _, err := twB.ServiceRings(dB, 0); err != nil {
+				t.Logf("service: %v", err)
+				return false
+			}
+		}
+		if len(*wireA) != len(frames) || len(*wireB) != len(frames) {
+			t.Logf("wire counts: copy %d, posted %d, want %d", len(*wireA), len(*wireB), len(frames))
+			return false
+		}
+		for i := range frames {
+			if !bytes.Equal((*wireA)[i], (*wireB)[i]) {
+				t.Logf("frame %d differs between copy and posted wire", i)
+				return false
+			}
+			if !bytes.Equal((*wireB)[i], frames[i]) {
+				t.Logf("posted frame %d differs from the source frame", i)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(0x7C5EED))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestQuickHypercallsPerPacketMonotone: for any frame size, the hypercall
 // rate per packet is monotonically non-increasing in the batch size —
 // batching may only amortize the boundary crossing, never add crossings.

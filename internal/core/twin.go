@@ -153,6 +153,18 @@ type AbortStats struct {
 	// RX buffers, parked on the device transmit ring, or queued for
 	// delivery) and were returned to the pool by the teardown.
 	SkbsReclaimed int
+
+	// TxPostedDiscarded counts guest-posted transmit descriptors discarded
+	// when their ring was reset: the dead instance never serviced them, so
+	// they are accounted as lost instead of phantom-transmitted later. The
+	// guests re-post after recovery.
+	TxPostedDiscarded int
+
+	// TxPinsReleased counts guest pages that were still pinned for
+	// in-flight posted transmits when the instance died; the teardown
+	// releases every pin — a revived instance must never DMA through a
+	// translation validated for its dead predecessor.
+	TxPinsReleased int
 }
 
 // Twin is the loaded TwinDrivers runtime: both instances live, single data
@@ -201,6 +213,8 @@ type Twin struct {
 	pool          []uint32          // free pooled skbs
 	outstanding   map[uint32]bool   // pooled skbs handed out and not yet returned
 	fragBuf       map[uint32]uint32 // pooled skb -> preallocated frag buffer
+	txPins        map[uint32]*txPin // guest VA page -> pinned posted-TX translation
+	pinsBySkb     map[uint32][]uint32
 	rxQueues      map[mem.Owner]*rxQueue
 	macToDom      map[[6]byte]mem.Owner
 	pendingIRQ    []*NICDev // deferred while dom0 masks virtual interrupts
@@ -258,6 +272,9 @@ type guestIO struct {
 
 	rxRing *mem.Ring     // guest-posted receive buffer descriptors
 	gtlb   *svm.GuestTLB // cached guest-address translations for delivery
+
+	txRing     *mem.Ring // guest-posted transmit scatter/gather descriptors
+	postedLost uint64    // posted-TX frames lost to containment, lifetime
 }
 
 // NewTwinMachine builds a machine whose e1000 driver is twinned from the
@@ -327,6 +344,8 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 		hvSupport:   make(map[string]bool),
 		fragBuf:     make(map[uint32]uint32),
 		outstanding: make(map[uint32]bool),
+		txPins:      make(map[uint32]*txPin),
+		pinsBySkb:   make(map[uint32][]uint32),
 		rxQueues:    make(map[mem.Owner]*rxQueue),
 		macToDom:    make(map[[6]byte]mem.Owner),
 	}
@@ -478,10 +497,18 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 		}
 		io.gtlb = svm.NewGuestTLB(hv, g)
 		io.gtlb.Trace = t.ctlLane
+		// Posted-transmit descriptor ring (guest-writable, hardened like
+		// the other two): (addr, len) scatter/gather descriptors the ring
+		// service resolves through the guest TLB.
+		txBase := hv.AllocHeap(g, mem.RingBytes(TxRingSlots))
+		if io.txRing, err = mem.InitRing(g.AS, txBase, TxRingSlots); err != nil {
+			return nil, err
+		}
 		t.guestIO[g.ID] = io
 		t.guestOrder = append(t.guestOrder, g.ID)
 		m.Config.record(ConfigEvent{Op: OpRing, Dom: g.ID, Addr: ringBase, Aux: TxRingSlots})
 		m.Config.record(ConfigEvent{Op: OpRxRing, Dom: g.ID, Addr: rxBase, Aux: RxRingSlots})
+		m.Config.record(ConfigEvent{Op: OpTxRing, Dom: g.ID, Addr: txBase, Aux: TxRingSlots})
 	}
 
 	// --- Hypervisor instance: derived, translating stlb, upcall stubs ---
@@ -586,6 +613,9 @@ func (t *Twin) poolGet() (uint32, bool) {
 }
 
 func (t *Twin) poolPut(skb uint32) {
+	// TX completion is the pin release point: a posted frame's guest pages
+	// stay pinned exactly as long as its sk_buff is in flight.
+	t.unpinSkb(skb)
 	delete(t.outstanding, skb)
 	t.pool = append(t.pool, skb)
 }
@@ -695,8 +725,20 @@ func (t *Twin) abort(entry uint32, cause error) {
 		// trust a translation cached for its dead predecessor.
 		n, _ = g.rxRing.Discard()
 		st.RxPostedDiscarded += n
+		// Posted transmit descriptors the dead instance never serviced are
+		// discarded the same way, accounted in TxPostedDiscarded (not in
+		// PostedTxLost, which counts only service-time containment losses —
+		// each lost frame lands in exactly one bucket).
+		n, _ = g.txRing.Discard()
+		st.TxPostedDiscarded += n
 		g.gtlb.Invalidate()
 	}
+	// Release every posted-TX pin the dead instance held: in-flight frames
+	// die with the device rings, and a revived instance must never DMA
+	// through a translation validated for its predecessor.
+	st.TxPinsReleased = len(t.txPins)
+	t.txPins = make(map[uint32]*txPin)
+	t.pinsBySkb = make(map[uint32][]uint32)
 	left := make([]uint32, 0, len(t.outstanding))
 	for skb := range t.outstanding {
 		left = append(left, skb)

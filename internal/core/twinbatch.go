@@ -285,18 +285,32 @@ func (t *Twin) sweepQueue(d *NICDev, q, budget int, sent map[mem.Owner]int) (int
 				_ = g.ring.Reset()
 				return consumed, fmt.Errorf("core: guest %d transmit ring: %w", id, err)
 			}
-			if !ok {
-				continue
-			}
-			progress = true
-			consumed++
-			if err := t.xmitOne(d, g, addr, int(n)); err != nil {
-				if rerr := g.ring.Reset(); rerr != nil && !t.Dead {
-					return consumed, rerr
+			if ok {
+				progress = true
+				consumed++
+				if err := t.xmitOne(d, g, addr, int(n)); err != nil {
+					if rerr := g.ring.Reset(); rerr != nil && !t.Dead {
+						return consumed, rerr
+					}
+					return consumed, err
 				}
-				return consumed, err
+				sent[id]++
 			}
-			sent[id]++
+			// The posted-transmit ring drains under the same round-robin
+			// step: one descriptor per guest per pass, resolved through the
+			// guest TLB (txpath.go). A guest that never posts pays nothing —
+			// the empty-ring check moves no simulated cycles.
+			if budget > 0 && consumed >= budget {
+				return consumed, nil
+			}
+			did, perr := t.servicePostedTx(d, g, sent)
+			if did {
+				progress = true
+				consumed++
+			}
+			if perr != nil {
+				return consumed, perr
+			}
 		}
 		if !progress {
 			return consumed, nil

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"twindrivers/internal/cost"
+	"twindrivers/internal/cycles"
+	"twindrivers/internal/kernel"
+	"twindrivers/internal/mem"
+	"twindrivers/internal/telemetry"
+	"twindrivers/internal/xen"
+)
+
+// The posted-descriptor transmit path: the transmit-side mirror of
+// rxpath.go. On the staging path every transmitted frame is copied from
+// guest memory into a per-slot staging buffer before the hypervisor sees
+// it; here the guest posts (addr, len) scatter/gather descriptors naming
+// its own packet pages on a hardened guest-writable ring, and the ring
+// service hands those pages to the device directly — the zero-copy
+// transmit of §5.3 extended to the batched path, with the staging copy
+// gone in both directions.
+//
+// The descriptor ring is guest-writable memory and therefore hostile
+// input. Three rules keep it contained:
+//
+//   - Snapshot once (the TOCTOU rule): mem.Ring.Pop loads the descriptor's
+//     addr/len words into its return values before advancing the head, and
+//     everything after — validation, translation, the device handoff —
+//     operates only on that snapshot. A guest rewriting the slot after
+//     staging changes nothing the hypervisor ever reads again.
+//   - Own every byte: every page of [addr, addr+len) resolves through the
+//     guest's software TLB (svm.GuestTLB) before the device learns the
+//     address; a descriptor naming hypervisor, dom0 or unmapped memory
+//     loses that frame and nothing else.
+//   - Pin until completion: the validated translations are pinned so the
+//     device's DMA resolves exactly what the TLB checked. Pins are
+//     released when the frame's sk_buff returns to the pool, and an abort
+//     sweeps (and accounts) every pin the dead instance held.
+//
+// The staging path stays the bit-identical default: a twin that never
+// posts a transmit descriptor charges exactly the cycles it always did.
+
+// ErrNoTxPostRing reports a posted-transmit operation for a domain without
+// a posted-transmit ring (not a guest of this twin).
+var ErrNoTxPostRing = errors.New("core: domain has no posted-transmit ring")
+
+// TxPost is one guest-posted transmit descriptor: a guest virtual address
+// and the frame's byte length.
+type TxPost struct {
+	Addr uint32
+	Len  uint32
+}
+
+// txPin is one pinned guest page translation: the machine address the
+// guest TLB validated for a posted frame, held until TX completion so the
+// device's DMA mapping resolves exactly what was checked.
+type txPin struct {
+	pa   uint32 // machine address of the page's first byte
+	refs int    // posted frames currently spanning this page
+}
+
+// PostTxDescriptors publishes transmit descriptors on a guest's
+// posted-transmit ring without crossing the virtualization boundary (the
+// ring is shared memory, like the staging ring). It returns how many were
+// posted, stopping early without error when the ring fills — the guest
+// re-posts after the next service drains descriptors. The guest-side cycle
+// price is the caller's (netpath charges cost.TxPostPerDesc per
+// descriptor).
+func (t *Twin) PostTxDescriptors(dom *xen.Domain, descs []TxPost) (int, error) {
+	if t.Dead {
+		return 0, ErrDriverDead
+	}
+	g, ok := t.guestIO[dom.ID]
+	if !ok {
+		return 0, fmt.Errorf("%w: domain %q", ErrNoTxPostRing, dom.Name)
+	}
+	posted := 0
+	for _, d := range descs {
+		free, err := g.txRing.Free()
+		if err != nil {
+			return posted, err
+		}
+		if free == 0 {
+			return posted, nil
+		}
+		if err := g.txRing.Push(d.Addr, d.Len); err != nil {
+			return posted, err
+		}
+		posted++
+	}
+	return posted, nil
+}
+
+// TxPostedFree reports how many more descriptors the guest can post.
+func (t *Twin) TxPostedFree(dom mem.Owner) (int, error) {
+	g, ok := t.guestIO[dom]
+	if !ok {
+		return 0, ErrNoTxPostRing
+	}
+	return g.txRing.Free()
+}
+
+// PostedTxPending reports how many posted transmit descriptors a guest has
+// staged and not yet serviced (introspection for harnesses reconciling
+// their own ledgers against the ring).
+func (t *Twin) PostedTxPending(dom mem.Owner) (int, error) {
+	g, ok := t.guestIO[dom]
+	if !ok {
+		return 0, ErrNoTxPostRing
+	}
+	return g.txRing.Len()
+}
+
+// PostedTxLost reports how many posted transmit frames a guest has lost to
+// containment over the twin's lifetime: hostile or unmapped addresses,
+// oversize lengths, or a full buffer pool. Each lost frame is counted
+// exactly once, at the service that consumed its descriptor.
+func (t *Twin) PostedTxLost(dom mem.Owner) uint64 {
+	if g, ok := t.guestIO[dom]; ok {
+		return g.postedLost
+	}
+	return 0
+}
+
+// PinnedTxPages reports how many distinct guest pages are currently pinned
+// for in-flight posted transmits (introspection for tests and
+// diagnostics). It must return to zero once every posted frame's sk_buff
+// has been reclaimed.
+func (t *Twin) PinnedTxPages() int { return len(t.txPins) }
+
+// pinSpans records the validated translation of every page a posted frame
+// spans, keyed by guest virtual page (guest heap regions are globally
+// disjoint, so a VA page names at most one guest page machine frame). A
+// page posted by two in-flight frames is reference-counted, not
+// double-pinned.
+func (t *Twin) pinSpans(skb, addr uint32, spans []pageSpan) {
+	off := uint32(0)
+	for _, sp := range spans {
+		vp := (addr + off) &^ uint32(mem.PageMask)
+		pp := sp.pa &^ uint32(mem.PageMask)
+		if pin, ok := t.txPins[vp]; ok {
+			pin.refs++
+		} else {
+			t.txPins[vp] = &txPin{pa: pp, refs: 1}
+		}
+		t.pinsBySkb[skb] = append(t.pinsBySkb[skb], vp)
+		off += uint32(sp.bytes)
+	}
+}
+
+// unpinSkb releases the pins a posted frame's sk_buff holds; a no-op for
+// buffers that never carried a posted frame.
+func (t *Twin) unpinSkb(skb uint32) {
+	vps, ok := t.pinsBySkb[skb]
+	if !ok {
+		return
+	}
+	for _, vp := range vps {
+		if pin, ok := t.txPins[vp]; ok {
+			pin.refs--
+			if pin.refs == 0 {
+				delete(t.txPins, vp)
+			}
+		}
+	}
+	delete(t.pinsBySkb, skb)
+}
+
+// pinnedTranslate resolves a DMA address through the pin table: the
+// machine address the guest TLB validated when the frame's descriptor was
+// serviced. The boolean is false for addresses no posted frame pinned
+// (copy-mode fragments resolve through the page-table walk as before).
+func (t *Twin) pinnedTranslate(addr uint32) (uint32, bool) {
+	pin, ok := t.txPins[addr&^uint32(mem.PageMask)]
+	if !ok {
+		return 0, false
+	}
+	return pin.pa | (addr & mem.PageMask), true
+}
+
+// xmitPosted is the hypervisor-side transmit work for one posted
+// descriptor, operating entirely on the (addr, n) snapshot Pop returned.
+// Validation order is length bound, then per-page ownership through the
+// guest TLB — before a pooled buffer is taken or a byte moves. A
+// machine-contiguous frame on a scatter/gather backend goes to the device
+// zero-copy (the guest pages chained as the fragment, their translations
+// pinned); a frame whose pages are not machine-contiguous, or any frame on
+// a no-scatter/gather backend, falls back to a full copy into the pooled
+// linear buffer — correctness everywhere, zero-copy where the hardware
+// allows it. Every error return is contained to this frame.
+func (t *Twin) xmitPosted(d *NICDev, g *guestIO, addr uint32, n int) error {
+	if n <= 0 || n > kernel.SkbBufSize {
+		t.ctlLane.Record(t.mMeter, telemetry.EvHostile, int32(g.dom.ID), 2, uint64(uint32(n)))
+		return ErrFrameOversize
+	}
+	hv := t.M.HV
+	meter := hv.Meter
+	// Ownership check first: every page of the posted frame resolves
+	// through the guest TLB before anything else happens. The TLB records
+	// the violation and its trace event itself.
+	spans, err := pageSpans(addr, n, func(a uint32) (uint32, error) {
+		return g.gtlb.Translate(meter, a)
+	})
+	if err != nil {
+		return err
+	}
+	skb, ok := t.poolGet()
+	if !ok {
+		return ErrTxBusy
+	}
+	as := t.M.Dom0.AS
+	contig := true
+	for i := 1; i < len(spans); i++ {
+		if spans[i].pa != spans[i-1].pa+uint32(spans[i-1].bytes) {
+			contig = false
+			break
+		}
+	}
+	fallback := !contig || t.M.Model.TxHeaderSplit == 0
+	if fallback {
+		// The device cannot take the guest pages directly (no
+		// scatter/gather, or the frame is not machine-contiguous): copy the
+		// whole frame into the pooled linear buffer, per destination page,
+		// exactly like the staging path's header copy grown to full length.
+		head, _ := as.Load(skb+kernel.SkbHead, 4)
+		dst, err := pageSpans(head, n, func(a uint32) (uint32, error) {
+			return t.SV.Translate(meter, a)
+		})
+		if err != nil {
+			t.poolPut(skb)
+			return err
+		}
+		gas := g.dom.AS
+		off := 0
+		for _, sp := range dst {
+			meter.AddTo(cycles.CompXen, uint64(sp.bytes)*cost.HvCopyPerByte)
+			meter.TouchLines(sp.pa, sp.bytes)
+			if err := mem.Copy(hv.HVSpace, sp.pa, gas, addr+uint32(off), sp.bytes); err != nil {
+				t.poolPut(skb)
+				return err
+			}
+			off += sp.bytes
+		}
+		as.Store(skb+kernel.SkbNrFrags, 4, 0)
+	} else {
+		// Zero-copy: the whole frame rides as the fragment; the linear part
+		// is empty (the driver writes a zero-length linear descriptor, which
+		// the device model reads as zero bytes). The validated translations
+		// are pinned before the driver runs, so dma_map_page resolves
+		// exactly what the TLB checked.
+		t.pinSpans(skb, addr, spans)
+		as.Store(skb+kernel.SkbNrFrags, 4, 1)
+		as.Store(skb+kernel.SkbFragPage, 4, addr)
+		as.Store(skb+kernel.SkbFragOff, 4, 0)
+		as.Store(skb+kernel.SkbFragSize, 4, uint32(n))
+	}
+	as.Store(skb+kernel.SkbLen, 4, uint32(n))
+	as.Store(skb+kernel.SkbQueue, 4, uint32(g.queue))
+
+	ret, err := t.invokeHV(t.xmitEntry, skb, d.Netdev)
+	if err != nil {
+		return err // containment abort: the teardown sweeps skb and pins
+	}
+	if ret != 0 {
+		t.unpinSkb(skb)
+		t.poolPut(skb)
+		return ErrTxBusy
+	}
+	var fb uint64
+	if fallback {
+		fb = 1
+	}
+	t.ctlLane.Record(t.mMeter, telemetry.EvPostedTx, int32(g.dom.ID), uint64(n), fb)
+	return nil
+}
+
+// servicePostedTx consumes at most one posted descriptor from a guest's
+// posted-transmit ring (the per-guest step of the round-robin sweep,
+// alongside the staged-ring step). The first return reports whether a
+// descriptor was consumed. A corrupt ring header resets the ring and
+// fails the sweep, like the staged ring's; a frame-level failure loses
+// only that frame (counted in the guest's PostedTxLost) unless it killed
+// the instance.
+func (t *Twin) servicePostedTx(d *NICDev, g *guestIO, sent map[mem.Owner]int) (bool, error) {
+	addr, n, ok, err := g.txRing.Pop()
+	if err != nil {
+		_ = g.txRing.Reset()
+		t.ctlLane.Record(t.mMeter, telemetry.EvHostile, int32(g.dom.ID), 1, 0)
+		return false, fmt.Errorf("core: guest %d posted-tx ring: %w", g.dom.ID, err)
+	}
+	if !ok {
+		return false, nil
+	}
+	if err := t.xmitPosted(d, g, addr, int(n)); err != nil {
+		if t.Dead {
+			return true, err
+		}
+		// Hostile, oversize or resource-starved: contained to this frame.
+		g.postedLost++
+		return true, nil
+	}
+	sent[g.dom.ID]++
+	return true, nil
+}

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"twindrivers/internal/drivermodel"
+	"twindrivers/internal/kernel"
+	"twindrivers/internal/mem"
+)
+
+// Posted-descriptor transmit path tests: byte-exact zero-copy transmit,
+// hostile-descriptor containment (including TOCTOU rewrite-after-stage and
+// double-posting), page-straddle fail-closed behaviour, pin lifecycle
+// across TX completion and abort/revive, and the TX-side guest-TLB hit
+// rate.
+
+// postedTxSetup brings up a twin with wire capture and returns n guest
+// frame buffers, each 2048 bytes, plus the frames written into them.
+func postedTxSetup(t *testing.T, model *drivermodel.Model, n, size int) (*Machine, *Twin, *NICDev, *[][]byte, []uint32, [][]byte) {
+	t.Helper()
+	m, tw, err := NewTwinMachineModel(1, 1, model, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	got := captureDev(d)
+	m.HV.Switch(m.DomU)
+	var bufs []uint32
+	var frames [][]byte
+	for i := 0; i < n; i++ {
+		buf := m.HV.AllocHeap(m.DomU, 2048)
+		f := EthernetFrame([6]byte{2, 2, 2, 2, 2, 2}, d.Dev.HWAddr(), 0x0800, payload(size+i*13, byte(i)))
+		if err := m.DomU.AS.WriteBytes(buf, f); err != nil {
+			t.Fatal(err)
+		}
+		bufs = append(bufs, buf)
+		frames = append(frames, f)
+	}
+	return m, tw, d, got, bufs, frames
+}
+
+// postAll posts one descriptor per buffer/frame pair.
+func postAll(t *testing.T, tw *Twin, m *Machine, bufs []uint32, frames [][]byte) {
+	t.Helper()
+	var descs []TxPost
+	for i, buf := range bufs {
+		descs = append(descs, TxPost{Addr: buf, Len: uint32(len(frames[i]))})
+	}
+	if n, err := tw.PostTxDescriptors(m.DomU, descs); err != nil || n != len(descs) {
+		t.Fatalf("posted %d of %d: %v", n, len(descs), err)
+	}
+}
+
+// TestPostedTxByteExact: posted frames reach the wire byte-exact and in
+// order, per backend — zero-copy on a scatter/gather backend, through the
+// linear-copy fallback on one without.
+func TestPostedTxByteExact(t *testing.T) {
+	for _, model := range rxModels() {
+		t.Run(model.Name, func(t *testing.T) {
+			const n = 8
+			m, tw, d, got, bufs, frames := postedTxSetup(t, model, n, 400)
+			postAll(t, tw, m, bufs, frames)
+			sent, err := tw.ServiceRings(d, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sent[m.DomU.ID] != n {
+				t.Fatalf("sent %d, want %d", sent[m.DomU.ID], n)
+			}
+			if len(*got) != n {
+				t.Fatalf("wire carries %d frames, want %d", len(*got), n)
+			}
+			for i, f := range *got {
+				if !bytes.Equal(f, frames[i]) {
+					t.Errorf("wire frame %d differs from the posted frame (%d vs %d bytes)", i, len(f), len(frames[i]))
+				}
+			}
+			if lost := tw.PostedTxLost(m.DomU.ID); lost != 0 {
+				t.Errorf("honest posted transmit lost %d frames", lost)
+			}
+		})
+	}
+}
+
+// TestPostedTxPinLifecycle: a serviced posted frame's guest pages stay
+// pinned while its sk_buff is in flight and unpin at TX completion; the
+// pool conserves.
+func TestPostedTxPinLifecycle(t *testing.T) {
+	m, tw, d, _, bufs, frames := postedTxSetup(t, nil, 4, 500)
+	postAll(t, tw, m, bufs, frames)
+	if _, err := tw.ServiceRings(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The driver's TX-clean frees completed buffers on each xmit; the last
+	// frame's sk_buff (and its pin) is still in flight after the batch.
+	if tw.PinnedTxPages() == 0 {
+		t.Fatal("no pages pinned with a posted frame in flight")
+	}
+	if err := tw.HandleIRQ(d); err != nil {
+		t.Fatal(err)
+	}
+	if tw.PinnedTxPages() != 0 {
+		t.Fatalf("%d pages still pinned after TX completion", tw.PinnedTxPages())
+	}
+	if tw.PoolOutstanding() != 0 {
+		t.Fatalf("%d pooled buffers outstanding after completion", tw.PoolOutstanding())
+	}
+}
+
+// TestPostedTxHostileDescriptorContained: descriptors naming hypervisor
+// memory, dom0 memory, an unmapped page, or an oversize length lose
+// exactly their own frame. The twin stays alive, honest descriptors around
+// them still transmit byte-exact, and not a byte from outside guest memory
+// reaches the wire.
+func TestPostedTxHostileDescriptorContained(t *testing.T) {
+	for _, model := range rxModels() {
+		t.Run(model.Name, func(t *testing.T) {
+			m, tw, d, got, bufs, frames := postedTxSetup(t, model, 2, 300)
+			hvAddr := tw.HVImage.CodeBase
+			hvBefore, _ := m.HV.HVSpace.Load(hvAddr, 4)
+			dom0Addr := d.Netdev
+			dom0Before, _ := m.Dom0.AS.Load(dom0Addr, 4)
+			descs := []TxPost{
+				{Addr: bufs[0], Len: uint32(len(frames[0]))}, // honest
+				{Addr: hvAddr, Len: 600},                     // hypervisor range
+				{Addr: dom0Addr, Len: 600},                   // dom0 range
+				{Addr: 0x00000040, Len: 600},                 // unmapped guest page
+				{Addr: bufs[1], Len: 0xFFFF},                 // oversize length word
+				{Addr: bufs[1], Len: uint32(len(frames[1]))}, // honest again
+			}
+			if n, err := tw.PostTxDescriptors(m.DomU, descs); err != nil || n != len(descs) {
+				t.Fatalf("posted %d: %v", n, err)
+			}
+			viol := tw.GuestTLBViolations(m.DomU.ID)
+			if _, err := tw.ServiceRings(d, 0); err != nil {
+				t.Fatalf("hostile descriptors errored the sweep: %v", err)
+			}
+			if tw.Dead {
+				t.Fatal("hostile posted-TX descriptor killed the twin")
+			}
+			if len(*got) != 2 {
+				t.Fatalf("wire carries %d frames, want the 2 honest ones", len(*got))
+			}
+			if !bytes.Equal((*got)[0], frames[0]) || !bytes.Equal((*got)[1], frames[1]) {
+				t.Error("honest frames corrupted around hostile descriptors")
+			}
+			if lost := tw.PostedTxLost(m.DomU.ID); lost != 4 {
+				t.Errorf("lost %d frames, want exactly the 4 hostile ones", lost)
+			}
+			// The three bad addresses each recorded a TLB violation (the
+			// oversize length is refused before translation).
+			if d := tw.GuestTLBViolations(m.DomU.ID) - viol; d != 3 {
+				t.Errorf("guest TLB recorded %d violations, want 3", d)
+			}
+			if v, _ := m.HV.HVSpace.Load(hvAddr, 4); v != hvBefore {
+				t.Error("hostile descriptor disturbed hypervisor memory")
+			}
+			if v, _ := m.Dom0.AS.Load(dom0Addr, 4); v != dom0Before {
+				t.Error("hostile descriptor disturbed dom0 memory")
+			}
+		})
+	}
+}
+
+// TestPostedTxTOCTOURewriteAfterStage: a guest posting an honest
+// descriptor and rewriting the slot's length word afterwards cannot get
+// yesterday's validation applied to today's words — the service snapshots
+// the slot exactly once, at Pop, so the rewritten (oversize) value is what
+// gets validated, and only that frame is lost.
+func TestPostedTxTOCTOURewriteAfterStage(t *testing.T) {
+	m, tw, d, got, bufs, frames := postedTxSetup(t, nil, 2, 300)
+	postAll(t, tw, m, bufs, frames)
+	// Rewrite the first posted slot's length word after staging, before
+	// service: the descriptor the guest validated-looking posted now claims
+	// an oversize frame.
+	var base uint32
+	for _, ev := range m.Config.Events {
+		if ev.Op == OpTxRing && ev.Dom == m.DomU.ID {
+			base = ev.Addr
+		}
+	}
+	if base == 0 {
+		t.Fatal("no recorded posted-TX ring base")
+	}
+	tail, _ := m.DomU.AS.Load(base+8, 4)
+	slot := (tail - 2) % TxRingSlots // first of the two posted descriptors
+	if err := m.DomU.AS.Store(base+16+slot*8+4, 4, 0xFFFF); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.ServiceRings(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Dead {
+		t.Fatal("TOCTOU rewrite killed the twin")
+	}
+	if len(*got) != 1 || !bytes.Equal((*got)[0], frames[1]) {
+		t.Fatalf("wire carries %d frames; want only the untouched second frame", len(*got))
+	}
+	if lost := tw.PostedTxLost(m.DomU.ID); lost != 1 {
+		t.Fatalf("lost %d frames, want exactly the rewritten one", lost)
+	}
+}
+
+// TestPostedTxDoublePost: the same guest buffer posted twice transmits
+// twice, byte-exact — the pin table reference-counts the shared pages, and
+// both completions release cleanly.
+func TestPostedTxDoublePost(t *testing.T) {
+	m, tw, d, got, bufs, frames := postedTxSetup(t, nil, 1, 700)
+	descs := []TxPost{
+		{Addr: bufs[0], Len: uint32(len(frames[0]))},
+		{Addr: bufs[0], Len: uint32(len(frames[0]))},
+	}
+	if n, err := tw.PostTxDescriptors(m.DomU, descs); err != nil || n != 2 {
+		t.Fatalf("posted %d: %v", n, err)
+	}
+	if _, err := tw.ServiceRings(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 2 || !bytes.Equal((*got)[0], frames[0]) || !bytes.Equal((*got)[1], frames[0]) {
+		t.Fatalf("double-posted buffer put %d frames on the wire, want 2 identical", len(*got))
+	}
+	if err := tw.HandleIRQ(d); err != nil {
+		t.Fatal(err)
+	}
+	if tw.PinnedTxPages() != 0 {
+		t.Fatalf("%d pages still pinned after both completions", tw.PinnedTxPages())
+	}
+}
+
+// TestPostedTxStraddleUnmappedFailsClosed: a descriptor whose frame
+// straddles from a mapped page into an unmapped successor page fails
+// closed — the whole frame is refused before a byte moves (all pages
+// translate up front, the same all-or-nothing discipline
+// TestXmitHeaderCopyStraddlesPages pins on the copy path), the frame is
+// lost, and the twin survives.
+func TestPostedTxStraddleUnmappedFailsClosed(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	got := captureDev(d)
+	m.HV.Switch(m.DomU)
+	// Pad the guest heap so a 16-byte allocation ends exactly at a page
+	// boundary: the frame posted from it straddles into the next page,
+	// which AllocHeap has not mapped yet.
+	probe := m.HV.AllocHeap(m.DomU, 4)
+	pad := (mem.PageSize - int((probe+4)&mem.PageMask) - 16 + mem.PageSize) % mem.PageSize
+	if pad > 0 {
+		m.HV.AllocHeap(m.DomU, uint32(pad))
+	}
+	buf := m.HV.AllocHeap(m.DomU, 16)
+	if buf&mem.PageMask != mem.PageSize-16 {
+		t.Fatalf("buffer at %#x, want offset PageSize-16", buf)
+	}
+	viol := tw.GuestTLBViolations(m.DomU.ID)
+	if n, err := tw.PostTxDescriptors(m.DomU, []TxPost{{Addr: buf, Len: 600}}); err != nil || n != 1 {
+		t.Fatalf("post: %d, %v", n, err)
+	}
+	if _, err := tw.ServiceRings(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Dead {
+		t.Fatal("straddling descriptor killed the twin")
+	}
+	if len(*got) != 0 {
+		t.Fatalf("%d frames reached the wire from an unmapped straddle", len(*got))
+	}
+	if lost := tw.PostedTxLost(m.DomU.ID); lost != 1 {
+		t.Fatalf("lost %d, want the one straddling frame", lost)
+	}
+	if tw.GuestTLBViolations(m.DomU.ID) == viol {
+		t.Error("straddle refusal not recorded as a TLB violation")
+	}
+	if tw.PinnedTxPages() != 0 {
+		t.Error("failed descriptor left pages pinned")
+	}
+}
+
+// TestPostedTxRingScribbleContained: a guest scribbling its posted-TX ring
+// header gets ErrRingCorrupt, a ring reset, and a live twin; honest
+// re-posting resumes transmission.
+func TestPostedTxRingScribbleContained(t *testing.T) {
+	m, tw, d, got, bufs, frames := postedTxSetup(t, nil, 1, 400)
+	var base uint32
+	for _, ev := range m.Config.Events {
+		if ev.Op == OpTxRing && ev.Dom == m.DomU.ID {
+			base = ev.Addr
+		}
+	}
+	if base == 0 {
+		t.Fatal("no recorded posted-TX ring base")
+	}
+	if err := m.DomU.AS.Store(base+8, 4, 0xFFFF0000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.ServiceRings(d, 0); !errors.Is(err, mem.ErrRingCorrupt) {
+		t.Fatalf("scribbled ring header: %v", err)
+	}
+	if tw.Dead {
+		t.Fatal("ring scribble killed the twin")
+	}
+	postAll(t, tw, m, bufs, frames)
+	if _, err := tw.ServiceRings(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 1 || !bytes.Equal((*got)[0], frames[0]) {
+		t.Fatalf("re-posted transmit after reset: %d frames", len(*got))
+	}
+}
+
+// TestAbortDiscardsPostedTx: an abort discards staged posted-TX
+// descriptors (accounted in AbortStats), releases every pin, and shoots
+// down the guest TLB; after Revive the ring is clean and re-posted
+// descriptors transmit again.
+func TestAbortDiscardsPostedTx(t *testing.T) {
+	m, tw, d, got, bufs, frames := postedTxSetup(t, nil, 3, 500)
+	// Transmit one posted frame first so a pin is in flight at the abort.
+	if n, err := tw.PostTxDescriptors(m.DomU, []TxPost{{Addr: bufs[0], Len: uint32(len(frames[0]))}}); err != nil || n != 1 {
+		t.Fatalf("post: %d, %v", n, err)
+	}
+	if _, err := tw.ServiceRings(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tw.PinnedTxPages() == 0 {
+		t.Fatal("no pin in flight before the abort")
+	}
+	// Stage two more the dead instance will never service.
+	postAll(t, tw, m, bufs[1:], frames[1:])
+	// Kill the instance with the generic wild write.
+	if err := m.Dom0.AS.Store(d.Netdev+kernel.NdPriv, 4, 0xF1000040); err != nil {
+		t.Fatal(err)
+	}
+	err := tw.GuestTransmit(d, frames[0])
+	if !errors.Is(err, ErrDriverDead) {
+		t.Fatalf("wild write not contained: %v", err)
+	}
+	if tw.LastAbort.TxPostedDiscarded != 2 {
+		t.Errorf("abort discarded %d posted-TX descriptors, want 2", tw.LastAbort.TxPostedDiscarded)
+	}
+	if tw.LastAbort.TxPinsReleased == 0 {
+		t.Error("abort released no pins with a posted frame in flight")
+	}
+	if tw.PinnedTxPages() != 0 {
+		t.Error("abort left pages pinned")
+	}
+	if tw.GuestTLBCached(m.DomU.ID) != 0 {
+		t.Error("abort left guest-TLB translations cached")
+	}
+	if err := tw.Revive(); err != nil {
+		t.Fatal(err)
+	}
+	if free, err := tw.TxPostedFree(m.DomU.ID); err != nil || free != TxRingSlots {
+		t.Fatalf("revived posted-TX ring not empty: free=%d, %v", free, err)
+	}
+	*got = (*got)[:0]
+	postAll(t, tw, m, bufs, frames)
+	if _, err := tw.ServiceRings(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 3 {
+		t.Fatalf("post-revive posted transmit put %d frames on the wire, want 3", len(*got))
+	}
+	for i, f := range *got {
+		if !bytes.Equal(f, frames[i]) {
+			t.Errorf("post-revive frame %d corrupted", i)
+		}
+	}
+}
+
+// TestPostedTxRingFullStopsPosting: PostTxDescriptors stops at ring
+// capacity without error, like the other guest-shared rings.
+func TestPostedTxRingFullStopsPosting(t *testing.T) {
+	m, tw, err := NewTwinMachine(1, 1, TwinConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := m.HV.AllocHeap(m.DomU, 2048)
+	descs := make([]TxPost, TxRingSlots+5)
+	for i := range descs {
+		descs[i] = TxPost{Addr: buf, Len: 600}
+	}
+	n, err := tw.PostTxDescriptors(m.DomU, descs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != TxRingSlots {
+		t.Fatalf("posted %d, want ring capacity %d", n, TxRingSlots)
+	}
+	if free, _ := tw.TxPostedFree(m.DomU.ID); free != 0 {
+		t.Fatalf("free=%d after filling the ring", free)
+	}
+	if pending, _ := tw.PostedTxPending(m.DomU.ID); pending != TxRingSlots {
+		t.Fatalf("pending=%d after filling the ring", pending)
+	}
+}
+
+// TestPostedTxTLBHitRate asserts the per-guest translation cache earns its
+// keep on the posted-TX path: repeated services over re-posted frame
+// buffers must resolve mostly from the cache. Per backend — the mirror of
+// TestPostedRxTLBHitRate.
+func TestPostedTxTLBHitRate(t *testing.T) {
+	for _, model := range rxModels() {
+		t.Run(model.Name, func(t *testing.T) {
+			const n = 8
+			m, tw, d, got, bufs, frames := postedTxSetup(t, model, n, 400)
+			for round := 0; round < 4; round++ {
+				postAll(t, tw, m, bufs, frames)
+				if _, err := tw.ServiceRings(d, 0); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+			}
+			if len(*got) != 4*n {
+				t.Fatalf("wire carries %d frames, want %d", len(*got), 4*n)
+			}
+			hits, misses := tw.GuestTLBStats(m.DomU.ID)
+			if hits+misses == 0 {
+				t.Fatal("posted transmits performed no guest translations")
+			}
+			rate := float64(hits) / float64(hits+misses)
+			if rate < 0.5 {
+				t.Fatalf("gtlb hit rate %.2f (hits %d, misses %d), want >= 0.5 after re-servicing the same buffers",
+					rate, hits, misses)
+			}
+		})
+	}
+}

@@ -155,6 +155,12 @@ const (
 	// receive buffer: descriptor construction and the ring push. Paid once
 	// per posted buffer, ahead of delivery.
 	RxPostPerBuffer = 350
+
+	// TxPostPerDesc prices the guest paravirtual driver's posting of one
+	// transmit scatter/gather descriptor: descriptor construction and the
+	// ring push, replacing the per-byte staging copy of the copy-mode
+	// transmit path (the guest's packet pages go to the device directly).
+	TxPostPerDesc = 350
 )
 
 // Kernel support routine prices (dom0-native execution). These routines are

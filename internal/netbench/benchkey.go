@@ -4,9 +4,9 @@ import "fmt"
 
 // BenchKey is the stable configuration key a Result files under in the
 // BENCH_<area>.json measurement sets: backend, direction and batch size,
-// with the posted-RX marker when the measurement ran the posted-buffer
-// path. Keys survive refactors — the bench gate diffs them against
-// committed baselines.
+// with the posted-RX / posted-TX markers when the measurement ran a
+// posted-descriptor path. Keys survive refactors — the bench gate diffs
+// them against committed baselines.
 func (r *Result) BenchKey() string {
 	dir := "tx"
 	if r.Direction == RX {
@@ -15,6 +15,9 @@ func (r *Result) BenchKey() string {
 	key := fmt.Sprintf("%s/%s/batch=%d", r.Backend, dir, r.Batch)
 	if r.PostedRX {
 		key += "/posted"
+	}
+	if r.PostedTX {
+		key += "/postedtx"
 	}
 	if r.Queues > 1 {
 		key += fmt.Sprintf("/q%d", r.Queues)

@@ -57,6 +57,11 @@ type Result struct {
 	// legacy copy path.
 	PostedRX bool
 
+	// PostedTX reports whether the transmit measurement ran the posted
+	// scatter/gather descriptor path (zero-copy through the guest TLB) or
+	// the staging-copy path.
+	PostedTX bool
+
 	// Queues is the effective service-queue count of the measurement
 	// (1 = the classic single-queue configuration).
 	Queues int
@@ -92,6 +97,13 @@ type Params struct {
 	// hypervisor copies each frame once, directly into the posted page.
 	// False (the default) measures the paper's copy path.
 	PostedRX bool
+
+	// PostedTX runs transmit measurements over the posted-descriptor
+	// path: guests leave frames in their own memory and post (addr,len)
+	// scatter/gather descriptors; the hypervisor pins and hands the guest
+	// pages to the device directly. False (the default) measures the
+	// staging-copy path.
+	PostedTX bool
 
 	// Backend selects the NIC driver model by registry name (default
 	// "e1000"). Every registered backend runs the same measurement
@@ -219,6 +231,7 @@ func Measure(p *netpath.Path, dir Direction, prm Params) (*Result, error) {
 	prm.defaults()
 	p.BatchSize = prm.Batch
 	p.PostedRX = prm.PostedRX
+	p.PostedTX = prm.PostedTX
 	// step moves up to prm.Batch packets; with Batch 1 it is exactly the
 	// per-packet loop (FlushPerPacket then flushes before every packet,
 	// with larger batches before every burst).
@@ -272,6 +285,7 @@ func Measure(p *netpath.Path, dir Direction, prm Params) (*Result, error) {
 		Backend:         p.M.Model.Name,
 		Batch:           prm.Batch,
 		PostedRX:        prm.PostedRX,
+		PostedTX:        prm.PostedTX,
 		Queues:          queues,
 		CyclesPerPacket: float64(critical) / n,
 		Breakdown:       make(map[cycles.Component]float64),
@@ -333,6 +347,7 @@ func RunMultiGuest(dir Direction, guests int, prm Params) (*MultiGuestResult, er
 		return nil, err
 	}
 	p.PostedRX = prm.PostedRX
+	p.PostedTX = prm.PostedTX
 	attachRecovery(p, prm)
 	perGuest := make(map[mem.Owner]uint64)
 	run := func(total int, phase string, record bool) error {
@@ -390,6 +405,7 @@ func RunMultiGuest(dir Direction, guests int, prm Params) (*MultiGuestResult, er
 			Backend:         p.M.Model.Name,
 			Batch:           prm.Batch,
 			PostedRX:        prm.PostedRX,
+			PostedTX:        prm.PostedTX,
 			Queues:          queues,
 			CyclesPerPacket: float64(critical) / n,
 			Breakdown:       make(map[cycles.Component]float64),

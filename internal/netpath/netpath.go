@@ -88,6 +88,15 @@ type Path struct {
 	// configurations ignore it.
 	PostedRX bool
 
+	// PostedTX switches the domU-twin transmit path to posted
+	// scatter/gather descriptors: the guest leaves each frame in its own
+	// memory and posts only the (addr,len) descriptor on its posted-TX
+	// ring; the hypervisor resolves the address through the guest
+	// translation cache, pins the frames' pages and hands them to the
+	// device directly — no staging copy. False (the default) is the
+	// copy path through the staging ring. Other configurations ignore it.
+	PostedTX bool
+
 	// TxCount / RxCount tally packets that completed the full path.
 	TxCount uint64
 	RxCount uint64
@@ -117,6 +126,10 @@ type Path struct {
 	// allocated lazily so the legacy path's heap layout — and therefore
 	// its pinned cycle measurements — stays untouched when posting is off.
 	rxArena map[mem.Owner]*postedArena
+
+	// txArena holds each guest's postable transmit buffers (PostedTX
+	// mode), lazily allocated for the same layout-preservation reason.
+	txArena map[mem.Owner]*postedArena
 }
 
 // RxSlotBytes sizes one posted receive buffer (an MTU frame plus headroom,
@@ -154,6 +167,26 @@ func (p *Path) arenaFor(dom *xen.Domain) *postedArena {
 			a.slots = append(a.slots, p.M.HV.AllocHeap(dom, RxSlotBytes))
 		}
 		p.rxArena[dom.ID] = a
+	}
+	return a
+}
+
+// txArenaFor lazily builds the postable transmit-buffer arena of one
+// guest: core.TxRingSlots buffers, recycled round-robin. The posted-TX
+// ring caps outstanding descriptors at the same count and every round
+// services the ring to empty before the arena wraps, so a buffer is never
+// rewritten while a descriptor naming it is still pending.
+func (p *Path) txArenaFor(dom *xen.Domain) *postedArena {
+	if p.txArena == nil {
+		p.txArena = make(map[mem.Owner]*postedArena)
+	}
+	a := p.txArena[dom.ID]
+	if a == nil {
+		a = &postedArena{}
+		for i := 0; i < core.TxRingSlots; i++ {
+			a.slots = append(a.slots, p.M.HV.AllocHeap(dom, core.TxSlotBytes))
+		}
+		p.txArena[dom.ID] = a
 	}
 	return a
 }
@@ -348,6 +381,15 @@ func (p *Path) recoverDead(err error) bool {
 // is healed and the burst resumes; a transmitted frame is never duplicated
 // because a faulting invocation dies before the frame reaches the wire.
 func (p *Path) SendBurst(i, size, n int) (int, error) {
+	if p.Kind == Twin && p.PostedTX {
+		// The posted path is batched by construction (write, post,
+		// service); BatchSize <= 1 degenerates to one-frame batches.
+		return p.burst(i, n, &p.TxCount, func(shortfall int) {
+			p.RetriedTx += uint64(shortfall)
+		}, func(i, burst int) (int, error) {
+			return p.sendTwinPostedBatch(i, size, burst)
+		})
+	}
 	if p.Kind != Twin || p.BatchSize <= 1 {
 		for k := 0; k < n; k++ {
 			if err := p.SendOne(i+k, size); err != nil {
@@ -644,6 +686,61 @@ func (p *Path) sendTwinBatch(i, size, burst int) (int, error) {
 	return p.T.GuestTransmitBatch(d, frames)
 }
 
+// sendTwinPostedBatch is sendTwinBatch on the posted-descriptor path: each
+// frame is written once into the guest's own transmit arena (in the real
+// system it already sits in guest memory), its (addr,len) descriptor is
+// posted on the guest's posted-TX ring, and one ServiceRings crossing
+// resolves, pins and hands the guest pages to the device — the staging
+// copy and its per-byte kernel cost disappear; the guest side pays the
+// fixed stack cost plus one descriptor post per frame.
+func (p *Path) sendTwinPostedBatch(i, size, burst int) (int, error) {
+	m := p.M
+	meter := p.Meter()
+	m.HV.Switch(m.DomU)
+	d := m.Devs[i%len(m.Devs)]
+	a := p.txArenaFor(m.DomU)
+	done := 0
+	for done < burst {
+		chunk := burst - done
+		if chunk > core.TxRingSlots {
+			chunk = core.TxRingSlots
+		}
+		descs := make([]core.TxPost, 0, chunk)
+		for k := 0; k < chunk; k++ {
+			f, err := p.frame(d, size, false)
+			if err != nil {
+				return done, err
+			}
+			slot := a.slots[a.next]
+			a.next = (a.next + 1) % len(a.slots)
+			if err := m.DomU.AS.WriteBytes(slot, f); err != nil {
+				return done, err
+			}
+			meter.AddTo(cycles.CompDomU, cost.TxKernelFixed+cost.TxPostPerDesc)
+			descs = append(descs, core.TxPost{Addr: slot, Len: uint32(len(f))})
+		}
+		posted, err := p.T.PostTxDescriptors(m.DomU, descs)
+		if err != nil {
+			return done, err
+		}
+		if posted < len(descs) {
+			return done, fmt.Errorf("netpath: posted %d of %d tx descriptors", posted, len(descs))
+		}
+		sent, err := p.T.ServiceRings(d, 0)
+		got := sent[m.DomU.ID]
+		done += got
+		if err != nil {
+			return done, err
+		}
+		if got == 0 {
+			// A round that transmitted nothing cannot make progress by
+			// repeating: return the short count instead of looping.
+			break
+		}
+	}
+	return done, nil
+}
+
 // recvTwinBatch injects burst frames, services them with one coalesced
 // interrupt (the driver's receive loop drains everything pending), and
 // delivers the batch to the guest under a single notification.
@@ -753,6 +850,44 @@ func (p *Path) recvTwinPostedBatch(i, size, burst int) (int, error) {
 
 // --- Multi-guest fan-out (domU-twin only) ---------------------------------
 
+// stageTxMulti moves count frames of one guest to the hypervisor boundary,
+// in guest context: the staging-ring copy in the default mode, or a write
+// into the guest's own transmit arena plus an (addr,len) descriptor post
+// in PostedTX mode. It returns how many frames were staged or posted.
+func (p *Path) stageTxMulti(dom *xen.Domain, d *core.NICDev, size, count int) (int, error) {
+	m := p.M
+	meter := p.Meter()
+	m.HV.Switch(dom)
+	if p.PostedTX {
+		a := p.txArenaFor(dom)
+		descs := make([]core.TxPost, 0, count)
+		for k := 0; k < count; k++ {
+			f, err := p.frameFrom(d.Dev.HWAddr(), size)
+			if err != nil {
+				return 0, err
+			}
+			slot := a.slots[a.next]
+			a.next = (a.next + 1) % len(a.slots)
+			if err := dom.AS.WriteBytes(slot, f); err != nil {
+				return 0, err
+			}
+			meter.AddTo(cycles.CompDomU, cost.TxKernelFixed+cost.TxPostPerDesc)
+			descs = append(descs, core.TxPost{Addr: slot, Len: uint32(len(f))})
+		}
+		return p.T.PostTxDescriptors(dom, descs)
+	}
+	frames := make([][]byte, count)
+	for k := range frames {
+		f, err := p.frameFrom(d.Dev.HWAddr(), size)
+		if err != nil {
+			return 0, err
+		}
+		frames[k] = f
+		meter.AddTo(cycles.CompDomU, cost.TxKernelFixed+uint64(len(f))*cost.TxKernelPerByte)
+	}
+	return p.T.StageTransmitBatch(dom, frames)
+}
+
 // SendBurstMulti pushes n size-byte packets per guest out through NIC
 // index i: every guest runs its kernel stack and stages a ring-sized chunk
 // in its own transmit ring from its own context, then a single
@@ -767,7 +902,6 @@ func (p *Path) SendBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
 		return nil, fmt.Errorf("netpath: multi-guest bursts need the domU-twin path")
 	}
 	m := p.M
-	meter := p.Meter()
 	d := m.Devs[i%len(m.Devs)]
 	total := make(map[mem.Owner]int)
 	need := make(map[mem.Owner]int) // frames still to move in this round
@@ -784,19 +918,7 @@ func (p *Path) SendBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
 				if need[dom.ID] == 0 {
 					continue
 				}
-				// Guest kernel + paravirtual driver staging, in guest
-				// context.
-				m.HV.Switch(dom)
-				frames := make([][]byte, need[dom.ID])
-				for k := range frames {
-					f, err := p.frameFrom(d.Dev.HWAddr(), size)
-					if err != nil {
-						return total, err
-					}
-					frames[k] = f
-					meter.AddTo(cycles.CompDomU, cost.TxKernelFixed+uint64(len(f))*cost.TxKernelPerByte)
-				}
-				staged, err := p.T.StageTransmitBatch(dom, frames)
+				staged, err := p.stageTxMulti(dom, d, size, need[dom.ID])
 				if err != nil {
 					if p.recoverDead(err) {
 						continue // re-stage this guest on the fresh twin

@@ -165,6 +165,30 @@ func RXPathSweep(w io.Writer, title string, results []*netbench.Result) {
 	fmt.Fprintln(w)
 }
 
+// TXPathSweep renders the posted-descriptor transmit experiment: for each
+// NIC backend and batch size, the domU-twin transmit cycles/packet of the
+// staging-copy path next to the posted scatter/gather path, with the
+// four-bucket attribution. The posted rows trade the guest's per-byte
+// staging copy (domU bucket) for a fixed descriptor post and a guest-TLB
+// lookup (Xen bucket) — the net is the win.
+func TXPathSweep(w io.Writer, title string, results []*netbench.Result) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-10s %6s %-7s %9s %8s %8s %8s %8s %14s\n",
+		"backend", "batch", "tx-path", "cyc/pkt", "dom0", "domU", "Xen", "driver", "throughput")
+	for _, r := range results {
+		mode := "copy"
+		if r.PostedTX {
+			mode = "posted"
+		}
+		fmt.Fprintf(w, "%-10s %6d %-7s %9.0f %8.0f %8.0f %8.0f %8.0f %9.0f Mb/s\n",
+			r.Backend, r.Batch, mode, r.CyclesPerPacket,
+			r.Breakdown[cycles.CompDom0], r.Breakdown[cycles.CompDomU],
+			r.Breakdown[cycles.CompXen], r.Breakdown[cycles.CompDriver],
+			r.ThroughputMbps)
+	}
+	fmt.Fprintln(w)
+}
+
 // RecoverySweep renders the transparent-recovery experiment: for each
 // fault type and guest count, the measured MTTR in cycles, the packets
 // lost or re-staged across the fault, and the fault-free cycles/packet

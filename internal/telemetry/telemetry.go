@@ -42,6 +42,7 @@ const (
 	EvAbort                          // driver instance torn down (A = tx+rx discarded, B = skbs reclaimed)
 	EvRevive                         // fresh instance installed and live (A = faults so far)
 	EvReplay                         // config-log replay completed during revive (A = events replayed)
+	EvPostedTx                       // posted-TX frame handed to the device (A = bytes, B = 1 on copy fallback)
 	numEventKinds
 )
 
@@ -49,6 +50,7 @@ var kindNames = [numEventKinds]string{
 	"hypercall", "batch-serviced", "sweep-start", "sweep-end",
 	"posted-rx", "tlb-hit", "tlb-miss", "hostile",
 	"fault", "abort", "revive", "replay",
+	"posted-tx",
 }
 
 // String names the event kind as exporters render it.
