@@ -112,10 +112,12 @@ func Attacks() []Attack {
 		{Name: "posted-tx-short-len", Dim: DimDataPlane, Modes: both, TxModes: postedTx, Run: attackPostedTxShortLen},
 		{Name: "posted-tx-toctou", Dim: DimDataPlane, Modes: both, TxModes: postedTx, Run: attackPostedTxTOCTOU},
 		{Name: "rx-copy-queue-integrity", Dim: DimDataPlane, Modes: []RxMode{ModeCopy}, TxModes: bothTx, Run: attackRxCopyQueueIntegrity},
+		{Name: "switch-mac-spoof", Dim: DimDataPlane, Modes: both, TxModes: bothTx, Run: attackSwitchMacSpoof},
 		{Name: "wild-write-recover", Dim: DimFaultContainment, Modes: both, TxModes: bothTx, Run: attackWildWriteRecover},
 		{Name: "dead-fail-fast", Dim: DimFaultContainment, Modes: both, TxModes: bothTx, Run: attackDeadFailFast},
 		{Name: "pool-leak-heal", Dim: DimResourceExhaustion, Modes: both, TxModes: bothTx, Run: attackPoolLeakHeal},
 		{Name: "tx-ring-flood", Dim: DimResourceExhaustion, Modes: both, TxModes: bothTx, Run: attackTxRingFlood},
+		{Name: "sched-noisy-neighbor", Dim: DimResourceExhaustion, Modes: both, TxModes: bothTx, Run: attackSchedNoisyNeighbor},
 		{Name: "oversize-hypercall", Dim: DimInterfaceAbuse, Modes: both, TxModes: bothTx, Run: attackOversizeHypercall},
 		{Name: "posted-overcommit", Dim: DimInterfaceAbuse, Modes: []RxMode{ModePosted}, TxModes: bothTx, Run: attackPostedOvercommit},
 		{Name: "posted-tx-double-post", Dim: DimInterfaceAbuse, Modes: both, TxModes: postedTx, Run: attackPostedTxDoublePost},
@@ -613,6 +615,84 @@ func attackRxCopyQueueIntegrity(s *Soak, g *soakGuest) error {
 	return nil
 }
 
+// attackSwitchMacSpoof: a guest transmits a frame forging another guest's
+// registered source MAC through the inter-guest switch. The switch must
+// drop it at the port binding (counted against the forger), the frame must
+// reach neither the wire nor the victim's receive queue, and honest
+// traffic — the forger's included — must keep flowing. No-op when the
+// twin runs without a switch: there is no binding to forge against, and
+// the frame would ride the ordinary device path the rest of the soak
+// already covers.
+//
+// Accounting note: a switch-handled frame is consumed from the ring and
+// counted in the crossing's per-guest service totals but never appears on
+// the wire, so this attack invokes the service directly and settles the
+// forger's expectation FIFO by hand instead of going through
+// serviceBudget's wire cross-check.
+func attackSwitchMacSpoof(s *Soak, g *soakGuest) error {
+	if s.tw.VSwitch() == nil {
+		return nil
+	}
+	if err := s.serviceAll(); err != nil { // start from an empty ring
+		return err
+	}
+	if s.tw.Dead {
+		return nil
+	}
+	victim := s.guests[(g.idx+1)%len(s.guests)]
+	if victim == g {
+		return nil
+	}
+	payload := make([]byte, 120)
+	for i := range payload {
+		payload[i] = byte(0xA5 ^ i)
+	}
+	forged := core.EthernetFrame(victim.mac, victim.mac, 0x0800, payload)
+	spoofBefore := s.tw.VswitchSpoofDropped(g.dom.ID)
+	wireBefore := len(s.wire)
+	pendBefore := s.tw.PendingRx(victim.dom.ID)
+	if err := s.stageBatch(g, [][]byte{forged}); err != nil {
+		return err
+	}
+	if s.tw.Dead || len(g.stagedQ) != 1 {
+		return nil // abort mid-stage, or the ring refused the frame
+	}
+	service := s.tw.ServiceRings
+	if s.cfg.Parallel {
+		service = s.tw.ServiceAllQueues
+	}
+	if _, err := service(s.d, 0); err != nil || s.tw.Dead {
+		if errors.Is(err, core.ErrDriverDead) || s.tw.Dead {
+			return s.accountAbort()
+		}
+		return fmt.Errorf("%w: spoof service: %v", ErrInvariant, err)
+	}
+	// The forged frame was consumed by the crossing but went nowhere; it
+	// drains from the expectation FIFO as the forger's loss.
+	if n, err := s.pendingTx(g); err != nil || n != 0 {
+		return fmt.Errorf("%w: spoofed frame still on the ring (%d pending, err %v)", ErrInvariant, n, err)
+	}
+	g.stagedQ = g.stagedQ[1:]
+	s.loseTx(g, 1)
+	if err := s.reconcileWire(nil); err != nil {
+		return err
+	}
+	if got := s.tw.VswitchSpoofDropped(g.dom.ID); got != spoofBefore+1 {
+		return fmt.Errorf("%w: spoof drops %d, want %d", ErrInvariant, got, spoofBefore+1)
+	}
+	if len(s.wire) != wireBefore {
+		return fmt.Errorf("%w: forged frame reached the wire", ErrInvariant)
+	}
+	if got := s.tw.PendingRx(victim.dom.ID); got != pendBefore {
+		return fmt.Errorf("%w: forged frame reached the victim's receive queue", ErrInvariant)
+	}
+	// The forger's honest traffic still flows.
+	if err := s.stageBatch(g, [][]byte{s.txFrame(g, 300)}); err != nil {
+		return err
+	}
+	return s.serviceAll()
+}
+
 // --- fault containment --------------------------------------------------
 
 // attackWildWriteRecover: the classic §4.5 wild write, followed by the
@@ -728,6 +808,63 @@ func attackTxRingFlood(s *Soak, g *soakGuest) error {
 	g.ledger.OfferedTx += staged
 	g.stagedQ = append(g.stagedQ, flood[:staged]...)
 	return s.serviceAll()
+}
+
+// attackSchedNoisyNeighbor: one guest floods its transmit ring to
+// capacity while a victim stages a single frame behind the flood. Under
+// budgeted service crossings — one full scheduler cycle's worth of
+// descriptors per crossing — the victim's frame must reach the wire
+// within a small bounded number of crossings regardless of the backlog
+// imbalance: the scheduler (classic round-robin or weighted DRR alike)
+// may not starve a backlogged guest behind a noisy neighbor.
+func attackSchedNoisyNeighbor(s *Soak, g *soakGuest) error {
+	if err := s.serviceAll(); err != nil { // start from an empty ring
+		return err
+	}
+	if s.tw.Dead {
+		return nil
+	}
+	victim := s.guests[(g.idx+1)%len(s.guests)]
+	if victim == g {
+		return nil
+	}
+	flood := make([][]byte, core.TxRingSlots)
+	for i := range flood {
+		flood[i] = s.txFrame(g, 64)
+	}
+	if err := s.stageBatch(g, flood); err != nil {
+		return err
+	}
+	if s.tw.Dead {
+		return nil
+	}
+	if err := s.stageBatch(victim, [][]byte{s.txFrame(victim, 300)}); err != nil {
+		return err
+	}
+	if s.tw.Dead || len(victim.stagedQ) == 0 {
+		return nil // abort mid-stage, or the victim's ring refused the frame
+	}
+	// One scheduler cycle per crossing: every guest's weight in
+	// descriptors (weight 1 apiece under the classic sweep). The budget is
+	// per queue, so a sharded victim sees at least its own shard's cycle.
+	budget := 0
+	for _, other := range s.guests {
+		budget += s.tw.GuestWeight(other.dom.ID)
+	}
+	wireBefore := victim.ledger.WireTx
+	for i := 0; i < 4; i++ {
+		if err := s.serviceBudget(budget); err != nil {
+			return err
+		}
+		if s.tw.Dead {
+			return nil
+		}
+		if victim.ledger.WireTx > wireBefore {
+			return s.serviceAll() // bounded delay held; drain the flood
+		}
+	}
+	return fmt.Errorf("%w: victim starved behind a %d-frame flood for 4 weighted crossings",
+		ErrInvariant, len(flood))
 }
 
 // --- interface abuse ----------------------------------------------------

@@ -119,6 +119,19 @@ type Config struct {
 	// native count, clamped to [1, Model.Queues] like TwinConfig).
 	Queues int
 
+	// Weights sets per-guest deficit-round-robin weights (applied
+	// cyclically over the guest list, see core.TwinConfig.Weights); nil
+	// keeps the classic equal round-robin sweep. Every ledger and
+	// invariant is weight-agnostic — weights change service order and
+	// share, never whether a frame is accounted.
+	Weights []int
+
+	// Switch enables the inter-guest L2 switch on the soak's twin. The
+	// harness's ordinary traffic is unswitchable (unique unregistered
+	// source MACs, external destinations), so it still reaches the
+	// device; the switch-mac-spoof attack needs the surface present.
+	Switch bool
+
 	// Parallel services the transmit rings with ServiceAllQueues — one
 	// goroutine per service queue — instead of the sequential sweep.
 	// Every ledger and invariant is unaffected (each guest lives on
@@ -314,6 +327,8 @@ func New(cfg Config) (*Soak, error) {
 		Watchdog: cfg.Watchdog,
 		PoolSize: cfg.PoolSize,
 		Queues:   cfg.Queues,
+		Weights:  cfg.Weights,
+		Switch:   cfg.Switch,
 		Trace:    cfg.Trace,
 	})
 	if err != nil {
@@ -613,12 +628,18 @@ func (s *Soak) stepTxSingle(g *soakGuest) error {
 // frame must be some guest's oldest staged frame (byte-exact), and a ring
 // the service reset (hostile header, oversize descriptor) must cost
 // exactly its remaining staged frames.
-func (s *Soak) serviceAll() error {
+func (s *Soak) serviceAll() error { return s.serviceBudget(0) }
+
+// serviceBudget is serviceAll under a per-crossing descriptor budget
+// (0 = drain): the reconcile and the ledger sync are budget-agnostic —
+// whatever the crossing consumed is matched, whatever it left rides the
+// rings into the next crossing.
+func (s *Soak) serviceBudget(budget int) error {
 	service := s.tw.ServiceRings
 	if s.cfg.Parallel {
 		service = s.tw.ServiceAllQueues
 	}
-	sent, err := service(s.d, 0)
+	sent, err := service(s.d, budget)
 	// Posted-TX losses before the wire reconcile: the sweep consumed the
 	// refused descriptors in ring order, so the reconcile needs each
 	// guest's loss budget on hand to skip them as it matches wire frames.

@@ -83,6 +83,53 @@ func TestSoakSmoke(t *testing.T) {
 	}
 }
 
+// TestSoakWeightedSwitched runs the canonical soak with the DRR scheduler
+// (weights 4:2:1, applied cyclically over four guests) and the inter-guest
+// switch engaged on every backend: weights reorder service and the switch
+// adds the spoof-drop surface, but neither may change whether a frame is
+// accounted — the exactly-once ledgers balance exactly as in the classic
+// soak, and the hostile scheduler's switch-mac-spoof attack runs for real.
+func TestSoakWeightedSwitched(t *testing.T) {
+	for _, backend := range drivermodel.Names() {
+		t.Run(backend, func(t *testing.T) {
+			cfg := smokeConfig(backend)
+			cfg.Weights = []int{4, 2, 1}
+			cfg.Switch = true
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("weighted soak: %v", err)
+			}
+			wire, delivered := 0, 0
+			for i, l := range rep.Guests {
+				if l.OfferedTx != l.WireTx+l.LostTx {
+					t.Errorf("guest %d tx ledger unbalanced: %+v", i, l)
+				}
+				if l.OfferedRx != l.DeliveredRx+l.LostRx {
+					t.Errorf("guest %d rx ledger unbalanced: %+v", i, l)
+				}
+				wire += l.WireTx
+				delivered += l.DeliveredRx
+			}
+			if wire == 0 || delivered == 0 {
+				t.Fatalf("weighted soak moved no traffic: wire=%d delivered=%d", wire, delivered)
+			}
+			spoofed := false
+			for _, a := range rep.Attacks {
+				if a.Name == "switch-mac-spoof" && a.Runs > 0 {
+					spoofed = true
+				}
+			}
+			if !spoofed {
+				t.Fatal("switched soak never exercised switch-mac-spoof")
+			}
+			if rep.Faults != rep.Aborts || rep.Recoveries != rep.Aborts {
+				t.Fatalf("containment not one-for-one: faults=%d aborts=%d recoveries=%d",
+					rep.Faults, rep.Aborts, rep.Recoveries)
+			}
+		})
+	}
+}
+
 // TestSoakParallelQueues runs the canonical soak on the multi-queue
 // backend with ServiceAllQueues — one goroutine per service queue —
 // at several queue counts. Under -race this is the proof that the

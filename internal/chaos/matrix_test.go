@@ -72,6 +72,10 @@ func TestAttackMatrixZeroSkip(t *testing.T) {
 				Posted:   posted,
 				PostedTX: postedTx,
 				Queues:   c.Queues,
+				// The switch surface is always present so switch-mac-spoof
+				// runs genuinely in every cell; the harness's ordinary
+				// frames address external MACs and still take the device.
+				Switch: true,
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -82,6 +82,9 @@ func TestConformance(t *testing.T) {
 		{"management-stats", checkManagementStats},
 		{"mq-steering-stable", checkMQSteeringStable},
 		{"mq-hostile-descriptor", checkMQHostileDescriptor},
+		{"switch-unicast-learning", checkSwitchUnicastLearning},
+		{"switch-broadcast-fanout", checkSwitchBroadcastFanout},
+		{"switch-mac-spoof-isolated", checkSwitchMacSpoofIsolated},
 	}
 	for _, m := range backends(t) {
 		for _, b := range behaviors {
@@ -566,6 +569,159 @@ func checkManagementStats(t *testing.T, m *drivermodel.Model) {
 	tx, _, _ := d.Dev.Counters()
 	if tx != 3 {
 		t.Errorf("device tx counter = %d, want 3", tx)
+	}
+}
+
+// portMAC is the per-guest MAC the switch behaviors register as static
+// table entries.
+func portMAC(gi int) [6]byte {
+	return [6]byte{0x02, 0x51, 0x52, 0x53, 0, byte(gi + 1)}
+}
+
+// newSwitched brings up an nGuest twin with the inter-guest switch on
+// and each guest's MAC registered, wire captured.
+func newSwitched(t *testing.T, m *drivermodel.Model, guests int) (*core.Machine, *core.Twin, *core.NICDev, *[][]byte) {
+	t.Helper()
+	mach, tw := newTwin(t, m, guests, core.TwinConfig{Switch: true})
+	d := mach.Devs[0]
+	wire := capture(d)
+	for gi, dom := range mach.Guests {
+		tw.RegisterGuestMAC(portMAC(gi), dom.ID)
+	}
+	return mach, tw, d, wire
+}
+
+// localFrame builds a guest→guest frame between two registered ports.
+func localFrame(src, dst [6]byte, id byte) []byte {
+	payload := make([]byte, 200)
+	for i := range payload {
+		payload[i] = id ^ byte(i*5)
+	}
+	return core.EthernetFrame(dst, src, 0x0800, payload)
+}
+
+// checkSwitchUnicastLearning: a unicast between registered ports is
+// delivered dom0-side byte-exact without touching the device, and a
+// source MAC the switch learns from cross traffic redirects later
+// frames dom0-side too — per backend.
+func checkSwitchUnicastLearning(t *testing.T, m *drivermodel.Model) {
+	mach, tw, d, wire := newSwitched(t, m, 2)
+	f := localFrame(portMAC(0), portMAC(1), 0xD1)
+	if n, err := tw.StageTransmitBatch(mach.Guests[0], [][]byte{f}); err != nil || n != 1 {
+		t.Fatalf("stage: %d, %v", n, err)
+	}
+	sent, err := tw.ServiceRings(d, 0)
+	if err != nil || sent[mach.Guests[0].ID] != 1 {
+		t.Fatalf("serviced %v: %v", sent, err)
+	}
+	if len(*wire) != 0 {
+		t.Fatalf("guest-to-guest unicast reached the device (%d wire frames)", len(*wire))
+	}
+	got, err := tw.DeliverPending(mach.Guests[1])
+	if err != nil || len(got) != 1 || !bytes.Equal(got[0], f) {
+		t.Fatalf("local delivery: %d frames, err %v", len(got), err)
+	}
+	// Learning: guest 1 transmits from an unregistered secondary MAC to
+	// an external destination; the switch learns the source, and guest
+	// 0's next frame to that MAC is delivered locally, off the wire.
+	second := [6]byte{0x02, 0xEE, 0, 0, 0, 0x42}
+	learn := core.EthernetFrame([6]byte{0, 0x50, 0x56, 9, 9, 9}, second, 0x0800, make([]byte, 120))
+	if _, err := tw.StageTransmitBatch(mach.Guests[1], [][]byte{learn}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.ServiceRings(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(*wire) != 1 {
+		t.Fatalf("external frame missed the device (%d wire frames)", len(*wire))
+	}
+	toLearned := localFrame(portMAC(0), second, 0xD2)
+	if _, err := tw.StageTransmitBatch(mach.Guests[0], [][]byte{toLearned}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.ServiceRings(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(*wire) != 1 {
+		t.Fatalf("frame to a learned local MAC reached the device")
+	}
+	got, err = tw.DeliverPending(mach.Guests[1])
+	if err != nil || len(got) != 1 || !bytes.Equal(got[0], toLearned) {
+		t.Fatalf("learned-MAC delivery: %d frames, err %v", len(got), err)
+	}
+}
+
+// checkSwitchBroadcastFanout: a broadcast fans out to every other port
+// dom0-side AND reaches the wire exactly once; the sender never hears
+// its own frame — per backend.
+func checkSwitchBroadcastFanout(t *testing.T, m *drivermodel.Model) {
+	mach, tw, d, wire := newSwitched(t, m, 3)
+	bcast := [6]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	f := localFrame(portMAC(1), bcast, 0xD3)
+	if _, err := tw.StageTransmitBatch(mach.Guests[1], [][]byte{f}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.ServiceRings(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(*wire) != 1 || !bytes.Equal((*wire)[0], f) {
+		t.Fatalf("wire carried %d broadcast frames, want 1", len(*wire))
+	}
+	for gi, dom := range mach.Guests {
+		want := 1
+		if gi == 1 {
+			want = 0 // never reflected to the sender
+		}
+		if n := tw.PendingRx(dom.ID); n != want {
+			t.Fatalf("PendingRx(guest %d) = %d, want %d", gi, n, want)
+		}
+		if want == 0 {
+			continue
+		}
+		got, err := tw.DeliverPending(dom)
+		if err != nil || len(got) != 1 || !bytes.Equal(got[0], f) {
+			t.Fatalf("guest %d broadcast copy: %d frames, err %v", gi, len(got), err)
+		}
+	}
+}
+
+// checkSwitchMacSpoofIsolated: a guest forging another port's static
+// MAC as its source loses exactly that frame — not delivered, not
+// wired, counted against the forger — and the victim's own traffic is
+// untouched — per backend.
+func checkSwitchMacSpoofIsolated(t *testing.T, m *drivermodel.Model) {
+	mach, tw, d, wire := newSwitched(t, m, 3)
+	forged := localFrame(portMAC(0), portMAC(1), 0xD4) // guest 2 claims guest 0's MAC
+	if _, err := tw.StageTransmitBatch(mach.Guests[2], [][]byte{forged}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.ServiceRings(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Dead {
+		t.Fatal("spoofed frame killed the twin")
+	}
+	if len(*wire) != 0 {
+		t.Fatal("spoofed frame reached the wire")
+	}
+	for gi, dom := range mach.Guests {
+		if n := tw.PendingRx(dom.ID); n != 0 {
+			t.Fatalf("spoofed frame delivered to guest %d", gi)
+		}
+	}
+	if n := tw.VswitchSpoofDropped(mach.Guests[2].ID); n != 1 {
+		t.Fatalf("VswitchSpoofDropped(forger) = %d, want 1", n)
+	}
+	legit := localFrame(portMAC(0), portMAC(1), 0xD5)
+	if _, err := tw.StageTransmitBatch(mach.Guests[0], [][]byte{legit}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tw.ServiceRings(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tw.DeliverPending(mach.Guests[1])
+	if err != nil || len(got) != 1 || !bytes.Equal(got[0], legit) {
+		t.Fatalf("victim's traffic perturbed after spoof attempt: %d frames, err %v", len(got), err)
 	}
 }
 

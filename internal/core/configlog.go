@@ -6,6 +6,7 @@ import (
 
 	"twindrivers/internal/kernel"
 	"twindrivers/internal/mem"
+	"twindrivers/internal/vswitch"
 )
 
 // The configuration log is the shadow-driver half of transparent recovery:
@@ -194,6 +195,11 @@ func (t *Twin) replayConfig() error {
 			}
 		case OpGuestMAC:
 			t.macToDom[ev.MAC] = ev.Dom
+			if t.vsw != nil {
+				// The switch's authoritative static table is rebuilt
+				// from the same recorded routes as the demux table.
+				t.vsw.BindStatic(vswitch.MAC(ev.MAC), ev.Dom)
+			}
 		case OpRing:
 			g, ok := t.guestIO[ev.Dom]
 			if !ok {

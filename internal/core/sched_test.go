@@ -1,0 +1,294 @@
+package core_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twindrivers/internal/core"
+	"twindrivers/internal/mem"
+	"twindrivers/internal/mqnic"
+)
+
+// DRR weighted-fair scheduler properties (testing/quick, like the batch
+// monotonicity properties): proportional shares, work conservation,
+// starvation freedom, and rate-limit enforcement — the SLA contract of
+// TwinConfig.Weights/Rates stated as machine-checked invariants.
+
+// schedTwin builds a single-queue e1000 twin with nGuests guests and
+// the given scheduler config, wire sunk.
+func schedTwin(t *testing.T, nGuests int, cfg core.TwinConfig) (*core.Machine, *core.Twin, *core.NICDev) {
+	t.Helper()
+	m, tw, err := core.NewTwinMachine(1, nGuests, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	d.NIC.OnTransmit = func([]byte) {}
+	return m, tw, d
+}
+
+// schedFrame builds one minimal frame tagged with the staging guest.
+func schedFrame(gi, i int) []byte {
+	return core.EthernetFrame(
+		[6]byte{0, 0x50, 0x56, 9, 9, 9}, // external dst: never switch-local
+		[6]byte{0x02, 0x5C, 0, 0, byte(gi), byte(i)},
+		0x0800, []byte{byte(gi), byte(i)})
+}
+
+// topUp keeps every guest's staged ring full.
+func topUp(t *testing.T, m *core.Machine, tw *core.Twin, gi int) {
+	t.Helper()
+	dom := m.Guests[gi]
+	n, err := tw.StagedTx(dom.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make([][]byte, core.TxRingSlots-1-n)
+	for i := range frames {
+		frames[i] = schedFrame(gi, i)
+	}
+	if len(frames) == 0 {
+		return
+	}
+	if _, err := tw.StageTransmitBatch(dom, frames); err != nil {
+		t.Fatalf("guest %d stage: %v", gi, err)
+	}
+}
+
+// TestQuickSchedProportionalShares: with every guest continuously
+// backlogged, long-run throughput shares are proportional to weights
+// within 5%, for any weight vector.
+func TestQuickSchedProportionalShares(t *testing.T) {
+	prop := func(rawW [4]uint8) bool {
+		weights := make([]int, 4)
+		totalW := 0
+		for i, w := range rawW {
+			weights[i] = 1 + int(w)%8
+			totalW += weights[i]
+		}
+		m, tw, d := schedTwin(t, 4, core.TwinConfig{Weights: weights})
+		sent := make(map[mem.Owner]int)
+		const crossings = 40
+		const budget = 24
+		for c := 0; c < crossings; c++ {
+			for gi := range m.Guests {
+				topUp(t, m, tw, gi)
+			}
+			got, err := tw.ServiceRings(d, budget)
+			if err != nil {
+				t.Logf("service: %v", err)
+				return false
+			}
+			for id, n := range got {
+				sent[id] += n
+			}
+		}
+		total := crossings * budget
+		for gi, dom := range m.Guests {
+			want := float64(total) * float64(weights[gi]) / float64(totalW)
+			got := float64(sent[dom.ID])
+			if got < want*0.95 || got > want*1.05 {
+				t.Logf("weights=%v guest %d: got %.0f want %.0f±5%%", weights, gi, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 6, Rand: rand.New(rand.NewSource(0xD22))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSchedWorkConserving: idle guests donate their bandwidth —
+// with only one guest backlogged, it receives the entire budget no
+// matter how the weights favor the idle guests.
+func TestQuickSchedWorkConserving(t *testing.T) {
+	prop := func(rawActive uint8, rawW [4]uint8) bool {
+		weights := make([]int, 4)
+		for i, w := range rawW {
+			weights[i] = 1 + int(w)%8
+		}
+		active := int(rawActive) % 4
+		m, tw, d := schedTwin(t, 4, core.TwinConfig{Weights: weights})
+		const budget = 16
+		topUp(t, m, tw, active)
+		sent, err := tw.ServiceRings(d, budget)
+		if err != nil {
+			t.Logf("service: %v", err)
+			return false
+		}
+		if got := sent[m.Guests[active].ID]; got != budget {
+			t.Logf("weights=%v active=%d: got %d of budget %d", weights, active, got, budget)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 8, Rand: rand.New(rand.NewSource(0xC0572))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSchedStarvationFree: one full deficit round serves every
+// backlogged guest exactly its weight — so with a budget of one
+// round's quantum sum, even the lightest guest progresses. This is the
+// starvation proof: no weight vector can shut a backlogged guest out.
+func TestQuickSchedStarvationFree(t *testing.T) {
+	prop := func(rawW [6]uint8) bool {
+		weights := make([]int, 6)
+		totalW := 0
+		for i, w := range rawW {
+			weights[i] = 1 + int(w)%5
+			totalW += weights[i]
+		}
+		m, tw, d := schedTwin(t, 6, core.TwinConfig{Weights: weights})
+		for gi := range m.Guests {
+			topUp(t, m, tw, gi)
+		}
+		sent, err := tw.ServiceRings(d, totalW)
+		if err != nil {
+			t.Logf("service: %v", err)
+			return false
+		}
+		for gi, dom := range m.Guests {
+			if sent[dom.ID] != weights[gi] {
+				t.Logf("weights=%v guest %d: got %d, want exactly its weight %d in one round",
+					weights, gi, sent[dom.ID], weights[gi])
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 8, Rand: rand.New(rand.NewSource(0x57A12))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSchedRateLimit: a rate-capped guest consumes exactly its cap per
+// crossing regardless of backlog or weight, and the leftover service
+// goes to the others (the cap is a ceiling, not a reservation).
+func TestSchedRateLimit(t *testing.T) {
+	m, tw, d := schedTwin(t, 3, core.TwinConfig{
+		Weights: []int{8, 1, 1},
+		Rates:   []int{3, 0, 0},
+	})
+	for gi := range m.Guests {
+		topUp(t, m, tw, gi)
+	}
+	sent, err := tw.ServiceRings(d, 0) // full drain
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sent[m.Guests[0].ID]; got != 3 {
+		t.Fatalf("capped guest sent %d, rate is 3", got)
+	}
+	// Uncapped guests drain completely despite the heavy neighbor's
+	// weight advantage.
+	for _, gi := range []int{1, 2} {
+		if got := sent[m.Guests[gi].ID]; got != core.TxRingSlots-1 {
+			t.Fatalf("uncapped guest %d sent %d, want full ring %d", gi, got, core.TxRingSlots-1)
+		}
+	}
+	// Next crossing: the cap is per crossing, so the capped guest moves
+	// again.
+	sent, err = tw.ServiceRings(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sent[m.Guests[0].ID]; got != 3 {
+		t.Fatalf("capped guest sent %d on second crossing, rate is 3", got)
+	}
+}
+
+// TestSchedEqualWeightsMatchClassic: explicit equal weights produce
+// exactly the classic round-robin's per-guest counts and wire order on
+// a full drain — DRR with unit quantum degenerates to round-robin.
+func TestSchedEqualWeightsMatchClassic(t *testing.T) {
+	run := func(cfg core.TwinConfig) (map[mem.Owner]int, [][]byte) {
+		m, tw, err := core.NewTwinMachine(1, 4, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := m.Devs[0]
+		var wire [][]byte
+		d.NIC.OnTransmit = func(pkt []byte) { wire = append(wire, append([]byte(nil), pkt...)) }
+		for gi, dom := range m.Guests {
+			frames := make([][]byte, 5+gi)
+			for i := range frames {
+				frames[i] = schedFrame(gi, i)
+			}
+			if _, err := tw.StageTransmitBatch(dom, frames); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sent, err := tw.ServiceRings(d, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sent, wire
+	}
+	classicSent, classicWire := run(core.TwinConfig{})
+	drrSent, drrWire := run(core.TwinConfig{Weights: []int{1, 1, 1, 1}})
+	for dom, n := range classicSent {
+		if drrSent[dom] != n {
+			t.Fatalf("guest %d: classic sent %d, unit-weight DRR sent %d", dom, n, drrSent[dom])
+		}
+	}
+	if len(classicWire) != len(drrWire) {
+		t.Fatalf("wire counts differ: classic %d, DRR %d", len(classicWire), len(drrWire))
+	}
+	for i := range classicWire {
+		if !bytes.Equal(classicWire[i], drrWire[i]) {
+			t.Fatalf("wire frame %d differs between classic and unit-weight DRR", i)
+		}
+	}
+}
+
+// TestServiceAllQueuesDRR: the weighted-fair sweep under the parallel
+// goroutine-per-queue service loops (run under -race in CI). Weights
+// apply within each queue's shard; the total drained must equal the
+// total staged and shares inside each shard follow the weights.
+func TestServiceAllQueuesDRR(t *testing.T) {
+	const guests, queues = 8, 4
+	m, tw, err := core.NewTwinMachineModel(1, guests, mqnic.DriverModel(), core.TwinConfig{
+		Queues:  queues,
+		Weights: []int{3, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Devs[0]
+	d.Dev.SetOnTransmit(func([]byte) {})
+	total := 0
+	for gi, dom := range m.Guests {
+		frames := make([][]byte, 12)
+		for i := range frames {
+			frames[i] = schedFrame(gi, i)
+		}
+		n, err := tw.StageTransmitBatch(dom, frames)
+		if err != nil {
+			t.Fatalf("guest %d stage: %v", gi, err)
+		}
+		total += n
+	}
+	sent, err := tw.ServiceAllQueues(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for _, n := range sent {
+		got += n
+	}
+	if got != total {
+		t.Fatalf("drained %d of %d staged", got, total)
+	}
+	for gi, dom := range m.Guests {
+		if w := tw.GuestWeight(dom.ID); w != []int{3, 1}[gi%2] {
+			t.Fatalf("guest %d weight = %d", gi, w)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"twindrivers/internal/svm"
 	"twindrivers/internal/telemetry"
 	"twindrivers/internal/upcall"
+	"twindrivers/internal/vswitch"
 	"twindrivers/internal/xen"
 )
 
@@ -79,6 +80,27 @@ type TwinConfig struct {
 	// events into per-queue lanes. Tracing never charges the simulated
 	// cycle meters, so enabling it cannot move a cyc/pkt number.
 	Trace *telemetry.Tracer
+
+	// Weights enables the deficit-round-robin weighted-fair scheduler:
+	// per-guest service weights applied to guests in index order
+	// (cyclically when shorter than the guest count; values < 1 clamp
+	// to 1). Nil or empty — the default — keeps the classic equal
+	// round-robin sweep, whose hot path is untouched and therefore
+	// cycle-identical to every pinned baseline (see sched.go).
+	Weights []int
+
+	// Rates caps the descriptors each guest may consume per service
+	// crossing (a per-guest rate limit enforced by the DRR sweep), in
+	// index order like Weights; 0 means unlimited. Any non-empty Rates
+	// activates the DRR sweep even with nil Weights.
+	Rates []int
+
+	// Switch enables the inter-guest L2 switch (internal/vswitch):
+	// guest→guest frames are classified on their Ethernet header and
+	// delivered dom0-side without a device round-trip, with MAC
+	// learning, broadcast fan-out and anti-spoofing. Off by default;
+	// the transmit paths then carry no switch hook at all.
+	Switch bool
 }
 
 // ErrDriverDead reports that the hypervisor instance was aborted and torn
@@ -219,6 +241,14 @@ type Twin struct {
 	macToDom      map[[6]byte]mem.Owner
 	pendingIRQ    []*NICDev // deferred while dom0 masks virtual interrupts
 
+	// drr selects the weighted-fair sweep (sched.go); false — the
+	// default — keeps the classic equal round-robin loop untouched.
+	// vsw is the inter-guest L2 switch, nil when disabled: the transmit
+	// paths only consult it behind a nil check, so the switched-off
+	// configuration carries no classification work at all.
+	drr bool
+	vsw *vswitch.Switch
+
 	// guestIO holds each guest's transmit-side I/O state, keyed by the
 	// owning domain; guestOrder fixes the round-robin service order.
 	guestIO    map[mem.Owner]*guestIO
@@ -234,6 +264,7 @@ type Twin struct {
 	nQueues     int
 	queueGuests [][]mem.Owner
 	queueMeters []*cycles.Meter
+	qSched      []qSched // per-queue DRR cycle position (sched.go)
 	execMu      sync.Mutex
 
 	// Telemetry: one control lane for machine-scoped events (hypercalls,
@@ -275,6 +306,17 @@ type guestIO struct {
 
 	txRing     *mem.Ring // guest-posted transmit scatter/gather descriptors
 	postedLost uint64    // posted-TX frames lost to containment, lifetime
+
+	// DRR scheduler state (sched.go); untouched on the classic path.
+	weight  int // descriptors of quantum added per deficit round
+	rate    int // max descriptors per service crossing; 0 = unlimited
+	deficit int // accumulated unspent quantum
+	served  int // descriptors consumed this crossing (rate accounting)
+
+	// Inter-guest switch accounting (sched.go); zero when the switch
+	// is off.
+	spoofDropped uint64 // TX frames dropped for forging another port's MAC
+	vswRxDropped uint64 // switch-delivered frames lost to pool exhaustion
 }
 
 // NewTwinMachine builds a machine whose e1000 driver is twinned from the
@@ -348,6 +390,10 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 		pinsBySkb:   make(map[uint32][]uint32),
 		rxQueues:    make(map[mem.Owner]*rxQueue),
 		macToDom:    make(map[[6]byte]mem.Owner),
+		drr:         len(cfg.Weights) > 0 || len(cfg.Rates) > 0,
+	}
+	if cfg.Switch {
+		t.vsw = vswitch.New()
 	}
 	for _, n := range cfg.HvSupport {
 		if !m.K.IsSupportRoutine(n) {
@@ -450,6 +496,7 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 	// more, each queue meters its own simulated core (own cold TLB/L1).
 	t.nQueues = cfg.Queues
 	t.queueGuests = make([][]mem.Owner, t.nQueues)
+	t.qSched = make([]qSched, t.nQueues)
 	if t.nQueues == 1 {
 		t.queueMeters = []*cycles.Meter{hv.Meter}
 	} else {
@@ -477,6 +524,14 @@ func loadTwin(m *Machine, cfg TwinConfig) (*Twin, error) {
 	base := shardBase(t.nQueues)
 	for gi, g := range m.Guests {
 		io := &guestIO{dom: g, queue: (base + gi) % t.nQueues}
+		// Scheduler parameters are a pure function of (config, guest
+		// index) — like the queue shard, derived identically by a
+		// recovered instance, nothing to log or replay.
+		io.weight = schedParam(cfg.Weights, gi, 1)
+		io.rate = schedParam(cfg.Rates, gi, 0)
+		if t.vsw != nil {
+			t.vsw.AddPort(g.ID)
+		}
 		t.queueGuests[io.queue] = append(t.queueGuests[io.queue], g.ID)
 		// Guest-side transmit bounce buffer (stands in for the guest's own
 		// packet pages; the paravirtual driver hands their addresses down).
@@ -541,6 +596,11 @@ func (t *Twin) ioCurrent() *guestIO {
 // re-asserts it on a rebuilt instance.
 func (t *Twin) RegisterGuestMAC(mac [6]byte, dom mem.Owner) {
 	t.macToDom[mac] = dom
+	if t.vsw != nil {
+		// Registered MACs are the switch's authoritative static
+		// entries: the anchor of the anti-spoof check.
+		t.vsw.BindStatic(vswitch.MAC(mac), dom)
+	}
 	t.M.Config.record(ConfigEvent{Op: OpGuestMAC, MAC: mac, Dom: dom})
 }
 
@@ -810,6 +870,20 @@ func (t *Twin) xmitOne(d *NICDev, g *guestIO, guestAddr uint32, n int) error {
 	// the driver's own staging assumes at most one buffer's worth.
 	if n <= 0 || n > kernel.SkbBufSize {
 		return ErrFrameOversize
+	}
+	// Inter-guest switch (sched.go): with the switch on, the frame's
+	// Ethernet header decides its path — guest→guest unicast is
+	// delivered dom0-side and never reaches the device; a forged source
+	// MAC drops the frame. Off (vsw nil, the default), the transmit
+	// path is exactly what it always was.
+	if t.vsw != nil {
+		toDevice, err := t.vswitchTx(g, guestAddr, n)
+		if err != nil {
+			return err
+		}
+		if !toDevice {
+			return nil
+		}
 	}
 	hv := t.M.HV
 	skb, ok := t.poolGet()

@@ -272,6 +272,12 @@ func (t *Twin) serviceQueue(d *NICDev, q, budget int, sent map[mem.Owner]int) er
 }
 
 func (t *Twin) sweepQueue(d *NICDev, q, budget int, sent map[mem.Owner]int) (int, error) {
+	// The weighted-fair scheduler is opt-in (TwinConfig.Weights/Rates);
+	// the default configuration runs the classic equal round-robin loop
+	// below, operation-for-operation as it always did.
+	if t.drr {
+		return t.sweepQueueDRR(d, q, budget, sent)
+	}
 	consumed := 0
 	for {
 		progress := false

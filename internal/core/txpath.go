@@ -205,6 +205,18 @@ func (t *Twin) xmitPosted(d *NICDev, g *guestIO, addr uint32, n int) error {
 	if err != nil {
 		return err
 	}
+	// Inter-guest switch hook, after the ownership check — the switch
+	// must never read through an address the guest TLB rejected. A
+	// locally-delivered or spoof-dropped frame never touches the device.
+	if t.vsw != nil {
+		toDevice, verr := t.vswitchTx(g, addr, n)
+		if verr != nil {
+			return verr
+		}
+		if !toDevice {
+			return nil
+		}
+	}
 	skb, ok := t.poolGet()
 	if !ok {
 		return ErrTxBusy

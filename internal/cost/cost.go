@@ -163,6 +163,20 @@ const (
 	TxPostPerDesc = 350
 )
 
+// Inter-guest L2 switch prices (dom0-side software switch; no device).
+const (
+	// VswitchLookup prices one destination-MAC table lookup/learn step in
+	// the dom0 software switch: hash, compare, and (on miss) table insert.
+	VswitchLookup = 220
+
+	// VswitchForwardPerFrame prices the dom0-side bookkeeping of handing a
+	// frame from one guest's TX path to another guest's RX delivery queue
+	// without a device round-trip: skb requeue and delivery accounting.
+	// The payload copy itself is charged at HvCopyPerByte by the normal
+	// delivery machinery.
+	VswitchForwardPerFrame = 600
+)
+
 // Kernel support routine prices (dom0-native execution). These routines are
 // invoked through the symbol table by both driver instances; the hypervisor
 // reimplementations in internal/core charge their own (similar) prices.

@@ -1,6 +1,27 @@
 package netbench
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// schedSuffix renders scheduler parameters into a key fragment:
+// "/w=4:2:1" for weights, "/r=3:0" for rates, empty when unset — so
+// every pre-scheduler key is byte-identical to what it always was.
+func schedSuffix(weights, rates []int) string {
+	render := func(tag string, vals []int) string {
+		if len(vals) == 0 {
+			return ""
+		}
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = strconv.Itoa(v)
+		}
+		return "/" + tag + "=" + strings.Join(parts, ":")
+	}
+	return render("w", weights) + render("r", rates)
+}
 
 // BenchKey is the stable configuration key a Result files under in the
 // BENCH_<area>.json measurement sets: backend, direction and batch size,

@@ -110,6 +110,14 @@ type Params struct {
 	// harness — the backend sweep compares them.
 	Backend string
 
+	// Weights sets per-guest deficit-round-robin weights on the twin
+	// path (applied cyclically over the guest list, see
+	// core.TwinConfig.Weights) and Rates per-crossing descriptor caps.
+	// Consumed by RunSched — nil keeps the classic equal round-robin
+	// that every other measurement runs.
+	Weights []int
+	Rates   []int
+
 	// Queues asks for that many per-queue service loops on the twin path
 	// (0 = the model's native queue count; clamped by core to what the
 	// device exposes). Single-queue backends always run one queue.

@@ -982,6 +982,15 @@ func (p *Path) ReceiveBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
 	if p.PostedRX && maxRound > core.RxRingSlots {
 		maxRound = core.RxRingSlots
 	}
+	// Past 128 guests even a one-frame-per-guest round overruns the NIC
+	// ring, so each round's fan-in is processed in waves of at most 128
+	// guests, one coalesced interrupt per wave. At 128 guests or fewer
+	// there is exactly one wave covering every guest — the historical
+	// behaviour, operation for operation.
+	waveGuests := len(m.Guests)
+	if waveGuests > 128 {
+		waveGuests = 128
+	}
 	need := make(map[mem.Owner]int) // frames still to deliver in this round
 	for remaining := n; remaining > 0; {
 		chunk := remaining
@@ -991,110 +1000,120 @@ func (p *Path) ReceiveBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
 		for _, dom := range m.Guests {
 			need[dom.ID] = chunk
 		}
+	waves:
 		for {
-			// Posted mode: every guest posts its buffers first, from its
-			// own context — delivery then copies straight into them.
-			if p.PostedRX {
-				for _, dom := range m.Guests {
-					if need[dom.ID] == 0 {
-						continue
-					}
-					m.HV.Switch(dom)
-					posted, err := p.postBuffers(dom, need[dom.ID])
-					if err != nil {
-						if p.recoverDead(err) {
-							continue // repost on the fresh twin
-						}
-						return total, err
-					}
-					if posted != need[dom.ID] {
-						return total, fmt.Errorf("netpath: guest %d posted %d of %d buffers", dom.ID, posted, need[dom.ID])
-					}
+			roundDelivered := 0
+			for ws := 0; ws < len(m.Guests); ws += waveGuests {
+				we := ws + waveGuests
+				if we > len(m.Guests) {
+					we = len(m.Guests)
 				}
-			}
-			injected := 0
-			for g, dom := range m.Guests {
-				for k := 0; k < need[dom.ID]; k++ {
-					f, err := p.frameTo(p.guestMACs[g], size)
-					if err != nil {
-						return total, err
-					}
-					if !d.Dev.Inject(f) {
-						return total, fmt.Errorf("netpath: rx overrun")
-					}
-					injected++
-				}
-			}
-			// One interrupt for the whole fan-in, in whatever context runs.
-			if err := p.T.HandleIRQ(d); err != nil {
-				if p.recoverDead(err) {
-					// The device reset dropped everything just injected.
-					p.LostRx += uint64(injected)
-					continue
-				}
-				return total, err
-			}
-			delivered := 0
-			p.T.Coalescer.Begin()
-			var dead error
-			for _, dom := range m.Guests {
-				m.HV.Switch(dom)
-				var got int
+				wave := m.Guests[ws:we]
+				// Posted mode: every guest posts its buffers first, from its
+				// own context — delivery then copies straight into them.
 				if p.PostedRX {
-					del, err := p.T.DeliverPendingPosted(dom, need[dom.ID])
-					if err != nil {
-						dead = err
+					for _, dom := range wave {
+						if need[dom.ID] == 0 {
+							continue
+						}
+						m.HV.Switch(dom)
+						posted, err := p.postBuffers(dom, need[dom.ID])
+						if err != nil {
+							if p.recoverDead(err) {
+								continue // repost on the fresh twin
+							}
+							return total, err
+						}
+						if posted != need[dom.ID] {
+							return total, fmt.Errorf("netpath: guest %d posted %d of %d buffers", dom.ID, posted, need[dom.ID])
+						}
+					}
+				}
+				injected := 0
+				for g, dom := range wave {
+					for k := 0; k < need[dom.ID]; k++ {
+						f, err := p.frameTo(p.guestMACs[ws+g], size)
+						if err != nil {
+							return total, err
+						}
+						if !d.Dev.Inject(f) {
+							return total, fmt.Errorf("netpath: rx overrun")
+						}
+						injected++
+					}
+				}
+				// One interrupt for the wave's fan-in, in whatever context runs.
+				if err := p.T.HandleIRQ(d); err != nil {
+					if p.recoverDead(err) {
+						// The device reset dropped everything just injected.
+						p.LostRx += uint64(injected)
+						continue waves
+					}
+					return total, err
+				}
+				delivered := 0
+				p.T.Coalescer.Begin()
+				var dead error
+				for _, dom := range wave {
+					m.HV.Switch(dom)
+					var got int
+					if p.PostedRX {
+						del, err := p.T.DeliverPendingPosted(dom, need[dom.ID])
+						if err != nil {
+							dead = err
+							break
+						}
+						// Completion only: the frame already sits in the
+						// guest's own posted buffer.
+						for _, fr := range del.Frames {
+							meter.AddTo(cycles.CompDomU, cost.PvDriverRxPosted)
+							meter.AddTo(cycles.CompDomU, cost.RxKernelFixed+uint64(fr.Len)*cost.RxKernelPerByte)
+						}
+						// Frames that burned a bad posted descriptor are lost
+						// exactly once; replacements are injected next round
+						// (need stays up, so the round repeats for them).
+						p.LostRx += uint64(del.Lost)
+						got = len(del.Frames)
+					} else {
+						pkts, err := p.T.DeliverPendingBatch(dom, need[dom.ID])
+						// Frames delivered before a mid-batch fault still
+						// reached the guest: price and count them before
+						// deciding what the error means.
+						for _, pkt := range pkts {
+							meter.AddTo(cycles.CompDomU, cost.PvDriverRx)
+							meter.AddTo(cycles.CompDomU, cost.RxKernelFixed+uint64(len(pkt))*cost.RxKernelPerByte)
+						}
+						got = len(pkts)
+						if err != nil {
+							var de *core.DeliveryError
+							if errors.As(err, &de) {
+								// The dropped remainder is lost exactly once;
+								// replacements are injected next round.
+								p.LostRx += uint64(de.Dropped)
+							} else {
+								dead = err
+							}
+						}
+					}
+					total[dom.ID] += got
+					need[dom.ID] -= got
+					delivered += got
+					roundDelivered += got
+					p.RxCount += uint64(got)
+					if dead != nil {
 						break
 					}
-					// Completion only: the frame already sits in the
-					// guest's own posted buffer.
-					for _, fr := range del.Frames {
-						meter.AddTo(cycles.CompDomU, cost.PvDriverRxPosted)
-						meter.AddTo(cycles.CompDomU, cost.RxKernelFixed+uint64(fr.Len)*cost.RxKernelPerByte)
-					}
-					// Frames that burned a bad posted descriptor are lost
-					// exactly once; replacements are injected next round
-					// (need stays up, so the round repeats for them).
-					p.LostRx += uint64(del.Lost)
-					got = len(del.Frames)
-				} else {
-					pkts, err := p.T.DeliverPendingBatch(dom, need[dom.ID])
-					// Frames delivered before a mid-batch fault still
-					// reached the guest: price and count them before
-					// deciding what the error means.
-					for _, pkt := range pkts {
-						meter.AddTo(cycles.CompDomU, cost.PvDriverRx)
-						meter.AddTo(cycles.CompDomU, cost.RxKernelFixed+uint64(len(pkt))*cost.RxKernelPerByte)
-					}
-					got = len(pkts)
-					if err != nil {
-						var de *core.DeliveryError
-						if errors.As(err, &de) {
-							// The dropped remainder is lost exactly once;
-							// replacements are injected next round.
-							p.LostRx += uint64(de.Dropped)
-						} else {
-							dead = err
-						}
-					}
 				}
-				total[dom.ID] += got
-				need[dom.ID] -= got
-				delivered += got
-				p.RxCount += uint64(got)
+				p.T.Coalescer.End()
 				if dead != nil {
-					break
+					if p.recoverDead(dead) {
+						// Undelivered frames of this fan-in died with the
+						// instance (queued packets dropped, device reset).
+						p.LostRx += uint64(injected - delivered)
+						continue waves
+					}
+					return total, dead
 				}
-			}
-			p.T.Coalescer.End()
-			if dead != nil {
-				if p.recoverDead(dead) {
-					// Undelivered frames of this fan-in died with the
-					// instance (queued packets dropped, device reset).
-					p.LostRx += uint64(injected - delivered)
-					continue
-				}
-				return total, dead
 			}
 			pending := 0
 			for _, c := range need {
@@ -1103,7 +1122,7 @@ func (p *Path) ReceiveBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
 			if pending == 0 {
 				break
 			}
-			if p.PostedRX && delivered == 0 {
+			if p.PostedRX && roundDelivered == 0 {
 				// Replacement frames are only injected while rounds make
 				// progress; a round that delivered nothing to any guest
 				// (every frame oversize for its posted buffer, say) would
@@ -1114,4 +1133,149 @@ func (p *Path) ReceiveBurstMulti(i, size, n int) (map[mem.Owner]int, error) {
 		remaining -= chunk
 	}
 	return total, nil
+}
+
+// --- Weighted-fair contention + inter-guest switch (domU-twin only) -------
+
+// SendContended is the contended-transmit workload the weighted-fair
+// scheduler measurements run: every guest's transmit ring is kept
+// topped up from its own context, and each of the `crossings` budgeted
+// ServiceRings crossings consumes at most `budget` descriptors — so
+// demand always exceeds service and the per-guest completion counts
+// reveal the scheduler's share decisions (proportional to
+// TwinConfig.Weights under DRR, equal under the classic round-robin).
+// It returns the cumulative per-guest transmit counts.
+func (p *Path) SendContended(i, size, crossings, budget int) (map[mem.Owner]int, error) {
+	if p.Kind != Twin {
+		return nil, fmt.Errorf("netpath: contended bursts need the domU-twin path")
+	}
+	m := p.M
+	d := m.Devs[i%len(m.Devs)]
+	total := make(map[mem.Owner]int, len(m.Guests))
+	for c := 0; c < crossings; c++ {
+		for _, dom := range m.Guests {
+			var pending int
+			var err error
+			if p.PostedTX {
+				pending, err = p.T.PostedTxPending(dom.ID)
+			} else {
+				pending, err = p.T.StagedTx(dom.ID)
+			}
+			if err != nil {
+				return total, err
+			}
+			want := core.TxRingSlots - 1 - pending
+			if want <= 0 {
+				continue
+			}
+			staged, err := p.stageTxMulti(dom, d, size, want)
+			if err != nil {
+				if p.recoverDead(err) {
+					continue // re-stage this guest next crossing
+				}
+				return total, err
+			}
+			if staged < want {
+				return total, fmt.Errorf("netpath: guest %d staged %d of %d", dom.ID, staged, want)
+			}
+		}
+		sent, err := p.T.ServiceRings(d, budget)
+		for id, n := range sent {
+			total[id] += n
+			p.TxCount += uint64(n)
+		}
+		if err != nil {
+			if p.recoverDead(err) {
+				continue
+			}
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// SendLocal moves n size-byte frames from guest src to guest dst
+// (both guest indices), addressed to dst's registered station MAC.
+// With the inter-guest switch on (TwinConfig.Switch), the frames are
+// classified at transmit and delivered dom0-side without touching the
+// device; with it off they hairpin through the device — transmitted to
+// the wire, re-injected as arriving traffic, and received back through
+// the interrupt path and MAC demux. The two costs are what the vswitch
+// benchmark compares. It returns the frames delivered to dst.
+func (p *Path) SendLocal(i, size, n, src, dst int) (int, error) {
+	if p.Kind != Twin {
+		return 0, fmt.Errorf("netpath: inter-guest traffic needs the domU-twin path")
+	}
+	if src < 0 || src >= len(p.M.Guests) || dst < 0 || dst >= len(p.M.Guests) || src == dst {
+		return 0, fmt.Errorf("netpath: bad guest pair %d->%d of %d guests", src, dst, len(p.M.Guests))
+	}
+	m := p.M
+	meter := p.Meter()
+	d := m.Devs[i%len(m.Devs)]
+	sdom, ddom := m.Guests[src], m.Guests[dst]
+	switched := p.T.VSwitch() != nil
+	done := 0
+	for done < n {
+		chunk := n - done
+		if chunk > core.TxRingSlots-1 {
+			chunk = core.TxRingSlots - 1
+		}
+		// Guest src: kernel stack + staging copy for each frame, then one
+		// crossing drains the batch.
+		m.HV.Switch(sdom)
+		frames := make([][]byte, chunk)
+		for k := range frames {
+			payload, err := p.framePayload(size)
+			if err != nil {
+				return done, err
+			}
+			frames[k] = core.EthernetFrame(p.guestMACs[dst], p.guestMACs[src], 0x0800, payload)
+			meter.AddTo(cycles.CompDomU, cost.TxKernelFixed+uint64(len(frames[k]))*cost.TxKernelPerByte)
+		}
+		staged, err := p.T.StageTransmitBatch(sdom, frames)
+		if err != nil {
+			return done, err
+		}
+		if staged != chunk {
+			return done, fmt.Errorf("netpath: staged %d of %d local frames", staged, chunk)
+		}
+		sent, err := p.T.ServiceRings(d, 0)
+		if err != nil {
+			return done, err
+		}
+		p.TxCount += uint64(sent[sdom.ID])
+		p.T.Coalescer.Begin()
+		if !switched {
+			// No switch: the frames left on the wire; the external switch
+			// hairpins them back to the shared link, and the receive path
+			// runs in full — interrupt, driver RX, MAC demux.
+			for k := range frames {
+				if !d.Dev.Inject(frames[k]) {
+					p.T.Coalescer.End()
+					return done, fmt.Errorf("netpath: rx overrun")
+				}
+			}
+			if err := p.T.HandleIRQ(d); err != nil {
+				p.T.Coalescer.End()
+				return done, err
+			}
+		}
+		// Guest dst: paravirtual driver + stack per delivered frame.
+		m.HV.Switch(ddom)
+		pkts, err := p.T.DeliverPendingBatch(ddom, chunk)
+		for _, pkt := range pkts {
+			meter.AddTo(cycles.CompDomU, cost.PvDriverRx)
+			meter.AddTo(cycles.CompDomU, cost.RxKernelFixed+uint64(len(pkt))*cost.RxKernelPerByte)
+		}
+		p.T.Coalescer.End()
+		if err != nil {
+			return done + len(pkts), err
+		}
+		p.RxCount += uint64(len(pkts))
+		done += len(pkts)
+		if len(pkts) == 0 {
+			return done, fmt.Errorf("netpath: local delivery made no progress (%d of %d)", done, n)
+		}
+	}
+	return done, nil
 }

@@ -189,6 +189,57 @@ func TXPathSweep(w io.Writer, title string, results []*netbench.Result) {
 	fmt.Fprintln(w)
 }
 
+// SchedSweep renders the weighted-fair scheduling sweep: for each
+// configuration (guest count × weight/rate vector), the contended
+// transmit cycles/packet, the worst deviation of any guest's measured
+// share from its weight share, and the per-guest packet spread. The
+// share-error column is the scheduler's contract: under DRR it stays
+// within a few percent at any fan-out, where the packet spread shows
+// the weighted inequality that causes it.
+func SchedSweep(w io.Writer, title string, results []*netbench.SchedResult) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%7s %-16s %9s %10s %13s %8s %14s\n",
+		"guests", "sched", "cyc/pkt", "share-err", "pkts/guest", "hc/pkt", "throughput")
+	for _, r := range results {
+		minP, maxP := uint64(0), uint64(0)
+		for i, g := range r.PerGuest {
+			if i == 0 || g.Packets < minP {
+				minP = g.Packets
+			}
+			if g.Packets > maxP {
+				maxP = g.Packets
+			}
+		}
+		pkts := fmt.Sprintf("%d", minP)
+		if maxP != minP {
+			pkts = fmt.Sprintf("%d-%d", minP, maxP)
+		}
+		shareErr := fmt.Sprintf("%8.2f%%", r.MaxShareErrPct)
+		if r.Rates() != "" {
+			shareErr = "   rated" // a cap binds shares by rate, not weight
+		}
+		fmt.Fprintf(w, "%7d %-16s %9.0f %10s %13s %8.3f %9.0f Mb/s\n",
+			r.Guests, r.Spec(), r.CyclesPerPacket, shareErr, pkts,
+			r.HypercallsPerPacket, r.ThroughputMbps)
+	}
+	fmt.Fprintln(w)
+}
+
+// VswitchCompare renders the inter-guest switch comparison: per NIC
+// backend, the guest→guest cycles/packet through the dom0-side L2
+// switch against the same stream hairpinned through the device, and
+// the resulting speedup.
+func VswitchCompare(w io.Writer, title string, results []*netbench.VswitchResult) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-10s %9s %14s %14s %9s\n",
+		"backend", "pktsize", "switch", "device", "speedup")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-10s %9d %10.0f c/p %10.0f c/p %8.2fx\n",
+			r.Backend, r.PacketSize, r.SwitchCPP, r.DeviceCPP, r.Speedup)
+	}
+	fmt.Fprintln(w)
+}
+
 // RecoverySweep renders the transparent-recovery experiment: for each
 // fault type and guest count, the measured MTTR in cycles, the packets
 // lost or re-staged across the fault, and the fault-free cycles/packet

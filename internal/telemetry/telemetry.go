@@ -43,6 +43,8 @@ const (
 	EvRevive                         // fresh instance installed and live (A = faults so far)
 	EvReplay                         // config-log replay completed during revive (A = events replayed)
 	EvPostedTx                       // posted-TX frame handed to the device (A = bytes, B = 1 on copy fallback)
+	EvVswitch                        // inter-guest switch delivery (A = dst dom, B = bytes)
+	EvSpoof                          // switch rejected a forged source MAC (A = bytes)
 	numEventKinds
 )
 
@@ -50,7 +52,7 @@ var kindNames = [numEventKinds]string{
 	"hypercall", "batch-serviced", "sweep-start", "sweep-end",
 	"posted-rx", "tlb-hit", "tlb-miss", "hostile",
 	"fault", "abort", "revive", "replay",
-	"posted-tx",
+	"posted-tx", "vswitch", "spoof",
 }
 
 // String names the event kind as exporters render it.

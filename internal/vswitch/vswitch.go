@@ -1,0 +1,217 @@
+// Package vswitch implements the dom0-side inter-guest L2 switch: a
+// learning Ethernet switch that lets guest→guest traffic be delivered
+// entirely in dom0, without a device round-trip.
+//
+// Trust model (mirrors the rest of the repo): the switch runs dom0-side
+// and its tables are trusted state, but every *input* — src/dst MACs —
+// comes from guest-controlled frame bytes, so the switch must stay
+// correct under arbitrary hostile values:
+//
+//   - Registered guest MACs (core.RegisterGuestMAC) are installed as
+//     STATIC entries and are authoritative: a frame whose source MAC is
+//     another port's static MAC is a spoof and is rejected outright (the
+//     forger's frame is dropped and counted; the victim's table entry is
+//     untouched, so its traffic cannot be stolen or poisoned).
+//   - Other source MACs are LEARNED per-port, Linux-bridge style, with a
+//     bounded table so a hostile guest cycling random MACs cannot grow
+//     dom0 memory without limit.
+//   - A destination with the group bit set (dst[0]&1) is
+//     broadcast/multicast: fan out to every other port and the device.
+//   - A unicast destination that resolves (static first, then learned)
+//     to a local port is delivered dom0-side only — this is the path
+//     that never touches the device.
+//   - Unknown unicast goes to the device only: every local guest has a
+//     static entry, so an unknown MAC is genuinely external, and
+//     flooding it into unrelated guests would be a cross-tenant leak.
+//
+// The switch does zero frame copying itself — callers charge the normal
+// delivery machinery for payload movement; Classify is pure table work
+// priced by cost.VswitchLookup/VswitchForwardPerFrame at the call site.
+package vswitch
+
+import (
+	"sort"
+	"sync"
+
+	"twindrivers/internal/mem"
+)
+
+// MAC is an Ethernet address.
+type MAC [6]byte
+
+// Multicast reports whether the group bit is set (broadcast included).
+func (m MAC) Multicast() bool { return m[0]&1 != 0 }
+
+// MaxLearned bounds the learning table: a hostile guest cycling source
+// MACs stops learning (counted in Stats.LearnOverflow) once the table is
+// full, instead of growing dom0 memory without limit.
+const MaxLearned = 1024
+
+// Forward is the switching decision for one frame.
+type Forward struct {
+	// Local lists the ports (never the ingress port) that receive the
+	// frame dom0-side, in deterministic (sorted) order.
+	Local []mem.Owner
+
+	// Device reports whether the frame also goes out the physical
+	// device (broadcast, or unicast to a non-local destination).
+	Device bool
+}
+
+// Stats counts switching outcomes. All counters are cumulative.
+type Stats struct {
+	LocalUnicast  uint64 // unicast frames delivered guest→guest, device skipped
+	Broadcast     uint64 // group-bit frames fanned out to all other ports
+	External      uint64 // unicast frames sent to the device (non-local dst)
+	Reflected     uint64 // unicast frames addressed to their own ingress port (dropped)
+	SpoofRejected uint64 // frames dropped for forging another port's static MAC
+	Learned       uint64 // learning-table inserts
+	Moved         uint64 // learned entries re-bound to a different port
+	LearnOverflow uint64 // learns skipped because the table was full
+}
+
+// Switch is a dom0-side learning L2 switch over guest ports. Safe for
+// concurrent use by parallel per-queue service loops.
+type Switch struct {
+	mu      sync.Mutex
+	static  map[MAC]mem.Owner
+	learned map[MAC]mem.Owner
+	ports   map[mem.Owner]bool
+	stats   Stats
+}
+
+// New returns an empty switch with no ports or entries.
+func New() *Switch {
+	return &Switch{
+		static:  make(map[MAC]mem.Owner),
+		learned: make(map[MAC]mem.Owner),
+		ports:   make(map[mem.Owner]bool),
+	}
+}
+
+// AddPort attaches a guest port. Broadcast frames fan out to every
+// attached port except the ingress one.
+func (s *Switch) AddPort(p mem.Owner) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ports[p] = true
+}
+
+// RemovePort detaches a port and flushes every table entry bound to it,
+// so a departed guest's MACs cannot black-hole a successor's traffic.
+func (s *Switch) RemovePort(p mem.Owner) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.ports, p)
+	for m, o := range s.static {
+		if o == p {
+			delete(s.static, m)
+		}
+	}
+	for m, o := range s.learned {
+		if o == p {
+			delete(s.learned, m)
+		}
+	}
+}
+
+// BindStatic installs an authoritative MAC→port binding (the registered
+// guest MAC). Static entries take precedence over learned ones and are
+// the anchor of the anti-spoof check; any learned entry for the same MAC
+// is dropped.
+func (s *Switch) BindStatic(m MAC, p mem.Owner) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.static[m] = p
+	s.ports[p] = true
+	delete(s.learned, m)
+}
+
+// Classify decides where a frame entering at port with the given
+// src/dst MACs goes. ok=false means the frame is rejected (source MAC
+// spoofs another port's static binding) and must not be transmitted
+// anywhere.
+func (s *Switch) Classify(port mem.Owner, src, dst MAC) (Forward, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Anti-spoof: a source MAC statically bound to a different port is
+	// a forgery. Reject before learning so the forger cannot perturb
+	// any table state.
+	if owner, ok := s.static[src]; ok && owner != port {
+		s.stats.SpoofRejected++
+		return Forward{}, false
+	}
+
+	// Learn non-group, non-static source MACs per-port.
+	if _, isStatic := s.static[src]; !isStatic && !src.Multicast() {
+		if prev, ok := s.learned[src]; ok {
+			if prev != port {
+				s.learned[src] = port
+				s.stats.Moved++
+			}
+		} else if len(s.learned) < MaxLearned {
+			s.learned[src] = port
+			s.stats.Learned++
+		} else {
+			s.stats.LearnOverflow++
+		}
+	}
+
+	if dst.Multicast() {
+		s.stats.Broadcast++
+		fwd := Forward{Device: true}
+		for p := range s.ports {
+			if p != port {
+				fwd.Local = append(fwd.Local, p)
+			}
+		}
+		sort.Slice(fwd.Local, func(i, j int) bool { return fwd.Local[i] < fwd.Local[j] })
+		return fwd, true
+	}
+
+	owner, ok := s.static[dst]
+	if !ok {
+		owner, ok = s.learned[dst]
+	}
+	switch {
+	case ok && owner == port:
+		// Addressed to its own ingress port: a real switch filters
+		// this rather than reflecting it.
+		s.stats.Reflected++
+		return Forward{}, true
+	case ok:
+		s.stats.LocalUnicast++
+		return Forward{Local: []mem.Owner{owner}}, true
+	default:
+		// Unknown unicast: external. Device only — flooding it into
+		// local guests would leak cross-tenant traffic.
+		s.stats.External++
+		return Forward{Device: true}, true
+	}
+}
+
+// Lookup reports the port a MAC currently resolves to (static first).
+func (s *Switch) Lookup(m MAC) (mem.Owner, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if o, ok := s.static[m]; ok {
+		return o, true
+	}
+	o, ok := s.learned[m]
+	return o, ok
+}
+
+// Stats returns a snapshot of the switching counters.
+func (s *Switch) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// LearnedCount reports the current learning-table occupancy.
+func (s *Switch) LearnedCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.learned)
+}

@@ -1,0 +1,207 @@
+package vswitch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twindrivers/internal/mem"
+)
+
+func mac(b byte) MAC { return MAC{0x02, 0xAA, 0, 0, 0, b} }
+
+func TestStaticUnicastLocal(t *testing.T) {
+	s := New()
+	s.BindStatic(mac(1), 1)
+	s.BindStatic(mac(2), 2)
+
+	fwd, ok := s.Classify(1, mac(1), mac(2))
+	if !ok {
+		t.Fatalf("legit frame rejected")
+	}
+	if fwd.Device {
+		t.Fatalf("guest→guest unicast must not touch the device")
+	}
+	if len(fwd.Local) != 1 || fwd.Local[0] != 2 {
+		t.Fatalf("local = %v, want [2]", fwd.Local)
+	}
+	if st := s.Stats(); st.LocalUnicast != 1 {
+		t.Fatalf("LocalUnicast = %d, want 1", st.LocalUnicast)
+	}
+}
+
+func TestUnknownUnicastGoesToDeviceOnly(t *testing.T) {
+	s := New()
+	s.BindStatic(mac(1), 1)
+	s.BindStatic(mac(2), 2)
+
+	ext := MAC{0x00, 0x50, 0x56, 9, 9, 9}
+	fwd, ok := s.Classify(1, mac(1), ext)
+	if !ok || !fwd.Device || len(fwd.Local) != 0 {
+		t.Fatalf("unknown unicast: fwd=%+v ok=%v, want device-only", fwd, ok)
+	}
+	if st := s.Stats(); st.External != 1 {
+		t.Fatalf("External = %d, want 1", st.External)
+	}
+}
+
+func TestLearningBindsUnregisteredSrc(t *testing.T) {
+	s := New()
+	s.AddPort(1)
+	s.AddPort(2)
+	ephemeral := MAC{0x02, 0xEE, 0, 0, 0, 7}
+
+	// Port 2 transmits from an unregistered MAC: learned.
+	if _, ok := s.Classify(2, ephemeral, MAC{0, 0x50, 0x56, 0, 0, 1}); !ok {
+		t.Fatalf("learning frame rejected")
+	}
+	if o, ok := s.Lookup(ephemeral); !ok || o != 2 {
+		t.Fatalf("Lookup(ephemeral) = %v,%v want 2,true", o, ok)
+	}
+
+	// Now port 1 can reach it dom0-side.
+	fwd, ok := s.Classify(1, mac(1), ephemeral)
+	if !ok || fwd.Device || len(fwd.Local) != 1 || fwd.Local[0] != 2 {
+		t.Fatalf("post-learn unicast: fwd=%+v ok=%v, want local [2]", fwd, ok)
+	}
+
+	// The entry moves when the MAC shows up on another port.
+	if _, ok := s.Classify(1, ephemeral, MAC{0, 0x50, 0x56, 0, 0, 1}); !ok {
+		t.Fatalf("move frame rejected")
+	}
+	if o, _ := s.Lookup(ephemeral); o != 1 {
+		t.Fatalf("entry did not move, still on %v", o)
+	}
+	// Two learns: ephemeral and the (unregistered) mac(1) src above.
+	if st := s.Stats(); st.Learned != 2 || st.Moved != 1 {
+		t.Fatalf("stats = %+v, want Learned=2 Moved=1", st)
+	}
+}
+
+func TestBroadcastFanout(t *testing.T) {
+	s := New()
+	for p := mem.Owner(1); p <= 4; p++ {
+		s.BindStatic(mac(byte(p)), p)
+	}
+	bcast := MAC{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	fwd, ok := s.Classify(3, mac(3), bcast)
+	if !ok || !fwd.Device {
+		t.Fatalf("broadcast: fwd=%+v ok=%v, want device too", fwd, ok)
+	}
+	want := []mem.Owner{1, 2, 4}
+	if fmt.Sprint(fwd.Local) != fmt.Sprint(want) {
+		t.Fatalf("broadcast local = %v, want %v (sorted, no ingress)", fwd.Local, want)
+	}
+
+	// Multicast group bit counts too.
+	mcast := MAC{0x01, 0x00, 0x5E, 0, 0, 1}
+	if fwd, ok := s.Classify(1, mac(1), mcast); !ok || !fwd.Device || len(fwd.Local) != 3 {
+		t.Fatalf("multicast: fwd=%+v ok=%v", fwd, ok)
+	}
+}
+
+func TestSpoofRejected(t *testing.T) {
+	s := New()
+	s.BindStatic(mac(1), 1)
+	s.BindStatic(mac(2), 2)
+
+	// Guest 2 forges guest 1's static MAC: dropped, no table damage.
+	fwd, ok := s.Classify(2, mac(1), mac(2))
+	if ok {
+		t.Fatalf("spoofed frame accepted: %+v", fwd)
+	}
+	if o, _ := s.Lookup(mac(1)); o != 1 {
+		t.Fatalf("victim binding perturbed: %v", o)
+	}
+	// Victim's own traffic still flows.
+	if _, ok := s.Classify(1, mac(1), mac(2)); !ok {
+		t.Fatalf("victim traffic rejected after spoof attempt")
+	}
+	if st := s.Stats(); st.SpoofRejected != 1 {
+		t.Fatalf("SpoofRejected = %d, want 1", st.SpoofRejected)
+	}
+}
+
+func TestSelfAddressedFiltered(t *testing.T) {
+	s := New()
+	s.BindStatic(mac(1), 1)
+	fwd, ok := s.Classify(1, mac(1), mac(1))
+	if !ok || fwd.Device || len(fwd.Local) != 0 {
+		t.Fatalf("self-addressed: fwd=%+v ok=%v, want filtered", fwd, ok)
+	}
+	if st := s.Stats(); st.Reflected != 1 {
+		t.Fatalf("Reflected = %d, want 1", st.Reflected)
+	}
+}
+
+func TestLearnTableBounded(t *testing.T) {
+	s := New()
+	s.AddPort(1)
+	for i := 0; i < MaxLearned+50; i++ {
+		src := MAC{0x02, 0xBB, byte(i >> 16), byte(i >> 8), byte(i), 0}
+		s.Classify(1, src, MAC{0, 0x50, 0x56, 0, 0, 1})
+	}
+	if n := s.LearnedCount(); n != MaxLearned {
+		t.Fatalf("learned table grew to %d, cap is %d", n, MaxLearned)
+	}
+	if st := s.Stats(); st.LearnOverflow != 50 {
+		t.Fatalf("LearnOverflow = %d, want 50", st.LearnOverflow)
+	}
+}
+
+func TestRemovePortFlushesEntries(t *testing.T) {
+	s := New()
+	s.BindStatic(mac(1), 1)
+	s.BindStatic(mac(2), 2)
+	eph := MAC{0x02, 0xEE, 0, 0, 0, 9}
+	s.Classify(2, eph, mac(1))
+
+	s.RemovePort(2)
+	if _, ok := s.Lookup(mac(2)); ok {
+		t.Fatalf("static entry survived RemovePort")
+	}
+	if _, ok := s.Lookup(eph); ok {
+		t.Fatalf("learned entry survived RemovePort")
+	}
+	// Traffic to the departed guest now goes external, not black-holed
+	// into a stale port.
+	fwd, ok := s.Classify(1, mac(1), mac(2))
+	if !ok || !fwd.Device || len(fwd.Local) != 0 {
+		t.Fatalf("post-remove unicast: fwd=%+v ok=%v, want device-only", fwd, ok)
+	}
+}
+
+// Property: for any sequence of classify calls, a frame is never
+// delivered back to its ingress port, and unicast never fans out to
+// more than one local port.
+func TestClassifyInvariants(t *testing.T) {
+	s := New()
+	for p := mem.Owner(1); p <= 8; p++ {
+		s.BindStatic(mac(byte(p)), p)
+	}
+	prop := func(port uint8, srcB, dstB [6]byte) bool {
+		p := mem.Owner(port%8) + 1
+		src, dst := MAC(srcB), MAC(dstB)
+		fwd, ok := s.Classify(p, src, dst)
+		if !ok {
+			return len(fwd.Local) == 0 && !fwd.Device
+		}
+		for _, l := range fwd.Local {
+			if l == p {
+				return false
+			}
+		}
+		if !dst.Multicast() && len(fwd.Local) > 1 {
+			return false
+		}
+		if !dst.Multicast() && len(fwd.Local) == 1 && fwd.Device {
+			return false // local unicast must skip the device
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(0x5EED))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

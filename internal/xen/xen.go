@@ -38,15 +38,19 @@ const (
 	// deliberately disjoint from dom0's so that a virtual address names
 	// its owning domain unambiguously (the hypervisor DMA helpers rely on
 	// this when resolving chained guest pages).
-	GuestKernelBase = 0xB0000000
+	GuestKernelBase = 0x40000000
 
 	// GuestHeapStride separates the heap bases of successive guest
 	// domains: guest i allocates from GuestKernelBase + i*GuestHeapStride,
 	// keeping every guest virtual address unambiguous machine-wide — the
 	// same property that separates guest and dom0 addresses — so the DMA
 	// helpers can resolve a chained fragment page to its owning guest even
-	// when the derived driver runs in a different guest's context.
-	GuestHeapStride = 0x01000000
+	// when the derived driver runs in a different guest's context. 8 MB
+	// per guest covers the staging ring, both posted arenas and the
+	// harnesses' scratch buffers with room to spare, and the range below
+	// the dom0 split fits 256 such regions — a consolidation host's guest
+	// population, not a testbench's.
+	GuestHeapStride = 0x00800000
 
 	// MaxGuests is how many guest heap regions fit between GuestKernelBase
 	// and the dom0 kernel split at the stride above.
